@@ -1,0 +1,76 @@
+// Ablation (DESIGN.md §5): BUS-COM's static/dynamic slot split. Static
+// slots guarantee worst-case access time (the real-time argument of the
+// automotive use case); dynamic slots adapt to skewed load. The sweep
+// shows the trade under symmetric and hotspot traffic.
+
+#include <iostream>
+#include <memory>
+#include <vector>
+
+#include "buscom/buscom.hpp"
+#include "core/report.hpp"
+#include "core/traffic.hpp"
+#include "sim/kernel.hpp"
+
+using namespace recosim;
+using namespace recosim::core;
+
+namespace {
+
+struct Result {
+  sim::Cycle worst_wait;
+  double mean_latency;
+  std::uint64_t delivered;
+};
+
+Result run(double dynamic_fraction, bool skewed) {
+  sim::Kernel kernel;
+  buscom::BuscomConfig cfg;
+  cfg.dynamic_fraction = dynamic_fraction;
+  buscom::Buscom arch(kernel, cfg);
+  fpga::HardwareModule hm;
+  std::vector<fpga::ModuleId> mods{1, 2, 3, 4};
+  for (auto id : mods) arch.attach(id, hm);
+  sim::Rng root(5);
+  std::vector<std::unique_ptr<TrafficSource>> sources;
+  for (auto src : mods) {
+    std::vector<fpga::ModuleId> others;
+    for (auto m : mods)
+      if (m != src) others.push_back(m);
+    // Skewed: module 1 produces 8x the traffic of the others.
+    const double rate = skewed ? (src == 1 ? 0.04 : 0.005) : 0.015;
+    sources.push_back(std::make_unique<TrafficSource>(
+        kernel, arch, src, DestinationPolicy::uniform(others),
+        SizePolicy::fixed(61), InjectionPolicy::bernoulli(rate),
+        root.fork()));
+  }
+  TrafficSink sink(kernel, arch, mods);
+  kernel.run(60'000);
+  for (auto& s : sources) s->stop();
+  kernel.run(30'000);
+  return Result{arch.worst_case_slot_wait(2), arch.mean_latency_cycles(),
+                sink.received_total()};
+}
+
+}  // namespace
+
+int main() {
+  Table t("BUS-COM ablation: dynamic-slot fraction");
+  t.set_headers({"dynamic", "worst-case wait (cyc)",
+                 "mean lat. uniform", "mean lat. skewed",
+                 "delivered uniform", "delivered skewed"});
+  for (double frac : {0.0, 0.25, 0.5, 0.75}) {
+    auto u = run(frac, false);
+    auto s = run(frac, true);
+    t.add_row({Table::num(100.0 * frac, 0) + "%",
+               Table::num(u.worst_wait), Table::num(u.mean_latency),
+               Table::num(s.mean_latency), Table::num(u.delivered),
+               Table::num(s.delivered)});
+  }
+  t.print(std::cout);
+  std::cout
+      << "Shape check: more dynamic slots worsen the guaranteed worst-case\n"
+         "wait (real-time argument for static slots) but absorb the skewed\n"
+         "hotspot load better - BUS-COM's priority arbitration at work.\n";
+  return 0;
+}

@@ -1,0 +1,77 @@
+// Ablation (DESIGN.md §5): CoNoChi's packet-redirection feature. The
+// paper credits redirection (plus distributed tables) for CoNoChi's
+// flexibility ranking; this experiment moves a module under live traffic
+// with redirection on/off and sweeps the address-update delay of the
+// interface modules.
+
+#include <iostream>
+
+#include "conochi/conochi.hpp"
+#include "core/report.hpp"
+#include "core/traffic.hpp"
+#include "sim/kernel.hpp"
+
+using namespace recosim;
+using namespace recosim::core;
+
+namespace {
+
+struct Result {
+  std::uint64_t sent;
+  std::uint64_t delivered;
+  std::uint64_t redirected;
+  std::uint64_t lost;
+};
+
+Result run(bool redirection, sim::Cycle addr_delay) {
+  sim::Kernel kernel;
+  conochi::ConochiConfig cfg;
+  cfg.grid_width = 13;
+  cfg.grid_height = 4;
+  cfg.enable_redirection = redirection;
+  cfg.address_update_delay = addr_delay;
+  conochi::Conochi arch(kernel, cfg);
+  for (int i = 0; i < 4; ++i) {
+    arch.add_switch({1 + 3 * i, 1});
+    if (i > 0) arch.lay_wire({3 * i - 1, 1}, {3 * i, 1});
+  }
+  fpga::HardwareModule hm;
+  arch.attach_at(1, hm, {1, 1});
+  arch.attach_at(2, hm, {4, 1});
+  TrafficSource src(kernel, arch, 1, DestinationPolicy::fixed(2),
+                    SizePolicy::fixed(64), InjectionPolicy::periodic(24),
+                    sim::Rng(1));
+  TrafficSink sink(kernel, arch, {2});
+  kernel.run(500);
+  arch.move_module(2, {10, 1});  // move to the far end, live
+  kernel.run(2 * addr_delay + 2'000);
+  src.stop();
+  kernel.run(5'000);
+  return Result{src.accepted(), sink.received_total(),
+                arch.stats().counter_value("packets_redirected"),
+                arch.stats().counter_value("dropped_no_module")};
+}
+
+}  // namespace
+
+int main() {
+  Table t("CoNoChi ablation: packet redirection during a module move");
+  t.set_headers({"redirection", "addr-update delay", "sent", "delivered",
+                 "redirected", "lost"});
+  for (bool redir : {true, false}) {
+    for (sim::Cycle delay : {64u, 256u, 1024u}) {
+      auto r = run(redir, delay);
+      t.add_row({redir ? "on" : "off",
+                 Table::num(static_cast<std::uint64_t>(delay)),
+                 Table::num(r.sent), Table::num(r.delivered),
+                 Table::num(r.redirected), Table::num(r.lost)});
+    }
+  }
+  t.print(std::cout);
+  std::cout
+      << "Shape check: with redirection every packet survives the move\n"
+         "regardless of how stale the senders' address caches are; without\n"
+         "it, losses grow with the address-update delay - the flexibility\n"
+         "CoNoChi's three-layer protocol buys (paper §4.3).\n";
+  return 0;
+}

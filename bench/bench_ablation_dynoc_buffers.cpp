@@ -1,0 +1,148 @@
+// Ablation (DESIGN.md §5): DyNoC router parameters. The paper treats the
+// router as a black box; this sweep exposes the two knobs that drive its
+// area/latency position: input buffer depth (throughput under load,
+// buffers are the NoC area cost the paper laments) and routing-pipeline
+// depth (per-hop latency). Also quantifies the S-XY detour tax.
+
+#include <iostream>
+#include <memory>
+#include <vector>
+
+#include "core/report.hpp"
+#include "core/traffic.hpp"
+#include "dynoc/dynoc.hpp"
+#include "sim/kernel.hpp"
+
+using namespace recosim;
+using namespace recosim::core;
+
+namespace {
+
+struct Result {
+  double mean_latency;
+  std::uint64_t delivered;
+  std::uint64_t stalled;
+};
+
+Result run(std::size_t buffers, sim::Cycle routing_delay) {
+  sim::Kernel kernel;
+  dynoc::DynocConfig cfg;
+  cfg.width = cfg.height = 6;
+  cfg.input_buffer_packets = buffers;
+  cfg.routing_delay = routing_delay;
+  dynoc::Dynoc arch(kernel, cfg);
+  fpga::HardwareModule unit;
+  std::vector<fpga::ModuleId> mods;
+  for (int i = 0; i < 4; ++i) {
+    const auto id = static_cast<fpga::ModuleId>(i + 1);
+    arch.attach_at(id, unit, {1 + 3 * (i % 2), 1 + 3 * (i / 2)});
+    mods.push_back(id);
+  }
+  sim::Rng root(9);
+  std::vector<std::unique_ptr<TrafficSource>> sources;
+  for (auto src : mods) {
+    std::vector<fpga::ModuleId> others;
+    for (auto m : mods)
+      if (m != src) others.push_back(m);
+    sources.push_back(std::make_unique<TrafficSource>(
+        kernel, arch, src, DestinationPolicy::uniform(others),
+        SizePolicy::fixed(64), InjectionPolicy::bernoulli(0.05),
+        root.fork()));
+  }
+  TrafficSink sink(kernel, arch, mods);
+  kernel.run(40'000);
+  for (auto& s : sources) s->stop();
+  kernel.run(20'000);
+  std::uint64_t stalled = 0;
+  for (auto& s : sources) stalled += s->stalled_cycles();
+  return Result{arch.mean_latency_cycles(), sink.received_total(), stalled};
+}
+
+}  // namespace
+
+int main() {
+  Table b("DyNoC ablation: input buffer depth (load 0.05, 64 B)");
+  b.set_headers({"buffers/port", "mean latency", "delivered",
+                 "source stall cycles"});
+  for (std::size_t buf : {1u, 2u, 4u, 8u}) {
+    auto r = run(buf, 2);
+    b.add_row({Table::num(static_cast<std::uint64_t>(buf)),
+               Table::num(r.mean_latency), Table::num(r.delivered),
+               Table::num(r.stalled)});
+  }
+  b.print(std::cout);
+
+  Table p("DyNoC ablation: routing pipeline depth");
+  p.set_headers({"routing cycles", "mean latency", "delivered"});
+  for (sim::Cycle d : {1u, 2u, 4u}) {
+    auto r = run(2, d);
+    p.add_row({Table::num(static_cast<std::uint64_t>(d)),
+               Table::num(r.mean_latency), Table::num(r.delivered)});
+  }
+  p.print(std::cout);
+
+  // S-XY detour tax: hop overhead over Manhattan distance for growing
+  // obstacles on the straight path.
+  Table s("S-XY detour tax (7x7, endpoints (1,3)->(5,3))");
+  s.set_headers({"obstacle", "hops", "overhead vs Manhattan"});
+  for (int size = 0; size <= 3; ++size) {
+    sim::Kernel kernel;
+    dynoc::DynocConfig cfg;
+    cfg.width = cfg.height = 7;
+    dynoc::Dynoc arch(kernel, cfg);
+    fpga::HardwareModule unit, big;
+    arch.attach_at(1, unit, {1, 3});
+    arch.attach_at(2, unit, {5, 3});
+    if (size > 0) {
+      big.width_clbs = size;
+      big.height_clbs = size;
+      // Keep the module (plus its router ring) inside the 7x7 array and
+      // spanning row 3, the straight path between the endpoints. (A 1x1
+      // module keeps its router, so it causes no detour by construction.)
+      const fpga::Point at = size <= 2 ? fpga::Point{3, 2}
+                                       : fpga::Point{2, 2};
+      if (!arch.attach_at(3, big, at)) continue;
+    }
+    const int hops = arch.route_hops(1, 2).value();
+    s.add_row({size == 0 ? "none"
+                         : std::to_string(size) + "x" + std::to_string(size),
+               Table::num(static_cast<std::uint64_t>(hops)),
+               "+" + Table::num(static_cast<std::uint64_t>(hops - 4))});
+  }
+  s.print(std::cout);
+
+  // Switching-discipline ablation: how much of CoNoChi's latency edge is
+  // pure cut-through vs topology. Same DyNoC mesh, both disciplines.
+  Table v("DyNoC switching discipline: 1024-B packet across 7x7 array");
+  v.set_headers({"discipline", "end-to-end latency (cyc)"});
+  for (auto mode : {dynoc::RouterSwitching::kStoreAndForward,
+                    dynoc::RouterSwitching::kVirtualCutThrough}) {
+    sim::Kernel kernel;
+    dynoc::DynocConfig cfg;
+    cfg.width = cfg.height = 7;
+    cfg.switching = mode;
+    dynoc::Dynoc arch(kernel, cfg);
+    fpga::HardwareModule m;
+    arch.attach_at(1, m, {1, 1});
+    arch.attach_at(2, m, {5, 5});
+    proto::Packet pk;
+    pk.src = 1;
+    pk.dst = 2;
+    pk.payload_bytes = 1'024;
+    arch.send(pk);
+    const sim::Cycle start = kernel.now();
+    kernel.run_until([&] { return arch.receive(2).has_value(); }, 20'000);
+    v.add_row({mode == dynoc::RouterSwitching::kStoreAndForward
+                   ? "store-and-forward (DyNoC prototype)"
+                   : "virtual cut-through (CoNoChi-style)",
+               Table::num(kernel.now() - start)});
+  }
+  v.print(std::cout);
+
+  std::cout << "Shape check: deeper buffers recover throughput lost to\n"
+               "head-of-line blocking; each extra routing stage adds one\n"
+               "cycle per hop; the detour tax grows with the obstacle edge;\n"
+               "cut-through removes the per-hop serialization of large\n"
+               "packets - the discipline gap behind CoNoChi's numbers.\n";
+  return 0;
+}

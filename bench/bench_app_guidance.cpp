@@ -1,0 +1,78 @@
+// The paper's closing claim (§5): "this survey and analysis can serve as
+// guidance when a decision for one or the other interconnection
+// architecture has to be made." This bench turns the claim into a
+// measured decision matrix: the three application domains the prototypes
+// targeted, replayed identically on all four architectures.
+
+#include <iostream>
+#include <memory>
+
+#include "core/area_model.hpp"
+#include "core/comparison.hpp"
+#include "core/report.hpp"
+#include "core/workloads.hpp"
+
+using namespace recosim;
+using namespace recosim::core;
+
+namespace {
+
+MinimalSystem build(int which) {
+  switch (which) {
+    case 0: return make_minimal_rmboc();
+    case 1: return make_minimal_buscom();
+    case 2: return make_minimal_dynoc();
+    case 3: return make_minimal_conochi();
+    // The conventional hierarchical bus rides along as the reference a
+    // designer would start from (paper §2.2).
+    default: return make_minimal_hierbus();
+  }
+}
+
+}  // namespace
+
+int main() {
+  const sim::Cycle kCycles = 40'000;
+  for (auto& workload : standard_workloads()) {
+    Table t("Workload: " + workload->name());
+    t.set_headers({"Architecture", "offered", "delivered", "lost",
+                   "mean lat (cyc)", "p99 (cyc)", "deadline misses"});
+    for (int a = 0; a < 5; ++a) {
+      auto sys = build(a);
+      auto r = workload->run(*sys.kernel, *sys.arch, sys.modules, kCycles,
+                             /*seed=*/17);
+      t.add_row({r.architecture, Table::num(r.offered),
+                 Table::num(r.delivered), Table::num(r.lost),
+                 Table::num(r.mean_latency_cycles),
+                 Table::num(r.p99_latency_cycles),
+                 Table::num(100.0 * r.deadline_miss_fraction) + "%"});
+    }
+    t.print(std::cout);
+  }
+
+  Table s("Cost context (4-module minimal systems)");
+  s.set_headers({"Architecture", "slices", "fmax MHz"});
+  s.add_row({"RMBoC", Table::num(area::rmboc_slices(4, 4, 32), 0),
+             Table::num(area::rmboc_fmax_mhz(32), 0)});
+  s.add_row({"BUS-COM",
+             Table::num(area::buscom_slices(4, 4, 32, 16, true), 0),
+             Table::num(area::buscom_fmax_mhz(32), 0)});
+  s.add_row({"DyNoC", Table::num(area::dynoc_router_slices(32) * 4, 0),
+             Table::num(area::dynoc_fmax_mhz(32), 0)});
+  s.add_row({"CoNoChi", Table::num(area::conochi_switch_slices(32) * 4, 0),
+             Table::num(area::conochi_fmax_mhz(32), 0)});
+  s.print(std::cout);
+
+  std::cout
+      << "Reading the matrix (paper §4/§5): the streaming pipeline runs\n"
+         "cheapest on RMBoC's standing circuits; the periodic control\n"
+         "traffic is safe everywhere but only BUS-COM gives a structural\n"
+         "worst-case guarantee; under the parallel bursty load BUS-COM's\n"
+         "k-transfer TDMA ceiling collapses (orders-of-magnitude latency)\n"
+         "while RMBoC's s*k segments and the NoCs degrade gracefully -\n"
+         "the NoCs throttle injection via backpressure instead of queueing\n"
+         "unboundedly. At m = 4 modules the NoCs' per-hop costs still\n"
+         "outweigh their parallelism; their advantage is structural\n"
+         "(scaling, module shapes), exactly as the paper argues.\n";
+  return 0;
+}

@@ -1,0 +1,74 @@
+// Regenerates Figure 1 of the paper: the RMBoC architecture with k = 4
+// parallel segmented buses and m = 4 exchangeable modules, plus a traced
+// walk-through of the circuit protocol (REQUEST -> REPLY -> data ->
+// DESTROY) the figure illustrates.
+
+#include <iostream>
+
+#include "rmboc/rmboc.hpp"
+#include "sim/kernel.hpp"
+
+using namespace recosim;
+
+int main() {
+  sim::Kernel kernel;
+  rmboc::RmbocConfig cfg;  // defaults: m=4 slots, k=4 buses, 32 bit
+  rmboc::Rmboc arch(kernel, cfg);
+  fpga::HardwareModule m;
+  for (int i = 1; i <= 4; ++i)
+    arch.attach(static_cast<fpga::ModuleId>(i), m);
+
+  std::cout << "== Figure 1: RMBoC topology (4 slots x 4 segmented buses) ==\n";
+  std::cout << "  M1        M2        M3        M4\n";
+  std::cout << "  |         |         |         |\n";
+  std::cout << " [XP0]=====[XP1]=====[XP2]=====[XP3]   x4 buses\n";
+  std::cout << "      seg0      seg1      seg2\n";
+  std::cout << "slots: " << cfg.slots << ", buses: " << cfg.buses
+            << ", segments/bus: " << cfg.slots - 1
+            << ", d_max = " << arch.max_parallelism() << "\n\n";
+
+  std::cout << "-- Protocol walk-through (traced) --\n";
+  arch.trace().enable(std::cout);
+
+  proto::Packet p;
+  p.src = 1;
+  p.dst = 3;
+  p.payload_bytes = 16;
+  arch.send(p);
+  kernel.run_until([&] { return arch.has_channel(1, 3); }, 100);
+  std::cout << "  connection 1->3 established after " << kernel.now()
+            << " cycles (2 hops: 4*(2+1) = 12 expected)\n";
+  std::cout << "  reserved segments: " << arch.reserved_segments() << "\n";
+
+  sim::Cycle established = kernel.now();
+  kernel.run_until([&] { return arch.receive(3).has_value(); }, 100);
+  std::cout << "  16-byte payload delivered " << kernel.now() - established
+            << " cycles later (4 words + handover)\n";
+
+  arch.close_channel(1, 3);
+  kernel.run_until([&] { return arch.reserved_segments() == 0; }, 100);
+  std::cout << "  DESTROY completed at cycle " << kernel.now()
+            << "; all segments free\n";
+  arch.trace().disable();
+
+  std::cout << "\n-- Blocking demo: k=1 forces CANCEL --\n";
+  sim::Kernel k2;
+  rmboc::RmbocConfig one;
+  one.buses = 1;
+  one.idle_close_cycles = 0;
+  rmboc::Rmboc narrow(k2, one);
+  for (int i = 1; i <= 4; ++i)
+    narrow.attach(static_cast<fpga::ModuleId>(i), m);
+  proto::Packet a = p;  // 1 -> 3 holds segments 0 and 1
+  narrow.send(a);
+  k2.run(20);
+  proto::Packet b;
+  b.src = 2;
+  b.dst = 3;
+  b.payload_bytes = 4;
+  narrow.send(b);  // needs segment 1 on the only bus: blocked
+  k2.run(40);
+  std::cout << "  blocked requests observed: "
+            << narrow.stats().counter_value("requests_blocked") << "\n";
+  return 0;
+}

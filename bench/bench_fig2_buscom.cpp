@@ -1,0 +1,79 @@
+// Regenerates Figure 2 of the paper: the BUS-COM architecture - four
+// BUS-COM interface modules on four unsegmented buses under one arbiter -
+// and demonstrates the TDMA round plus the runtime slot reassignment that
+// implements virtual topologies.
+
+#include <iostream>
+
+#include "buscom/buscom.hpp"
+#include "core/report.hpp"
+#include "sim/kernel.hpp"
+
+using namespace recosim;
+
+namespace {
+
+void print_schedule(const buscom::Buscom& arch, int bus) {
+  std::cout << "  bus " << bus << " slots: ";
+  for (int s = 0; s < arch.config().slots_per_round; ++s) {
+    const auto& a = arch.schedule().bus(bus).slot(s);
+    if (a.kind == buscom::SlotKind::kStatic) {
+      std::cout << a.owner;
+    } else {
+      std::cout << '.';
+    }
+  }
+  std::cout << "  ('.' = dynamic)\n";
+}
+
+}  // namespace
+
+int main() {
+  sim::Kernel kernel;
+  buscom::BuscomConfig cfg;  // 4 buses, 32 slots, 32-in/16-out
+  buscom::Buscom arch(kernel, cfg);
+  fpga::HardwareModule m;
+  for (int i = 1; i <= 4; ++i)
+    arch.attach(static_cast<fpga::ModuleId>(i), m);
+
+  std::cout << "== Figure 2: BUS-COM (4 interface modules, 4 buses, "
+               "FlexRay-style arbiter) ==\n";
+  std::cout << "  [BUS-COM1] [BUS-COM2] [BUS-COM3] [BUS-COM4]\n";
+  std::cout << "  ====================================== bus0..bus3\n";
+  std::cout << "                [ Arbiter ]\n\n";
+  std::cout << "slot duration: " << cfg.cycles_per_slot
+            << " cycles, payload/slot: " << arch.payload_bytes_per_slot()
+            << " B (20-bit header), d_max = " << arch.max_parallelism()
+            << "\n\n";
+
+  std::cout << "-- Design-time schedule (round-robin static + dynamic tail) --\n";
+  print_schedule(arch, 0);
+
+  // One TDMA round of traffic.
+  proto::Packet p;
+  p.src = 1;
+  p.dst = 3;
+  p.payload_bytes = 120;  // two fragments
+  arch.send(p);
+  sim::Cycle sent_at = kernel.now();
+  kernel.run_until([&] { return arch.receive(3).has_value(); }, 5'000);
+  std::cout << "  120-byte packet 1->3 delivered after "
+            << kernel.now() - sent_at << " cycles ("
+            << arch.stats().counter_value("fragments_sent")
+            << " fragments)\n\n";
+
+  std::cout << "-- Virtual topology adaptation: give module 1 all static "
+               "slots of bus 0 --\n";
+  for (int s = 0; s < 24; ++s) arch.reassign_static_slot(0, s, 1);
+  const auto round = static_cast<sim::Cycle>(cfg.slots_per_round) *
+                     cfg.cycles_per_slot;
+  kernel.run(round + 1);
+  print_schedule(arch, 0);
+  std::cout << "  worst-case slot wait module 1: "
+            << arch.worst_case_slot_wait(1) << " cycles; module 2: "
+            << arch.worst_case_slot_wait(2) << " cycles\n";
+  std::cout << "  (schedule rewrites land between rounds: "
+            << arch.stats().counter_value("schedule_updates")
+            << " update batch applied)\n";
+  return 0;
+}

@@ -1,0 +1,84 @@
+// google-benchmark microbenchmarks of the simulation substrate: kernel
+// stepping cost, two-phase FIFO operations, and full-architecture cycle
+// cost under load. These bound how long the table/figure benches take and
+// document the simulator's own performance envelope.
+
+#include <benchmark/benchmark.h>
+
+#include "core/comparison.hpp"
+#include "core/traffic.hpp"
+#include "sim/fifo.hpp"
+#include "sim/kernel.hpp"
+
+using namespace recosim;
+
+namespace {
+
+class NopComponent final : public sim::Component {
+ public:
+  using Component::Component;
+  void eval() override {}
+};
+
+void BM_KernelStep(benchmark::State& state) {
+  sim::Kernel kernel;
+  std::vector<std::unique_ptr<NopComponent>> comps;
+  for (int i = 0; i < state.range(0); ++i)
+    comps.push_back(std::make_unique<NopComponent>(kernel, "c"));
+  for (auto _ : state) kernel.step();
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(state.range(0)));
+}
+BENCHMARK(BM_KernelStep)->Arg(1)->Arg(16)->Arg(256);
+
+void BM_FifoPushPop(benchmark::State& state) {
+  sim::Kernel kernel;
+  sim::BoundedFifo<int> fifo(kernel, 64);
+  for (auto _ : state) {
+    if (fifo.can_push()) fifo.push(1);
+    if (fifo.can_pop()) benchmark::DoNotOptimize(fifo.pop());
+    kernel.step();
+  }
+}
+BENCHMARK(BM_FifoPushPop);
+
+void BM_EventSchedule(benchmark::State& state) {
+  sim::Kernel kernel;
+  for (auto _ : state) {
+    kernel.schedule_in(1, [] {});
+    kernel.step();
+  }
+}
+BENCHMARK(BM_EventSchedule);
+
+/// Cost of one loaded simulation cycle per architecture.
+template <core::MinimalSystem (*Make)()>
+void BM_ArchitectureCycle(benchmark::State& state) {
+  auto sys = Make();
+  sim::Rng root(1);
+  std::vector<std::unique_ptr<core::TrafficSource>> sources;
+  for (auto m : sys.modules) {
+    std::vector<fpga::ModuleId> others;
+    for (auto o : sys.modules)
+      if (o != m) others.push_back(o);
+    sources.push_back(std::make_unique<core::TrafficSource>(
+        *sys.kernel, *sys.arch, m, core::DestinationPolicy::uniform(others),
+        core::SizePolicy::fixed(64), core::InjectionPolicy::bernoulli(0.05),
+        root.fork()));
+  }
+  core::TrafficSink sink(*sys.kernel, *sys.arch, sys.modules);
+  for (auto _ : state) sys.kernel->step();
+  state.SetItemsProcessed(state.iterations());
+}
+
+core::MinimalSystem make_rmboc4() { return core::make_minimal_rmboc(); }
+core::MinimalSystem make_buscom4() { return core::make_minimal_buscom(); }
+core::MinimalSystem make_dynoc4() { return core::make_minimal_dynoc(); }
+core::MinimalSystem make_conochi4() { return core::make_minimal_conochi(); }
+
+BENCHMARK(BM_ArchitectureCycle<make_rmboc4>)->Name("BM_RmbocCycle");
+BENCHMARK(BM_ArchitectureCycle<make_buscom4>)->Name("BM_BuscomCycle");
+BENCHMARK(BM_ArchitectureCycle<make_dynoc4>)->Name("BM_DynocCycle");
+BENCHMARK(BM_ArchitectureCycle<make_conochi4>)->Name("BM_ConochiCycle");
+
+}  // namespace

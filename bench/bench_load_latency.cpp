@@ -1,0 +1,114 @@
+// Offered-load vs latency/throughput curves for the four architectures —
+// the classic saturation figure the paper argues qualitatively in §2.2
+// ("buses show a low latency when the bandwidth demands are low ... NoCs
+// support concurrent communication"). One row per injection rate; watch
+// the bus columns blow up first while the NoCs keep absorbing load, and
+// the DyNoC link-load imbalance that §4.2 blames on minimal routing.
+
+#include <iostream>
+#include <memory>
+#include <vector>
+
+#include "core/comparison.hpp"
+#include "core/report.hpp"
+#include "core/traffic.hpp"
+#include "dynoc/dynoc.hpp"
+
+using namespace recosim;
+using namespace recosim::core;
+
+namespace {
+
+struct Point {
+  double mean_latency;
+  double throughput_pkts_per_kcycle;
+  double accepted_fraction;
+  double imbalance = 0.0;  // NoC link-load max/mean (DyNoC only)
+};
+
+Point run_point(MinimalSystem sys, double rate) {
+  sim::Rng root(21);
+  std::vector<std::unique_ptr<TrafficSource>> sources;
+  for (auto src : sys.modules) {
+    std::vector<fpga::ModuleId> others;
+    for (auto m : sys.modules)
+      if (m != src) others.push_back(m);
+    sources.push_back(std::make_unique<TrafficSource>(
+        *sys.kernel, *sys.arch, src, DestinationPolicy::uniform(others),
+        SizePolicy::fixed(64), InjectionPolicy::bernoulli(rate),
+        root.fork()));
+  }
+  TrafficSink sink(*sys.kernel, *sys.arch, sys.modules);
+  const sim::Cycle cycles = 30'000;
+  sys.kernel->run(cycles);
+  Point p;
+  p.mean_latency = sys.arch->mean_latency_cycles();
+  p.throughput_pkts_per_kcycle =
+      1000.0 * static_cast<double>(sink.received_total()) /
+      static_cast<double>(cycles);
+  std::uint64_t gen = 0, acc = 0;
+  for (auto& s : sources) {
+    gen += s->generated();
+    acc += s->accepted();
+  }
+  p.accepted_fraction = gen ? static_cast<double>(acc) /
+                                  static_cast<double>(gen)
+                            : 1.0;
+  if (auto* d = dynamic_cast<dynoc::Dynoc*>(sys.arch.get()))
+    p.imbalance = d->link_load_imbalance();
+  return p;
+}
+
+}  // namespace
+
+int main() {
+  Table t("Offered load vs mean latency (cycles) / throughput (pkts/kcycle)");
+  t.set_headers({"rate/module", "RMBoC lat", "RMBoC thr", "BUS-COM lat",
+                 "BUS-COM thr", "DyNoC lat", "DyNoC thr", "CoNoChi lat",
+                 "CoNoChi thr"});
+  for (double rate : {0.001, 0.005, 0.02, 0.05, 0.1}) {
+    auto rm = run_point(make_minimal_rmboc(), rate);
+    auto bc = run_point(make_minimal_buscom(), rate);
+    auto dy = run_point(make_minimal_dynoc(), rate);
+    auto cn = run_point(make_minimal_conochi(), rate);
+    t.add_row({Table::num(rate, 3), Table::num(rm.mean_latency),
+               Table::num(rm.throughput_pkts_per_kcycle),
+               Table::num(bc.mean_latency),
+               Table::num(bc.throughput_pkts_per_kcycle),
+               Table::num(dy.mean_latency),
+               Table::num(dy.throughput_pkts_per_kcycle),
+               Table::num(cn.mean_latency),
+               Table::num(cn.throughput_pkts_per_kcycle)});
+  }
+  t.print(std::cout);
+
+  // Conventional-SoC reference: the §2.2 hierarchical bus (AMBA /
+  // CoreConnect class) under the same sweep. Its single transfer per bus
+  // and bridge bottleneck are what the surveyed architectures improve on.
+  Table h("Baseline: hierarchical bus (system+peripheral, bridge)");
+  h.set_headers({"rate/module", "mean latency", "pkts/kcycle",
+                 "accepted fraction"});
+  for (double rate : {0.001, 0.02, 0.1}) {
+    auto hb = run_point(make_minimal_hierbus(), rate);
+    h.add_row({Table::num(rate, 3), Table::num(hb.mean_latency),
+               Table::num(hb.throughput_pkts_per_kcycle),
+               Table::num(100.0 * hb.accepted_fraction) + "%"});
+  }
+  h.print(std::cout);
+
+  Table i("DyNoC link-load imbalance under uniform traffic (max/mean)");
+  i.set_headers({"rate/module", "imbalance"});
+  for (double rate : {0.01, 0.05, 0.1}) {
+    auto dy = run_point(make_minimal_dynoc(), rate);
+    i.add_row({Table::num(rate, 3), Table::num(dy.imbalance, 2)});
+  }
+  i.print(std::cout);
+
+  std::cout
+      << "Shape checks: at low load the buses' latency is flat and small;\n"
+         "as load grows BUS-COM hits its k-transfer ceiling first and\n"
+         "queues explode, while the NoCs degrade gracefully. The DyNoC\n"
+         "imbalance > 1 shows XY routing concentrating load on central\n"
+         "links (paper: 'links are not equally loaded').\n";
+  return 0;
+}

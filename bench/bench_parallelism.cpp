@@ -1,0 +1,118 @@
+// Reproduces the paper's §4.2 parallelism analysis: the theoretical d_max
+// of each architecture (RMBoC s*k, BUS-COM k, NoCs bounded by links) and a
+// saturation measurement showing how much of it real traffic reaches
+// (the paper: "because of their minimal routing strategies links are not
+// equally loaded").
+
+#include <algorithm>
+#include <iostream>
+#include <memory>
+#include <vector>
+
+#include "buscom/buscom.hpp"
+#include "core/comparison.hpp"
+#include "core/report.hpp"
+#include "core/traffic.hpp"
+#include "rmboc/rmboc.hpp"
+
+using namespace recosim;
+using namespace recosim::core;
+
+namespace {
+
+struct Saturation {
+  std::size_t d_max;
+  double throughput_packets_per_kcycle;
+};
+
+Saturation saturate(MinimalSystem sys, double rate) {
+  sim::Rng root(7);
+  std::vector<std::unique_ptr<TrafficSource>> sources;
+  for (auto src : sys.modules) {
+    std::vector<fpga::ModuleId> others;
+    for (auto m : sys.modules)
+      if (m != src) others.push_back(m);
+    sources.push_back(std::make_unique<TrafficSource>(
+        *sys.kernel, *sys.arch, src, DestinationPolicy::uniform(others),
+        SizePolicy::fixed(32), InjectionPolicy::bernoulli(rate),
+        root.fork()));
+  }
+  TrafficSink sink(*sys.kernel, *sys.arch, sys.modules);
+  const sim::Cycle cycles = 40'000;
+  sys.kernel->run(cycles);
+  return Saturation{
+      sys.arch->max_parallelism(),
+      1000.0 * static_cast<double>(sink.received_total()) /
+          static_cast<double>(cycles)};
+}
+
+}  // namespace
+
+int main() {
+  Table t("Parallelism d_max (theory) and saturated throughput");
+  t.set_headers({"Architecture", "d_max (4 modules)",
+                 "pkts/kcycle @ saturation"});
+  const double rate = 0.5;  // far beyond capacity: measures the ceiling
+  {
+    auto s = saturate(make_minimal_rmboc(), rate);
+    t.add_row({"RMBoC (s*k = 3*4)", Table::num(static_cast<std::uint64_t>(s.d_max)),
+               Table::num(s.throughput_packets_per_kcycle)});
+  }
+  {
+    auto s = saturate(make_minimal_buscom(), rate);
+    t.add_row({"BUS-COM (k = 4)", Table::num(static_cast<std::uint64_t>(s.d_max)),
+               Table::num(s.throughput_packets_per_kcycle)});
+  }
+  {
+    auto s = saturate(make_minimal_dynoc(), rate);
+    t.add_row({"DyNoC (links)", Table::num(static_cast<std::uint64_t>(s.d_max)),
+               Table::num(s.throughput_packets_per_kcycle)});
+  }
+  {
+    auto s = saturate(make_minimal_conochi(), rate);
+    t.add_row({"CoNoChi (links)", Table::num(static_cast<std::uint64_t>(s.d_max)),
+               Table::num(s.throughput_packets_per_kcycle)});
+  }
+  t.print(std::cout);
+
+  // RMBoC's d_max genuinely grows with segments: show concurrent
+  // established channels on disjoint segments.
+  Table r("RMBoC concurrent channels on disjoint segments");
+  r.set_headers({"slots m", "buses k", "theory s*k", "measured concurrent"});
+  for (int m : {4, 6, 8}) {
+    sim::Kernel kernel;
+    rmboc::RmbocConfig cfg;
+    cfg.slots = m;
+    cfg.buses = 4;
+    cfg.idle_close_cycles = 0;
+    rmboc::Rmboc arch(kernel, cfg);
+    fpga::HardwareModule hm;
+    for (int i = 1; i <= m; ++i)
+      arch.attach(static_cast<fpga::ModuleId>(i), hm);
+    // Open adjacent-pair channels in both directions on every segment.
+    for (int i = 1; i < m; ++i) {
+      proto::Packet p;
+      p.src = static_cast<fpga::ModuleId>(i);
+      p.dst = static_cast<fpga::ModuleId>(i + 1);
+      p.payload_bytes = 4;
+      for (int lane = 0; lane < 4; ++lane) {
+        if (lane % 2) std::swap(p.src, p.dst);
+        arch.send(p);
+      }
+      kernel.run(10);
+    }
+    kernel.run(200);
+    r.add_row({Table::num(static_cast<std::uint64_t>(m)), "4",
+               Table::num(static_cast<std::uint64_t>((m - 1) * 4)),
+               Table::num(static_cast<std::uint64_t>(
+                   arch.established_channels()))});
+  }
+  r.print(std::cout);
+
+  std::cout << "Shape checks: BUS-COM saturates at k = 4 transfers; RMBoC's\n"
+               "usable parallelism exceeds k thanks to segmentation; the\n"
+               "NoCs report the largest d_max but their XY/table routing\n"
+               "does not load links uniformly, so measured throughput sits\n"
+               "well below the theoretical link bound.\n";
+  return 0;
+}

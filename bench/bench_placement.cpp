@@ -1,0 +1,140 @@
+// Online-placement ablation (the companion problem the paper's intro
+// cites next to communication): acceptance rate of placement strategies
+// under runtime churn, the area waste of the slot model, and what a
+// defragmentation pass buys.
+
+#include <iostream>
+#include <vector>
+
+#include "core/report.hpp"
+#include "fpga/defrag.hpp"
+#include "fpga/kamer.hpp"
+#include "fpga/placer.hpp"
+#include "sim/rng.hpp"
+
+using namespace recosim;
+using namespace recosim::core;
+
+namespace {
+
+fpga::Device device24() {
+  fpga::Device d = fpga::Device::virtex4_like();
+  d.clb_columns = 24;
+  d.clb_rows = 24;
+  return d;
+}
+
+struct ChurnResult {
+  int accepted = 0;
+  int rejected = 0;
+};
+
+template <typename Placer>
+ChurnResult churn(Placer& placer, std::uint64_t seed, int steps) {
+  sim::Rng rng(seed);
+  fpga::ModuleId next = 1;
+  std::vector<fpga::ModuleId> live;
+  ChurnResult r;
+  for (int step = 0; step < steps; ++step) {
+    if (!live.empty() && rng.chance(0.4)) {
+      const auto idx = rng.index(live.size());
+      placer.remove(live[idx]);
+      live.erase(live.begin() + static_cast<std::ptrdiff_t>(idx));
+    } else {
+      fpga::HardwareModule m;
+      m.width_clbs = static_cast<int>(rng.uniform(2, 6));
+      m.height_clbs = static_cast<int>(rng.uniform(2, 6));
+      bool ok;
+      if constexpr (std::is_same_v<Placer, fpga::SlotPlacer>) {
+        ok = placer.place(next, m).has_value();
+      } else {
+        ok = static_cast<bool>(placer.place(next, m));
+      }
+      if (ok) {
+        live.push_back(next);
+        ++r.accepted;
+      } else {
+        ++r.rejected;
+      }
+      ++next;
+    }
+  }
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  Table t("Placement strategies under churn (24x24 device, 400 steps)");
+  t.set_headers({"strategy", "accepted", "rejected", "acceptance"});
+  int acc[4] = {0, 0, 0, 0}, rej[4] = {0, 0, 0, 0};
+  for (std::uint64_t seed : {1u, 2u, 3u, 4u, 5u}) {
+    {
+      fpga::Floorplan f(device24());
+      fpga::SlotPlacer p(f, 4);
+      auto r = churn(p, seed, 400);
+      acc[0] += r.accepted;
+      rej[0] += r.rejected;
+    }
+    {
+      fpga::Floorplan f(device24());
+      fpga::StackedSlotPlacer p(f, 4);
+      auto r = churn(p, seed, 400);
+      acc[1] += r.accepted;
+      rej[1] += r.rejected;
+    }
+    {
+      fpga::Floorplan f(device24());
+      fpga::RectPlacer p(f);
+      auto r = churn(p, seed, 400);
+      acc[2] += r.accepted;
+      rej[2] += r.rejected;
+    }
+    {
+      fpga::Floorplan f(device24());
+      fpga::KamerPlacer p(f);
+      auto r = churn(p, seed, 400);
+      acc[3] += r.accepted;
+      rej[3] += r.rejected;
+    }
+  }
+  const char* names[4] = {"fixed slots (classic bus flow)",
+                          "stacked slots (extended BUS-COM)",
+                          "bottom-left first-fit (2D)",
+                          "KAMER best-fit (2D)"};
+  for (int i = 0; i < 4; ++i) {
+    t.add_row({names[i], Table::num(static_cast<std::uint64_t>(acc[i])),
+               Table::num(static_cast<std::uint64_t>(rej[i])),
+               Table::num(100.0 * acc[i] / (acc[i] + rej[i])) + "%"});
+  }
+  t.print(std::cout);
+
+  // Defragmentation value: how often a 10x10 module fits before/after a
+  // compaction pass in fragmented layouts.
+  Table d("Defragmentation: largest-free-rectangle growth in fragmented layouts");
+  d.set_headers({"seed", "largest free before", "after compaction",
+                 "moves", "ICAP cost (us)"});
+  for (std::uint64_t seed : {11u, 12u, 13u, 14u}) {
+    fpga::Floorplan f(device24());
+    fpga::KamerPlacer p(f);
+    churn(p, seed, 300);
+    fpga::Defragmenter df(f, device24());
+    auto plan = df.plan_compaction(10);
+    d.add_row({Table::num(seed),
+               Table::num(static_cast<std::uint64_t>(
+                   plan.largest_free_before)),
+               Table::num(static_cast<std::uint64_t>(
+                   plan.largest_free_after)),
+               Table::num(static_cast<std::uint64_t>(plan.moves.size())),
+               Table::num(plan.total_cost_us, 1)});
+  }
+  d.print(std::cout);
+
+  std::cout
+      << "Shape checks: the slot model wastes most of the fabric (a slot\n"
+         "per module regardless of height); stacking recovers it; the 2D\n"
+         "placers accept nearly everything, with KAMER at least matching\n"
+         "first-fit; compaction grows the largest free rectangle for a\n"
+         "few tens of microseconds of tile-device ICAP time.\n";
+  return 0;
+}

@@ -1,0 +1,97 @@
+// Reproduces the paper's §4.2 protocol-overhead analysis: the 20-bit
+// BUS-COM header and 96-bit CoNoChi header reduce effective bandwidth to
+// roughly 90%, while RMBoC's two small setup messages amortize to nothing
+// on a standing circuit. Printed both analytically (framing model) and as
+// measured goodput from simulation.
+
+#include <iostream>
+
+#include "core/comparison.hpp"
+#include "core/report.hpp"
+#include "core/traffic.hpp"
+
+using namespace recosim;
+using namespace recosim::core;
+
+namespace {
+
+/// Measured goodput: stream a fixed pair hard, divide delivered payload
+/// bits by wire capacity used (cycles x link width).
+double measured_goodput_fraction(MinimalSystem sys, std::uint32_t bytes,
+                                 double ideal_bytes_per_cycle) {
+  TrafficSource src(*sys.kernel, *sys.arch, 1, DestinationPolicy::fixed(2),
+                    SizePolicy::fixed(bytes), InjectionPolicy::bernoulli(1.0),
+                    sim::Rng(3));
+  TrafficSink sink(*sys.kernel, *sys.arch, {2});
+  const sim::Cycle cycles = 60'000;
+  sys.kernel->run(cycles);
+  const double goodput = static_cast<double>(sink.received_bytes()) /
+                         static_cast<double>(cycles);
+  return goodput / ideal_bytes_per_cycle;
+}
+
+}  // namespace
+
+int main() {
+  Table a("Analytic framing efficiency (payload bits / wire bits, 32-bit links)");
+  a.set_headers({"payload B", "RMBoC (circuit)", "BUS-COM (20-bit hdr)",
+                 "CoNoChi (96-bit hdr)", "DyNoC (32-bit hdr)"});
+  proto::Framing rmboc{0, 0};
+  proto::Framing buscom{proto::BuscomFraming::kOverheadBits,
+                        proto::BuscomFraming::kMaxPayloadBytes};
+  proto::Framing conochi{proto::ConochiHeader::kBits,
+                         proto::ConochiHeader::kMaxPayloadBytes};
+  proto::Framing dynoc{32, 0};
+  for (std::uint32_t bytes : {16u, 64u, 256u, 1024u}) {
+    a.add_row({Table::num(static_cast<std::uint64_t>(bytes)),
+               Table::num(100.0 * rmboc.efficiency(bytes, 32)) + "%",
+               Table::num(100.0 * buscom.efficiency(bytes, 32)) + "%",
+               Table::num(100.0 * conochi.efficiency(bytes, 32)) + "%",
+               Table::num(100.0 * dynoc.efficiency(bytes, 32)) + "%"});
+  }
+  a.print(std::cout);
+
+  Table m("Measured goodput fraction of a saturated point-to-point stream");
+  m.set_headers({"Architecture", "payload", "goodput / ideal"});
+  // Ideal: one 32-bit word per cycle on the stream's path.
+  m.add_row({"RMBoC", "256 B",
+             Table::num(100.0 * measured_goodput_fraction(
+                            make_minimal_rmboc(), 256, 4.0)) +
+                 "%"});
+  // BUS-COM: compare delivered payload against the wire bits its
+  // fragments actually occupied (slots are fixed-length, so header and
+  // tail padding are both genuine overhead).
+  {
+    auto sys = make_minimal_buscom();
+    auto* bus = dynamic_cast<buscom::Buscom*>(sys.arch.get());
+    TrafficSource src(*sys.kernel, *sys.arch, 1, DestinationPolicy::fixed(2),
+                      SizePolicy::fixed(256), InjectionPolicy::bernoulli(1.0),
+                      sim::Rng(3));
+    TrafficSink sink(*sys.kernel, *sys.arch, {2});
+    sys.kernel->run(60'000);
+    const double slot_bits = 16.0 * 32.0;  // cycles/slot x input width
+    const double wire_bits =
+        static_cast<double>(bus->stats().counter_value("fragments_sent")) *
+        slot_bits;
+    const double payload_bits =
+        static_cast<double>(sink.received_bytes()) * 8.0;
+    m.add_row({"BUS-COM", "256 B",
+               Table::num(100.0 * payload_bits / wire_bits) + "%"});
+  }
+  m.add_row({"CoNoChi", "1024 B",
+             Table::num(100.0 * measured_goodput_fraction(
+                            make_minimal_conochi(), 1024, 4.0)) +
+                 "%"});
+  m.add_row({"DyNoC", "256 B",
+             Table::num(100.0 * measured_goodput_fraction(
+                            make_minimal_dynoc(), 256, 4.0)) +
+                 "%"});
+  m.print(std::cout);
+
+  std::cout
+      << "Shape checks (paper §4.2): BUS-COM and CoNoChi land near 90%\n"
+         "effective bandwidth at their maximum payloads; RMBoC's overhead\n"
+         "is negligible once the circuit stands; DyNoC pays per-hop\n"
+         "store-and-forward on top of its header.\n";
+  return 0;
+}

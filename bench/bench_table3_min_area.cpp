@@ -1,0 +1,69 @@
+// Regenerates Table 3 of the paper: "Estimated minimum number of slices
+// for connecting 4 modules with 32 bit links", plus the scaling sweep
+// behind the paper's §4.1 discussion (bus area explodes with m*k;
+// CoNoChi adds one switch per module; DyNoC grows with the module count
+// under the one-PE-per-module assumption but with *array size* in real
+// deployments).
+
+#include <iostream>
+
+#include "core/area_model.hpp"
+#include "core/comparison.hpp"
+#include "core/report.hpp"
+
+using namespace recosim;
+using namespace recosim::core;
+
+int main() {
+  // The accounting rules of the paper's Table 3:
+  //  * RMBoC: the complete system (only value including everything).
+  //  * BUS-COM: bus macros + interfaces, arbiter excluded.
+  //  * DyNoC: one router per module (modules assumed 1 PE in size).
+  //  * CoNoChi: one switch per module, global control unit excluded.
+  const double rmboc = area::rmboc_slices(4, 4, 32);
+  const double buscom = area::buscom_slices(4, 4, 32, 16, false);
+  const double dynoc = area::dynoc_router_slices(32) * 4;
+  const double conochi = area::conochi_switch_slices(32) * 4;
+
+  Table t("Table 3: minimum slices for connecting 4 modules, 32-bit links");
+  t.set_headers({"", "RMBoC", "BUS-COM", "DyNoC", "CoNoChi"});
+  t.add_row({"paper", "5084", "1294", "1480", "1640"});
+  t.add_row({"model", Table::num(rmboc, 0), Table::num(buscom, 0),
+             Table::num(dynoc, 0), Table::num(conochi, 0)});
+  t.print(std::cout);
+
+  Table s("Area scaling with module count (32-bit links, slices)");
+  s.set_headers({"modules", "RMBoC (k=4)", "BUS-COM (k=4)",
+                 "DyNoC (per-module)", "DyNoC (full array)", "CoNoChi"});
+  for (int m = 4; m <= 16; m *= 2) {
+    // The full-array DyNoC cost uses the smallest array that fits m 1x1
+    // modules with the surround invariant.
+    const int array = m <= 4 ? 5 : (m <= 8 ? 6 : 8);
+    auto sys = make_minimal_dynoc(m, array);
+    auto* d = dynamic_cast<dynoc::Dynoc*>(sys.arch.get());
+    s.add_row({Table::num(static_cast<std::uint64_t>(m)),
+               Table::num(area::rmboc_slices(m, 4, 32), 0),
+               Table::num(area::buscom_slices(m, 4, 32, 16, false), 0),
+               Table::num(area::dynoc_router_slices(32) * m, 0),
+               Table::num(area::dynoc_slices(*d), 0),
+               Table::num(area::conochi_switch_slices(32) * m, 0)});
+  }
+  s.print(std::cout);
+
+  Table w("Area vs link width (4 modules, slices)");
+  w.set_headers({"width", "RMBoC", "BUS-COM", "DyNoC", "CoNoChi"});
+  for (unsigned width : {8u, 16u, 32u}) {
+    w.add_row({Table::num(static_cast<std::uint64_t>(width)),
+               Table::num(area::rmboc_slices(4, 4, width), 0),
+               Table::num(area::buscom_slices(4, 4, width, width / 2, false), 0),
+               Table::num(area::dynoc_router_slices(width) * 4, 0),
+               Table::num(area::conochi_switch_slices(width) * 4, 0)});
+  }
+  w.print(std::cout);
+
+  std::cout
+      << "Shape checks (paper §4.1): BUS-COM < DyNoC < CoNoChi << RMBoC at\n"
+         "4 modules; bus-system area grows with m*k while CoNoChi adds one\n"
+         "switch (410 slices) per module.\n";
+  return 0;
+}

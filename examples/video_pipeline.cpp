@@ -1,0 +1,147 @@
+// The video application the RMBoC and DyNoC prototypes were proven with
+// (paper §3): a streaming pipeline camera -> filter -> overlay -> VGA.
+// The same pipeline runs on RMBoC (standing circuits between pipeline
+// stages) and on DyNoC (modules placed on the array, one swapped at
+// runtime to change the filter), showing how the two families handle the
+// identical workload.
+
+#include <iostream>
+#include <memory>
+#include <vector>
+
+#include "core/traffic.hpp"
+#include "dynoc/dynoc.hpp"
+#include "rmboc/rmboc.hpp"
+#include "sim/clock.hpp"
+#include "sim/kernel.hpp"
+
+using namespace recosim;
+
+namespace {
+
+constexpr fpga::ModuleId kCamera = 1;
+constexpr fpga::ModuleId kFilter = 2;
+constexpr fpga::ModuleId kOverlay = 3;
+constexpr fpga::ModuleId kVga = 4;
+
+/// A pipeline stage: consumes frames' line packets from `in`, re-emits
+/// them towards `next` after a fixed processing delay.
+class Stage final : public sim::Component {
+ public:
+  Stage(sim::Kernel& k, core::CommArchitecture& arch, fpga::ModuleId self,
+        fpga::ModuleId next, sim::Cycle processing)
+      : sim::Component(k, "stage" + std::to_string(self)),
+        arch_(arch),
+        self_(self),
+        next_(next),
+        processing_(processing) {}
+
+  void eval() override {
+    if (pending_ && kernel().now() >= ready_at_) {
+      if (arch_.send(*pending_)) pending_.reset();
+    }
+    if (pending_) return;
+    if (auto p = arch_.receive(self_)) {
+      ++processed_;
+      proto::Packet out = *p;
+      out.src = self_;
+      out.dst = next_;
+      out.tag = core::make_tag(self_, processed_);  // re-tag per stage
+      pending_ = out;
+      ready_at_ = kernel().now() + processing_;
+    }
+  }
+
+  std::uint64_t processed() const { return processed_; }
+
+ private:
+  core::CommArchitecture& arch_;
+  fpga::ModuleId self_;
+  fpga::ModuleId next_;
+  sim::Cycle processing_;
+  std::optional<proto::Packet> pending_;
+  sim::Cycle ready_at_ = 0;
+  std::uint64_t processed_ = 0;
+};
+
+struct PipelineResult {
+  std::uint64_t lines_displayed;
+  double line_latency_cycles;
+};
+
+PipelineResult run_pipeline(sim::Kernel& kernel,
+                            core::CommArchitecture& arch,
+                            sim::Cycle cycles) {
+  // Camera emits one 80-byte video line every 32 cycles (a 640-pixel
+  // line at 8 bpp, sliced into bus words downstream).
+  core::TrafficSource camera(kernel, arch, kCamera,
+                             core::DestinationPolicy::fixed(kFilter),
+                             core::SizePolicy::fixed(80),
+                             core::InjectionPolicy::periodic(32),
+                             sim::Rng(1), "camera");
+  Stage filter(kernel, arch, kFilter, kOverlay, /*processing=*/4);
+  Stage overlay(kernel, arch, kOverlay, kVga, /*processing=*/2);
+  core::TrafficSink vga(kernel, arch, {kVga}, "vga");
+  kernel.run(cycles);
+  return PipelineResult{
+      vga.received_total(),
+      vga.latency_histogram().count()
+          ? static_cast<double>(vga.latency_histogram().quantile(0.5))
+          : 0.0};
+}
+
+}  // namespace
+
+int main() {
+  const sim::Cycle kCycles = 50'000;
+
+  std::cout << "Video pipeline: camera -> filter -> overlay -> VGA\n\n";
+
+  {
+    sim::Kernel kernel;
+    rmboc::RmbocConfig cfg;  // 4 slots, 4 buses: one slot per stage
+    rmboc::Rmboc arch(kernel, cfg);
+    fpga::HardwareModule m;
+    for (fpga::ModuleId id : {kCamera, kFilter, kOverlay, kVga})
+      arch.attach(id, m);
+    auto r = run_pipeline(kernel, arch, kCycles);
+    sim::ClockDomain clk(94.0);  // the RMBoC prototype's clock
+    std::cout << "RMBoC:  " << r.lines_displayed << " lines displayed, "
+              << "median stage-to-stage latency " << r.line_latency_cycles
+              << " cycles (" << clk.cycles_to_us(static_cast<sim::Cycle>(
+                                  r.line_latency_cycles))
+              << " us at 94 MHz);\n        circuits stay established - "
+              << arch.stats().counter_value("channels_established")
+              << " channel setups for the whole run\n";
+  }
+
+  {
+    sim::Kernel kernel;
+    dynoc::DynocConfig cfg;
+    cfg.width = cfg.height = 6;
+    dynoc::Dynoc arch(kernel, cfg);
+    fpga::HardwareModule m;
+    arch.attach_at(kCamera, m, {1, 1});
+    arch.attach_at(kFilter, m, {3, 1});
+    arch.attach_at(kOverlay, m, {3, 3});
+    arch.attach_at(kVga, m, {1, 3});
+    auto r = run_pipeline(kernel, arch, kCycles);
+    std::cout << "DyNoC:  " << r.lines_displayed << " lines displayed, "
+              << "median latency " << r.line_latency_cycles << " cycles\n";
+
+    // Runtime adaptation: swap the 1x1 filter for a bigger 2x2 variant
+    // (e.g. a sharpen kernel needing more area) while the stream runs.
+    arch.detach(kFilter);
+    fpga::HardwareModule big;
+    big.width_clbs = big.height_clbs = 2;
+    const bool ok = arch.attach_at(kFilter, big, {3, 1});
+    std::cout << "        swapped filter to a 2x2 module at runtime: "
+              << (ok ? "ok" : "FAILED") << ", routers removed under it, "
+              << arch.active_router_count() << "/36 routers active\n";
+    auto r2 = run_pipeline(kernel, arch, kCycles);
+    std::cout << "        pipeline after swap: " << r2.lines_displayed
+              << " lines, median latency " << r2.line_latency_cycles
+              << " cycles (S-XY routes around the bigger module)\n";
+  }
+  return 0;
+}

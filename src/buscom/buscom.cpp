@@ -1,0 +1,290 @@
+#include "buscom/buscom.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace recosim::buscom {
+
+Buscom::Buscom(sim::Kernel& kernel, const BuscomConfig& config)
+    : core::CommArchitecture(kernel, "BUS-COM"),
+      sim::Component(kernel, "BUS-COM"),
+      config_(config),
+      trace_(kernel),
+      schedule_(config.buses, config.slots_per_round),
+      bus_tx_(static_cast<std::size_t>(config.buses), fpga::kInvalidModule),
+      in_flight_(static_cast<std::size_t>(config.buses)) {
+  assert(config.buses >= 1);
+  assert(config.max_modules >= 1);
+  assert(config.slots_per_round >= 1);
+  assert(config.cycles_per_slot >= 1);
+  assert(config.in_width_bits >= 8);
+}
+
+bool Buscom::attach(fpga::ModuleId id, const fpga::HardwareModule&) {
+  if (id == fpga::kInvalidModule || is_attached(id)) return false;
+  if (attach_order_.size() >=
+      static_cast<std::size_t>(config_.max_modules))
+    return false;
+  attach_order_.push_back(id);
+  priority_.emplace(id, static_cast<int>(attach_order_.size()) - 1);
+  tx_[id];
+  delivered_[id];
+  // The arbiter's design-time default: deal static slots round-robin over
+  // the currently attached modules; custom reassignments come afterwards
+  // through reassign_*().
+  schedule_.deal_round_robin(attach_order_, config_.dynamic_fraction);
+  return true;
+}
+
+bool Buscom::detach(fpga::ModuleId id) {
+  auto it = std::find(attach_order_.begin(), attach_order_.end(), id);
+  if (it == attach_order_.end()) return false;
+  attach_order_.erase(it);
+  priority_.erase(id);
+  // Custody rule for conservation accounting: a packet still (partially)
+  // in the TX queue belongs to the sender and is counted here; a fully
+  // transmitted packet belongs to reassembly and resolves exactly once at
+  // its completing fragment in finish_slot_transfers() (delivered, or
+  // counted there if the destination is gone by then).
+  if (auto tit = tx_.find(id); tit != tx_.end()) {
+    stats().counter("dropped_detach").add(tit->second.size());
+    tx_.erase(tit);
+  }
+  if (auto dit = delivered_.find(id); dit != delivered_.end()) {
+    stats().counter("dropped_detach").add(dit->second.size());
+    delivered_.erase(dit);
+  }
+  schedule_.evict(id);
+  for (auto& b : bus_tx_)
+    if (b == id) b = fpga::kInvalidModule;
+  for (auto& fl : in_flight_)
+    if (fl.valid && fl.packet.src == id) fl.valid = false;
+  // Reassembly entries of the departed *source* can only be partial
+  // (complete ones resolve immediately), so their packet was counted with
+  // the TX queue above: erase without counting. Entries towards a
+  // departed destination stay; they resolve at their last fragment.
+  for (auto rit = reassembly_.begin(); rit != reassembly_.end();) {
+    if (rit->first.src == id) {
+      rit = reassembly_.erase(rit);
+    } else {
+      ++rit;
+    }
+  }
+  return true;
+}
+
+bool Buscom::is_attached(fpga::ModuleId id) const {
+  return priority_.count(id) > 0;
+}
+
+std::size_t Buscom::attached_count() const { return attach_order_.size(); }
+
+core::DesignParameters Buscom::design_parameters() const {
+  core::DesignParameters d;
+  d.name = "BUS-COM";
+  d.type = core::ArchType::kBus;
+  d.topology = core::TopologyClass::kArray1D;
+  d.module_size = core::ModuleShape::kFixedSlot;
+  d.switching = core::Switching::kTimeMultiplexed;
+  d.bit_width_min = config_.out_width_bits;
+  d.bit_width_max = config_.in_width_bits;
+  d.overhead = "20 bit";
+  d.max_payload = "256 byte";
+  d.protocol_layers = 1;
+  return d;
+}
+
+core::StructuralScores Buscom::structural_scores() const {
+  return core::StructuralScores{"BUS-COM", core::Grade::kMedium,
+                                core::Grade::kMedium, core::Grade::kMedium,
+                                core::Grade::kMedium};
+}
+
+void Buscom::reassign_static_slot(int bus, int slot, fpga::ModuleId owner) {
+  // Arbiter tables are rewritten between rounds: stage until round start.
+  pending_ops_.push_back(
+      [this, bus, slot, owner] { schedule_.bus(bus).assign_static(slot, owner); });
+}
+
+void Buscom::reassign_dynamic_slot(int bus, int slot) {
+  pending_ops_.push_back(
+      [this, bus, slot] { schedule_.bus(bus).assign_dynamic(slot); });
+}
+
+void Buscom::set_priority(fpga::ModuleId id, int priority) {
+  if (is_attached(id)) priority_[id] = priority;
+}
+
+std::uint32_t Buscom::payload_bytes_per_slot() const {
+  const std::uint64_t slot_bits =
+      static_cast<std::uint64_t>(config_.cycles_per_slot) *
+      config_.in_width_bits;
+  if (slot_bits <= proto::BuscomFraming::kOverheadBits) return 1;
+  const std::uint32_t bytes = static_cast<std::uint32_t>(
+      (slot_bits - proto::BuscomFraming::kOverheadBits) / 8);
+  return std::max<std::uint32_t>(
+      1, std::min(bytes, proto::BuscomFraming::kMaxPayloadBytes));
+}
+
+sim::Cycle Buscom::worst_case_slot_wait(fpga::ModuleId id) const {
+  const int n = config_.slots_per_round;
+  std::vector<int> owned;
+  for (int b = 0; b < schedule_.buses(); ++b)
+    for (int s = 0; s < n; ++s) {
+      const auto& a = schedule_.bus(b).slot(s);
+      if (a.kind == SlotKind::kStatic && a.owner == id) owned.push_back(s);
+    }
+  if (owned.empty())
+    return static_cast<sim::Cycle>(n) * config_.cycles_per_slot;
+  std::sort(owned.begin(), owned.end());
+  owned.erase(std::unique(owned.begin(), owned.end()), owned.end());
+  int worst_gap = 0;
+  for (std::size_t i = 0; i < owned.size(); ++i) {
+    const int next = owned[(i + 1) % owned.size()];
+    int gap = next - owned[i];
+    if (gap <= 0) gap += n;
+    worst_gap = std::max(worst_gap, gap);
+  }
+  return static_cast<sim::Cycle>(worst_gap) * config_.cycles_per_slot;
+}
+
+std::size_t Buscom::tx_backlog(fpga::ModuleId id) const {
+  auto it = tx_.find(id);
+  return it == tx_.end() ? 0 : it->second.size();
+}
+
+bool Buscom::do_send(const proto::Packet& p) {
+  auto it = tx_.find(p.src);
+  if (it == tx_.end() || !is_attached(p.dst)) return false;
+  if (it->second.size() >= config_.tx_queue_depth) return false;
+  it->second.push_back(TxPacket{p, 0});
+  return true;
+}
+
+std::optional<proto::Packet> Buscom::do_receive(fpga::ModuleId at) {
+  auto it = delivered_.find(at);
+  if (it == delivered_.end() || it->second.empty()) return std::nullopt;
+  proto::Packet p = it->second.front();
+  it->second.pop_front();
+  return p;
+}
+
+fpga::ModuleId Buscom::arbitrate(int b, int slot_idx) const {
+  const auto& a = schedule_.bus(b).slot(slot_idx);
+  // A module is eligible while it has payload bytes not yet claimed by a
+  // bus this slot. Claims always target the earliest unfinished packet,
+  // so per-flow delivery order is preserved even across parallel buses.
+  auto eligible = [this](fpga::ModuleId m) {
+    auto it = tx_.find(m);
+    if (it == tx_.end()) return false;
+    for (const TxPacket& tp : it->second)
+      if (!tp.started || tp.bytes_sent < tp.packet.payload_bytes)
+        return true;
+    return false;
+  };
+  if (a.kind == SlotKind::kStatic) {
+    return (is_attached(a.owner) && eligible(a.owner)) ? a.owner
+                                                       : fpga::kInvalidModule;
+  }
+  // Dynamic slot: highest priority (lowest value) wins; attach order
+  // breaks ties deterministically.
+  fpga::ModuleId best = fpga::kInvalidModule;
+  int best_prio = 0;
+  for (fpga::ModuleId m : attach_order_) {
+    if (!eligible(m)) continue;
+    const int prio = priority_.at(m);
+    if (best == fpga::kInvalidModule || prio < best_prio) {
+      best = m;
+      best_prio = prio;
+    }
+  }
+  return best;
+}
+
+void Buscom::begin_slot_transfers(int slot_idx) {
+  active_transfers_ = 0;
+  const std::uint32_t chunk = payload_bytes_per_slot();
+  for (int b = 0; b < config_.buses; ++b) {
+    bus_tx_[static_cast<std::size_t>(b)] = fpga::kInvalidModule;
+    in_flight_[static_cast<std::size_t>(b)].valid = false;
+    const fpga::ModuleId m = arbitrate(b, slot_idx);
+    if (m == fpga::kInvalidModule) continue;
+    auto& queue = tx_.at(m);
+    // Earliest unfinished packet in queue order.
+    TxPacket* claimed = nullptr;
+    for (TxPacket& tp : queue) {
+      if (!tp.started || tp.bytes_sent < tp.packet.payload_bytes) {
+        claimed = &tp;
+        break;
+      }
+    }
+    if (!claimed) continue;  // raced empty: leave the slot idle
+    TxPacket& tp = *claimed;
+    const std::uint32_t remaining = tp.packet.payload_bytes - tp.bytes_sent;
+    const std::uint32_t bytes_this = std::min(remaining, chunk);
+    tp.bytes_sent += bytes_this;
+    tp.started = true;
+    const bool last = tp.bytes_sent >= tp.packet.payload_bytes;
+    auto& fl = in_flight_[static_cast<std::size_t>(b)];
+    fl.valid = true;
+    fl.packet = tp.packet;
+    fl.bytes = bytes_this;
+    fl.last = last;
+    bus_tx_[static_cast<std::size_t>(b)] = m;
+    ++active_transfers_;
+    stats().counter("fragments_sent").add();
+  }
+}
+
+void Buscom::finish_slot_transfers() {
+  for (int b = 0; b < config_.buses; ++b) {
+    auto& fl = in_flight_[static_cast<std::size_t>(b)];
+    if (!fl.valid) continue;
+    fl.valid = false;
+    // Credit the fragment regardless of the destination's presence; the
+    // packet resolves exactly once, at its completing fragment.
+    const ReassemblyKey key{fl.packet.src, fl.packet.id};
+    auto& re = reassembly_[key];
+    re.packet = fl.packet;
+    re.bytes_received += fl.bytes;
+    if (fl.last) re.got_last = true;
+    if (re.got_last && re.bytes_received >= re.packet.payload_bytes) {
+      if (is_attached(re.packet.dst)) {
+        delivered_[re.packet.dst].push_back(re.packet);
+      } else {
+        stats().counter("dropped_detach").add();
+      }
+      reassembly_.erase(key);
+    }
+  }
+  // Drop fully transmitted packets from the TX queues.
+  for (auto& [m, queue] : tx_) {
+    queue.erase(std::remove_if(queue.begin(), queue.end(),
+                               [](const TxPacket& tp) {
+                                 return tp.started &&
+                                        tp.bytes_sent >=
+                                            tp.packet.payload_bytes;
+                               }),
+                queue.end());
+  }
+}
+
+void Buscom::commit() {
+  if (slot_cycle_ == 0) {
+    begin_slot_transfers(slot_idx_);
+  }
+  ++slot_cycle_;
+  if (slot_cycle_ >= config_.cycles_per_slot) {
+    finish_slot_transfers();
+    slot_cycle_ = 0;
+    slot_idx_ = (slot_idx_ + 1) % config_.slots_per_round;
+    // The arbiter's tables are rewritten only between rounds.
+    if (slot_idx_ == 0 && !pending_ops_.empty()) {
+      for (auto& op : pending_ops_) op();
+      pending_ops_.clear();
+      stats().counter("schedule_updates").add();
+    }
+  }
+}
+
+}  // namespace recosim::buscom

@@ -1,0 +1,70 @@
+#include "buscom/schedule.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace recosim::buscom {
+
+BusSchedule::BusSchedule(int slots_per_round)
+    : slots_(static_cast<std::size_t>(slots_per_round)) {
+  assert(slots_per_round > 0);
+}
+
+void BusSchedule::assign_static(int slot, fpga::ModuleId owner) {
+  slots_.at(static_cast<std::size_t>(slot)) =
+      SlotAssignment{SlotKind::kStatic, owner};
+}
+
+void BusSchedule::assign_dynamic(int slot) {
+  slots_.at(static_cast<std::size_t>(slot)) =
+      SlotAssignment{SlotKind::kDynamic, fpga::kInvalidModule};
+}
+
+void BusSchedule::evict(fpga::ModuleId owner) {
+  for (auto& s : slots_)
+    if (s.kind == SlotKind::kStatic && s.owner == owner)
+      s = SlotAssignment{SlotKind::kDynamic, fpga::kInvalidModule};
+}
+
+int BusSchedule::static_slots_of(fpga::ModuleId owner) const {
+  int n = 0;
+  for (const auto& s : slots_)
+    if (s.kind == SlotKind::kStatic && s.owner == owner) ++n;
+  return n;
+}
+
+int BusSchedule::dynamic_slots() const {
+  int n = 0;
+  for (const auto& s : slots_)
+    if (s.kind == SlotKind::kDynamic) ++n;
+  return n;
+}
+
+SystemSchedule::SystemSchedule(int buses, int slots_per_round) {
+  assert(buses > 0);
+  for (int b = 0; b < buses; ++b) per_bus_.emplace_back(slots_per_round);
+}
+
+void SystemSchedule::deal_round_robin(
+    const std::vector<fpga::ModuleId>& modules, double dynamic_fraction) {
+  for (auto& bus : per_bus_) {
+    const int n = bus.slots_per_round();
+    const int dynamic_tail =
+        static_cast<int>(std::floor(n * dynamic_fraction));
+    const int static_head = n - dynamic_tail;
+    for (int i = 0; i < n; ++i) {
+      if (i < static_head && !modules.empty()) {
+        bus.assign_static(i, modules[static_cast<std::size_t>(i) %
+                                     modules.size()]);
+      } else {
+        bus.assign_dynamic(i);
+      }
+    }
+  }
+}
+
+void SystemSchedule::evict(fpga::ModuleId owner) {
+  for (auto& bus : per_bus_) bus.evict(owner);
+}
+
+}  // namespace recosim::buscom

@@ -1,0 +1,67 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "fpga/module.hpp"
+
+namespace recosim::buscom {
+
+/// Kind of TDMA slot (FlexRay semantics, paper §3.1): static slots belong
+/// exclusively to one module and guarantee it bus time every round;
+/// dynamic slots are arbitrated per round among modules with pending
+/// traffic, by priority.
+enum class SlotKind { kStatic, kDynamic };
+
+struct SlotAssignment {
+  SlotKind kind = SlotKind::kDynamic;
+  /// Owner module for static slots; ignored for dynamic ones.
+  fpga::ModuleId owner = fpga::kInvalidModule;
+};
+
+/// The slot table of one bus: a fixed-length round of slot assignments.
+/// Reassigning entries at runtime is BUS-COM's "virtual topology
+/// adaptation" — it redistributes bandwidth without moving any wires.
+class BusSchedule {
+ public:
+  explicit BusSchedule(int slots_per_round);
+
+  int slots_per_round() const { return static_cast<int>(slots_.size()); }
+
+  const SlotAssignment& slot(int i) const { return slots_.at(i); }
+  void assign_static(int slot, fpga::ModuleId owner);
+  void assign_dynamic(int slot);
+
+  /// Remove a departing module from every static slot it owns (slots
+  /// become dynamic).
+  void evict(fpga::ModuleId owner);
+
+  int static_slots_of(fpga::ModuleId owner) const;
+  int dynamic_slots() const;
+
+ private:
+  std::vector<SlotAssignment> slots_;
+};
+
+/// The full system schedule: one BusSchedule per bus.
+class SystemSchedule {
+ public:
+  SystemSchedule(int buses, int slots_per_round);
+
+  int buses() const { return static_cast<int>(per_bus_.size()); }
+  BusSchedule& bus(int b) { return per_bus_.at(b); }
+  const BusSchedule& bus(int b) const { return per_bus_.at(b); }
+
+  /// Design-time default used by the paper's 4-module prototype: bus b's
+  /// static slots are dealt round-robin to the given modules; a tail of
+  /// `dynamic_fraction` of each round stays dynamic.
+  void deal_round_robin(const std::vector<fpga::ModuleId>& modules,
+                        double dynamic_fraction);
+
+  void evict(fpga::ModuleId owner);
+
+ private:
+  std::vector<BusSchedule> per_bus_;
+};
+
+}  // namespace recosim::buscom

@@ -1,0 +1,535 @@
+#include "conochi/conochi.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+namespace recosim::conochi {
+
+Conochi::Conochi(sim::Kernel& kernel, const ConochiConfig& config)
+    : core::CommArchitecture(kernel, "CoNoChi"),
+      sim::Component(kernel, "CoNoChi"),
+      config_(config),
+      trace_(kernel),
+      grid_(config.grid_width, config.grid_height) {
+  assert(config.grid_width >= 2 && config.grid_height >= 2);
+  assert(config.link_width_bits >= 1);
+}
+
+Conochi::Switch* Conochi::switch_at(fpga::Point pos) {
+  for (auto& s : switches_)
+    if (s.active && s.pos == pos) return &s;
+  return nullptr;
+}
+
+const Conochi::Switch* Conochi::switch_at(fpga::Point pos) const {
+  for (const auto& s : switches_)
+    if (s.active && s.pos == pos) return &s;
+  return nullptr;
+}
+
+bool Conochi::has_switch_at(fpga::Point pos) const {
+  return switch_at(pos) != nullptr;
+}
+
+std::size_t Conochi::switch_count() const {
+  std::size_t n = 0;
+  for (const auto& s : switches_)
+    if (s.active) ++n;
+  return n;
+}
+
+std::size_t Conochi::link_count() const {
+  std::size_t n = 0;
+  for (const auto& s : switches_) {
+    if (!s.active) continue;
+    for (const auto& l : s.links)
+      if (l.connected) ++n;
+  }
+  return n;
+}
+
+bool Conochi::add_switch(fpga::Point pos) {
+  if (!grid_.in_bounds(pos)) return false;
+  // A switch can replace a module tile or be *inserted into a wire run*,
+  // splitting one link into two — the canonical CoNoChi topology edit.
+  const TileType t = grid_.at(pos);
+  if (t != TileType::kO && t != TileType::kH && t != TileType::kV)
+    return false;
+  grid_.set(pos, TileType::kS);
+  Switch s;
+  s.id = static_cast<int>(switches_.size());
+  s.pos = pos;
+  s.module.fill(fpga::kInvalidModule);
+  switches_.push_back(std::move(s));
+  rebuild_links();
+  recompute_tables();
+  stats().counter("switches_added").add();
+  return true;
+}
+
+bool Conochi::remove_switch(fpga::Point pos) {
+  Switch* s = switch_at(pos);
+  if (!s) return false;
+  for (auto m : s->module)
+    if (m != fpga::kInvalidModule) return false;  // detach modules first
+  for (auto& q : s->in) {
+    stats().counter("dropped_reconfig").add(q.size());
+    q.clear();
+  }
+  s->active = false;
+  s->table.clear();
+  s->table_pending = false;
+  grid_.set(pos, TileType::kO);
+  rebuild_links();
+  recompute_tables();
+  stats().counter("switches_removed").add();
+  return true;
+}
+
+bool Conochi::lay_wire(fpga::Point from, fpga::Point to) {
+  if (!grid_.in_bounds(from) || !grid_.in_bounds(to)) return false;
+  if (from.x != to.x && from.y != to.y) return false;
+  const bool horizontal = from.y == to.y;
+  const TileType wire = horizontal ? TileType::kH : TileType::kV;
+  const int lo = horizontal ? std::min(from.x, to.x) : std::min(from.y, to.y);
+  const int hi = horizontal ? std::max(from.x, to.x) : std::max(from.y, to.y);
+  for (int i = lo; i <= hi; ++i) {
+    const fpga::Point p = horizontal ? fpga::Point{i, from.y}
+                                     : fpga::Point{from.x, i};
+    if (grid_.at(p) != TileType::kO && grid_.at(p) != wire) return false;
+  }
+  for (int i = lo; i <= hi; ++i) {
+    const fpga::Point p = horizontal ? fpga::Point{i, from.y}
+                                     : fpga::Point{from.x, i};
+    grid_.set(p, wire);
+  }
+  rebuild_links();
+  recompute_tables();
+  return true;
+}
+
+bool Conochi::clear_wire(fpga::Point from, fpga::Point to) {
+  if (!grid_.in_bounds(from) || !grid_.in_bounds(to)) return false;
+  if (from.x != to.x && from.y != to.y) return false;
+  const bool horizontal = from.y == to.y;
+  const TileType wire = horizontal ? TileType::kH : TileType::kV;
+  const int lo = horizontal ? std::min(from.x, to.x) : std::min(from.y, to.y);
+  const int hi = horizontal ? std::max(from.x, to.x) : std::max(from.y, to.y);
+  for (int i = lo; i <= hi; ++i) {
+    const fpga::Point p = horizontal ? fpga::Point{i, from.y}
+                                     : fpga::Point{from.x, i};
+    if (grid_.at(p) != wire) return false;
+  }
+  for (int i = lo; i <= hi; ++i) {
+    const fpga::Point p = horizontal ? fpga::Point{i, from.y}
+                                     : fpga::Point{from.x, i};
+    grid_.set(p, TileType::kO);
+  }
+  rebuild_links();
+  recompute_tables();
+  return true;
+}
+
+int Conochi::modules_at(fpga::Point pos) const {
+  const Switch* s = switch_at(pos);
+  if (!s) return 0;
+  int n = 0;
+  for (auto m : s->module)
+    if (m != fpga::kInvalidModule) ++n;
+  return n;
+}
+
+int Conochi::links_at(fpga::Point pos) const {
+  const Switch* s = switch_at(pos);
+  if (!s) return 0;
+  int n = 0;
+  for (const auto& l : s->links)
+    if (l.connected) ++n;
+  return n;
+}
+
+void Conochi::rebuild_links() {
+  for (auto& s : switches_) {
+    if (!s.active) continue;
+    for (int p = 0; p < kSwitchPorts; ++p)
+      s.links[static_cast<std::size_t>(p)] = Link{};
+  }
+  auto connect = [this](Switch& a, Port pa, Switch& b, Port pb,
+                        sim::Cycle wire_delay) {
+    if (a.module[static_cast<std::size_t>(static_cast<int>(pa))] !=
+            fpga::kInvalidModule ||
+        b.module[static_cast<std::size_t>(static_cast<int>(pb))] !=
+            fpga::kInvalidModule)
+      return;  // port is taken by an interface module
+    auto& la = a.links[static_cast<std::size_t>(static_cast<int>(pa))];
+    auto& lb = b.links[static_cast<std::size_t>(static_cast<int>(pb))];
+    la = Link{true, b.id, pb, wire_delay, 0};
+    lb = Link{true, a.id, pa, wire_delay, 0};
+  };
+  for (auto& s : switches_) {
+    if (!s.active) continue;
+    auto east = grid_.trace_run(s.pos, 1, 0, TileType::kH);
+    if (east.hit_switch) {
+      if (Switch* t = switch_at(east.end)) {
+        connect(s, Port::kEast, *t, Port::kWest,
+                static_cast<sim::Cycle>(east.wire_tiles) *
+                    config_.wire_tile_delay);
+      }
+    }
+    auto south = grid_.trace_run(s.pos, 0, 1, TileType::kV);
+    if (south.hit_switch) {
+      if (Switch* t = switch_at(south.end)) {
+        connect(s, Port::kSouth, *t, Port::kNorth,
+                static_cast<sim::Cycle>(south.wire_tiles) *
+                    config_.wire_tile_delay);
+      }
+    }
+  }
+}
+
+void Conochi::recompute_tables() {
+  // All-pairs shortest path (Dijkstra per source; graphs are tiny). The
+  // edge weight models the header's traversal cost: the sending switch's
+  // processing delay plus the line latency.
+  std::size_t queued = 0;
+  for (const auto& s : switches_)
+    if (s.active)
+      for (const auto& q : s.in) queued += q.size();
+
+  for (auto& src : switches_) {
+    if (!src.active) continue;
+    const std::size_t n = switches_.size();
+    std::vector<sim::Cycle> dist(n, std::numeric_limits<sim::Cycle>::max());
+    std::vector<int> first_port(n, -1);
+    std::vector<bool> done(n, false);
+    dist[static_cast<std::size_t>(src.id)] = 0;
+    for (;;) {
+      int u = -1;
+      sim::Cycle best = std::numeric_limits<sim::Cycle>::max();
+      for (std::size_t i = 0; i < n; ++i)
+        if (!done[i] && switches_[i].active && dist[i] < best) {
+          best = dist[i];
+          u = static_cast<int>(i);
+        }
+      if (u < 0) break;
+      done[static_cast<std::size_t>(u)] = true;
+      const Switch& us = sw(u);
+      for (int p = 0; p < kSwitchPorts; ++p) {
+        const Link& l = us.links[static_cast<std::size_t>(p)];
+        if (!l.connected) continue;
+        const auto v = static_cast<std::size_t>(l.peer_switch);
+        if (!switches_[v].active) continue;
+        const sim::Cycle w =
+            dist[static_cast<std::size_t>(u)] + config_.switch_delay +
+            l.wire_delay + 1;
+        if (w < dist[v]) {
+          dist[v] = w;
+          first_port[v] =
+              (u == src.id) ? p : first_port[static_cast<std::size_t>(u)];
+        }
+      }
+    }
+    src.pending_table.clear();
+    for (std::size_t i = 0; i < n; ++i) {
+      if (static_cast<int>(i) == src.id || !switches_[i].active) continue;
+      if (first_port[i] >= 0)
+        src.pending_table[static_cast<int>(i)] = first_port[i];
+    }
+    if (queued == 0) {
+      // Quiescent network: the control unit installs instantly.
+      src.table = src.pending_table;
+      src.table_pending = false;
+    } else {
+      // Live network: one switch is rewritten at a time, without stalling
+      // the others (paper §3.2).
+      next_table_install_ =
+          std::max(next_table_install_, sim::Component::kernel().now()) +
+          config_.table_update_cycles;
+      src.table_install_at = next_table_install_;
+      src.table_pending = true;
+    }
+  }
+}
+
+bool Conochi::attach(fpga::ModuleId id, const fpga::HardwareModule& m) {
+  for (const auto& s : switches_) {
+    if (!s.active) continue;
+    if (attach_at(id, m, s.pos)) return true;
+  }
+  return false;
+}
+
+bool Conochi::attach_at(fpga::ModuleId id, const fpga::HardwareModule&,
+                        fpga::Point pos) {
+  if (id == fpga::kInvalidModule || attachments_.count(id)) return false;
+  Switch* s = switch_at(pos);
+  if (!s) return false;
+  for (int p = 0; p < kSwitchPorts; ++p) {
+    if (s->module[static_cast<std::size_t>(p)] == fpga::kInvalidModule &&
+        !s->links[static_cast<std::size_t>(p)].connected) {
+      s->module[static_cast<std::size_t>(p)] = id;
+      attachments_[id] = Attachment{s->id, p};
+      resolution_[id] = s->id;
+      delivered_[id];
+      return true;
+    }
+  }
+  return false;
+}
+
+bool Conochi::detach(fpga::ModuleId id) {
+  auto it = attachments_.find(id);
+  if (it == attachments_.end()) return false;
+  Switch& s = sw(it->second.switch_id);
+  s.module[static_cast<std::size_t>(it->second.port)] = fpga::kInvalidModule;
+  attachments_.erase(it);
+  resolution_.erase(id);
+  if (auto dit = delivered_.find(id); dit != delivered_.end()) {
+    stats().counter("dropped_detach").add(dit->second.size());
+    delivered_.erase(dit);
+  }
+  for (auto& sx : switches_) sx.redirect.erase(id);
+  rebuild_links();  // the freed port may reconnect a parked line
+  recompute_tables();
+  return true;
+}
+
+bool Conochi::move_module(fpga::ModuleId id, fpga::Point new_switch) {
+  auto it = attachments_.find(id);
+  if (it == attachments_.end()) return false;
+  Switch* t = switch_at(new_switch);
+  if (!t) return false;
+  int free_port = -1;
+  for (int p = 0; p < kSwitchPorts; ++p) {
+    if (t->module[static_cast<std::size_t>(p)] == fpga::kInvalidModule &&
+        !t->links[static_cast<std::size_t>(p)].connected) {
+      free_port = p;
+      break;
+    }
+  }
+  if (free_port < 0) return false;
+  Switch& old_sw = sw(it->second.switch_id);
+  old_sw.module[static_cast<std::size_t>(it->second.port)] =
+      fpga::kInvalidModule;
+  if (config_.enable_redirection) {
+    old_sw.redirect[id] = t->id;
+    stats().counter("redirects_installed").add();
+  }
+  t->module[static_cast<std::size_t>(free_port)] = id;
+  it->second = Attachment{t->id, free_port};
+  // The interface modules' logical->physical caches update later; until
+  // then senders keep injecting towards the old switch.
+  const int new_id = t->id;
+  sim::Component::kernel().schedule_in(
+      config_.address_update_delay, [this, id, new_id] {
+        if (attachments_.count(id)) resolution_[id] = new_id;
+      });
+  stats().counter("module_moves").add();
+  return true;
+}
+
+bool Conochi::is_attached(fpga::ModuleId id) const {
+  return attachments_.count(id) > 0;
+}
+
+std::size_t Conochi::attached_count() const { return attachments_.size(); }
+
+core::DesignParameters Conochi::design_parameters() const {
+  core::DesignParameters d;
+  d.name = "CoNoChi";
+  d.type = core::ArchType::kNoc;
+  d.topology = core::TopologyClass::kArray2D;
+  d.module_size = core::ModuleShape::kVariableRect;
+  d.switching = core::Switching::kVirtualCutThrough;
+  d.bit_width_min = 8;
+  d.bit_width_max = 32;
+  d.overhead = "96 bit";
+  d.max_payload = "1024 bytes";
+  d.protocol_layers = 3;
+  return d;
+}
+
+core::StructuralScores Conochi::structural_scores() const {
+  return core::StructuralScores{"CoNoChi", core::Grade::kHigh,
+                                core::Grade::kHigh, core::Grade::kHigh,
+                                core::Grade::kHigh};
+}
+
+std::size_t Conochi::max_parallelism() const { return link_count(); }
+
+sim::Cycle Conochi::path_latency(fpga::ModuleId src,
+                                 fpga::ModuleId dst) const {
+  auto sit = attachments_.find(src);
+  auto dit = attachments_.find(dst);
+  if (sit == attachments_.end() || dit == attachments_.end()) return 0;
+  int cur = sit->second.switch_id;
+  const int target = dit->second.switch_id;
+  sim::Cycle total = config_.switch_delay;  // source switch processing
+  std::size_t guard = switches_.size() + 1;
+  while (cur != target && guard-- > 0) {
+    const Switch& s = sw(cur);
+    auto it = s.table.find(target);
+    if (it == s.table.end()) return 0;
+    const Link& l = s.links[static_cast<std::size_t>(it->second)];
+    if (!l.connected) return 0;
+    total += l.wire_delay + 1 + config_.switch_delay;
+    cur = l.peer_switch;
+  }
+  return cur == target ? total : 0;
+}
+
+std::optional<fpga::Point> Conochi::switch_of(fpga::ModuleId id) const {
+  auto it = attachments_.find(id);
+  if (it == attachments_.end()) return std::nullopt;
+  return sw(it->second.switch_id).pos;
+}
+
+bool Conochi::tables_converging() const {
+  for (const auto& s : switches_)
+    if (s.active && s.table_pending) return true;
+  return false;
+}
+
+std::uint32_t Conochi::total_flits(const proto::Packet& p) const {
+  const std::uint64_t bits = static_cast<std::uint64_t>(p.payload_bytes) * 8 +
+                             proto::ConochiHeader::kBits;
+  return static_cast<std::uint32_t>(
+      std::max<std::uint64_t>(1, (bits + config_.link_width_bits - 1) /
+                                     config_.link_width_bits));
+}
+
+bool Conochi::do_send(const proto::Packet& p) {
+  auto sit = attachments_.find(p.src);
+  if (sit == attachments_.end()) return false;
+  auto rit = resolution_.find(p.dst);
+  if (rit == resolution_.end()) return false;  // unresolvable logical addr
+  if (p.src == p.dst) {
+    delivered_[p.dst].push_back(p);
+    return true;
+  }
+  Switch& s = sw(sit->second.switch_id);
+  auto& inj = s.in[kSwitchPorts];
+  // Fragment to the 1024-byte payload cap; all fragments must fit now.
+  const std::uint32_t cap = proto::ConochiHeader::kMaxPayloadBytes;
+  const std::uint32_t frags =
+      p.payload_bytes == 0 ? 1 : (p.payload_bytes + cap - 1) / cap;
+  if (inj.size() + frags > config_.input_buffer_packets) return false;
+  const sim::Cycle now = sim::Component::kernel().now();
+  for (std::uint32_t f = 0; f < frags; ++f) {
+    proto::Packet frag = p;
+    frag.fragment_index = f;
+    frag.fragment_count = frags;
+    frag.total_bytes = p.payload_bytes;
+    frag.payload_bytes =
+        std::min(cap, p.payload_bytes - f * cap);
+    inj.push_back(QueuedPacket{frag, rit->second, now + 1});
+  }
+  return true;
+}
+
+std::optional<proto::Packet> Conochi::do_receive(fpga::ModuleId at) {
+  auto it = delivered_.find(at);
+  if (it == delivered_.end() || it->second.empty()) return std::nullopt;
+  proto::Packet p = it->second.front();
+  it->second.pop_front();
+  return p;
+}
+
+void Conochi::deliver_or_redirect(Switch& s, int in_port) {
+  auto& q = s.in[static_cast<std::size_t>(in_port)];
+  QueuedPacket qp = q.front();
+  const sim::Cycle now = sim::Component::kernel().now();
+  // The module sees the packet once the tail has arrived.
+  if (now < qp.head_ready + total_flits(qp.packet)) return;
+  auto ait = attachments_.find(qp.packet.dst);
+  if (ait != attachments_.end() && ait->second.switch_id == s.id) {
+    q.pop_front();
+    // Reassemble fragmented transfers before handing them to the module.
+    if (qp.packet.fragment_count > 1) {
+      auto key = std::make_pair(qp.packet.src, qp.packet.id);
+      auto& re = reassembly_[key];
+      ++re.fragments_received;
+      if (re.fragments_received < qp.packet.fragment_count) return;
+      reassembly_.erase(key);
+      qp.packet.payload_bytes = qp.packet.total_bytes;
+      qp.packet.fragment_index = 0;
+      qp.packet.fragment_count = 1;
+    }
+    delivered_[qp.packet.dst].push_back(qp.packet);
+    return;
+  }
+  auto redir = s.redirect.find(qp.packet.dst);
+  if (redir != s.redirect.end()) {
+    q.pop_front();
+    qp.dst_switch = redir->second;
+    qp.head_ready = now + config_.switch_delay;
+    q.push_back(qp);
+    stats().counter("packets_redirected").add();
+    return;
+  }
+  q.pop_front();
+  stats().counter("dropped_no_module").add();
+}
+
+bool Conochi::try_forward(Switch& s, int in_port) {
+  auto& q = s.in[static_cast<std::size_t>(in_port)];
+  QueuedPacket& qp = q.front();
+  const sim::Cycle now = sim::Component::kernel().now();
+  auto it = s.table.find(qp.dst_switch);
+  if (it == s.table.end()) {
+    if (s.table_pending) return false;  // table update under way: wait
+    q.pop_front();
+    stats().counter("dropped_stale_route").add();
+    return true;
+  }
+  Link& l = s.links[static_cast<std::size_t>(it->second)];
+  if (!l.connected || !sw(l.peer_switch).active) {
+    if (s.table_pending) return false;
+    q.pop_front();
+    stats().counter("dropped_stale_route").add();
+    return true;
+  }
+  if (l.busy_until > now) return false;  // output serializing another tail
+  Switch& t = sw(l.peer_switch);
+  auto& tq = t.in[static_cast<std::size_t>(static_cast<int>(l.peer_port))];
+  if (tq.size() >= config_.input_buffer_packets) return false;  // no credit
+  QueuedPacket moved = qp;
+  q.pop_front();
+  // Virtual cut-through: the header leaves after the switch delay and
+  // arrives after the line latency; the tail occupies the output for the
+  // serialization time.
+  moved.head_ready = now + config_.switch_delay + l.wire_delay + 1;
+  l.busy_until = now + config_.switch_delay +
+                 total_flits(moved.packet);
+  tq.push_back(std::move(moved));
+  stats().counter("hops").add();
+  return true;
+}
+
+void Conochi::process_switch(Switch& s) {
+  const sim::Cycle now = sim::Component::kernel().now();
+  if (s.table_pending && now >= s.table_install_at) {
+    s.table = s.pending_table;
+    s.table_pending = false;
+    stats().counter("tables_installed").add();
+  }
+  for (int p = 0; p <= kSwitchPorts; ++p) {
+    auto& q = s.in[static_cast<std::size_t>(p)];
+    if (q.empty()) continue;
+    if (q.front().head_ready > now) continue;
+    if (q.front().dst_switch == s.id) {
+      deliver_or_redirect(s, p);
+    } else {
+      try_forward(s, p);
+    }
+  }
+}
+
+void Conochi::commit() {
+  for (auto& s : switches_) {
+    if (s.active) process_switch(s);
+  }
+}
+
+}  // namespace recosim::conochi

@@ -1,0 +1,149 @@
+#include "conochi/planner.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <vector>
+
+namespace recosim::conochi {
+
+std::optional<TopologyPlanner::Plan> TopologyPlanner::connection_plan(
+    fpga::Point pos) const {
+  const TileGrid& grid = net_.grid();
+  if (!grid.in_bounds(pos) || grid.at(pos) != TileType::kO)
+    return std::nullopt;
+  std::optional<Plan> best;
+  const int dirs[4][2] = {{1, 0}, {-1, 0}, {0, 1}, {0, -1}};
+  for (const auto& d : dirs) {
+    // Walk over O tiles only; a run interrupted by wires of another link
+    // or by the grid edge is not usable.
+    int dist = 0;
+    fpga::Point p{pos.x + d[0], pos.y + d[1]};
+    while (grid.in_bounds(p) && grid.at(p) == TileType::kO) {
+      ++dist;
+      p = {p.x + d[0], p.y + d[1]};
+    }
+    if (!grid.in_bounds(p) || grid.at(p) != TileType::kS) continue;
+    if (net_.modules_at(p) + net_.links_at(p) >= kSwitchPorts)
+      continue;  // no free port on that switch
+    if (best && best->wire_tiles <= dist) continue;
+    Plan plan;
+    plan.switch_pos = p;
+    plan.wire_tiles = dist;
+    plan.wire_from = {pos.x + d[0], pos.y + d[1]};
+    plan.wire_to = {p.x - d[0], p.y - d[1]};
+    best = plan;
+  }
+  return best;
+}
+
+bool TopologyPlanner::add_connected_switch(fpga::Point pos) {
+  const TileGrid& grid = net_.grid();
+  if (!grid.in_bounds(pos) || grid.at(pos) != TileType::kO) return false;
+  if (net_.switch_count() == 0) return net_.add_switch(pos);
+  auto plan = connection_plan(pos);
+  if (!plan) return false;
+  if (plan->wire_tiles > 0 &&
+      !net_.lay_wire(plan->wire_from, plan->wire_to))
+    return false;
+  return net_.add_switch(pos);
+}
+
+bool TopologyPlanner::feasible(fpga::Point pos) const {
+  const TileGrid& grid = net_.grid();
+  if (!grid.in_bounds(pos) || grid.at(pos) != TileType::kO) return false;
+  return net_.switch_count() == 0 || connection_plan(pos).has_value();
+}
+
+bool TopologyPlanner::auto_attach(fpga::ModuleId id,
+                                  const fpga::HardwareModule& m,
+                                  fpga::Point preferred) {
+  const TileGrid& grid = net_.grid();
+  // Ring search outward from the preferred position.
+  for (int radius = 0; radius < std::max(grid.width(), grid.height());
+       ++radius) {
+    for (int dy = -radius; dy <= radius; ++dy) {
+      for (int dx = -radius; dx <= radius; ++dx) {
+        if (std::max(std::abs(dx), std::abs(dy)) != radius) continue;
+        const fpga::Point pos{preferred.x + dx, preferred.y + dy};
+        // Reuse an existing switch with a free port when we land on one.
+        if (grid.in_bounds(pos) && grid.at(pos) == TileType::kS) {
+          if (net_.attach_at(id, m, pos)) return true;
+          continue;
+        }
+        if (!feasible(pos)) continue;
+        if (!add_connected_switch(pos)) continue;
+        return net_.attach_at(id, m, pos);
+      }
+    }
+  }
+  return false;
+}
+
+bool TopologyPlanner::detach_and_gc(fpga::ModuleId id) {
+  auto pos = net_.switch_of(id);
+  if (!pos) return false;
+  if (!net_.detach(id)) return false;
+  if (net_.modules_at(*pos) > 0) return true;   // switch still used
+  if (net_.links_at(*pos) > 1) return true;     // transit switch: keep
+  // Record the dangling wire runs before the switch disappears.
+  const TileGrid& grid = net_.grid();
+  struct Run {
+    fpga::Point from, to;
+  };
+  std::vector<Run> runs;
+  const int dirs[4][2] = {{1, 0}, {-1, 0}, {0, 1}, {0, -1}};
+  for (const auto& d : dirs) {
+    const TileType wire = d[1] == 0 ? TileType::kH : TileType::kV;
+    fpga::Point p{pos->x + d[0], pos->y + d[1]};
+    fpga::Point last = *pos;
+    while (grid.in_bounds(p) && grid.at(p) == wire) {
+      last = p;
+      p = {p.x + d[0], p.y + d[1]};
+    }
+    if (!(last == *pos)) runs.push_back({{pos->x + d[0], pos->y + d[1]}, last});
+  }
+  if (!net_.remove_switch(*pos)) return true;  // packets still inside: keep
+  for (const auto& r : runs) net_.clear_wire(r.from, r.to);
+  return true;
+}
+
+std::vector<fpga::Point> build_mesh(Conochi& net, fpga::Point origin,
+                                    int rows, int cols, int spacing) {
+  std::vector<fpga::Point> switches;
+  if (rows <= 0 || cols <= 0 || spacing < 0) return switches;
+  const int pitch = spacing + 1;
+  const TileGrid& grid = net.grid();
+  // Validate the whole footprint first so a failed build changes nothing.
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      const fpga::Point p{origin.x + c * pitch, origin.y + r * pitch};
+      if (!grid.in_bounds(p) || grid.at(p) != TileType::kO) return switches;
+    }
+  }
+  for (int r = 0; r < rows; ++r)
+    for (int c = 0; c < cols; ++c)
+      if (!net.add_switch({origin.x + c * pitch, origin.y + r * pitch}))
+        return switches;
+  if (spacing > 0) {
+    for (int r = 0; r < rows; ++r) {
+      const int y = origin.y + r * pitch;
+      for (int c = 0; c + 1 < cols; ++c) {
+        const int x = origin.x + c * pitch;
+        if (!net.lay_wire({x + 1, y}, {x + spacing, y})) return {};
+      }
+    }
+    for (int c = 0; c < cols; ++c) {
+      const int x = origin.x + c * pitch;
+      for (int r = 0; r + 1 < rows; ++r) {
+        const int y = origin.y + r * pitch;
+        if (!net.lay_wire({x, y + 1}, {x, y + spacing})) return {};
+      }
+    }
+  }
+  for (int r = 0; r < rows; ++r)
+    for (int c = 0; c < cols; ++c)
+      switches.push_back({origin.x + c * pitch, origin.y + r * pitch});
+  return switches;
+}
+
+}  // namespace recosim::conochi

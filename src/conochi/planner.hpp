@@ -1,0 +1,60 @@
+#pragma once
+
+#include <optional>
+
+#include "conochi/conochi.hpp"
+
+namespace recosim::conochi {
+
+/// Topology planning on top of the Conochi control interface: the part of
+/// the paper's global control unit that decides *which tiles to retype*
+/// when a module arrives at or leaves an arbitrary grid position. The
+/// Conochi class executes individual edits (add_switch / lay_wire /
+/// remove_switch); the planner composes them.
+class TopologyPlanner {
+ public:
+  explicit TopologyPlanner(Conochi& net) : net_(net) {}
+
+  /// Plan found by connection_plan(): direction and wire span towards the
+  /// nearest switch reachable over a straight run of O tiles.
+  struct Plan {
+    fpga::Point switch_pos;   // the existing switch to connect to
+    fpga::Point wire_from;    // inclusive span of tiles to retype
+    fpga::Point wire_to;      // (wire_from == switch-adjacent end)
+    int wire_tiles = 0;       // 0 = adjacent, no wire needed
+  };
+
+  /// Cheapest straight-line connection from `pos` to the existing
+  /// network, or nullopt when no row/column of O tiles reaches a switch.
+  std::optional<Plan> connection_plan(fpga::Point pos) const;
+
+  /// Place a switch at `pos` and wire it to the nearest switch. The
+  /// first switch of an empty network needs no wiring and always
+  /// succeeds (if the tile is O).
+  bool add_connected_switch(fpga::Point pos);
+
+  /// Create a connected switch at (or near) `preferred` and attach the
+  /// module to it. Scans outward row-major from `preferred` for a
+  /// feasible position (O tile with a straight connection).
+  bool auto_attach(fpga::ModuleId id, const fpga::HardwareModule& m,
+                   fpga::Point preferred);
+
+  /// Detach `id`; if its switch then serves no module and dangles on at
+  /// most one link, remove the switch and clear its dangling wire runs.
+  bool detach_and_gc(fpga::ModuleId id);
+
+ private:
+  bool feasible(fpga::Point pos) const;
+
+  Conochi& net_;
+};
+
+/// Construct a rows x cols switch mesh on an empty region of the grid,
+/// with `spacing` wire tiles between neighbouring switches and the
+/// top-left switch at `origin`. Returns the switch positions row-major,
+/// or an empty vector if any tile was unavailable. (The 2-D topology of
+/// the paper's figure 4, generalized.)
+std::vector<fpga::Point> build_mesh(Conochi& net, fpga::Point origin,
+                                    int rows, int cols, int spacing = 2);
+
+}  // namespace recosim::conochi

@@ -1,0 +1,60 @@
+#include "conochi/tile_grid.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace recosim::conochi {
+
+TileGrid::TileGrid(int width, int height)
+    : width_(width),
+      height_(height),
+      tiles_(static_cast<std::size_t>(width) * static_cast<std::size_t>(height),
+             TileType::kO) {
+  assert(width > 0 && height > 0);
+}
+
+TileType TileGrid::at(fpga::Point p) const {
+  assert(in_bounds(p));
+  return tiles_[static_cast<std::size_t>(p.y * width_ + p.x)];
+}
+
+void TileGrid::set(fpga::Point p, TileType t) {
+  assert(in_bounds(p));
+  tiles_[static_cast<std::size_t>(p.y * width_ + p.x)] = t;
+}
+
+std::size_t TileGrid::count(TileType t) const {
+  return static_cast<std::size_t>(std::count(tiles_.begin(), tiles_.end(), t));
+}
+
+TileGrid::RunResult TileGrid::trace_run(fpga::Point from, int dx, int dy,
+                                        TileType wire) const {
+  RunResult r;
+  fpga::Point p{from.x + dx, from.y + dy};
+  while (in_bounds(p)) {
+    const TileType t = at(p);
+    if (t == TileType::kS) {
+      r.end = p;
+      r.hit_switch = true;
+      return r;
+    }
+    if (t != wire) return r;
+    ++r.wire_tiles;
+    p = {p.x + dx, p.y + dy};
+  }
+  return r;
+}
+
+std::string TileGrid::render() const {
+  std::string out;
+  for (int y = 0; y < height_; ++y) {
+    for (int x = 0; x < width_; ++x) {
+      out += static_cast<char>(at({x, y}));
+      out += ' ';
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace recosim::conochi

@@ -1,0 +1,60 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "fpga/geometry.hpp"
+
+namespace recosim::conochi {
+
+/// CoNoChi tile types (paper §3.2, figure 4): O tiles host modules and
+/// interface components (the network does not use them), S tiles contain a
+/// switch, H and V tiles carry horizontal / vertical communication lines.
+enum class TileType : char {
+  kO = 'O',
+  kS = 'S',
+  kH = 'H',
+  kV = 'V',
+};
+
+/// The i x j grid of tiles that forms the basis of CoNoChi. Retyping tiles
+/// at runtime is how the network topology changes; the grid itself knows
+/// nothing about traffic — the Conochi class derives its switch graph from
+/// it.
+class TileGrid {
+ public:
+  TileGrid(int width, int height);
+
+  int width() const { return width_; }
+  int height() const { return height_; }
+
+  bool in_bounds(fpga::Point p) const {
+    return p.x >= 0 && p.x < width_ && p.y >= 0 && p.y < height_;
+  }
+
+  TileType at(fpga::Point p) const;
+  void set(fpga::Point p, TileType t);
+
+  std::size_t count(TileType t) const;
+
+  /// Walk from `from` in direction (dx, dy) over consecutive wire tiles of
+  /// type `wire`; returns the position of the switch tile that terminates
+  /// the run and the number of wire tiles crossed, or {-1,-1} if the run
+  /// ends on anything other than a switch.
+  struct RunResult {
+    fpga::Point end{-1, -1};
+    int wire_tiles = 0;
+    bool hit_switch = false;
+  };
+  RunResult trace_run(fpga::Point from, int dx, int dy, TileType wire) const;
+
+  /// ASCII rendering for the figure-4 bench.
+  std::string render() const;
+
+ private:
+  int width_;
+  int height_;
+  std::vector<TileType> tiles_;
+};
+
+}  // namespace recosim::conochi

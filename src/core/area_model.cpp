@@ -1,0 +1,92 @@
+#include "core/area_model.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace recosim::core::area {
+
+namespace {
+constexpr double kDatapathFraction = 0.6;
+constexpr double kControlFraction = 1.0 - kDatapathFraction;
+
+/// fmax derating with width: ~6% between narrow and full-width datapaths
+/// (the tolerance the paper quotes for RMBoC).
+double fmax_derate(double base_mhz, unsigned width_bits) {
+  const double frac =
+      static_cast<double>(std::min(width_bits, 32u)) / 32.0;
+  return base_mhz * (1.06 - 0.06 * frac);
+}
+}  // namespace
+
+double width_scale(unsigned bits, unsigned reference_bits) {
+  assert(reference_bits > 0);
+  const double ratio =
+      static_cast<double>(bits) / static_cast<double>(reference_bits);
+  return kControlFraction + kDatapathFraction * ratio;
+}
+
+double rmboc_fmax_mhz(unsigned width_bits) {
+  return fmax_derate(100.0 / 1.06, width_bits) ;
+}
+
+double buscom_fmax_mhz(unsigned width_bits) {
+  return fmax_derate(66.0 / 1.06, width_bits);
+}
+
+double dynoc_fmax_mhz(unsigned width_bits) {
+  return fmax_derate(94.0 / 1.06, width_bits);
+}
+
+double conochi_fmax_mhz(unsigned width_bits) {
+  return fmax_derate(73.0 / 1.06, width_bits);
+}
+
+double rmboc_slices(int slots, int buses, unsigned width_bits) {
+  return kRmbocSlicesPerCrosspointBus * slots * buses *
+         width_scale(width_bits);
+}
+
+double rmboc_slices(const rmboc::Rmboc& arch) {
+  return rmboc_slices(arch.config().slots, arch.config().buses,
+                      arch.config().link_width_bits);
+}
+
+double buscom_slices(int modules, int buses, unsigned in_bits,
+                     unsigned out_bits, bool include_arbiter) {
+  const fpga::BusMacro macro;
+  const double macro_slices =
+      static_cast<double>(macro.slices_for(in_bits) +
+                          macro.slices_for(out_bits)) *
+      buses;
+  const double interfaces =
+      kBuscomInterfaceSlices32 * modules * width_scale(in_bits);
+  return macro_slices + interfaces +
+         (include_arbiter ? kBuscomArbiterSlices : 0.0);
+}
+
+double buscom_slices(const buscom::Buscom& arch, bool include_arbiter) {
+  return buscom_slices(static_cast<int>(arch.attached_count()),
+                       arch.config().buses, arch.config().in_width_bits,
+                       arch.config().out_width_bits, include_arbiter);
+}
+
+double dynoc_router_slices(unsigned width_bits) {
+  return kDynocRouterSlices32 * width_scale(width_bits);
+}
+
+double dynoc_slices(const dynoc::Dynoc& arch) {
+  return dynoc_router_slices(arch.config().link_width_bits) *
+         static_cast<double>(arch.active_router_count());
+}
+
+double conochi_switch_slices(unsigned width_bits) {
+  return kConochiSwitchSlices32 * width_scale(width_bits);
+}
+
+double conochi_slices(const conochi::Conochi& arch, bool include_control) {
+  return conochi_switch_slices(arch.config().link_width_bits) *
+             static_cast<double>(arch.switch_count()) +
+         (include_control ? kConochiControlUnitSlices : 0.0);
+}
+
+}  // namespace recosim::core::area

@@ -1,0 +1,47 @@
+#include "core/comm_arch.hpp"
+
+#include <utility>
+
+namespace recosim::core {
+
+CommArchitecture::CommArchitecture(sim::Kernel& kernel, std::string name)
+    : kernel_(kernel), name_(std::move(name)) {}
+
+bool CommArchitecture::send(proto::Packet p) {
+  p.id = next_packet_id();
+  p.injected_at = kernel_.now();
+  if (!do_send(p)) {
+    stats_.counter("send_rejected").add();
+    return false;
+  }
+  stats_.counter("sent").add();
+  stats_.counter("sent_bytes").add(p.payload_bytes);
+  return true;
+}
+
+std::optional<proto::Packet> CommArchitecture::receive(fpga::ModuleId at) {
+  auto p = do_receive(at);
+  if (p) {
+    stats_.counter("delivered").add();
+    stats_.counter("delivered_bytes").add(p->payload_bytes);
+    stats_.stat("latency_cycles")
+        .add(static_cast<double>(kernel_.now() - p->injected_at));
+  }
+  return p;
+}
+
+std::uint64_t CommArchitecture::packets_dropped() const {
+  // Every architecture counts its losses under one of these names.
+  return stats_.counter_value("packets_dropped_reconfig") +
+         stats_.counter_value("dropped_reconfig") +
+         stats_.counter_value("dropped_no_module") +
+         stats_.counter_value("dropped_stale_route") +
+         stats_.counter_value("dropped_detach");
+}
+
+double CommArchitecture::mean_latency_cycles() const {
+  auto it = stats_.stats().find("latency_cycles");
+  return it == stats_.stats().end() ? 0.0 : it->second.mean();
+}
+
+}  // namespace recosim::core

@@ -1,0 +1,106 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "core/taxonomy.hpp"
+#include "fpga/module.hpp"
+#include "fpga/resource.hpp"
+#include "proto/packet.hpp"
+#include "sim/kernel.hpp"
+#include "sim/stats.hpp"
+
+namespace recosim::core {
+
+/// Common interface of all four communication architectures. Examples,
+/// traffic generators and the comparison runner are written against this
+/// class only, which is what makes the paper's cross-architecture
+/// comparison mechanical.
+///
+/// Data-plane contract:
+///  * send() stages a packet at the source module's network interface in
+///    the current cycle; it returns false when the interface cannot accept
+///    more traffic right now (caller retries in a later cycle).
+///  * receive() pops the next packet delivered to a module, recording the
+///    packet's end-to-end latency in stats() ("delivered" counter,
+///    "latency_cycles" running stat).
+///  * Connection-oriented architectures (RMBoC) establish their circuit
+///    transparently on first use.
+class CommArchitecture {
+ public:
+  CommArchitecture(sim::Kernel& kernel, std::string name);
+  virtual ~CommArchitecture() = default;
+
+  CommArchitecture(const CommArchitecture&) = delete;
+  CommArchitecture& operator=(const CommArchitecture&) = delete;
+
+  const std::string& name() const { return name_; }
+  sim::Kernel& kernel() const { return kernel_; }
+
+  // -- module lifecycle ----------------------------------------------------
+
+  /// Attach a module to the network. Placement/fabric interactions are the
+  /// reconfiguration manager's job; attach() only wires up the interface.
+  virtual bool attach(fpga::ModuleId id, const fpga::HardwareModule& m) = 0;
+  virtual bool detach(fpga::ModuleId id) = 0;
+  virtual bool is_attached(fpga::ModuleId id) const = 0;
+  virtual std::size_t attached_count() const = 0;
+
+  // -- data plane ----------------------------------------------------------
+
+  /// Inject `p` at p.src. Fills in id and injection timestamp.
+  bool send(proto::Packet p);
+
+  /// Pop the next packet delivered to module `at`, if any.
+  std::optional<proto::Packet> receive(fpga::ModuleId at);
+
+  // -- introspection (drives Tables 1-4) ------------------------------------
+
+  virtual DesignParameters design_parameters() const = 0;
+  virtual StructuralScores structural_scores() const = 0;
+
+  /// Data link width in bits, as configured.
+  virtual unsigned link_width_bits() const = 0;
+
+  /// Theoretical maximum number of independent simultaneous transfers
+  /// (paper §2.1 "parallelism d_max") for the current configuration.
+  virtual std::size_t max_parallelism() const = 0;
+
+  /// Path latency in cycles over an *established / uncontended* path
+  /// between the two attached modules (paper §2.1 l_p), excluding
+  /// serialization of the payload.
+  virtual sim::Cycle path_latency(fpga::ModuleId src,
+                                  fpga::ModuleId dst) const = 0;
+
+  // -- metrics -------------------------------------------------------------
+
+  sim::StatSet& stats() { return stats_; }
+  const sim::StatSet& stats() const { return stats_; }
+
+  std::uint64_t packets_sent() const { return stats_.counter_value("sent"); }
+  std::uint64_t packets_delivered() const {
+    return stats_.counter_value("delivered");
+  }
+  /// Packets the architecture accepted but intentionally discarded
+  /// (reconfiguration losses, stale routes, departed destinations).
+  /// Conservation invariant: accepted == delivered + dropped + in-flight.
+  std::uint64_t packets_dropped() const;
+  double mean_latency_cycles() const;
+
+ protected:
+  /// Architecture-specific injection; packet already stamped.
+  virtual bool do_send(const proto::Packet& p) = 0;
+  /// Architecture-specific delivery-queue pop.
+  virtual std::optional<proto::Packet> do_receive(fpga::ModuleId at) = 0;
+
+  std::uint64_t next_packet_id() { return ++packet_serial_; }
+
+ private:
+  sim::Kernel& kernel_;
+  std::string name_;
+  sim::StatSet stats_;
+  std::uint64_t packet_serial_ = 0;
+};
+
+}  // namespace recosim::core

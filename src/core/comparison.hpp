@@ -1,0 +1,75 @@
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "buscom/buscom.hpp"
+#include "conochi/conochi.hpp"
+#include "core/comm_arch.hpp"
+#include "dynoc/dynoc.hpp"
+#include "hierbus/hierbus.hpp"
+#include "rmboc/rmboc.hpp"
+#include "sim/kernel.hpp"
+
+namespace recosim::core {
+
+/// The paper's common basis: "a minimal communication system for
+/// connecting four hardware modules" with 32-bit links. These builders
+/// construct exactly that for each architecture, with module ids 1..n.
+struct MinimalSystem {
+  std::unique_ptr<sim::Kernel> kernel;
+  std::unique_ptr<CommArchitecture> arch;
+  std::vector<fpga::ModuleId> modules;
+};
+
+MinimalSystem make_minimal_rmboc(int modules = 4, int buses = 4,
+                                 unsigned width_bits = 32);
+MinimalSystem make_minimal_buscom(int modules = 4, int buses = 4,
+                                  unsigned in_bits = 32,
+                                  unsigned out_bits = 16);
+/// 1x1 modules on an array just big enough (paper figure 3 uses 5x5).
+MinimalSystem make_minimal_dynoc(int modules = 4, int array = 5,
+                                 unsigned width_bits = 32);
+/// One switch per module, connected in a ring of wire-tile runs
+/// (paper figure 4 shows such a grid).
+MinimalSystem make_minimal_conochi(int modules = 4,
+                                   unsigned width_bits = 32);
+/// Conventional hierarchical-bus baseline (paper §2.2): odd module ids on
+/// the peripheral bus, even ids on the system bus.
+MinimalSystem make_minimal_hierbus(int modules = 4,
+                                   unsigned width_bits = 32);
+
+/// Outcome of running one workload on one architecture.
+struct ArchResult {
+  std::string name;
+  std::uint64_t generated = 0;
+  std::uint64_t delivered = 0;
+  double mean_latency_cycles = 0.0;
+  std::uint64_t p99_latency_cycles = 0;
+  double throughput_bytes_per_cycle = 0.0;
+  double accepted_fraction = 0.0;
+  std::size_t d_max = 0;
+  double fmax_mhz = 0.0;
+  double slices = 0.0;
+  /// Real-time mean latency using the architecture's fmax.
+  double mean_latency_us = 0.0;
+};
+
+/// One workload definition applied identically to every architecture.
+struct WorkloadConfig {
+  double injection_rate = 0.01;   ///< packets per module per cycle
+  std::uint32_t packet_bytes = 64;
+  sim::Cycle cycles = 50'000;
+  std::uint64_t seed = 42;
+  bool hotspot = false;           ///< all traffic to module 1
+};
+
+/// Run the same workload on a freshly built minimal system of each
+/// architecture and collect the comparison rows (the machinery behind
+/// most benches).
+ArchResult run_workload(MinimalSystem system, const WorkloadConfig& wl);
+std::vector<ArchResult> run_all_minimal(const WorkloadConfig& wl,
+                                        int modules = 4);
+
+}  // namespace recosim::core

@@ -1,0 +1,107 @@
+#include "core/reconfig_manager.hpp"
+
+#include <utility>
+
+#include "fpga/defrag.hpp"
+
+namespace recosim::core {
+
+ReconfigManager::ReconfigManager(sim::Kernel& kernel,
+                                 const fpga::Device& device,
+                                 double system_clock_mhz,
+                                 PlacementStrategy strategy, int slot_count)
+    : kernel_(kernel),
+      floorplan_(device),
+      bits_(device),
+      icap_(kernel, device, system_clock_mhz),
+      strategy_(strategy) {
+  if (strategy == PlacementStrategy::kSlots) {
+    slots_ = std::make_unique<fpga::SlotPlacer>(floorplan_, slot_count);
+  } else {
+    rects_ = std::make_unique<fpga::RectPlacer>(floorplan_, /*clearance=*/1);
+  }
+}
+
+std::optional<fpga::Rect> ReconfigManager::place(
+    fpga::ModuleId id, const fpga::HardwareModule& m) {
+  if (strategy_ == PlacementStrategy::kSlots) {
+    auto slot = slots_->place(id, m);
+    if (!slot) return std::nullopt;
+    return slots_->slot_region(*slot);
+  }
+  return rects_->place(id, m);
+}
+
+bool ReconfigManager::load(CommArchitecture& arch, fpga::ModuleId id,
+                           const fpga::HardwareModule& m,
+                           std::function<void(fpga::ModuleId)> on_ready) {
+  if (id == fpga::kInvalidModule || arch.is_attached(id) ||
+      loading_.count(id))
+    return false;
+  auto region = place(id, m);
+  if (!region) return false;
+  loading_.emplace(id, m);
+  icap_.request(id, *region,
+                [this, &arch, on_ready = std::move(on_ready)](
+                    fpga::ModuleId done_id) {
+                  auto it = loading_.find(done_id);
+                  if (it == loading_.end()) return;  // cancelled meanwhile
+                  const fpga::HardwareModule mod = it->second;
+                  loading_.erase(it);
+                  if (arch.attach(done_id, mod) && on_ready)
+                    on_ready(done_id);
+                });
+  return true;
+}
+
+bool ReconfigManager::load_with_compaction(
+    CommArchitecture& arch, fpga::ModuleId id,
+    const fpga::HardwareModule& m,
+    std::function<void(fpga::ModuleId)> on_ready) {
+  if (load(arch, id, m, on_ready)) return true;
+  if (strategy_ != PlacementStrategy::kRectangles) return false;
+  fpga::Defragmenter defrag(floorplan_, floorplan_.device());
+  const auto plan =
+      defrag.plan_for(m.width_clbs, m.height_clbs, /*clearance=*/1);
+  if (!plan.target_fits || plan.moves.empty()) return false;
+  // Execute the relocations: each moved module is detached, rewritten at
+  // its new position through the ICAP (the queue serializes the moves in
+  // plan order), and re-attached on completion.
+  for (const auto& move : plan.moves) {
+    if (!floorplan_.remove(move.id)) return false;
+    if (!floorplan_.place(move.id, move.to)) {
+      floorplan_.place(move.id, move.from);
+      return false;
+    }
+    arch.detach(move.id);
+    ++compaction_moves_;
+    icap_.request(move.id, move.to, [this, &arch](fpga::ModuleId moved) {
+      fpga::HardwareModule placeholder;
+      placeholder.name = "relocated";
+      arch.attach(moved, placeholder);
+    });
+  }
+  return load(arch, id, m, std::move(on_ready));
+}
+
+bool ReconfigManager::unload(CommArchitecture& arch, fpga::ModuleId id) {
+  loading_.erase(id);  // cancel a pending load of the same id
+  const bool detached = arch.detach(id);
+  bool freed;
+  if (strategy_ == PlacementStrategy::kSlots) {
+    freed = slots_->remove(id);
+  } else {
+    freed = rects_->remove(id);
+  }
+  return detached || freed;
+}
+
+bool ReconfigManager::swap(CommArchitecture& arch, fpga::ModuleId old_id,
+                           fpga::ModuleId new_id,
+                           const fpga::HardwareModule& m,
+                           std::function<void(fpga::ModuleId)> on_ready) {
+  if (!unload(arch, old_id)) return false;
+  return load(arch, new_id, m, std::move(on_ready));
+}
+
+}  // namespace recosim::core

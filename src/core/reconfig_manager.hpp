@@ -1,0 +1,85 @@
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "core/comm_arch.hpp"
+#include "fpga/device.hpp"
+#include "fpga/floorplan.hpp"
+#include "fpga/icap.hpp"
+#include "fpga/placer.hpp"
+
+namespace recosim::core {
+
+/// Placement regime, matching the two architecture families.
+enum class PlacementStrategy {
+  kSlots,      // bus systems: full-height fixed slots (Virtex-II flow)
+  kRectangles  // NoC systems: arbitrary rectangles
+};
+
+/// Orchestrates the dynamic-reconfiguration path the paper's systems share:
+/// choose a location on the fabric, stream the partial bitstream through
+/// the ICAP (which takes real simulated time), and only then attach the
+/// module to the communication architecture. Unloading detaches first and
+/// frees the fabric immediately (clearing a region needs no bitstream in
+/// this model).
+class ReconfigManager {
+ public:
+  ReconfigManager(sim::Kernel& kernel, const fpga::Device& device,
+                  double system_clock_mhz, PlacementStrategy strategy,
+                  int slot_count = 4);
+
+  /// Begin loading `m`. Returns false if no placement exists or the id is
+  /// already present. `on_ready(id)` fires in the cycle the module is
+  /// attached and able to communicate.
+  bool load(CommArchitecture& arch, fpga::ModuleId id,
+            const fpga::HardwareModule& m,
+            std::function<void(fpga::ModuleId)> on_ready = {});
+
+  /// Like load(), but when no placement exists under the kRectangles
+  /// strategy, plan a compaction first: every relocation is streamed
+  /// through the ICAP (taking real simulated time, during which the moved
+  /// module is detached from the architecture), then the new module
+  /// loads. Returns false only if even a compacted floorplan cannot host
+  /// the module.
+  bool load_with_compaction(CommArchitecture& arch, fpga::ModuleId id,
+                            const fpga::HardwareModule& m,
+                            std::function<void(fpga::ModuleId)> on_ready = {});
+
+  /// Relocations performed by load_with_compaction so far.
+  std::uint64_t compaction_moves() const { return compaction_moves_; }
+
+  /// Detach from the architecture and free the fabric.
+  bool unload(CommArchitecture& arch, fpga::ModuleId id);
+
+  /// Replace `old_id` by `new_id` in the same fabric region (the classic
+  /// module-swap of slot-based systems).
+  bool swap(CommArchitecture& arch, fpga::ModuleId old_id,
+            fpga::ModuleId new_id, const fpga::HardwareModule& m,
+            std::function<void(fpga::ModuleId)> on_ready = {});
+
+  bool is_loading(fpga::ModuleId id) const { return loading_.count(id) > 0; }
+
+  const fpga::Floorplan& floorplan() const { return floorplan_; }
+  fpga::Icap& icap() { return icap_; }
+  const fpga::BitstreamModel& bitstream_model() const { return bits_; }
+
+ private:
+  std::optional<fpga::Rect> place(fpga::ModuleId id,
+                                  const fpga::HardwareModule& m);
+
+  sim::Kernel& kernel_;
+  fpga::Floorplan floorplan_;
+  fpga::BitstreamModel bits_;
+  fpga::Icap icap_;
+  PlacementStrategy strategy_;
+  std::unique_ptr<fpga::SlotPlacer> slots_;
+  std::unique_ptr<fpga::RectPlacer> rects_;
+  std::map<fpga::ModuleId, fpga::HardwareModule> loading_;
+  std::uint64_t compaction_moves_ = 0;
+};
+
+}  // namespace recosim::core

@@ -1,0 +1,36 @@
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace recosim::core {
+
+/// ASCII table writer used by every bench binary to print the regenerated
+/// paper tables, plus a CSV form for downstream processing.
+class Table {
+ public:
+  explicit Table(std::string title);
+
+  Table& set_headers(std::vector<std::string> headers);
+  Table& add_row(std::vector<std::string> row);
+
+  const std::string& title() const { return title_; }
+  std::size_t row_count() const { return rows_.size(); }
+
+  void print(std::ostream& os) const;
+  void print_csv(std::ostream& os) const;
+
+  /// Format helpers.
+  static std::string num(double v, int precision = 1);
+  static std::string num(std::uint64_t v);
+
+ private:
+  std::string title_;
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace recosim::core

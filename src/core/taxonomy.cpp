@@ -1,0 +1,48 @@
+#include "core/taxonomy.hpp"
+
+namespace recosim::core {
+
+const char* to_string(ArchType t) {
+  switch (t) {
+    case ArchType::kBus: return "Bus";
+    case ArchType::kNoc: return "NoC";
+  }
+  return "?";
+}
+
+const char* to_string(TopologyClass t) {
+  switch (t) {
+    case TopologyClass::kArray1D: return "1D-Array";
+    case TopologyClass::kArray2D: return "2D-Array";
+  }
+  return "?";
+}
+
+const char* to_string(ModuleShape s) {
+  switch (s) {
+    case ModuleShape::kFixedSlot: return "fixed";
+    case ModuleShape::kVariableRect: return "variable";
+  }
+  return "?";
+}
+
+const char* to_string(Switching s) {
+  switch (s) {
+    case Switching::kCircuit: return "circuit";
+    case Switching::kTimeMultiplexed: return "time mult.";
+    case Switching::kPacket: return "packet";
+    case Switching::kVirtualCutThrough: return "packet (VCT)";
+  }
+  return "?";
+}
+
+const char* to_string(Grade g) {
+  switch (g) {
+    case Grade::kLow: return "low";
+    case Grade::kMedium: return "medium";
+    case Grade::kHigh: return "high";
+  }
+  return "?";
+}
+
+}  // namespace recosim::core

@@ -1,0 +1,58 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace recosim::core {
+
+/// Classification taxonomy from §2 of the paper. Table 1 is a projection
+/// of these descriptors for the four architectures; the bench regenerates
+/// it by querying each implementation.
+
+enum class ArchType { kBus, kNoc };
+
+enum class TopologyClass { kArray1D, kArray2D };
+
+/// What shapes of hardware module the architecture accepts.
+enum class ModuleShape { kFixedSlot, kVariableRect };
+
+enum class Switching {
+  kCircuit,          // RMBoC: reserved segment paths
+  kTimeMultiplexed,  // BUS-COM: TDMA slots
+  kPacket,           // DyNoC: store-and-forward packets
+  kVirtualCutThrough // CoNoChi
+};
+
+/// Qualitative grade used in the paper's Table 4.
+enum class Grade { kLow, kMedium, kHigh };
+
+const char* to_string(ArchType t);
+const char* to_string(TopologyClass t);
+const char* to_string(ModuleShape s);
+const char* to_string(Switching s);
+const char* to_string(Grade g);
+
+/// One row of Table 1.
+struct DesignParameters {
+  std::string name;
+  ArchType type{};
+  TopologyClass topology{};
+  ModuleShape module_size{};
+  Switching switching{};
+  unsigned bit_width_min = 0;
+  unsigned bit_width_max = 0;
+  std::string overhead;           // framing/control overhead description
+  std::string max_payload;        // textual, as in the paper
+  unsigned protocol_layers = 1;
+};
+
+/// One row of Table 4.
+struct StructuralScores {
+  std::string name;
+  Grade flexibility{};
+  Grade scalability{};
+  Grade extensibility{};
+  Grade modularity{};
+};
+
+}  // namespace recosim::core

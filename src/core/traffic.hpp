@@ -1,0 +1,128 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/comm_arch.hpp"
+#include "fpga/module.hpp"
+#include "sim/component.hpp"
+#include "sim/rng.hpp"
+#include "sim/stats.hpp"
+
+namespace recosim::core {
+
+/// How packet destinations are chosen by a source.
+struct DestinationPolicy {
+  /// Returns the destination for the next packet.
+  std::function<fpga::ModuleId(sim::Rng&)> next;
+
+  static DestinationPolicy fixed(fpga::ModuleId dst);
+  static DestinationPolicy uniform(std::vector<fpga::ModuleId> candidates);
+  /// All traffic converges on one hotspot with probability `p`, otherwise
+  /// uniform over the remaining candidates.
+  static DestinationPolicy hotspot(fpga::ModuleId hot, double p,
+                                   std::vector<fpga::ModuleId> others);
+};
+
+/// How packet sizes are chosen.
+struct SizePolicy {
+  std::function<std::uint32_t(sim::Rng&)> next;
+
+  static SizePolicy fixed(std::uint32_t bytes);
+  static SizePolicy uniform(std::uint32_t lo, std::uint32_t hi);
+  /// Bimodal mix: small control packets and large data bursts, as in the
+  /// network-streaming workload.
+  static SizePolicy bimodal(std::uint32_t small, std::uint32_t large,
+                            double p_large);
+};
+
+/// When packets are generated.
+struct InjectionPolicy {
+  /// Bernoulli process: a new packet with probability `rate` per cycle.
+  static InjectionPolicy bernoulli(double rate);
+  /// Constant bit rate: one packet every `period` cycles (offset start).
+  static InjectionPolicy periodic(sim::Cycle period, sim::Cycle offset = 0);
+
+  double rate = 0.0;
+  sim::Cycle period = 0;
+  sim::Cycle offset = 0;
+  bool is_periodic = false;
+};
+
+/// A traffic source bound to one module of one architecture. Generates
+/// packets per its policies; a packet rejected by the architecture is
+/// retried every cycle until accepted (the source applies backpressure to
+/// itself, counting stalled cycles).
+class TrafficSource final : public sim::Component {
+ public:
+  TrafficSource(sim::Kernel& kernel, CommArchitecture& arch,
+                fpga::ModuleId src, DestinationPolicy dst, SizePolicy size,
+                InjectionPolicy injection, sim::Rng rng,
+                std::string name = "source");
+
+  void eval() override;
+
+  std::uint64_t generated() const { return generated_; }
+  std::uint64_t accepted() const { return accepted_; }
+  std::uint64_t stalled_cycles() const { return stalled_cycles_; }
+  /// Stop producing new packets (pending one still retries).
+  void stop() { stopped_ = true; }
+  void set_rate(double rate) { injection_.rate = rate; }
+
+ private:
+  CommArchitecture& arch_;
+  fpga::ModuleId src_;
+  DestinationPolicy dst_;
+  SizePolicy size_;
+  InjectionPolicy injection_;
+  sim::Rng rng_;
+  std::optional<proto::Packet> pending_;
+  sim::Cycle next_emit_ = 0;
+  std::uint64_t generated_ = 0;
+  std::uint64_t accepted_ = 0;
+  std::uint64_t stalled_cycles_ = 0;
+  std::uint64_t seq_ = 0;
+  bool stopped_ = false;
+};
+
+/// Drains the delivery queues of a set of modules every cycle and keeps
+/// per-flow accounting. One sink per architecture is enough.
+class TrafficSink final : public sim::Component {
+ public:
+  TrafficSink(sim::Kernel& kernel, CommArchitecture& arch,
+              std::vector<fpga::ModuleId> modules,
+              std::string name = "sink");
+
+  void eval() override;
+
+  /// Add a module to drain (e.g. after runtime attach).
+  void watch(fpga::ModuleId id);
+  void unwatch(fpga::ModuleId id);
+
+  std::uint64_t received_total() const { return received_; }
+  std::uint64_t received_from(fpga::ModuleId src) const;
+  std::uint64_t received_bytes() const { return received_bytes_; }
+  const sim::Histogram& latency_histogram() const { return latency_; }
+  /// Packets whose integrity tag did not match the expected sequence
+  /// pattern (tag = (src << 32) | seq at the sources).
+  std::uint64_t tag_mismatches() const { return tag_mismatches_; }
+
+ private:
+  CommArchitecture& arch_;
+  std::vector<fpga::ModuleId> modules_;
+  std::uint64_t received_ = 0;
+  std::uint64_t received_bytes_ = 0;
+  std::uint64_t tag_mismatches_ = 0;
+  std::map<fpga::ModuleId, std::uint64_t> by_src_;
+  std::map<fpga::ModuleId, std::uint64_t> next_expected_seq_;
+  sim::Histogram latency_;
+};
+
+/// Integrity tag carried by generated packets: (src << 32) | sequence.
+std::uint64_t make_tag(fpga::ModuleId src, std::uint64_t seq);
+
+}  // namespace recosim::core

@@ -1,0 +1,176 @@
+#include "core/workloads.hpp"
+
+#include <cassert>
+
+#include "core/traffic.hpp"
+
+namespace recosim::core {
+
+namespace {
+
+/// A module that consumes packets addressed to it and re-emits them to a
+/// fixed next hop after a processing delay (shared by the pipeline
+/// workload stages).
+class ForwardStage final : public sim::Component {
+ public:
+  ForwardStage(sim::Kernel& k, CommArchitecture& arch, fpga::ModuleId self,
+               fpga::ModuleId next, sim::Cycle processing)
+      : sim::Component(k, "stage" + std::to_string(self)),
+        arch_(arch),
+        self_(self),
+        next_(next),
+        processing_(processing) {}
+
+  void eval() override {
+    if (pending_) {
+      if (kernel().now() < ready_at_) return;
+      if (arch_.send(*pending_)) pending_.reset();
+      return;
+    }
+    if (auto p = arch_.receive(self_)) {
+      proto::Packet out = *p;
+      out.src = self_;
+      out.dst = next_;
+      out.tag = make_tag(self_, seq_++);
+      pending_ = out;
+      ready_at_ = kernel().now() + processing_;
+    }
+  }
+
+ private:
+  CommArchitecture& arch_;
+  fpga::ModuleId self_;
+  fpga::ModuleId next_;
+  sim::Cycle processing_;
+  std::optional<proto::Packet> pending_;
+  sim::Cycle ready_at_ = 0;
+  std::uint64_t seq_ = 0;
+};
+
+WorkloadReport finish(const std::string& workload, CommArchitecture& arch,
+                      std::uint64_t offered, const TrafficSink& sink,
+                      double deadline_misses = 0.0) {
+  WorkloadReport r;
+  r.workload = workload;
+  r.architecture = arch.name();
+  r.offered = offered;
+  r.delivered = sink.received_total();
+  r.mean_latency_cycles = arch.mean_latency_cycles();
+  r.p99_latency_cycles = sink.latency_histogram().quantile(0.99);
+  r.deadline_miss_fraction = deadline_misses;
+  r.lost = offered > r.delivered ? offered - r.delivered : 0;
+  return r;
+}
+
+}  // namespace
+
+StreamingPipelineWorkload::StreamingPipelineWorkload(
+    sim::Cycle period, std::uint32_t line_bytes)
+    : period_(period), line_bytes_(line_bytes) {}
+
+WorkloadReport StreamingPipelineWorkload::run(
+    sim::Kernel& kernel, CommArchitecture& arch,
+    const std::vector<fpga::ModuleId>& modules, sim::Cycle cycles,
+    std::uint64_t seed) {
+  assert(modules.size() >= 4);
+  const fpga::ModuleId cam = modules[0], filter = modules[1],
+                       overlay = modules[2], display = modules[3];
+  TrafficSource camera(kernel, arch, cam, DestinationPolicy::fixed(filter),
+                       SizePolicy::fixed(line_bytes_),
+                       InjectionPolicy::periodic(period_), sim::Rng(seed),
+                       "camera");
+  ForwardStage f1(kernel, arch, filter, overlay, 4);
+  ForwardStage f2(kernel, arch, overlay, display, 2);
+  TrafficSink sink(kernel, arch, {display}, "display");
+  kernel.run(cycles);
+  camera.stop();
+  kernel.run(cycles / 4 + 4'000);
+  return finish(name(), arch, camera.accepted(), sink);
+}
+
+PeriodicControlWorkload::PeriodicControlWorkload(sim::Cycle period,
+                                                 std::uint32_t frame_bytes,
+                                                 sim::Cycle deadline)
+    : period_(period), frame_bytes_(frame_bytes), deadline_(deadline) {}
+
+WorkloadReport PeriodicControlWorkload::run(
+    sim::Kernel& kernel, CommArchitecture& arch,
+    const std::vector<fpga::ModuleId>& modules, sim::Cycle cycles,
+    std::uint64_t seed) {
+  assert(modules.size() >= 2);
+  // Every module periodically reports to the next one (control loop
+  // ring); phases are staggered so frames do not collide by construction.
+  std::vector<std::unique_ptr<TrafficSource>> sources;
+  for (std::size_t i = 0; i < modules.size(); ++i) {
+    const fpga::ModuleId next = modules[(i + 1) % modules.size()];
+    sources.push_back(std::make_unique<TrafficSource>(
+        kernel, arch, modules[i], DestinationPolicy::fixed(next),
+        SizePolicy::fixed(frame_bytes_),
+        InjectionPolicy::periodic(period_,
+                                  static_cast<sim::Cycle>(i) * 16),
+        sim::Rng(seed + i), "ecu" + std::to_string(modules[i])));
+  }
+  TrafficSink sink(kernel, arch, modules, "ecus");
+  kernel.run(cycles);
+  for (auto& s : sources) s->stop();
+  kernel.run(cycles / 4 + 4'000);
+  std::uint64_t offered = 0;
+  for (auto& s : sources) offered += s->accepted();
+  // Deadline misses: latencies above deadline_ out of all delivered.
+  const auto& h = sink.latency_histogram();
+  std::uint64_t late = 0;
+  for (std::size_t b = 0; b < h.bucket_count(); ++b) {
+    const std::uint64_t lower = b * h.bucket_width();
+    if (lower >= deadline_) late += h.bucket(b);
+  }
+  late += h.overflow();
+  const double miss =
+      h.count() ? static_cast<double>(late) / static_cast<double>(h.count())
+                : 0.0;
+  return finish(name(), arch, offered, sink, miss);
+}
+
+BurstyServerWorkload::BurstyServerWorkload(double rate,
+                                           std::uint32_t small_bytes,
+                                           std::uint32_t large_bytes,
+                                           double p_large)
+    : rate_(rate),
+      small_bytes_(small_bytes),
+      large_bytes_(large_bytes),
+      p_large_(p_large) {}
+
+WorkloadReport BurstyServerWorkload::run(
+    sim::Kernel& kernel, CommArchitecture& arch,
+    const std::vector<fpga::ModuleId>& modules, sim::Cycle cycles,
+    std::uint64_t seed) {
+  assert(modules.size() >= 2);
+  std::vector<std::unique_ptr<TrafficSource>> sources;
+  sim::Rng root(seed);
+  for (std::size_t i = 0; i < modules.size(); ++i) {
+    std::vector<fpga::ModuleId> others;
+    for (auto m : modules)
+      if (m != modules[i]) others.push_back(m);
+    sources.push_back(std::make_unique<TrafficSource>(
+        kernel, arch, modules[i], DestinationPolicy::uniform(others),
+        SizePolicy::bimodal(small_bytes_, large_bytes_, p_large_),
+        InjectionPolicy::bernoulli(rate_), root.fork(),
+        "flow" + std::to_string(modules[i])));
+  }
+  TrafficSink sink(kernel, arch, modules, "egress");
+  kernel.run(cycles);
+  for (auto& s : sources) s->stop();
+  kernel.run(cycles / 2 + 8'000);
+  std::uint64_t offered = 0;
+  for (auto& s : sources) offered += s->accepted();
+  return finish(name(), arch, offered, sink);
+}
+
+std::vector<std::unique_ptr<Workload>> standard_workloads() {
+  std::vector<std::unique_ptr<Workload>> out;
+  out.push_back(std::make_unique<StreamingPipelineWorkload>());
+  out.push_back(std::make_unique<PeriodicControlWorkload>());
+  out.push_back(std::make_unique<BurstyServerWorkload>());
+  return out;
+}
+
+}  // namespace recosim::core

@@ -1,0 +1,111 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/comm_arch.hpp"
+#include "sim/types.hpp"
+
+namespace recosim::core {
+
+/// Outcome of one workload run on one architecture.
+struct WorkloadReport {
+  std::string workload;
+  std::string architecture;
+  std::uint64_t offered = 0;    ///< packets the application generated
+  std::uint64_t delivered = 0;  ///< packets that reached their consumer
+  double mean_latency_cycles = 0.0;
+  std::uint64_t p99_latency_cycles = 0;
+  /// Fraction of delivered packets later than the workload's deadline
+  /// (only meaningful for deadline-carrying workloads; else 0).
+  double deadline_miss_fraction = 0.0;
+  /// Packets that never arrived (dropped or stuck when the run ended).
+  std::uint64_t lost = 0;
+};
+
+/// An application traffic pattern that can be replayed on any attached
+/// CommArchitecture — the three domains the paper's prototypes were
+/// demonstrated with, in reusable form. The caller provides the attached
+/// module ids (at least four); the workload wires up its own sources,
+/// forwarders and sinks for the duration of run().
+class Workload {
+ public:
+  virtual ~Workload() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Run for `cycles` (plus an internal drain phase) and report.
+  virtual WorkloadReport run(sim::Kernel& kernel, CommArchitecture& arch,
+                             const std::vector<fpga::ModuleId>& modules,
+                             sim::Cycle cycles, std::uint64_t seed) = 0;
+};
+
+/// Video-style streaming pipeline (RMBoC/DyNoC demo, paper §3): a CBR
+/// source pushes fixed-size lines through a chain of processing modules
+/// to a display sink. Stresses sustained point-to-point bandwidth and
+/// rewards standing circuits.
+class StreamingPipelineWorkload final : public Workload {
+ public:
+  explicit StreamingPipelineWorkload(sim::Cycle period = 32,
+                                     std::uint32_t line_bytes = 80);
+  std::string name() const override { return "video-pipeline"; }
+  WorkloadReport run(sim::Kernel& kernel, CommArchitecture& arch,
+                     const std::vector<fpga::ModuleId>& modules,
+                     sim::Cycle cycles, std::uint64_t seed) override;
+
+ private:
+  sim::Cycle period_;
+  std::uint32_t line_bytes_;
+};
+
+/// Automotive periodic control traffic (BUS-COM demo, paper §3.1): every
+/// module exchanges small frames on fixed periods; a frame arriving later
+/// than `deadline` cycles counts as a deadline miss. Rewards guaranteed
+/// media access.
+class PeriodicControlWorkload final : public Workload {
+ public:
+  explicit PeriodicControlWorkload(sim::Cycle period = 512,
+                                   std::uint32_t frame_bytes = 16,
+                                   sim::Cycle deadline = 768);
+  std::string name() const override { return "automotive-control"; }
+  WorkloadReport run(sim::Kernel& kernel, CommArchitecture& arch,
+                     const std::vector<fpga::ModuleId>& modules,
+                     sim::Cycle cycles, std::uint64_t seed) override;
+
+ private:
+  sim::Cycle period_;
+  std::uint32_t frame_bytes_;
+  sim::Cycle deadline_;
+};
+
+/// Network packet processing (CoNoChi demo, paper §3.2): bursty, bimodal
+/// frame sizes flowing between all module pairs in parallel — the "several
+/// modules communicate with each other in parallel" pattern the paper says
+/// NoCs are built for. Stresses concurrent transfers and big payloads.
+class BurstyServerWorkload final : public Workload {
+ public:
+  /// Default rate puts the aggregate near the bus systems' serialization
+  /// ceiling (4 flows x 0.01/cycle x ~352 B mean = 14 B/cycle) while the
+  /// NoCs still have parallel headroom.
+  explicit BurstyServerWorkload(double rate = 0.01,
+                                std::uint32_t small_bytes = 64,
+                                std::uint32_t large_bytes = 1024,
+                                double p_large = 0.3);
+  std::string name() const override { return "network-streaming"; }
+  WorkloadReport run(sim::Kernel& kernel, CommArchitecture& arch,
+                     const std::vector<fpga::ModuleId>& modules,
+                     sim::Cycle cycles, std::uint64_t seed) override;
+
+ private:
+  double rate_;
+  std::uint32_t small_bytes_;
+  std::uint32_t large_bytes_;
+  double p_large_;
+};
+
+/// The three standard workloads, ready to iterate over.
+std::vector<std::unique_ptr<Workload>> standard_workloads();
+
+}  // namespace recosim::core

@@ -1,0 +1,456 @@
+#include "dynoc/dynoc.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace recosim::dynoc {
+
+Dynoc::Dynoc(sim::Kernel& kernel, const DynocConfig& config)
+    : core::CommArchitecture(kernel, "DyNoC"),
+      sim::Component(kernel, "DyNoC"),
+      config_(config),
+      trace_(kernel),
+      routers_(static_cast<std::size_t>(config.width) *
+               static_cast<std::size_t>(config.height)),
+      sxy_([this](fpga::Point p) { return router_active(p); },
+           [this](fpga::Point p) { return obstacle_at(p); }) {
+  assert(config.width >= 3 && config.height >= 3);
+  assert(config.link_width_bits >= 1);
+  assert(config.input_buffer_packets >= 1);
+}
+
+bool Dynoc::router_active(fpga::Point p) const {
+  return in_array(p) && at(p).active;
+}
+
+std::size_t Dynoc::active_router_count() const {
+  std::size_t n = 0;
+  for (const auto& r : routers_)
+    if (r.active) ++n;
+  return n;
+}
+
+std::optional<fpga::Rect> Dynoc::obstacle_at(fpga::Point p) const {
+  for (const auto& [id, pl] : placements_)
+    if (pl.rect.contains(p) && pl.rect.area() > 1) return pl.rect;
+  return std::nullopt;
+}
+
+bool Dynoc::placement_keeps_surround(const fpga::Rect& r) const {
+  // The module together with its one-tile ring must fit into the array
+  // (keeps the border row/column of routers), and neither the rectangle
+  // nor its ring may hit an existing module or removed router.
+  const fpga::Rect ring = r.inflated(1);
+  if (ring.x < 0 || ring.y < 0 || ring.right() > config_.width ||
+      ring.bottom() > config_.height)
+    return false;
+  for (int y = ring.y; y < ring.bottom(); ++y) {
+    for (int x = ring.x; x < ring.right(); ++x) {
+      const fpga::Point p{x, y};
+      if (!at(p).active) return false;  // overlaps a removed router
+      if (r.contains(p)) {
+        // Tiles the module itself takes must be unowned (also excludes
+        // overlap with active 1x1 modules).
+        for (const auto& [id, pl] : placements_)
+          if (pl.rect.contains(p)) return false;
+      }
+    }
+  }
+  return true;
+}
+
+fpga::Point Dynoc::choose_access(const fpga::Rect& r) const {
+  if (r.area() == 1) return {r.x, r.y};  // 1x1 keeps its own router
+  // Prefer the ring router north of the top-left corner, then walk the
+  // ring clockwise until an active router is found.
+  std::vector<fpga::Point> ring;
+  for (int x = r.x; x < r.right(); ++x) ring.push_back({x, r.y - 1});
+  for (int y = r.y; y < r.bottom(); ++y) ring.push_back({r.right(), y});
+  for (int x = r.right() - 1; x >= r.x; --x) ring.push_back({x, r.bottom()});
+  for (int y = r.bottom() - 1; y >= r.y; --y) ring.push_back({r.x - 1, y});
+  for (const auto& p : ring)
+    if (router_active(p)) return p;
+  return {r.x, r.y - 1};  // unreachable under the surround invariant
+}
+
+bool Dynoc::attach(fpga::ModuleId id, const fpga::HardwareModule& m) {
+  for (int y = 1; y + m.height_clbs < config_.height; ++y)
+    for (int x = 1; x + m.width_clbs < config_.width; ++x)
+      if (attach_at(id, m, {x, y})) return true;
+  return false;
+}
+
+bool Dynoc::attach_at(fpga::ModuleId id, const fpga::HardwareModule& m,
+                      fpga::Point top_left) {
+  if (id == fpga::kInvalidModule || placements_.count(id)) return false;
+  const fpga::Rect r{top_left.x, top_left.y, m.width_clbs, m.height_clbs};
+  if (!placement_keeps_surround(r)) return false;
+  if (r.area() > 1) {
+    // Remove the covered routers; traffic caught inside is lost (counted),
+    // exactly as a reconfiguration overwriting the region would lose it.
+    for (int y = r.y; y < r.bottom(); ++y) {
+      for (int x = r.x; x < r.right(); ++x) {
+        Router& router = at({x, y});
+        router.active = false;
+        for (auto& q : router.in) {
+          stats().counter("packets_dropped_reconfig").add(q.size());
+          q.clear();
+        }
+        router.reserved.fill(0);
+        for (auto& o : router.out) {
+          if (o.busy && o.carries_packet) {
+            stats().counter("packets_dropped_reconfig").add();
+            // Give back the credit reserved downstream.
+            const fpga::Point t =
+                step({x, y}, static_cast<Dir>(&o - router.out.data()));
+            if (in_array(t)) {
+              auto& res =
+                  at(t).reserved[static_cast<std::size_t>(
+                      static_cast<int>(opposite(
+                          static_cast<Dir>(&o - router.out.data()))))];
+              if (res > 0) --res;
+            }
+          }
+          o.busy = false;
+        }
+      }
+    }
+    // In-flight transfers *into* the removed region are lost as well.
+    for (int y = 0; y < config_.height; ++y) {
+      for (int x = 0; x < config_.width; ++x) {
+        Router& router = at({x, y});
+        if (!router.active) continue;
+        for (int d = 0; d < kDirCount; ++d) {
+          auto& o = router.out[static_cast<std::size_t>(d)];
+          if (o.busy && r.contains(step({x, y}, static_cast<Dir>(d)))) {
+            // Cut-through transfers were already counted when the removed
+            // router's buffers were cleared; only store-and-forward
+            // payloads die on the wire here.
+            if (o.carries_packet)
+              stats().counter("packets_dropped_reconfig").add();
+            o.busy = false;
+          }
+        }
+      }
+    }
+  }
+  placements_.emplace(id, Placement{r, choose_access(r)});
+  delivered_[id];
+  return true;
+}
+
+bool Dynoc::detach(fpga::ModuleId id) {
+  auto it = placements_.find(id);
+  if (it == placements_.end()) return false;
+  const fpga::Rect r = it->second.rect;
+  if (r.area() > 1) {
+    for (int y = r.y; y < r.bottom(); ++y)
+      for (int x = r.x; x < r.right(); ++x) at({x, y}).active = true;
+  }
+  placements_.erase(it);
+  if (auto dit = delivered_.find(id); dit != delivered_.end()) {
+    stats().counter("dropped_detach").add(dit->second.size());
+    delivered_.erase(dit);
+  }
+  return true;
+}
+
+bool Dynoc::is_attached(fpga::ModuleId id) const {
+  return placements_.count(id) > 0;
+}
+
+std::size_t Dynoc::attached_count() const { return placements_.size(); }
+
+core::DesignParameters Dynoc::design_parameters() const {
+  core::DesignParameters d;
+  d.name = "DyNoC";
+  d.type = core::ArchType::kNoc;
+  d.topology = core::TopologyClass::kArray2D;
+  d.module_size = core::ModuleShape::kVariableRect;
+  d.switching = core::Switching::kPacket;
+  d.bit_width_min = 8;
+  d.bit_width_max = 32;
+  d.overhead = "> 4 bit";
+  d.max_payload = "n. p.";
+  d.protocol_layers = 1;
+  return d;
+}
+
+core::StructuralScores Dynoc::structural_scores() const {
+  return core::StructuralScores{"DyNoC", core::Grade::kLow,
+                                core::Grade::kHigh, core::Grade::kHigh,
+                                core::Grade::kHigh};
+}
+
+std::size_t Dynoc::max_parallelism() const {
+  // Independent transfers are bounded by the number of directed links
+  // between active routers (paper §4.2).
+  std::size_t links = 0;
+  for (int y = 0; y < config_.height; ++y) {
+    for (int x = 0; x < config_.width; ++x) {
+      if (!router_active({x, y})) continue;
+      for (int d = 0; d < kDirCount; ++d)
+        if (router_active(step({x, y}, static_cast<Dir>(d)))) ++links;
+    }
+  }
+  return links;
+}
+
+std::optional<int> Dynoc::route_hops(fpga::ModuleId src,
+                                     fpga::ModuleId dst) const {
+  auto s = access_router_of(src);
+  auto d = access_router_of(dst);
+  if (!s || !d) return std::nullopt;
+  fpga::Point cur = *s;
+  int hops = 0;
+  SurroundState state;
+  const int limit = config_.width * config_.height * 4;
+  while (!(cur == *d)) {
+    auto dir = sxy_.route(cur, *d, state);
+    if (!dir || *dir == Dir::kLocal) return std::nullopt;
+    cur = step(cur, *dir);
+    if (++hops > limit) return std::nullopt;
+  }
+  return hops;
+}
+
+sim::Cycle Dynoc::path_latency(fpga::ModuleId src,
+                               fpga::ModuleId dst) const {
+  auto hops = route_hops(src, dst);
+  if (!hops) return 0;
+  // Each traversed router (link hops + 1) contributes its routing delay
+  // plus one cycle of link/crossbar traversal.
+  return static_cast<sim::Cycle>(*hops + 1) * (config_.routing_delay + 1);
+}
+
+std::optional<fpga::Rect> Dynoc::region_of(fpga::ModuleId id) const {
+  auto it = placements_.find(id);
+  if (it == placements_.end()) return std::nullopt;
+  return it->second.rect;
+}
+
+std::optional<fpga::Point> Dynoc::access_router_of(fpga::ModuleId id) const {
+  auto it = placements_.find(id);
+  if (it == placements_.end()) return std::nullopt;
+  return it->second.access;
+}
+
+std::uint32_t Dynoc::total_flits(const proto::Packet& p) const {
+  const std::uint64_t bits =
+      static_cast<std::uint64_t>(p.payload_bytes) * 8 + config_.header_bits;
+  return static_cast<std::uint32_t>(
+      std::max<std::uint64_t>(1, (bits + config_.link_width_bits - 1) /
+                                     config_.link_width_bits));
+}
+
+bool Dynoc::do_send(const proto::Packet& p) {
+  auto sit = placements_.find(p.src);
+  auto dit = placements_.find(p.dst);
+  if (sit == placements_.end() || dit == placements_.end()) return false;
+  if (p.src == p.dst) {
+    delivered_[p.dst].push_back(p);
+    return true;
+  }
+  Router& a = at(sit->second.access);
+  auto& inj = a.in[static_cast<std::size_t>(Dir::kLocal)];
+  if (inj.size() + a.reserved[static_cast<std::size_t>(Dir::kLocal)] >=
+      config_.input_buffer_packets)
+    return false;
+  FlyingPacket fp;
+  fp.packet = p;
+  fp.dest = dit->second.access;
+  fp.route_timer = config_.routing_delay;
+  inj.push_back(std::move(fp));
+  return true;
+}
+
+std::optional<proto::Packet> Dynoc::do_receive(fpga::ModuleId at_module) {
+  auto it = delivered_.find(at_module);
+  if (it == delivered_.end() || it->second.empty()) return std::nullopt;
+  proto::Packet p = it->second.front();
+  it->second.pop_front();
+  return p;
+}
+
+void Dynoc::advance_links() {
+  for (int y = 0; y < config_.height; ++y) {
+    for (int x = 0; x < config_.width; ++x) {
+      Router& router = at({x, y});
+      if (!router.active) continue;
+      for (int d = 0; d < kDirCount; ++d) {
+        OutLink& o = router.out[static_cast<std::size_t>(d)];
+        if (!o.busy) continue;
+        ++o.busy_cycles;
+        if (o.flits_remaining > 0) --o.flits_remaining;
+        if (o.flits_remaining == 0) {
+          if (o.carries_packet) {
+            const fpga::Point t = step({x, y}, static_cast<Dir>(d));
+            if (router_active(t)) {
+              Router& target = at(t);
+              const auto inport = static_cast<std::size_t>(
+                  static_cast<int>(opposite(static_cast<Dir>(d))));
+              if (target.reserved[inport] > 0) --target.reserved[inport];
+              o.packet.route_timer = config_.routing_delay;
+              o.packet.tail_arrival = sim::Component::kernel().now();
+              target.in[inport].push_back(std::move(o.packet));
+            } else {
+              stats().counter("packets_dropped_reconfig").add();
+            }
+          }
+          o.busy = false;
+        }
+      }
+    }
+  }
+}
+
+void Dynoc::start_transfers() {
+  for (int y = 0; y < config_.height; ++y) {
+    for (int x = 0; x < config_.width; ++x) {
+      const fpga::Point here{x, y};
+      Router& router = at(here);
+      if (!router.active) continue;
+
+      // Count down routing pipelines at the buffer heads.
+      for (auto& q : router.in)
+        if (!q.empty() && q.front().route_timer > 0) --q.front().route_timer;
+
+      // Local ejection: one packet per cycle.
+      {
+        int& rr = router.rr[static_cast<std::size_t>(Dir::kLocal)];
+        for (int k = 0; k < kPorts; ++k) {
+          const int port = (rr + k) % kPorts;
+          auto& q = router.in[static_cast<std::size_t>(port)];
+          if (q.empty() || q.front().route_timer > 0) continue;
+          if (!(q.front().dest == here)) continue;
+          // A cut-through head must wait for its tail before ejecting.
+          if (q.front().tail_arrival > sim::Component::kernel().now())
+            continue;
+          const proto::Packet pkt = q.front().packet;
+          q.pop_front();
+          rr = (port + 1) % kPorts;
+          auto dit = delivered_.find(pkt.dst);
+          if (dit != delivered_.end()) {
+            dit->second.push_back(pkt);
+          } else {
+            stats().counter("dropped_no_module").add();
+          }
+          break;
+        }
+      }
+
+      // Link outputs.
+      for (int d = 0; d < kDirCount; ++d) {
+        OutLink& o = router.out[static_cast<std::size_t>(d)];
+        if (o.busy) continue;
+        int& rr = router.rr[static_cast<std::size_t>(d)];
+        for (int k = 0; k < kPorts; ++k) {
+          const int port = (rr + k) % kPorts;
+          auto& q = router.in[static_cast<std::size_t>(port)];
+          if (q.empty() || q.front().route_timer > 0) continue;
+          if (q.front().dest == here) continue;  // handled by ejection
+          auto dir = sxy_.route(here, q.front().dest, q.front().sxy);
+          if (!dir) {
+            stats().counter("routing_failures").add();
+            q.pop_front();
+            continue;
+          }
+          if (static_cast<int>(*dir) != d) continue;
+          const fpga::Point t = step(here, *dir);
+          Router& target = at(t);
+          const auto inport = static_cast<std::size_t>(
+              static_cast<int>(opposite(*dir)));
+          if (target.in[inport].size() + target.reserved[inport] >=
+              config_.input_buffer_packets)
+            continue;  // no credit downstream: stall
+          const std::uint32_t flits = total_flits(q.front().packet);
+          if (config_.switching == RouterSwitching::kVirtualCutThrough) {
+            // Head cuts through after the routing decision; the tail
+            // occupies the link for the serialization time while the
+            // packet already queues (and may route on) downstream.
+            FlyingPacket moved = std::move(q.front());
+            q.pop_front();
+            moved.route_timer = config_.routing_delay;
+            moved.tail_arrival = sim::Component::kernel().now() + flits;
+            target.in[inport].push_back(std::move(moved));
+            o.busy = true;
+            o.carries_packet = false;
+            o.flits_remaining = flits;
+          } else {
+            ++target.reserved[inport];
+            o.busy = true;
+            o.carries_packet = true;
+            o.packet = std::move(q.front());
+            o.flits_remaining = flits;
+            q.pop_front();
+          }
+          rr = (port + 1) % kPorts;
+          stats().counter("hops").add();
+          break;
+        }
+      }
+    }
+  }
+}
+
+void Dynoc::commit() {
+  advance_links();
+  start_transfers();
+}
+
+std::vector<std::uint64_t> Dynoc::link_busy_cycles() const {
+  std::vector<std::uint64_t> out;
+  for (int y = 0; y < config_.height; ++y) {
+    for (int x = 0; x < config_.width; ++x) {
+      const Router& r = at({x, y});
+      if (!r.active) continue;
+      for (int d = 0; d < kDirCount; ++d) {
+        if (!router_active(step({x, y}, static_cast<Dir>(d)))) continue;
+        out.push_back(r.out[static_cast<std::size_t>(d)].busy_cycles);
+      }
+    }
+  }
+  return out;
+}
+
+double Dynoc::link_load_imbalance() const {
+  const auto loads = link_busy_cycles();
+  std::uint64_t max = 0, sum = 0;
+  std::size_t used = 0;
+  for (auto l : loads) {
+    max = std::max(max, l);
+    sum += l;
+    if (l > 0) ++used;
+  }
+  if (used == 0 || sum == 0) return 1.0;
+  const double mean = static_cast<double>(sum) / static_cast<double>(used);
+  return static_cast<double>(max) / mean;
+}
+
+std::string Dynoc::render() const {
+  std::string out;
+  std::vector<char> cell(routers_.size(), '+');
+  char label = 'a';
+  for (const auto& [id, pl] : placements_) {
+    const char c = label <= 'z' ? label : '?';
+    ++label;
+    for (int y = pl.rect.y; y < pl.rect.bottom(); ++y)
+      for (int x = pl.rect.x; x < pl.rect.right(); ++x)
+        cell[static_cast<std::size_t>(idx({x, y}))] =
+            pl.rect.area() == 1 ? static_cast<char>(c - 'a' + 'A') : c;
+    if (pl.rect.area() > 1) {
+      auto& acc = cell[static_cast<std::size_t>(idx(pl.access))];
+      if (acc == '+') acc = '*';
+    }
+  }
+  for (int y = 0; y < config_.height; ++y) {
+    for (int x = 0; x < config_.width; ++x) {
+      out += cell[static_cast<std::size_t>(idx({x, y}))];
+      out += ' ';
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace recosim::dynoc

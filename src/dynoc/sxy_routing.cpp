@@ -1,0 +1,131 @@
+#include "dynoc/sxy_routing.hpp"
+
+#include <cassert>
+#include <utility>
+
+namespace recosim::dynoc {
+
+Dir opposite(Dir d) {
+  switch (d) {
+    case Dir::kNorth: return Dir::kSouth;
+    case Dir::kEast: return Dir::kWest;
+    case Dir::kSouth: return Dir::kNorth;
+    case Dir::kWest: return Dir::kEast;
+    case Dir::kLocal: return Dir::kLocal;
+  }
+  return Dir::kLocal;
+}
+
+fpga::Point step(fpga::Point p, Dir d) {
+  switch (d) {
+    case Dir::kNorth: return {p.x, p.y - 1};
+    case Dir::kEast: return {p.x + 1, p.y};
+    case Dir::kSouth: return {p.x, p.y + 1};
+    case Dir::kWest: return {p.x - 1, p.y};
+    case Dir::kLocal: return p;
+  }
+  return p;
+}
+
+const char* to_string(Dir d) {
+  switch (d) {
+    case Dir::kNorth: return "N";
+    case Dir::kEast: return "E";
+    case Dir::kSouth: return "S";
+    case Dir::kWest: return "W";
+    case Dir::kLocal: return "L";
+  }
+  return "?";
+}
+
+SxyRouter::SxyRouter(
+    std::function<bool(fpga::Point)> active,
+    std::function<std::optional<fpga::Rect>(fpga::Point)> obstacle)
+    : active_(std::move(active)), obstacle_(std::move(obstacle)) {}
+
+bool SxyRouter::passed_obstacle(fpga::Point here,
+                                const SurroundState& s) const {
+  switch (s.blocked) {
+    case Dir::kNorth: return here.y < s.obstacle.y;
+    case Dir::kSouth: return here.y >= s.obstacle.bottom();
+    case Dir::kWest: return here.x < s.obstacle.x;
+    case Dir::kEast: return here.x >= s.obstacle.right();
+    case Dir::kLocal: return true;
+  }
+  return true;
+}
+
+std::optional<Dir> SxyRouter::enter_surround(fpga::Point here, Dir wanted,
+                                             const fpga::Rect& r,
+                                             SurroundState& state) const {
+  // Walk around the module via the nearer edge; fall back to the other
+  // side when a neighbouring placement blocks the preferred ring.
+  Dir first, second;
+  if (wanted == Dir::kEast || wanted == Dir::kWest) {
+    const int to_top = here.y - r.y;
+    const int to_bottom = (r.bottom() - 1) - here.y;
+    first = to_top < to_bottom ? Dir::kNorth : Dir::kSouth;
+    second = opposite(first);
+  } else {
+    const int to_left = here.x - r.x;
+    const int to_right = (r.right() - 1) - here.x;
+    first = to_left < to_right ? Dir::kWest : Dir::kEast;
+    second = opposite(first);
+  }
+  for (Dir travel : {first, second}) {
+    if (active_(step(here, travel))) {
+      state.active = true;
+      state.blocked = wanted;
+      state.travel = travel;
+      state.obstacle = r;
+      return travel;
+    }
+  }
+  // Both ring directions blocked: back away if possible.
+  if (active_(step(here, opposite(wanted)))) return opposite(wanted);
+  return std::nullopt;
+}
+
+std::optional<Dir> SxyRouter::route(fpga::Point here, fpga::Point dest,
+                                    SurroundState& state) const {
+  if (here == dest) {
+    state.active = false;
+    return Dir::kLocal;
+  }
+  if (state.active) {
+    if (passed_obstacle(here, state)) {
+      state.active = false;  // fall through to plain XY below
+    } else if (active_(step(here, state.blocked))) {
+      // The blocked direction cleared: take it; the mode ends once the
+      // far edge is passed.
+      return state.blocked;
+    } else if (active_(step(here, state.travel))) {
+      return state.travel;  // keep walking along the module edge
+    } else {
+      // Another placement closed the ring ahead: surround that one.
+      const auto next_rect = obstacle_(step(here, state.travel));
+      if (!next_rect) return std::nullopt;  // array edge pocket
+      return enter_surround(here, state.travel, *next_rect, state);
+    }
+  }
+  // Plain XY: resolve X first, then Y.
+  Dir wanted;
+  if (here.x != dest.x) {
+    wanted = dest.x > here.x ? Dir::kEast : Dir::kWest;
+  } else {
+    wanted = dest.y > here.y ? Dir::kSouth : Dir::kNorth;
+  }
+  const fpga::Point next = step(here, wanted);
+  if (active_(next)) return wanted;
+  const auto rect = obstacle_(next);
+  if (!rect) return std::nullopt;  // walled in by the array edge
+  return enter_surround(here, wanted, *rect, state);
+}
+
+std::optional<Dir> SxyRouter::route(fpga::Point here,
+                                    fpga::Point dest) const {
+  SurroundState scratch;
+  return route(here, dest, scratch);
+}
+
+}  // namespace recosim::dynoc

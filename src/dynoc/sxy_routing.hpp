@@ -1,0 +1,68 @@
+#pragma once
+
+#include <functional>
+#include <optional>
+
+#include "fpga/geometry.hpp"
+
+namespace recosim::dynoc {
+
+/// Output directions of a DyNoC router. kLocal ejects to the attached
+/// processing element / module.
+enum class Dir { kNorth = 0, kEast = 1, kSouth = 2, kWest = 3, kLocal = 4 };
+
+inline constexpr int kDirCount = 4;  // link directions (excluding local)
+
+Dir opposite(Dir d);
+fpga::Point step(fpga::Point p, Dir d);
+const char* to_string(Dir d);
+
+/// Per-packet surround state of S-XY routing. A packet whose XY move is
+/// blocked by a placed module enters surround mode: it walks along the
+/// module's edge (travel direction) and takes the blocked direction as
+/// soon as it is clear, leaving the mode once it has passed the module's
+/// far edge. This is the state the DyNoC paper keeps in the packets that
+/// the ring routers are "informed" about.
+struct SurroundState {
+  bool active = false;
+  Dir blocked{};          // the XY direction the obstacle denied
+  Dir travel{};           // edge-walking direction chosen on entry
+  fpga::Rect obstacle{};  // the module rectangle being surrounded
+};
+
+/// Surrounding-XY routing (paper §3.2 / Bobda's S-XY): plain XY while the
+/// path is clear; blocked packets deterministically surround the module
+/// rectangle via the nearer edge. Terminates for rectangular obstacles
+/// that are fully surrounded by active routers (the placement invariant).
+class SxyRouter {
+ public:
+  /// `active(p)` must return whether the router at p exists and is active;
+  /// positions outside the array must return false.
+  /// `obstacle(p)` must return the covering module rectangle for an
+  /// inactive position (used to pick the detour side).
+  SxyRouter(std::function<bool(fpga::Point)> active,
+            std::function<std::optional<fpga::Rect>(fpga::Point)> obstacle);
+
+  /// Routing decision at router `here` for destination `dest`, updating
+  /// the packet's surround state. Returns kLocal when here == dest;
+  /// nullopt only if the packet is completely walled in (cannot happen
+  /// under the placement rules). Idempotent: calling again at the same
+  /// router with the same state yields the same decision.
+  std::optional<Dir> route(fpga::Point here, fpga::Point dest,
+                           SurroundState& state) const;
+
+  /// Convenience overload for callers that keep no state (plain XY plus
+  /// one-shot deflection; used in tests only).
+  std::optional<Dir> route(fpga::Point here, fpga::Point dest) const;
+
+ private:
+  bool passed_obstacle(fpga::Point here, const SurroundState& s) const;
+  std::optional<Dir> enter_surround(fpga::Point here, Dir wanted,
+                                    const fpga::Rect& r,
+                                    SurroundState& state) const;
+
+  std::function<bool(fpga::Point)> active_;
+  std::function<std::optional<fpga::Rect>(fpga::Point)> obstacle_;
+};
+
+}  // namespace recosim::dynoc

@@ -1,0 +1,41 @@
+#include "fpga/bitstream.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace recosim::fpga {
+
+std::uint64_t BitstreamModel::partial_bits(const Rect& r) const {
+  if (r.w <= 0 || r.h <= 0) return 0;
+  const std::uint64_t per_column =
+      static_cast<std::uint64_t>(device_.frames_per_clb_column) *
+      device_.bits_per_frame;
+  const std::uint64_t cols = static_cast<std::uint64_t>(r.w);
+  if (device_.granularity == ReconfigGranularity::kFullColumn) {
+    // Full-height frames: height of the region is irrelevant.
+    return cols * per_column;
+  }
+  // Tile granularity: frames cover only the touched rows, proportionally.
+  const double row_fraction =
+      static_cast<double>(std::min(r.h, device_.clb_rows)) /
+      static_cast<double>(device_.clb_rows);
+  return static_cast<std::uint64_t>(
+      static_cast<double>(cols * per_column) * row_fraction);
+}
+
+std::uint64_t BitstreamModel::full_bits() const {
+  return partial_bits(Rect{0, 0, device_.clb_columns, device_.clb_rows});
+}
+
+std::uint64_t BitstreamModel::icap_cycles(std::uint64_t bits) const {
+  const std::uint64_t width = device_.icap_width_bits;
+  assert(width > 0);
+  return (bits + width - 1) / width;
+}
+
+double BitstreamModel::reconfig_time_us(const Rect& r) const {
+  const std::uint64_t cycles = icap_cycles(partial_bits(r));
+  return static_cast<double>(cycles) / device_.icap_clock_mhz;
+}
+
+}  // namespace recosim::fpga

@@ -1,0 +1,38 @@
+#pragma once
+
+#include <cstdint>
+
+#include "fpga/device.hpp"
+#include "fpga/geometry.hpp"
+
+namespace recosim::fpga {
+
+/// Partial-bitstream size model.
+///
+/// On a kFullColumn device (Virtex-II) a partial bitstream always contains
+/// every frame of every column the region touches — the full device height
+/// — so reconfiguration cost scales with *width only*. On a kTile device
+/// the bitstream covers just the region's tiles. This asymmetry is what
+/// makes the slot-based architectures natural on Virtex-II and what forces
+/// CoNoChi's workarounds (paper §4.1).
+class BitstreamModel {
+ public:
+  explicit BitstreamModel(const Device& device) : device_(device) {}
+
+  /// Size in bits of the partial bitstream reconfiguring region `r`.
+  std::uint64_t partial_bits(const Rect& r) const;
+
+  /// Size in bits of a full-device bitstream.
+  std::uint64_t full_bits() const;
+
+  /// Cycles of the ICAP clock needed to stream `bits` through the port.
+  std::uint64_t icap_cycles(std::uint64_t bits) const;
+
+  /// Wall-clock microseconds to reconfigure region `r` through the ICAP.
+  double reconfig_time_us(const Rect& r) const;
+
+ private:
+  const Device device_;
+};
+
+}  // namespace recosim::fpga

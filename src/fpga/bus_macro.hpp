@@ -1,0 +1,25 @@
+#pragma once
+
+#include <cstdint>
+
+namespace recosim::fpga {
+
+/// Xilinx-style bus macro: the fixed routing bridge that carries signals
+/// across a reconfigurable-region boundary. The BUS-COM prototype's macros
+/// carry 8 bits unidirectionally and cost 20 slices each (paper §3.1).
+struct BusMacro {
+  unsigned bits_per_macro = 8;
+  std::uint32_t slices_per_macro = 20;
+
+  /// Macros needed to carry `bits` unidirectionally across one boundary.
+  std::uint32_t count_for(unsigned bits) const {
+    return (bits + bits_per_macro - 1) / bits_per_macro;
+  }
+
+  /// Slice cost of carrying `bits` across one boundary.
+  std::uint32_t slices_for(unsigned bits) const {
+    return count_for(bits) * slices_per_macro;
+  }
+};
+
+}  // namespace recosim::fpga

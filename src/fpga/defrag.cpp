@@ -1,0 +1,119 @@
+#include "fpga/defrag.hpp"
+
+#include <algorithm>
+
+#include "fpga/kamer.hpp"
+#include "fpga/placer.hpp"
+
+namespace recosim::fpga {
+
+std::vector<Rect> Defragmenter::free_rectangles(const Floorplan& plan) {
+  // Reuse the KAMER maximal-rectangle machinery on a scratch copy.
+  Floorplan copy = plan;
+  KamerPlacer scratch(copy);
+  return scratch.free_rectangles();
+}
+
+int Defragmenter::largest_free(const Floorplan& plan) {
+  int best = 0;
+  for (const Rect& r : free_rectangles(plan)) best = std::max(best, r.area());
+  return best;
+}
+
+Defragmenter::Plan Defragmenter::plan_compaction(int max_moves) const {
+  Plan result;
+  Floorplan sim = plan_;
+  result.largest_free_before = largest_free(sim);
+  for (int step = 0; step < max_moves; ++step) {
+    const int current = largest_free(sim);
+    Move best_move{};
+    int best_gain = 0;
+    // Try every module: remove, re-place bottom-left, measure the gain.
+    const auto regions = sim.regions();  // copy: we mutate inside
+    for (const auto& [id, from] : regions) {
+      Floorplan trial = sim;
+      trial.remove(id);
+      // Bottom-left-most free position for the module's rectangle that
+      // is not its old position.
+      RectPlacer placer(trial);
+      auto to = placer.find(from.w, from.h);
+      if (!to || *to == from) continue;
+      trial.place(id, *to);
+      const int gain = largest_free(trial) - current;
+      if (gain > best_gain) {
+        best_gain = gain;
+        best_move = Move{id, from, *to, bits_.reconfig_time_us(*to)};
+      }
+    }
+    if (best_gain <= 0) break;
+    sim.remove(best_move.id);
+    sim.place(best_move.id, best_move.to);
+    result.total_cost_us += best_move.cost_us;
+    result.moves.push_back(best_move);
+  }
+  result.largest_free_after = largest_free(sim);
+  return result;
+}
+
+namespace {
+bool fits_with_clearance(const Floorplan& plan, int w, int h,
+                         int clearance) {
+  Floorplan copy = plan;
+  RectPlacer probe(copy, clearance);
+  return probe.find(w, h).has_value();
+}
+}  // namespace
+
+Defragmenter::Plan Defragmenter::plan_for(int w, int h, int clearance,
+                                          int max_moves) const {
+  Plan result;
+  Floorplan sim = plan_;
+  result.largest_free_before = largest_free(sim);
+  result.target_fits = fits_with_clearance(sim, w, h, clearance);
+  for (int step = 0; step < max_moves && !result.target_fits; ++step) {
+    const int current = largest_free(sim);
+    Move best_move{};
+    bool best_fits = false;
+    int best_gain = -1;
+    const auto regions = sim.regions();
+    for (const auto& [id, from] : regions) {
+      Floorplan trial = sim;
+      trial.remove(id);
+      RectPlacer placer(trial);
+      auto to = placer.find(from.w, from.h);
+      if (!to || *to == from) continue;
+      trial.place(id, *to);
+      const bool fits = fits_with_clearance(trial, w, h, clearance);
+      const int gain = largest_free(trial) - current;
+      if ((fits && !best_fits) ||
+          (fits == best_fits && gain > best_gain)) {
+        best_fits = fits;
+        best_gain = gain;
+        best_move = Move{id, from, *to, bits_.reconfig_time_us(*to)};
+      }
+    }
+    if (best_gain < 0 || (best_gain == 0 && !best_fits)) break;
+    sim.remove(best_move.id);
+    sim.place(best_move.id, best_move.to);
+    result.total_cost_us += best_move.cost_us;
+    result.moves.push_back(best_move);
+    result.target_fits = best_fits;
+  }
+  result.largest_free_after = largest_free(sim);
+  return result;
+}
+
+bool Defragmenter::apply(const Plan& plan) {
+  for (const Move& m : plan.moves) {
+    auto cur = plan_.region_of(m.id);
+    if (!cur || !(*cur == m.from)) return false;
+    if (!plan_.remove(m.id)) return false;
+    if (!plan_.place(m.id, m.to)) {
+      plan_.place(m.id, m.from);  // roll this module back
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace recosim::fpga

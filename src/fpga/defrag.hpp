@@ -1,0 +1,70 @@
+#pragma once
+
+#include <vector>
+
+#include "fpga/bitstream.hpp"
+#include "fpga/floorplan.hpp"
+#include "fpga/module.hpp"
+
+namespace recosim::fpga {
+
+/// Fragmentation analysis and compaction planning for a dynamically
+/// reconfigurable floorplan. After runtime churn, free area is scattered
+/// and large modules stop fitting even though total free space suffices —
+/// the placement problem the paper's introduction lists alongside the
+/// communication problem. The defragmenter proposes module relocations
+/// that grow the largest placeable rectangle, pricing every move with the
+/// device's partial-bitstream reconfiguration time (moving a module means
+/// rewriting it at the new location through the ICAP).
+class Defragmenter {
+ public:
+  Defragmenter(Floorplan& plan, const Device& device)
+      : plan_(plan), bits_(device) {}
+
+  struct Move {
+    ModuleId id;
+    Rect from;
+    Rect to;
+    double cost_us;  // ICAP time to write the module at `to`
+  };
+
+  struct Plan {
+    std::vector<Move> moves;
+    int largest_free_before = 0;
+    int largest_free_after = 0;
+    double total_cost_us = 0.0;
+    /// Set by plan_for(): whether the target module fits after the plan.
+    bool target_fits = false;
+
+    bool improves() const {
+      return largest_free_after > largest_free_before;
+    }
+  };
+
+  /// Area of the largest free rectangle currently placeable.
+  int largest_free_rect_area() const { return largest_free(plan_); }
+
+  /// Greedy compaction: repeatedly relocate the module whose move to the
+  /// bottom-left-most free position grows the largest free rectangle the
+  /// most. Simulated on a copy; the floorplan is untouched.
+  Plan plan_compaction(int max_moves = 8) const;
+
+  /// Target-aware compaction: relocate modules until a w x h module (with
+  /// `clearance` ring against other modules) becomes placeable, preferring
+  /// moves that achieve that directly, otherwise the largest-rectangle
+  /// gain. Plan.target_fits reports success.
+  Plan plan_for(int w, int h, int clearance, int max_moves = 8) const;
+
+  /// Execute a plan. Returns false (leaving a partial application) only
+  /// if the floorplan changed since planning.
+  bool apply(const Plan& plan);
+
+ private:
+  static int largest_free(const Floorplan& plan);
+  static std::vector<Rect> free_rectangles(const Floorplan& plan);
+
+  Floorplan& plan_;
+  BitstreamModel bits_;
+};
+
+}  // namespace recosim::fpga

@@ -1,0 +1,50 @@
+#include "fpga/device.hpp"
+
+namespace recosim::fpga {
+
+// Geometry and frame data follow the Xilinx Virtex-II data sheet (DS031):
+// frame length in bits is 32 * (glue + 4 * rows-dependent words); we use the
+// documented per-device frame sizes rounded to whole 32-bit words.
+
+Device Device::xc2v3000() {
+  Device d;
+  d.name = "XC2V3000";
+  d.clb_columns = 56;
+  d.clb_rows = 64;
+  d.bits_per_frame = 6'848;
+  return d;
+}
+
+Device Device::xc2v6000() {
+  Device d;
+  d.name = "XC2V6000";
+  d.clb_columns = 88;
+  d.clb_rows = 96;
+  d.bits_per_frame = 9'888;
+  return d;
+}
+
+Device Device::xc2vp100() {
+  Device d;
+  d.name = "XC2VP100";
+  d.clb_columns = 94;
+  d.clb_rows = 120;
+  d.bits_per_frame = 12'256;
+  return d;
+}
+
+Device Device::virtex4_like() {
+  Device d;
+  d.name = "V4-like";
+  d.clb_columns = 88;
+  d.clb_rows = 96;
+  d.granularity = ReconfigGranularity::kTile;
+  // Virtex-4 frames span 16 CLB rows, not the full column.
+  d.frames_per_clb_column = 22;
+  d.bits_per_frame = 1'312;
+  d.icap_width_bits = 32;
+  d.icap_clock_mhz = 100.0;
+  return d;
+}
+
+}  // namespace recosim::fpga

@@ -1,0 +1,51 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "fpga/resource.hpp"
+
+namespace recosim::fpga {
+
+/// How fine-grained the device can be partially reconfigured. Virtex-II is
+/// strictly column-based (a frame always spans the full device height) —
+/// the restriction the paper blames for the slot-based bus designs and for
+/// CoNoChi's workarounds. Virtex-4-style devices reconfigure per tile.
+enum class ReconfigGranularity {
+  kFullColumn,  // Virtex-II: smallest unit = one CLB column, full height
+  kTile,        // Virtex-4 and later: rectangular regions
+};
+
+/// Static description of an FPGA device: geometry, resources and
+/// configuration-port parameters. The three devices used by the paper's
+/// prototypes are provided as named factories.
+struct Device {
+  std::string name;
+  int clb_columns = 0;
+  int clb_rows = 0;
+  /// A Virtex-II CLB contains 4 slices.
+  std::uint32_t slices_per_clb = 4;
+  ReconfigGranularity granularity = ReconfigGranularity::kFullColumn;
+
+  /// Configuration frames per CLB column and bits per frame.
+  std::uint32_t frames_per_clb_column = 22;
+  std::uint32_t bits_per_frame = 0;
+
+  /// ICAP (Internal Configuration Access Port) byte width and clock.
+  std::uint32_t icap_width_bits = 8;
+  double icap_clock_mhz = 66.0;
+
+  Resources total() const {
+    return Resources{static_cast<std::uint32_t>(clb_columns) *
+                         static_cast<std::uint32_t>(clb_rows) * slices_per_clb,
+                     0, 0};
+  }
+
+  /// Devices used by the paper's prototypes.
+  static Device xc2v3000();      // BUS-COM prototype
+  static Device xc2v6000();      // RMBoC and DyNoC prototypes
+  static Device xc2vp100();      // nearest model of "Virtex-II Pro 1000" (CoNoChi)
+  static Device virtex4_like();  // tile-reconfigurable target CoNoChi asks for
+};
+
+}  // namespace recosim::fpga

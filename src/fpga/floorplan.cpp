@@ -1,0 +1,74 @@
+#include "fpga/floorplan.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace recosim::fpga {
+
+Floorplan::Floorplan(const Device& device)
+    : device_(device),
+      grid_(static_cast<std::size_t>(device.clb_columns) *
+                static_cast<std::size_t>(device.clb_rows),
+            kInvalidModule) {
+  assert(device.clb_columns > 0 && device.clb_rows > 0);
+}
+
+bool Floorplan::in_bounds(const Rect& r) const {
+  return r.w > 0 && r.h > 0 && r.x >= 0 && r.y >= 0 &&
+         r.right() <= columns() && r.bottom() <= rows();
+}
+
+bool Floorplan::is_free(const Rect& r) const {
+  if (!in_bounds(r)) return false;
+  for (int y = r.y; y < r.bottom(); ++y)
+    for (int x = r.x; x < r.right(); ++x)
+      if (grid_[static_cast<std::size_t>(idx({x, y}))] != kInvalidModule)
+        return false;
+  return true;
+}
+
+bool Floorplan::place(ModuleId id, const Rect& r) {
+  if (id == kInvalidModule || regions_.count(id) || !is_free(r)) return false;
+  for (int y = r.y; y < r.bottom(); ++y)
+    for (int x = r.x; x < r.right(); ++x)
+      grid_[static_cast<std::size_t>(idx({x, y}))] = id;
+  regions_.emplace(id, r);
+  return true;
+}
+
+bool Floorplan::remove(ModuleId id) {
+  auto it = regions_.find(id);
+  if (it == regions_.end()) return false;
+  const Rect& r = it->second;
+  for (int y = r.y; y < r.bottom(); ++y)
+    for (int x = r.x; x < r.right(); ++x)
+      grid_[static_cast<std::size_t>(idx({x, y}))] = kInvalidModule;
+  regions_.erase(it);
+  return true;
+}
+
+std::optional<Rect> Floorplan::region_of(ModuleId id) const {
+  auto it = regions_.find(id);
+  if (it == regions_.end()) return std::nullopt;
+  return it->second;
+}
+
+ModuleId Floorplan::owner_at(Point p) const {
+  if (p.x < 0 || p.x >= columns() || p.y < 0 || p.y >= rows())
+    return kInvalidModule;
+  return grid_[static_cast<std::size_t>(idx(p))];
+}
+
+int Floorplan::free_clbs() const {
+  return static_cast<int>(
+      std::count(grid_.begin(), grid_.end(), kInvalidModule));
+}
+
+std::vector<int> Floorplan::disturbed_columns(const Rect& r) const {
+  std::vector<int> cols;
+  for (int x = std::max(0, r.x); x < std::min(columns(), r.right()); ++x)
+    cols.push_back(x);
+  return cols;
+}
+
+}  // namespace recosim::fpga

@@ -1,0 +1,58 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "fpga/device.hpp"
+#include "fpga/geometry.hpp"
+#include "fpga/module.hpp"
+
+namespace recosim::fpga {
+
+/// Occupancy tracking of a device's CLB/tile grid. The floorplan is the
+/// ground truth for which regions are free, which module owns which
+/// rectangle, and (for column devices) which columns a reconfiguration
+/// write would disturb.
+class Floorplan {
+ public:
+  explicit Floorplan(const Device& device);
+
+  const Device& device() const { return device_; }
+  int columns() const { return device_.clb_columns; }
+  int rows() const { return device_.clb_rows; }
+
+  bool in_bounds(const Rect& r) const;
+  bool is_free(const Rect& r) const;
+
+  /// Claim `r` for `id`. Returns false (and changes nothing) if out of
+  /// bounds or overlapping an existing placement.
+  bool place(ModuleId id, const Rect& r);
+
+  /// Release the rectangle owned by `id`. Returns false if `id` is absent.
+  bool remove(ModuleId id);
+
+  std::optional<Rect> region_of(ModuleId id) const;
+  /// Owner of a tile, or kInvalidModule when free / out of bounds.
+  ModuleId owner_at(Point p) const;
+
+  std::size_t placed_count() const { return regions_.size(); }
+  const std::map<ModuleId, Rect>& regions() const { return regions_; }
+
+  /// Total free CLBs.
+  int free_clbs() const;
+
+  /// Columns touched by `r` (whole columns on kFullColumn devices: writing
+  /// any part of a column reconfigures all of it).
+  std::vector<int> disturbed_columns(const Rect& r) const;
+
+ private:
+  int idx(Point p) const { return p.y * columns() + p.x; }
+
+  const Device device_;
+  std::vector<ModuleId> grid_;  // kInvalidModule = free
+  std::map<ModuleId, Rect> regions_;
+};
+
+}  // namespace recosim::fpga

@@ -1,0 +1,45 @@
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+namespace recosim::fpga {
+
+/// Grid coordinate on the fabric. x runs over CLB columns, y over rows;
+/// (0,0) is the top-left corner, matching the figures in the paper.
+struct Point {
+  int x = 0;
+  int y = 0;
+
+  friend bool operator==(const Point&, const Point&) = default;
+};
+
+/// Axis-aligned rectangle of CLBs/tiles, [x, x+w) x [y, y+h).
+struct Rect {
+  int x = 0;
+  int y = 0;
+  int w = 0;
+  int h = 0;
+
+  int area() const { return w * h; }
+  int right() const { return x + w; }    // one past the last column
+  int bottom() const { return y + h; }   // one past the last row
+
+  bool contains(Point p) const {
+    return p.x >= x && p.x < right() && p.y >= y && p.y < bottom();
+  }
+
+  bool overlaps(const Rect& o) const {
+    return x < o.right() && o.x < right() && y < o.bottom() && o.y < bottom();
+  }
+
+  /// Rectangle grown by one tile on every side (clipped by the caller);
+  /// used for DyNoC's "module surrounded by routers" ring.
+  Rect inflated(int margin = 1) const {
+    return Rect{x - margin, y - margin, w + 2 * margin, h + 2 * margin};
+  }
+
+  friend bool operator==(const Rect&, const Rect&) = default;
+};
+
+}  // namespace recosim::fpga

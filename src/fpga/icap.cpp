@@ -1,0 +1,52 @@
+#include "fpga/icap.hpp"
+
+#include <cassert>
+#include <cmath>
+
+#include "sim/kernel.hpp"
+
+namespace recosim::fpga {
+
+Icap::Icap(sim::Kernel& kernel, const Device& device,
+           double system_clock_mhz)
+    : sim::Component(kernel, "icap"),
+      model_(device),
+      system_clock_mhz_(system_clock_mhz),
+      icap_clock_mhz_(device.icap_clock_mhz) {
+  assert(system_clock_mhz > 0.0);
+}
+
+void Icap::request(ModuleId id, const Rect& region,
+                   std::function<void(ModuleId)> on_done) {
+  queue_.push_back(Job{id, region, std::move(on_done)});
+  stats_.counter("requests").add();
+}
+
+void Icap::eval() {
+  finish_pending_ = current_.has_value() && remaining_ == 0;
+}
+
+void Icap::commit() {
+  if (finish_pending_) {
+    stats_.counter("completed").add();
+    auto job = std::move(*current_);
+    current_.reset();
+    if (job.on_done) job.on_done(job.id);
+  }
+  if (!current_ && !queue_.empty()) {
+    current_ = std::move(queue_.front());
+    queue_.pop_front();
+    const std::uint64_t icap_cycles =
+        model_.icap_cycles(model_.partial_bits(current_->region));
+    // Rescale the ICAP-clock transfer into system-clock cycles.
+    const double scale = system_clock_mhz_ / icap_clock_mhz_;
+    remaining_ = static_cast<sim::Cycle>(
+        std::ceil(static_cast<double>(icap_cycles) * scale));
+    if (remaining_ == 0) remaining_ = 1;
+    stats_.stat("reconfig_cycles").add(static_cast<double>(remaining_));
+  } else if (current_ && remaining_ > 0) {
+    --remaining_;
+  }
+}
+
+}  // namespace recosim::fpga

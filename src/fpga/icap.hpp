@@ -1,0 +1,60 @@
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <optional>
+#include <string>
+
+#include "fpga/bitstream.hpp"
+#include "fpga/geometry.hpp"
+#include "fpga/module.hpp"
+#include "sim/component.hpp"
+#include "sim/stats.hpp"
+#include "sim/types.hpp"
+
+namespace recosim::fpga {
+
+/// Simulation-time model of the internal configuration access port: one
+/// reconfiguration at a time, each occupying the port for the number of
+/// cycles the bitstream model predicts (converted to the system clock).
+/// Completion callbacks let architectures attach/detach modules at the
+/// exact cycle the fabric change becomes effective.
+class Icap final : public sim::Component {
+ public:
+  /// `system_clock_mhz` is the clock the kernel cycles represent; ICAP
+  /// transfer times are rescaled from the ICAP clock into system cycles.
+  Icap(sim::Kernel& kernel, const Device& device, double system_clock_mhz);
+
+  /// Queue a reconfiguration of `region`; `on_done` fires in the cycle the
+  /// last configuration frame has been written.
+  void request(ModuleId id, const Rect& region,
+               std::function<void(ModuleId)> on_done);
+
+  bool busy() const { return current_.has_value() || !queue_.empty(); }
+  std::size_t pending() const {
+    return queue_.size() + (current_ ? 1u : 0u);
+  }
+
+  void eval() override;
+  void commit() override;
+
+  const sim::StatSet& stats() const { return stats_; }
+
+ private:
+  struct Job {
+    ModuleId id;
+    Rect region;
+    std::function<void(ModuleId)> on_done;
+  };
+
+  BitstreamModel model_;
+  double system_clock_mhz_;
+  double icap_clock_mhz_;
+  std::deque<Job> queue_;
+  std::optional<Job> current_;
+  sim::Cycle remaining_ = 0;
+  bool finish_pending_ = false;
+  sim::StatSet stats_;
+};
+
+}  // namespace recosim::fpga

@@ -1,0 +1,115 @@
+#include "fpga/kamer.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace recosim::fpga {
+
+KamerPlacer::KamerPlacer(Floorplan& plan, int clearance)
+    : plan_(plan), clearance_(clearance) {
+  assert(clearance >= 0);
+  rebuild();
+}
+
+void KamerPlacer::rebuild() {
+  free_.clear();
+  free_.push_back(Rect{0, 0, plan_.columns(), plan_.rows()});
+  for (const auto& [id, r] : plan_.regions()) split_by(r);
+  prune_contained();
+}
+
+void KamerPlacer::split_by(const Rect& placed) {
+  std::vector<Rect> next;
+  next.reserve(free_.size() * 2);
+  for (const Rect& f : free_) {
+    if (!f.overlaps(placed)) {
+      next.push_back(f);
+      continue;
+    }
+    // Guillotine the free rectangle into up to four maximal pieces.
+    if (placed.x > f.x)
+      next.push_back(Rect{f.x, f.y, placed.x - f.x, f.h});
+    if (placed.right() < f.right())
+      next.push_back(
+          Rect{placed.right(), f.y, f.right() - placed.right(), f.h});
+    if (placed.y > f.y)
+      next.push_back(Rect{f.x, f.y, f.w, placed.y - f.y});
+    if (placed.bottom() < f.bottom())
+      next.push_back(
+          Rect{f.x, placed.bottom(), f.w, f.bottom() - placed.bottom()});
+  }
+  free_ = std::move(next);
+  prune_contained();
+}
+
+void KamerPlacer::prune_contained() {
+  std::vector<Rect> pruned;
+  for (std::size_t i = 0; i < free_.size(); ++i) {
+    const Rect& a = free_[i];
+    if (a.w <= 0 || a.h <= 0) continue;
+    bool contained = false;
+    for (std::size_t j = 0; j < free_.size() && !contained; ++j) {
+      if (i == j) continue;
+      const Rect& b = free_[j];
+      const bool inside = a.x >= b.x && a.y >= b.y &&
+                          a.right() <= b.right() && a.bottom() <= b.bottom();
+      // Strictly contained, or equal with the lower index kept.
+      if (inside && (!(a == b) || j < i)) contained = true;
+    }
+    if (!contained) pruned.push_back(a);
+  }
+  free_ = std::move(pruned);
+}
+
+std::optional<Rect> KamerPlacer::find(int w, int h) const {
+  if (w <= 0 || h <= 0) return std::nullopt;
+  const int need_w = w + 2 * clearance_;
+  const int need_h = h + 2 * clearance_;
+  std::optional<Rect> best;
+  long best_waste = 0;
+  for (const Rect& f : free_) {
+    // Clearance is only needed against other modules, not the device
+    // edge: clip the requirement at the borders.
+    const int eff_w = w + ((f.x > 0) ? clearance_ : 0) +
+                      ((f.right() < plan_.columns()) ? clearance_ : 0);
+    const int eff_h = h + ((f.y > 0) ? clearance_ : 0) +
+                      ((f.bottom() < plan_.rows()) ? clearance_ : 0);
+    (void)need_w;
+    (void)need_h;
+    if (f.w < eff_w || f.h < eff_h) continue;
+    const long waste = static_cast<long>(f.area()) - w * h;
+    const Rect candidate{f.x + ((f.x > 0) ? clearance_ : 0),
+                         f.y + ((f.y > 0) ? clearance_ : 0), w, h};
+    if (!best || waste < best_waste ||
+        (waste == best_waste &&
+         (candidate.y < best->y ||
+          (candidate.y == best->y && candidate.x < best->x)))) {
+      best = candidate;
+      best_waste = waste;
+    }
+  }
+  return best;
+}
+
+std::optional<Rect> KamerPlacer::place(ModuleId id,
+                                       const HardwareModule& m) {
+  auto r = find(m.width_clbs, m.height_clbs);
+  if (!r) return std::nullopt;
+  if (!plan_.place(id, *r)) return std::nullopt;
+  // Splitting by the clearance-inflated footprint keeps rings free.
+  split_by(clearance_ > 0 ? r->inflated(clearance_) : *r);
+  return r;
+}
+
+bool KamerPlacer::remove(ModuleId id) {
+  if (!plan_.remove(id)) return false;
+  rebuild();
+  return true;
+}
+
+double KamerPlacer::free_fraction() const {
+  return static_cast<double>(plan_.free_clbs()) /
+         static_cast<double>(plan_.columns() * plan_.rows());
+}
+
+}  // namespace recosim::fpga

@@ -1,0 +1,46 @@
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "fpga/floorplan.hpp"
+#include "fpga/module.hpp"
+
+namespace recosim::fpga {
+
+/// Online 2-D placer that keeps the list of *maximal empty rectangles*
+/// (the KAMER approach from the online-placement literature the paper's
+/// introduction points to). Placement picks the free rectangle with the
+/// best fit (least leftover area; bottom-left tie break), which packs
+/// considerably tighter than bottom-left first-fit scanning when modules
+/// churn at runtime.
+class KamerPlacer {
+ public:
+  explicit KamerPlacer(Floorplan& plan, int clearance = 0);
+
+  /// Best-fit position for a w x h module (with clearance ring), or
+  /// nullopt. Does not claim the region.
+  std::optional<Rect> find(int w, int h) const;
+
+  /// Find and claim. Returns the placed rectangle.
+  std::optional<Rect> place(ModuleId id, const HardwareModule& m);
+
+  bool remove(ModuleId id);
+
+  /// Current maximal-empty-rectangle list (for tests/inspection).
+  const std::vector<Rect>& free_rectangles() const { return free_; }
+
+  /// Fraction of device CLBs currently free.
+  double free_fraction() const;
+
+ private:
+  void rebuild();
+  void split_by(const Rect& placed);
+  void prune_contained();
+
+  Floorplan& plan_;
+  int clearance_;
+  std::vector<Rect> free_;
+};
+
+}  // namespace recosim::fpga

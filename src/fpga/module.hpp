@@ -1,0 +1,32 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "fpga/geometry.hpp"
+#include "fpga/resource.hpp"
+
+namespace recosim::fpga {
+
+/// Identifier a communication architecture uses to address a module once it
+/// is attached to the network.
+using ModuleId = std::uint32_t;
+inline constexpr ModuleId kInvalidModule = 0xFFFFFFFFu;
+
+/// Descriptor of a dynamically loadable hardware module: its footprint on
+/// the fabric and its interface width. Bus-based architectures constrain
+/// the footprint to a slot; NoC-based ones accept any rectangle.
+struct HardwareModule {
+  std::string name;
+  /// Requested footprint in CLBs/tiles (w x h). For slot-based systems only
+  /// w is honoured (height is the slot height).
+  int width_clbs = 1;
+  int height_clbs = 1;
+  Resources demand{};
+  /// Data interface width towards the communication architecture, in bits.
+  unsigned port_width_bits = 32;
+
+  int area_clbs() const { return width_clbs * height_clbs; }
+};
+
+}  // namespace recosim::fpga

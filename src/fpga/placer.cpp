@@ -1,0 +1,172 @@
+#include "fpga/placer.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace recosim::fpga {
+
+SlotPlacer::SlotPlacer(Floorplan& plan, int slot_count) : plan_(plan) {
+  assert(slot_count > 0);
+  const int cols = plan.columns();
+  assert(slot_count <= cols);
+  const int base = cols / slot_count;
+  int extra = cols % slot_count;
+  int x = 0;
+  for (int s = 0; s < slot_count; ++s) {
+    int w = base + (s < extra ? 1 : 0);
+    slots_.push_back(Rect{x, 0, w, plan.rows()});
+    x += w;
+  }
+  occupant_.assign(static_cast<std::size_t>(slot_count), kInvalidModule);
+}
+
+bool SlotPlacer::fits(const HardwareModule& m) const {
+  // All slots are within one CLB of each other; check the narrowest.
+  int min_w = slots_.back().w;
+  return m.width_clbs <= min_w && m.height_clbs <= plan_.rows();
+}
+
+std::optional<int> SlotPlacer::place(ModuleId id, const HardwareModule& m) {
+  for (int s = 0; s < slot_count(); ++s)
+    if (occupant_[static_cast<std::size_t>(s)] == kInvalidModule &&
+        place_in_slot(id, m, s))
+      return s;
+  return std::nullopt;
+}
+
+bool SlotPlacer::place_in_slot(ModuleId id, const HardwareModule& m,
+                               int slot) {
+  if (slot < 0 || slot >= slot_count()) return false;
+  if (occupant_[static_cast<std::size_t>(slot)] != kInvalidModule)
+    return false;
+  if (!fits(m)) return false;
+  // A slot module owns the whole slot region: that is exactly the
+  // column-granularity restriction of the Virtex-II flow.
+  if (!plan_.place(id, slots_[static_cast<std::size_t>(slot)])) return false;
+  occupant_[static_cast<std::size_t>(slot)] = id;
+  return true;
+}
+
+bool SlotPlacer::remove(ModuleId id) {
+  auto s = slot_of(id);
+  if (!s) return false;
+  occupant_[static_cast<std::size_t>(*s)] = kInvalidModule;
+  return plan_.remove(id);
+}
+
+std::optional<int> SlotPlacer::slot_of(ModuleId id) const {
+  for (int s = 0; s < slot_count(); ++s)
+    if (occupant_[static_cast<std::size_t>(s)] == id) return s;
+  return std::nullopt;
+}
+
+int SlotPlacer::free_slots() const {
+  return static_cast<int>(
+      std::count(occupant_.begin(), occupant_.end(), kInvalidModule));
+}
+
+StackedSlotPlacer::StackedSlotPlacer(Floorplan& plan, int slot_count)
+    : plan_(plan) {
+  assert(slot_count > 0 && slot_count <= plan.columns());
+  const int base = plan.columns() / slot_count;
+  int extra = plan.columns() % slot_count;
+  int x = 0;
+  for (int s = 0; s < slot_count; ++s) {
+    const int w = base + (s < extra ? 1 : 0);
+    slots_.push_back(Rect{x, 0, w, plan.rows()});
+    x += w;
+  }
+}
+
+std::optional<Rect> StackedSlotPlacer::place(ModuleId id,
+                                             const HardwareModule& m) {
+  if (m.height_clbs <= 0) return std::nullopt;
+  for (int s = 0; s < slot_count(); ++s) {
+    const Rect& slot = slots_[static_cast<std::size_t>(s)];
+    if (m.width_clbs > slot.w) continue;
+    // First-fit vertical offset: the module spans the slot's full width
+    // (the bus macros run along the slot edge), height is its own.
+    for (int y = 0; y + m.height_clbs <= slot.h; ++y) {
+      const Rect r{slot.x, y, slot.w, m.height_clbs};
+      if (!plan_.is_free(r)) continue;
+      if (!plan_.place(id, r)) continue;
+      slot_by_module_[id] = s;
+      return r;
+    }
+  }
+  return std::nullopt;
+}
+
+bool StackedSlotPlacer::remove(ModuleId id) {
+  auto it = slot_by_module_.find(id);
+  if (it == slot_by_module_.end()) return false;
+  slot_by_module_.erase(it);
+  return plan_.remove(id);
+}
+
+std::optional<int> StackedSlotPlacer::slot_of(ModuleId id) const {
+  auto it = slot_by_module_.find(id);
+  if (it == slot_by_module_.end()) return std::nullopt;
+  return it->second;
+}
+
+int StackedSlotPlacer::modules_in_slot(int slot) const {
+  int n = 0;
+  for (const auto& [id, s] : slot_by_module_)
+    if (s == slot) ++n;
+  return n;
+}
+
+int StackedSlotPlacer::free_rows(int slot) const {
+  const Rect& r = slots_.at(static_cast<std::size_t>(slot));
+  int best = 0, run = 0;
+  for (int y = 0; y < r.h; ++y) {
+    bool row_free = true;
+    for (int x = r.x; x < r.right() && row_free; ++x)
+      if (plan_.owner_at({x, y}) != kInvalidModule) row_free = false;
+    run = row_free ? run + 1 : 0;
+    best = std::max(best, run);
+  }
+  return best;
+}
+
+RectPlacer::RectPlacer(Floorplan& plan, int clearance)
+    : plan_(plan), clearance_(clearance) {
+  assert(clearance >= 0);
+}
+
+bool RectPlacer::clear_around(const Rect& r) const {
+  if (clearance_ == 0) return true;
+  Rect ring = r.inflated(clearance_);
+  for (int y = ring.y; y < ring.bottom(); ++y) {
+    for (int x = ring.x; x < ring.right(); ++x) {
+      if (r.contains({x, y})) continue;
+      // Off-device ring positions are fine (the device edge acts as the
+      // boundary); occupied ones are not.
+      if (plan_.owner_at({x, y}) != kInvalidModule &&
+          x >= 0 && x < plan_.columns() && y >= 0 && y < plan_.rows())
+        return false;
+    }
+  }
+  return true;
+}
+
+std::optional<Rect> RectPlacer::find(int w, int h) const {
+  if (w <= 0 || h <= 0) return std::nullopt;
+  for (int y = 0; y + h <= plan_.rows(); ++y) {
+    for (int x = 0; x + w <= plan_.columns(); ++x) {
+      Rect r{x, y, w, h};
+      if (plan_.is_free(r) && clear_around(r)) return r;
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<Rect> RectPlacer::place(ModuleId id, const HardwareModule& m) {
+  auto r = find(m.width_clbs, m.height_clbs);
+  if (!r) return std::nullopt;
+  if (!plan_.place(id, *r)) return std::nullopt;
+  return r;
+}
+
+}  // namespace recosim::fpga

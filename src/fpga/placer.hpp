@@ -1,0 +1,93 @@
+#pragma once
+
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "fpga/floorplan.hpp"
+#include "fpga/module.hpp"
+
+namespace recosim::fpga {
+
+/// Online placement for slot-based (bus) architectures: the device is
+/// divided at construction into m equal-width, full-height slots; a module
+/// occupies exactly one slot regardless of its real area (the paper's
+/// criticism of the slot model). Placement is first-fit over free slots.
+class SlotPlacer {
+ public:
+  SlotPlacer(Floorplan& plan, int slot_count);
+
+  int slot_count() const { return static_cast<int>(slots_.size()); }
+  const Rect& slot_region(int slot) const { return slots_.at(slot); }
+
+  /// True when the module's requested width fits the slot width.
+  bool fits(const HardwareModule& m) const;
+
+  /// Place `m` in the first free slot; returns the slot index.
+  std::optional<int> place(ModuleId id, const HardwareModule& m);
+
+  /// Place into a specific slot (for scripted scenarios).
+  bool place_in_slot(ModuleId id, const HardwareModule& m, int slot);
+
+  bool remove(ModuleId id);
+  std::optional<int> slot_of(ModuleId id) const;
+  int free_slots() const;
+
+ private:
+  Floorplan& plan_;
+  std::vector<Rect> slots_;
+  std::vector<ModuleId> occupant_;  // kInvalidModule = free
+};
+
+/// Placement model of the *extended* BUS-COM version (paper §3.1): slots
+/// keep their fixed width, but module height is arbitrary, so several
+/// modules stack vertically inside one slot. Placement is first-fit over
+/// (slot, vertical offset); the connection of stacked modules to the bus
+/// happens through the same slot interface.
+class StackedSlotPlacer {
+ public:
+  StackedSlotPlacer(Floorplan& plan, int slot_count);
+
+  int slot_count() const { return static_cast<int>(slots_.size()); }
+  const Rect& slot_region(int slot) const { return slots_.at(slot); }
+
+  /// Place `m` at the lowest free vertical offset of the first slot with
+  /// room. Returns the placed rectangle.
+  std::optional<Rect> place(ModuleId id, const HardwareModule& m);
+
+  bool remove(ModuleId id);
+  std::optional<int> slot_of(ModuleId id) const;
+  int modules_in_slot(int slot) const;
+  /// Free CLB rows remaining in a slot (largest contiguous run).
+  int free_rows(int slot) const;
+
+ private:
+  Floorplan& plan_;
+  std::vector<Rect> slots_;
+  std::map<ModuleId, int> slot_by_module_;
+};
+
+/// Online placement for NoC architectures: modules are arbitrary rectangles
+/// placed bottom-left first-fit (scan rows top-to-bottom, columns
+/// left-to-right), optionally keeping a one-tile clearance ring so that
+/// DyNoC modules stay surrounded by routers.
+class RectPlacer {
+ public:
+  explicit RectPlacer(Floorplan& plan, int clearance = 0);
+
+  /// Find a position for a w x h rectangle without claiming it.
+  std::optional<Rect> find(int w, int h) const;
+
+  /// Find and claim. Returns the placed rectangle.
+  std::optional<Rect> place(ModuleId id, const HardwareModule& m);
+
+  bool remove(ModuleId id) { return plan_.remove(id); }
+
+ private:
+  bool clear_around(const Rect& r) const;
+
+  Floorplan& plan_;
+  int clearance_;
+};
+
+}  // namespace recosim::fpga

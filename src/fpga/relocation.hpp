@@ -1,0 +1,35 @@
+#pragma once
+
+#include "fpga/device.hpp"
+#include "fpga/geometry.hpp"
+
+namespace recosim::fpga {
+
+/// Bitstream-relocation compatibility rules (paper §4.1: CoNoChi's
+/// Virtex-II workarounds are "mainly caused by ... the problem of
+/// relocating the content of tiles among each other").
+///
+/// A partial bitstream generated for one region can only be written to
+/// another if the target offers identical resources in identical relative
+/// positions:
+///  * on a kFullColumn (Virtex-II) device, frames span the whole column,
+///    so the regions must start at the SAME row (practically row 0) and
+///    have equal width/height — only horizontal moves work;
+///  * on a kTile (Virtex-4-like) device, frames cover 16-row tiles, so a
+///    move must preserve the row offset modulo the tile height.
+/// Either way the shapes must match.
+struct RelocationRules {
+  /// Virtex-4-class frame tile height in CLB rows.
+  static constexpr int kTileRows = 16;
+
+  static bool compatible(const Device& device, const Rect& from,
+                         const Rect& to) {
+    if (from.w != to.w || from.h != to.h) return false;
+    if (device.granularity == ReconfigGranularity::kFullColumn) {
+      return from.y == to.y;  // whole-column frames: same vertical span
+    }
+    return (from.y % kTileRows) == (to.y % kTileRows);
+  }
+};
+
+}  // namespace recosim::fpga

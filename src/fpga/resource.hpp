@@ -1,0 +1,42 @@
+#pragma once
+
+#include <cstdint>
+
+namespace recosim::fpga {
+
+/// FPGA resource vector in Virtex-II terms. Slices are the unit the paper
+/// reports all area numbers in; BRAMs/multipliers are carried along for
+/// module descriptors but are not part of the paper's comparison.
+struct Resources {
+  std::uint32_t slices = 0;
+  std::uint32_t brams = 0;
+  std::uint32_t multipliers = 0;
+
+  Resources& operator+=(const Resources& o) {
+    slices += o.slices;
+    brams += o.brams;
+    multipliers += o.multipliers;
+    return *this;
+  }
+
+  friend Resources operator+(Resources a, const Resources& b) {
+    a += b;
+    return a;
+  }
+
+  friend Resources operator*(Resources a, std::uint32_t k) {
+    a.slices *= k;
+    a.brams *= k;
+    a.multipliers *= k;
+    return a;
+  }
+
+  bool fits_within(const Resources& budget) const {
+    return slices <= budget.slices && brams <= budget.brams &&
+           multipliers <= budget.multipliers;
+  }
+
+  friend bool operator==(const Resources&, const Resources&) = default;
+};
+
+}  // namespace recosim::fpga

@@ -1,0 +1,41 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+
+#include "fpga/module.hpp"
+
+namespace recosim::proto {
+
+/// Physical address: identifies a network attachment point (a switch port
+/// in CoNoChi, a router in DyNoC, a slot in the bus systems). Routing acts
+/// on physical addresses only.
+using PhysAddr = std::uint16_t;
+inline constexpr PhysAddr kInvalidPhys = 0xFFFF;
+
+/// Logical address: identifies a service/module independently of where it
+/// is currently placed. CoNoChi's interface modules translate logical to
+/// physical addresses, which is what lets modules move at runtime.
+using LogAddr = std::uint16_t;
+inline constexpr LogAddr kInvalidLog = 0xFFFF;
+
+/// Runtime-updatable mapping from logical to physical addresses.
+class LogicalAddressMap {
+ public:
+  void bind(LogAddr log, PhysAddr phys) { map_[log] = phys; }
+  void unbind(LogAddr log) { map_.erase(log); }
+
+  std::optional<PhysAddr> resolve(LogAddr log) const {
+    auto it = map_.find(log);
+    if (it == map_.end()) return std::nullopt;
+    return it->second;
+  }
+
+  std::size_t size() const { return map_.size(); }
+
+ private:
+  std::map<LogAddr, PhysAddr> map_;
+};
+
+}  // namespace recosim::proto

@@ -1,0 +1,40 @@
+#include "proto/header_codec.hpp"
+
+namespace recosim::proto {
+
+std::array<std::uint32_t, 3> ConochiHeaderCodec::encode(
+    const ConochiHeader& h) {
+  return {
+      (static_cast<std::uint32_t>(h.dst_phys) << 16) | h.src_phys,
+      (static_cast<std::uint32_t>(h.dst_log) << 16) | h.src_log,
+      (static_cast<std::uint32_t>(h.length_words) << 16) | h.sequence,
+  };
+}
+
+ConochiHeader ConochiHeaderCodec::decode(
+    const std::array<std::uint32_t, 3>& words) {
+  ConochiHeader h;
+  h.dst_phys = static_cast<PhysAddr>(words[0] >> 16);
+  h.src_phys = static_cast<PhysAddr>(words[0] & 0xFFFF);
+  h.dst_log = static_cast<LogAddr>(words[1] >> 16);
+  h.src_log = static_cast<LogAddr>(words[1] & 0xFFFF);
+  h.length_words = static_cast<std::uint16_t>(words[2] >> 16);
+  h.sequence = static_cast<std::uint16_t>(words[2] & 0xFFFF);
+  return h;
+}
+
+std::uint32_t BuscomHeaderCodec::encode(const Fields& f) {
+  return (static_cast<std::uint32_t>(f.dst & 0xF) << 16) |
+         (static_cast<std::uint32_t>(f.src & 0xF) << 12) |
+         (f.length & 0xFFF);
+}
+
+BuscomHeaderCodec::Fields BuscomHeaderCodec::decode(std::uint32_t word) {
+  Fields f;
+  f.dst = static_cast<std::uint8_t>((word >> 16) & 0xF);
+  f.src = static_cast<std::uint8_t>((word >> 12) & 0xF);
+  f.length = static_cast<std::uint16_t>(word & 0xFFF);
+  return f;
+}
+
+}  // namespace recosim::proto

@@ -1,0 +1,42 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "proto/packet.hpp"
+
+namespace recosim::proto {
+
+/// Bit-exact wire encoding of the 96-bit CoNoChi header (three 32-bit
+/// words, one per protocol layer):
+///
+///   word 0 (physical):  [31:16] dst_phys   [15:0] src_phys
+///   word 1 (network):   [31:16] dst_log    [15:0] src_log
+///   word 2 (transport): [31:16] length     [15:0] sequence
+///
+/// The simulator moves headers as structs; this codec exists so the wire
+/// format is pinned down and testable (round-trip, field isolation), as a
+/// real interface-module implementation would need it.
+struct ConochiHeaderCodec {
+  static std::array<std::uint32_t, 3> encode(const ConochiHeader& h);
+  static ConochiHeader decode(const std::array<std::uint32_t, 3>& words);
+};
+
+/// Wire encoding of the 20-bit BUS-COM frame header, carried in the low
+/// bits of one 32-bit word:
+///
+///   [19:16] dst module   [15:12] src module   [11:0] payload bytes
+///
+/// The 4-bit module fields bound BUS-COM at 16 interfaces; the 12-bit
+/// length field covers the 256-byte maximum payload with room to spare.
+struct BuscomHeaderCodec {
+  struct Fields {
+    std::uint8_t dst = 0;       // 4 bits
+    std::uint8_t src = 0;       // 4 bits
+    std::uint16_t length = 0;   // 12 bits
+  };
+  static std::uint32_t encode(const Fields& f);
+  static Fields decode(std::uint32_t word);
+};
+
+}  // namespace recosim::proto

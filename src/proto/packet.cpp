@@ -1,0 +1,40 @@
+#include "proto/packet.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <sstream>
+
+namespace recosim::proto {
+
+std::uint32_t Packet::payload_flits(unsigned link_bits) const {
+  assert(link_bits > 0);
+  const std::uint64_t bits = static_cast<std::uint64_t>(payload_bytes) * 8;
+  return static_cast<std::uint32_t>((bits + link_bits - 1) / link_bits);
+}
+
+std::uint32_t Framing::total_flits(const Packet& p,
+                                   unsigned link_bits) const {
+  assert(link_bits > 0);
+  const std::uint64_t bits =
+      static_cast<std::uint64_t>(p.payload_bytes) * 8 + header_bits;
+  return static_cast<std::uint32_t>(
+      std::max<std::uint64_t>(1, (bits + link_bits - 1) / link_bits));
+}
+
+double Framing::efficiency(std::uint32_t bytes, unsigned link_bits) const {
+  Packet p;
+  p.payload_bytes = bytes;
+  const double payload_bits = static_cast<double>(bytes) * 8.0;
+  const double wire_bits =
+      static_cast<double>(total_flits(p, link_bits)) * link_bits;
+  return wire_bits > 0 ? payload_bits / wire_bits : 0.0;
+}
+
+std::string to_string(const Packet& p) {
+  std::ostringstream os;
+  os << "pkt#" << p.id << " " << p.src << "->" << p.dst << " ("
+     << p.payload_bytes << "B)";
+  return os.str();
+}
+
+}  // namespace recosim::proto

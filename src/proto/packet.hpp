@@ -1,0 +1,79 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "fpga/module.hpp"
+#include "proto/address.hpp"
+#include "sim/types.hpp"
+
+namespace recosim::proto {
+
+/// A message travelling through any of the four architectures. Payload is
+/// modelled by size (and an integrity tag tests can check end-to-end);
+/// serialization cost is derived from size and link width at each hop.
+struct Packet {
+  std::uint64_t id = 0;
+  fpga::ModuleId src = fpga::kInvalidModule;
+  fpga::ModuleId dst = fpga::kInvalidModule;
+  /// Logical destination; used by CoNoChi interface modules.
+  LogAddr dst_logical = kInvalidLog;
+  std::uint32_t payload_bytes = 0;
+  /// Opaque tag carried end-to-end so tests can verify delivery integrity
+  /// and ordering.
+  std::uint64_t tag = 0;
+  /// Cycle the source handed the packet to the architecture.
+  sim::Cycle injected_at = 0;
+
+  /// Fragmentation bookkeeping for architectures with a payload cap
+  /// (CoNoChi: 1024 B). A whole packet has fragment_count == 1.
+  std::uint32_t fragment_index = 0;
+  std::uint32_t fragment_count = 1;
+  /// Payload size of the original, unfragmented packet.
+  std::uint32_t total_bytes = 0;
+
+  /// Number of link transfers ("flits") a payload of this size needs on a
+  /// `link_bits`-wide link, excluding any header.
+  std::uint32_t payload_flits(unsigned link_bits) const;
+};
+
+/// Per-architecture framing overhead in bits, used to compute effective
+/// bandwidth (paper §4.2: header-carrying schemes reach ~90%).
+struct Framing {
+  std::uint32_t header_bits = 0;
+  std::uint32_t max_payload_bytes = 0;  // 0 = unlimited
+
+  /// Link transfers needed for one packet including the header.
+  std::uint32_t total_flits(const Packet& p, unsigned link_bits) const;
+
+  /// Fraction of transferred bits that are payload for packets of `bytes`.
+  double efficiency(std::uint32_t bytes, unsigned link_bits) const;
+};
+
+/// CoNoChi's three protocol layers (paper Table 1: 96-bit header, three
+/// layers; payload limited to 1024 bytes).
+struct ConochiHeader {
+  // Layer 1 (physical): destination and source switch/port addresses.
+  PhysAddr dst_phys = kInvalidPhys;
+  PhysAddr src_phys = kInvalidPhys;
+  // Layer 2 (network): logical addresses evaluated by interface modules.
+  LogAddr dst_log = kInvalidLog;
+  LogAddr src_log = kInvalidLog;
+  // Layer 3 (transport): length and sequence for reassembly/ordering.
+  std::uint16_t length_words = 0;
+  std::uint16_t sequence = 0;
+
+  static constexpr std::uint32_t kBits = 96;
+  static constexpr std::uint32_t kMaxPayloadBytes = 1024;
+};
+
+/// BUS-COM framing: 20-bit control overhead per transfer, payload limited
+/// to 256 bytes in dynamic slots (paper Table 1).
+struct BuscomFraming {
+  static constexpr std::uint32_t kOverheadBits = 20;
+  static constexpr std::uint32_t kMaxPayloadBytes = 256;
+};
+
+std::string to_string(const Packet& p);
+
+}  // namespace recosim::proto

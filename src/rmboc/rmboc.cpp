@@ -1,0 +1,418 @@
+#include "rmboc/rmboc.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace recosim::rmboc {
+
+Rmboc::Rmboc(sim::Kernel& kernel, const RmbocConfig& config)
+    : core::CommArchitecture(kernel, "RMBoC"),
+      sim::Component(kernel, "RMBoC"),
+      config_(config),
+      trace_(kernel),
+      module_by_slot_(static_cast<std::size_t>(config.slots),
+                      fpga::kInvalidModule),
+      reservation_(static_cast<std::size_t>(std::max(0, config.slots - 1)),
+                   std::vector<std::uint32_t>(
+                       static_cast<std::size_t>(config.buses), kFreeSegment)) {
+  assert(config.slots >= 2);
+  assert(config.buses >= 1);
+  assert(config.link_width_bits >= 1);
+}
+
+bool Rmboc::attach(fpga::ModuleId id, const fpga::HardwareModule&) {
+  if (id == fpga::kInvalidModule || slot_by_module_.count(id)) return false;
+  for (int s = 0; s < config_.slots; ++s) {
+    if (module_by_slot_[static_cast<std::size_t>(s)] == fpga::kInvalidModule) {
+      module_by_slot_[static_cast<std::size_t>(s)] = id;
+      slot_by_module_[id] = s;
+      delivered_[id];
+      return true;
+    }
+  }
+  return false;
+}
+
+bool Rmboc::detach(fpga::ModuleId id) {
+  auto it = slot_by_module_.find(id);
+  if (it == slot_by_module_.end()) return false;
+  const int slot = it->second;
+  // Tear down every channel touching the slot and free its reservations;
+  // traffic queued on those channels is lost and accounted.
+  for (auto cit = channels_.begin(); cit != channels_.end();) {
+    if (cit->second.src_slot == slot || cit->second.dst_slot == slot) {
+      stats().counter("dropped_detach").add(cit->second.queue.size());
+      release_segments(cit->second, 0);
+      cit = channels_.erase(cit);
+    } else {
+      ++cit;
+    }
+  }
+  module_by_slot_[static_cast<std::size_t>(slot)] = fpga::kInvalidModule;
+  slot_by_module_.erase(it);
+  auto dit = delivered_.find(id);
+  if (dit != delivered_.end()) {
+    stats().counter("dropped_detach").add(dit->second.size());
+    delivered_.erase(dit);
+  }
+  return true;
+}
+
+bool Rmboc::is_attached(fpga::ModuleId id) const {
+  return slot_by_module_.count(id) > 0;
+}
+
+std::size_t Rmboc::attached_count() const { return slot_by_module_.size(); }
+
+core::DesignParameters Rmboc::design_parameters() const {
+  core::DesignParameters d;
+  d.name = "RMBoC";
+  d.type = core::ArchType::kBus;
+  d.topology = core::TopologyClass::kArray1D;
+  d.module_size = core::ModuleShape::kFixedSlot;
+  d.switching = core::Switching::kCircuit;
+  d.bit_width_min = 1;
+  d.bit_width_max = 32;
+  d.overhead = "control msg.";
+  d.max_payload = "circuit switched";
+  d.protocol_layers = 1;
+  return d;
+}
+
+core::StructuralScores Rmboc::structural_scores() const {
+  return core::StructuralScores{"RMBoC", core::Grade::kHigh,
+                                core::Grade::kMedium, core::Grade::kLow,
+                                core::Grade::kMedium};
+}
+
+std::size_t Rmboc::max_parallelism() const {
+  // d_max = s * k: every segment of every bus may carry an independent
+  // transfer between adjacent cross-points (paper §4.2).
+  return static_cast<std::size_t>(config_.slots - 1) *
+         static_cast<std::size_t>(config_.buses);
+}
+
+sim::Cycle Rmboc::path_latency(fpga::ModuleId src, fpga::ModuleId dst) const {
+  (void)src;
+  (void)dst;
+  // An established channel is a reserved wire path: l_p = 1.
+  return 1;
+}
+
+std::optional<int> Rmboc::slot_of(fpga::ModuleId id) const {
+  auto it = slot_by_module_.find(id);
+  if (it == slot_by_module_.end()) return std::nullopt;
+  return it->second;
+}
+
+bool Rmboc::close_channel(fpga::ModuleId src, fpga::ModuleId dst) {
+  auto s = slot_of(src);
+  auto d = slot_of(dst);
+  if (!s || !d) return false;
+  Channel* c = find_channel(*s, *d);
+  if (!c || c->state != ChannelState::kEstablished) return false;
+  c->state = ChannelState::kDestroying;
+  c->msg_at_slot = c->src_slot;
+  c->msg_timer = 1;
+  trace_.log(core::CommArchitecture::name(), "DESTROY " + std::to_string(src) + "->" +
+                         std::to_string(dst));
+  return true;
+}
+
+bool Rmboc::has_channel(fpga::ModuleId src, fpga::ModuleId dst) const {
+  auto s = slot_of(src);
+  auto d = slot_of(dst);
+  if (!s || !d) return false;
+  const Channel* c = find_channel(*s, *d);
+  return c && c->state == ChannelState::kEstablished;
+}
+
+std::size_t Rmboc::established_channels() const {
+  std::size_t n = 0;
+  for (const auto& [id, c] : channels_)
+    if (c.state == ChannelState::kEstablished) ++n;
+  return n;
+}
+
+std::size_t Rmboc::reserved_segments() const {
+  // Counts reserved (segment, lane) pairs.
+  std::size_t n = 0;
+  for (const auto& seg : reservation_)
+    for (auto r : seg)
+      if (r != kFreeSegment) ++n;
+  return n;
+}
+
+int Rmboc::find_free_bus(int segment) const {
+  const auto& seg = reservation_[static_cast<std::size_t>(segment)];
+  for (int b = 0; b < config_.buses; ++b)
+    if (seg[static_cast<std::size_t>(b)] == kFreeSegment) return b;
+  return -1;
+}
+
+std::vector<int> Rmboc::find_free_buses(int segment, int want) const {
+  std::vector<int> out;
+  const auto& seg = reservation_[static_cast<std::size_t>(segment)];
+  for (int b = 0; b < config_.buses && static_cast<int>(out.size()) < want;
+       ++b)
+    if (seg[static_cast<std::size_t>(b)] == kFreeSegment) out.push_back(b);
+  return out;
+}
+
+int Rmboc::effective_lanes(const Channel& c) const {
+  if (c.bus_per_segment.empty()) return 0;
+  std::size_t lanes = SIZE_MAX;
+  for (const auto& seg : c.bus_per_segment)
+    lanes = std::min(lanes, seg.size());
+  return static_cast<int>(lanes);
+}
+
+Rmboc::Channel* Rmboc::find_channel(int src_slot, int dst_slot) {
+  for (auto& [id, c] : channels_)
+    if (c.src_slot == src_slot && c.dst_slot == dst_slot) return &c;
+  return nullptr;
+}
+
+const Rmboc::Channel* Rmboc::find_channel(int src_slot, int dst_slot) const {
+  for (const auto& [id, c] : channels_)
+    if (c.src_slot == src_slot && c.dst_slot == dst_slot) return &c;
+  return nullptr;
+}
+
+void Rmboc::release_segments(Channel& c, std::size_t keep_first_n) {
+  const int dir = direction(c);
+  for (std::size_t i = keep_first_n; i < c.bus_per_segment.size(); ++i) {
+    const int from = c.src_slot + dir * static_cast<int>(i);
+    const int seg = segment_between(from, from + dir);
+    for (int bus : c.bus_per_segment[i]) {
+      auto& slotres = reservation_[static_cast<std::size_t>(seg)]
+                                  [static_cast<std::size_t>(bus)];
+      if (slotres == c.id) slotres = kFreeSegment;
+    }
+  }
+  c.bus_per_segment.resize(keep_first_n);
+}
+
+bool Rmboc::do_send(const proto::Packet& p) {
+  auto s = slot_of(p.src);
+  auto d = slot_of(p.dst);
+  if (!s || !d) return false;
+  if (*s == *d) {  // loopback: module talking to itself bypasses the bus
+    delivered_[p.dst].push_back(p);
+    return true;
+  }
+  Channel* c = find_channel(*s, *d);
+  if (c) {
+    if (c->state == ChannelState::kDestroying) return false;
+    if (c->queue.size() >= config_.xp_queue_depth) return false;
+    c->queue.push_back(p);
+    c->last_activity = sim::Component::kernel().now();
+    return true;
+  }
+  // Open a new channel: the REQUEST starts processing at the source
+  // cross-point this cycle.
+  Channel& nc = create_channel(*s, *d, p.src, p.dst, /*lanes=*/1);
+  nc.queue.push_back(p);
+  return true;
+}
+
+Rmboc::Channel& Rmboc::create_channel(int src_slot, int dst_slot,
+                                      fpga::ModuleId src,
+                                      fpga::ModuleId dst, int lanes) {
+  Channel nc;
+  nc.id = next_channel_id_++;
+  nc.src_slot = src_slot;
+  nc.dst_slot = dst_slot;
+  nc.src_module = src;
+  nc.dst_module = dst;
+  nc.state = ChannelState::kRequesting;
+  nc.lanes_requested = std::max(1, std::min(lanes, config_.buses));
+  nc.msg_at_slot = src_slot;
+  nc.msg_timer = 1;
+  nc.last_activity = sim::Component::kernel().now();
+  trace_.log(core::CommArchitecture::name(),
+             "REQUEST " + std::to_string(src) + "->" + std::to_string(dst) +
+                 " (channel " + std::to_string(nc.id) + ", " +
+                 std::to_string(nc.lanes_requested) + " lanes)");
+  const std::uint32_t id = nc.id;
+  channels_.emplace(id, std::move(nc));
+  stats().counter("channel_requests").add();
+  return channels_.at(id);
+}
+
+bool Rmboc::open_channel(fpga::ModuleId src, fpga::ModuleId dst,
+                         int lanes) {
+  auto s = slot_of(src);
+  auto d = slot_of(dst);
+  if (!s || !d || *s == *d) return false;
+  if (find_channel(*s, *d)) return false;
+  create_channel(*s, *d, src, dst, lanes);
+  return true;
+}
+
+int Rmboc::channel_lanes(fpga::ModuleId src, fpga::ModuleId dst) const {
+  auto s = slot_of(src);
+  auto d = slot_of(dst);
+  if (!s || !d) return 0;
+  const Channel* c = find_channel(*s, *d);
+  if (!c || c->state != ChannelState::kEstablished) return 0;
+  return effective_lanes(*c);
+}
+
+std::optional<proto::Packet> Rmboc::do_receive(fpga::ModuleId at) {
+  auto it = delivered_.find(at);
+  if (it == delivered_.end() || it->second.empty()) return std::nullopt;
+  proto::Packet p = it->second.front();
+  it->second.pop_front();
+  return p;
+}
+
+void Rmboc::advance_request(Channel& c) {
+  if (c.msg_timer > 0) {
+    --c.msg_timer;
+    return;
+  }
+  const int dir = direction(c);
+  if (c.msg_at_slot == c.dst_slot) {
+    // Destination accepted; REPLY walks back along the reserved path,
+    // spending its first processing step at the destination cross-point.
+    c.state = ChannelState::kReplying;
+    c.msg_at_slot = c.dst_slot;
+    c.msg_timer = 1;
+    trace_.log(core::CommArchitecture::name(), "REPLY channel " + std::to_string(c.id));
+    return;
+  }
+  // Reserve lanes in the segment towards the destination: as many free
+  // buses as requested, at least one.
+  const int seg = segment_between(c.msg_at_slot, c.msg_at_slot + dir);
+  const std::vector<int> lanes = find_free_buses(seg, c.lanes_requested);
+  if (lanes.empty()) {
+    // Fully occupied segment: CANCEL back, releasing what we reserved.
+    c.state = ChannelState::kCancelling;
+    c.msg_timer = 2 * static_cast<sim::Cycle>(c.bus_per_segment.size() + 1);
+    stats().counter("requests_blocked").add();
+    trace_.log(core::CommArchitecture::name(), "CANCEL channel " + std::to_string(c.id) +
+                           " (segment " + std::to_string(seg) + " full)");
+    return;
+  }
+  for (int bus : lanes)
+    reservation_[static_cast<std::size_t>(seg)]
+                [static_cast<std::size_t>(bus)] = c.id;
+  c.bus_per_segment.push_back(lanes);
+  c.msg_at_slot += dir;
+  c.msg_timer = 1;
+}
+
+void Rmboc::advance_cancel(Channel& c) {
+  if (c.msg_timer > 0) {
+    --c.msg_timer;
+    return;
+  }
+  // CANCEL has reached the source: all reservations released; retry after
+  // the backoff (queue is preserved so no traffic is lost).
+  release_segments(c, 0);
+  c.state = ChannelState::kBackoff;
+  c.msg_timer = config_.retry_backoff;
+}
+
+void Rmboc::advance_destroy(Channel& c) {
+  if (c.msg_timer > 0) {
+    --c.msg_timer;
+    return;
+  }
+  const int dir = direction(c);
+  if (c.msg_at_slot == c.dst_slot) {
+    release_segments(c, 0);
+    c.state = ChannelState::kClosed;
+    stats().counter("channels_destroyed").add();
+    return;
+  }
+  c.msg_at_slot += dir;
+  c.msg_timer = 1;
+}
+
+void Rmboc::pump_data(Channel& c) {
+  if (c.queue.empty()) {
+    // Optional idle teardown.
+    if (config_.idle_close_cycles > 0 &&
+        sim::Component::kernel().now() - c.last_activity >
+            config_.idle_close_cycles) {
+      c.state = ChannelState::kDestroying;
+      c.msg_at_slot = c.src_slot;
+      c.msg_timer = 1;
+    }
+    return;
+  }
+  if (c.words_remaining == 0) {
+    c.words_remaining =
+        c.queue.front().payload_flits(config_.link_width_bits);
+    if (c.words_remaining == 0) c.words_remaining = 1;
+  }
+  // One word per lane per cycle over the reserved wires.
+  const std::uint32_t lanes =
+      static_cast<std::uint32_t>(std::max(1, effective_lanes(c)));
+  c.words_remaining -= std::min(c.words_remaining, lanes);
+  c.last_activity = sim::Component::kernel().now();
+  if (c.words_remaining == 0) {
+    delivered_[c.dst_module].push_back(c.queue.front());
+    c.queue.pop_front();
+  }
+}
+
+void Rmboc::commit() {
+  for (auto it = channels_.begin(); it != channels_.end();) {
+    Channel& c = it->second;
+    switch (c.state) {
+      case ChannelState::kRequesting:
+        advance_request(c);
+        break;
+      case ChannelState::kReplying:
+        if (c.msg_timer > 0) {
+          --c.msg_timer;
+        } else if (c.msg_at_slot == c.src_slot) {
+          c.state = ChannelState::kEstablished;
+          stats().counter("channels_established").add();
+          trace_.log(core::CommArchitecture::name(), "ESTABLISHED channel " + std::to_string(c.id));
+        } else {
+          c.msg_at_slot -= direction(c);
+          c.msg_timer = 1;
+        }
+        break;
+      case ChannelState::kCancelling:
+        advance_cancel(c);
+        break;
+      case ChannelState::kBackoff:
+        if (c.msg_timer > 0) {
+          --c.msg_timer;
+        } else {
+          c.state = ChannelState::kRequesting;
+          c.msg_at_slot = c.src_slot;
+          c.msg_timer = 1;
+          stats().counter("channel_retries").add();
+        }
+        break;
+      case ChannelState::kEstablished:
+        pump_data(c);
+        break;
+      case ChannelState::kDestroying:
+        advance_destroy(c);
+        break;
+      case ChannelState::kClosed:
+        break;
+    }
+    if (c.state == ChannelState::kClosed && c.queue.empty()) {
+      it = channels_.erase(it);
+    } else if (c.state == ChannelState::kClosed) {
+      // Packets arrived while the DESTROY was in flight: reopen.
+      c.state = ChannelState::kRequesting;
+      c.msg_at_slot = c.src_slot;
+      c.msg_timer = 1;
+      c.words_remaining = 0;
+      ++it;
+    } else {
+      ++it;
+    }
+  }
+}
+
+}  // namespace recosim::rmboc

@@ -1,0 +1,28 @@
+#include "sim/clock.hpp"
+
+#include <cassert>
+
+namespace recosim::sim {
+
+ClockDomain::ClockDomain(double frequency_mhz)
+    : frequency_mhz_(frequency_mhz), period_ns_(1000.0 / frequency_mhz) {
+  assert(frequency_mhz > 0.0);
+}
+
+double ClockDomain::cycles_to_ns(Cycle cycles) const {
+  return static_cast<double>(cycles) * period_ns_;
+}
+
+double ClockDomain::cycles_to_us(Cycle cycles) const {
+  return cycles_to_ns(cycles) / 1000.0;
+}
+
+double ClockDomain::link_bandwidth_mbit_s(unsigned bits) const {
+  return frequency_mhz_ * static_cast<double>(bits);
+}
+
+double ClockDomain::link_bandwidth_mbyte_s(unsigned bits) const {
+  return link_bandwidth_mbit_s(bits) / 8.0;
+}
+
+}  // namespace recosim::sim

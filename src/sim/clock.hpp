@@ -1,0 +1,34 @@
+#pragma once
+
+#include <cstdint>
+
+#include "sim/types.hpp"
+
+namespace recosim::sim {
+
+/// Physical interpretation of the kernel's abstract cycles: a clock
+/// frequency that converts cycle counts to wall time and link bit widths to
+/// bandwidth. The kernel itself is untimed; clocks are attached per
+/// architecture (their fmax differs) when reporting real-time numbers.
+class ClockDomain {
+ public:
+  explicit ClockDomain(double frequency_mhz);
+
+  double frequency_mhz() const { return frequency_mhz_; }
+  double period_ns() const { return period_ns_; }
+
+  double cycles_to_ns(Cycle cycles) const;
+  double cycles_to_us(Cycle cycles) const;
+
+  /// Bandwidth of a link toggling `bits` per cycle, in Mbit/s.
+  double link_bandwidth_mbit_s(unsigned bits) const;
+
+  /// Bandwidth of a link toggling `bits` per cycle, in MB/s.
+  double link_bandwidth_mbyte_s(unsigned bits) const;
+
+ private:
+  double frequency_mhz_;
+  double period_ns_;
+};
+
+}  // namespace recosim::sim

@@ -1,0 +1,22 @@
+#include "sim/component.hpp"
+
+#include <utility>
+
+#include "sim/kernel.hpp"
+
+namespace recosim::sim {
+
+Component::Component(Kernel& kernel, std::string name)
+    : kernel_(kernel), name_(std::move(name)) {
+  kernel_.register_component(this);
+}
+
+Component::~Component() { kernel_.deregister_component(this); }
+
+Latch::Latch(Kernel& kernel) : kernel_(kernel) {
+  kernel_.register_latch(this);
+}
+
+Latch::~Latch() { kernel_.deregister_latch(this); }
+
+}  // namespace recosim::sim

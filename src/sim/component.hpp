@@ -1,0 +1,57 @@
+#pragma once
+
+#include <string>
+
+namespace recosim::sim {
+
+class Kernel;
+
+/// A synchronous hardware block simulated with two-phase semantics.
+///
+/// Each kernel cycle every component's eval() runs first (reading only
+/// *current* state and staging next state), then every commit() latches the
+/// staged state. Because eval() never observes another component's staged
+/// writes, the evaluation order cannot change simulation results.
+class Component {
+ public:
+  /// Registers with `kernel` for the lifetime of the component.
+  Component(Kernel& kernel, std::string name);
+  virtual ~Component();
+
+  Component(const Component&) = delete;
+  Component& operator=(const Component&) = delete;
+
+  /// Combinational phase: read current state, stage next state.
+  virtual void eval() = 0;
+
+  /// Clock edge: latch staged state. Default does nothing (components whose
+  /// state lives entirely in two-phase primitives need no explicit commit).
+  virtual void commit() {}
+
+  const std::string& name() const { return name_; }
+  Kernel& kernel() const { return kernel_; }
+
+ private:
+  Kernel& kernel_;
+  std::string name_;
+};
+
+/// A two-phase state primitive (signal, fifo, ...) latched by the kernel
+/// after all components have committed.
+class Latch {
+ public:
+  explicit Latch(Kernel& kernel);
+  virtual ~Latch();
+
+  Latch(const Latch&) = delete;
+  Latch& operator=(const Latch&) = delete;
+
+  virtual void latch() = 0;
+
+  Kernel& kernel() const { return kernel_; }
+
+ private:
+  Kernel& kernel_;
+};
+
+}  // namespace recosim::sim

@@ -1,0 +1,24 @@
+#include "sim/event_queue.hpp"
+
+#include <utility>
+
+namespace recosim::sim {
+
+void EventQueue::push(Cycle at, std::function<void()> fn) {
+  heap_.push(Event{at, next_seq_++, std::move(fn)});
+}
+
+Cycle EventQueue::next_cycle() const {
+  return heap_.empty() ? kNeverCycle : heap_.top().at;
+}
+
+void EventQueue::fire_due(Cycle now) {
+  while (!heap_.empty() && heap_.top().at <= now) {
+    // Copy out before pop so the callback may push new events.
+    auto fn = heap_.top().fn;
+    heap_.pop();
+    fn();
+  }
+}
+
+}  // namespace recosim::sim

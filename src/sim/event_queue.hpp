@@ -1,0 +1,44 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "sim/types.hpp"
+
+namespace recosim::sim {
+
+/// Time-ordered queue of one-shot callbacks. Events with equal firing time
+/// run in insertion order (a strictly increasing sequence number breaks
+/// ties), keeping the simulation deterministic.
+class EventQueue {
+ public:
+  void push(Cycle at, std::function<void()> fn);
+
+  bool empty() const { return heap_.empty(); }
+  std::size_t size() const { return heap_.size(); }
+
+  /// Earliest scheduled cycle; kNeverCycle when empty.
+  Cycle next_cycle() const;
+
+  /// Pop and run every event scheduled at or before `now`.
+  void fire_due(Cycle now);
+
+ private:
+  struct Event {
+    Cycle at;
+    std::uint64_t seq;
+    std::function<void()> fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace recosim::sim

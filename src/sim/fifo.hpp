@@ -1,0 +1,83 @@
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <deque>
+
+#include "sim/component.hpp"
+#include "sim/kernel.hpp"
+
+namespace recosim::sim {
+
+/// Bounded FIFO channel with two-phase semantics.
+///
+/// During eval(), producers stage pushes and consumers stage pops against
+/// the state latched at the previous edge; both take effect at the next
+/// edge. `can_push()` accounts for pushes already staged this cycle but,
+/// matching synchronous hardware, NOT for staged pops — an element freed
+/// this cycle becomes usable capacity only next cycle.
+template <typename T>
+class BoundedFifo final : public Latch {
+ public:
+  BoundedFifo(Kernel& kernel, std::size_t capacity)
+      : Latch(kernel), capacity_(capacity) {
+    assert(capacity > 0);
+  }
+
+  std::size_t capacity() const { return capacity_; }
+  std::size_t size() const { return items_.size(); }
+  bool empty() const { return items_.empty(); }
+  bool full() const { return items_.size() >= capacity_; }
+
+  bool can_push() const {
+    return items_.size() + staged_pushes_.size() < capacity_;
+  }
+
+  /// Stage a push; caller must have checked can_push().
+  void push(const T& v) {
+    assert(can_push());
+    staged_pushes_.push_back(v);
+  }
+
+  /// True if a pop can be staged this cycle (an element is present and not
+  /// already claimed by an earlier staged pop).
+  bool can_pop() const { return staged_pops_ < items_.size(); }
+
+  /// The element the next staged pop would remove.
+  const T& front() const {
+    assert(can_pop());
+    return items_[staged_pops_];
+  }
+
+  /// Stage removal of front(); returns the removed element.
+  T pop() {
+    assert(can_pop());
+    T v = items_[staged_pops_];
+    ++staged_pops_;
+    return v;
+  }
+
+  void latch() override {
+    items_.erase(items_.begin(),
+                 items_.begin() + static_cast<std::ptrdiff_t>(staged_pops_));
+    staged_pops_ = 0;
+    for (auto& v : staged_pushes_) items_.push_back(std::move(v));
+    staged_pushes_.clear();
+    assert(items_.size() <= capacity_);
+  }
+
+  /// Drop all content immediately (used when tearing down topology).
+  void clear() {
+    items_.clear();
+    staged_pushes_.clear();
+    staged_pops_ = 0;
+  }
+
+ private:
+  std::size_t capacity_;
+  std::deque<T> items_;
+  std::deque<T> staged_pushes_;
+  std::size_t staged_pops_ = 0;
+};
+
+}  // namespace recosim::sim

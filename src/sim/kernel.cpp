@@ -1,0 +1,49 @@
+#include "sim/kernel.hpp"
+
+#include <algorithm>
+
+#include "sim/component.hpp"
+
+namespace recosim::sim {
+
+void Kernel::run(Cycle n) {
+  for (Cycle i = 0; i < n; ++i) {
+    events_.fire_due(now_);
+    for (Component* c : components_) c->eval();
+    for (Component* c : components_) c->commit();
+    for (Latch* l : latches_) l->latch();
+    ++now_;
+  }
+}
+
+bool Kernel::run_until(const std::function<bool()>& pred, Cycle max_cycles) {
+  for (Cycle i = 0; i < max_cycles; ++i) {
+    if (pred()) return true;
+    step();
+  }
+  return pred();
+}
+
+void Kernel::schedule_at(Cycle at, std::function<void()> fn) {
+  events_.push(at, std::move(fn));
+}
+
+void Kernel::schedule_in(Cycle delay, std::function<void()> fn) {
+  events_.push(now_ + delay, std::move(fn));
+}
+
+void Kernel::register_component(Component* c) { components_.push_back(c); }
+
+void Kernel::deregister_component(Component* c) {
+  components_.erase(std::remove(components_.begin(), components_.end(), c),
+                    components_.end());
+}
+
+void Kernel::register_latch(Latch* l) { latches_.push_back(l); }
+
+void Kernel::deregister_latch(Latch* l) {
+  latches_.erase(std::remove(latches_.begin(), latches_.end(), l),
+                 latches_.end());
+}
+
+}  // namespace recosim::sim

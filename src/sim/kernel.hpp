@@ -1,0 +1,68 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "sim/event_queue.hpp"
+#include "sim/types.hpp"
+
+namespace recosim::sim {
+
+class Component;
+class Latch;
+
+/// Cycle-driven simulation kernel.
+///
+/// One step() performs, in order:
+///   1. fire all events scheduled for the current cycle,
+///   2. eval() every registered component,
+///   3. commit() every component, then latch() every two-phase primitive,
+///   4. advance the cycle counter.
+///
+/// Components and latches register/deregister themselves via their
+/// constructors/destructors; the kernel never owns them.
+class Kernel {
+ public:
+  Kernel() = default;
+
+  Kernel(const Kernel&) = delete;
+  Kernel& operator=(const Kernel&) = delete;
+
+  /// Current simulation time. During phases 1-3 of step() this is the cycle
+  /// being executed.
+  Cycle now() const { return now_; }
+
+  /// Execute exactly n cycles.
+  void run(Cycle n);
+
+  /// Execute single cycle.
+  void step() { run(1); }
+
+  /// Run until `pred()` is true, checking after every cycle; gives up after
+  /// `max_cycles` additional cycles. Returns true if the predicate fired.
+  bool run_until(const std::function<bool()>& pred, Cycle max_cycles);
+
+  /// Schedule `fn` to run at the start of cycle `at` (>= now()).
+  void schedule_at(Cycle at, std::function<void()> fn);
+
+  /// Schedule `fn` to run `delay` cycles from now (0 = start of next step
+  /// if the current cycle's events already fired).
+  void schedule_in(Cycle delay, std::function<void()> fn);
+
+  std::size_t component_count() const { return components_.size(); }
+
+  // Registration hooks used by Component/Latch; not for end users.
+  void register_component(Component* c);
+  void deregister_component(Component* c);
+  void register_latch(Latch* l);
+  void deregister_latch(Latch* l);
+
+ private:
+  Cycle now_ = 0;
+  std::vector<Component*> components_;
+  std::vector<Latch*> latches_;
+  EventQueue events_;
+};
+
+}  // namespace recosim::sim

@@ -1,0 +1,49 @@
+#include "sim/rng.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace recosim::sim {
+
+std::uint64_t Rng::uniform(std::uint64_t lo, std::uint64_t hi) {
+  assert(lo <= hi);
+  std::uniform_int_distribution<std::uint64_t> dist(lo, hi);
+  return dist(engine_);
+}
+
+std::uint64_t Rng::index(std::uint64_t n) {
+  assert(n > 0);
+  return uniform(0, n - 1);
+}
+
+double Rng::real() {
+  std::uniform_real_distribution<double> dist(0.0, 1.0);
+  return dist(engine_);
+}
+
+bool Rng::chance(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return real() < p;
+}
+
+std::uint64_t Rng::geometric_gap(double p) {
+  if (p >= 1.0) return 1;
+  if (p <= 0.0) return std::numeric_limits<std::uint64_t>::max() / 2;
+  // Inverse-CDF sampling of a geometric distribution on {1, 2, ...}.
+  double u = real();
+  double gap = std::ceil(std::log1p(-u) / std::log1p(-p));
+  if (gap < 1.0) gap = 1.0;
+  return static_cast<std::uint64_t>(gap);
+}
+
+Rng Rng::fork() {
+  // splitmix64 of (seed, fork index) gives well-separated child seeds.
+  std::uint64_t z = seed_ + 0x9E3779B97F4A7C15ull * (++fork_count_);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  z = z ^ (z >> 31);
+  return Rng(z);
+}
+
+}  // namespace recosim::sim

@@ -1,0 +1,45 @@
+#pragma once
+
+#include <cstdint>
+#include <random>
+
+namespace recosim::sim {
+
+/// Deterministic pseudo-random source used by all stochastic parts of the
+/// simulator (traffic generators, placement tie-breaking, ...).
+///
+/// Every consumer receives its own Rng forked from a parent via fork(), so
+/// adding a new consumer never perturbs the random streams of existing ones.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : engine_(seed), seed_(seed) {}
+
+  /// Uniform integer in [lo, hi] (inclusive).
+  std::uint64_t uniform(std::uint64_t lo, std::uint64_t hi);
+
+  /// Uniform integer in [0, n). n must be > 0.
+  std::uint64_t index(std::uint64_t n);
+
+  /// Uniform real in [0, 1).
+  double real();
+
+  /// Bernoulli trial with probability p of returning true.
+  bool chance(double p);
+
+  /// Geometric inter-arrival gap for a Bernoulli process with rate p per
+  /// cycle; returns the number of cycles until the next arrival (>= 1).
+  std::uint64_t geometric_gap(double p);
+
+  /// Derive an independent child stream. Deterministic: the n-th fork of a
+  /// given Rng always yields the same child.
+  Rng fork();
+
+  std::uint64_t seed() const { return seed_; }
+
+ private:
+  std::mt19937_64 engine_;
+  std::uint64_t seed_;
+  std::uint64_t fork_count_ = 0;
+};
+
+}  // namespace recosim::sim

@@ -1,0 +1,30 @@
+#pragma once
+
+#include "sim/component.hpp"
+#include "sim/kernel.hpp"
+
+namespace recosim::sim {
+
+/// Two-phase register: reads return the value latched at the last clock
+/// edge; writes become visible only after the next edge. Multiple writes in
+/// one cycle: the last one wins (like a wired register, not a wire-OR).
+template <typename T>
+class Signal final : public Latch {
+ public:
+  Signal(Kernel& kernel, T initial)
+      : Latch(kernel), cur_(initial), next_(initial) {}
+
+  const T& read() const { return cur_; }
+  void write(const T& v) { next_ = v; }
+
+  /// Direct access to the staged value (for read-modify-write in eval()).
+  T& staged() { return next_; }
+
+  void latch() override { cur_ = next_; }
+
+ private:
+  T cur_;
+  T next_;
+};
+
+}  // namespace recosim::sim

@@ -1,0 +1,75 @@
+#include "sim/stats.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace recosim::sim {
+
+void RunningStat::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStat::variance() const {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double RunningStat::stddev() const { return std::sqrt(variance()); }
+
+void RunningStat::reset() {
+  n_ = 0;
+  mean_ = m2_ = min_ = max_ = 0.0;
+}
+
+Histogram::Histogram(std::uint64_t bucket_width, std::size_t bucket_count)
+    : width_(bucket_width), buckets_(bucket_count, 0) {
+  assert(bucket_width > 0);
+  assert(bucket_count > 0);
+}
+
+void Histogram::add(std::uint64_t x) {
+  ++total_;
+  max_seen_ = std::max(max_seen_, x);
+  std::size_t i = static_cast<std::size_t>(x / width_);
+  if (i < buckets_.size()) {
+    ++buckets_[i];
+  } else {
+    ++overflow_;
+  }
+}
+
+std::uint64_t Histogram::quantile(double p) const {
+  if (total_ == 0) return 0;
+  p = std::clamp(p, 0.0, 1.0);
+  std::uint64_t target = static_cast<std::uint64_t>(
+      std::ceil(p * static_cast<double>(total_)));
+  if (target == 0) target = 1;
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    seen += buckets_[i];
+    if (seen >= target) return (i + 1) * width_ - 1;
+  }
+  return max_seen_;
+}
+
+void Histogram::reset() {
+  std::fill(buckets_.begin(), buckets_.end(), 0);
+  overflow_ = total_ = max_seen_ = 0;
+}
+
+std::uint64_t StatSet::counter_value(const std::string& name) const {
+  auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second.value();
+}
+
+}  // namespace recosim::sim

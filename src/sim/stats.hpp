@@ -1,0 +1,86 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace recosim::sim {
+
+/// Monotonically increasing event counter.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) { value_ += n; }
+  std::uint64_t value() const { return value_; }
+  void reset() { value_ = 0; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+/// Streaming mean/min/max/variance accumulator (Welford's algorithm).
+class RunningStat {
+ public:
+  void add(double x);
+  std::uint64_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+  /// Sample variance; 0 for fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  void reset();
+
+ private:
+  std::uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Fixed-bucket histogram over non-negative integer samples (e.g. latency
+/// in cycles). Buckets are [0,w), [w,2w), ...; overflow collects the tail.
+class Histogram {
+ public:
+  Histogram(std::uint64_t bucket_width, std::size_t bucket_count);
+
+  void add(std::uint64_t x);
+  std::uint64_t count() const { return total_; }
+  std::uint64_t bucket(std::size_t i) const { return buckets_.at(i); }
+  std::size_t bucket_count() const { return buckets_.size(); }
+  std::uint64_t bucket_width() const { return width_; }
+  std::uint64_t overflow() const { return overflow_; }
+  /// p in [0,1]; returns an upper bound of the bucket containing the
+  /// p-quantile (overflow samples map to the largest seen value).
+  std::uint64_t quantile(double p) const;
+  std::uint64_t max_seen() const { return max_seen_; }
+  void reset();
+
+ private:
+  std::uint64_t width_;
+  std::vector<std::uint64_t> buckets_;
+  std::uint64_t overflow_ = 0;
+  std::uint64_t total_ = 0;
+  std::uint64_t max_seen_ = 0;
+};
+
+/// Named collection of statistics owned by a component or an experiment.
+/// Lives independently of the kernel so it can be read after simulation.
+class StatSet {
+ public:
+  Counter& counter(const std::string& name) { return counters_[name]; }
+  RunningStat& stat(const std::string& name) { return stats_[name]; }
+
+  const std::map<std::string, Counter>& counters() const { return counters_; }
+  const std::map<std::string, RunningStat>& stats() const { return stats_; }
+
+  /// Value of a counter, 0 if it was never touched.
+  std::uint64_t counter_value(const std::string& name) const;
+
+ private:
+  std::map<std::string, Counter> counters_;
+  std::map<std::string, RunningStat> stats_;
+};
+
+}  // namespace recosim::sim

@@ -1,0 +1,15 @@
+#include "sim/trace.hpp"
+
+#include <iomanip>
+
+#include "sim/kernel.hpp"
+
+namespace recosim::sim {
+
+void Trace::log(const std::string& who, const std::string& what) const {
+  if (!out_) return;
+  (*out_) << '[' << std::setw(6) << kernel_.now() << "] " << who << ": "
+          << what << '\n';
+}
+
+}  // namespace recosim::sim

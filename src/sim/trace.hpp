@@ -1,0 +1,31 @@
+#pragma once
+
+#include <ostream>
+#include <string>
+
+#include "sim/types.hpp"
+
+namespace recosim::sim {
+
+class Kernel;
+
+/// Lightweight cycle-stamped event logger. Disabled by default; tests and
+/// the figure benches enable it to show protocol walk-throughs.
+class Trace {
+ public:
+  explicit Trace(const Kernel& kernel) : kernel_(kernel) {}
+
+  /// Start emitting to `out` (not owned; must outlive the trace).
+  void enable(std::ostream& out) { out_ = &out; }
+  void disable() { out_ = nullptr; }
+  bool enabled() const { return out_ != nullptr; }
+
+  /// Emit "[cycle] who: what" if enabled.
+  void log(const std::string& who, const std::string& what) const;
+
+ private:
+  const Kernel& kernel_;
+  std::ostream* out_ = nullptr;
+};
+
+}  // namespace recosim::sim

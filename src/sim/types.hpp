@@ -1,0 +1,14 @@
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace recosim::sim {
+
+/// Simulation time, measured in clock cycles of the kernel's base clock.
+using Cycle = std::uint64_t;
+
+/// Sentinel for "no cycle" / "never".
+inline constexpr Cycle kNeverCycle = std::numeric_limits<Cycle>::max();
+
+}  // namespace recosim::sim

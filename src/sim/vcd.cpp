@@ -1,0 +1,63 @@
+#include "sim/vcd.hpp"
+
+#include <cassert>
+#include <utility>
+
+#include "sim/kernel.hpp"
+
+namespace recosim::sim {
+
+VcdWriter::VcdWriter(Kernel& kernel, std::ostream& out, std::string top)
+    : Component(kernel, "vcd"), out_(out), top_(std::move(top)) {}
+
+void VcdWriter::add_probe(const std::string& name,
+                          std::function<std::uint64_t()> fn,
+                          unsigned width) {
+  assert(!header_written_ && "probes must be added before the first cycle");
+  Probe p;
+  p.name = name;
+  // VCD identifiers: printable ASCII starting at '!'.
+  p.id = std::string(1, static_cast<char>('!' + probes_.size()));
+  p.fn = std::move(fn);
+  p.width = width;
+  probes_.push_back(std::move(p));
+}
+
+void VcdWriter::write_header() {
+  out_ << "$timescale 1ns $end\n";
+  out_ << "$scope module " << top_ << " $end\n";
+  for (const auto& p : probes_)
+    out_ << "$var wire " << p.width << ' ' << p.id << ' ' << p.name
+         << " $end\n";
+  out_ << "$upscope $end\n$enddefinitions $end\n";
+  header_written_ = true;
+}
+
+std::string VcdWriter::to_binary(std::uint64_t v) {
+  if (v == 0) return "0";
+  std::string s;
+  while (v) {
+    s.insert(s.begin(), static_cast<char>('0' + (v & 1)));
+    v >>= 1;
+  }
+  return s;
+}
+
+void VcdWriter::commit() {
+  if (!header_written_) write_header();
+  bool stamped = false;
+  for (auto& p : probes_) {
+    const std::uint64_t v = p.fn();
+    if (p.ever_written && v == p.last) continue;
+    if (!stamped) {
+      out_ << '#' << kernel().now() << '\n';
+      stamped = true;
+    }
+    out_ << 'b' << to_binary(v) << ' ' << p.id << '\n';
+    p.last = v;
+    p.ever_written = true;
+  }
+  ++samples_;
+}
+
+}  // namespace recosim::sim

@@ -1,0 +1,53 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "sim/component.hpp"
+
+namespace recosim::sim {
+
+/// Value-change-dump writer: samples registered integer probes every
+/// cycle and emits standard VCD that waveform viewers (GTKWave etc.) can
+/// open. Used to inspect architecture behaviour (queue depths, link
+/// occupancy, channel states) over time.
+class VcdWriter final : public Component {
+ public:
+  /// `out` must outlive the writer. Probes are added before the first
+  /// cycle runs; the header is written lazily at that point.
+  VcdWriter(Kernel& kernel, std::ostream& out,
+            std::string top = "recosim");
+
+  /// Register a probe: `fn` is sampled once per cycle. `width` is the
+  /// declared bit width in the dump.
+  void add_probe(const std::string& name,
+                 std::function<std::uint64_t()> fn, unsigned width = 32);
+
+  void eval() override {}
+  void commit() override;
+
+  std::uint64_t samples() const { return samples_; }
+
+ private:
+  void write_header();
+  static std::string to_binary(std::uint64_t v);
+
+  std::ostream& out_;
+  std::string top_;
+  struct Probe {
+    std::string name;
+    std::string id;  // VCD short identifier
+    std::function<std::uint64_t()> fn;
+    unsigned width;
+    std::uint64_t last = ~0ull;
+    bool ever_written = false;
+  };
+  std::vector<Probe> probes_;
+  bool header_written_ = false;
+  std::uint64_t samples_ = 0;
+};
+
+}  // namespace recosim::sim

@@ -1,0 +1,45 @@
+#include "sim/watchdog.hpp"
+
+#include <utility>
+
+#include "sim/kernel.hpp"
+
+namespace recosim::sim {
+
+Watchdog::Watchdog(Kernel& kernel, std::function<std::uint64_t()> progress,
+                   std::function<bool()> pending, Cycle deadline,
+                   std::string name)
+    : Component(kernel, std::move(name)),
+      progress_(std::move(progress)),
+      pending_(std::move(pending)),
+      deadline_(deadline) {
+  last_value_ = progress_();
+  last_progress_cycle_ = kernel.now();
+}
+
+void Watchdog::eval() {
+  const std::uint64_t v = progress_();
+  if (v != last_value_) {
+    last_value_ = v;
+    last_progress_cycle_ = kernel().now();
+    return;
+  }
+  if (!pending_()) {
+    // Idle, not stalled: keep the stall clock from accumulating.
+    last_progress_cycle_ = kernel().now();
+    return;
+  }
+  if (!tripped_ && kernel().now() - last_progress_cycle_ >= deadline_) {
+    tripped_ = true;
+    ++trips_;
+    if (on_trip_) on_trip_();
+  }
+}
+
+void Watchdog::reset() {
+  tripped_ = false;
+  last_value_ = progress_();
+  last_progress_cycle_ = kernel().now();
+}
+
+}  // namespace recosim::sim

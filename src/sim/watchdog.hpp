@@ -1,0 +1,50 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "sim/component.hpp"
+#include "sim/types.hpp"
+
+namespace recosim::sim {
+
+/// Liveness watchdog: samples a progress counter (delivered packets,
+/// completed transactions, ...) every cycle and trips when it stalls for
+/// `deadline` cycles while a pending predicate says work is outstanding.
+/// Used by long-running scenarios to convert silent deadlocks or
+/// starvation into a detectable condition instead of a hung simulation.
+class Watchdog final : public Component {
+ public:
+  /// `progress` must be monotonically non-decreasing. `pending` returns
+  /// whether unfinished work exists; the watchdog only trips while it
+  /// does (an idle system is not a stalled one).
+  Watchdog(Kernel& kernel, std::function<std::uint64_t()> progress,
+           std::function<bool()> pending, Cycle deadline,
+           std::string name = "watchdog");
+
+  void eval() override;
+
+  bool tripped() const { return tripped_; }
+  /// Cycle the stall began (valid once tripped).
+  Cycle stalled_since() const { return last_progress_cycle_; }
+  std::uint64_t trips() const { return trips_; }
+
+  /// Re-arm after a trip (e.g. after the test recorded the failure).
+  void reset();
+
+  /// Optional callback invoked once per trip.
+  void on_trip(std::function<void()> fn) { on_trip_ = std::move(fn); }
+
+ private:
+  std::function<std::uint64_t()> progress_;
+  std::function<bool()> pending_;
+  Cycle deadline_;
+  std::uint64_t last_value_ = 0;
+  Cycle last_progress_cycle_ = 0;
+  bool tripped_ = false;
+  std::uint64_t trips_ = 0;
+  std::function<void()> on_trip_;
+};
+
+}  // namespace recosim::sim

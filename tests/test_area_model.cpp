@@ -1,0 +1,122 @@
+#include <gtest/gtest.h>
+
+#include "core/area_model.hpp"
+#include "core/comparison.hpp"
+
+namespace recosim::core::area {
+namespace {
+
+// ---- Table 3 calibration: the model must reproduce the paper's numbers
+// for the minimal 4-module / 32-bit configurations exactly. --------------
+
+TEST(AreaModelTable3, RmbocMinimalIs5084Slices) {
+  EXPECT_NEAR(rmboc_slices(4, 4, 32), 5084.0, 0.5);
+}
+
+TEST(AreaModelTable3, BuscomMinimalIs1294Slices) {
+  // Prototype widths (32 in / 16 out), arbiter excluded as in the paper.
+  EXPECT_NEAR(buscom_slices(4, 4, 32, 16, false), 1294.0, 0.5);
+}
+
+TEST(AreaModelTable3, DynocMinimalIs1480Slices) {
+  EXPECT_NEAR(dynoc_router_slices(32) * 4, 1480.0, 0.5);
+}
+
+TEST(AreaModelTable3, ConochiMinimalIs1640Slices) {
+  EXPECT_NEAR(conochi_switch_slices(32) * 4, 1640.0, 0.5);
+}
+
+TEST(AreaModelTable3, OrderingMatchesPaper) {
+  const double rm = rmboc_slices(4, 4, 32);
+  const double bc = buscom_slices(4, 4, 32, 16, false);
+  const double dy = dynoc_router_slices(32) * 4;
+  const double cn = conochi_switch_slices(32) * 4;
+  EXPECT_LT(bc, dy);
+  EXPECT_LT(dy, cn);
+  EXPECT_LT(cn, rm);
+}
+
+// ---- Scaling behaviour the paper argues qualitatively. -------------------
+
+TEST(AreaModelScaling, RmbocGrowsWithSlotsTimesBuses) {
+  EXPECT_NEAR(rmboc_slices(8, 4, 32), 2 * rmboc_slices(4, 4, 32), 1.0);
+  EXPECT_NEAR(rmboc_slices(4, 8, 32), 2 * rmboc_slices(4, 4, 32), 1.0);
+}
+
+TEST(AreaModelScaling, ConochiAddsOneSwitchPerModule) {
+  const double four = conochi_switch_slices(32) * 4;
+  const double five = conochi_switch_slices(32) * 5;
+  EXPECT_NEAR(five - four, conochi_switch_slices(32), 1e-9);
+}
+
+TEST(AreaModelScaling, DynocFullArrayCostsMoreThanPerModuleAccounting) {
+  // A real DyNoC deployment pays for the whole router array, not just one
+  // router per module (paper §4.1).
+  auto sys = make_minimal_dynoc(4, 5);
+  auto* d = dynamic_cast<dynoc::Dynoc*>(sys.arch.get());
+  ASSERT_NE(d, nullptr);
+  EXPECT_GT(dynoc_slices(*d), dynoc_router_slices(32) * 4);
+}
+
+TEST(AreaModelScaling, LargeDynocModulesReduceRouterCount) {
+  sim::Kernel k;
+  dynoc::DynocConfig cfg;
+  cfg.width = cfg.height = 7;
+  dynoc::Dynoc d(k, cfg);
+  const double empty = dynoc_slices(d);
+  fpga::HardwareModule big;
+  big.width_clbs = big.height_clbs = 3;
+  ASSERT_TRUE(d.attach_at(1, big, {1, 1}));
+  EXPECT_LT(dynoc_slices(d), empty);  // 9 routers reclaimed by the module
+}
+
+TEST(AreaModelScaling, WidthScaleIsAffine) {
+  EXPECT_DOUBLE_EQ(width_scale(32), 1.0);
+  EXPECT_GT(width_scale(8), 0.0);
+  EXPECT_LT(width_scale(8), 1.0);
+  EXPECT_GT(width_scale(64), 1.0);
+}
+
+// ---- fmax model (§4.2: 73..94 MHz plus RMBoC's ~100 +-6%). ----------------
+
+TEST(AreaModelFmax, ValuesInPaperRangeAt32Bit) {
+  EXPECT_NEAR(rmboc_fmax_mhz(32), 94.3, 1.0);
+  EXPECT_NEAR(buscom_fmax_mhz(32), 62.3, 1.0);
+  EXPECT_NEAR(dynoc_fmax_mhz(32), 88.7, 1.0);
+  EXPECT_NEAR(conochi_fmax_mhz(32), 68.9, 1.0);
+}
+
+TEST(AreaModelFmax, NarrowerLinksClockFaster) {
+  EXPECT_GT(rmboc_fmax_mhz(8), rmboc_fmax_mhz(32));
+  EXPECT_GT(conochi_fmax_mhz(8), conochi_fmax_mhz(32));
+}
+
+TEST(AreaModelFmax, SameOrderOfMagnitudeAcrossArchitectures) {
+  // §4.2: fmax "is not appropriate for ranking the architectures".
+  const double lo = std::min({rmboc_fmax_mhz(32), buscom_fmax_mhz(32),
+                              dynoc_fmax_mhz(32), conochi_fmax_mhz(32)});
+  const double hi = std::max({rmboc_fmax_mhz(32), buscom_fmax_mhz(32),
+                              dynoc_fmax_mhz(32), conochi_fmax_mhz(32)});
+  EXPECT_LT(hi / lo, 2.0);
+}
+
+TEST(AreaModelInstances, InstanceOverloadsMatchParametricForms) {
+  auto rm = make_minimal_rmboc();
+  auto* r = dynamic_cast<rmboc::Rmboc*>(rm.arch.get());
+  ASSERT_NE(r, nullptr);
+  EXPECT_DOUBLE_EQ(rmboc_slices(*r), rmboc_slices(4, 4, 32));
+
+  auto bc = make_minimal_buscom();
+  auto* b = dynamic_cast<buscom::Buscom*>(bc.arch.get());
+  ASSERT_NE(b, nullptr);
+  EXPECT_DOUBLE_EQ(buscom_slices(*b, false),
+                   buscom_slices(4, 4, 32, 16, false));
+
+  auto cn = make_minimal_conochi();
+  auto* c = dynamic_cast<conochi::Conochi*>(cn.arch.get());
+  ASSERT_NE(c, nullptr);
+  EXPECT_DOUBLE_EQ(conochi_slices(*c, false), conochi_switch_slices(32) * 4);
+}
+
+}  // namespace
+}  // namespace recosim::core::area

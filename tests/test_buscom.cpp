@@ -1,0 +1,221 @@
+#include <gtest/gtest.h>
+
+#include "buscom/buscom.hpp"
+#include "sim/kernel.hpp"
+
+namespace recosim::buscom {
+namespace {
+
+fpga::HardwareModule mod() {
+  fpga::HardwareModule m;
+  m.name = "m";
+  return m;
+}
+
+proto::Packet pkt(fpga::ModuleId src, fpga::ModuleId dst,
+                  std::uint32_t bytes) {
+  proto::Packet p;
+  p.src = src;
+  p.dst = dst;
+  p.payload_bytes = bytes;
+  return p;
+}
+
+struct BuscomTest : ::testing::Test {
+  sim::Kernel kernel;
+  BuscomConfig cfg;
+
+  std::unique_ptr<Buscom> make(int modules = 4) {
+    auto b = std::make_unique<Buscom>(kernel, cfg);
+    for (int i = 1; i <= modules; ++i)
+      EXPECT_TRUE(b->attach(static_cast<fpga::ModuleId>(i), mod()));
+    return b;
+  }
+};
+
+TEST_F(BuscomTest, AttachUpToMaxModules) {
+  cfg.max_modules = 4;
+  auto b = make(4);
+  EXPECT_EQ(b->attached_count(), 4u);
+  EXPECT_FALSE(b->attach(5, mod()));
+}
+
+TEST_F(BuscomTest, ScheduleDealsStaticSlotsRoundRobin) {
+  auto b = make(4);
+  // 32 slots, 25% dynamic -> 24 static dealt over 4 modules = 6 each.
+  for (int m = 1; m <= 4; ++m)
+    EXPECT_EQ(b->schedule().bus(0).static_slots_of(
+                  static_cast<fpga::ModuleId>(m)),
+              6);
+  EXPECT_EQ(b->schedule().bus(0).dynamic_slots(), 8);
+}
+
+TEST_F(BuscomTest, PayloadBytesPerSlotAccountsForHeader) {
+  auto b = make();
+  // 16 cycles x 32 bit = 512 bits; minus 20-bit header -> 61 bytes.
+  EXPECT_EQ(b->payload_bytes_per_slot(), 61u);
+}
+
+TEST_F(BuscomTest, SmallPacketDeliveredWithinOneRound) {
+  auto b = make();
+  ASSERT_TRUE(b->send(pkt(1, 2, 32)));
+  const sim::Cycle round =
+      static_cast<sim::Cycle>(cfg.slots_per_round) * cfg.cycles_per_slot;
+  ASSERT_TRUE(kernel.run_until([&] { return b->packets_delivered() > 0 ||
+                                            b->receive(2).has_value(); },
+                               round + 1));
+}
+
+TEST_F(BuscomTest, LargePacketIsFragmentedAndReassembled) {
+  auto b = make();
+  ASSERT_TRUE(b->send(pkt(1, 2, 300)));  // > 61 bytes/slot -> 5 fragments
+  bool got = kernel.run_until([&] { return b->receive(2).has_value(); },
+                              5'000);
+  EXPECT_TRUE(got);
+  EXPECT_GE(b->stats().counter_value("fragments_sent"), 5u);
+}
+
+TEST_F(BuscomTest, DeliveredPacketRetainsSizeAndTag) {
+  auto b = make();
+  auto p = pkt(3, 1, 200);
+  p.tag = 0xDEADBEEF;
+  ASSERT_TRUE(b->send(p));
+  proto::Packet got;
+  ASSERT_TRUE(kernel.run_until(
+      [&] {
+        auto r = b->receive(1);
+        if (r) got = *r;
+        return r.has_value();
+      },
+      5'000));
+  EXPECT_EQ(got.payload_bytes, 200u);
+  EXPECT_EQ(got.tag, 0xDEADBEEFu);
+  EXPECT_EQ(got.src, 3u);
+}
+
+TEST_F(BuscomTest, WorstCaseSlotWaitMatchesSchedule) {
+  auto b = make(4);
+  // Module 1 owns slots 0,4,...,20; the dynamic tail (8 slots) makes the
+  // wrap-around gap 12 slots -> 12 x 16 cycles.
+  EXPECT_EQ(b->worst_case_slot_wait(1), 12u * 16u);
+}
+
+TEST_F(BuscomTest, ParallelTransfersBoundedByBusCount) {
+  auto b = make();
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(b->send(pkt(1, 2, 32)));
+    ASSERT_TRUE(b->send(pkt(2, 3, 32)));
+    ASSERT_TRUE(b->send(pkt(3, 4, 32)));
+    ASSERT_TRUE(b->send(pkt(4, 1, 32)));
+  }
+  std::size_t max_active = 0;
+  for (int c = 0; c < 600; ++c) {
+    kernel.step();
+    max_active = std::max(max_active, b->active_transfers_now());
+  }
+  EXPECT_LE(max_active, static_cast<std::size_t>(cfg.buses));
+  EXPECT_GE(max_active, 2u);  // multiple buses genuinely used
+  EXPECT_EQ(b->max_parallelism(), 4u);
+}
+
+TEST_F(BuscomTest, DynamicSlotsGoToHighestPriority) {
+  auto b = make(4);
+  b->set_priority(4, -10);  // module 4 outranks everyone
+  // Saturate: only dynamic slots differentiate; static slots are owned.
+  for (int i = 0; i < 20; ++i) {
+    b->send(pkt(2, 1, 61));
+    b->send(pkt(4, 1, 61));
+  }
+  kernel.run(2 * 32 * 16);
+  std::uint64_t from2 = 0, from4 = 0;
+  while (auto p = b->receive(1)) {
+    if (p->src == 2) ++from2;
+    if (p->src == 4) ++from4;
+  }
+  EXPECT_GE(from4, from2);
+}
+
+TEST_F(BuscomTest, SlotReassignmentShiftsBandwidth) {
+  auto b = make(4);
+  // Give module 1 every static slot on bus 0 (virtual topology change).
+  for (int s = 0; s < 24; ++s) b->reassign_static_slot(0, s, 1);
+  kernel.run(32 * 16 + 1);  // takes effect at next round start
+  EXPECT_EQ(b->schedule().bus(0).static_slots_of(1), 24);
+  EXPECT_EQ(b->stats().counter_value("schedule_updates"), 1u);
+}
+
+TEST_F(BuscomTest, ReassignmentNotVisibleBeforeRoundBoundary) {
+  auto b = make(4);
+  b->reassign_static_slot(0, 0, 3);
+  kernel.run(5);  // still inside round 0
+  EXPECT_EQ(b->schedule().bus(0).slot(0).owner, 1u);
+}
+
+TEST_F(BuscomTest, DetachEvictsFromSchedule) {
+  auto b = make(4);
+  ASSERT_TRUE(b->detach(2));
+  EXPECT_EQ(b->schedule().bus(0).static_slots_of(2), 0);
+  EXPECT_FALSE(b->is_attached(2));
+}
+
+TEST_F(BuscomTest, SendToDetachedModuleFails) {
+  auto b = make(4);
+  b->detach(2);
+  EXPECT_FALSE(b->send(pkt(1, 2, 8)));
+}
+
+TEST_F(BuscomTest, TxQueueDepthEnforced) {
+  cfg.tx_queue_depth = 3;
+  auto b = make(4);
+  EXPECT_TRUE(b->send(pkt(1, 2, 8)));
+  EXPECT_TRUE(b->send(pkt(1, 2, 8)));
+  EXPECT_TRUE(b->send(pkt(1, 2, 8)));
+  EXPECT_FALSE(b->send(pkt(1, 2, 8)));
+}
+
+TEST_F(BuscomTest, ZeroByteControlPacketDelivered) {
+  auto b = make();
+  ASSERT_TRUE(b->send(pkt(1, 4, 0)));
+  EXPECT_TRUE(kernel.run_until([&] { return b->receive(4).has_value(); },
+                               2'000));
+}
+
+TEST_F(BuscomTest, AllTrafficDeliveredUnderLoad) {
+  auto b = make();
+  int sent = 0;
+  for (int round = 0; round < 6; ++round) {
+    for (int m = 1; m <= 4; ++m) {
+      auto p = pkt(static_cast<fpga::ModuleId>(m),
+                   static_cast<fpga::ModuleId>(m % 4 + 1), 100);
+      if (b->send(p)) ++sent;
+    }
+    kernel.run(200);
+  }
+  kernel.run(32 * 16 * 4);
+  int got = 0;
+  for (int m = 1; m <= 4; ++m)
+    while (b->receive(static_cast<fpga::ModuleId>(m))) ++got;
+  EXPECT_EQ(got, sent);
+}
+
+TEST_F(BuscomTest, DesignParametersMatchTable1) {
+  auto b = make();
+  auto d = b->design_parameters();
+  EXPECT_EQ(d.type, core::ArchType::kBus);
+  EXPECT_EQ(d.switching, core::Switching::kTimeMultiplexed);
+  EXPECT_EQ(d.overhead, "20 bit");
+  EXPECT_EQ(d.max_payload, "256 byte");
+  EXPECT_EQ(d.protocol_layers, 1u);
+}
+
+TEST_F(BuscomTest, FramingEfficiencyNearNinetyPercent) {
+  // Paper §4.2: header reduces effective bandwidth of BUS-COM to ~90%.
+  proto::Framing f{proto::BuscomFraming::kOverheadBits,
+                   proto::BuscomFraming::kMaxPayloadBytes};
+  const double eff = f.efficiency(256, 32);
+  EXPECT_GT(eff, 0.85);
+  EXPECT_LT(eff, 1.0);
+}
+
+}  // namespace
+}  // namespace recosim::buscom

@@ -1,0 +1,129 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/comparison.hpp"
+#include "core/report.hpp"
+#include "core/traffic.hpp"
+
+namespace recosim::core {
+namespace {
+
+TEST(MinimalSystems, AllFourBuildWithFourModules) {
+  for (auto* sys : {new MinimalSystem(make_minimal_rmboc()),
+                    new MinimalSystem(make_minimal_buscom()),
+                    new MinimalSystem(make_minimal_dynoc()),
+                    new MinimalSystem(make_minimal_conochi())}) {
+    EXPECT_EQ(sys->arch->attached_count(), 4u);
+    EXPECT_EQ(sys->modules.size(), 4u);
+    delete sys;
+  }
+}
+
+TEST(MinimalSystems, ConochiHasOneSwitchPerModule) {
+  auto sys = make_minimal_conochi(4);
+  auto* c = dynamic_cast<conochi::Conochi*>(sys.arch.get());
+  ASSERT_NE(c, nullptr);
+  EXPECT_EQ(c->switch_count(), 4u);
+}
+
+TEST(RunWorkload, DeliversTrafficOnEveryArchitecture) {
+  WorkloadConfig wl;
+  wl.cycles = 20'000;
+  wl.injection_rate = 0.002;
+  for (auto& r : run_all_minimal(wl)) {
+    EXPECT_GT(r.generated, 0u) << r.name;
+    EXPECT_GT(r.delivered, 0u) << r.name;
+    // Low load: everything generated must eventually arrive.
+    EXPECT_EQ(r.delivered, r.generated) << r.name;
+    EXPECT_GT(r.mean_latency_cycles, 0.0) << r.name;
+    EXPECT_GT(r.fmax_mhz, 0.0) << r.name;
+    EXPECT_GT(r.slices, 0.0) << r.name;
+  }
+}
+
+TEST(RunWorkload, BusesBeatNoCsOnEstablishedPathLatency) {
+  // §4.2: l_p = 1 for the buses once a connection exists, while the NoCs
+  // pay per-switch latency on every hop.
+  auto rm = make_minimal_rmboc();
+  auto dy = make_minimal_dynoc();
+  auto cn = make_minimal_conochi();
+  EXPECT_EQ(rm.arch->path_latency(1, 4), 1u);
+  EXPECT_GT(dy.arch->path_latency(1, 4), rm.arch->path_latency(1, 4));
+  EXPECT_GT(cn.arch->path_latency(1, 4), rm.arch->path_latency(1, 4));
+}
+
+TEST(RunWorkload, RmbocStreamingBeatsDynocOncePathIsHot) {
+  // On a standing circuit RMBoC moves one word per cycle end-to-end;
+  // DyNoC pays store-and-forward at every router. Stream a fixed pair.
+  auto measure = [](MinimalSystem sys) {
+    TrafficSource src(*sys.kernel, *sys.arch, 1,
+                      DestinationPolicy::fixed(2), SizePolicy::fixed(16),
+                      InjectionPolicy::periodic(40), sim::Rng(1));
+    TrafficSink sink(*sys.kernel, *sys.arch, {2});
+    sys.kernel->run(20'000);
+    return sys.arch->mean_latency_cycles();
+  };
+  const double rm = measure(make_minimal_rmboc());
+  const double dy = measure(make_minimal_dynoc());
+  EXPECT_LT(rm, dy);
+}
+
+TEST(RunWorkload, DeterministicForSameSeed) {
+  WorkloadConfig wl;
+  wl.cycles = 10'000;
+  auto a = run_workload(make_minimal_rmboc(), wl);
+  auto b = run_workload(make_minimal_rmboc(), wl);
+  EXPECT_EQ(a.generated, b.generated);
+  EXPECT_EQ(a.delivered, b.delivered);
+  EXPECT_DOUBLE_EQ(a.mean_latency_cycles, b.mean_latency_cycles);
+}
+
+TEST(RunWorkload, DifferentSeedsDiffer) {
+  WorkloadConfig a, b;
+  a.cycles = b.cycles = 10'000;
+  b.seed = 43;
+  auto ra = run_workload(make_minimal_rmboc(), a);
+  auto rb = run_workload(make_minimal_rmboc(), b);
+  EXPECT_NE(ra.generated, rb.generated);
+}
+
+TEST(RunWorkload, HotspotConcentratesOnModuleOne) {
+  WorkloadConfig wl;
+  wl.hotspot = true;
+  wl.cycles = 20'000;
+  wl.injection_rate = 0.002;
+  auto r = run_workload(make_minimal_buscom(), wl);
+  EXPECT_EQ(r.delivered, r.generated);
+}
+
+TEST(ReportTable, PrintsHeadersAndRows) {
+  Table t("Demo");
+  t.set_headers({"a", "bb"});
+  t.add_row({"1", "2"});
+  t.add_row({"333", "4"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("Demo"), std::string::npos);
+  EXPECT_NE(s.find("333"), std::string::npos);
+  EXPECT_NE(s.find("bb"), std::string::npos);
+  EXPECT_EQ(t.row_count(), 2u);
+}
+
+TEST(ReportTable, CsvOutput) {
+  Table t("Demo");
+  t.set_headers({"a", "b"});
+  t.add_row({"1", "2"});
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_EQ(os.str(), "a,b\n1,2\n");
+}
+
+TEST(ReportTable, NumberFormatting) {
+  EXPECT_EQ(Table::num(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::num(std::uint64_t{42}), "42");
+}
+
+}  // namespace
+}  // namespace recosim::core

@@ -1,0 +1,140 @@
+#include <gtest/gtest.h>
+
+#include "conochi/planner.hpp"
+#include "sim/kernel.hpp"
+
+namespace recosim::conochi {
+namespace {
+
+fpga::HardwareModule mod() { return fpga::HardwareModule{}; }
+
+struct PlannerTest : ::testing::Test {
+  sim::Kernel kernel;
+  ConochiConfig cfg;
+
+  std::unique_ptr<Conochi> make(int w = 12, int h = 8) {
+    cfg.grid_width = w;
+    cfg.grid_height = h;
+    return std::make_unique<Conochi>(kernel, cfg);
+  }
+};
+
+TEST_F(PlannerTest, FirstSwitchNeedsNoWiring) {
+  auto net = make();
+  TopologyPlanner planner(*net);
+  EXPECT_TRUE(planner.add_connected_switch({3, 3}));
+  EXPECT_EQ(net->switch_count(), 1u);
+  EXPECT_EQ(net->link_count(), 0u);
+}
+
+TEST_F(PlannerTest, SecondSwitchGetsWiredToFirst) {
+  auto net = make();
+  TopologyPlanner planner(*net);
+  ASSERT_TRUE(planner.add_connected_switch({2, 3}));
+  ASSERT_TRUE(planner.add_connected_switch({8, 3}));
+  EXPECT_EQ(net->switch_count(), 2u);
+  EXPECT_EQ(net->link_count(), 2u);  // one bidirectional link
+  // The tiles between must now be H wires.
+  for (int x = 3; x <= 7; ++x)
+    EXPECT_EQ(net->grid().at({x, 3}), TileType::kH);
+}
+
+TEST_F(PlannerTest, PlanPicksNearestSwitch) {
+  auto net = make();
+  // Two unconnected switches (placed directly, no wiring between them).
+  ASSERT_TRUE(net->add_switch({1, 3}));
+  ASSERT_TRUE(net->add_switch({9, 3}));
+  TopologyPlanner planner(*net);
+  auto plan = planner.connection_plan({7, 3});
+  ASSERT_TRUE(plan.has_value());
+  EXPECT_EQ(plan->switch_pos, (fpga::Point{9, 3}));  // 1 tile vs 5 tiles
+  EXPECT_EQ(plan->wire_tiles, 1);
+}
+
+TEST_F(PlannerTest, PlanUsesVerticalRuns) {
+  auto net = make(8, 10);
+  TopologyPlanner planner(*net);
+  ASSERT_TRUE(planner.add_connected_switch({4, 1}));
+  auto plan = planner.connection_plan({4, 6});
+  ASSERT_TRUE(plan.has_value());
+  EXPECT_EQ(plan->switch_pos, (fpga::Point{4, 1}));
+  ASSERT_TRUE(planner.add_connected_switch({4, 6}));
+  for (int y = 2; y <= 5; ++y)
+    EXPECT_EQ(net->grid().at({4, y}), TileType::kV);
+  EXPECT_EQ(net->link_count(), 2u);
+}
+
+TEST_F(PlannerTest, NoStraightPathMeansNoPlan) {
+  auto net = make();
+  TopologyPlanner planner(*net);
+  ASSERT_TRUE(planner.add_connected_switch({2, 2}));
+  // (5, 5) shares no row/column run with the only switch.
+  EXPECT_FALSE(planner.connection_plan({5, 5}).has_value());
+  EXPECT_FALSE(planner.add_connected_switch({5, 5}));
+}
+
+TEST_F(PlannerTest, AutoAttachBuildsTopologyOnDemand) {
+  auto net = make();
+  TopologyPlanner planner(*net);
+  EXPECT_TRUE(planner.auto_attach(1, mod(), {2, 2}));
+  EXPECT_TRUE(planner.auto_attach(2, mod(), {8, 2}));
+  EXPECT_TRUE(planner.auto_attach(3, mod(), {8, 6}));
+  EXPECT_EQ(net->attached_count(), 3u);
+  EXPECT_GE(net->switch_count(), 1u);
+  // The network must be functional end-to-end.
+  proto::Packet p;
+  p.src = 1;
+  p.dst = 3;
+  p.payload_bytes = 64;
+  ASSERT_TRUE(net->send(p));
+  EXPECT_TRUE(kernel.run_until(
+      [&] { return net->receive(3).has_value(); }, 10'000));
+}
+
+TEST_F(PlannerTest, AutoAttachReusesSwitchWithFreePort) {
+  auto net = make();
+  TopologyPlanner planner(*net);
+  ASSERT_TRUE(planner.auto_attach(1, mod(), {4, 3}));
+  const auto switches_before = net->switch_count();
+  // Same preferred position: lands on the existing switch's free port.
+  ASSERT_TRUE(planner.auto_attach(2, mod(), {4, 3}));
+  EXPECT_EQ(net->switch_count(), switches_before);
+  EXPECT_EQ(net->switch_of(1), net->switch_of(2));
+}
+
+TEST_F(PlannerTest, DetachAndGcRemovesLeafSwitchAndWires) {
+  auto net = make();
+  TopologyPlanner planner(*net);
+  ASSERT_TRUE(planner.auto_attach(1, mod(), {2, 3}));
+  ASSERT_TRUE(planner.auto_attach(2, mod(), {8, 3}));
+  const auto sw2 = net->switch_of(2).value();
+  ASSERT_TRUE(planner.detach_and_gc(2));
+  EXPECT_FALSE(net->is_attached(2));
+  EXPECT_FALSE(net->has_switch_at(sw2));
+  EXPECT_EQ(net->switch_count(), 1u);
+  // The wire run towards the removed switch was cleared.
+  std::size_t wires = net->grid().count(TileType::kH) +
+                      net->grid().count(TileType::kV);
+  EXPECT_EQ(wires, 0u);
+}
+
+TEST_F(PlannerTest, GcKeepsTransitSwitches) {
+  auto net = make(16, 8);
+  TopologyPlanner planner(*net);
+  ASSERT_TRUE(planner.auto_attach(1, mod(), {2, 3}));
+  ASSERT_TRUE(planner.auto_attach(2, mod(), {7, 3}));
+  ASSERT_TRUE(planner.auto_attach(3, mod(), {12, 3}));
+  // Module 2's switch carries traffic between 1 and 3: two links.
+  ASSERT_TRUE(planner.detach_and_gc(2));
+  EXPECT_EQ(net->switch_count(), 3u);  // transit switch preserved
+  proto::Packet p;
+  p.src = 1;
+  p.dst = 3;
+  p.payload_bytes = 16;
+  ASSERT_TRUE(net->send(p));
+  EXPECT_TRUE(kernel.run_until(
+      [&] { return net->receive(3).has_value(); }, 10'000));
+}
+
+}  // namespace
+}  // namespace recosim::conochi

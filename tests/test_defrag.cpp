@@ -1,0 +1,180 @@
+#include <gtest/gtest.h>
+
+#include "fpga/defrag.hpp"
+#include "fpga/kamer.hpp"
+#include "fpga/placer.hpp"
+#include "fpga/relocation.hpp"
+#include "sim/rng.hpp"
+
+namespace recosim::fpga {
+namespace {
+
+Device small_device(int cols = 16, int rows = 16) {
+  Device d = Device::virtex4_like();
+  d.clb_columns = cols;
+  d.clb_rows = rows;
+  return d;
+}
+
+TEST(Defrag, EmptyFloorplanNeedsNoMoves) {
+  Floorplan f(small_device());
+  Defragmenter d(f, small_device());
+  auto plan = d.plan_compaction();
+  EXPECT_TRUE(plan.moves.empty());
+  EXPECT_EQ(plan.largest_free_before, 16 * 16);
+  EXPECT_FALSE(plan.improves());
+}
+
+TEST(Defrag, CompactionGrowsLargestFreeRect) {
+  Floorplan f(small_device());
+  // A module stranded in the middle splits the free space.
+  ASSERT_TRUE(f.place(1, Rect{6, 6, 4, 4}));
+  Defragmenter d(f, small_device());
+  const int before = d.largest_free_rect_area();
+  EXPECT_LT(before, 16 * 16 - 16);
+  auto plan = d.plan_compaction();
+  ASSERT_FALSE(plan.moves.empty());
+  EXPECT_TRUE(plan.improves());
+  EXPECT_GT(plan.total_cost_us, 0.0);
+  ASSERT_TRUE(d.apply(plan));
+  EXPECT_GT(d.largest_free_rect_area(), before);
+  // The module moved to the bottom-left corner.
+  EXPECT_EQ(f.region_of(1).value(), (Rect{0, 0, 4, 4}));
+}
+
+TEST(Defrag, ApplyDetectsStalePlan) {
+  Floorplan f(small_device());
+  ASSERT_TRUE(f.place(1, Rect{6, 6, 4, 4}));
+  Defragmenter d(f, small_device());
+  auto plan = d.plan_compaction();
+  ASSERT_FALSE(plan.moves.empty());
+  // The floorplan changes after planning: apply must refuse.
+  ASSERT_TRUE(f.remove(1));
+  ASSERT_TRUE(f.place(1, Rect{2, 2, 4, 4}));
+  EXPECT_FALSE(d.apply(plan));
+}
+
+TEST(Defrag, RecoversPlaceabilityAfterChurn) {
+  // Churn fragments the device until a big module no longer fits; one
+  // compaction pass must make it placeable again.
+  Floorplan f(small_device(20, 20));
+  KamerPlacer placer(f);
+  sim::Rng rng(13);
+  ModuleId next = 1;
+  std::vector<ModuleId> live;
+  for (int step = 0; step < 200; ++step) {
+    if (!live.empty() && rng.chance(0.5)) {
+      const auto idx = rng.index(live.size());
+      placer.remove(live[idx]);
+      live.erase(live.begin() + static_cast<std::ptrdiff_t>(idx));
+    } else {
+      HardwareModule m;
+      m.width_clbs = static_cast<int>(rng.uniform(3, 6));
+      m.height_clbs = static_cast<int>(rng.uniform(3, 6));
+      if (placer.place(next, m)) live.push_back(next);
+      ++next;
+    }
+  }
+  Defragmenter d(f, small_device(20, 20));
+  const int before = d.largest_free_rect_area();
+  auto plan = d.plan_compaction(12);
+  if (!plan.moves.empty()) {
+    ASSERT_TRUE(d.apply(plan));
+    EXPECT_GE(d.largest_free_rect_area(), before);
+    EXPECT_EQ(plan.largest_free_after, d.largest_free_rect_area());
+  }
+  // Invariant: applying a plan never corrupts occupancy.
+  int occupied = 0;
+  for (const auto& [id, r] : f.regions()) occupied += r.area();
+  EXPECT_EQ(f.free_clbs(), 20 * 20 - occupied);
+}
+
+TEST(Defrag, CostUsesTileDeviceBitstreamModel) {
+  Floorplan f(small_device());
+  ASSERT_TRUE(f.place(1, Rect{6, 6, 4, 4}));
+  Defragmenter d(f, small_device());
+  auto plan = d.plan_compaction();
+  ASSERT_EQ(plan.moves.size(), 1u);
+  BitstreamModel bits(small_device());
+  EXPECT_DOUBLE_EQ(plan.moves[0].cost_us,
+                   bits.reconfig_time_us(plan.moves[0].to));
+}
+
+TEST(Defrag, RespectsMaxMoves) {
+  Floorplan f(small_device(24, 24));
+  // Several stranded modules.
+  ASSERT_TRUE(f.place(1, Rect{6, 6, 3, 3}));
+  ASSERT_TRUE(f.place(2, Rect{14, 6, 3, 3}));
+  ASSERT_TRUE(f.place(3, Rect{6, 14, 3, 3}));
+  ASSERT_TRUE(f.place(4, Rect{14, 14, 3, 3}));
+  Defragmenter d(f, small_device(24, 24));
+  auto plan = d.plan_compaction(/*max_moves=*/2);
+  EXPECT_LE(plan.moves.size(), 2u);
+}
+
+}  // namespace
+}  // namespace recosim::fpga
+
+// -- Target-aware planning and relocation rules -----------------------------
+
+namespace recosim::fpga {
+namespace {
+
+TEST(DefragPlanFor, AchievesFitTheAreaMetricMisses) {
+  // A module stranded mid-fabric blocks a full-height rectangle even
+  // though the largest free *area* would not grow by moving it.
+  Floorplan f(small_device(20, 20));
+  ASSERT_TRUE(f.place(2, Rect{7, 0, 6, 6}));
+  Defragmenter d(f, small_device(20, 20));
+  // 12x20 with clearance 1 does not fit around the stranded module.
+  auto blind = d.plan_compaction();
+  EXPECT_FALSE(blind.improves());  // area metric sees no gain
+  auto plan = d.plan_for(12, 20, /*clearance=*/1);
+  ASSERT_TRUE(plan.target_fits);
+  ASSERT_EQ(plan.moves.size(), 1u);
+  ASSERT_TRUE(d.apply(plan));
+  Floorplan probe = f;
+  RectPlacer placer(probe, 1);
+  EXPECT_TRUE(placer.find(12, 20).has_value());
+}
+
+TEST(DefragPlanFor, ReportsFailureWhenImpossible) {
+  Floorplan f(small_device(16, 16));
+  ASSERT_TRUE(f.place(1, Rect{0, 0, 8, 16}));
+  Defragmenter d(f, small_device(16, 16));
+  // 12 wide can never fit next to an 8-wide module on 16 columns.
+  auto plan = d.plan_for(12, 16, 1);
+  EXPECT_FALSE(plan.target_fits);
+}
+
+TEST(DefragPlanFor, NoMovesWhenAlreadyFits) {
+  Floorplan f(small_device(20, 20));
+  ASSERT_TRUE(f.place(1, Rect{0, 0, 4, 4}));
+  Defragmenter d(f, small_device(20, 20));
+  auto plan = d.plan_for(8, 8, 1);
+  EXPECT_TRUE(plan.target_fits);
+  EXPECT_TRUE(plan.moves.empty());
+}
+
+TEST(Relocation, ColumnDeviceAllowsOnlyHorizontalMoves) {
+  const Device v2 = Device::xc2v3000();
+  EXPECT_TRUE(RelocationRules::compatible(v2, Rect{0, 0, 4, 64},
+                                          Rect{10, 0, 4, 64}));
+  EXPECT_FALSE(RelocationRules::compatible(v2, Rect{0, 0, 4, 32},
+                                           Rect{0, 16, 4, 32}));
+  EXPECT_FALSE(RelocationRules::compatible(v2, Rect{0, 0, 4, 64},
+                                           Rect{10, 0, 6, 64}));
+}
+
+TEST(Relocation, TileDeviceAllowsTileAlignedMoves) {
+  const Device v4 = Device::virtex4_like();
+  EXPECT_TRUE(RelocationRules::compatible(v4, Rect{0, 0, 4, 8},
+                                          Rect{8, 16, 4, 8}));
+  EXPECT_TRUE(RelocationRules::compatible(v4, Rect{2, 3, 4, 8},
+                                          Rect{9, 19, 4, 8}));
+  EXPECT_FALSE(RelocationRules::compatible(v4, Rect{0, 0, 4, 8},
+                                           Rect{8, 9, 4, 8}));
+}
+
+}  // namespace
+}  // namespace recosim::fpga

@@ -1,0 +1,325 @@
+#include <gtest/gtest.h>
+
+#include "fpga/bitstream.hpp"
+#include "fpga/bus_macro.hpp"
+#include "fpga/device.hpp"
+#include "fpga/floorplan.hpp"
+#include "fpga/geometry.hpp"
+#include "fpga/icap.hpp"
+#include "fpga/placer.hpp"
+#include "fpga/resource.hpp"
+#include "sim/kernel.hpp"
+
+namespace recosim::fpga {
+namespace {
+
+TEST(Geometry, RectContainsAndOverlaps) {
+  Rect r{2, 3, 4, 2};  // x:[2,6) y:[3,5)
+  EXPECT_TRUE(r.contains({2, 3}));
+  EXPECT_TRUE(r.contains({5, 4}));
+  EXPECT_FALSE(r.contains({6, 4}));
+  EXPECT_FALSE(r.contains({2, 5}));
+  EXPECT_TRUE(r.overlaps(Rect{5, 4, 3, 3}));
+  EXPECT_FALSE(r.overlaps(Rect{6, 3, 2, 2}));
+  EXPECT_EQ(r.area(), 8);
+}
+
+TEST(Geometry, InflatedGrowsAllSides) {
+  Rect r{2, 2, 2, 2};
+  Rect g = r.inflated();
+  EXPECT_EQ(g, (Rect{1, 1, 4, 4}));
+}
+
+TEST(Resources, ArithmeticAndFits) {
+  Resources a{100, 2, 1};
+  Resources b{50, 1, 0};
+  EXPECT_EQ((a + b).slices, 150u);
+  EXPECT_EQ((b * 3).slices, 150u);
+  EXPECT_TRUE(b.fits_within(a));
+  EXPECT_FALSE(a.fits_within(b));
+}
+
+TEST(Device, PaperDevicesHaveSaneGeometry) {
+  for (const Device& d :
+       {Device::xc2v3000(), Device::xc2v6000(), Device::xc2vp100()}) {
+    EXPECT_GT(d.clb_columns, 0);
+    EXPECT_GT(d.clb_rows, 0);
+    EXPECT_EQ(d.granularity, ReconfigGranularity::kFullColumn);
+    EXPECT_GT(d.bits_per_frame, 0u);
+  }
+  EXPECT_EQ(Device::virtex4_like().granularity, ReconfigGranularity::kTile);
+}
+
+TEST(Device, TotalSlices) {
+  const Device d = Device::xc2v6000();
+  EXPECT_EQ(d.total().slices, 88u * 96u * 4u);
+}
+
+TEST(Floorplan, PlaceRemoveRoundtrip) {
+  Floorplan f(Device::xc2v3000());
+  EXPECT_TRUE(f.place(1, Rect{0, 0, 4, 4}));
+  EXPECT_EQ(f.owner_at({2, 2}), 1u);
+  EXPECT_FALSE(f.is_free(Rect{3, 3, 2, 2}));
+  EXPECT_TRUE(f.remove(1));
+  EXPECT_EQ(f.owner_at({2, 2}), kInvalidModule);
+  EXPECT_TRUE(f.is_free(Rect{3, 3, 2, 2}));
+}
+
+TEST(Floorplan, RejectsOverlapAndOutOfBounds) {
+  Floorplan f(Device::xc2v3000());
+  ASSERT_TRUE(f.place(1, Rect{0, 0, 4, 4}));
+  EXPECT_FALSE(f.place(2, Rect{3, 3, 2, 2}));
+  EXPECT_FALSE(f.place(3, Rect{-1, 0, 2, 2}));
+  EXPECT_FALSE(f.place(4, Rect{55, 0, 4, 4}));  // 56 columns
+  EXPECT_FALSE(f.place(1, Rect{10, 10, 1, 1}));  // duplicate id
+}
+
+TEST(Floorplan, FreeClbsAccounting) {
+  Floorplan f(Device::xc2v3000());
+  const int total = 56 * 64;
+  EXPECT_EQ(f.free_clbs(), total);
+  f.place(1, Rect{0, 0, 10, 10});
+  EXPECT_EQ(f.free_clbs(), total - 100);
+}
+
+TEST(Floorplan, DisturbedColumnsSpanRegionWidth) {
+  Floorplan f(Device::xc2v3000());
+  auto cols = f.disturbed_columns(Rect{5, 20, 3, 4});
+  EXPECT_EQ(cols, (std::vector<int>{5, 6, 7}));
+}
+
+TEST(SlotPlacer, DividesDeviceIntoFullHeightSlots) {
+  Floorplan f(Device::xc2v3000());
+  SlotPlacer p(f, 4);
+  EXPECT_EQ(p.slot_count(), 4);
+  int width_sum = 0;
+  for (int s = 0; s < 4; ++s) {
+    EXPECT_EQ(p.slot_region(s).h, 64);
+    width_sum += p.slot_region(s).w;
+  }
+  EXPECT_EQ(width_sum, 56);
+}
+
+TEST(SlotPlacer, FirstFitAndRemove) {
+  Floorplan f(Device::xc2v3000());
+  SlotPlacer p(f, 4);
+  HardwareModule m;
+  m.width_clbs = 5;
+  EXPECT_EQ(p.place(1, m).value(), 0);
+  EXPECT_EQ(p.place(2, m).value(), 1);
+  EXPECT_TRUE(p.remove(1));
+  EXPECT_EQ(p.place(3, m).value(), 0);
+  EXPECT_EQ(p.free_slots(), 2);
+}
+
+TEST(SlotPlacer, ModuleOwnsWholeSlotColumns) {
+  // The slot model wastes area: even a 1-CLB module blocks the full slot.
+  Floorplan f(Device::xc2v3000());
+  SlotPlacer p(f, 4);
+  HardwareModule tiny;
+  tiny.width_clbs = 1;
+  ASSERT_TRUE(p.place(9, tiny).has_value());
+  EXPECT_EQ(f.free_clbs(), 56 * 64 - p.slot_region(0).area());
+}
+
+TEST(SlotPlacer, RejectsTooWideModule) {
+  Floorplan f(Device::xc2v3000());
+  SlotPlacer p(f, 4);
+  HardwareModule wide;
+  wide.width_clbs = 20;  // slots are 14 wide
+  EXPECT_FALSE(p.place(1, wide).has_value());
+}
+
+TEST(RectPlacer, BottomLeftFirstFit) {
+  Floorplan f(Device::xc2v3000());
+  RectPlacer p(f);
+  HardwareModule m;
+  m.width_clbs = 8;
+  m.height_clbs = 8;
+  auto r1 = p.place(1, m);
+  ASSERT_TRUE(r1.has_value());
+  EXPECT_EQ(*r1, (Rect{0, 0, 8, 8}));
+  auto r2 = p.place(2, m);
+  ASSERT_TRUE(r2.has_value());
+  EXPECT_EQ(*r2, (Rect{8, 0, 8, 8}));
+}
+
+TEST(RectPlacer, ClearanceKeepsRing) {
+  Floorplan f(Device::xc2v3000());
+  RectPlacer p(f, /*clearance=*/1);
+  HardwareModule m;
+  m.width_clbs = 4;
+  m.height_clbs = 4;
+  auto r1 = p.place(1, m);
+  auto r2 = p.place(2, m);
+  ASSERT_TRUE(r1 && r2);
+  // At least one free tile between placements.
+  EXPECT_GE(r2->x - r1->right(), 1);
+}
+
+TEST(RectPlacer, FillsAndFails) {
+  Device tiny = Device::xc2v3000();
+  tiny.clb_columns = 8;
+  tiny.clb_rows = 8;
+  Floorplan f(tiny);
+  RectPlacer p(f);
+  HardwareModule m;
+  m.width_clbs = 8;
+  m.height_clbs = 8;
+  EXPECT_TRUE(p.place(1, m).has_value());
+  EXPECT_FALSE(p.place(2, m).has_value());
+  p.remove(1);
+  EXPECT_TRUE(p.place(3, m).has_value());
+}
+
+TEST(Bitstream, ColumnDeviceIgnoresRegionHeight) {
+  // Virtex-II frames span the full column: a 4x4 and a 4x64 region cost
+  // the same bitstream - the core restriction behind slot-based flows.
+  BitstreamModel m(Device::xc2v3000());
+  EXPECT_EQ(m.partial_bits(Rect{0, 0, 4, 4}),
+            m.partial_bits(Rect{0, 0, 4, 64}));
+}
+
+TEST(Bitstream, TileDeviceScalesWithHeight) {
+  BitstreamModel m(Device::virtex4_like());
+  EXPECT_LT(m.partial_bits(Rect{0, 0, 4, 8}),
+            m.partial_bits(Rect{0, 0, 4, 64}));
+}
+
+TEST(Bitstream, SizeScalesWithWidth) {
+  BitstreamModel m(Device::xc2v3000());
+  EXPECT_EQ(m.partial_bits(Rect{0, 0, 2, 4}) * 2,
+            m.partial_bits(Rect{0, 0, 4, 4}));
+  EXPECT_EQ(m.partial_bits(Rect{0, 0, 0, 4}), 0u);
+}
+
+TEST(Bitstream, ReconfigTimeIsPositiveAndFinite) {
+  BitstreamModel m(Device::xc2v6000());
+  const double us = m.reconfig_time_us(Rect{0, 0, 22, 96});
+  EXPECT_GT(us, 100.0);     // a slot takes on the order of milliseconds
+  EXPECT_LT(us, 1e7);
+}
+
+TEST(Icap, CompletesRequestAfterModelledTime) {
+  sim::Kernel k;
+  Icap icap(k, Device::xc2v3000(), 66.0);
+  BitstreamModel model(Device::xc2v3000());
+  bool done = false;
+  icap.request(7, Rect{0, 0, 1, 4}, [&](ModuleId id) {
+    EXPECT_EQ(id, 7u);
+    done = true;
+  });
+  const auto expected =
+      model.icap_cycles(model.partial_bits(Rect{0, 0, 1, 4}));
+  k.run(expected / 2);
+  EXPECT_FALSE(done);
+  ASSERT_TRUE(k.run_until([&] { return done; }, expected * 2 + 10));
+  EXPECT_FALSE(icap.busy());
+}
+
+TEST(Icap, QueuesRequestsSequentially) {
+  sim::Kernel k;
+  Icap icap(k, Device::xc2v3000(), 66.0);
+  std::vector<ModuleId> order;
+  icap.request(1, Rect{0, 0, 1, 4}, [&](ModuleId id) { order.push_back(id); });
+  icap.request(2, Rect{1, 0, 1, 4}, [&](ModuleId id) { order.push_back(id); });
+  EXPECT_EQ(icap.pending(), 2u);
+  ASSERT_TRUE(k.run_until([&] { return order.size() == 2; }, 200'000));
+  EXPECT_EQ(order, (std::vector<ModuleId>{1, 2}));
+}
+
+TEST(BusMacro, CountsAndSlices) {
+  BusMacro m;
+  EXPECT_EQ(m.count_for(32), 4u);
+  EXPECT_EQ(m.count_for(16), 2u);
+  EXPECT_EQ(m.count_for(17), 3u);
+  // Paper: 32-in + 16-out = six 8-bit macros, 20 slices each.
+  EXPECT_EQ(m.slices_for(32) + m.slices_for(16), 120u);
+}
+
+}  // namespace
+}  // namespace recosim::fpga
+
+// -- Extended BUS-COM placement: stacked slots (paper §3.1) ----------------
+
+namespace recosim::fpga {
+namespace {
+
+TEST(StackedSlotPlacer, StacksModulesVerticallyInOneSlot) {
+  Floorplan f(Device::xc2v3000());
+  StackedSlotPlacer p(f, 4);
+  HardwareModule m;
+  m.width_clbs = 4;
+  m.height_clbs = 16;
+  auto a = p.place(1, m);
+  auto b = p.place(2, m);
+  ASSERT_TRUE(a && b);
+  EXPECT_EQ(p.slot_of(1).value(), 0);
+  EXPECT_EQ(p.slot_of(2).value(), 0);  // same slot, stacked
+  EXPECT_EQ(a->y, 0);
+  EXPECT_EQ(b->y, 16);
+  EXPECT_EQ(p.modules_in_slot(0), 2);
+}
+
+TEST(StackedSlotPlacer, OverflowsIntoNextSlot) {
+  Floorplan f(Device::xc2v3000());  // 64 rows
+  StackedSlotPlacer p(f, 4);
+  HardwareModule m;
+  m.width_clbs = 4;
+  m.height_clbs = 40;
+  ASSERT_TRUE(p.place(1, m).has_value());
+  auto second = p.place(2, m);
+  ASSERT_TRUE(second.has_value());
+  EXPECT_EQ(p.slot_of(2).value(), 1);  // 40+40 > 64: next slot
+}
+
+TEST(StackedSlotPlacer, RemoveReopensGap) {
+  Floorplan f(Device::xc2v3000());
+  StackedSlotPlacer p(f, 4);
+  HardwareModule m;
+  m.width_clbs = 4;
+  m.height_clbs = 20;
+  ASSERT_TRUE(p.place(1, m).has_value());
+  ASSERT_TRUE(p.place(2, m).has_value());
+  ASSERT_TRUE(p.place(3, m).has_value());
+  EXPECT_EQ(p.free_rows(0), 4);
+  ASSERT_TRUE(p.remove(2));
+  EXPECT_EQ(p.free_rows(0), 20);
+  auto r = p.place(4, m);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->y, 20);  // reuses the gap
+}
+
+TEST(StackedSlotPlacer, PacksMoreModulesThanOnePerSlot) {
+  // The whole point of the extended version: the classic slot model holds
+  // four modules; stacking holds far more small ones.
+  Floorplan f1(Device::xc2v3000());
+  SlotPlacer classic(f1, 4);
+  Floorplan f2(Device::xc2v3000());
+  StackedSlotPlacer stacked(f2, 4);
+  HardwareModule small;
+  small.width_clbs = 4;
+  small.height_clbs = 8;
+  int classic_count = 0, stacked_count = 0;
+  for (ModuleId id = 1; id <= 64; ++id) {
+    if (classic.place(id, small)) ++classic_count;
+    if (stacked.place(id, small).has_value()) ++stacked_count;
+  }
+  EXPECT_EQ(classic_count, 4);
+  EXPECT_EQ(stacked_count, 32);  // 8 per slot x 4 slots
+}
+
+TEST(StackedSlotPlacer, RejectsTooWideOrTooTall) {
+  Floorplan f(Device::xc2v3000());
+  StackedSlotPlacer p(f, 4);
+  HardwareModule wide;
+  wide.width_clbs = 30;
+  EXPECT_FALSE(p.place(1, wide).has_value());
+  HardwareModule tall;
+  tall.width_clbs = 4;
+  tall.height_clbs = 100;
+  EXPECT_FALSE(p.place(2, tall).has_value());
+}
+
+}  // namespace
+}  // namespace recosim::fpga

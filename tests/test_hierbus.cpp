@@ -1,0 +1,179 @@
+#include <gtest/gtest.h>
+
+#include "hierbus/hierbus.hpp"
+#include "sim/kernel.hpp"
+
+namespace recosim::hierbus {
+namespace {
+
+proto::Packet pkt(fpga::ModuleId src, fpga::ModuleId dst,
+                  std::uint32_t bytes) {
+  proto::Packet p;
+  p.src = src;
+  p.dst = dst;
+  p.payload_bytes = bytes;
+  return p;
+}
+
+struct HierBusTest : ::testing::Test {
+  sim::Kernel kernel;
+  HierBusConfig cfg;
+
+  /// Modules 1,2 on the system bus; 3,4 on the peripheral bus.
+  std::unique_ptr<HierBus> make() {
+    auto h = std::make_unique<HierBus>(kernel, cfg);
+    EXPECT_TRUE(h->attach_to(1, BusTier::kSystem));
+    EXPECT_TRUE(h->attach_to(2, BusTier::kSystem));
+    EXPECT_TRUE(h->attach_to(3, BusTier::kPeripheral));
+    EXPECT_TRUE(h->attach_to(4, BusTier::kPeripheral));
+    return h;
+  }
+
+  std::optional<proto::Packet> run_receive(HierBus& h, fpga::ModuleId m,
+                                           sim::Cycle budget = 3'000) {
+    std::optional<proto::Packet> got;
+    kernel.run_until(
+        [&] {
+          got = h.receive(m);
+          return got.has_value();
+        },
+        budget);
+    return got;
+  }
+};
+
+TEST_F(HierBusTest, AttachToTiersAndQuery) {
+  auto h = make();
+  EXPECT_EQ(h->tier_of(1).value(), BusTier::kSystem);
+  EXPECT_EQ(h->tier_of(3).value(), BusTier::kPeripheral);
+  EXPECT_EQ(h->attached_count(), 4u);
+  EXPECT_FALSE(h->attach_to(1, BusTier::kSystem));  // duplicate
+}
+
+TEST_F(HierBusTest, SameBusDelivery) {
+  auto h = make();
+  ASSERT_TRUE(h->send(pkt(1, 2, 64)));
+  auto got = run_receive(*h, 2);
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->payload_bytes, 64u);
+}
+
+TEST_F(HierBusTest, CrossBusDeliveryThroughBridge) {
+  auto h = make();
+  ASSERT_TRUE(h->send(pkt(1, 3, 64)));
+  auto got = run_receive(*h, 3);
+  ASSERT_TRUE(got.has_value());
+  EXPECT_GT(h->stats().counter_value("bridge_transfers"), 0u);
+}
+
+TEST_F(HierBusTest, PeripheralBusIsSlower) {
+  auto h = make();
+  ASSERT_TRUE(h->send(pkt(1, 2, 256)));  // system-only
+  run_receive(*h, 2);
+  const sim::Cycle system_time = kernel.now();
+  ASSERT_TRUE(h->send(pkt(3, 4, 256)));  // peripheral-only
+  const sim::Cycle start = kernel.now();
+  run_receive(*h, 4);
+  EXPECT_GT(kernel.now() - start, system_time);  // divider = 2
+}
+
+TEST_F(HierBusTest, OneTransferPerBusAtATime) {
+  auto h = make();
+  // Two system-bus transfers must serialize.
+  ASSERT_TRUE(h->send(pkt(1, 2, 256)));
+  ASSERT_TRUE(h->send(pkt(2, 1, 256)));
+  kernel.run(2 + 64 + 1);  // roughly one burst
+  int delivered = 0;
+  if (h->receive(2)) ++delivered;
+  if (h->receive(1)) ++delivered;
+  EXPECT_LE(delivered, 1);
+  kernel.run(200);
+  if (h->receive(2)) ++delivered;
+  if (h->receive(1)) ++delivered;
+  EXPECT_EQ(delivered, 2);
+  EXPECT_EQ(h->max_parallelism(), 2u);
+}
+
+TEST_F(HierBusTest, TwoBusesRunConcurrently) {
+  auto h = make();
+  ASSERT_TRUE(h->send(pkt(1, 2, 128)));  // system
+  ASSERT_TRUE(h->send(pkt(3, 4, 128)));  // peripheral
+  kernel.run(300);
+  EXPECT_TRUE(h->receive(2).has_value());
+  EXPECT_TRUE(h->receive(4).has_value());
+}
+
+TEST_F(HierBusTest, BridgeBottleneckThrottlesCrossTraffic) {
+  cfg.bridge_buffer_packets = 1;
+  auto h = make();
+  // Flood cross-tier: the tiny bridge buffer gates throughput.
+  int sent = 0;
+  for (int i = 0; i < 10; ++i)
+    if (h->send(pkt(1, 3, 200))) ++sent;
+  kernel.run(10'000);
+  int got = 0;
+  while (h->receive(3)) ++got;
+  EXPECT_EQ(got, sent);  // eventually all arrive...
+  // ...but same-tier traffic of equal volume finishes much faster.
+  sim::Kernel k2;
+  HierBus h2(k2, cfg);
+  ASSERT_TRUE(h2.attach_to(1, BusTier::kSystem));
+  ASSERT_TRUE(h2.attach_to(2, BusTier::kSystem));
+  for (int i = 0; i < 10; ++i) ASSERT_TRUE(h2.send(pkt(1, 2, 200)));
+  sim::Cycle same_tier_done = 0;
+  int got2 = 0;
+  for (sim::Cycle c = 0; c < 10'000 && got2 < 10; ++c) {
+    k2.step();
+    while (h2.receive(2)) ++got2;
+    same_tier_done = k2.now();
+  }
+  EXPECT_EQ(got2, 10);
+  EXPECT_LT(same_tier_done, 3'000u);
+}
+
+TEST_F(HierBusTest, PathLatencyReflectsBridgeHop) {
+  auto h = make();
+  EXPECT_EQ(h->path_latency(1, 2), 1u);
+  EXPECT_GT(h->path_latency(1, 3), h->path_latency(1, 2));
+}
+
+TEST_F(HierBusTest, RoundRobinSharesTheBusFairly) {
+  auto h = make();
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(h->send(pkt(1, 2, 64)));
+    ASSERT_TRUE(h->send(pkt(2, 1, 64)));
+  }
+  kernel.run(2'000);
+  int to2 = 0, to1 = 0;
+  while (h->receive(2)) ++to2;
+  while (h->receive(1)) ++to1;
+  EXPECT_EQ(to2, 8);
+  EXPECT_EQ(to1, 8);
+}
+
+TEST_F(HierBusTest, LoopbackAndValidation) {
+  auto h = make();
+  ASSERT_TRUE(h->send(pkt(1, 1, 8)));
+  EXPECT_TRUE(h->receive(1).has_value());
+  EXPECT_FALSE(h->send(pkt(1, 99, 8)));
+  EXPECT_FALSE(h->send(pkt(99, 1, 8)));
+}
+
+TEST_F(HierBusTest, DetachModelsRedesignNotReconfiguration) {
+  auto h = make();
+  EXPECT_TRUE(h->detach(2));
+  EXPECT_FALSE(h->is_attached(2));
+  auto scores = h->structural_scores();
+  EXPECT_EQ(scores.extensibility, core::Grade::kLow);
+  EXPECT_EQ(scores.scalability, core::Grade::kLow);
+}
+
+TEST_F(HierBusTest, DesignParametersDescribeBaseline) {
+  auto h = make();
+  auto d = h->design_parameters();
+  EXPECT_EQ(d.type, core::ArchType::kBus);
+  EXPECT_EQ(d.module_size, core::ModuleShape::kFixedSlot);
+}
+
+}  // namespace
+}  // namespace recosim::hierbus

@@ -1,0 +1,220 @@
+// End-to-end integration scenarios: multi-phase system lifecycles that
+// exercise fabric + architecture + traffic together, guarded by the
+// liveness watchdog. These are the "whole system" counterparts to the
+// per-module suites.
+
+#include <gtest/gtest.h>
+
+#include "conochi/planner.hpp"
+#include "core/comparison.hpp"
+#include "core/reconfig_manager.hpp"
+#include "core/traffic.hpp"
+#include "core/workloads.hpp"
+#include "dynoc/dynoc.hpp"
+#include "rmboc/rmboc.hpp"
+#include "sim/watchdog.hpp"
+
+namespace recosim {
+namespace {
+
+// --- Watchdog unit behaviour ----------------------------------------------
+
+TEST(Watchdog, TripsOnStalledPendingWork) {
+  sim::Kernel k;
+  std::uint64_t progress = 0;
+  bool pending = true;
+  sim::Watchdog dog(k, [&] { return progress; }, [&] { return pending; },
+                    50);
+  k.run(49);
+  EXPECT_FALSE(dog.tripped());
+  k.run(5);
+  EXPECT_TRUE(dog.tripped());
+  EXPECT_EQ(dog.trips(), 1u);
+}
+
+TEST(Watchdog, ProgressResetsTheClock) {
+  sim::Kernel k;
+  std::uint64_t progress = 0;
+  sim::Watchdog dog(k, [&] { return progress; }, [] { return true; }, 50);
+  for (int i = 0; i < 10; ++i) {
+    k.run(30);
+    ++progress;  // keep making progress before the deadline
+  }
+  EXPECT_FALSE(dog.tripped());
+}
+
+TEST(Watchdog, IdleSystemNeverTrips) {
+  sim::Kernel k;
+  sim::Watchdog dog(k, [] { return 0ull; }, [] { return false; }, 10);
+  k.run(500);
+  EXPECT_FALSE(dog.tripped());
+}
+
+TEST(Watchdog, ResetRearmsAndCallbackFires) {
+  sim::Kernel k;
+  int callbacks = 0;
+  sim::Watchdog dog(k, [] { return 0ull; }, [] { return true; }, 10);
+  dog.on_trip([&] { ++callbacks; });
+  k.run(20);
+  EXPECT_TRUE(dog.tripped());
+  EXPECT_EQ(callbacks, 1);
+  dog.reset();
+  EXPECT_FALSE(dog.tripped());
+  k.run(20);
+  EXPECT_EQ(dog.trips(), 2u);
+}
+
+// --- Full lifecycle: RMBoC system built through the ICAP -------------------
+
+TEST(Integration, RmbocSystemLifecycleThroughIcap) {
+  sim::Kernel kernel;
+  rmboc::Rmboc arch(kernel, rmboc::RmbocConfig{});
+  core::ReconfigManager mgr(kernel, fpga::Device::xc2v6000(), 100.0,
+                            core::PlacementStrategy::kSlots, 4);
+  fpga::HardwareModule m;
+  m.width_clbs = 20;
+  int ready = 0;
+  for (fpga::ModuleId id : {1u, 2u, 3u, 4u})
+    ASSERT_TRUE(mgr.load(arch, id, m, [&](fpga::ModuleId) { ++ready; }));
+  ASSERT_TRUE(kernel.run_until([&] { return ready == 4; }, 50'000'000));
+
+  core::TrafficSink sink(kernel, arch, {1, 2, 3, 4});
+  sim::Watchdog dog(
+      kernel, [&] { return sink.received_total(); },
+      [&] { return arch.packets_sent() > arch.packets_delivered(); },
+      100'000);
+
+  // Phase 1: traffic.
+  core::TrafficSource src(kernel, arch, 1, core::DestinationPolicy::fixed(3),
+                          core::SizePolicy::fixed(64),
+                          core::InjectionPolicy::periodic(128),
+                          sim::Rng(1));
+  kernel.run(20'000);
+  EXPECT_GT(sink.received_total(), 100u);
+
+  // Phase 2: swap module 4 while the stream runs.
+  bool swapped = false;
+  ASSERT_TRUE(mgr.swap(arch, 4, 5, m, [&](fpga::ModuleId) {
+    swapped = true;
+  }));
+  ASSERT_TRUE(kernel.run_until([&] { return swapped; }, 50'000'000));
+  sink.watch(5);
+
+  // Phase 3: talk to the new module.
+  proto::Packet p;
+  p.src = 1;
+  p.dst = 5;
+  p.payload_bytes = 32;
+  ASSERT_TRUE(arch.send(p));
+  ASSERT_TRUE(kernel.run_until(
+      [&] { return sink.received_from(1) > 0 && arch.is_attached(5); },
+      50'000));
+  EXPECT_FALSE(dog.tripped());
+}
+
+// --- Compaction-assisted loading on a fragmented fabric --------------------
+
+TEST(Integration, LoadWithCompactionRelocatesAndLoads) {
+  sim::Kernel kernel;
+  rmboc::Rmboc arch(kernel, rmboc::RmbocConfig{});  // any arch works
+  fpga::Device dev = fpga::Device::virtex4_like();
+  dev.clb_columns = 20;
+  dev.clb_rows = 20;
+  core::ReconfigManager mgr(kernel, dev, 100.0,
+                            core::PlacementStrategy::kRectangles);
+  // Module 1 lands at (0,0); module 2 at (7,0) because of the clearance
+  // ring. Unloading module 1 leaves module 2 stranded mid-fabric, which
+  // blocks any 12-wide full-height rectangle.
+  fpga::HardwareModule small;
+  small.width_clbs = small.height_clbs = 6;
+  ASSERT_TRUE(mgr.load(arch, 1, small));
+  ASSERT_TRUE(mgr.load(arch, 2, small));
+  kernel.run(5'000'000);
+  ASSERT_TRUE(arch.is_attached(1));
+  ASSERT_TRUE(arch.is_attached(2));
+  mgr.unload(arch, 1);
+
+  fpga::HardwareModule big;
+  big.width_clbs = 12;
+  big.height_clbs = 20;
+  // Plain load fails if a stranded module blocks the columns; the
+  // compaction path must succeed either way.
+  bool ready = false;
+  EXPECT_TRUE(mgr.load_with_compaction(arch, 7, big,
+                                       [&](fpga::ModuleId) { ready = true; }));
+  ASSERT_TRUE(kernel.run_until([&] { return ready; }, 50'000'000));
+  EXPECT_TRUE(arch.is_attached(7));
+}
+
+// --- CoNoChi: planner-built network runs a full workload -------------------
+
+TEST(Integration, PlannerBuiltConochiRunsPipelineWorkload) {
+  sim::Kernel kernel;
+  conochi::ConochiConfig cfg;
+  cfg.grid_width = 16;
+  cfg.grid_height = 9;
+  conochi::Conochi arch(kernel, cfg);
+  conochi::TopologyPlanner planner(arch);
+  fpga::HardwareModule m;
+  std::vector<fpga::ModuleId> modules{1, 2, 3, 4};
+  ASSERT_TRUE(planner.auto_attach(1, m, {2, 4}));
+  ASSERT_TRUE(planner.auto_attach(2, m, {6, 4}));
+  ASSERT_TRUE(planner.auto_attach(3, m, {10, 4}));
+  ASSERT_TRUE(planner.auto_attach(4, m, {14, 4}));
+
+  core::StreamingPipelineWorkload wl;
+  auto report = wl.run(kernel, arch, modules, 20'000, 9);
+  EXPECT_GT(report.offered, 0u);
+  EXPECT_EQ(report.lost, 0u);
+  EXPECT_EQ(report.delivered, report.offered);
+}
+
+// --- DyNoC: dense placement with concurrent module swaps -------------------
+
+TEST(Integration, DynocDensePlacementWithSwapsKeepsConservation) {
+  sim::Kernel kernel;
+  dynoc::DynocConfig cfg;
+  cfg.width = cfg.height = 8;
+  dynoc::Dynoc arch(kernel, cfg);
+  fpga::HardwareModule unit;
+  // Six 1x1 endpoints around the rim, two 2x2 compute blocks inside.
+  ASSERT_TRUE(arch.attach_at(1, unit, {1, 1}));
+  ASSERT_TRUE(arch.attach_at(2, unit, {6, 1}));
+  ASSERT_TRUE(arch.attach_at(3, unit, {1, 6}));
+  ASSERT_TRUE(arch.attach_at(4, unit, {6, 6}));
+  fpga::HardwareModule block;
+  block.width_clbs = block.height_clbs = 2;
+  ASSERT_TRUE(arch.attach_at(10, block, {3, 3}));
+
+  sim::Rng rng(4);
+  std::uint64_t accepted = 0, received = 0;
+  for (int step = 0; step < 60; ++step) {
+    for (int i = 0; i < 2; ++i) {
+      proto::Packet p;
+      const fpga::ModuleId endpoints[4] = {1, 2, 3, 4};
+      p.src = endpoints[rng.index(4)];
+      do {
+        p.dst = endpoints[rng.index(4)];
+      } while (p.dst == p.src);
+      p.payload_bytes = static_cast<std::uint32_t>(rng.uniform(8, 256));
+      if (arch.send(p)) ++accepted;
+    }
+    kernel.run(40);
+    if (step == 20) {
+      ASSERT_TRUE(arch.detach(10));
+    }
+    if (step == 40) {
+      ASSERT_TRUE(arch.attach_at(10, block, {4, 3}));
+    }
+    for (auto mdl : {1u, 2u, 3u, 4u})
+      while (arch.receive(mdl)) ++received;
+  }
+  kernel.run(10'000);
+  for (auto mdl : {1u, 2u, 3u, 4u})
+    while (arch.receive(mdl)) ++received;
+  EXPECT_EQ(received + arch.packets_dropped(), accepted);
+  EXPECT_EQ(arch.routing_failures(), 0u);
+}
+
+}  // namespace
+}  // namespace recosim

@@ -1,0 +1,157 @@
+#include <gtest/gtest.h>
+
+#include "fpga/kamer.hpp"
+#include "fpga/placer.hpp"
+#include "sim/rng.hpp"
+
+namespace recosim::fpga {
+namespace {
+
+Device small_device(int cols = 16, int rows = 16) {
+  Device d = Device::xc2v3000();
+  d.clb_columns = cols;
+  d.clb_rows = rows;
+  return d;
+}
+
+HardwareModule mod(int w, int h) {
+  HardwareModule m;
+  m.width_clbs = w;
+  m.height_clbs = h;
+  return m;
+}
+
+TEST(Kamer, EmptyDeviceHasOneFreeRect) {
+  Floorplan f(small_device());
+  KamerPlacer p(f);
+  ASSERT_EQ(p.free_rectangles().size(), 1u);
+  EXPECT_EQ(p.free_rectangles()[0], (Rect{0, 0, 16, 16}));
+  EXPECT_DOUBLE_EQ(p.free_fraction(), 1.0);
+}
+
+TEST(Kamer, PlaceSplitsIntoMaximalRects) {
+  Floorplan f(small_device());
+  KamerPlacer p(f);
+  auto r = p.place(1, mod(4, 4));
+  ASSERT_TRUE(r.has_value());
+  // A corner placement leaves exactly two maximal empty rectangles.
+  EXPECT_EQ(p.free_rectangles().size(), 2u);
+  for (const auto& fr : p.free_rectangles())
+    EXPECT_FALSE(fr.overlaps(*r));
+}
+
+TEST(Kamer, FindPrefersTightestFit) {
+  Floorplan f(small_device());
+  KamerPlacer p(f);
+  // Fill most of the device, leaving an exact 4x4 hole and a big area.
+  ASSERT_TRUE(f.place(1, Rect{0, 0, 12, 4}));
+  ASSERT_TRUE(f.place(2, Rect{0, 4, 4, 12}));
+  KamerPlacer q(f);  // rebuild from the floorplan
+  auto r = q.find(4, 4);
+  ASSERT_TRUE(r.has_value());
+  // 12x12 free block and the 4x4... the tightest candidate region should
+  // contain a 4x4; verify it is claimable.
+  EXPECT_TRUE(f.is_free(*r));
+}
+
+TEST(Kamer, RemoveRestoresSpace) {
+  Floorplan f(small_device());
+  KamerPlacer p(f);
+  ASSERT_TRUE(p.place(1, mod(8, 8)).has_value());
+  ASSERT_TRUE(p.place(2, mod(8, 8)).has_value());
+  EXPECT_TRUE(p.remove(1));
+  EXPECT_TRUE(p.place(3, mod(8, 8)).has_value());
+}
+
+TEST(Kamer, FailsWhenNoFit) {
+  Floorplan f(small_device(8, 8));
+  KamerPlacer p(f);
+  ASSERT_TRUE(p.place(1, mod(8, 8)).has_value());
+  EXPECT_FALSE(p.place(2, mod(1, 1)).has_value());
+}
+
+TEST(Kamer, ClearanceKeepsModulesApart) {
+  Floorplan f(small_device());
+  KamerPlacer p(f, /*clearance=*/1);
+  auto a = p.place(1, mod(4, 4));
+  auto b = p.place(2, mod(4, 4));
+  ASSERT_TRUE(a && b);
+  EXPECT_FALSE(a->inflated(1).overlaps(*b));
+}
+
+TEST(Kamer, PacksTighterThanFirstFitUnderChurn) {
+  // The motivation for KAMER: after random insert/remove churn, best-fit
+  // over maximal rectangles keeps accepting modules longer than
+  // bottom-left first-fit on the same sequence.
+  auto churn = [](auto&& placer, Floorplan& plan, std::uint64_t seed) {
+    sim::Rng rng(seed);
+    ModuleId next = 1;
+    std::vector<ModuleId> live;
+    int failures = 0;
+    for (int step = 0; step < 300; ++step) {
+      if (!live.empty() && rng.chance(0.4)) {
+        const auto idx = rng.index(live.size());
+        placer.remove(live[idx]);
+        live.erase(live.begin() + static_cast<std::ptrdiff_t>(idx));
+      } else {
+        HardwareModule m;
+        m.width_clbs = static_cast<int>(rng.uniform(2, 6));
+        m.height_clbs = static_cast<int>(rng.uniform(2, 6));
+        if (placer.place(next, m)) {
+          live.push_back(next);
+        } else {
+          ++failures;
+        }
+        ++next;
+      }
+    }
+    (void)plan;
+    return failures;
+  };
+  // Single seeds are noisy; compare totals over several runs. KAMER must
+  // be at least competitive with first-fit in aggregate.
+  int kamer_total = 0, ff_total = 0;
+  for (std::uint64_t seed : {11u, 22u, 33u, 44u, 55u, 66u}) {
+    Floorplan f1(small_device(24, 24));
+    KamerPlacer kamer(f1);
+    kamer_total += churn(kamer, f1, seed);
+    Floorplan f2(small_device(24, 24));
+    RectPlacer firstfit(f2);
+    ff_total += churn(firstfit, f2, seed);
+  }
+  EXPECT_LE(kamer_total, ff_total * 11 / 10);
+}
+
+TEST(Kamer, FloorplanStaysConsistentUnderChurn) {
+  Floorplan f(small_device(20, 20));
+  KamerPlacer p(f);
+  sim::Rng rng(7);
+  std::vector<std::pair<ModuleId, Rect>> live;
+  ModuleId next = 1;
+  for (int step = 0; step < 400; ++step) {
+    if (!live.empty() && rng.chance(0.45)) {
+      const auto idx = rng.index(live.size());
+      ASSERT_TRUE(p.remove(live[idx].first));
+      live.erase(live.begin() + static_cast<std::ptrdiff_t>(idx));
+    } else {
+      HardwareModule m;
+      m.width_clbs = static_cast<int>(rng.uniform(1, 7));
+      m.height_clbs = static_cast<int>(rng.uniform(1, 7));
+      auto r = p.place(next, m);
+      if (r) {
+        // Invariant: no overlap with any live module.
+        for (const auto& [id, other] : live)
+          ASSERT_FALSE(r->overlaps(other))
+              << "overlap at step " << step;
+        live.push_back({next, *r});
+      }
+      ++next;
+    }
+    // Invariant: every free rectangle really is free.
+    for (const auto& fr : p.free_rectangles())
+      ASSERT_TRUE(f.is_free(fr)) << "stale free rect at step " << step;
+  }
+}
+
+}  // namespace
+}  // namespace recosim::fpga

@@ -1,0 +1,85 @@
+#include <gtest/gtest.h>
+
+#include "proto/address.hpp"
+#include "proto/packet.hpp"
+
+namespace recosim::proto {
+namespace {
+
+TEST(Packet, PayloadFlitsRoundsUp) {
+  Packet p;
+  p.payload_bytes = 64;
+  EXPECT_EQ(p.payload_flits(32), 16u);
+  p.payload_bytes = 65;
+  EXPECT_EQ(p.payload_flits(32), 17u);
+  p.payload_bytes = 1;
+  EXPECT_EQ(p.payload_flits(32), 1u);
+  EXPECT_EQ(p.payload_flits(8), 1u);
+}
+
+TEST(Packet, ZeroPayloadHasZeroFlits) {
+  Packet p;
+  EXPECT_EQ(p.payload_flits(32), 0u);
+}
+
+TEST(Framing, TotalFlitsIncludesHeaderAndIsAtLeastOne) {
+  Framing f{96, 1024};
+  Packet p;
+  p.payload_bytes = 0;
+  EXPECT_EQ(f.total_flits(p, 32), 3u);  // 96-bit header alone
+  p.payload_bytes = 4;
+  EXPECT_EQ(f.total_flits(p, 32), 4u);
+  Framing none{0, 0};
+  EXPECT_EQ(none.total_flits(Packet{}, 32), 1u);
+}
+
+TEST(Framing, EfficiencyMonotoneInPayload) {
+  Framing f{96, 1024};
+  double last = 0.0;
+  for (std::uint32_t bytes : {16u, 64u, 256u, 1024u}) {
+    const double e = f.efficiency(bytes, 32);
+    EXPECT_GT(e, last);
+    EXPECT_LT(e, 1.0);
+    last = e;
+  }
+}
+
+TEST(Framing, NoHeaderIsFullyEfficientOnAlignedPayload) {
+  Framing f{0, 0};
+  EXPECT_DOUBLE_EQ(f.efficiency(64, 32), 1.0);
+}
+
+TEST(ConochiHeaderSpec, MatchesPaperTable1) {
+  EXPECT_EQ(ConochiHeader::kBits, 96u);
+  EXPECT_EQ(ConochiHeader::kMaxPayloadBytes, 1024u);
+}
+
+TEST(BuscomFramingSpec, MatchesPaperTable1) {
+  EXPECT_EQ(BuscomFraming::kOverheadBits, 20u);
+  EXPECT_EQ(BuscomFraming::kMaxPayloadBytes, 256u);
+}
+
+TEST(LogicalAddressMap, BindResolveUnbind) {
+  LogicalAddressMap m;
+  EXPECT_FALSE(m.resolve(5).has_value());
+  m.bind(5, 42);
+  EXPECT_EQ(m.resolve(5).value(), 42);
+  m.bind(5, 43);  // rebinding moves the module
+  EXPECT_EQ(m.resolve(5).value(), 43);
+  m.unbind(5);
+  EXPECT_FALSE(m.resolve(5).has_value());
+}
+
+TEST(PacketToString, MentionsEndpointsAndSize) {
+  Packet p;
+  p.id = 9;
+  p.src = 1;
+  p.dst = 2;
+  p.payload_bytes = 77;
+  const std::string s = to_string(p);
+  EXPECT_NE(s.find("9"), std::string::npos);
+  EXPECT_NE(s.find("77"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace recosim::proto

@@ -1,0 +1,137 @@
+#include <gtest/gtest.h>
+
+#include "core/comparison.hpp"
+#include "core/reconfig_manager.hpp"
+#include "rmboc/rmboc.hpp"
+
+namespace recosim::core {
+namespace {
+
+fpga::HardwareModule slot_module(const char* name) {
+  fpga::HardwareModule m;
+  m.name = name;
+  m.width_clbs = 10;
+  m.height_clbs = 64;
+  return m;
+}
+
+struct ReconfigTest : ::testing::Test {
+  sim::Kernel kernel;
+};
+
+TEST_F(ReconfigTest, SlotLoadAttachesAfterIcapTime) {
+  rmboc::RmbocConfig cfg;
+  rmboc::Rmboc arch(kernel, cfg);
+  ReconfigManager mgr(kernel, fpga::Device::xc2v3000(), 100.0,
+                      PlacementStrategy::kSlots, 4);
+  bool ready = false;
+  ASSERT_TRUE(mgr.load(arch, 1, slot_module("a"),
+                       [&](fpga::ModuleId) { ready = true; }));
+  EXPECT_TRUE(mgr.is_loading(1));
+  EXPECT_FALSE(arch.is_attached(1));
+  kernel.run(100);  // far less than a slot bitstream needs
+  EXPECT_FALSE(arch.is_attached(1));
+  ASSERT_TRUE(kernel.run_until([&] { return ready; }, 2'000'000));
+  EXPECT_TRUE(arch.is_attached(1));
+  EXPECT_FALSE(mgr.is_loading(1));
+}
+
+TEST_F(ReconfigTest, ReconfigurationTimeMatchesBitstreamModel) {
+  rmboc::RmbocConfig cfg;
+  rmboc::Rmboc arch(kernel, cfg);
+  ReconfigManager mgr(kernel, fpga::Device::xc2v3000(), 100.0,
+                      PlacementStrategy::kSlots, 4);
+  sim::Cycle done_at = 0;
+  ASSERT_TRUE(mgr.load(arch, 1, slot_module("a"),
+                       [&](fpga::ModuleId) { done_at = kernel.now(); }));
+  ASSERT_TRUE(kernel.run_until([&] { return done_at > 0; }, 5'000'000));
+  // 14-column slot on the XC2V3000 at 100 MHz system clock, ICAP at
+  // 8 bit / 66 MHz: the model's cycle count.
+  const auto region = mgr.floorplan().region_of(1).value();
+  const auto bits = mgr.bitstream_model().partial_bits(region);
+  const auto icap_cycles = mgr.bitstream_model().icap_cycles(bits);
+  const double expected =
+      static_cast<double>(icap_cycles) * 100.0 / 66.0;
+  EXPECT_NEAR(static_cast<double>(done_at), expected, expected * 0.01 + 5);
+}
+
+TEST_F(ReconfigTest, LoadFailsWhenSlotsExhausted) {
+  rmboc::RmbocConfig cfg;
+  rmboc::Rmboc arch(kernel, cfg);
+  ReconfigManager mgr(kernel, fpga::Device::xc2v3000(), 100.0,
+                      PlacementStrategy::kSlots, 2);
+  EXPECT_TRUE(mgr.load(arch, 1, slot_module("a")));
+  EXPECT_TRUE(mgr.load(arch, 2, slot_module("b")));
+  EXPECT_FALSE(mgr.load(arch, 3, slot_module("c")));
+}
+
+TEST_F(ReconfigTest, UnloadFreesFabricAndDetaches) {
+  rmboc::RmbocConfig cfg;
+  rmboc::Rmboc arch(kernel, cfg);
+  ReconfigManager mgr(kernel, fpga::Device::xc2v3000(), 100.0,
+                      PlacementStrategy::kSlots, 2);
+  ASSERT_TRUE(mgr.load(arch, 1, slot_module("a")));
+  kernel.run(2'000'000);
+  ASSERT_TRUE(arch.is_attached(1));
+  EXPECT_TRUE(mgr.unload(arch, 1));
+  EXPECT_FALSE(arch.is_attached(1));
+  EXPECT_TRUE(mgr.load(arch, 2, slot_module("b")));
+}
+
+TEST_F(ReconfigTest, SwapReplacesModuleInSameRegion) {
+  rmboc::RmbocConfig cfg;
+  rmboc::Rmboc arch(kernel, cfg);
+  ReconfigManager mgr(kernel, fpga::Device::xc2v3000(), 100.0,
+                      PlacementStrategy::kSlots, 4);
+  ASSERT_TRUE(mgr.load(arch, 1, slot_module("a")));
+  kernel.run(2'000'000);
+  ASSERT_TRUE(arch.is_attached(1));
+  bool ready = false;
+  ASSERT_TRUE(mgr.swap(arch, 1, 2, slot_module("b"),
+                       [&](fpga::ModuleId) { ready = true; }));
+  EXPECT_FALSE(arch.is_attached(1));
+  ASSERT_TRUE(kernel.run_until([&] { return ready; }, 5'000'000));
+  EXPECT_TRUE(arch.is_attached(2));
+}
+
+TEST_F(ReconfigTest, RectStrategyPlacesMultipleRectangles) {
+  rmboc::RmbocConfig cfg;  // the arch type is irrelevant for placement
+  rmboc::Rmboc arch(kernel, cfg);
+  ReconfigManager mgr(kernel, fpga::Device::virtex4_like(), 100.0,
+                      PlacementStrategy::kRectangles);
+  fpga::HardwareModule m;
+  m.width_clbs = 8;
+  m.height_clbs = 8;
+  EXPECT_TRUE(mgr.load(arch, 1, m));
+  EXPECT_TRUE(mgr.load(arch, 2, m));
+  kernel.run(1'000'000);
+  EXPECT_TRUE(arch.is_attached(1));
+  EXPECT_TRUE(arch.is_attached(2));
+  // Clearance keeps the placements disjoint with a gap.
+  const auto r1 = mgr.floorplan().region_of(1).value();
+  const auto r2 = mgr.floorplan().region_of(2).value();
+  EXPECT_FALSE(r1.overlaps(r2));
+}
+
+TEST_F(ReconfigTest, TileDeviceReconfiguresSmallRegionsFaster) {
+  // The Virtex-4-style device only writes the touched tiles, so a small
+  // region beats a full-column write - CoNoChi's motivation (§4.1).
+  fpga::BitstreamModel column(fpga::Device::xc2v6000());
+  fpga::BitstreamModel tile(fpga::Device::virtex4_like());
+  const fpga::Rect small{0, 0, 4, 4};
+  EXPECT_LT(tile.reconfig_time_us(small), column.reconfig_time_us(small));
+}
+
+TEST_F(ReconfigTest, CancelledLoadDoesNotAttach) {
+  rmboc::RmbocConfig cfg;
+  rmboc::Rmboc arch(kernel, cfg);
+  ReconfigManager mgr(kernel, fpga::Device::xc2v3000(), 100.0,
+                      PlacementStrategy::kSlots, 4);
+  ASSERT_TRUE(mgr.load(arch, 1, slot_module("a")));
+  ASSERT_TRUE(mgr.unload(arch, 1));  // cancel mid-flight
+  kernel.run(3'000'000);
+  EXPECT_FALSE(arch.is_attached(1));
+}
+
+}  // namespace
+}  // namespace recosim::core

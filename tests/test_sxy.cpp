@@ -1,0 +1,151 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "dynoc/sxy_routing.hpp"
+
+namespace recosim::dynoc {
+namespace {
+
+/// Test fixture with a 7x7 array and an optional rectangular obstacle.
+struct SxyTest : ::testing::Test {
+  int n = 7;
+  std::vector<fpga::Rect> obstacles;
+
+  bool active(fpga::Point p) const {
+    if (p.x < 0 || p.x >= n || p.y < 0 || p.y >= n) return false;
+    for (const auto& r : obstacles)
+      if (r.contains(p)) return false;
+    return true;
+  }
+
+  SxyRouter router() {
+    return SxyRouter(
+        [this](fpga::Point p) { return active(p); },
+        [this](fpga::Point p) -> std::optional<fpga::Rect> {
+          for (const auto& r : obstacles)
+            if (r.contains(p)) return r;
+          return std::nullopt;
+        });
+  }
+
+  /// Walk the route; returns hop count or -1 on failure/livelock.
+  int walk(fpga::Point from, fpga::Point to) {
+    auto r = router();
+    fpga::Point cur = from;
+    int hops = 0;
+    SurroundState state;
+    while (!(cur == to)) {
+      auto d = r.route(cur, to, state);
+      if (!d || *d == Dir::kLocal) return -1;
+      cur = step(cur, *d);
+      if (!active(cur)) return -1;  // routed into an obstacle
+      if (++hops > 4 * n * n) return -1;  // livelock
+    }
+    return hops;
+  }
+};
+
+TEST_F(SxyTest, DirectionHelpers) {
+  EXPECT_EQ(opposite(Dir::kNorth), Dir::kSouth);
+  EXPECT_EQ(opposite(Dir::kEast), Dir::kWest);
+  EXPECT_EQ(step({3, 3}, Dir::kNorth), (fpga::Point{3, 2}));
+  EXPECT_EQ(step({3, 3}, Dir::kEast), (fpga::Point{4, 3}));
+  EXPECT_STREQ(to_string(Dir::kLocal), "L");
+}
+
+TEST_F(SxyTest, LocalWhenAtDestination) {
+  auto r = router();
+  EXPECT_EQ(r.route({2, 2}, {2, 2}).value(), Dir::kLocal);
+}
+
+TEST_F(SxyTest, PlainXYGoesXFirst) {
+  auto r = router();
+  EXPECT_EQ(r.route({1, 1}, {4, 3}).value(), Dir::kEast);
+  EXPECT_EQ(r.route({4, 1}, {4, 3}).value(), Dir::kSouth);
+  EXPECT_EQ(r.route({4, 3}, {1, 3}).value(), Dir::kWest);
+  EXPECT_EQ(r.route({4, 3}, {4, 0}).value(), Dir::kNorth);
+}
+
+TEST_F(SxyTest, ManhattanHopsWithoutObstacles) {
+  EXPECT_EQ(walk({0, 0}, {6, 6}), 12);
+  EXPECT_EQ(walk({6, 6}, {0, 0}), 12);
+  EXPECT_EQ(walk({3, 0}, {3, 6}), 6);
+}
+
+TEST_F(SxyTest, SurroundsObstacleEastward) {
+  obstacles.push_back({2, 2, 3, 3});  // centre block
+  const int hops = walk({0, 3}, {6, 3});
+  EXPECT_GT(hops, 6);   // must detour
+  EXPECT_LE(hops, 14);  // but not wander
+}
+
+TEST_F(SxyTest, SurroundsObstacleInAllFourDirections) {
+  obstacles.push_back({2, 2, 3, 3});
+  EXPECT_GT(walk({0, 3}, {6, 3}), 0);  // west -> east
+  EXPECT_GT(walk({6, 3}, {0, 3}), 0);  // east -> west
+  EXPECT_GT(walk({3, 0}, {3, 6}), 0);  // north -> south
+  EXPECT_GT(walk({3, 6}, {3, 0}), 0);  // south -> north
+}
+
+TEST_F(SxyTest, DeflectsViaNearerEdge) {
+  obstacles.push_back({2, 1, 3, 5});  // tall block, rows 1..5
+  auto r = router();
+  // At row 2 (near the top of the obstacle) the shorter way around is N.
+  EXPECT_EQ(r.route({1, 2}, {6, 2}).value(), Dir::kNorth);
+  // At row 4 (near the bottom) it is S.
+  EXPECT_EQ(r.route({1, 4}, {6, 4}).value(), Dir::kSouth);
+}
+
+TEST_F(SxyTest, AllPairsDeliverableAroundObstacle) {
+  obstacles.push_back({2, 2, 3, 3});
+  std::vector<fpga::Point> nodes;
+  for (int y = 0; y < n; ++y)
+    for (int x = 0; x < n; ++x)
+      if (active({x, y})) nodes.push_back({x, y});
+  for (const auto& a : nodes)
+    for (const auto& b : nodes)
+      EXPECT_GE(walk(a, b), 0) << "failed " << a.x << "," << a.y << " -> "
+                               << b.x << "," << b.y;
+}
+
+TEST_F(SxyTest, AllPairsDeliverableWithTwoObstacles) {
+  obstacles.push_back({1, 1, 2, 2});
+  obstacles.push_back({4, 4, 2, 2});
+  std::vector<fpga::Point> nodes;
+  for (int y = 0; y < n; ++y)
+    for (int x = 0; x < n; ++x)
+      if (active({x, y})) nodes.push_back({x, y});
+  for (const auto& a : nodes)
+    for (const auto& b : nodes)
+      EXPECT_GE(walk(a, b), 0) << "failed " << a.x << "," << a.y << " -> "
+                               << b.x << "," << b.y;
+}
+
+TEST_F(SxyTest, RouteNeverEntersObstacle) {
+  obstacles.push_back({2, 2, 3, 3});
+  auto r = router();
+  for (int y = 0; y < n; ++y) {
+    for (int x = 0; x < n; ++x) {
+      if (!active({x, y})) continue;
+      auto d = r.route({x, y}, {6, 6});
+      if (d && *d != Dir::kLocal) {
+        EXPECT_TRUE(active(step({x, y}, *d)));
+      }
+    }
+  }
+}
+
+TEST_F(SxyTest, WalledInReturnsNullopt) {
+  // Surround a single router completely (cannot occur under the placer's
+  // invariant, but the routing function must fail gracefully).
+  obstacles.push_back({2, 1, 3, 1});  // north wall
+  obstacles.push_back({2, 3, 3, 1});  // south wall
+  obstacles.push_back({2, 2, 1, 1});  // west wall
+  obstacles.push_back({4, 2, 1, 1});  // east wall
+  auto r = router();
+  EXPECT_FALSE(r.route({3, 2}, {6, 6}).has_value());
+}
+
+}  // namespace
+}  // namespace recosim::dynoc

@@ -1,0 +1,190 @@
+#include <gtest/gtest.h>
+
+#include "buscom/schedule.hpp"
+#include "conochi/tile_grid.hpp"
+#include "proto/header_codec.hpp"
+
+namespace recosim {
+namespace {
+
+using conochi::TileGrid;
+using conochi::TileType;
+
+TEST(TileGrid, StartsAllModuleTiles) {
+  TileGrid g(5, 4);
+  EXPECT_EQ(g.count(TileType::kO), 20u);
+  EXPECT_EQ(g.count(TileType::kS), 0u);
+}
+
+TEST(TileGrid, SetAndGet) {
+  TileGrid g(5, 4);
+  g.set({2, 1}, TileType::kS);
+  EXPECT_EQ(g.at({2, 1}), TileType::kS);
+  EXPECT_EQ(g.count(TileType::kS), 1u);
+  g.set({2, 1}, TileType::kH);
+  EXPECT_EQ(g.count(TileType::kS), 0u);
+}
+
+TEST(TileGrid, InBounds) {
+  TileGrid g(3, 3);
+  EXPECT_TRUE(g.in_bounds({0, 0}));
+  EXPECT_TRUE(g.in_bounds({2, 2}));
+  EXPECT_FALSE(g.in_bounds({3, 0}));
+  EXPECT_FALSE(g.in_bounds({0, -1}));
+}
+
+TEST(TileGrid, TraceRunFindsSwitchAcrossWires) {
+  TileGrid g(8, 3);
+  g.set({1, 1}, TileType::kS);
+  g.set({2, 1}, TileType::kH);
+  g.set({3, 1}, TileType::kH);
+  g.set({4, 1}, TileType::kS);
+  auto r = g.trace_run({1, 1}, 1, 0, TileType::kH);
+  EXPECT_TRUE(r.hit_switch);
+  EXPECT_EQ(r.end, (fpga::Point{4, 1}));
+  EXPECT_EQ(r.wire_tiles, 2);
+}
+
+TEST(TileGrid, TraceRunStopsAtWrongTile) {
+  TileGrid g(8, 3);
+  g.set({1, 1}, TileType::kS);
+  g.set({2, 1}, TileType::kH);
+  g.set({3, 1}, TileType::kV);  // wrong orientation breaks the run
+  g.set({4, 1}, TileType::kS);
+  auto r = g.trace_run({1, 1}, 1, 0, TileType::kH);
+  EXPECT_FALSE(r.hit_switch);
+}
+
+TEST(TileGrid, TraceRunStopsAtEdge) {
+  TileGrid g(4, 3);
+  g.set({1, 1}, TileType::kS);
+  g.set({2, 1}, TileType::kH);
+  g.set({3, 1}, TileType::kH);
+  auto r = g.trace_run({1, 1}, 1, 0, TileType::kH);
+  EXPECT_FALSE(r.hit_switch);
+  EXPECT_EQ(r.wire_tiles, 2);
+}
+
+TEST(TileGrid, AdjacentSwitchRunHasZeroWires) {
+  TileGrid g(4, 3);
+  g.set({1, 1}, TileType::kS);
+  g.set({2, 1}, TileType::kS);
+  auto r = g.trace_run({1, 1}, 1, 0, TileType::kH);
+  EXPECT_TRUE(r.hit_switch);
+  EXPECT_EQ(r.wire_tiles, 0);
+}
+
+TEST(TileGrid, RenderUsesTypeLetters) {
+  TileGrid g(3, 2);
+  g.set({1, 0}, TileType::kS);
+  g.set({2, 0}, TileType::kV);
+  const std::string s = g.render();
+  EXPECT_NE(s.find('S'), std::string::npos);
+  EXPECT_NE(s.find('V'), std::string::npos);
+  EXPECT_NE(s.find('O'), std::string::npos);
+}
+
+// --- BusSchedule unit tests --------------------------------------------
+
+using buscom::BusSchedule;
+using buscom::SlotKind;
+using buscom::SystemSchedule;
+
+TEST(BusSchedule, AssignAndEvict) {
+  BusSchedule s(8);
+  s.assign_static(0, 1);
+  s.assign_static(4, 1);
+  s.assign_static(2, 2);
+  EXPECT_EQ(s.static_slots_of(1), 2);
+  EXPECT_EQ(s.dynamic_slots(), 5);
+  s.evict(1);
+  EXPECT_EQ(s.static_slots_of(1), 0);
+  EXPECT_EQ(s.dynamic_slots(), 7);
+  EXPECT_EQ(s.static_slots_of(2), 1);
+}
+
+TEST(BusSchedule, DealRoundRobinSplitsFairly) {
+  SystemSchedule sys(2, 32);
+  sys.deal_round_robin({1, 2, 3}, 0.25);
+  for (int b = 0; b < 2; ++b) {
+    EXPECT_EQ(sys.bus(b).static_slots_of(1), 8);
+    EXPECT_EQ(sys.bus(b).static_slots_of(2), 8);
+    EXPECT_EQ(sys.bus(b).static_slots_of(3), 8);
+    EXPECT_EQ(sys.bus(b).dynamic_slots(), 8);
+  }
+}
+
+TEST(BusSchedule, DealWithNoModulesIsAllDynamic) {
+  SystemSchedule sys(1, 16);
+  sys.deal_round_robin({}, 0.5);
+  EXPECT_EQ(sys.bus(0).dynamic_slots(), 16);
+}
+
+// --- Header codecs ------------------------------------------------------
+
+using proto::BuscomHeaderCodec;
+using proto::ConochiHeader;
+using proto::ConochiHeaderCodec;
+
+TEST(ConochiCodec, RoundTripsAllFields) {
+  ConochiHeader h;
+  h.dst_phys = 0xABCD;
+  h.src_phys = 0x1234;
+  h.dst_log = 0x5678;
+  h.src_log = 0x9ABC;
+  h.length_words = 1024;
+  h.sequence = 77;
+  const auto words = ConochiHeaderCodec::encode(h);
+  const auto back = ConochiHeaderCodec::decode(words);
+  EXPECT_EQ(back.dst_phys, h.dst_phys);
+  EXPECT_EQ(back.src_phys, h.src_phys);
+  EXPECT_EQ(back.dst_log, h.dst_log);
+  EXPECT_EQ(back.src_log, h.src_log);
+  EXPECT_EQ(back.length_words, h.length_words);
+  EXPECT_EQ(back.sequence, h.sequence);
+}
+
+TEST(ConochiCodec, ThreeWordsMatchNinetySixBits) {
+  const auto words = ConochiHeaderCodec::encode(ConochiHeader{});
+  EXPECT_EQ(words.size() * 32, ConochiHeader::kBits);
+}
+
+TEST(ConochiCodec, LayersAreIsolatedWords) {
+  ConochiHeader h;
+  h.dst_phys = 0xFFFF;
+  auto words = ConochiHeaderCodec::encode(h);
+  EXPECT_EQ(words[1], (0xFFFFu << 16) | 0xFFFFu);  // untouched log addrs
+  EXPECT_EQ(words[2], 0u);
+}
+
+TEST(BuscomCodec, RoundTrips) {
+  BuscomHeaderCodec::Fields f;
+  f.dst = 0xA;
+  f.src = 0x3;
+  f.length = 256;
+  const auto w = BuscomHeaderCodec::encode(f);
+  const auto back = BuscomHeaderCodec::decode(w);
+  EXPECT_EQ(back.dst, f.dst);
+  EXPECT_EQ(back.src, f.src);
+  EXPECT_EQ(back.length, f.length);
+}
+
+TEST(BuscomCodec, FitsInTwentyBits) {
+  BuscomHeaderCodec::Fields f;
+  f.dst = 0xF;
+  f.src = 0xF;
+  f.length = 0xFFF;
+  EXPECT_LT(BuscomHeaderCodec::encode(f), 1u << 20);
+}
+
+TEST(BuscomCodec, MasksOversizeFields) {
+  BuscomHeaderCodec::Fields f;
+  f.dst = 0x1F;  // 5 bits: top bit must be dropped
+  f.length = 0x1FFF;
+  const auto back = BuscomHeaderCodec::decode(BuscomHeaderCodec::encode(f));
+  EXPECT_EQ(back.dst, 0xF);
+  EXPECT_EQ(back.length, 0xFFF);
+}
+
+}  // namespace
+}  // namespace recosim

@@ -1,0 +1,146 @@
+#include <gtest/gtest.h>
+
+#include "core/comparison.hpp"
+#include "core/traffic.hpp"
+
+namespace recosim::core {
+namespace {
+
+TEST(DestinationPolicy, FixedAlwaysReturnsSame) {
+  sim::Rng rng(1);
+  auto p = DestinationPolicy::fixed(7);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(p.next(rng), 7u);
+}
+
+TEST(DestinationPolicy, UniformCoversAllCandidates) {
+  sim::Rng rng(1);
+  auto p = DestinationPolicy::uniform({1, 2, 3});
+  std::set<fpga::ModuleId> seen;
+  for (int i = 0; i < 200; ++i) seen.insert(p.next(rng));
+  EXPECT_EQ(seen, (std::set<fpga::ModuleId>{1, 2, 3}));
+}
+
+TEST(DestinationPolicy, HotspotSkewsTowardsHotModule) {
+  sim::Rng rng(1);
+  auto p = DestinationPolicy::hotspot(9, 0.8, {1, 2});
+  int hot = 0;
+  for (int i = 0; i < 1000; ++i)
+    if (p.next(rng) == 9) ++hot;
+  EXPECT_GT(hot, 700);
+  EXPECT_LT(hot, 900);
+}
+
+TEST(SizePolicy, FixedAndUniformRanges) {
+  sim::Rng rng(2);
+  auto f = SizePolicy::fixed(64);
+  EXPECT_EQ(f.next(rng), 64u);
+  auto u = SizePolicy::uniform(10, 20);
+  for (int i = 0; i < 100; ++i) {
+    auto v = u.next(rng);
+    EXPECT_GE(v, 10u);
+    EXPECT_LE(v, 20u);
+  }
+}
+
+TEST(SizePolicy, BimodalProducesBothModes) {
+  sim::Rng rng(3);
+  auto b = SizePolicy::bimodal(16, 1024, 0.3);
+  int large = 0;
+  for (int i = 0; i < 1000; ++i)
+    if (b.next(rng) == 1024) ++large;
+  EXPECT_GT(large, 200);
+  EXPECT_LT(large, 400);
+}
+
+TEST(TrafficSource, PeriodicEmitsAtExactPeriod) {
+  auto sys = make_minimal_rmboc();
+  TrafficSource src(*sys.kernel, *sys.arch, 1, DestinationPolicy::fixed(2),
+                    SizePolicy::fixed(4), InjectionPolicy::periodic(10),
+                    sim::Rng(1));
+  sys.kernel->run(95);
+  EXPECT_EQ(src.generated(), 10u);  // cycles 0,10,...,90
+}
+
+TEST(TrafficSource, BernoulliRateApproximatelyRespected) {
+  auto sys = make_minimal_rmboc();
+  TrafficSource src(*sys.kernel, *sys.arch, 1, DestinationPolicy::fixed(2),
+                    SizePolicy::fixed(4),
+                    InjectionPolicy::bernoulli(0.05), sim::Rng(1));
+  sys.kernel->run(20'000);
+  EXPECT_NEAR(static_cast<double>(src.generated()), 1000.0, 150.0);
+}
+
+TEST(TrafficSource, RetriesRejectedPacketsInOrder) {
+  auto sys = make_minimal_rmboc();
+  // Tiny queue: bursts will be rejected and must be retried, not lost.
+  TrafficSource src(*sys.kernel, *sys.arch, 1, DestinationPolicy::fixed(2),
+                    SizePolicy::fixed(256),
+                    InjectionPolicy::periodic(1), sim::Rng(1));
+  TrafficSink sink(*sys.kernel, *sys.arch, {2});
+  sys.kernel->run(400);
+  src.stop();
+  sys.kernel->run(30'000);
+  EXPECT_EQ(sink.received_total(), src.accepted());
+  EXPECT_GT(src.stalled_cycles(), 0u);
+  EXPECT_EQ(sink.tag_mismatches(), 0u);
+}
+
+TEST(TrafficSource, StopHaltsGeneration) {
+  auto sys = make_minimal_rmboc();
+  TrafficSource src(*sys.kernel, *sys.arch, 1, DestinationPolicy::fixed(2),
+                    SizePolicy::fixed(4), InjectionPolicy::periodic(5),
+                    sim::Rng(1));
+  sys.kernel->run(50);
+  const auto before = src.generated();
+  src.stop();
+  sys.kernel->run(50);
+  EXPECT_EQ(src.generated(), before);
+}
+
+TEST(TrafficSink, CountsPerSource) {
+  auto sys = make_minimal_rmboc();
+  TrafficSource a(*sys.kernel, *sys.arch, 1, DestinationPolicy::fixed(3),
+                  SizePolicy::fixed(4), InjectionPolicy::periodic(20),
+                  sim::Rng(1));
+  TrafficSource b(*sys.kernel, *sys.arch, 2, DestinationPolicy::fixed(3),
+                  SizePolicy::fixed(4), InjectionPolicy::periodic(40),
+                  sim::Rng(2));
+  TrafficSink sink(*sys.kernel, *sys.arch, {3});
+  sys.kernel->run(2'000);
+  EXPECT_GT(sink.received_from(1), sink.received_from(2));
+  EXPECT_EQ(sink.received_total(),
+            sink.received_from(1) + sink.received_from(2));
+}
+
+TEST(TrafficSink, WatchAndUnwatch) {
+  auto sys = make_minimal_rmboc();
+  TrafficSource a(*sys.kernel, *sys.arch, 1, DestinationPolicy::fixed(3),
+                  SizePolicy::fixed(4), InjectionPolicy::periodic(10),
+                  sim::Rng(1));
+  TrafficSink sink(*sys.kernel, *sys.arch, {});
+  sys.kernel->run(200);
+  EXPECT_EQ(sink.received_total(), 0u);  // not watching module 3
+  sink.watch(3);
+  sys.kernel->run(200);
+  EXPECT_GT(sink.received_total(), 0u);
+}
+
+TEST(TrafficSink, LatencyHistogramFills) {
+  auto sys = make_minimal_rmboc();
+  TrafficSource a(*sys.kernel, *sys.arch, 1, DestinationPolicy::fixed(2),
+                  SizePolicy::fixed(4), InjectionPolicy::periodic(50),
+                  sim::Rng(1));
+  TrafficSink sink(*sys.kernel, *sys.arch, {2});
+  sys.kernel->run(1'000);
+  EXPECT_GT(sink.latency_histogram().count(), 0u);
+  EXPECT_GT(sink.latency_histogram().quantile(0.5), 0u);
+}
+
+TEST(MakeTag, EncodesSourceAndSequence) {
+  const auto tag = make_tag(5, 77);
+  EXPECT_EQ(tag >> 32, 5u);
+  EXPECT_EQ(tag & 0xFFFFFFFF, 77u);
+}
+
+}  // namespace
+}  // namespace recosim::core

@@ -1,0 +1,127 @@
+// Parameterized width sweep: the paper treats link bit width as a free
+// design-time parameter (Table 1 lists 1-32 / 8-32 bit ranges). These
+// properties must hold at every width on every architecture:
+//  * traffic still delivers;
+//  * serialization latency shrinks monotonically as links widen;
+//  * modelled area grows monotonically with width.
+
+#include <gtest/gtest.h>
+
+#include "core/area_model.hpp"
+#include "core/comparison.hpp"
+
+namespace recosim::core {
+namespace {
+
+enum class Kind { kRmboc, kBuscom, kDynoc, kConochi };
+
+struct WidthParams {
+  Kind kind;
+  unsigned width;
+};
+
+std::string width_name(const ::testing::TestParamInfo<WidthParams>& info) {
+  const char* base = info.param.kind == Kind::kRmboc     ? "Rmboc"
+                     : info.param.kind == Kind::kBuscom  ? "Buscom"
+                     : info.param.kind == Kind::kDynoc   ? "Dynoc"
+                                                         : "Conochi";
+  return std::string(base) + "_w" + std::to_string(info.param.width);
+}
+
+MinimalSystem build(Kind kind, unsigned width) {
+  switch (kind) {
+    case Kind::kRmboc: return make_minimal_rmboc(4, 4, width);
+    case Kind::kBuscom: return make_minimal_buscom(4, 4, width, width / 2);
+    case Kind::kDynoc: return make_minimal_dynoc(4, 5, width);
+    case Kind::kConochi: return make_minimal_conochi(4, width);
+  }
+  return make_minimal_rmboc();
+}
+
+class WidthSweep : public ::testing::TestWithParam<WidthParams> {};
+
+TEST_P(WidthSweep, TrafficDeliversAtThisWidth) {
+  auto sys = build(GetParam().kind, GetParam().width);
+  proto::Packet p;
+  p.src = 1;
+  p.dst = 3;
+  p.payload_bytes = 96;
+  ASSERT_TRUE(sys.arch->send(p));
+  std::optional<proto::Packet> got;
+  ASSERT_TRUE(sys.kernel->run_until(
+      [&] {
+        got = sys.arch->receive(3);
+        return got.has_value();
+      },
+      50'000));
+  EXPECT_EQ(got->payload_bytes, 96u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, WidthSweep,
+    ::testing::Values(
+        WidthParams{Kind::kRmboc, 8}, WidthParams{Kind::kRmboc, 16},
+        WidthParams{Kind::kRmboc, 32}, WidthParams{Kind::kBuscom, 16},
+        WidthParams{Kind::kBuscom, 32}, WidthParams{Kind::kDynoc, 8},
+        WidthParams{Kind::kDynoc, 16}, WidthParams{Kind::kDynoc, 32},
+        WidthParams{Kind::kConochi, 8}, WidthParams{Kind::kConochi, 16},
+        WidthParams{Kind::kConochi, 32}),
+    width_name);
+
+/// Latency monotonicity: wider links never slow a large transfer down.
+TEST(WidthSweepMonotonic, LatencyShrinksWithWidth) {
+  for (Kind kind :
+       {Kind::kRmboc, Kind::kDynoc, Kind::kConochi}) {
+    sim::Cycle last = 0;
+    bool first = true;
+    for (unsigned width : {8u, 16u, 32u}) {
+      auto sys = build(kind, width);
+      proto::Packet p;
+      p.src = 1;
+      p.dst = 2;
+      p.payload_bytes = 512;
+      ASSERT_TRUE(sys.arch->send(p));
+      std::optional<proto::Packet> got;
+      ASSERT_TRUE(sys.kernel->run_until(
+          [&] {
+            got = sys.arch->receive(2);
+            return got.has_value();
+          },
+          100'000));
+      const sim::Cycle latency = sys.kernel->now();
+      if (!first) {
+        EXPECT_LE(latency, last) << "width " << width;
+      }
+      last = latency;
+      first = false;
+    }
+  }
+}
+
+/// Area monotonicity: the model charges more slices for wider datapaths.
+TEST(WidthSweepMonotonic, AreaGrowsWithWidth) {
+  double last_rm = 0, last_dy = 0, last_cn = 0;
+  for (unsigned width : {8u, 16u, 32u}) {
+    const double rm = area::rmboc_slices(4, 4, width);
+    const double dy = area::dynoc_router_slices(width);
+    const double cn = area::conochi_switch_slices(width);
+    EXPECT_GT(rm, last_rm);
+    EXPECT_GT(dy, last_dy);
+    EXPECT_GT(cn, last_cn);
+    last_rm = rm;
+    last_dy = dy;
+    last_cn = cn;
+  }
+}
+
+/// fmax monotonicity: narrower datapaths clock at least as fast.
+TEST(WidthSweepMonotonic, FmaxNeverImprovesWithWidth) {
+  for (auto f : {area::rmboc_fmax_mhz, area::buscom_fmax_mhz,
+                 area::dynoc_fmax_mhz, area::conochi_fmax_mhz}) {
+    EXPECT_GE(f(8), f(16));
+    EXPECT_GE(f(16), f(32));
+  }
+}
+
+}  // namespace
+}  // namespace recosim::core

@@ -1,0 +1,95 @@
+#include <gtest/gtest.h>
+
+#include "core/comparison.hpp"
+#include "core/workloads.hpp"
+
+namespace recosim::core {
+namespace {
+
+TEST(Workloads, StandardSetHasThreeDomains) {
+  auto all = standard_workloads();
+  ASSERT_EQ(all.size(), 3u);
+  EXPECT_EQ(all[0]->name(), "video-pipeline");
+  EXPECT_EQ(all[1]->name(), "automotive-control");
+  EXPECT_EQ(all[2]->name(), "network-streaming");
+}
+
+TEST(Workloads, PipelineDeliversEveryLineOnAllArchitectures) {
+  StreamingPipelineWorkload wl;
+  for (int a = 0; a < 4; ++a) {
+    auto sys = a == 0   ? make_minimal_rmboc()
+               : a == 1 ? make_minimal_buscom()
+               : a == 2 ? make_minimal_dynoc()
+                        : make_minimal_conochi();
+    auto r = wl.run(*sys.kernel, *sys.arch, sys.modules, 20'000, 5);
+    EXPECT_GT(r.offered, 0u) << r.architecture;
+    EXPECT_EQ(r.lost, 0u) << r.architecture;
+    EXPECT_EQ(r.delivered, r.offered) << r.architecture;
+  }
+}
+
+TEST(Workloads, ControlTrafficMeetsDeadlinesAtDefaultPeriods) {
+  PeriodicControlWorkload wl;
+  for (int a = 0; a < 4; ++a) {
+    auto sys = a == 0   ? make_minimal_rmboc()
+               : a == 1 ? make_minimal_buscom()
+               : a == 2 ? make_minimal_dynoc()
+                        : make_minimal_conochi();
+    auto r = wl.run(*sys.kernel, *sys.arch, sys.modules, 20'000, 5);
+    EXPECT_EQ(r.lost, 0u) << r.architecture;
+    EXPECT_EQ(r.deadline_miss_fraction, 0.0) << r.architecture;
+  }
+}
+
+TEST(Workloads, TightDeadlineExposesTdmaWait) {
+  // A deadline shorter than BUS-COM's worst-case slot wait must produce
+  // misses there while the circuit/NoC architectures stay inside it.
+  // The period is coprime to the TDMA round (32 x 16 cycles) so the
+  // injection phase drifts over every slot position.
+  PeriodicControlWorkload tight(/*period=*/509, /*frame_bytes=*/16,
+                                /*deadline=*/64);
+  auto bus = make_minimal_buscom();
+  auto r_bus =
+      tight.run(*bus.kernel, *bus.arch, bus.modules, 30'000, 5);
+  auto rm = make_minimal_rmboc();
+  auto r_rm = tight.run(*rm.kernel, *rm.arch, rm.modules, 30'000, 5);
+  EXPECT_GT(r_bus.deadline_miss_fraction, 0.0);
+  EXPECT_EQ(r_rm.deadline_miss_fraction, 0.0);
+}
+
+TEST(Workloads, BurstyLoadCollapsesBuscomFirst) {
+  BurstyServerWorkload wl;
+  auto bus = make_minimal_buscom();
+  auto r_bus = wl.run(*bus.kernel, *bus.arch, bus.modules, 30'000, 7);
+  auto dy = make_minimal_dynoc();
+  auto r_dy = wl.run(*dy.kernel, *dy.arch, dy.modules, 30'000, 7);
+  EXPECT_GT(r_bus.mean_latency_cycles, r_dy.mean_latency_cycles);
+  EXPECT_EQ(r_bus.lost, 0u);
+  EXPECT_EQ(r_dy.lost, 0u);
+}
+
+TEST(Workloads, ReportsAreDeterministic) {
+  StreamingPipelineWorkload wl;
+  auto run_once = [&] {
+    auto sys = make_minimal_conochi();
+    return wl.run(*sys.kernel, *sys.arch, sys.modules, 15'000, 3);
+  };
+  auto a = run_once();
+  auto b = run_once();
+  EXPECT_EQ(a.delivered, b.delivered);
+  EXPECT_DOUBLE_EQ(a.mean_latency_cycles, b.mean_latency_cycles);
+  EXPECT_EQ(a.p99_latency_cycles, b.p99_latency_cycles);
+}
+
+TEST(Workloads, PipelineLatencyOrdersByArchitecture) {
+  // Standing circuits beat store-and-forward on the pipeline.
+  StreamingPipelineWorkload wl;
+  auto rm = make_minimal_rmboc();
+  auto r_rm = wl.run(*rm.kernel, *rm.arch, rm.modules, 20'000, 5);
+  auto dy = make_minimal_dynoc();
+  auto r_dy = wl.run(*dy.kernel, *dy.arch, dy.modules, 20'000, 5);
+  EXPECT_LT(r_rm.mean_latency_cycles, r_dy.mean_latency_cycles);
+}
+
+}  // namespace
+}  // namespace recosim::core
