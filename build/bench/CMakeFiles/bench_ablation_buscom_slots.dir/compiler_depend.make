@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_ablation_buscom_slots.
+# This may be replaced when dependencies are built.

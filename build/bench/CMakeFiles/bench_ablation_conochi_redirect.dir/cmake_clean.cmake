@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_conochi_redirect.dir/bench_ablation_conochi_redirect.cpp.o"
+  "CMakeFiles/bench_ablation_conochi_redirect.dir/bench_ablation_conochi_redirect.cpp.o.d"
+  "bench_ablation_conochi_redirect"
+  "bench_ablation_conochi_redirect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_conochi_redirect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

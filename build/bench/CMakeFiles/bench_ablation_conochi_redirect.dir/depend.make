@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_ablation_conochi_redirect.
+# This may be replaced when dependencies are built.

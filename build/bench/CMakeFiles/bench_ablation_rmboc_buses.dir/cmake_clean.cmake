@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_rmboc_buses.dir/bench_ablation_rmboc_buses.cpp.o"
+  "CMakeFiles/bench_ablation_rmboc_buses.dir/bench_ablation_rmboc_buses.cpp.o.d"
+  "bench_ablation_rmboc_buses"
+  "bench_ablation_rmboc_buses.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_rmboc_buses.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_app_guidance.dir/bench_app_guidance.cpp.o"
+  "CMakeFiles/bench_app_guidance.dir/bench_app_guidance.cpp.o.d"
+  "bench_app_guidance"
+  "bench_app_guidance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_app_guidance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_rmboc.dir/bench_fig1_rmboc.cpp.o"
+  "CMakeFiles/bench_fig1_rmboc.dir/bench_fig1_rmboc.cpp.o.d"
+  "bench_fig1_rmboc"
+  "bench_fig1_rmboc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_rmboc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

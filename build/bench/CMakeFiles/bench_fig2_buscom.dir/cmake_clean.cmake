@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_buscom.dir/bench_fig2_buscom.cpp.o"
+  "CMakeFiles/bench_fig2_buscom.dir/bench_fig2_buscom.cpp.o.d"
+  "bench_fig2_buscom"
+  "bench_fig2_buscom.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_buscom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_dynoc.dir/bench_fig3_dynoc.cpp.o"
+  "CMakeFiles/bench_fig3_dynoc.dir/bench_fig3_dynoc.cpp.o.d"
+  "bench_fig3_dynoc"
+  "bench_fig3_dynoc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_dynoc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_conochi.dir/bench_fig4_conochi.cpp.o"
+  "CMakeFiles/bench_fig4_conochi.dir/bench_fig4_conochi.cpp.o.d"
+  "bench_fig4_conochi"
+  "bench_fig4_conochi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_conochi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_placement.cpp" "bench/CMakeFiles/bench_placement.dir/bench_placement.cpp.o" "gcc" "bench/CMakeFiles/bench_placement.dir/bench_placement.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/recosim_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/rmboc/CMakeFiles/recosim_rmboc.dir/DependInfo.cmake"
+  "/root/repo/build/src/buscom/CMakeFiles/recosim_buscom.dir/DependInfo.cmake"
+  "/root/repo/build/src/dynoc/CMakeFiles/recosim_dynoc.dir/DependInfo.cmake"
+  "/root/repo/build/src/conochi/CMakeFiles/recosim_conochi.dir/DependInfo.cmake"
+  "/root/repo/build/src/hierbus/CMakeFiles/recosim_hierbus.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/recosim_core_iface.dir/DependInfo.cmake"
+  "/root/repo/build/src/proto/CMakeFiles/recosim_proto.dir/DependInfo.cmake"
+  "/root/repo/build/src/fpga/CMakeFiles/recosim_fpga.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/recosim_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_structural.dir/bench_table4_structural.cpp.o"
+  "CMakeFiles/bench_table4_structural.dir/bench_table4_structural.cpp.o.d"
+  "bench_table4_structural"
+  "bench_table4_structural.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_structural.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adaptive_netapp.dir/adaptive_netapp.cpp.o"
+  "CMakeFiles/adaptive_netapp.dir/adaptive_netapp.cpp.o.d"
+  "adaptive_netapp"
+  "adaptive_netapp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adaptive_netapp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

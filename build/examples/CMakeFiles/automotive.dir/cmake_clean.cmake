@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/automotive.dir/automotive.cpp.o"
+  "CMakeFiles/automotive.dir/automotive.cpp.o.d"
+  "automotive"
+  "automotive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/automotive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fabric_management.dir/fabric_management.cpp.o"
+  "CMakeFiles/fabric_management.dir/fabric_management.cpp.o.d"
+  "fabric_management"
+  "fabric_management.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fabric_management.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

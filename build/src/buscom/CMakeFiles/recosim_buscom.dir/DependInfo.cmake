@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/buscom/buscom.cpp" "src/buscom/CMakeFiles/recosim_buscom.dir/buscom.cpp.o" "gcc" "src/buscom/CMakeFiles/recosim_buscom.dir/buscom.cpp.o.d"
+  "/root/repo/src/buscom/schedule.cpp" "src/buscom/CMakeFiles/recosim_buscom.dir/schedule.cpp.o" "gcc" "src/buscom/CMakeFiles/recosim_buscom.dir/schedule.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/recosim_core_iface.dir/DependInfo.cmake"
+  "/root/repo/build/src/proto/CMakeFiles/recosim_proto.dir/DependInfo.cmake"
+  "/root/repo/build/src/fpga/CMakeFiles/recosim_fpga.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/recosim_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

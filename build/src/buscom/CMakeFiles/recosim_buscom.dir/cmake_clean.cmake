@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/recosim_buscom.dir/buscom.cpp.o"
+  "CMakeFiles/recosim_buscom.dir/buscom.cpp.o.d"
+  "CMakeFiles/recosim_buscom.dir/schedule.cpp.o"
+  "CMakeFiles/recosim_buscom.dir/schedule.cpp.o.d"
+  "librecosim_buscom.a"
+  "librecosim_buscom.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/recosim_buscom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

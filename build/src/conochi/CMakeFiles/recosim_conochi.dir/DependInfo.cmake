@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/conochi/conochi.cpp" "src/conochi/CMakeFiles/recosim_conochi.dir/conochi.cpp.o" "gcc" "src/conochi/CMakeFiles/recosim_conochi.dir/conochi.cpp.o.d"
+  "/root/repo/src/conochi/planner.cpp" "src/conochi/CMakeFiles/recosim_conochi.dir/planner.cpp.o" "gcc" "src/conochi/CMakeFiles/recosim_conochi.dir/planner.cpp.o.d"
+  "/root/repo/src/conochi/tile_grid.cpp" "src/conochi/CMakeFiles/recosim_conochi.dir/tile_grid.cpp.o" "gcc" "src/conochi/CMakeFiles/recosim_conochi.dir/tile_grid.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/recosim_core_iface.dir/DependInfo.cmake"
+  "/root/repo/build/src/proto/CMakeFiles/recosim_proto.dir/DependInfo.cmake"
+  "/root/repo/build/src/fpga/CMakeFiles/recosim_fpga.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/recosim_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

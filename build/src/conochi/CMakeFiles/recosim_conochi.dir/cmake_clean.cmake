@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/recosim_conochi.dir/conochi.cpp.o"
+  "CMakeFiles/recosim_conochi.dir/conochi.cpp.o.d"
+  "CMakeFiles/recosim_conochi.dir/planner.cpp.o"
+  "CMakeFiles/recosim_conochi.dir/planner.cpp.o.d"
+  "CMakeFiles/recosim_conochi.dir/tile_grid.cpp.o"
+  "CMakeFiles/recosim_conochi.dir/tile_grid.cpp.o.d"
+  "librecosim_conochi.a"
+  "librecosim_conochi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/recosim_conochi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for recosim_conochi.
+# This may be replaced when dependencies are built.

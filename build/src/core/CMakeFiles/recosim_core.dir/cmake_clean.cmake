@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/recosim_core.dir/area_model.cpp.o"
+  "CMakeFiles/recosim_core.dir/area_model.cpp.o.d"
+  "CMakeFiles/recosim_core.dir/comparison.cpp.o"
+  "CMakeFiles/recosim_core.dir/comparison.cpp.o.d"
+  "CMakeFiles/recosim_core.dir/reconfig_manager.cpp.o"
+  "CMakeFiles/recosim_core.dir/reconfig_manager.cpp.o.d"
+  "CMakeFiles/recosim_core.dir/report.cpp.o"
+  "CMakeFiles/recosim_core.dir/report.cpp.o.d"
+  "CMakeFiles/recosim_core.dir/traffic.cpp.o"
+  "CMakeFiles/recosim_core.dir/traffic.cpp.o.d"
+  "CMakeFiles/recosim_core.dir/workloads.cpp.o"
+  "CMakeFiles/recosim_core.dir/workloads.cpp.o.d"
+  "librecosim_core.a"
+  "librecosim_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/recosim_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

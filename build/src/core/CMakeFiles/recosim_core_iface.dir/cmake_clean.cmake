@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/recosim_core_iface.dir/comm_arch.cpp.o"
+  "CMakeFiles/recosim_core_iface.dir/comm_arch.cpp.o.d"
+  "CMakeFiles/recosim_core_iface.dir/taxonomy.cpp.o"
+  "CMakeFiles/recosim_core_iface.dir/taxonomy.cpp.o.d"
+  "librecosim_core_iface.a"
+  "librecosim_core_iface.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/recosim_core_iface.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

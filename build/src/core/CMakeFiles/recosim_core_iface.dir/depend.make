@@ -1,0 +1,2 @@
+# Empty dependencies file for recosim_core_iface.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/recosim_dynoc.dir/dynoc.cpp.o"
+  "CMakeFiles/recosim_dynoc.dir/dynoc.cpp.o.d"
+  "CMakeFiles/recosim_dynoc.dir/sxy_routing.cpp.o"
+  "CMakeFiles/recosim_dynoc.dir/sxy_routing.cpp.o.d"
+  "librecosim_dynoc.a"
+  "librecosim_dynoc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/recosim_dynoc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for recosim_dynoc.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fpga/bitstream.cpp" "src/fpga/CMakeFiles/recosim_fpga.dir/bitstream.cpp.o" "gcc" "src/fpga/CMakeFiles/recosim_fpga.dir/bitstream.cpp.o.d"
+  "/root/repo/src/fpga/defrag.cpp" "src/fpga/CMakeFiles/recosim_fpga.dir/defrag.cpp.o" "gcc" "src/fpga/CMakeFiles/recosim_fpga.dir/defrag.cpp.o.d"
+  "/root/repo/src/fpga/device.cpp" "src/fpga/CMakeFiles/recosim_fpga.dir/device.cpp.o" "gcc" "src/fpga/CMakeFiles/recosim_fpga.dir/device.cpp.o.d"
+  "/root/repo/src/fpga/floorplan.cpp" "src/fpga/CMakeFiles/recosim_fpga.dir/floorplan.cpp.o" "gcc" "src/fpga/CMakeFiles/recosim_fpga.dir/floorplan.cpp.o.d"
+  "/root/repo/src/fpga/icap.cpp" "src/fpga/CMakeFiles/recosim_fpga.dir/icap.cpp.o" "gcc" "src/fpga/CMakeFiles/recosim_fpga.dir/icap.cpp.o.d"
+  "/root/repo/src/fpga/kamer.cpp" "src/fpga/CMakeFiles/recosim_fpga.dir/kamer.cpp.o" "gcc" "src/fpga/CMakeFiles/recosim_fpga.dir/kamer.cpp.o.d"
+  "/root/repo/src/fpga/placer.cpp" "src/fpga/CMakeFiles/recosim_fpga.dir/placer.cpp.o" "gcc" "src/fpga/CMakeFiles/recosim_fpga.dir/placer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/recosim_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/recosim_fpga.dir/bitstream.cpp.o"
+  "CMakeFiles/recosim_fpga.dir/bitstream.cpp.o.d"
+  "CMakeFiles/recosim_fpga.dir/defrag.cpp.o"
+  "CMakeFiles/recosim_fpga.dir/defrag.cpp.o.d"
+  "CMakeFiles/recosim_fpga.dir/device.cpp.o"
+  "CMakeFiles/recosim_fpga.dir/device.cpp.o.d"
+  "CMakeFiles/recosim_fpga.dir/floorplan.cpp.o"
+  "CMakeFiles/recosim_fpga.dir/floorplan.cpp.o.d"
+  "CMakeFiles/recosim_fpga.dir/icap.cpp.o"
+  "CMakeFiles/recosim_fpga.dir/icap.cpp.o.d"
+  "CMakeFiles/recosim_fpga.dir/kamer.cpp.o"
+  "CMakeFiles/recosim_fpga.dir/kamer.cpp.o.d"
+  "CMakeFiles/recosim_fpga.dir/placer.cpp.o"
+  "CMakeFiles/recosim_fpga.dir/placer.cpp.o.d"
+  "librecosim_fpga.a"
+  "librecosim_fpga.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/recosim_fpga.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "librecosim_fpga.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/recosim_hierbus.dir/hierbus.cpp.o"
+  "CMakeFiles/recosim_hierbus.dir/hierbus.cpp.o.d"
+  "librecosim_hierbus.a"
+  "librecosim_hierbus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/recosim_hierbus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "librecosim_hierbus.a"
+)

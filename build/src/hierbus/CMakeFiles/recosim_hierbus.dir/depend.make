@@ -1,0 +1,2 @@
+# Empty dependencies file for recosim_hierbus.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/proto/header_codec.cpp" "src/proto/CMakeFiles/recosim_proto.dir/header_codec.cpp.o" "gcc" "src/proto/CMakeFiles/recosim_proto.dir/header_codec.cpp.o.d"
+  "/root/repo/src/proto/packet.cpp" "src/proto/CMakeFiles/recosim_proto.dir/packet.cpp.o" "gcc" "src/proto/CMakeFiles/recosim_proto.dir/packet.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/recosim_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/fpga/CMakeFiles/recosim_fpga.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

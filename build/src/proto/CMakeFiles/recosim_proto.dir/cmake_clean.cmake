@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/recosim_proto.dir/header_codec.cpp.o"
+  "CMakeFiles/recosim_proto.dir/header_codec.cpp.o.d"
+  "CMakeFiles/recosim_proto.dir/packet.cpp.o"
+  "CMakeFiles/recosim_proto.dir/packet.cpp.o.d"
+  "librecosim_proto.a"
+  "librecosim_proto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/recosim_proto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/recosim_rmboc.dir/rmboc.cpp.o"
+  "CMakeFiles/recosim_rmboc.dir/rmboc.cpp.o.d"
+  "librecosim_rmboc.a"
+  "librecosim_rmboc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/recosim_rmboc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

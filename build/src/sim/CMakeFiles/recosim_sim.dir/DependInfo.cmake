@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/clock.cpp" "src/sim/CMakeFiles/recosim_sim.dir/clock.cpp.o" "gcc" "src/sim/CMakeFiles/recosim_sim.dir/clock.cpp.o.d"
+  "/root/repo/src/sim/component.cpp" "src/sim/CMakeFiles/recosim_sim.dir/component.cpp.o" "gcc" "src/sim/CMakeFiles/recosim_sim.dir/component.cpp.o.d"
+  "/root/repo/src/sim/event_queue.cpp" "src/sim/CMakeFiles/recosim_sim.dir/event_queue.cpp.o" "gcc" "src/sim/CMakeFiles/recosim_sim.dir/event_queue.cpp.o.d"
+  "/root/repo/src/sim/kernel.cpp" "src/sim/CMakeFiles/recosim_sim.dir/kernel.cpp.o" "gcc" "src/sim/CMakeFiles/recosim_sim.dir/kernel.cpp.o.d"
+  "/root/repo/src/sim/rng.cpp" "src/sim/CMakeFiles/recosim_sim.dir/rng.cpp.o" "gcc" "src/sim/CMakeFiles/recosim_sim.dir/rng.cpp.o.d"
+  "/root/repo/src/sim/stats.cpp" "src/sim/CMakeFiles/recosim_sim.dir/stats.cpp.o" "gcc" "src/sim/CMakeFiles/recosim_sim.dir/stats.cpp.o.d"
+  "/root/repo/src/sim/trace.cpp" "src/sim/CMakeFiles/recosim_sim.dir/trace.cpp.o" "gcc" "src/sim/CMakeFiles/recosim_sim.dir/trace.cpp.o.d"
+  "/root/repo/src/sim/vcd.cpp" "src/sim/CMakeFiles/recosim_sim.dir/vcd.cpp.o" "gcc" "src/sim/CMakeFiles/recosim_sim.dir/vcd.cpp.o.d"
+  "/root/repo/src/sim/watchdog.cpp" "src/sim/CMakeFiles/recosim_sim.dir/watchdog.cpp.o" "gcc" "src/sim/CMakeFiles/recosim_sim.dir/watchdog.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/recosim_sim.dir/clock.cpp.o"
+  "CMakeFiles/recosim_sim.dir/clock.cpp.o.d"
+  "CMakeFiles/recosim_sim.dir/component.cpp.o"
+  "CMakeFiles/recosim_sim.dir/component.cpp.o.d"
+  "CMakeFiles/recosim_sim.dir/event_queue.cpp.o"
+  "CMakeFiles/recosim_sim.dir/event_queue.cpp.o.d"
+  "CMakeFiles/recosim_sim.dir/kernel.cpp.o"
+  "CMakeFiles/recosim_sim.dir/kernel.cpp.o.d"
+  "CMakeFiles/recosim_sim.dir/rng.cpp.o"
+  "CMakeFiles/recosim_sim.dir/rng.cpp.o.d"
+  "CMakeFiles/recosim_sim.dir/stats.cpp.o"
+  "CMakeFiles/recosim_sim.dir/stats.cpp.o.d"
+  "CMakeFiles/recosim_sim.dir/trace.cpp.o"
+  "CMakeFiles/recosim_sim.dir/trace.cpp.o.d"
+  "CMakeFiles/recosim_sim.dir/vcd.cpp.o"
+  "CMakeFiles/recosim_sim.dir/vcd.cpp.o.d"
+  "CMakeFiles/recosim_sim.dir/watchdog.cpp.o"
+  "CMakeFiles/recosim_sim.dir/watchdog.cpp.o.d"
+  "librecosim_sim.a"
+  "librecosim_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/recosim_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

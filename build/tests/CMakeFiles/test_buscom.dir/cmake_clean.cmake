@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_buscom.dir/test_buscom.cpp.o"
+  "CMakeFiles/test_buscom.dir/test_buscom.cpp.o.d"
+  "test_buscom"
+  "test_buscom.pdb"
+  "test_buscom[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_buscom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_conochi.dir/test_conochi.cpp.o"
+  "CMakeFiles/test_conochi.dir/test_conochi.cpp.o.d"
+  "test_conochi"
+  "test_conochi.pdb"
+  "test_conochi[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_conochi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

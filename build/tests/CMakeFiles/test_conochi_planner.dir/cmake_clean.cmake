@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_conochi_planner.dir/test_conochi_planner.cpp.o"
+  "CMakeFiles/test_conochi_planner.dir/test_conochi_planner.cpp.o.d"
+  "test_conochi_planner"
+  "test_conochi_planner.pdb"
+  "test_conochi_planner[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_conochi_planner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_defrag.dir/test_defrag.cpp.o"
+  "CMakeFiles/test_defrag.dir/test_defrag.cpp.o.d"
+  "test_defrag"
+  "test_defrag.pdb"
+  "test_defrag[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_defrag.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dynoc.dir/test_dynoc.cpp.o"
+  "CMakeFiles/test_dynoc.dir/test_dynoc.cpp.o.d"
+  "test_dynoc"
+  "test_dynoc.pdb"
+  "test_dynoc[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dynoc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hierbus.dir/test_hierbus.cpp.o"
+  "CMakeFiles/test_hierbus.dir/test_hierbus.cpp.o.d"
+  "test_hierbus"
+  "test_hierbus.pdb"
+  "test_hierbus[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hierbus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_kamer.dir/test_kamer.cpp.o"
+  "CMakeFiles/test_kamer.dir/test_kamer.cpp.o.d"
+  "test_kamer"
+  "test_kamer.pdb"
+  "test_kamer[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_kamer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_latency_models.dir/test_latency_models.cpp.o"
+  "CMakeFiles/test_latency_models.dir/test_latency_models.cpp.o.d"
+  "test_latency_models"
+  "test_latency_models.pdb"
+  "test_latency_models[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_latency_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rmboc.dir/test_rmboc.cpp.o"
+  "CMakeFiles/test_rmboc.dir/test_rmboc.cpp.o.d"
+  "test_rmboc"
+  "test_rmboc.pdb"
+  "test_rmboc[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rmboc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

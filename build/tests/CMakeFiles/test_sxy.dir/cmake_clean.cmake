@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sxy.dir/test_sxy.cpp.o"
+  "CMakeFiles/test_sxy.dir/test_sxy.cpp.o.d"
+  "test_sxy"
+  "test_sxy.pdb"
+  "test_sxy[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sxy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

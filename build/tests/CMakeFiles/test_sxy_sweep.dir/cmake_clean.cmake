@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sxy_sweep.dir/test_sxy_sweep.cpp.o"
+  "CMakeFiles/test_sxy_sweep.dir/test_sxy_sweep.cpp.o.d"
+  "test_sxy_sweep"
+  "test_sxy_sweep.pdb"
+  "test_sxy_sweep[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sxy_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_vcd_mesh.dir/test_vcd_mesh.cpp.o"
+  "CMakeFiles/test_vcd_mesh.dir/test_vcd_mesh.cpp.o.d"
+  "test_vcd_mesh"
+  "test_vcd_mesh.pdb"
+  "test_vcd_mesh[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_vcd_mesh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_width_sweep.dir/test_width_sweep.cpp.o"
+  "CMakeFiles/test_width_sweep.dir/test_width_sweep.cpp.o.d"
+  "test_width_sweep"
+  "test_width_sweep.pdb"
+  "test_width_sweep[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_width_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

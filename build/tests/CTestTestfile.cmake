@@ -1,0 +1,32 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_sim_kernel[1]_include.cmake")
+include("/root/repo/build/tests/test_rmboc[1]_include.cmake")
+include("/root/repo/build/tests/test_buscom[1]_include.cmake")
+include("/root/repo/build/tests/test_dynoc[1]_include.cmake")
+include("/root/repo/build/tests/test_conochi[1]_include.cmake")
+include("/root/repo/build/tests/test_fpga[1]_include.cmake")
+include("/root/repo/build/tests/test_proto[1]_include.cmake")
+include("/root/repo/build/tests/test_sxy[1]_include.cmake")
+include("/root/repo/build/tests/test_traffic[1]_include.cmake")
+include("/root/repo/build/tests/test_area_model[1]_include.cmake")
+include("/root/repo/build/tests/test_comparison[1]_include.cmake")
+include("/root/repo/build/tests/test_reconfig[1]_include.cmake")
+include("/root/repo/build/tests/test_kamer[1]_include.cmake")
+include("/root/repo/build/tests/test_conochi_planner[1]_include.cmake")
+include("/root/repo/build/tests/test_tile_grid[1]_include.cmake")
+include("/root/repo/build/tests/test_properties[1]_include.cmake")
+include("/root/repo/build/tests/test_workloads[1]_include.cmake")
+include("/root/repo/build/tests/test_vcd_mesh[1]_include.cmake")
+include("/root/repo/build/tests/test_churn[1]_include.cmake")
+include("/root/repo/build/tests/test_defrag[1]_include.cmake")
+include("/root/repo/build/tests/test_edge_cases[1]_include.cmake")
+include("/root/repo/build/tests/test_hierbus[1]_include.cmake")
+include("/root/repo/build/tests/test_width_sweep[1]_include.cmake")
+include("/root/repo/build/tests/test_latency_models[1]_include.cmake")
+include("/root/repo/build/tests/test_integration[1]_include.cmake")
+include("/root/repo/build/tests/test_sxy_sweep[1]_include.cmake")
