@@ -61,7 +61,7 @@ int main() {
                       sim::Rng(1));
     TrafficSink sink(kernel, arch, {2});
     bool swapped = false;
-    mgr.swap(arch, 4, 5, hm, [&](fpga::ModuleId) { swapped = true; });
+    mgr.swap(arch, 4, 5, hm, [&](fpga::ModuleId, bool ok) { swapped = ok; });
     kernel.run_until([&] { return swapped; }, 100'000'000);
     const sim::Cycle swap_cycles = kernel.now() - loaded_at;
     kernel.run(200);

@@ -148,6 +148,53 @@ sim::Cycle Buscom::worst_case_slot_wait(fpga::ModuleId id) const {
   return static_cast<sim::Cycle>(worst_gap) * config_.cycles_per_slot;
 }
 
+bool Buscom::fail_node(int bus, int) {
+  if (bus < 0 || bus >= config_.buses || failed_buses_.count(bus))
+    return false;
+  failed_buses_.insert(bus);
+  // Roll the fragment on the dying bus back into the sender's TX queue:
+  // it never completed, so the payload retransmits in a later slot on a
+  // surviving bus and nothing is lost.
+  auto& fl = in_flight_[static_cast<std::size_t>(bus)];
+  if (fl.valid) {
+    fl.valid = false;
+    if (auto tit = tx_.find(fl.packet.src); tit != tx_.end()) {
+      for (TxPacket& tp : tit->second) {
+        if (tp.packet.id != fl.packet.id) continue;
+        tp.bytes_sent -= std::min(tp.bytes_sent, fl.bytes);
+        if (tp.bytes_sent == 0) tp.started = false;
+        break;
+      }
+    }
+    if (active_transfers_ > 0) --active_transfers_;
+  }
+  bus_tx_[static_cast<std::size_t>(bus)] = fpga::kInvalidModule;
+  // Redistribute the dead bus's guaranteed bandwidth: each of its static
+  // slots moves to the same slot index of a surviving bus where that slot
+  // is dynamic. Staged like any table rewrite, at the round boundary.
+  for (int s = 0; s < config_.slots_per_round; ++s) {
+    const SlotAssignment a = schedule_.bus(bus).slot(s);
+    if (a.kind != SlotKind::kStatic || !is_attached(a.owner)) continue;
+    for (int b = 0; b < config_.buses; ++b) {
+      if (b == bus || failed_buses_.count(b)) continue;
+      if (schedule_.bus(b).slot(s).kind != SlotKind::kDynamic) continue;
+      const fpga::ModuleId owner = a.owner;
+      pending_ops_.push_back(
+          [this, b, s, owner] { schedule_.bus(b).assign_static(s, owner); });
+      stats().counter("recovered_paths").add();
+      break;
+    }
+  }
+  stats().counter("bus_failures").add();
+  return true;
+}
+
+bool Buscom::heal_node(int bus, int) {
+  if (failed_buses_.erase(bus) == 0) return false;
+  stats().counter("bus_heals").add();
+  return true;
+}
+
 std::size_t Buscom::tx_backlog(fpga::ModuleId id) const {
   auto it = tx_.find(id);
   return it == tx_.end() ? 0 : it->second.size();
@@ -207,6 +254,7 @@ void Buscom::begin_slot_transfers(int slot_idx) {
   for (int b = 0; b < config_.buses; ++b) {
     bus_tx_[static_cast<std::size_t>(b)] = fpga::kInvalidModule;
     in_flight_[static_cast<std::size_t>(b)].valid = false;
+    if (failed_buses_.count(b)) continue;  // masked: carries nothing
     const fpga::ModuleId m = arbitrate(b, slot_idx);
     if (m == fpga::kInvalidModule) continue;
     auto& queue = tx_.at(m);

@@ -5,6 +5,7 @@
 #include <functional>
 #include <map>
 #include <optional>
+#include <set>
 #include <vector>
 
 #include "buscom/schedule.hpp"
@@ -55,6 +56,15 @@ class Buscom final : public core::CommArchitecture, public sim::Component {
   sim::Cycle path_latency(fpga::ModuleId, fpga::ModuleId) const override {
     return 1;  // within an owned slot, the bus is a direct wire
   }
+
+  /// Hard-fail bus `bus`: its slots are masked from arbitration, the
+  /// fragment it carried is rolled back into the sender's TX queue (so no
+  /// payload is lost), and its static slots are redistributed onto
+  /// same-index dynamic slots of surviving buses at the next round
+  /// boundary ("recovered_paths" per moved slot). heal_node() unmasks the
+  /// bus; redistributed slots stay where they moved.
+  bool fail_node(int bus, int unused = 0) override;
+  bool heal_node(int bus, int unused = 0) override;
 
   // BUS-COM specific ----------------------------------------------------------
 
@@ -137,6 +147,8 @@ class Buscom final : public core::CommArchitecture, public sim::Component {
   std::vector<fpga::ModuleId> bus_tx_;
   /// Fragment on each bus during the current slot.
   std::vector<InFlight> in_flight_;
+  /// Buses taken down by fail_node(); masked from arbitration.
+  std::set<int> failed_buses_;
   std::size_t active_transfers_ = 0;
   sim::Cycle slot_cycle_ = 0;  // cycle position inside the current slot
   int slot_idx_ = 0;           // position in the round

@@ -131,6 +131,58 @@ bool Conochi::clear_wire(fpga::Point from, fpga::Point to) {
   return true;
 }
 
+bool Conochi::fail_node(int x, int y) {
+  Switch* s = switch_at({x, y});
+  if (!s) return false;
+  const int dead = s->id;
+  for (auto& q : s->in) {
+    if (!q.empty()) stats().counter("packets_dropped_fault").add(q.size());
+    q.clear();
+  }
+  s->reserved.fill(0);
+  s->active = false;
+  s->table.clear();
+  s->pending_table.clear();
+  s->table_pending = false;
+  failed_switches_.insert(dead);
+  // Remember every surviving switch's first hops through the dead switch,
+  // then let the control unit re-plan; routes that come back with another
+  // first hop recovered.
+  std::map<int, std::set<int>> via_dead;
+  for (const auto& o : switches_) {
+    if (!o.active) continue;
+    for (const auto& [dst, port] : o.table) {
+      const Link& l = o.links[static_cast<std::size_t>(port)];
+      if (l.connected && l.peer_switch == dead && dst != dead)
+        via_dead[o.id].insert(dst);
+    }
+  }
+  rebuild_links();
+  recompute_tables();
+  for (const auto& [sw_id, dsts] : via_dead) {
+    const Switch& o = sw(sw_id);
+    const auto& table = o.table_pending ? o.pending_table : o.table;
+    for (int dst : dsts)
+      if (table.count(dst)) stats().counter("recovered_paths").add();
+  }
+  stats().counter("switch_failures").add();
+  return true;
+}
+
+bool Conochi::heal_node(int x, int y) {
+  for (auto& s : switches_) {
+    if (s.active || !(s.pos == fpga::Point{x, y})) continue;
+    if (!failed_switches_.count(s.id)) continue;  // removed, not failed
+    s.active = true;
+    failed_switches_.erase(s.id);
+    rebuild_links();
+    recompute_tables();
+    stats().counter("switch_heals").add();
+    return true;
+  }
+  return false;
+}
+
 int Conochi::modules_at(fpga::Point pos) const {
   const Switch* s = switch_at(pos);
   if (!s) return 0;
@@ -408,6 +460,10 @@ bool Conochi::do_send(const proto::Packet& p) {
     delivered_[p.dst].push_back(p);
     return true;
   }
+  // A module behind a failed switch cannot inject; traffic aimed at one
+  // is rejected at the source instead of being blackholed.
+  if (!sw(sit->second.switch_id).active || !sw(rit->second).active)
+    return false;
   Switch& s = sw(sit->second.switch_id);
   auto& inj = s.in[kSwitchPorts];
   // Fragment to the 1024-byte payload cap; all fragments must fit now.

@@ -5,6 +5,7 @@
 #include <deque>
 #include <map>
 #include <optional>
+#include <set>
 #include <string>
 #include <utility>
 #include <vector>
@@ -75,6 +76,15 @@ class Conochi final : public core::CommArchitecture, public sim::Component {
   std::size_t max_parallelism() const override;
   sim::Cycle path_latency(fpga::ModuleId src,
                           fpga::ModuleId dst) const override;
+
+  /// Hard-fail the switch at (x, y). Unlike remove_switch() this works
+  /// with modules attached (they are isolated until heal_node()), drops
+  /// the switch's buffered packets ("packets_dropped_fault") and has the
+  /// control unit re-plan every surviving routing table around the dead
+  /// switch; first-hop routes that found another way are counted as
+  /// "recovered_paths".
+  bool fail_node(int x, int y) override;
+  bool heal_node(int x, int y) override;
 
   // Topology management (the global control unit's interface) ---------------
 
@@ -189,6 +199,9 @@ class Conochi final : public core::CommArchitecture, public sim::Component {
   sim::Trace trace_;
   TileGrid grid_;
   std::vector<Switch> switches_;  // slot reuse: inactive entries stay
+  /// Switches taken down by fail_node() (distinguishes a faulted switch,
+  /// whose S tile and attachments persist, from a removed one).
+  std::set<int> failed_switches_;
 
   struct Attachment {
     int switch_id;

@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "proto/crc32.hpp"
+
 namespace recosim::core {
 
 CommArchitecture::CommArchitecture(sim::Kernel& kernel, std::string name)
@@ -10,6 +12,7 @@ CommArchitecture::CommArchitecture(sim::Kernel& kernel, std::string name)
 bool CommArchitecture::send(proto::Packet p) {
   p.id = next_packet_id();
   p.injected_at = kernel_.now();
+  proto::seal(p);
   if (!do_send(p)) {
     stats_.counter("send_rejected").add();
     return false;
@@ -21,14 +24,26 @@ bool CommArchitecture::send(proto::Packet p) {
 
 std::optional<proto::Packet> CommArchitecture::receive(fpga::ModuleId at) {
   auto p = do_receive(at);
-  if (p) {
-    stats_.counter("delivered").add();
-    stats_.counter("delivered_bytes").add(p->payload_bytes);
-    stats_.stat("latency_cycles")
-        .add(static_cast<double>(kernel_.now() - p->injected_at));
+  if (!p) return std::nullopt;
+  if (delivery_fault_ && !delivery_fault_(*p)) {
+    stats_.counter("dropped_fault").add();
+    return std::nullopt;
   }
+  if (!proto::verify(*p)) {
+    stats_.counter("crc_dropped").add();
+    return std::nullopt;
+  }
+  stats_.counter("delivered").add();
+  stats_.counter("delivered_bytes").add(p->payload_bytes);
+  stats_.stat("latency_cycles")
+      .add(static_cast<double>(kernel_.now() - p->injected_at));
   return p;
 }
+
+bool CommArchitecture::fail_node(int, int) { return false; }
+bool CommArchitecture::fail_link(int, int) { return false; }
+bool CommArchitecture::heal_node(int, int) { return false; }
+bool CommArchitecture::heal_link(int, int) { return false; }
 
 std::uint64_t CommArchitecture::packets_dropped() const {
   // Every architecture counts its losses under one of these names.
@@ -36,7 +51,10 @@ std::uint64_t CommArchitecture::packets_dropped() const {
          stats_.counter_value("dropped_reconfig") +
          stats_.counter_value("dropped_no_module") +
          stats_.counter_value("dropped_stale_route") +
-         stats_.counter_value("dropped_detach");
+         stats_.counter_value("dropped_detach") +
+         stats_.counter_value("dropped_fault") +
+         stats_.counter_value("packets_dropped_fault") +
+         stats_.counter_value("crc_dropped");
 }
 
 double CommArchitecture::mean_latency_cycles() const {

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <optional>
 #include <string>
 
@@ -52,8 +53,37 @@ class CommArchitecture {
   /// Inject `p` at p.src. Fills in id and injection timestamp.
   bool send(proto::Packet p);
 
-  /// Pop the next packet delivered to module `at`, if any.
+  /// Pop the next packet delivered to module `at`, if any. Packets whose
+  /// CRC no longer matches (a fault flipped a bit in flight) are counted
+  /// under "crc_dropped" and never handed to the caller.
   std::optional<proto::Packet> receive(fpga::ModuleId at);
+
+  // -- fault hooks -----------------------------------------------------------
+  //
+  // The fault layer (src/fault/) speaks to every architecture through this
+  // coordinate-pair interface; each backend maps (a, b) onto its own
+  // resources and returns false when the fault class does not apply:
+  //   DyNoC    fail_node(x, y)        router at (x, y)
+  //   CoNoChi  fail_node(x, y)        switch tile at (x, y)
+  //   RMBoC    fail_node(slot, -)     cross-point; fail_link(segment, bus)
+  //            one bus lane of one segment
+  //   BUS-COM  fail_node(bus, -)      one whole bus
+  // heal_* undoes the corresponding failure. Recovery actions taken by an
+  // architecture (re-chosen access routers, re-planned tables, re-routed
+  // circuits, redistributed slots) are counted under "recovered_paths".
+
+  virtual bool fail_node(int a, int b = 0);
+  virtual bool fail_link(int a, int b = 0);
+  virtual bool heal_node(int a, int b = 0);
+  virtual bool heal_link(int a, int b = 0);
+
+  /// Installed by fault::FaultInjector: invoked for every packet as it
+  /// leaves the network towards the receiving module. The hook may mutate
+  /// the packet (transient bit flip) or return false to drop it (transient
+  /// link loss, counted under "dropped_fault").
+  void set_delivery_fault(std::function<bool(proto::Packet&)> hook) {
+    delivery_fault_ = std::move(hook);
+  }
 
   // -- introspection (drives Tables 1-4) ------------------------------------
 
@@ -101,6 +131,7 @@ class CommArchitecture {
   std::string name_;
   sim::StatSet stats_;
   std::uint64_t packet_serial_ = 0;
+  std::function<bool(proto::Packet&)> delivery_fault_;
 };
 
 }  // namespace recosim::core

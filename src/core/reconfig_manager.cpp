@@ -1,5 +1,6 @@
 #include "core/reconfig_manager.hpp"
 
+#include <algorithm>
 #include <utility>
 
 #include "fpga/defrag.hpp"
@@ -34,30 +35,81 @@ std::optional<fpga::Rect> ReconfigManager::place(
 
 bool ReconfigManager::load(CommArchitecture& arch, fpga::ModuleId id,
                            const fpga::HardwareModule& m,
-                           std::function<void(fpga::ModuleId)> on_ready) {
+                           ReadyCallback on_ready) {
   if (id == fpga::kInvalidModule || arch.is_attached(id) ||
       loading_.count(id))
     return false;
   auto region = place(id, m);
   if (!region) return false;
-  loading_.emplace(id, m);
-  icap_.request(id, *region,
-                [this, &arch, on_ready = std::move(on_ready)](
-                    fpga::ModuleId done_id) {
-                  auto it = loading_.find(done_id);
-                  if (it == loading_.end()) return;  // cancelled meanwhile
-                  const fpga::HardwareModule mod = it->second;
-                  loading_.erase(it);
-                  if (arch.attach(done_id, mod) && on_ready)
-                    on_ready(done_id);
-                });
+  loading_.emplace(id, LoadJob{m, *region, 0, std::move(on_ready), &arch});
+  icap_.request(id, *region, [this](fpga::ModuleId done_id, bool ok) {
+    on_icap_done(done_id, ok);
+  });
   return true;
 }
 
-bool ReconfigManager::load_with_compaction(
-    CommArchitecture& arch, fpga::ModuleId id,
-    const fpga::HardwareModule& m,
-    std::function<void(fpga::ModuleId)> on_ready) {
+void ReconfigManager::set_icap_retry_policy(unsigned limit,
+                                            sim::Cycle base_backoff) {
+  icap_retry_limit_ = limit;
+  icap_retry_backoff_ = std::max<sim::Cycle>(1, base_backoff);
+}
+
+void ReconfigManager::free_placement(fpga::ModuleId id) {
+  if (strategy_ == PlacementStrategy::kSlots) {
+    slots_->remove(id);
+  } else {
+    rects_->remove(id);
+  }
+}
+
+void ReconfigManager::on_icap_done(fpga::ModuleId id, bool ok) {
+  auto it = loading_.find(id);
+  if (it == loading_.end()) return;  // cancelled meanwhile
+  LoadJob& job = it->second;
+  if (!ok) {
+    stats_.counter("icap_aborts").add();
+    if (job.attempts < icap_retry_limit_) {
+      ++job.attempts;
+      stats_.counter("icap_retries").add();
+      const sim::Cycle backoff =
+          std::min(icap_retry_backoff_ << job.attempts,
+                   icap_retry_backoff_ * 8);
+      const fpga::Rect region = job.region;
+      kernel_.schedule_in(backoff, [this, id, region] {
+        if (!loading_.count(id)) return;  // unloaded during the backoff
+        icap_.request(id, region, [this](fpga::ModuleId done_id, bool k) {
+          on_icap_done(done_id, k);
+        });
+      });
+      return;
+    }
+    // Retry budget exhausted: abandon the load, free the fabric and
+    // surface the permanent failure.
+    const ReadyCallback cb = std::move(job.on_ready);
+    loading_.erase(it);
+    free_placement(id);
+    stats_.counter("load_failures").add();
+    if (cb) cb(id, false);
+    return;
+  }
+  const fpga::HardwareModule mod = job.module;
+  CommArchitecture* arch = job.arch;
+  const ReadyCallback cb = std::move(job.on_ready);
+  loading_.erase(it);
+  const bool attached = arch->attach(id, mod);
+  if (attached) {
+    stats_.counter("loads_completed").add();
+  } else {
+    free_placement(id);
+    stats_.counter("load_failures").add();
+  }
+  if (cb) cb(id, attached);
+}
+
+bool ReconfigManager::load_with_compaction(CommArchitecture& arch,
+                                           fpga::ModuleId id,
+                                           const fpga::HardwareModule& m,
+                                           ReadyCallback on_ready) {
   if (load(arch, id, m, on_ready)) return true;
   if (strategy_ != PlacementStrategy::kRectangles) return false;
   fpga::Defragmenter defrag(floorplan_, floorplan_.device());
@@ -75,11 +127,19 @@ bool ReconfigManager::load_with_compaction(
     }
     arch.detach(move.id);
     ++compaction_moves_;
-    icap_.request(move.id, move.to, [this, &arch](fpga::ModuleId moved) {
-      fpga::HardwareModule placeholder;
-      placeholder.name = "relocated";
-      arch.attach(moved, placeholder);
-    });
+    icap_.request(move.id, move.to,
+                  [this, &arch](fpga::ModuleId moved, bool ok) {
+                    if (!ok) {
+                      // The relocated bitstream never landed: the module
+                      // stays detached (its region is still owned, so the
+                      // fabric stays consistent for later plans).
+                      stats_.counter("relocation_failures").add();
+                      return;
+                    }
+                    fpga::HardwareModule placeholder;
+                    placeholder.name = "relocated";
+                    arch.attach(moved, placeholder);
+                  });
   }
   return load(arch, id, m, std::move(on_ready));
 }
@@ -99,7 +159,7 @@ bool ReconfigManager::unload(CommArchitecture& arch, fpga::ModuleId id) {
 bool ReconfigManager::swap(CommArchitecture& arch, fpga::ModuleId old_id,
                            fpga::ModuleId new_id,
                            const fpga::HardwareModule& m,
-                           std::function<void(fpga::ModuleId)> on_ready) {
+                           ReadyCallback on_ready) {
   if (!unload(arch, old_id)) return false;
   return load(arch, new_id, m, std::move(on_ready));
 }

@@ -26,18 +26,27 @@ enum class PlacementStrategy {
 /// module to the communication architecture. Unloading detaches first and
 /// frees the fabric immediately (clearing a region needs no bitstream in
 /// this model).
+///
+/// ICAP transfers can abort (fault layer). The manager retries an aborted
+/// load with exponentially growing, capped backoff; once the retry budget
+/// is exhausted it frees the placement and reports permanent failure
+/// through the ready callback (ok == false).
 class ReconfigManager {
  public:
+  /// Fired when a load resolves: ok == true means the module is attached
+  /// and able to communicate; false means the load failed permanently
+  /// (ICAP retry budget exhausted, or attach rejected).
+  using ReadyCallback = std::function<void(fpga::ModuleId, bool ok)>;
+
   ReconfigManager(sim::Kernel& kernel, const fpga::Device& device,
                   double system_clock_mhz, PlacementStrategy strategy,
                   int slot_count = 4);
 
   /// Begin loading `m`. Returns false if no placement exists or the id is
-  /// already present. `on_ready(id)` fires in the cycle the module is
-  /// attached and able to communicate.
+  /// already present. `on_ready(id, ok)` fires in the cycle the module is
+  /// attached (ok) or the load is abandoned (!ok).
   bool load(CommArchitecture& arch, fpga::ModuleId id,
-            const fpga::HardwareModule& m,
-            std::function<void(fpga::ModuleId)> on_ready = {});
+            const fpga::HardwareModule& m, ReadyCallback on_ready = {});
 
   /// Like load(), but when no placement exists under the kRectangles
   /// strategy, plan a compaction first: every relocation is streamed
@@ -47,7 +56,7 @@ class ReconfigManager {
   /// the module.
   bool load_with_compaction(CommArchitecture& arch, fpga::ModuleId id,
                             const fpga::HardwareModule& m,
-                            std::function<void(fpga::ModuleId)> on_ready = {});
+                            ReadyCallback on_ready = {});
 
   /// Relocations performed by load_with_compaction so far.
   std::uint64_t compaction_moves() const { return compaction_moves_; }
@@ -59,17 +68,35 @@ class ReconfigManager {
   /// module-swap of slot-based systems).
   bool swap(CommArchitecture& arch, fpga::ModuleId old_id,
             fpga::ModuleId new_id, const fpga::HardwareModule& m,
-            std::function<void(fpga::ModuleId)> on_ready = {});
+            ReadyCallback on_ready = {});
 
   bool is_loading(fpga::ModuleId id) const { return loading_.count(id) > 0; }
+
+  /// Retry policy for aborted ICAP transfers: up to `limit` retries, the
+  /// n-th after base_backoff * 2^n cycles, capped at 8 * base_backoff.
+  void set_icap_retry_policy(unsigned limit, sim::Cycle base_backoff);
+
+  /// Counters: "icap_aborts", "icap_retries", "load_failures",
+  /// "loads_completed", "relocation_failures".
+  const sim::StatSet& stats() const { return stats_; }
 
   const fpga::Floorplan& floorplan() const { return floorplan_; }
   fpga::Icap& icap() { return icap_; }
   const fpga::BitstreamModel& bitstream_model() const { return bits_; }
 
  private:
+  struct LoadJob {
+    fpga::HardwareModule module;
+    fpga::Rect region;
+    unsigned attempts = 0;
+    ReadyCallback on_ready;
+    CommArchitecture* arch = nullptr;
+  };
+
   std::optional<fpga::Rect> place(fpga::ModuleId id,
                                   const fpga::HardwareModule& m);
+  void free_placement(fpga::ModuleId id);
+  void on_icap_done(fpga::ModuleId id, bool ok);
 
   sim::Kernel& kernel_;
   fpga::Floorplan floorplan_;
@@ -78,8 +105,11 @@ class ReconfigManager {
   PlacementStrategy strategy_;
   std::unique_ptr<fpga::SlotPlacer> slots_;
   std::unique_ptr<fpga::RectPlacer> rects_;
-  std::map<fpga::ModuleId, fpga::HardwareModule> loading_;
+  std::map<fpga::ModuleId, LoadJob> loading_;
   std::uint64_t compaction_moves_ = 0;
+  unsigned icap_retry_limit_ = 3;
+  sim::Cycle icap_retry_backoff_ = 128;
+  sim::StatSet stats_;
 };
 
 }  // namespace recosim::core

@@ -31,6 +31,10 @@ std::size_t Dynoc::active_router_count() const {
 }
 
 std::optional<fpga::Rect> Dynoc::obstacle_at(fpga::Point p) const {
+  // A hard-failed router is a 1x1 obstacle: S-XY wraps live traffic
+  // around it exactly as it would around a placed module.
+  if (in_array(p) && failed_.count(idx(p)))
+    return fpga::Rect{p.x, p.y, 1, 1};
   for (const auto& [id, pl] : placements_)
     if (pl.rect.contains(p) && pl.rect.area() > 1) return pl.rect;
   return std::nullopt;
@@ -155,6 +159,102 @@ bool Dynoc::detach(fpga::ModuleId id) {
   return true;
 }
 
+void Dynoc::purge_router_traffic(fpga::Point p, const char* counter) {
+  Router& router = at(p);
+  for (auto& q : router.in) {
+    if (!q.empty()) stats().counter(counter).add(q.size());
+    q.clear();
+  }
+  router.reserved.fill(0);
+  for (int d = 0; d < kDirCount; ++d) {
+    OutLink& o = router.out[static_cast<std::size_t>(d)];
+    if (o.busy && o.carries_packet) {
+      stats().counter(counter).add();
+      // Give back the credit reserved downstream.
+      const fpga::Point t = step(p, static_cast<Dir>(d));
+      if (in_array(t)) {
+        auto& res = at(t).reserved[static_cast<std::size_t>(
+            static_cast<int>(opposite(static_cast<Dir>(d))))];
+        if (res > 0) --res;
+      }
+    }
+    o.busy = false;
+  }
+}
+
+void Dynoc::drop_traffic_towards(fpga::Point p, const char* counter) {
+  for (int y = 0; y < config_.height; ++y) {
+    for (int x = 0; x < config_.width; ++x) {
+      Router& router = at({x, y});
+      if (!router.active) continue;
+      for (int d = 0; d < kDirCount; ++d) {
+        OutLink& o = router.out[static_cast<std::size_t>(d)];
+        if (!o.busy) continue;
+        const fpga::Point t = step({x, y}, static_cast<Dir>(d));
+        const bool into = t == p;
+        // Packets still addressed to the dead router can never eject;
+        // kill them on the wire rather than letting them orbit the new
+        // obstacle forever.
+        const bool doomed = o.carries_packet && o.packet.dest == p;
+        if (!into && !doomed) continue;
+        if (o.carries_packet) {
+          stats().counter(counter).add();
+          if (!into && router_active(t)) {
+            auto& res = at(t).reserved[static_cast<std::size_t>(
+                static_cast<int>(opposite(static_cast<Dir>(d))))];
+            if (res > 0) --res;
+          }
+        }
+        o.busy = false;
+      }
+      for (auto& q : router.in) {
+        const std::size_t before = q.size();
+        q.erase(std::remove_if(
+                    q.begin(), q.end(),
+                    [&](const FlyingPacket& fp) { return fp.dest == p; }),
+                q.end());
+        if (before != q.size())
+          stats().counter(counter).add(before - q.size());
+      }
+    }
+  }
+}
+
+bool Dynoc::fail_node(int x, int y) {
+  const fpga::Point p{x, y};
+  if (!in_array(p) || !at(p).active) return false;
+  at(p).active = false;
+  failed_.insert(idx(p));
+  purge_router_traffic(p, "packets_dropped_fault");
+  drop_traffic_towards(p, "packets_dropped_fault");
+  // Modules that talked through the dead router pick a surviving ring
+  // router; their future traffic routes around the obstacle.
+  for (auto& [id, pl] : placements_) {
+    if (pl.rect.area() > 1 && pl.access == p) {
+      const fpga::Point next = choose_access(pl.rect);
+      if (router_active(next)) {
+        pl.access = next;
+        stats().counter("recovered_paths").add();
+      }
+    }
+  }
+  stats().counter("router_failures").add();
+  return true;
+}
+
+bool Dynoc::heal_node(int x, int y) {
+  const fpga::Point p{x, y};
+  if (!in_array(p) || !failed_.count(idx(p))) return false;
+  failed_.erase(idx(p));
+  at(p).active = true;
+  // Re-run access selection so modules isolated by the failure (or pushed
+  // to a detour router) regain their preferred access point.
+  for (auto& [id, pl] : placements_)
+    if (pl.rect.area() > 1) pl.access = choose_access(pl.rect);
+  stats().counter("router_heals").add();
+  return true;
+}
+
 bool Dynoc::is_attached(fpga::ModuleId id) const {
   return placements_.count(id) > 0;
 }
@@ -251,6 +351,11 @@ bool Dynoc::do_send(const proto::Packet& p) {
     delivered_[p.dst].push_back(p);
     return true;
   }
+  // An isolated endpoint (its access router failed and no ring router
+  // survives) rejects traffic instead of blackholing it.
+  if (!router_active(sit->second.access) ||
+      !router_active(dit->second.access))
+    return false;
   Router& a = at(sit->second.access);
   auto& inj = a.in[static_cast<std::size_t>(Dir::kLocal)];
   if (inj.size() + a.reserved[static_cast<std::size_t>(Dir::kLocal)] >=

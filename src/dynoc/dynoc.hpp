@@ -5,6 +5,7 @@
 #include <deque>
 #include <map>
 #include <optional>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -70,6 +71,14 @@ class Dynoc final : public core::CommArchitecture, public sim::Component {
   std::size_t max_parallelism() const override;
   sim::Cycle path_latency(fpga::ModuleId src,
                           fpga::ModuleId dst) const override;
+
+  /// Hard-fail the router at (x, y): its buffered and in-flight traffic is
+  /// lost (counted as "packets_dropped_fault"), it becomes a 1x1 S-XY
+  /// obstacle so live traffic routes around it, and modules whose access
+  /// router died re-select one from their ring ("recovered_paths"). A 1x1
+  /// module whose own router fails is isolated until heal_node().
+  bool fail_node(int x, int y) override;
+  bool heal_node(int x, int y) override;
 
   // DyNoC-specific ------------------------------------------------------------
 
@@ -170,10 +179,13 @@ class Dynoc final : public core::CommArchitecture, public sim::Component {
   std::uint32_t total_flits(const proto::Packet& p) const;
   void advance_links();
   void start_transfers();
+  void purge_router_traffic(fpga::Point p, const char* counter);
+  void drop_traffic_towards(fpga::Point p, const char* counter);
 
   DynocConfig config_;
   sim::Trace trace_;
   std::vector<Router> routers_;
+  std::set<int> failed_;  // router indices taken down by fail_node()
   std::map<fpga::ModuleId, Placement> placements_;
   std::map<fpga::ModuleId, std::deque<proto::Packet>> delivered_;
   SxyRouter sxy_;

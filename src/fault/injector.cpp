@@ -1,0 +1,95 @@
+#include "fault/injector.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "sim/kernel.hpp"
+
+namespace recosim::fault {
+
+FaultInjector::FaultInjector(sim::Kernel& kernel,
+                             core::CommArchitecture& arch, FaultPlan plan,
+                             sim::Rng rng, std::string name)
+    : sim::Component(kernel, std::move(name)),
+      arch_(arch),
+      plan_(std::move(plan)),
+      rng_(rng) {
+  std::stable_sort(
+      plan_.scheduled.begin(), plan_.scheduled.end(),
+      [](const FaultEvent& x, const FaultEvent& y) { return x.at < y.at; });
+  if (plan_.drop_rate > 0.0 || plan_.bit_flip_rate > 0.0) {
+    arch_.set_delivery_fault([this](proto::Packet& p) {
+      if (plan_.drop_rate > 0.0 && rng_.chance(plan_.drop_rate)) {
+        stats_.counter("packet_drops").add();
+        stats_.counter("faults_injected").add();
+        return false;
+      }
+      if (plan_.bit_flip_rate > 0.0 && rng_.chance(plan_.bit_flip_rate)) {
+        p.tag ^= std::uint64_t{1} << rng_.index(64);
+        stats_.counter("bit_flips").add();
+        stats_.counter("faults_injected").add();
+      }
+      return true;
+    });
+  }
+}
+
+void FaultInjector::attach_icap(fpga::Icap& icap) {
+  icap.set_fault_hook([this](fpga::ModuleId) {
+    if (armed_icap_aborts_ > 0) {
+      --armed_icap_aborts_;
+      stats_.counter("icap_aborts").add();
+      stats_.counter("faults_injected").add();
+      return true;
+    }
+    if (plan_.icap_abort_rate > 0.0 && rng_.chance(plan_.icap_abort_rate)) {
+      stats_.counter("icap_aborts").add();
+      stats_.counter("faults_injected").add();
+      return true;
+    }
+    return false;
+  });
+}
+
+void FaultInjector::dispatch(const FaultEvent& e) {
+  bool applied = false;
+  switch (e.kind) {
+    case FaultKind::kNodeFail:
+      applied = arch_.fail_node(e.a, e.b);
+      if (applied) stats_.counter("node_failures").add();
+      break;
+    case FaultKind::kNodeHeal:
+      applied = arch_.heal_node(e.a, e.b);
+      if (applied) stats_.counter("node_heals").add();
+      break;
+    case FaultKind::kLinkFail:
+      applied = arch_.fail_link(e.a, e.b);
+      if (applied) stats_.counter("link_failures").add();
+      break;
+    case FaultKind::kLinkHeal:
+      applied = arch_.heal_link(e.a, e.b);
+      if (applied) stats_.counter("link_heals").add();
+      break;
+    case FaultKind::kIcapAbort:
+      ++armed_icap_aborts_;
+      applied = true;
+      break;
+  }
+  if (applied) {
+    if (e.kind != FaultKind::kIcapAbort)  // counted when the abort fires
+      stats_.counter("faults_injected").add();
+  } else {
+    stats_.counter("hooks_rejected").add();
+  }
+}
+
+void FaultInjector::eval() {
+  const sim::Cycle now = kernel().now();
+  while (next_event_ < plan_.scheduled.size() &&
+         plan_.scheduled[next_event_].at <= now) {
+    dispatch(plan_.scheduled[next_event_]);
+    ++next_event_;
+  }
+}
+
+}  // namespace recosim::fault

@@ -1,0 +1,54 @@
+#pragma once
+
+#include <cstdint>
+
+#include "core/comm_arch.hpp"
+#include "fault/fault_plan.hpp"
+#include "fpga/icap.hpp"
+#include "sim/component.hpp"
+#include "sim/rng.hpp"
+#include "sim/stats.hpp"
+
+namespace recosim::fault {
+
+/// Deterministic fault source for one architecture. Dispatches the plan's
+/// scheduled hard faults at their cycles through the architecture's fault
+/// hooks, applies the stochastic transient faults (bit flips, packet
+/// drops) to every packet leaving the network, and — when attached to an
+/// Icap — aborts bitstream transfers.
+///
+/// All randomness comes from the injector's own Rng, so a fixed seed and
+/// plan reproduce the identical fault sequence run after run.
+class FaultInjector final : public sim::Component {
+ public:
+  FaultInjector(sim::Kernel& kernel, core::CommArchitecture& arch,
+                FaultPlan plan, sim::Rng rng,
+                std::string name = "fault_injector");
+
+  /// Route kIcapAbort events and the stochastic abort rate into `icap`
+  /// (installs its fault hook; one injector per Icap).
+  void attach_icap(fpga::Icap& icap);
+
+  void eval() override;
+
+  /// Counters: "faults_injected" (total), "node_failures", "node_heals",
+  /// "link_failures", "link_heals", "bit_flips", "packet_drops",
+  /// "icap_aborts", "hooks_rejected" (fault class unsupported by the
+  /// architecture).
+  const sim::StatSet& stats() const { return stats_; }
+  std::uint64_t faults_injected() const {
+    return stats_.counter_value("faults_injected");
+  }
+
+ private:
+  void dispatch(const FaultEvent& e);
+
+  core::CommArchitecture& arch_;
+  FaultPlan plan_;
+  sim::Rng rng_;
+  std::size_t next_event_ = 0;
+  std::uint64_t armed_icap_aborts_ = 0;
+  sim::StatSet stats_;
+};
+
+}  // namespace recosim::fault

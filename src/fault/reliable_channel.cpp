@@ -1,0 +1,152 @@
+#include "fault/reliable_channel.hpp"
+
+#include <utility>
+
+#include "sim/kernel.hpp"
+
+namespace recosim::fault {
+
+ReliableChannel::ReliableChannel(sim::Kernel& kernel,
+                                 core::CommArchitecture& arch,
+                                 ReliableChannelConfig cfg, sim::Rng rng,
+                                 std::string name)
+    : sim::Component(kernel, std::move(name)),
+      arch_(arch),
+      cfg_(cfg),
+      rng_(rng) {}
+
+sim::Cycle ReliableChannel::jittered(sim::Cycle timeout) {
+  if (cfg_.jitter == 0) return timeout;
+  return timeout + rng_.index(cfg_.jitter + 1);
+}
+
+bool ReliableChannel::send(proto::Packet p) {
+  if (!endpoints_.count(p.src)) return false;
+  TxFlow& flow = tx_[{p.src, p.dst}];
+  if (flow.dead) return false;
+  if (flow.pending.size() >= cfg_.window) return false;
+  p.control = proto::Packet::kData;
+  p.seq = flow.next_seq++;
+
+  Pending pd;
+  pd.packet = p;
+  pd.timeout = cfg_.base_timeout;
+  if (arch_.send(p)) {
+    pd.attempts = 1;
+    pd.next_retry = kernel().now() + jittered(pd.timeout);
+    stats_.counter("data_sent").add();
+  } else {
+    // Never entered the network (backpressure or unknown destination):
+    // retry almost immediately instead of burning a full timeout.
+    pd.rejects = 1;
+    pd.next_retry = kernel().now() + 1;
+    stats_.counter("send_rejects").add();
+  }
+  flow.pending.emplace(p.seq, pd);
+  return true;
+}
+
+std::optional<proto::Packet> ReliableChannel::receive(fpga::ModuleId at) {
+  auto it = app_queue_.find(at);
+  if (it == app_queue_.end() || it->second.empty()) return std::nullopt;
+  proto::Packet p = it->second.front();
+  it->second.pop_front();
+  return p;
+}
+
+bool ReliableChannel::peer_dead(fpga::ModuleId src, fpga::ModuleId dst) const {
+  auto it = tx_.find({src, dst});
+  return it != tx_.end() && it->second.dead;
+}
+
+std::size_t ReliableChannel::outstanding() const {
+  std::size_t n = 0;
+  for (const auto& [key, flow] : tx_) n += flow.pending.size();
+  return n;
+}
+
+void ReliableChannel::handle_ack(fpga::ModuleId at, const proto::Packet& ack) {
+  // The ACK's src is the original receiver, so the flow it acknowledges is
+  // (at -> ack.src).
+  auto it = tx_.find({at, ack.src});
+  if (it == tx_.end()) return;
+  if (it->second.pending.erase(ack.seq) > 0)
+    stats_.counter("acks_received").add();
+}
+
+void ReliableChannel::handle_data(fpga::ModuleId at, const proto::Packet& p) {
+  // Always (re-)acknowledge: the previous ACK for this seq may have been
+  // lost, which is exactly why the duplicate arrived.
+  proto::Packet ack;
+  ack.src = at;
+  ack.dst = p.src;
+  ack.dst_logical = proto::kInvalidLog;
+  ack.payload_bytes = 0;
+  ack.control = proto::Packet::kAck;
+  ack.seq = p.seq;
+  if (arch_.send(ack)) stats_.counter("acks_sent").add();
+  // A rejected ACK (backpressure) is simply lost; the sender retransmits
+  // and triggers a fresh one.
+
+  RxFlow& flow = rx_[{p.src, at}];
+  if (!flow.seen.insert(p.seq).second) {
+    stats_.counter("duplicates_dropped").add();
+    return;
+  }
+  app_queue_[at].push_back(p);
+  ++delivered_total_;
+}
+
+void ReliableChannel::kill_flow(TxFlow& flow) {
+  stats_.counter("unrecoverable").add(
+      static_cast<std::uint64_t>(flow.pending.size()));
+  flow.pending.clear();
+  flow.dead = true;
+}
+
+void ReliableChannel::pump_retransmissions() {
+  const sim::Cycle now = kernel().now();
+  for (auto& [key, flow] : tx_) {
+    if (flow.dead) continue;
+    for (auto it = flow.pending.begin(); it != flow.pending.end();) {
+      Pending& pd = it->second;
+      if (now < pd.next_retry) {
+        ++it;
+        continue;
+      }
+      if (pd.attempts >= cfg_.max_retries ||
+          pd.rejects >= cfg_.max_send_rejects) {
+        kill_flow(flow);
+        break;  // pending is gone; iterator invalid
+      }
+      if (arch_.send(pd.packet)) {
+        ++pd.attempts;
+        pd.rejects = 0;
+        if (pd.attempts > 1) stats_.counter("retransmissions").add();
+        else stats_.counter("data_sent").add();  // first accepted try
+        pd.timeout = std::min(pd.timeout * 2, cfg_.max_timeout);
+        pd.next_retry = now + jittered(pd.timeout);
+      } else {
+        ++pd.rejects;
+        stats_.counter("send_rejects").add();
+        pd.next_retry = now + 1 + rng_.index(4);
+      }
+      ++it;
+    }
+  }
+}
+
+void ReliableChannel::eval() {
+  for (fpga::ModuleId ep : endpoints_) {
+    while (auto p = arch_.receive(ep)) {
+      if (p->control == proto::Packet::kAck) {
+        handle_ack(ep, *p);
+      } else {
+        handle_data(ep, *p);
+      }
+    }
+  }
+  pump_retransmissions();
+}
+
+}  // namespace recosim::fault

@@ -1,0 +1,116 @@
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <utility>
+
+#include "core/comm_arch.hpp"
+#include "sim/component.hpp"
+#include "sim/rng.hpp"
+#include "sim/stats.hpp"
+
+namespace recosim::fault {
+
+struct ReliableChannelConfig {
+  /// Cycles to wait for an ACK before the first retransmission.
+  sim::Cycle base_timeout = 512;
+  /// Backoff cap; each retransmission doubles the timeout up to this.
+  sim::Cycle max_timeout = 8192;
+  /// Uniform jitter in [0, jitter] cycles added to every timeout, so
+  /// synchronized losses do not retransmit in lockstep.
+  sim::Cycle jitter = 16;
+  /// Accepted transmissions of one packet without an ACK before the peer
+  /// is declared dead.
+  unsigned max_retries = 8;
+  /// Consecutive send rejections (packet never entered the network, e.g.
+  /// the destination detached) before the peer is declared dead.
+  unsigned max_send_rejects = 1024;
+  /// Unacknowledged packets a flow may hold (send() backpressures above).
+  std::size_t window = 64;
+};
+
+/// Optional end-to-end reliability layer over CommArchitecture::send /
+/// receive: per-flow sequence numbers, ACKs, per-packet retransmission
+/// timers with exponential backoff + jitter, duplicate suppression at the
+/// receiver, and a dead-peer verdict once the retry budget is exhausted.
+/// Workloads that opt in get exactly-once delivery to the application over
+/// an arbitrarily lossy fabric (at-least-once on the wire, deduplicated
+/// here); workloads that do not keep the raw fire-and-forget semantics.
+///
+/// Endpoints must be registered so the channel can drain their delivery
+/// queues; do not mix with a TrafficSink on the same modules.
+class ReliableChannel final : public sim::Component {
+ public:
+  ReliableChannel(sim::Kernel& kernel, core::CommArchitecture& arch,
+                  ReliableChannelConfig cfg, sim::Rng rng,
+                  std::string name = "reliable_channel");
+
+  void add_endpoint(fpga::ModuleId id) { endpoints_.insert(id); }
+  void remove_endpoint(fpga::ModuleId id) { endpoints_.erase(id); }
+
+  /// Queue `p` for reliable delivery. Returns false when the (src, dst)
+  /// flow is dead, the window is full, or src is not an endpoint. A true
+  /// return means the packet will be delivered exactly once, or the flow
+  /// will eventually be declared dead ("unrecoverable").
+  bool send(proto::Packet p);
+
+  /// Pop the next packet delivered (deduplicated) to endpoint `at`.
+  std::optional<proto::Packet> receive(fpga::ModuleId at);
+
+  bool peer_dead(fpga::ModuleId src, fpga::ModuleId dst) const;
+
+  /// Unique data packets handed to the application (watchdog progress).
+  std::uint64_t delivered_total() const { return delivered_total_; }
+  /// Unacknowledged packets across all live flows (watchdog pending).
+  std::size_t outstanding() const;
+
+  /// Counters: "data_sent", "retransmissions", "acks_sent",
+  /// "acks_received", "duplicates_dropped", "unrecoverable",
+  /// "send_rejects".
+  const sim::StatSet& stats() const { return stats_; }
+
+  void eval() override;
+
+ private:
+  using FlowKey = std::pair<fpga::ModuleId, fpga::ModuleId>;  // (src, dst)
+
+  struct Pending {
+    proto::Packet packet;        // as handed to send(), seq assigned
+    unsigned attempts = 0;       // accepted transmissions so far
+    unsigned rejects = 0;        // consecutive rejected (re)sends
+    sim::Cycle timeout = 0;      // current backoff value
+    sim::Cycle next_retry = 0;   // cycle of the next (re)transmission
+  };
+
+  struct TxFlow {
+    std::uint64_t next_seq = 1;
+    std::map<std::uint64_t, Pending> pending;
+    bool dead = false;
+  };
+
+  struct RxFlow {
+    std::set<std::uint64_t> seen;
+  };
+
+  sim::Cycle jittered(sim::Cycle timeout);
+  void handle_ack(fpga::ModuleId at, const proto::Packet& ack);
+  void handle_data(fpga::ModuleId at, const proto::Packet& p);
+  void pump_retransmissions();
+  void kill_flow(TxFlow& flow);
+
+  core::CommArchitecture& arch_;
+  ReliableChannelConfig cfg_;
+  sim::Rng rng_;
+  std::set<fpga::ModuleId> endpoints_;
+  std::map<FlowKey, TxFlow> tx_;
+  std::map<FlowKey, RxFlow> rx_;
+  std::map<fpga::ModuleId, std::deque<proto::Packet>> app_queue_;
+  std::uint64_t delivered_total_ = 0;
+  sim::StatSet stats_;
+};
+
+}  // namespace recosim::fault

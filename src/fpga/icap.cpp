@@ -17,7 +17,7 @@ Icap::Icap(sim::Kernel& kernel, const Device& device,
 }
 
 void Icap::request(ModuleId id, const Rect& region,
-                   std::function<void(ModuleId)> on_done) {
+                   std::function<void(ModuleId, bool)> on_done) {
   queue_.push_back(Job{id, region, std::move(on_done)});
   stats_.counter("requests").add();
 }
@@ -28,10 +28,11 @@ void Icap::eval() {
 
 void Icap::commit() {
   if (finish_pending_) {
-    stats_.counter("completed").add();
     auto job = std::move(*current_);
     current_.reset();
-    if (job.on_done) job.on_done(job.id);
+    const bool aborted = should_abort_ && should_abort_(job.id);
+    stats_.counter(aborted ? "aborted" : "completed").add();
+    if (job.on_done) job.on_done(job.id, !aborted);
   }
   if (!current_ && !queue_.empty()) {
     current_ = std::move(queue_.front());

@@ -19,6 +19,11 @@ namespace recosim::fpga {
 /// cycles the bitstream model predicts (converted to the system clock).
 /// Completion callbacks let architectures attach/detach modules at the
 /// exact cycle the fabric change becomes effective.
+///
+/// Transfers can abort (the fault layer models a bitstream write failing
+/// partway): the port time is still spent, the region is left
+/// unconfigured, and the callback reports ok == false so the caller can
+/// retry or surface the failure.
 class Icap final : public sim::Component {
  public:
   /// `system_clock_mhz` is the clock the kernel cycles represent; ICAP
@@ -26,9 +31,16 @@ class Icap final : public sim::Component {
   Icap(sim::Kernel& kernel, const Device& device, double system_clock_mhz);
 
   /// Queue a reconfiguration of `region`; `on_done` fires in the cycle the
-  /// last configuration frame has been written.
+  /// transfer ends — ok == true when the last configuration frame was
+  /// written, false when the transfer aborted.
   void request(ModuleId id, const Rect& region,
-               std::function<void(ModuleId)> on_done);
+               std::function<void(ModuleId, bool ok)> on_done);
+
+  /// Installed by the fault layer: consulted once per finishing transfer;
+  /// returning true aborts it. Counted under stats() "aborted".
+  void set_fault_hook(std::function<bool(ModuleId)> should_abort) {
+    should_abort_ = std::move(should_abort);
+  }
 
   bool busy() const { return current_.has_value() || !queue_.empty(); }
   std::size_t pending() const {
@@ -44,8 +56,10 @@ class Icap final : public sim::Component {
   struct Job {
     ModuleId id;
     Rect region;
-    std::function<void(ModuleId)> on_done;
+    std::function<void(ModuleId, bool)> on_done;
   };
+
+  std::function<bool(ModuleId)> should_abort_;
 
   BitstreamModel model_;
   double system_clock_mhz_;

@@ -1,0 +1,58 @@
+#include "proto/crc32.hpp"
+
+#include <array>
+#include <cstring>
+
+namespace recosim::proto {
+namespace {
+
+std::array<std::uint32_t, 256> make_table() {
+  std::array<std::uint32_t, 256> t{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k)
+      c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    t[i] = c;
+  }
+  return t;
+}
+
+const std::array<std::uint32_t, 256>& table() {
+  static const auto t = make_table();
+  return t;
+}
+
+template <typename T>
+void append(std::uint8_t* buf, std::size_t& off, T v) {
+  std::memcpy(buf + off, &v, sizeof(T));
+  off += sizeof(T);
+}
+
+}  // namespace
+
+std::uint32_t crc32(const std::uint8_t* data, std::size_t n) {
+  std::uint32_t c = 0xFFFFFFFFu;
+  for (std::size_t i = 0; i < n; ++i)
+    c = table()[(c ^ data[i]) & 0xFFu] ^ (c >> 8);
+  return c ^ 0xFFFFFFFFu;
+}
+
+std::uint32_t packet_crc(const Packet& p) {
+  std::uint8_t buf[8 + 4 + 4 + 2 + 4 + 8 + 8 + 1];
+  std::size_t off = 0;
+  append(buf, off, p.id);
+  append(buf, off, p.src);
+  append(buf, off, p.dst);
+  append(buf, off, p.dst_logical);
+  append(buf, off, p.payload_bytes);
+  append(buf, off, p.tag);
+  append(buf, off, p.seq);
+  append(buf, off, p.control);
+  return crc32(buf, off);
+}
+
+void seal(Packet& p) { p.crc = packet_crc(p); }
+
+bool verify(const Packet& p) { return p.crc == packet_crc(p); }
+
+}  // namespace recosim::proto

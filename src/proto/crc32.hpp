@@ -1,0 +1,31 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "proto/packet.hpp"
+
+namespace recosim::proto {
+
+/// Reflected CRC-32 (IEEE 802.3, polynomial 0xEDB88320) over a byte
+/// buffer. Used as the end-to-end error-detection code appended to every
+/// packet at send time and checked at receive time; corrupted packets are
+/// counted and dropped, never silently delivered.
+std::uint32_t crc32(const std::uint8_t* data, std::size_t n);
+
+/// CRC over the packet fields that are invariant end-to-end: identity
+/// (id, src, dst, dst_logical), size, integrity tag and the reliable-
+/// transport fields (seq, control). Fragmentation bookkeeping is excluded
+/// because architectures rewrite it in flight and restore it on
+/// reassembly; injected_at is excluded because it is a timestamp, not
+/// payload.
+std::uint32_t packet_crc(const Packet& p);
+
+/// Stamp p.crc. Called once per injection by CommArchitecture::send().
+void seal(Packet& p);
+
+/// True when p.crc matches a recomputation — i.e. no bit of the covered
+/// fields flipped in flight.
+bool verify(const Packet& p);
+
+}  // namespace recosim::proto

@@ -25,6 +25,20 @@ struct Packet {
   /// Cycle the source handed the packet to the architecture.
   sim::Cycle injected_at = 0;
 
+  /// Reliable-transport sequence number within a (src, dst) flow; 0 for
+  /// raw (fire-and-forget) traffic. Set by fault::ReliableChannel.
+  std::uint64_t seq = 0;
+  /// Transport control discriminator: kData for payload packets, kAck for
+  /// the reliable channel's acknowledgements.
+  std::uint8_t control = 0;
+  /// CRC-32 over the end-to-end-invariant fields (see proto/crc32.hpp),
+  /// stamped at send and checked at receive. A bit flip anywhere on the
+  /// path makes the check fail and the packet is dropped and counted.
+  std::uint32_t crc = 0;
+
+  static constexpr std::uint8_t kData = 0;
+  static constexpr std::uint8_t kAck = 1;
+
   /// Fragmentation bookkeeping for architectures with a payload cap
   /// (CoNoChi: 1024 B). A whole packet has fragment_count == 1.
   std::uint32_t fragment_index = 0;

@@ -14,7 +14,10 @@ Rmboc::Rmboc(sim::Kernel& kernel, const RmbocConfig& config)
                       fpga::kInvalidModule),
       reservation_(static_cast<std::size_t>(std::max(0, config.slots - 1)),
                    std::vector<std::uint32_t>(
-                       static_cast<std::size_t>(config.buses), kFreeSegment)) {
+                       static_cast<std::size_t>(config.buses), kFreeSegment)),
+      failed_lanes_(static_cast<std::size_t>(std::max(0, config.slots - 1)),
+                    std::vector<bool>(static_cast<std::size_t>(config.buses),
+                                      false)) {
   assert(config.slots >= 2);
   assert(config.buses >= 1);
   assert(config.link_width_bits >= 1);
@@ -143,10 +146,20 @@ std::size_t Rmboc::reserved_segments() const {
   return n;
 }
 
+bool Rmboc::lane_usable(int segment, int bus) const {
+  // A lane is gone when itself failed or when either cross-point bounding
+  // the segment (slots `segment` and `segment + 1`) is down.
+  return !failed_lanes_[static_cast<std::size_t>(segment)]
+                       [static_cast<std::size_t>(bus)] &&
+         !failed_xp_.count(segment) && !failed_xp_.count(segment + 1);
+}
+
 int Rmboc::find_free_bus(int segment) const {
   const auto& seg = reservation_[static_cast<std::size_t>(segment)];
   for (int b = 0; b < config_.buses; ++b)
-    if (seg[static_cast<std::size_t>(b)] == kFreeSegment) return b;
+    if (seg[static_cast<std::size_t>(b)] == kFreeSegment &&
+        lane_usable(segment, b))
+      return b;
   return -1;
 }
 
@@ -155,8 +168,90 @@ std::vector<int> Rmboc::find_free_buses(int segment, int want) const {
   const auto& seg = reservation_[static_cast<std::size_t>(segment)];
   for (int b = 0; b < config_.buses && static_cast<int>(out.size()) < want;
        ++b)
-    if (seg[static_cast<std::size_t>(b)] == kFreeSegment) out.push_back(b);
+    if (seg[static_cast<std::size_t>(b)] == kFreeSegment &&
+        lane_usable(segment, b))
+      out.push_back(b);
   return out;
+}
+
+void Rmboc::replan_channel(Channel& c) {
+  release_segments(c, 0);
+  c.state = ChannelState::kRequesting;
+  c.msg_at_slot = c.src_slot;
+  c.msg_timer = 1;
+  c.words_remaining = 0;  // the interrupted packet restarts from word 0
+  c.last_activity = sim::Component::kernel().now();
+  stats().counter("channels_replanned").add();
+}
+
+bool Rmboc::fail_link(int segment, int bus) {
+  if (segment < 0 || segment >= config_.slots - 1 || bus < 0 ||
+      bus >= config_.buses)
+    return false;
+  auto lane = failed_lanes_[static_cast<std::size_t>(segment)]
+                           [static_cast<std::size_t>(bus)];
+  if (lane) return false;
+  const std::uint32_t owner = reservation_[static_cast<std::size_t>(segment)]
+                                          [static_cast<std::size_t>(bus)];
+  if (owner != kFreeSegment) {
+    // DESTROY the circuit holding the lane and re-establish it from the
+    // source; the RMB trick lets the new REQUEST pick a different bus in
+    // this segment, so the queued traffic survives.
+    auto it = channels_.find(owner);
+    if (it != channels_.end()) {
+      replan_channel(it->second);
+      stats().counter("recovered_paths").add();
+    }
+    reservation_[static_cast<std::size_t>(segment)]
+                [static_cast<std::size_t>(bus)] = kFreeSegment;
+  }
+  failed_lanes_[static_cast<std::size_t>(segment)]
+               [static_cast<std::size_t>(bus)] = true;
+  stats().counter("lane_failures").add();
+  return true;
+}
+
+bool Rmboc::heal_link(int segment, int bus) {
+  if (segment < 0 || segment >= config_.slots - 1 || bus < 0 ||
+      bus >= config_.buses)
+    return false;
+  auto lane = failed_lanes_[static_cast<std::size_t>(segment)]
+                           [static_cast<std::size_t>(bus)];
+  if (!lane) return false;
+  failed_lanes_[static_cast<std::size_t>(segment)]
+               [static_cast<std::size_t>(bus)] = false;
+  stats().counter("lane_heals").add();
+  return true;
+}
+
+bool Rmboc::fail_node(int slot, int) {
+  if (slot < 0 || slot >= config_.slots || failed_xp_.count(slot))
+    return false;
+  failed_xp_.insert(slot);
+  for (auto it = channels_.begin(); it != channels_.end();) {
+    Channel& c = it->second;
+    const int lo = std::min(c.src_slot, c.dst_slot);
+    const int hi = std::max(c.src_slot, c.dst_slot);
+    if (slot < lo || slot > hi) {
+      ++it;
+      continue;
+    }
+    // No path around a dead cross-point on the 1-D bus: the circuit and
+    // its queued traffic are lost. Senders re-opening a channel CANCEL
+    // and back off until the cross-point heals.
+    release_segments(c, 0);
+    if (!c.queue.empty())
+      stats().counter("packets_dropped_fault").add(c.queue.size());
+    it = channels_.erase(it);
+  }
+  stats().counter("xp_failures").add();
+  return true;
+}
+
+bool Rmboc::heal_node(int slot, int) {
+  if (failed_xp_.erase(slot) == 0) return false;
+  stats().counter("xp_heals").add();
+  return true;
 }
 
 int Rmboc::effective_lanes(const Channel& c) const {
@@ -201,6 +296,9 @@ bool Rmboc::do_send(const proto::Packet& p) {
     delivered_[p.dst].push_back(p);
     return true;
   }
+  // A module behind a failed cross-point is isolated: reject instead of
+  // queueing traffic that can never move.
+  if (failed_xp_.count(*s) || failed_xp_.count(*d)) return false;
   Channel* c = find_channel(*s, *d);
   if (c) {
     if (c->state == ChannelState::kDestroying) return false;

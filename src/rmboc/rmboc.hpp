@@ -4,6 +4,7 @@
 #include <deque>
 #include <map>
 #include <optional>
+#include <set>
 #include <vector>
 
 #include "core/comm_arch.hpp"
@@ -63,6 +64,22 @@ class Rmboc final : public core::CommArchitecture, public sim::Component {
   std::size_t max_parallelism() const override;
   sim::Cycle path_latency(fpga::ModuleId src,
                           fpga::ModuleId dst) const override;
+
+  /// Hard-fail the cross-point of `slot`. On a 1-D segmented bus there is
+  /// no way around a dead cross-point, so every circuit touching or
+  /// crossing the slot is torn down and its queued traffic is lost
+  /// ("packets_dropped_fault"); the slot's module is isolated until
+  /// heal_node(). Channel requests towards/through the slot CANCEL and
+  /// back off until then.
+  bool fail_node(int slot, int unused = 0) override;
+  bool heal_node(int slot, int unused = 0) override;
+
+  /// Hard-fail one bus lane of one segment: (segment, bus). The channel
+  /// holding the lane is destroyed and re-established from its source
+  /// around the failure — the RMB trick lets it pick a different bus in
+  /// that segment — keeping its queued traffic ("recovered_paths").
+  bool fail_link(int segment, int bus) override;
+  bool heal_link(int segment, int bus) override;
 
   // RMBoC-specific ------------------------------------------------------------
 
@@ -145,6 +162,10 @@ class Rmboc final : public core::CommArchitecture, public sim::Component {
   int direction(const Channel& c) const { return c.dst_slot > c.src_slot ? 1 : -1; }
   /// Segment index between slot s and slot s+1.
   int segment_between(int a, int b) const { return std::min(a, b); }
+  bool lane_usable(int segment, int bus) const;
+  /// Tear the channel's reservations down and restart its REQUEST from
+  /// the source, keeping the queued traffic.
+  void replan_channel(Channel& c);
   int find_free_bus(int segment) const;
   /// Up to `want` free bus indices in `segment`.
   std::vector<int> find_free_buses(int segment, int want) const;
@@ -168,6 +189,11 @@ class Rmboc final : public core::CommArchitecture, public sim::Component {
   /// reservation_[segment][bus] = channel id or kFreeSegment.
   static constexpr std::uint32_t kFreeSegment = 0;
   std::vector<std::vector<std::uint32_t>> reservation_;
+
+  /// failed_lanes_[segment][bus]: lanes taken down by fail_link().
+  std::vector<std::vector<bool>> failed_lanes_;
+  /// Cross-points taken down by fail_node().
+  std::set<int> failed_xp_;
 
   std::map<std::uint32_t, Channel> channels_;
   std::uint32_t next_channel_id_ = 1;

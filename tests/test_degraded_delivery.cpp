@@ -1,0 +1,179 @@
+// Graceful degradation: kill one network element per architecture while a
+// reliable stream between a surviving pair is in flight. Every packet must
+// still be delivered exactly once, and the liveness watchdog must never
+// trip — recovery has to be automatic and bounded in time.
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <map>
+
+#include "buscom/buscom.hpp"
+#include "conochi/conochi.hpp"
+#include "dynoc/dynoc.hpp"
+#include "fault/reliable_channel.hpp"
+#include "rmboc/rmboc.hpp"
+#include "sim/watchdog.hpp"
+
+namespace recosim {
+namespace {
+
+fpga::HardwareModule unit_module() {
+  fpga::HardwareModule m;
+  m.width_clbs = 1;
+  m.height_clbs = 1;
+  return m;
+}
+
+struct DriveParams {
+  fpga::ModuleId src = 1;
+  fpga::ModuleId dst = 2;
+  int total = 30;              // packets to deliver
+  sim::Cycle send_gap = 100;   // cycles between injections
+  sim::Cycle fail_at = 1'500;  // when the element dies
+  sim::Cycle deadline = 100'000;   // watchdog stall deadline
+  sim::Cycle budget = 1'000'000;   // absolute sim budget
+};
+
+// Stream `total` tagged packets src -> dst through a ReliableChannel,
+// invoking `inject` once mid-stream, and assert exactly-once delivery with
+// zero watchdog trips.
+void drive_through_failure(sim::Kernel& kernel, core::CommArchitecture& arch,
+                           fault::ReliableChannelConfig ccfg,
+                           const DriveParams& prm,
+                           const std::function<void()>& inject) {
+  fault::ReliableChannel rc(kernel, arch, ccfg, sim::Rng(99));
+  rc.add_endpoint(prm.src);
+  rc.add_endpoint(prm.dst);
+  sim::Watchdog dog(kernel, [&] { return rc.delivered_total(); },
+                    [&] { return rc.outstanding() > 0; }, prm.deadline);
+
+  std::map<std::uint64_t, int> got;
+  int sent = 0;
+  bool injected = false;
+  for (sim::Cycle step = 0; step < prm.budget; ++step) {
+    if (!injected && kernel.now() >= prm.fail_at) {
+      inject();
+      injected = true;
+    }
+    if (sent < prm.total &&
+        kernel.now() >= static_cast<sim::Cycle>(sent) * prm.send_gap) {
+      proto::Packet p;
+      p.src = prm.src;
+      p.dst = prm.dst;
+      p.payload_bytes = 16;
+      p.tag = static_cast<std::uint64_t>(sent) + 1;
+      if (rc.send(p)) ++sent;
+    }
+    kernel.run(1);
+    while (auto p = rc.receive(prm.dst)) ++got[p->tag];
+    if (injected && sent == prm.total && rc.outstanding() == 0 &&
+        got.size() == static_cast<std::size_t>(prm.total))
+      break;
+  }
+
+  EXPECT_TRUE(injected);
+  ASSERT_EQ(sent, prm.total);
+  ASSERT_EQ(got.size(), static_cast<std::size_t>(prm.total));
+  for (const auto& [tag, count] : got) EXPECT_EQ(count, 1) << "tag " << tag;
+  EXPECT_EQ(rc.stats().counter_value("unrecoverable"), 0u);
+  EXPECT_FALSE(rc.peer_dead(prm.src, prm.dst));
+  EXPECT_EQ(dog.trips(), 0u);
+}
+
+// --- DyNoC: a router on the path dies; S-XY routes around the obstacle -----
+
+TEST(DegradedDelivery, DynocSurvivesRouterFailureOnThePath) {
+  sim::Kernel kernel;
+  dynoc::DynocConfig cfg;
+  cfg.width = cfg.height = 7;
+  dynoc::Dynoc arch(kernel, cfg);
+  ASSERT_TRUE(arch.attach_at(1, unit_module(), {1, 1}));
+  ASSERT_TRUE(arch.attach_at(2, unit_module(), {5, 1}));
+
+  DriveParams prm;
+  drive_through_failure(kernel, arch, fault::ReliableChannelConfig{}, prm,
+                        [&] {
+                          ASSERT_TRUE(arch.fail_node(3, 1));
+                          EXPECT_FALSE(arch.router_active({3, 1}));
+                        });
+  EXPECT_GT(arch.stats().counter_value("router_failures"), 0u);
+}
+
+// --- CoNoChi: one switch of a redundant ring dies; routes re-plan ----------
+
+TEST(DegradedDelivery, ConochiSurvivesSwitchFailureInRing) {
+  sim::Kernel kernel;
+  conochi::ConochiConfig cfg;
+  cfg.grid_width = 8;
+  cfg.grid_height = 8;
+  conochi::Conochi arch(kernel, cfg);
+  // A square ring of four switches: two disjoint paths between any pair.
+  ASSERT_TRUE(arch.add_switch({1, 1}));
+  ASSERT_TRUE(arch.add_switch({5, 1}));
+  ASSERT_TRUE(arch.add_switch({1, 5}));
+  ASSERT_TRUE(arch.add_switch({5, 5}));
+  ASSERT_TRUE(arch.lay_wire({2, 1}, {4, 1}));
+  ASSERT_TRUE(arch.lay_wire({2, 5}, {4, 5}));
+  ASSERT_TRUE(arch.lay_wire({1, 2}, {1, 4}));
+  ASSERT_TRUE(arch.lay_wire({5, 2}, {5, 4}));
+  ASSERT_TRUE(arch.attach_at(1, unit_module(), {1, 1}));
+  ASSERT_TRUE(arch.attach_at(2, unit_module(), {5, 5}));
+
+  DriveParams prm;
+  prm.send_gap = 150;
+  prm.fail_at = 2'000;
+  drive_through_failure(kernel, arch, fault::ReliableChannelConfig{}, prm,
+                        [&] { ASSERT_TRUE(arch.fail_node(5, 1)); });
+  EXPECT_EQ(arch.stats().counter_value("switch_failures"), 1u);
+}
+
+// --- RMBoC: a bus lane dies; the channel re-plans onto surviving buses -----
+
+TEST(DegradedDelivery, RmbocSurvivesBusLaneFailure) {
+  sim::Kernel kernel;
+  rmboc::Rmboc arch(kernel, rmboc::RmbocConfig{});  // 4 slots, 4 buses
+  fpga::HardwareModule m;
+  ASSERT_TRUE(arch.attach(1, m));  // slot 0
+  ASSERT_TRUE(arch.attach(2, m));  // slot 1
+  ASSERT_TRUE(arch.attach(3, m));  // slot 2
+  ASSERT_TRUE(arch.attach(4, m));  // slot 3
+
+  DriveParams prm;
+  prm.dst = 4;  // slot 0 -> slot 3 crosses segments 0..2
+  prm.send_gap = 200;
+  prm.fail_at = 2'500;
+  fault::ReliableChannelConfig ccfg;
+  ccfg.base_timeout = 2'048;
+  ccfg.max_timeout = 16'384;
+  // Kill one lane of the middle segment; find_free_buses must route the
+  // re-planned channel over the remaining lanes.
+  drive_through_failure(kernel, arch, ccfg, prm,
+                        [&] { ASSERT_TRUE(arch.fail_link(1, 0)); });
+  EXPECT_EQ(arch.stats().counter_value("lane_failures"), 1u);
+}
+
+// --- BUS-COM: a whole bus dies; slots redistribute to survivors ------------
+
+TEST(DegradedDelivery, BuscomSurvivesBusFailure) {
+  sim::Kernel kernel;
+  buscom::Buscom arch(kernel, buscom::BuscomConfig{});  // 4 buses
+  fpga::HardwareModule m;
+  ASSERT_TRUE(arch.attach(1, m));
+  ASSERT_TRUE(arch.attach(2, m));
+
+  DriveParams prm;
+  prm.total = 20;
+  prm.send_gap = 600;  // TDMA rounds are long; pace the stream
+  prm.fail_at = 6'000;
+  prm.budget = 3'000'000;
+  fault::ReliableChannelConfig ccfg;
+  ccfg.base_timeout = 8'192;
+  ccfg.max_timeout = 65'536;
+  drive_through_failure(kernel, arch, ccfg, prm,
+                        [&] { ASSERT_TRUE(arch.fail_node(0)); });
+  EXPECT_EQ(arch.stats().counter_value("bus_failures"), 1u);
+}
+
+}  // namespace
+}  // namespace recosim

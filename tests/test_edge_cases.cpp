@@ -128,8 +128,8 @@ TEST(EdgeFpga, IcapZeroAreaRegionStillCompletes) {
   sim::Kernel k;
   fpga::Icap icap(k, fpga::Device::xc2v3000(), 100.0);
   bool done = false;
-  icap.request(1, fpga::Rect{0, 0, 0, 0}, [&](fpga::ModuleId) {
-    done = true;
+  icap.request(1, fpga::Rect{0, 0, 0, 0}, [&](fpga::ModuleId, bool ok) {
+    done = ok;
   });
   EXPECT_TRUE(k.run_until([&] { return done; }, 100));
 }

@@ -205,8 +205,9 @@ TEST(Icap, CompletesRequestAfterModelledTime) {
   Icap icap(k, Device::xc2v3000(), 66.0);
   BitstreamModel model(Device::xc2v3000());
   bool done = false;
-  icap.request(7, Rect{0, 0, 1, 4}, [&](ModuleId id) {
+  icap.request(7, Rect{0, 0, 1, 4}, [&](ModuleId id, bool ok) {
     EXPECT_EQ(id, 7u);
+    EXPECT_TRUE(ok);
     done = true;
   });
   const auto expected =
@@ -221,8 +222,10 @@ TEST(Icap, QueuesRequestsSequentially) {
   sim::Kernel k;
   Icap icap(k, Device::xc2v3000(), 66.0);
   std::vector<ModuleId> order;
-  icap.request(1, Rect{0, 0, 1, 4}, [&](ModuleId id) { order.push_back(id); });
-  icap.request(2, Rect{1, 0, 1, 4}, [&](ModuleId id) { order.push_back(id); });
+  icap.request(1, Rect{0, 0, 1, 4},
+               [&](ModuleId id, bool) { order.push_back(id); });
+  icap.request(2, Rect{1, 0, 1, 4},
+               [&](ModuleId id, bool) { order.push_back(id); });
   EXPECT_EQ(icap.pending(), 2u);
   ASSERT_TRUE(k.run_until([&] { return order.size() == 2; }, 200'000));
   EXPECT_EQ(order, (std::vector<ModuleId>{1, 2}));

@@ -75,7 +75,7 @@ TEST(Integration, RmbocSystemLifecycleThroughIcap) {
   m.width_clbs = 20;
   int ready = 0;
   for (fpga::ModuleId id : {1u, 2u, 3u, 4u})
-    ASSERT_TRUE(mgr.load(arch, id, m, [&](fpga::ModuleId) { ++ready; }));
+    ASSERT_TRUE(mgr.load(arch, id, m, [&](fpga::ModuleId, bool ok) { if (ok) ++ready; }));
   ASSERT_TRUE(kernel.run_until([&] { return ready == 4; }, 50'000'000));
 
   core::TrafficSink sink(kernel, arch, {1, 2, 3, 4});
@@ -94,8 +94,8 @@ TEST(Integration, RmbocSystemLifecycleThroughIcap) {
 
   // Phase 2: swap module 4 while the stream runs.
   bool swapped = false;
-  ASSERT_TRUE(mgr.swap(arch, 4, 5, m, [&](fpga::ModuleId) {
-    swapped = true;
+  ASSERT_TRUE(mgr.swap(arch, 4, 5, m, [&](fpga::ModuleId, bool ok) {
+    swapped = ok;
   }));
   ASSERT_TRUE(kernel.run_until([&] { return swapped; }, 50'000'000));
   sink.watch(5);
@@ -140,8 +140,8 @@ TEST(Integration, LoadWithCompactionRelocatesAndLoads) {
   // Plain load fails if a stranded module blocks the columns; the
   // compaction path must succeed either way.
   bool ready = false;
-  EXPECT_TRUE(mgr.load_with_compaction(arch, 7, big,
-                                       [&](fpga::ModuleId) { ready = true; }));
+  EXPECT_TRUE(mgr.load_with_compaction(
+      arch, 7, big, [&](fpga::ModuleId, bool ok) { ready = ok; }));
   ASSERT_TRUE(kernel.run_until([&] { return ready; }, 50'000'000));
   EXPECT_TRUE(arch.is_attached(7));
 }

@@ -26,7 +26,7 @@ TEST_F(ReconfigTest, SlotLoadAttachesAfterIcapTime) {
                       PlacementStrategy::kSlots, 4);
   bool ready = false;
   ASSERT_TRUE(mgr.load(arch, 1, slot_module("a"),
-                       [&](fpga::ModuleId) { ready = true; }));
+                       [&](fpga::ModuleId, bool ok) { ready = ok; }));
   EXPECT_TRUE(mgr.is_loading(1));
   EXPECT_FALSE(arch.is_attached(1));
   kernel.run(100);  // far less than a slot bitstream needs
@@ -42,8 +42,9 @@ TEST_F(ReconfigTest, ReconfigurationTimeMatchesBitstreamModel) {
   ReconfigManager mgr(kernel, fpga::Device::xc2v3000(), 100.0,
                       PlacementStrategy::kSlots, 4);
   sim::Cycle done_at = 0;
-  ASSERT_TRUE(mgr.load(arch, 1, slot_module("a"),
-                       [&](fpga::ModuleId) { done_at = kernel.now(); }));
+  ASSERT_TRUE(mgr.load(arch, 1, slot_module("a"), [&](fpga::ModuleId, bool) {
+    done_at = kernel.now();
+  }));
   ASSERT_TRUE(kernel.run_until([&] { return done_at > 0; }, 5'000'000));
   // 14-column slot on the XC2V3000 at 100 MHz system clock, ICAP at
   // 8 bit / 66 MHz: the model's cycle count.
@@ -88,7 +89,7 @@ TEST_F(ReconfigTest, SwapReplacesModuleInSameRegion) {
   ASSERT_TRUE(arch.is_attached(1));
   bool ready = false;
   ASSERT_TRUE(mgr.swap(arch, 1, 2, slot_module("b"),
-                       [&](fpga::ModuleId) { ready = true; }));
+                       [&](fpga::ModuleId, bool ok) { ready = ok; }));
   EXPECT_FALSE(arch.is_attached(1));
   ASSERT_TRUE(kernel.run_until([&] { return ready; }, 5'000'000));
   EXPECT_TRUE(arch.is_attached(2));
