@@ -53,7 +53,7 @@ int main() {
    public:
     Forwarder(sim::Kernel& k, core::CommArchitecture& a, fpga::ModuleId self,
               fpga::ModuleId next)
-        : sim::Component(k, "fwd"), arch_(a), self_(self), next_(next) {}
+        : sim::Component(k, "fwd"), next_(next), arch_(a), self_(self) {}
     void eval() override {
       if (pending_) {
         if (arch_.send(*pending_)) pending_.reset();

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <cassert>
+#include <string>
+
+#include "verify/diagnostic.hpp"
 
 namespace recosim::buscom {
 
@@ -33,6 +36,7 @@ bool Buscom::attach(fpga::ModuleId id, const fpga::HardwareModule&) {
   // the currently attached modules; custom reassignments come afterwards
   // through reassign_*().
   schedule_.deal_round_robin(attach_order_, config_.dynamic_fraction);
+  debug_check_invariants();
   return true;
 }
 
@@ -70,6 +74,7 @@ bool Buscom::detach(fpga::ModuleId id) {
       ++rit;
     }
   }
+  debug_check_invariants();
   return true;
 }
 
@@ -98,6 +103,60 @@ core::StructuralScores Buscom::structural_scores() const {
   return core::StructuralScores{"BUS-COM", core::Grade::kMedium,
                                 core::Grade::kMedium, core::Grade::kMedium,
                                 core::Grade::kMedium};
+}
+
+void Buscom::verify_invariants(verify::DiagnosticSink& sink) const {
+  const std::string arch = core::CommArchitecture::name();
+  // BUS006: configuration ranges. The constructor asserts most of these in
+  // debug builds; the lint path re-checks them as diagnostics.
+  if (config_.buses < 1 || config_.max_modules < 1 ||
+      config_.slots_per_round < 1 || config_.cycles_per_slot < 1 ||
+      config_.in_width_bits < 8 || config_.out_width_bits < 8 ||
+      config_.dynamic_fraction < 0.0 || config_.dynamic_fraction > 1.0) {
+    sink.report("BUS006", verify::Severity::kError, {arch, "config"},
+                "configuration value outside its valid range",
+                "buses/modules/slots/cycles >= 1, widths >= 8 bits, "
+                "dynamic_fraction in [0, 1]");
+    return;  // the schedule below cannot be trusted
+  }
+  // BUS003: the prototype arbiter implements one FlexRay round.
+  if (config_.slots_per_round > 32) {
+    sink.report("BUS003", verify::Severity::kError, {arch, "config"},
+                "slots_per_round " + std::to_string(config_.slots_per_round) +
+                    " exceeds the 32-slot FlexRay round",
+                "split traffic across buses instead of lengthening the round");
+  }
+  // BUS001: every static slot's owner must still be attached (detach()
+  // evicts, so this is reachable only through direct schedule edits).
+  for (int b = 0; b < schedule_.buses(); ++b) {
+    const BusSchedule& bus = schedule_.bus(b);
+    for (int s = 0; s < bus.slots_per_round(); ++s) {
+      const SlotAssignment& a = bus.slot(s);
+      if (a.kind != SlotKind::kStatic) continue;
+      if (is_attached(a.owner)) continue;
+      sink.report("BUS001", verify::Severity::kError,
+                  {arch, "bus " + std::to_string(b) + " slot " +
+                             std::to_string(s)},
+                  "static slot owned by unattached module " +
+                      std::to_string(a.owner),
+                  "reassign the slot or make it dynamic");
+    }
+  }
+  // BUS004: an attached module with no static slot on any live bus has no
+  // guaranteed bandwidth (all-dynamic operation is legal but worth a flag;
+  // a bus failure can also strand a module here until redistribution).
+  for (fpga::ModuleId m : attach_order_) {
+    int static_slots = 0;
+    for (int b = 0; b < schedule_.buses(); ++b) {
+      if (failed_buses_.count(b)) continue;
+      static_slots += schedule_.bus(b).static_slots_of(m);
+    }
+    if (static_slots > 0) continue;
+    sink.report("BUS004", verify::Severity::kWarning,
+                {arch, "module " + std::to_string(m)},
+                "module owns no static slot on any live bus",
+                "assign a static slot to guarantee bandwidth");
+  }
 }
 
 void Buscom::reassign_static_slot(int bus, int slot, fpga::ModuleId owner) {
@@ -186,12 +245,14 @@ bool Buscom::fail_node(int bus, int) {
     }
   }
   stats().counter("bus_failures").add();
+  debug_check_invariants();
   return true;
 }
 
 bool Buscom::heal_node(int bus, int) {
   if (failed_buses_.erase(bus) == 0) return false;
   stats().counter("bus_heals").add();
+  debug_check_invariants();
   return true;
 }
 
@@ -331,6 +392,7 @@ void Buscom::commit() {
       for (auto& op : pending_ops_) op();
       pending_ops_.clear();
       stats().counter("schedule_updates").add();
+      debug_check_invariants();  // the arbiter tables just changed
     }
   }
 }

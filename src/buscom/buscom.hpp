@@ -57,6 +57,10 @@ class Buscom final : public core::CommArchitecture, public sim::Component {
     return 1;  // within an owned slot, the bus is a direct wire
   }
 
+  /// BUS001 unattached slot owners, BUS003 round length, BUS004 modules
+  /// without guaranteed bandwidth, BUS006 configuration ranges.
+  void verify_invariants(verify::DiagnosticSink& sink) const override;
+
   /// Hard-fail bus `bus`: its slots are masked from arbitration, the
   /// fragment it carried is rolled back into the sender's TX queue (so no
   /// payload is lost), and its static slots are redistributed onto

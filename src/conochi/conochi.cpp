@@ -3,8 +3,17 @@
 #include <algorithm>
 #include <cassert>
 #include <limits>
+#include <string>
+
+#include "verify/diagnostic.hpp"
 
 namespace recosim::conochi {
+
+namespace {
+std::string point_str(fpga::Point p) {
+  return "(" + std::to_string(p.x) + "," + std::to_string(p.y) + ")";
+}
+}  // namespace
 
 Conochi::Conochi(sim::Kernel& kernel, const ConochiConfig& config)
     : core::CommArchitecture(kernel, "CoNoChi"),
@@ -65,6 +74,7 @@ bool Conochi::add_switch(fpga::Point pos) {
   rebuild_links();
   recompute_tables();
   stats().counter("switches_added").add();
+  debug_check_invariants();
   return true;
 }
 
@@ -84,6 +94,7 @@ bool Conochi::remove_switch(fpga::Point pos) {
   rebuild_links();
   recompute_tables();
   stats().counter("switches_removed").add();
+  debug_check_invariants();
   return true;
 }
 
@@ -106,6 +117,7 @@ bool Conochi::lay_wire(fpga::Point from, fpga::Point to) {
   }
   rebuild_links();
   recompute_tables();
+  debug_check_invariants();
   return true;
 }
 
@@ -128,6 +140,7 @@ bool Conochi::clear_wire(fpga::Point from, fpga::Point to) {
   }
   rebuild_links();
   recompute_tables();
+  debug_check_invariants();
   return true;
 }
 
@@ -166,6 +179,7 @@ bool Conochi::fail_node(int x, int y) {
       if (table.count(dst)) stats().counter("recovered_paths").add();
   }
   stats().counter("switch_failures").add();
+  debug_check_invariants();
   return true;
 }
 
@@ -178,6 +192,7 @@ bool Conochi::heal_node(int x, int y) {
     rebuild_links();
     recompute_tables();
     stats().counter("switch_heals").add();
+    debug_check_invariants();
     return true;
   }
   return false;
@@ -324,6 +339,7 @@ bool Conochi::attach_at(fpga::ModuleId id, const fpga::HardwareModule&,
       attachments_[id] = Attachment{s->id, p};
       resolution_[id] = s->id;
       delivered_[id];
+      debug_check_invariants();
       return true;
     }
   }
@@ -344,6 +360,7 @@ bool Conochi::detach(fpga::ModuleId id) {
   for (auto& sx : switches_) sx.redirect.erase(id);
   rebuild_links();  // the freed port may reconnect a parked line
   recompute_tables();
+  debug_check_invariants();
   return true;
 }
 
@@ -373,11 +390,15 @@ bool Conochi::move_module(fpga::ModuleId id, fpga::Point new_switch) {
   // The interface modules' logical->physical caches update later; until
   // then senders keep injecting towards the old switch.
   const int new_id = t->id;
+  // Anchored: the update is queued in the kernel, which outlives this
+  // network — it must degrade to a no-op if the network is torn down
+  // before the delay elapses.
   sim::Component::kernel().schedule_in(
-      config_.address_update_delay, [this, id, new_id] {
+      config_.address_update_delay, anchor_.wrap([this, id, new_id] {
         if (attachments_.count(id)) resolution_[id] = new_id;
-      });
+      }));
   stats().counter("module_moves").add();
+  debug_check_invariants();
   return true;
 }
 
@@ -435,6 +456,216 @@ std::optional<fpga::Point> Conochi::switch_of(fpga::ModuleId id) const {
   auto it = attachments_.find(id);
   if (it == attachments_.end()) return std::nullopt;
   return sw(it->second.switch_id).pos;
+}
+
+void Conochi::verify_invariants(verify::DiagnosticSink& sink) const {
+  const std::string arch = core::CommArchitecture::name();
+  const bool faults_present = !failed_switches_.empty();
+
+  // CON006: grid/switch/link bookkeeping must agree with itself.
+  for (const auto& s : switches_) {
+    if (!s.active) continue;
+    const std::string obj = "switch " + point_str(s.pos);
+    if (grid_.at(s.pos) != TileType::kS) {
+      sink.report("CON006", verify::Severity::kError, {arch, obj},
+                  "active switch sits on a tile not typed S");
+    }
+    for (const auto& o : switches_) {
+      if (o.active && o.id != s.id && o.pos == s.pos) {
+        sink.report("CON006", verify::Severity::kError, {arch, obj},
+                    "two active switches share the tile");
+      }
+    }
+    for (int p = 0; p < kSwitchPorts; ++p) {
+      const Link& l = s.links[static_cast<std::size_t>(p)];
+      const fpga::ModuleId m = s.module[static_cast<std::size_t>(p)];
+      if (l.connected && m != fpga::kInvalidModule) {
+        sink.report("CON006", verify::Severity::kError, {arch, obj},
+                    "port " + std::to_string(p) +
+                        " is both an inter-switch link and module " +
+                        std::to_string(m) + "'s interface");
+      }
+      if (!l.connected) continue;
+      if (l.peer_switch < 0 ||
+          l.peer_switch >= static_cast<int>(switches_.size()) ||
+          !sw(l.peer_switch).active) {
+        sink.report("CON006", verify::Severity::kError, {arch, obj},
+                    "port " + std::to_string(p) +
+                        " links to a missing or inactive switch");
+        continue;
+      }
+      const Link& back =
+          sw(l.peer_switch)
+              .links[static_cast<std::size_t>(static_cast<int>(l.peer_port))];
+      if (!back.connected || back.peer_switch != s.id) {
+        sink.report("CON006", verify::Severity::kError, {arch, obj},
+                    "link on port " + std::to_string(p) +
+                        " is not mirrored by the peer switch (asymmetric "
+                        "topology)");
+      }
+    }
+  }
+  // Attachment records must match the switches' port bookkeeping. A module
+  // parked on a failed switch is the fault's doing: isolated but handled.
+  for (const auto& [id, att] : attachments_) {
+    const std::string obj = "module " + std::to_string(id);
+    if (att.switch_id < 0 ||
+        att.switch_id >= static_cast<int>(switches_.size()) ||
+        att.port < 0 || att.port >= kSwitchPorts) {
+      sink.report("CON006", verify::Severity::kError, {arch, obj},
+                  "attachment references switch " +
+                      std::to_string(att.switch_id) + " port " +
+                      std::to_string(att.port) + " which do not exist");
+      continue;
+    }
+    const Switch& s = sw(att.switch_id);
+    if (s.module[static_cast<std::size_t>(att.port)] != id) {
+      sink.report("CON006", verify::Severity::kError, {arch, obj},
+                  "switch " + point_str(s.pos) + " port " +
+                      std::to_string(att.port) +
+                      " does not hold the module the attachment claims");
+    }
+  }
+
+  // Table walks are meaningful only once the control unit finished
+  // installing: stale tables during convergence are the designed state.
+  const bool converging = tables_converging();
+  if (!converging) {
+    for (const auto& s : switches_) {
+      if (!s.active) continue;
+      for (const auto& [dst, port] : s.table) {
+        int cur = s.id;
+        int next_port = port;
+        std::set<int> visited{cur};
+        bool broken = false;
+        while (cur != dst && !broken) {
+          const Switch& c = sw(cur);
+          const Link& l = c.links[static_cast<std::size_t>(next_port)];
+          // CON003: the table names a port that leads nowhere.
+          if (next_port < 0 || next_port >= kSwitchPorts || !l.connected ||
+              !sw(l.peer_switch).active) {
+            sink.report("CON003", verify::Severity::kError,
+                        {arch, "switch " + point_str(c.pos)},
+                        "route towards switch " + std::to_string(dst) +
+                            " leaves through port " +
+                            std::to_string(next_port) +
+                            " which is disconnected or leads to an "
+                            "inactive switch",
+                        "recompute the routing tables");
+            broken = true;
+            break;
+          }
+          cur = l.peer_switch;
+          // CON001: the walk must never revisit a switch.
+          if (!visited.insert(cur).second) {
+            sink.report("CON001", verify::Severity::kError,
+                        {arch, "switch " + point_str(s.pos)},
+                        "routing tables loop while walking towards switch " +
+                            std::to_string(dst),
+                        "recompute the routing tables");
+            broken = true;
+            break;
+          }
+          if (cur == dst) break;
+          const auto it = sw(cur).table.find(dst);
+          if (it == sw(cur).table.end()) break;  // gap, not a loop
+          next_port = it->second;
+        }
+      }
+    }
+    // CON002: every pair of modules on live switches must have a table
+    // path. With failed switches present the partition is fault-made.
+    for (auto a = attachments_.begin(); a != attachments_.end(); ++a) {
+      if (!sw(a->second.switch_id).active) continue;
+      for (auto b = std::next(a); b != attachments_.end(); ++b) {
+        if (!sw(b->second.switch_id).active) continue;
+        if (a->second.switch_id == b->second.switch_id) continue;
+        if (path_latency(a->first, b->first) > 0) continue;
+        sink.report("CON002",
+                    faults_present ? verify::Severity::kWarning
+                                   : verify::Severity::kError,
+                    {arch, "modules " + std::to_string(a->first) + " and " +
+                               std::to_string(b->first)},
+                    "no routing-table path between the modules' switches",
+                    "connect the switches or heal the failed ones");
+      }
+    }
+  }
+
+  // CON004: redirect chains must stay inside known switches and terminate.
+  // Entries left on inactive switches are unreachable and harmless.
+  for (const auto& s : switches_) {
+    if (!s.active) continue;
+    for (const auto& [mod, target] : s.redirect) {
+      const std::string obj = "switch " + point_str(s.pos);
+      if (target < 0 || target >= static_cast<int>(switches_.size())) {
+        sink.report("CON004", verify::Severity::kError, {arch, obj},
+                    "redirect for module " + std::to_string(mod) +
+                        " names unknown switch " + std::to_string(target));
+        continue;
+      }
+      const auto att = attachments_.find(mod);
+      if (att == attachments_.end()) {
+        sink.report("CON004", verify::Severity::kError, {arch, obj},
+                    "redirect survives for detached module " +
+                        std::to_string(mod),
+                    "detach() must erase the module's redirects");
+        continue;
+      }
+      // Follow the chain; reaching the module's current switch is success
+      // (a redirect there is shadowed by delivery). A stale tail pointing
+      // at an inactive switch drops traffic but is a handled, healable
+      // state; only a cycle that never reaches the module is corruption.
+      int cur = target;
+      std::set<int> visited{s.id};
+      bool resolved = false;
+      bool cycled = false;
+      while (true) {
+        if (cur == att->second.switch_id) {
+          resolved = true;
+          break;
+        }
+        if (!visited.insert(cur).second) {
+          sink.report("CON004", verify::Severity::kError, {arch, obj},
+                      "redirects for module " + std::to_string(mod) +
+                          " form a cycle that never reaches the module");
+          cycled = true;
+          break;
+        }
+        const auto next = sw(cur).redirect.find(mod);
+        if (next == sw(cur).redirect.end() || !sw(cur).active) break;
+        cur = next->second;
+      }
+      if (!resolved && !cycled) {
+        sink.report("CON004", verify::Severity::kWarning, {arch, obj},
+                    "redirect chain for module " + std::to_string(mod) +
+                        " ends at switch " + std::to_string(cur) +
+                        " where the module is not attached",
+                    "senders drop to the stale address until the "
+                    "resolution update lands");
+      }
+    }
+  }
+
+  // CON005: a sender-side resolution disagreeing with the attachment is
+  // the designed transient after a move; flag it so lint runs on frozen
+  // state can tell "converging" from "converged".
+  for (const auto& [id, res_sw] : resolution_) {
+    const auto att = attachments_.find(id);
+    if (att == attachments_.end() || res_sw == att->second.switch_id)
+      continue;
+    const bool covered =
+        res_sw >= 0 && res_sw < static_cast<int>(switches_.size()) &&
+        sw(res_sw).redirect.count(id) > 0;
+    if (covered) continue;
+    sink.report("CON005", verify::Severity::kNote,
+                {arch, "module " + std::to_string(id)},
+                "sender-side resolution points at switch " +
+                    std::to_string(res_sw) +
+                    " but the module sits on switch " +
+                    std::to_string(att->second.switch_id) +
+                    " with no redirect covering the gap");
+  }
 }
 
 bool Conochi::tables_converging() const {

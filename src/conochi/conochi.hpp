@@ -13,6 +13,7 @@
 #include "conochi/tile_grid.hpp"
 #include "core/comm_arch.hpp"
 #include "proto/address.hpp"
+#include "sim/anchor.hpp"
 #include "sim/component.hpp"
 #include "sim/trace.hpp"
 
@@ -76,6 +77,12 @@ class Conochi final : public core::CommArchitecture, public sim::Component {
   std::size_t max_parallelism() const override;
   sim::Cycle path_latency(fpga::ModuleId src,
                           fpga::ModuleId dst) const override;
+
+  /// CON001 table loops, CON002 reachability, CON003 dangling table
+  /// entries, CON004 redirect chains, CON005 stale resolutions, CON006
+  /// grid/switch/link consistency. Table walks are skipped while the
+  /// control unit is still installing tables (tables_converging()).
+  void verify_invariants(verify::DiagnosticSink& sink) const override;
 
   /// Hard-fail the switch at (x, y). Unlike remove_switch() this works
   /// with modules attached (they are isolated until heal_node()), drops
@@ -219,6 +226,7 @@ class Conochi final : public core::CommArchitecture, public sim::Component {
   std::map<std::pair<fpga::ModuleId, std::uint64_t>, FragmentReassembly>
       reassembly_;
   sim::Cycle next_table_install_ = 0;
+  sim::CallbackAnchor anchor_;  ///< last member: invalidated first
 };
 
 }  // namespace recosim::conochi

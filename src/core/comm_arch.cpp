@@ -3,11 +3,29 @@
 #include <utility>
 
 #include "proto/crc32.hpp"
+#include "sim/check.hpp"
+#include "verify/diagnostic.hpp"
 
 namespace recosim::core {
 
 CommArchitecture::CommArchitecture(sim::Kernel& kernel, std::string name)
     : kernel_(kernel), name_(std::move(name)) {}
+
+void CommArchitecture::verify_invariants(verify::DiagnosticSink&) const {}
+
+void CommArchitecture::debug_check_invariants() const {
+#if RECOSIM_CHECKS_ENABLED
+  verify::DiagnosticSink sink;
+  verify_invariants(sink);
+  for (const auto& d : sink.diagnostics()) {
+    if (d.severity != verify::Severity::kError) continue;
+    const std::string what = d.location.component + "(" +
+                             d.location.object + "): " + d.message;
+    sim::check_failed(d.rule.c_str(), "verify_invariants", what.c_str(),
+                      __FILE__, __LINE__);
+  }
+#endif
+}
 
 bool CommArchitecture::send(proto::Packet p) {
   p.id = next_packet_id();

@@ -12,6 +12,10 @@
 #include "sim/kernel.hpp"
 #include "sim/stats.hpp"
 
+namespace recosim::verify {
+class DiagnosticSink;
+}
+
 namespace recosim::core {
 
 /// Common interface of all four communication architectures. Examples,
@@ -85,6 +89,19 @@ class CommArchitecture {
     delivery_fault_ = std::move(hook);
   }
 
+  // -- static verification (src/verify) --------------------------------------
+
+  /// Report violated structural invariants of the current configuration
+  /// into `sink` without advancing the simulation: rule ids and
+  /// severities are listed in docs/static-analysis.md. States reachable
+  /// only through memory corruption or API misuse are errors; states a
+  /// legitimate injected fault can produce (an isolated endpoint, a
+  /// masked bus) are warnings. The default implementation reports
+  /// nothing. `verify::Verifier::check_all()` and `recosim-lint` drive
+  /// this; checked builds also run it after every reconfiguration via
+  /// debug_check_invariants().
+  virtual void verify_invariants(verify::DiagnosticSink& sink) const;
+
   // -- introspection (drives Tables 1-4) ------------------------------------
 
   virtual DesignParameters design_parameters() const = 0;
@@ -125,6 +142,13 @@ class CommArchitecture {
   virtual std::optional<proto::Packet> do_receive(fpga::ModuleId at) = 0;
 
   std::uint64_t next_packet_id() { return ++packet_serial_; }
+
+  /// In checked builds (RECOSIM_CHECKS_ENABLED): run verify_invariants()
+  /// and check-fail on the first error-severity diagnostic. The
+  /// architectures call this at the end of every reconfiguration mutator
+  /// (attach/detach, topology edits, fault hooks); release builds compile
+  /// it to nothing.
+  void debug_check_invariants() const;
 
  private:
   sim::Kernel& kernel_;

@@ -75,12 +75,16 @@ void ReconfigManager::on_icap_done(fpga::ModuleId id, bool ok) {
           std::min(icap_retry_backoff_ << job.attempts,
                    icap_retry_backoff_ * 8);
       const fpga::Rect region = job.region;
-      kernel_.schedule_in(backoff, [this, id, region] {
+      // The kernel's event queue outlives this manager, so the retry must
+      // not run against a destroyed `this` — the anchor turns it into a
+      // no-op once the manager is gone. (The icap_ callbacks need no
+      // anchor: the Icap is a member and dies together with `this`.)
+      kernel_.schedule_in(backoff, anchor_.wrap([this, id, region] {
         if (!loading_.count(id)) return;  // unloaded during the backoff
         icap_.request(id, region, [this](fpga::ModuleId done_id, bool k) {
           on_icap_done(done_id, k);
         });
-      });
+      }));
       return;
     }
     // Retry budget exhausted: abandon the load, free the fabric and

@@ -11,6 +11,7 @@
 #include "fpga/floorplan.hpp"
 #include "fpga/icap.hpp"
 #include "fpga/placer.hpp"
+#include "sim/anchor.hpp"
 
 namespace recosim::core {
 
@@ -110,6 +111,7 @@ class ReconfigManager {
   unsigned icap_retry_limit_ = 3;
   sim::Cycle icap_retry_backoff_ = 128;
   sim::StatSet stats_;
+  sim::CallbackAnchor anchor_;  ///< last member: invalidated first
 };
 
 }  // namespace recosim::core

@@ -2,8 +2,18 @@
 
 #include <algorithm>
 #include <cassert>
+#include <string>
+
+#include "verify/diagnostic.hpp"
 
 namespace recosim::dynoc {
+
+namespace {
+std::string rect_str(const fpga::Rect& r) {
+  return std::to_string(r.w) + "x" + std::to_string(r.h) + "@(" +
+         std::to_string(r.x) + "," + std::to_string(r.y) + ")";
+}
+}  // namespace
 
 Dynoc::Dynoc(sim::Kernel& kernel, const DynocConfig& config)
     : core::CommArchitecture(kernel, "DyNoC"),
@@ -140,6 +150,7 @@ bool Dynoc::attach_at(fpga::ModuleId id, const fpga::HardwareModule& m,
   }
   placements_.emplace(id, Placement{r, choose_access(r)});
   delivered_[id];
+  debug_check_invariants();
   return true;
 }
 
@@ -156,6 +167,7 @@ bool Dynoc::detach(fpga::ModuleId id) {
     stats().counter("dropped_detach").add(dit->second.size());
     delivered_.erase(dit);
   }
+  debug_check_invariants();
   return true;
 }
 
@@ -239,6 +251,7 @@ bool Dynoc::fail_node(int x, int y) {
     }
   }
   stats().counter("router_failures").add();
+  debug_check_invariants();
   return true;
 }
 
@@ -252,7 +265,83 @@ bool Dynoc::heal_node(int x, int y) {
   for (auto& [id, pl] : placements_)
     if (pl.rect.area() > 1) pl.access = choose_access(pl.rect);
   stats().counter("router_heals").add();
+  debug_check_invariants();
   return true;
+}
+
+void Dynoc::verify_invariants(verify::DiagnosticSink& sink) const {
+  const std::string arch = core::CommArchitecture::name();
+  // Fault-injected router failures legitimately degrade reachability and
+  // the surround; findings they explain are warnings, not errors.
+  const bool faults_present = !failed_.empty();
+  for (const auto& [id, pl] : placements_) {
+    const std::string obj =
+        "module " + std::to_string(id) + " " + rect_str(pl.rect);
+    // DYN001: the module plus its router ring must fit inside the array
+    // (a border placement leaves S-XY nothing to wrap around).
+    const fpga::Rect ring = pl.rect.inflated(1);
+    if (ring.x < 0 || ring.y < 0 || ring.right() > config_.width ||
+        ring.bottom() > config_.height) {
+      sink.report("DYN001", verify::Severity::kError, {arch, obj},
+                  "placement (with its one-tile router ring) leaves the " +
+                      std::to_string(config_.width) + "x" +
+                      std::to_string(config_.height) + " array",
+                  "keep one router row/column between the module and the "
+                  "border");
+      continue;  // ring walk below would leave the array
+    }
+    // DYN002: every ring router must be active unless a fault removed it.
+    if (pl.rect.area() > 1) {
+      for (int y = ring.y; y < ring.bottom(); ++y) {
+        for (int x = ring.x; x < ring.right(); ++x) {
+          const fpga::Point p{x, y};
+          if (pl.rect.contains(p)) continue;
+          if (at(p).active || failed_.count(idx(p))) continue;
+          sink.report("DYN002", verify::Severity::kError, {arch, obj},
+                      "ring router (" + std::to_string(x) + "," +
+                          std::to_string(y) +
+                          ") is removed but not failed: another module "
+                          "touches the ring",
+                      "re-place the modules one tile apart");
+        }
+      }
+    }
+    // DYN004: an inactive access router isolates the module (reachable
+    // when the whole ring, or a 1x1 module's own router, failed).
+    if (!router_active(pl.access)) {
+      sink.report("DYN004", verify::Severity::kWarning, {arch, obj},
+                  "access router (" + std::to_string(pl.access.x) + "," +
+                      std::to_string(pl.access.y) + ") is not active",
+                  "heal the router or move the module");
+    }
+    // FLP001: placements must not share tiles.
+    for (const auto& [oid, opl] : placements_) {
+      if (oid <= id) continue;
+      if (!pl.rect.overlaps(opl.rect)) continue;
+      sink.report("FLP001", verify::Severity::kError, {arch, obj},
+                  "placement overlaps module " + std::to_string(oid) + " " +
+                      rect_str(opl.rect));
+    }
+  }
+  // DYN003: every pair of modules with live access routers must have an
+  // S-XY path. With failed routers present the trap is the fault's doing
+  // (handled, counted, healable) — a warning; without any it is a
+  // placement the router function cannot serve — an error.
+  for (auto a = placements_.begin(); a != placements_.end(); ++a) {
+    if (!router_active(a->second.access)) continue;
+    for (auto b = std::next(a); b != placements_.end(); ++b) {
+      if (!router_active(b->second.access)) continue;
+      if (route_hops(a->first, b->first)) continue;
+      sink.report(
+          "DYN003",
+          faults_present ? verify::Severity::kWarning
+                         : verify::Severity::kError,
+          {arch, "modules " + std::to_string(a->first) + " and " +
+                     std::to_string(b->first)},
+          "no S-XY route between the modules' access routers",
+          "re-place the modules or heal the routers walling them in");
+    }
+  }
 }
 
 bool Dynoc::is_attached(fpga::ModuleId id) const {

@@ -72,6 +72,11 @@ class Dynoc final : public core::CommArchitecture, public sim::Component {
   sim::Cycle path_latency(fpga::ModuleId src,
                           fpga::ModuleId dst) const override;
 
+  /// DYN001 border fit, DYN002 surround invariant, DYN003 reachability
+  /// (warning while routers are failed: the degradation is the fault's),
+  /// DYN004 access-router liveness, FLP001 placement overlap.
+  void verify_invariants(verify::DiagnosticSink& sink) const override;
+
   /// Hard-fail the router at (x, y): its buffered and in-flight traffic is
   /// lost (counted as "packets_dropped_fault"), it becomes a 1x1 S-XY
   /// obstacle so live traffic routes around it, and modules whose access

@@ -13,11 +13,12 @@ FaultInjector::FaultInjector(sim::Kernel& kernel,
     : sim::Component(kernel, std::move(name)),
       arch_(arch),
       plan_(std::move(plan)),
-      rng_(rng) {
+      rng_(std::move(rng)) {
   std::stable_sort(
       plan_.scheduled.begin(), plan_.scheduled.end(),
       [](const FaultEvent& x, const FaultEvent& y) { return x.at < y.at; });
   if (plan_.drop_rate > 0.0 || plan_.bit_flip_rate > 0.0) {
+    hooked_delivery_ = true;
     arch_.set_delivery_fault([this](proto::Packet& p) {
       if (plan_.drop_rate > 0.0 && rng_.chance(plan_.drop_rate)) {
         stats_.counter("packet_drops").add();
@@ -34,7 +35,13 @@ FaultInjector::FaultInjector(sim::Kernel& kernel,
   }
 }
 
+FaultInjector::~FaultInjector() {
+  if (hooked_delivery_) arch_.set_delivery_fault({});
+  if (icap_) icap_->set_fault_hook({});
+}
+
 void FaultInjector::attach_icap(fpga::Icap& icap) {
+  icap_ = &icap;
   icap.set_fault_hook([this](fpga::ModuleId) {
     if (armed_icap_aborts_ > 0) {
       --armed_icap_aborts_;

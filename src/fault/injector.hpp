@@ -25,8 +25,14 @@ class FaultInjector final : public sim::Component {
                 FaultPlan plan, sim::Rng rng,
                 std::string name = "fault_injector");
 
+  /// Uninstalls every hook this injector registered (the architecture's
+  /// delivery-fault hook and the Icap fault hook capture a raw `this`, so
+  /// they must not outlive the injector).
+  ~FaultInjector() override;
+
   /// Route kIcapAbort events and the stochastic abort rate into `icap`
-  /// (installs its fault hook; one injector per Icap).
+  /// (installs its fault hook; one injector per Icap). The icap must
+  /// outlive this injector.
   void attach_icap(fpga::Icap& icap);
 
   void eval() override;
@@ -44,6 +50,8 @@ class FaultInjector final : public sim::Component {
   void dispatch(const FaultEvent& e);
 
   core::CommArchitecture& arch_;
+  fpga::Icap* icap_ = nullptr;  ///< set by attach_icap; unhooked in ~
+  bool hooked_delivery_ = false;
   FaultPlan plan_;
   sim::Rng rng_;
   std::size_t next_event_ = 0;

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <cassert>
+#include <string>
+
+#include "verify/diagnostic.hpp"
 
 namespace recosim::rmboc {
 
@@ -30,6 +33,7 @@ bool Rmboc::attach(fpga::ModuleId id, const fpga::HardwareModule&) {
       module_by_slot_[static_cast<std::size_t>(s)] = id;
       slot_by_module_[id] = s;
       delivered_[id];
+      debug_check_invariants();
       return true;
     }
   }
@@ -58,6 +62,7 @@ bool Rmboc::detach(fpga::ModuleId id) {
     stats().counter("dropped_detach").add(dit->second.size());
     delivered_.erase(dit);
   }
+  debug_check_invariants();
   return true;
 }
 
@@ -100,6 +105,88 @@ sim::Cycle Rmboc::path_latency(fpga::ModuleId src, fpga::ModuleId dst) const {
   (void)dst;
   // An established channel is a reserved wire path: l_p = 1.
   return 1;
+}
+
+void Rmboc::verify_invariants(verify::DiagnosticSink& sink) const {
+  const std::string arch = core::CommArchitecture::name();
+  for (const auto& [id, c] : channels_) {
+    const std::string obj = "channel " + std::to_string(id);
+    // RMB006: endpoints must name real slots.
+    if (c.src_slot < 0 || c.src_slot >= config_.slots || c.dst_slot < 0 ||
+        c.dst_slot >= config_.slots || c.src_slot == c.dst_slot) {
+      sink.report("RMB006", verify::Severity::kError, {arch, obj},
+                  "endpoint slot outside [0, " +
+                      std::to_string(config_.slots) + ") or degenerate");
+      continue;  // path walk below would index out of range
+    }
+    // RMB002: both endpoint slots must hold the channel's modules. detach()
+    // and fail_node() tear touching circuits down, so an orphan means the
+    // bookkeeping was bypassed.
+    const auto endpoint_ok = [&](int slot, fpga::ModuleId m) {
+      return module_by_slot_[static_cast<std::size_t>(slot)] == m &&
+             m != fpga::kInvalidModule;
+    };
+    if (!endpoint_ok(c.src_slot, c.src_module) ||
+        !endpoint_ok(c.dst_slot, c.dst_module)) {
+      sink.report("RMB002", verify::Severity::kError, {arch, obj},
+                  "circuit endpoint slot has no matching attached module",
+                  "close the channel before detaching its endpoints");
+    }
+    // RMB001 + RMB004: every lane the channel believes it holds must be a
+    // real bus index and be reserved for it in the cross-point table.
+    const int dir = c.dst_slot > c.src_slot ? 1 : -1;
+    for (std::size_t i = 0; i < c.bus_per_segment.size(); ++i) {
+      const int from = c.src_slot + dir * static_cast<int>(i);
+      const int seg = std::min(from, from + dir);
+      for (int bus : c.bus_per_segment[i]) {
+        if (bus < 0 || bus >= config_.buses) {
+          sink.report("RMB001", verify::Severity::kError, {arch, obj},
+                      "reserved lane " + std::to_string(bus) +
+                          " outside [0, " + std::to_string(config_.buses) +
+                          ")");
+          continue;
+        }
+        if (reservation_[static_cast<std::size_t>(seg)]
+                        [static_cast<std::size_t>(bus)] != c.id) {
+          sink.report("RMB004", verify::Severity::kError, {arch, obj},
+                      "segment " + std::to_string(seg) + " lane " +
+                          std::to_string(bus) +
+                          " is on the channel's path but reserved for "
+                          "someone else");
+        }
+      }
+    }
+  }
+  // RMB004 (reverse direction): every reservation must belong to a live
+  // channel that lists it on its path.
+  for (std::size_t seg = 0; seg < reservation_.size(); ++seg) {
+    for (std::size_t bus = 0; bus < reservation_[seg].size(); ++bus) {
+      const std::uint32_t owner = reservation_[seg][bus];
+      if (owner == kFreeSegment) continue;
+      const auto it = channels_.find(owner);
+      bool listed = false;
+      if (it != channels_.end()) {
+        const Channel& c = it->second;
+        const int dir = c.dst_slot > c.src_slot ? 1 : -1;
+        for (std::size_t i = 0; i < c.bus_per_segment.size() && !listed;
+             ++i) {
+          const int from = c.src_slot + dir * static_cast<int>(i);
+          if (static_cast<std::size_t>(std::min(from, from + dir)) != seg)
+            continue;
+          for (int b : c.bus_per_segment[i])
+            if (b == static_cast<int>(bus)) listed = true;
+        }
+      }
+      if (!listed) {
+        sink.report("RMB004", verify::Severity::kError,
+                    {arch, "segment " + std::to_string(seg) + " lane " +
+                               std::to_string(bus)},
+                    "lane reserved for channel " + std::to_string(owner) +
+                        " which is gone or does not claim it",
+                    "release the reservation when tearing the circuit down");
+      }
+    }
+  }
 }
 
 std::optional<int> Rmboc::slot_of(fpga::ModuleId id) const {
@@ -208,6 +295,7 @@ bool Rmboc::fail_link(int segment, int bus) {
   failed_lanes_[static_cast<std::size_t>(segment)]
                [static_cast<std::size_t>(bus)] = true;
   stats().counter("lane_failures").add();
+  debug_check_invariants();
   return true;
 }
 
@@ -221,6 +309,7 @@ bool Rmboc::heal_link(int segment, int bus) {
   failed_lanes_[static_cast<std::size_t>(segment)]
                [static_cast<std::size_t>(bus)] = false;
   stats().counter("lane_heals").add();
+  debug_check_invariants();
   return true;
 }
 
@@ -245,12 +334,14 @@ bool Rmboc::fail_node(int slot, int) {
     it = channels_.erase(it);
   }
   stats().counter("xp_failures").add();
+  debug_check_invariants();
   return true;
 }
 
 bool Rmboc::heal_node(int slot, int) {
   if (failed_xp_.erase(slot) == 0) return false;
   stats().counter("xp_heals").add();
+  debug_check_invariants();
   return true;
 }
 
@@ -345,6 +436,7 @@ bool Rmboc::open_channel(fpga::ModuleId src, fpga::ModuleId dst,
   if (!s || !d || *s == *d) return false;
   if (find_channel(*s, *d)) return false;
   create_channel(*s, *d, src, dst, lanes);
+  debug_check_invariants();
   return true;
 }
 

@@ -65,6 +65,10 @@ class Rmboc final : public core::CommArchitecture, public sim::Component {
   sim::Cycle path_latency(fpga::ModuleId src,
                           fpga::ModuleId dst) const override;
 
+  /// RMB001 lane ranges, RMB002 orphaned circuits, RMB004 reservation-
+  /// table/channel consistency, RMB006 slot ranges.
+  void verify_invariants(verify::DiagnosticSink& sink) const override;
+
   /// Hard-fail the cross-point of `slot`. On a 1-D segmented bus there is
   /// no way around a dead cross-point, so every circuit touching or
   /// crossing the slot is torn down and its queued traffic is lost

@@ -1,0 +1,36 @@
+#pragma once
+
+#include <functional>
+#include <memory>
+
+namespace recosim::sim {
+
+/// Lifetime anchor for callbacks handed to schedulers the callback's owner
+/// does not control — above all the kernel event queue, which outlives
+/// most components. A lambda that captures a raw `this` and is scheduled
+/// for a future cycle dangles if its owner is destroyed first; wrap() ties
+/// the callback to the anchor's lifetime so it degrades to a no-op instead.
+///
+/// Usage: give the owning object a CallbackAnchor member (declared last,
+/// so it dies first) and schedule `anchor_.wrap([this] { ... })`.
+class CallbackAnchor {
+ public:
+  CallbackAnchor() : token_(std::make_shared<char>(0)) {}
+
+  // The anchor is identity: copying it would extend callbacks' lifetimes
+  // past the original owner.
+  CallbackAnchor(const CallbackAnchor&) = delete;
+  CallbackAnchor& operator=(const CallbackAnchor&) = delete;
+
+  /// Wrap `fn` so it runs only while this anchor is alive.
+  std::function<void()> wrap(std::function<void()> fn) const {
+    return [weak = std::weak_ptr<char>(token_), fn = std::move(fn)] {
+      if (auto alive = weak.lock()) fn();
+    };
+  }
+
+ private:
+  std::shared_ptr<char> token_;
+};
+
+}  // namespace recosim::sim

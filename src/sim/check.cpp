@@ -1,0 +1,34 @@
+#include "sim/check.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+
+namespace recosim::sim {
+
+namespace {
+
+void default_handler(const char* rule, const char* expr, const char* msg,
+                     const char* file, int line) {
+  std::fprintf(stderr, "recosim check failed [%s] %s:%d: (%s) %s\n", rule,
+               file, line, expr, msg);
+  std::abort();
+}
+
+std::atomic<CheckHandler> g_handler{&default_handler};
+
+}  // namespace
+
+CheckHandler set_check_handler(CheckHandler h) {
+  return g_handler.exchange(h ? h : &default_handler);
+}
+
+void check_failed(const char* rule, const char* expr, const char* msg,
+                  const char* file, int line) {
+  g_handler.load()(rule, expr, msg, file, line);
+  // A handler that neither throws nor exits must not resume past a broken
+  // invariant.
+  std::abort();
+}
+
+}  // namespace recosim::sim

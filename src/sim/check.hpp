@@ -1,0 +1,45 @@
+#pragma once
+
+namespace recosim::sim {
+
+/// Handler invoked when a RECOSIM_CHECK fails. `rule` is the machine-
+/// readable rule id (e.g. "SIM001", see docs/static-analysis.md), `expr`
+/// the stringified condition. The default handler prints everything to
+/// stderr and aborts; tests install a throwing handler to observe checks
+/// without dying.
+using CheckHandler = void (*)(const char* rule, const char* expr,
+                              const char* msg, const char* file, int line);
+
+/// Install `h` as the process-wide check handler; nullptr restores the
+/// default. Returns the previous handler.
+CheckHandler set_check_handler(CheckHandler h);
+
+/// Dispatch a failed check to the current handler. If the handler returns
+/// (instead of throwing or aborting), the process aborts anyway: a failed
+/// invariant must never be silently resumed.
+void check_failed(const char* rule, const char* expr, const char* msg,
+                  const char* file, int line);
+
+}  // namespace recosim::sim
+
+// Simulator invariant checks. RECOSIM_CHECK_ALWAYS is compiled into every
+// build (used where the condition is a couple of integer compares on a
+// cold-ish path); RECOSIM_CHECK compiles away under NDEBUG unless
+// RECOSIM_FORCE_CHECKS is defined, mirroring assert() but with rule ids
+// and an interceptable handler.
+#if defined(RECOSIM_FORCE_CHECKS) || !defined(NDEBUG)
+#define RECOSIM_CHECKS_ENABLED 1
+#else
+#define RECOSIM_CHECKS_ENABLED 0
+#endif
+
+#define RECOSIM_CHECK_ALWAYS(rule, cond, msg)                               \
+  ((cond) ? static_cast<void>(0)                                            \
+          : ::recosim::sim::check_failed(rule, #cond, msg, __FILE__,        \
+                                         __LINE__))
+
+#if RECOSIM_CHECKS_ENABLED
+#define RECOSIM_CHECK(rule, cond, msg) RECOSIM_CHECK_ALWAYS(rule, cond, msg)
+#else
+#define RECOSIM_CHECK(rule, cond, msg) static_cast<void>(0)
+#endif

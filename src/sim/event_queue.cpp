@@ -2,9 +2,16 @@
 
 #include <utility>
 
+#include "sim/check.hpp"
+
 namespace recosim::sim {
 
 void EventQueue::push(Cycle at, std::function<void()> fn) {
+  // Monotonicity: an event behind the fired-through point would never
+  // run in time order (it still fires, but at a later cycle than it asked
+  // for), so the simulation it drives is silently wrong.
+  RECOSIM_CHECK_ALWAYS("SIM001", !fired_any_ || at >= fired_through_,
+                       "event scheduled before an already-fired cycle");
   heap_.push(Event{at, next_seq_++, std::move(fn)});
 }
 
@@ -13,6 +20,11 @@ Cycle EventQueue::next_cycle() const {
 }
 
 void EventQueue::fire_due(Cycle now) {
+  RECOSIM_CHECK_ALWAYS("SIM001", !fired_any_ || now >= fired_through_,
+                       "event queue fired for a cycle earlier than one "
+                       "already executed");
+  fired_through_ = now;
+  fired_any_ = true;
   while (!heap_.empty() && heap_.top().at <= now) {
     // Copy out before pop so the callback may push new events.
     auto fn = heap_.top().fn;

@@ -25,6 +25,10 @@ class EventQueue {
   /// Pop and run every event scheduled at or before `now`.
   void fire_due(Cycle now);
 
+  /// Latest cycle fire_due() has completed; pushes behind this point
+  /// would never fire in order (checked as SIM001).
+  Cycle fired_through() const { return fired_through_; }
+
  private:
   struct Event {
     Cycle at;
@@ -39,6 +43,8 @@ class EventQueue {
   };
   std::priority_queue<Event, std::vector<Event>, Later> heap_;
   std::uint64_t next_seq_ = 0;
+  Cycle fired_through_ = 0;
+  bool fired_any_ = false;
 };
 
 }  // namespace recosim::sim

@@ -4,6 +4,7 @@
 #include <cstddef>
 #include <deque>
 
+#include "sim/check.hpp"
 #include "sim/component.hpp"
 #include "sim/kernel.hpp"
 
@@ -35,7 +36,7 @@ class BoundedFifo final : public Latch {
 
   /// Stage a push; caller must have checked can_push().
   void push(const T& v) {
-    assert(can_push());
+    RECOSIM_CHECK("SIM002", can_push(), "push staged on a full FIFO");
     staged_pushes_.push_back(v);
   }
 
@@ -45,13 +46,13 @@ class BoundedFifo final : public Latch {
 
   /// The element the next staged pop would remove.
   const T& front() const {
-    assert(can_pop());
+    RECOSIM_CHECK("SIM002", can_pop(), "front() on an exhausted FIFO");
     return items_[staged_pops_];
   }
 
   /// Stage removal of front(); returns the removed element.
   T pop() {
-    assert(can_pop());
+    RECOSIM_CHECK("SIM002", can_pop(), "pop staged past FIFO content");
     T v = items_[staged_pops_];
     ++staged_pops_;
     return v;
@@ -63,7 +64,8 @@ class BoundedFifo final : public Latch {
     staged_pops_ = 0;
     for (auto& v : staged_pushes_) items_.push_back(std::move(v));
     staged_pushes_.clear();
-    assert(items_.size() <= capacity_);
+    RECOSIM_CHECK("SIM002", items_.size() <= capacity_,
+                  "latched FIFO content exceeds capacity");
   }
 
   /// Drop all content immediately (used when tearing down topology).

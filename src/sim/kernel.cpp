@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "sim/check.hpp"
 #include "sim/component.hpp"
 
 namespace recosim::sim {
@@ -25,6 +26,8 @@ bool Kernel::run_until(const std::function<bool()>& pred, Cycle max_cycles) {
 }
 
 void Kernel::schedule_at(Cycle at, std::function<void()> fn) {
+  RECOSIM_CHECK_ALWAYS("SIM001", at >= now_,
+                       "event scheduled in the simulated past");
   events_.push(at, std::move(fn));
 }
 

@@ -1,0 +1,148 @@
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace recosim::verify {
+
+/// Severity of a diagnostic. Errors make recosim-lint exit non-zero and
+/// abort debug builds via the architectures' post-reconfiguration hook;
+/// warnings mark configurations that work but degrade (starvation,
+/// saturation, fault-isolated endpoints); notes are informational.
+enum class Severity { kNote, kWarning, kError };
+
+inline const char* to_string(Severity s) {
+  switch (s) {
+    case Severity::kNote: return "note";
+    case Severity::kWarning: return "warning";
+    case Severity::kError: return "error";
+  }
+  return "?";
+}
+
+/// Machine-readable location of a finding: the component that owns the
+/// checked state ("buscom", "scenario") and the object inside it
+/// ("bus 2 slot 7", "switch (3,1)", "line 12").
+struct Location {
+  std::string component;
+  std::string object;
+};
+
+/// One finding of the static verification layer.
+struct Diagnostic {
+  std::string rule;  ///< rule id, e.g. "DYN001" (docs/static-analysis.md)
+  Severity severity = Severity::kError;
+  Location location;
+  std::string message;
+  std::string fixit;  ///< actionable hint; may be empty
+};
+
+/// Collector the checkers report into. Owns formatting: one-line-per-
+/// finding text for humans, a JSON array for CI.
+class DiagnosticSink {
+ public:
+  void add(Diagnostic d) { diags_.push_back(std::move(d)); }
+
+  void report(std::string rule, Severity severity, Location location,
+              std::string message, std::string fixit = {}) {
+    diags_.push_back(Diagnostic{std::move(rule), severity,
+                                std::move(location), std::move(message),
+                                std::move(fixit)});
+  }
+
+  const std::vector<Diagnostic>& diagnostics() const { return diags_; }
+  bool empty() const { return diags_.empty(); }
+  std::size_t size() const { return diags_.size(); }
+
+  std::size_t count(Severity s) const {
+    std::size_t n = 0;
+    for (const auto& d : diags_)
+      if (d.severity == s) ++n;
+    return n;
+  }
+  std::size_t error_count() const { return count(Severity::kError); }
+
+  /// Diagnostics carrying rule id `rule`.
+  std::size_t count_rule(const std::string& rule) const {
+    std::size_t n = 0;
+    for (const auto& d : diags_)
+      if (d.rule == rule) ++n;
+    return n;
+  }
+  bool has_rule(const std::string& rule) const {
+    return count_rule(rule) > 0;
+  }
+
+  /// "severity: [RULE] component(object): message (fix: ...)" per line.
+  std::string to_text() const {
+    std::string out;
+    for (const auto& d : diags_) {
+      out += to_string(d.severity);
+      out += ": [";
+      out += d.rule;
+      out += "] ";
+      out += d.location.component;
+      if (!d.location.object.empty()) {
+        out += '(';
+        out += d.location.object;
+        out += ')';
+      }
+      out += ": ";
+      out += d.message;
+      if (!d.fixit.empty()) {
+        out += " (fix: ";
+        out += d.fixit;
+        out += ')';
+      }
+      out += '\n';
+    }
+    return out;
+  }
+
+  /// JSON array of findings (for CI consumption).
+  std::string to_json() const {
+    std::string out = "[";
+    bool first = true;
+    for (const auto& d : diags_) {
+      if (!first) out += ',';
+      first = false;
+      out += "\n  {\"rule\": \"";
+      out += escape(d.rule);
+      out += "\", \"severity\": \"";
+      out += to_string(d.severity);
+      out += "\", \"component\": \"";
+      out += escape(d.location.component);
+      out += "\", \"object\": \"";
+      out += escape(d.location.object);
+      out += "\", \"message\": \"";
+      out += escape(d.message);
+      out += "\", \"fixit\": \"";
+      out += escape(d.fixit);
+      out += "\"}";
+    }
+    out += first ? "]" : "\n]";
+    return out;
+  }
+
+ private:
+  static std::string escape(const std::string& s) {
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+      switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\n': out += "\\n"; break;
+        case '\t': out += "\\t"; break;
+        default: out += c;
+      }
+    }
+    return out;
+  }
+
+  std::vector<Diagnostic> diags_;
+};
+
+}  // namespace recosim::verify

@@ -1,0 +1,129 @@
+#pragma once
+
+#include <string_view>
+
+#include "verify/diagnostic.hpp"
+
+namespace recosim::verify {
+
+/// Registry entry of one lint rule. The default severity is what the
+/// checkers emit in the common case; a few rules are downgraded when the
+/// offending state was reached through legitimate fault injection (a
+/// degraded-but-handled network is a warning, a state the public API can
+/// never produce is an error).
+struct RuleInfo {
+  const char* id;
+  const char* name;
+  Severity default_severity;
+  const char* paper;  ///< paper section motivating the rule
+  const char* summary;
+};
+
+/// Every rule the verification layer can emit, grouped by prefix:
+/// BUS (BUS-COM), RMB (RMBoC), DYN (DyNoC), CON (CoNoChi), FLP
+/// (floorplan/fabric), SIM (kernel runtime checks), LNT (scenario files).
+/// Details and rationale: docs/static-analysis.md.
+inline constexpr RuleInfo kRules[] = {
+    // BUS-COM (paper section 3.1, FlexRay-style TDMA)
+    {"BUS001", "slot-owner-unattached", Severity::kError, "3.1",
+     "a static TDMA slot is owned by a module that is not attached"},
+    {"BUS002", "slot-conflict", Severity::kError, "3.1",
+     "the same (bus, slot) is assigned to two different owners"},
+    {"BUS003", "slots-exceed-flexray", Severity::kError, "3.1",
+     "slots_per_round exceeds the 32-slot FlexRay round of the prototype"},
+    {"BUS004", "no-static-slot", Severity::kWarning, "3.1",
+     "an attached module owns no static slot on any bus (no guaranteed "
+     "bandwidth; dynamic slots only)"},
+    {"BUS005", "bandwidth-infeasible", Severity::kError, "3.1",
+     "a module's declared bytes-per-round demand exceeds what its static "
+     "slots can carry"},
+    {"BUS006", "config-out-of-range", Severity::kError, "3.1",
+     "BUS-COM configuration value outside its valid range (bus/slot "
+     "index, dynamic_fraction, widths)"},
+
+    // RMBoC (paper section 3.1, segmented multi-bus, d_max = s*k)
+    {"RMB001", "lane-out-of-range", Severity::kError, "3.1",
+     "a reserved or requested bus lane index lies outside [0, k)"},
+    {"RMB002", "orphaned-circuit", Severity::kError, "3.1",
+     "a channel endpoint slot has no attached module"},
+    {"RMB003", "segment-oversubscribed", Severity::kError, "4.2",
+     "more circuits cross one bus segment than it has bus lanes (demand "
+     "exceeds the segment's share of d_max = s*k)"},
+    {"RMB004", "crosspoint-inconsistent", Severity::kError, "3.1",
+     "the segment reservation table and the channel lane lists disagree"},
+    {"RMB005", "lanes-exceed-buses", Severity::kWarning, "4.3",
+     "a channel requests more parallel lanes than there are buses; the "
+     "request will be silently clamped"},
+    {"RMB006", "slot-out-of-range", Severity::kError, "3.1",
+     "a module or channel references a slot outside [0, m)"},
+
+    // DyNoC (paper section 3.2, S-XY routing over a router mesh)
+    {"DYN001", "module-on-border", Severity::kError, "3.2",
+     "a module placement (with its one-tile router ring) does not fit "
+     "inside the array; S-XY cannot surround it"},
+    {"DYN002", "surround-violated", Severity::kError, "3.2",
+     "a module is not fully ringed by routers (overlap with another "
+     "module or a removed router not explained by an injected fault)"},
+    {"DYN003", "unreachable-pair", Severity::kError, "3.2",
+     "two placed modules have no path of active routers between them "
+     "(S-XY trap in the obstacle graph)"},
+    {"DYN004", "access-router-inactive", Severity::kWarning, "3.2",
+     "a module's access router is not active; the module is isolated "
+     "until healed"},
+    {"DYN005", "module-too-large", Severity::kError, "3.2",
+     "a module (plus ring) can never fit the configured array"},
+
+    // CoNoChi (paper section 3.2, runtime-reconfigurable switch grid)
+    {"CON001", "table-loop", Severity::kError, "3.2",
+     "walking the routing tables towards a destination revisits a switch"},
+    {"CON002", "address-unreachable", Severity::kError, "3.2",
+     "an attached module's switch is unreachable from another attached "
+     "module's switch"},
+    {"CON003", "dangling-physical", Severity::kError, "3.2",
+     "a routing-table entry points at a disconnected port or an inactive "
+     "switch (stale table after a retype)"},
+    {"CON004", "dangling-redirect", Severity::kError, "4.2",
+     "a redirection entry forwards to an unknown or inactive switch, or "
+     "redirects form a cycle"},
+    {"CON005", "stale-resolution", Severity::kNote, "4.2",
+     "a sender-side logical->physical mapping disagrees with the module's "
+     "attachment and no redirect covers the gap (transient after a move)"},
+    {"CON006", "topology-inconsistent", Severity::kError, "3.2",
+     "grid/switch bookkeeping disagrees (wire run not ending on a switch, "
+     "duplicate switch, port double-booked, link asymmetry)"},
+
+    // Floorplan / fabric (paper sections 3, 4.1)
+    {"FLP001", "module-overlap", Severity::kError, "4.1",
+     "two placed modules claim the same fabric tiles"},
+    {"FLP002", "region-out-of-bounds", Severity::kError, "4.1",
+     "a placement or ICAP write region leaves the device"},
+    {"FLP003", "column-shared", Severity::kWarning, "3",
+     "on a full-column device (Virtex-II), reconfiguring one module would "
+     "disturb configuration columns occupied by another"},
+    {"FLP004", "bus-macro-misaligned", Severity::kNote, "3.1",
+     "a module port width is not a multiple of the 8-bit bus-macro width; "
+     "the last macro's slices are wasted"},
+
+    // Simulation-kernel runtime checks (RECOSIM_CHECK)
+    {"SIM001", "event-time-regression", Severity::kError, "-",
+     "an event was scheduled at, or the queue fired for, a cycle earlier "
+     "than one already executed"},
+    {"SIM002", "fifo-bound-violation", Severity::kError, "-",
+     "a bounded FIFO was pushed beyond capacity or popped past its staged "
+     "content"},
+
+    // Scenario / lint driver
+    {"LNT001", "parse-error", Severity::kError, "-",
+     "a scenario file line could not be parsed"},
+    {"LNT002", "invalid-reference", Severity::kError, "-",
+     "a scenario directive references an undeclared module/switch or is "
+     "not valid for the selected architecture"},
+};
+
+inline const RuleInfo* find_rule(std::string_view id) {
+  for (const auto& r : kRules)
+    if (id == r.id) return &r;
+  return nullptr;
+}
+
+}  // namespace recosim::verify

@@ -1,0 +1,250 @@
+#include "verify/scenario.hpp"
+
+#include <fstream>
+#include <sstream>
+
+namespace recosim::verify {
+
+const char* to_string(ArchKind k) {
+  switch (k) {
+    case ArchKind::kNone: return "none";
+    case ArchKind::kBuscom: return "buscom";
+    case ArchKind::kRmboc: return "rmboc";
+    case ArchKind::kDynoc: return "dynoc";
+    case ArchKind::kConochi: return "conochi";
+  }
+  return "?";
+}
+
+namespace {
+
+struct LineCtx {
+  const std::string& source;
+  int number;
+  DiagnosticSink& sink;
+
+  Location loc() const {
+    return {source, "line " + std::to_string(number)};
+  }
+  void parse_error(const std::string& msg, const std::string& fixit = {}) {
+    sink.report("LNT001", Severity::kError, loc(), msg, fixit);
+  }
+  void bad_reference(const std::string& msg, const std::string& fixit = {}) {
+    sink.report("LNT002", Severity::kError, loc(), msg, fixit);
+  }
+};
+
+/// Pull exactly `n` integers from the stream; false (+ diagnostic) on
+/// shortage or trailing garbage.
+bool take_ints(std::istringstream& in, LineCtx& ctx, const char* directive,
+               int n, int* out) {
+  for (int i = 0; i < n; ++i) {
+    if (!(in >> out[i])) {
+      ctx.parse_error(std::string(directive) + " expects " +
+                      std::to_string(n) + " integer argument(s)");
+      return false;
+    }
+  }
+  std::string rest;
+  if (in >> rest) {
+    ctx.parse_error(std::string(directive) + " has trailing input '" +
+                    rest + "'");
+    return false;
+  }
+  return true;
+}
+
+bool arch_is(LineCtx& ctx, const Scenario& s, ArchKind want,
+             const char* directive) {
+  if (s.arch == want) return true;
+  ctx.bad_reference(std::string(directive) + " is a " +
+                        std::string(to_string(want)) +
+                        " directive but the scenario declares arch " +
+                        to_string(s.arch),
+                    "move the directive or change the arch line");
+  return false;
+}
+
+}  // namespace
+
+std::optional<Scenario> parse_scenario(const std::string& text,
+                                       const std::string& source_name,
+                                       DiagnosticSink& sink) {
+  Scenario s;
+  s.source = source_name;
+  std::istringstream lines(text);
+  std::string line;
+  int number = 0;
+  while (std::getline(lines, line)) {
+    ++number;
+    if (auto hash = line.find('#'); hash != std::string::npos)
+      line.erase(hash);
+    std::istringstream in(line);
+    std::string word;
+    if (!(in >> word)) continue;  // blank / comment-only
+    LineCtx ctx{source_name, number, sink};
+
+    if (word == "arch") {
+      std::string kind;
+      in >> kind;
+      if (kind == "buscom") s.arch = ArchKind::kBuscom;
+      else if (kind == "rmboc") s.arch = ArchKind::kRmboc;
+      else if (kind == "dynoc") s.arch = ArchKind::kDynoc;
+      else if (kind == "conochi") s.arch = ArchKind::kConochi;
+      else
+        ctx.parse_error("unknown architecture '" + kind + "'",
+                        "one of: buscom, rmboc, dynoc, conochi");
+    } else if (word == "set") {
+      std::string key;
+      double value = 0;
+      if (in >> key >> value) s.settings[key] = value;
+      else ctx.parse_error("set expects: set <key> <number>");
+    } else if (word == "module") {
+      int v[3] = {0, 1, 1};
+      if (!(in >> v[0])) {
+        ctx.parse_error("module expects: module <id> [<w> <h>]");
+        continue;
+      }
+      in >> v[1] >> v[2];  // optional size
+      if (s.has_module(v[0]))
+        ctx.bad_reference("module " + std::to_string(v[0]) +
+                          " declared twice");
+      else
+        s.modules.push_back({v[0], v[1], v[2]});
+    } else if (word == "slot") {
+      int v[3];
+      if (!arch_is(ctx, s, ArchKind::kBuscom, "slot") ||
+          !take_ints(in, ctx, "slot", 3, v))
+        continue;
+      s.slots.push_back({v[0], v[1], v[2]});
+    } else if (word == "demand") {
+      int id = 0;
+      double bytes = 0;
+      if (!arch_is(ctx, s, ArchKind::kBuscom, "demand")) continue;
+      if (in >> id >> bytes) s.demand[id] = bytes;
+      else ctx.parse_error("demand expects: demand <module> <bytes>");
+    } else if (word == "place") {
+      // Two integers = RMBoC (module, slot); three = DyNoC (module, x, y).
+      int v[3];
+      if (s.arch == ArchKind::kRmboc) {
+        if (!take_ints(in, ctx, "place", 2, v)) continue;
+        if (s.rmboc_slot.count(v[0]))
+          ctx.bad_reference("module " + std::to_string(v[0]) +
+                            " placed twice");
+        else
+          s.rmboc_slot[v[0]] = v[1];
+      } else if (s.arch == ArchKind::kDynoc) {
+        if (!take_ints(in, ctx, "place", 3, v)) continue;
+        if (s.dynoc_place.count(v[0]))
+          ctx.bad_reference("module " + std::to_string(v[0]) +
+                            " placed twice");
+        else
+          s.dynoc_place[v[0]] = {v[1], v[2]};
+      } else {
+        ctx.bad_reference("place applies to rmboc or dynoc scenarios");
+        continue;
+      }
+      if (!s.has_module(v[0]))
+        ctx.bad_reference("place references undeclared module " +
+                          std::to_string(v[0]));
+    } else if (word == "channel") {
+      int v[2];
+      if (!arch_is(ctx, s, ArchKind::kRmboc, "channel")) continue;
+      if (!(in >> v[0] >> v[1])) {
+        ctx.parse_error("channel expects: channel <src> <dst> [<lanes>]");
+        continue;
+      }
+      int lanes = 1;
+      in >> lanes;
+      s.channels.push_back({v[0], v[1], lanes});
+    } else if (word == "switch") {
+      int v[2];
+      if (!arch_is(ctx, s, ArchKind::kConochi, "switch") ||
+          !take_ints(in, ctx, "switch", 2, v))
+        continue;
+      s.switches.push_back({v[0], v[1]});
+    } else if (word == "wire") {
+      int v[4];
+      if (!arch_is(ctx, s, ArchKind::kConochi, "wire") ||
+          !take_ints(in, ctx, "wire", 4, v))
+        continue;
+      if (v[0] != v[2] && v[1] != v[3]) {
+        ctx.parse_error("wire runs must be straight (same row or column)");
+        continue;
+      }
+      s.wires.push_back({{v[0], v[1]}, {v[2], v[3]}});
+    } else if (word == "attach") {
+      int v[3];
+      if (!arch_is(ctx, s, ArchKind::kConochi, "attach") ||
+          !take_ints(in, ctx, "attach", 3, v))
+        continue;
+      if (!s.has_module(v[0])) {
+        ctx.bad_reference("attach references undeclared module " +
+                          std::to_string(v[0]));
+        continue;
+      }
+      if (s.conochi_attach.count(v[0]))
+        ctx.bad_reference("module " + std::to_string(v[0]) +
+                          " attached twice");
+      else
+        s.conochi_attach[v[0]] = {v[1], v[2]};
+    } else if (word == "route") {
+      int v[4];
+      if (!arch_is(ctx, s, ArchKind::kConochi, "route") ||
+          !take_ints(in, ctx, "route", 4, v))
+        continue;
+      if (v[3] < 0 || v[3] > 3) {
+        ctx.parse_error("route port must be 0 (N), 1 (E), 2 (S) or 3 (W)");
+        continue;
+      }
+      s.routes.push_back({{v[0], v[1]}, v[2], v[3]});
+    } else if (word == "device") {
+      int v[2];
+      if (!take_ints(in, ctx, "device", 2, v)) continue;
+      s.device_width = v[0];
+      s.device_height = v[1];
+    } else if (word == "region") {
+      int v[5];
+      if (!take_ints(in, ctx, "region", 5, v)) continue;
+      if (!s.has_module(v[0])) {
+        ctx.bad_reference("region references undeclared module " +
+                          std::to_string(v[0]));
+        continue;
+      }
+      s.regions.push_back({v[0], {v[1], v[2], v[3], v[4]}});
+    } else if (word == "port") {
+      int v[2];
+      if (!take_ints(in, ctx, "port", 2, v)) continue;
+      if (!s.has_module(v[0])) {
+        ctx.bad_reference("port references undeclared module " +
+                          std::to_string(v[0]));
+        continue;
+      }
+      s.port_bits[v[0]] = v[1];
+    } else {
+      ctx.parse_error("unknown directive '" + word + "'");
+    }
+  }
+  if (s.arch == ArchKind::kNone) {
+    sink.report("LNT001", Severity::kError, {source_name, ""},
+                "scenario declares no architecture",
+                "start the file with an 'arch <name>' line");
+    return std::nullopt;
+  }
+  return s;
+}
+
+std::optional<Scenario> parse_scenario_file(const std::string& path,
+                                            DiagnosticSink& sink) {
+  std::ifstream in(path);
+  if (!in) {
+    sink.report("LNT001", Severity::kError, {path, ""},
+                "cannot open scenario file");
+    return std::nullopt;
+  }
+  std::ostringstream text;
+  text << in.rdbuf();
+  return parse_scenario(text.str(), path, sink);
+}
+
+}  // namespace recosim::verify

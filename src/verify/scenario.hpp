@@ -1,0 +1,128 @@
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "fpga/geometry.hpp"
+#include "verify/diagnostic.hpp"
+
+namespace recosim::verify {
+
+/// Which architecture a scenario describes.
+enum class ArchKind { kNone, kBuscom, kRmboc, kDynoc, kConochi };
+
+const char* to_string(ArchKind k);
+
+/// Declarative description of a communication-architecture configuration,
+/// checkable without instantiating (or running) the simulator. This is the
+/// input recosim-lint works on: the guarded runtime APIs refuse most
+/// invalid states outright, so the linter needs a representation that can
+/// express the *intended* configuration — including infeasible ones — and
+/// explain why it cannot work.
+///
+/// Scenarios are written in a line-oriented text format (.rcs):
+///
+///   # comment
+///   arch dynoc                 # buscom | rmboc | dynoc | conochi
+///   set width 5                # numeric setting (architecture config)
+///   module 1 2 2               # id [width height]
+///
+///   slot 0 3 1                 # BUS-COM: bus, slot, owner module
+///   demand 1 4096              # BUS-COM: payload bytes per round
+///   place 1 0                  # RMBoC: module, slot
+///   channel 1 2 2              # RMBoC: src, dst [, lanes]
+///   place 1 1 1                # DyNoC: module, x, y (top-left)
+///   switch 2 2                 # CoNoChi: x, y
+///   wire 2 2 5 2               # CoNoChi: straight H/V run
+///   attach 1 2 2               # CoNoChi: module at switch (x, y)
+///   route 2 2 3 1              # CoNoChi: at (x,y) towards switch
+///                              #   index 3, leave on port 1 (N,E,S,W)
+///   device 48 32               # floorplan: fabric size in CLBs
+///   region 1 0 0 12 16         # floorplan: module, x, y, w, h
+///   port 1 12                  # floorplan: module interface bits
+struct Scenario {
+  ArchKind arch = ArchKind::kNone;
+  std::string source;  ///< file name (diagnostics location)
+
+  struct Module {
+    int id = 0;
+    int width = 1;
+    int height = 1;
+  };
+  std::vector<Module> modules;
+
+  /// Architecture settings ("buses", "slots_per_round", "width", ...).
+  std::map<std::string, double> settings;
+
+  // BUS-COM
+  struct SlotAssign {
+    int bus = 0;
+    int slot = 0;
+    int owner = 0;
+  };
+  std::vector<SlotAssign> slots;
+  std::map<int, double> demand;  ///< module -> payload bytes per round
+
+  // RMBoC
+  std::map<int, int> rmboc_slot;  ///< module -> cross-point slot
+  struct Channel {
+    int src = 0;
+    int dst = 0;
+    int lanes = 1;
+  };
+  std::vector<Channel> channels;
+
+  // DyNoC
+  std::map<int, fpga::Point> dynoc_place;  ///< module -> top-left
+
+  // CoNoChi
+  std::vector<fpga::Point> switches;
+  struct Wire {
+    fpga::Point a, b;
+  };
+  std::vector<Wire> wires;
+  std::map<int, fpga::Point> conochi_attach;  ///< module -> switch pos
+  struct Route {
+    fpga::Point at;       ///< switch the entry lives in
+    int dst_switch = 0;   ///< destination switch index (declaration order)
+    int port = 0;         ///< 0 N, 1 E, 2 S, 3 W
+  };
+  std::vector<Route> routes;  ///< explicit overrides of the computed tables
+
+  // Floorplan
+  int device_width = 0;  ///< 0 = no floorplan checks
+  int device_height = 0;
+  struct Region {
+    int module = 0;
+    fpga::Rect rect;
+  };
+  std::vector<Region> regions;
+  std::map<int, int> port_bits;  ///< module -> interface width in bits
+
+  bool has_module(int id) const {
+    for (const auto& m : modules)
+      if (m.id == id) return true;
+    return false;
+  }
+  /// Setting value with a default.
+  double setting(const std::string& key, double fallback) const {
+    auto it = settings.find(key);
+    return it == settings.end() ? fallback : it->second;
+  }
+};
+
+/// Parse a scenario from text. Malformed lines and directives that do not
+/// fit the declared architecture are reported as LNT001/LNT002 with the
+/// line number; parsing continues so one bad line does not hide the rest.
+/// Returns nullopt only when nothing useful could be parsed (no arch).
+std::optional<Scenario> parse_scenario(const std::string& text,
+                                       const std::string& source_name,
+                                       DiagnosticSink& sink);
+
+/// Parse a scenario file; reports LNT001 when the file cannot be read.
+std::optional<Scenario> parse_scenario_file(const std::string& path,
+                                            DiagnosticSink& sink);
+
+}  // namespace recosim::verify

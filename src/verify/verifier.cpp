@@ -1,0 +1,609 @@
+#include "verify/verifier.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <map>
+#include <queue>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/comm_arch.hpp"
+
+namespace recosim::verify {
+
+namespace {
+
+std::string module_str(int id) { return "module " + std::to_string(id); }
+
+std::string point_str(fpga::Point p) {
+  return "(" + std::to_string(p.x) + "," + std::to_string(p.y) + ")";
+}
+
+const Scenario::Module* find_module(const Scenario& s, int id) {
+  for (const auto& m : s.modules)
+    if (m.id == id) return &m;
+  return nullptr;
+}
+
+}  // namespace
+
+void Verifier::check_all(const Scenario& s, DiagnosticSink& sink) {
+  switch (s.arch) {
+    case ArchKind::kBuscom: check_buscom(s, sink); break;
+    case ArchKind::kRmboc: check_rmboc(s, sink); break;
+    case ArchKind::kDynoc: check_dynoc(s, sink); break;
+    case ArchKind::kConochi: check_conochi(s, sink); break;
+    case ArchKind::kNone: break;
+  }
+  check_floorplan(s, sink);
+}
+
+void Verifier::check_all(const core::CommArchitecture& arch,
+                         DiagnosticSink& sink) {
+  arch.verify_invariants(sink);
+}
+
+// ---------------------------------------------------------------------------
+// BUS-COM
+
+void Verifier::check_buscom(const Scenario& s, DiagnosticSink& sink) {
+  const std::string comp = "buscom";
+  const int buses = static_cast<int>(s.setting("buses", 4));
+  const int slots_per_round =
+      static_cast<int>(s.setting("slots_per_round", 32));
+  const double cycles_per_slot = s.setting("cycles_per_slot", 16);
+  const double in_width_bits = s.setting("in_width_bits", 32);
+  const double dynamic_fraction = s.setting("dynamic_fraction", 0.25);
+
+  if (buses < 1 || slots_per_round < 1 || cycles_per_slot < 1 ||
+      in_width_bits < 8 || dynamic_fraction < 0.0 ||
+      dynamic_fraction > 1.0) {
+    sink.report("BUS006", Severity::kError, {comp, "config"},
+                "configuration value outside its valid range",
+                "buses/slots/cycles >= 1, in_width_bits >= 8, "
+                "dynamic_fraction in [0, 1]");
+    return;
+  }
+  if (slots_per_round > 32) {
+    sink.report("BUS003", Severity::kError, {comp, "config"},
+                "slots_per_round " + std::to_string(slots_per_round) +
+                    " exceeds the 32-slot FlexRay round of the prototype",
+                "split traffic across buses instead of lengthening the "
+                "round");
+  }
+
+  // Per-(bus, slot) ownership; conflicts and range errors surface here.
+  std::map<std::pair<int, int>, int> owner;
+  std::map<int, int> static_slots;  // module -> count
+  for (const auto& a : s.slots) {
+    const std::string obj =
+        "bus " + std::to_string(a.bus) + " slot " + std::to_string(a.slot);
+    if (a.bus < 0 || a.bus >= buses || a.slot < 0 ||
+        a.slot >= slots_per_round) {
+      sink.report("BUS006", Severity::kError, {comp, obj},
+                  "slot assignment outside the configured " +
+                      std::to_string(buses) + " buses x " +
+                      std::to_string(slots_per_round) + " slots");
+      continue;
+    }
+    if (!s.has_module(a.owner)) {
+      sink.report("BUS001", Severity::kError, {comp, obj},
+                  "static slot owned by undeclared module " +
+                      std::to_string(a.owner),
+                  "declare the module or reassign the slot");
+      continue;
+    }
+    auto [it, inserted] = owner.emplace(std::make_pair(a.bus, a.slot),
+                                        a.owner);
+    if (!inserted && it->second != a.owner) {
+      sink.report("BUS002", Severity::kError, {comp, obj},
+                  "slot assigned to both module " +
+                      std::to_string(it->second) + " and module " +
+                      std::to_string(a.owner),
+                  "give each (bus, slot) one owner");
+      continue;
+    }
+    if (inserted) ++static_slots[a.owner];
+  }
+
+  // Guaranteed-bandwidth feasibility per module.
+  const double slot_bits = cycles_per_slot * in_width_bits;
+  const double payload_per_slot =
+      std::clamp((slot_bits - 20.0) / 8.0, 1.0, 256.0);
+  for (const auto& m : s.modules) {
+    const int owned = static_slots.count(m.id) ? static_slots[m.id] : 0;
+    if (owned == 0) {
+      sink.report("BUS004", Severity::kWarning, {comp, module_str(m.id)},
+                  "module owns no static slot on any bus (dynamic slots "
+                  "only, no guaranteed bandwidth)",
+                  "assign at least one static slot");
+    }
+    auto d = s.demand.find(m.id);
+    if (d == s.demand.end()) continue;
+    const double capacity = owned * payload_per_slot;
+    if (d->second > capacity) {
+      sink.report("BUS005", Severity::kError, {comp, module_str(m.id)},
+                  "declared demand of " + std::to_string(d->second) +
+                      " bytes/round exceeds the " + std::to_string(capacity) +
+                      " bytes its " + std::to_string(owned) +
+                      " static slot(s) can carry",
+                  "assign more static slots or lower the demand");
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// RMBoC
+
+void Verifier::check_rmboc(const Scenario& s, DiagnosticSink& sink) {
+  const std::string comp = "rmboc";
+  const int slots = static_cast<int>(s.setting("slots", 4));
+  const int buses = static_cast<int>(s.setting("buses", 4));
+
+  std::map<int, int> module_at_slot;  // slot -> module
+  for (const auto& [mod, slot] : s.rmboc_slot) {
+    if (slot < 0 || slot >= slots) {
+      sink.report("RMB006", Severity::kError, {comp, module_str(mod)},
+                  "placed in slot " + std::to_string(slot) +
+                      " outside [0, " + std::to_string(slots) + ")");
+      continue;
+    }
+    auto [it, inserted] = module_at_slot.emplace(slot, mod);
+    if (!inserted) {
+      sink.report("LNT002", Severity::kError, {comp, module_str(mod)},
+                  "slot " + std::to_string(slot) + " already holds module " +
+                      std::to_string(it->second));
+    }
+  }
+
+  // Per-segment lane demand of the planned circuits: d_max = s*k shares.
+  std::vector<int> demand(static_cast<std::size_t>(std::max(0, slots - 1)),
+                          0);
+  for (const auto& c : s.channels) {
+    const std::string obj = "channel " + std::to_string(c.src) + "->" +
+                            std::to_string(c.dst);
+    const auto src = s.rmboc_slot.find(c.src);
+    const auto dst = s.rmboc_slot.find(c.dst);
+    if (src == s.rmboc_slot.end() || dst == s.rmboc_slot.end()) {
+      sink.report("RMB002", Severity::kError, {comp, obj},
+                  "channel endpoint is not placed in any slot",
+                  "place both modules before planning the circuit");
+      continue;
+    }
+    if (src->second == dst->second) continue;  // loopback, uses no segment
+    if (c.lanes < 1) {
+      sink.report("RMB001", Severity::kError, {comp, obj},
+                  "channel requests " + std::to_string(c.lanes) + " lanes");
+      continue;
+    }
+    int lanes = c.lanes;
+    if (lanes > buses) {
+      sink.report("RMB005", Severity::kWarning, {comp, obj},
+                  "channel requests " + std::to_string(lanes) +
+                      " parallel lanes but the architecture has only " +
+                      std::to_string(buses) +
+                      " buses; the request will be clamped",
+                  "request at most " + std::to_string(buses) + " lanes");
+      lanes = buses;
+    }
+    const int lo = std::min(src->second, dst->second);
+    const int hi = std::max(src->second, dst->second);
+    for (int seg = lo; seg < hi; ++seg)
+      if (seg >= 0 && seg < static_cast<int>(demand.size()))
+        demand[static_cast<std::size_t>(seg)] += lanes;
+  }
+  for (std::size_t seg = 0; seg < demand.size(); ++seg) {
+    if (demand[seg] <= buses) continue;
+    sink.report("RMB003", Severity::kError,
+                {comp, "segment " + std::to_string(seg)},
+                "planned circuits need " + std::to_string(demand[seg]) +
+                    " lanes across the segment but only " +
+                    std::to_string(buses) +
+                    " exist; the last requests will starve",
+                "stagger the circuits in time or add buses");
+  }
+}
+
+// ---------------------------------------------------------------------------
+// DyNoC
+
+void Verifier::check_dynoc(const Scenario& s, DiagnosticSink& sink) {
+  const std::string comp = "dynoc";
+  const int width = static_cast<int>(s.setting("width", 5));
+  const int height = static_cast<int>(s.setting("height", 5));
+
+  struct Placed {
+    int id;
+    fpga::Rect rect;
+  };
+  std::vector<Placed> placed;
+  for (const auto& [mod, at] : s.dynoc_place) {
+    const Scenario::Module* m = find_module(s, mod);
+    if (!m) continue;  // the parser already reported LNT002
+    const fpga::Rect r{at.x, at.y, m->width, m->height};
+    const std::string obj = module_str(mod) + " " + std::to_string(r.w) +
+                            "x" + std::to_string(r.h) + "@" +
+                            point_str({r.x, r.y});
+    if (m->width + 2 > width || m->height + 2 > height) {
+      sink.report("DYN005", Severity::kError, {comp, obj},
+                  "module plus its router ring can never fit the " +
+                      std::to_string(width) + "x" + std::to_string(height) +
+                      " array",
+                  "enlarge the array or shrink the module");
+      continue;
+    }
+    const fpga::Rect ring = r.inflated(1);
+    if (ring.x < 0 || ring.y < 0 || ring.right() > width ||
+        ring.bottom() > height) {
+      sink.report("DYN001", Severity::kError, {comp, obj},
+                  "placement touches the array border; S-XY needs a full "
+                  "router ring around every module",
+                  "keep one router row/column between module and border");
+      continue;
+    }
+    placed.push_back({mod, r});
+  }
+
+  // Pairwise overlap (FLP001) and ring violations (DYN002).
+  for (std::size_t i = 0; i < placed.size(); ++i) {
+    for (std::size_t j = i + 1; j < placed.size(); ++j) {
+      const auto& a = placed[i];
+      const auto& b = placed[j];
+      if (a.rect.overlaps(b.rect)) {
+        sink.report("FLP001", Severity::kError,
+                    {comp, module_str(a.id) + " and " + module_str(b.id)},
+                    "placements overlap");
+        continue;
+      }
+      // A ring tile of one module falling inside the other removes a
+      // router the surround invariant needs.
+      if (a.rect.inflated(1).overlaps(b.rect) && b.rect.area() > 1) {
+        sink.report("DYN002", Severity::kError,
+                    {comp, module_str(a.id)},
+                    "router ring is broken by " + module_str(b.id),
+                    "keep modules one tile apart");
+      } else if (b.rect.inflated(1).overlaps(a.rect) && a.rect.area() > 1) {
+        sink.report("DYN002", Severity::kError,
+                    {comp, module_str(b.id)},
+                    "router ring is broken by " + module_str(a.id),
+                    "keep modules one tile apart");
+      }
+    }
+  }
+
+  // Reachability over the router grid: modules with area > 1 remove their
+  // routers and become obstacles. BFS flood from each module's ring.
+  const auto router_open = [&](fpga::Point p) {
+    if (p.x < 0 || p.x >= width || p.y < 0 || p.y >= height) return false;
+    for (const auto& pl : placed)
+      if (pl.rect.area() > 1 && pl.rect.contains(p)) return false;
+    return true;
+  };
+  const auto ring_routers = [&](const Placed& pl) {
+    std::vector<fpga::Point> out;
+    if (pl.rect.area() == 1) {
+      out.push_back({pl.rect.x, pl.rect.y});
+      return out;
+    }
+    const fpga::Rect ring = pl.rect.inflated(1);
+    for (int y = ring.y; y < ring.bottom(); ++y)
+      for (int x = ring.x; x < ring.right(); ++x) {
+        const fpga::Point p{x, y};
+        if (!pl.rect.contains(p) && router_open(p)) out.push_back(p);
+      }
+    return out;
+  };
+  for (std::size_t i = 0; i < placed.size(); ++i) {
+    // Flood from module i's ring once; test every later module against it.
+    std::vector<char> seen(
+        static_cast<std::size_t>(width) * static_cast<std::size_t>(height),
+        0);
+    std::queue<fpga::Point> work;
+    for (const auto& p : ring_routers(placed[i])) {
+      seen[static_cast<std::size_t>(p.y * width + p.x)] = 1;
+      work.push(p);
+    }
+    while (!work.empty()) {
+      const fpga::Point p = work.front();
+      work.pop();
+      const fpga::Point next[4] = {
+          {p.x + 1, p.y}, {p.x - 1, p.y}, {p.x, p.y + 1}, {p.x, p.y - 1}};
+      for (const auto& n : next) {
+        if (!router_open(n)) continue;
+        auto& flag = seen[static_cast<std::size_t>(n.y * width + n.x)];
+        if (flag) continue;
+        flag = 1;
+        work.push(n);
+      }
+    }
+    for (std::size_t j = i + 1; j < placed.size(); ++j) {
+      bool reachable = false;
+      for (const auto& p : ring_routers(placed[j]))
+        if (seen[static_cast<std::size_t>(p.y * width + p.x)])
+          reachable = true;
+      if (reachable) continue;
+      sink.report("DYN003", Severity::kError,
+                  {comp, module_str(placed[i].id) + " and " +
+                             module_str(placed[j].id)},
+                  "no router path connects the modules; the placement "
+                  "walls them off",
+                  "re-place the modules to leave a router corridor");
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// CoNoChi
+
+void Verifier::check_conochi(const Scenario& s, DiagnosticSink& sink) {
+  const std::string comp = "conochi";
+  const int gw = static_cast<int>(s.setting("grid_width", 8));
+  const int gh = static_cast<int>(s.setting("grid_height", 8));
+  const int n = static_cast<int>(s.switches.size());
+
+  const auto in_grid = [&](fpga::Point p) {
+    return p.x >= 0 && p.x < gw && p.y >= 0 && p.y < gh;
+  };
+  const auto switch_index = [&](fpga::Point p) {
+    for (int i = 0; i < n; ++i)
+      if (s.switches[static_cast<std::size_t>(i)] == p) return i;
+    return -1;
+  };
+  for (int i = 0; i < n; ++i) {
+    const fpga::Point p = s.switches[static_cast<std::size_t>(i)];
+    if (!in_grid(p)) {
+      sink.report("CON006", Severity::kError,
+                  {comp, "switch " + point_str(p)},
+                  "switch placed outside the " + std::to_string(gw) + "x" +
+                      std::to_string(gh) + " grid");
+    }
+    if (switch_index(p) != i) {
+      sink.report("CON006", Severity::kError,
+                  {comp, "switch " + point_str(p)},
+                  "two switches share the tile");
+    }
+  }
+
+  // Derive the link graph: two switches on the same row/column link when a
+  // declared wire run spans the tiles between them and no switch sits in
+  // between. Port numbering matches the runtime: 0 N, 1 E, 2 S, 3 W.
+  const auto wire_covers = [&](fpga::Point a, fpga::Point b) {
+    // True when one declared straight run covers every tile strictly
+    // between a and b (the run may extend past either endpoint).
+    for (const auto& w : s.wires) {
+      if (a.y == b.y && w.a.y == a.y && w.b.y == a.y) {
+        const int lo = std::min(w.a.x, w.b.x);
+        const int hi = std::max(w.a.x, w.b.x);
+        if (lo <= std::min(a.x, b.x) + 1 && hi >= std::max(a.x, b.x) - 1)
+          return true;
+      }
+      if (a.x == b.x && w.a.x == a.x && w.b.x == a.x) {
+        const int lo = std::min(w.a.y, w.b.y);
+        const int hi = std::max(w.a.y, w.b.y);
+        if (lo <= std::min(a.y, b.y) + 1 && hi >= std::max(a.y, b.y) - 1)
+          return true;
+      }
+    }
+    // Adjacent switches need no wire tile at all.
+    return std::abs(a.x - b.x) + std::abs(a.y - b.y) == 1;
+  };
+  // links[i][port] = peer switch index or -1.
+  std::vector<std::array<int, 4>> links(
+      static_cast<std::size_t>(n), std::array<int, 4>{-1, -1, -1, -1});
+  for (int i = 0; i < n; ++i) {
+    const fpga::Point a = s.switches[static_cast<std::size_t>(i)];
+    for (int j = 0; j < n; ++j) {
+      if (i == j) continue;
+      const fpga::Point b = s.switches[static_cast<std::size_t>(j)];
+      if (a.x != b.x && a.y != b.y) continue;
+      // Reject pairs with a switch strictly between them.
+      bool blocked = false;
+      for (int k = 0; k < n && !blocked; ++k) {
+        if (k == i || k == j) continue;
+        const fpga::Point c = s.switches[static_cast<std::size_t>(k)];
+        if (a.y == b.y && c.y == a.y && c.x > std::min(a.x, b.x) &&
+            c.x < std::max(a.x, b.x))
+          blocked = true;
+        if (a.x == b.x && c.x == a.x && c.y > std::min(a.y, b.y) &&
+            c.y < std::max(a.y, b.y))
+          blocked = true;
+      }
+      if (blocked || !wire_covers(a, b)) continue;
+      int port;
+      if (a.y == b.y)
+        port = b.x > a.x ? 1 : 3;  // E : W
+      else
+        port = b.y > a.y ? 2 : 0;  // S : N
+      links[static_cast<std::size_t>(i)][static_cast<std::size_t>(port)] = j;
+    }
+  }
+
+  // Default tables: BFS shortest path per source, then explicit `route`
+  // overrides (the mechanism for seeding known-bad tables in fixtures).
+  std::vector<std::map<int, int>> table(static_cast<std::size_t>(n));
+  for (int src = 0; src < n; ++src) {
+    std::vector<int> first_port(static_cast<std::size_t>(n), -1);
+    std::vector<int> dist(static_cast<std::size_t>(n), -1);
+    std::queue<int> work;
+    dist[static_cast<std::size_t>(src)] = 0;
+    work.push(src);
+    while (!work.empty()) {
+      const int u = work.front();
+      work.pop();
+      for (int p = 0; p < 4; ++p) {
+        const int v = links[static_cast<std::size_t>(u)]
+                           [static_cast<std::size_t>(p)];
+        if (v < 0 || dist[static_cast<std::size_t>(v)] >= 0) continue;
+        dist[static_cast<std::size_t>(v)] =
+            dist[static_cast<std::size_t>(u)] + 1;
+        first_port[static_cast<std::size_t>(v)] =
+            u == src ? p : first_port[static_cast<std::size_t>(u)];
+        work.push(v);
+      }
+    }
+    for (int dst = 0; dst < n; ++dst)
+      if (dst != src && first_port[static_cast<std::size_t>(dst)] >= 0)
+        table[static_cast<std::size_t>(src)][dst] =
+            first_port[static_cast<std::size_t>(dst)];
+  }
+  for (const auto& r : s.routes) {
+    const int at = switch_index(r.at);
+    const std::string obj = "switch " + point_str(r.at);
+    if (at < 0) {
+      sink.report("LNT002", Severity::kError, {comp, obj},
+                  "route directive names a tile without a switch");
+      continue;
+    }
+    if (r.dst_switch < 0 || r.dst_switch >= n) {
+      sink.report("LNT002", Severity::kError, {comp, obj},
+                  "route destination index " + std::to_string(r.dst_switch) +
+                      " outside [0, " + std::to_string(n) + ")");
+      continue;
+    }
+    // CON003: the entry's port must lead somewhere.
+    if (links[static_cast<std::size_t>(at)]
+             [static_cast<std::size_t>(r.port)] < 0) {
+      sink.report("CON003", Severity::kError, {comp, obj},
+                  "route towards switch " + std::to_string(r.dst_switch) +
+                      " leaves through port " + std::to_string(r.port) +
+                      " which has no link",
+                  "wire the port or fix the table entry");
+      continue;
+    }
+    table[static_cast<std::size_t>(at)][r.dst_switch] = r.port;
+  }
+
+  // CON001: walking any (switch, destination) entry must never revisit.
+  for (int src = 0; src < n; ++src) {
+    for (const auto& [dst, port0] : table[static_cast<std::size_t>(src)]) {
+      std::set<int> visited{src};
+      int cur = src;
+      int port = port0;
+      while (cur != dst) {
+        const int next = links[static_cast<std::size_t>(cur)]
+                              [static_cast<std::size_t>(port)];
+        if (next < 0) break;  // dangling (reported above for overrides)
+        if (!visited.insert(next).second) {
+          sink.report(
+              "CON001", Severity::kError,
+              {comp, "switch " +
+                         point_str(s.switches[static_cast<std::size_t>(src)])},
+              "routing tables loop while walking towards switch " +
+                  std::to_string(dst),
+              "fix the route overrides or recompute the tables");
+          break;
+        }
+        cur = next;
+        if (cur == dst) break;
+        const auto it = table[static_cast<std::size_t>(cur)].find(dst);
+        if (it == table[static_cast<std::size_t>(cur)].end()) break;
+        port = it->second;
+      }
+    }
+  }
+
+  // Attachments: modules must sit on real switches (at most 4 ports
+  // each), and every pair must be connected by the table walk.
+  std::map<int, int> module_switch;  // module -> switch index
+  std::map<int, int> load;           // switch -> attached modules
+  for (const auto& [mod, pos] : s.conochi_attach) {
+    const int at = switch_index(pos);
+    if (at < 0) {
+      sink.report("LNT002", Severity::kError, {comp, module_str(mod)},
+                  "attached at " + point_str(pos) +
+                      " where no switch is declared");
+      continue;
+    }
+    module_switch[mod] = at;
+    if (++load[at] > 4) {
+      sink.report("CON006", Severity::kError,
+                  {comp, "switch " + point_str(pos)},
+                  "more modules attached than the switch has ports");
+    }
+  }
+  const auto walk_reaches = [&](int src, int dst) {
+    std::set<int> visited{src};
+    int cur = src;
+    while (cur != dst) {
+      const auto it = table[static_cast<std::size_t>(cur)].find(dst);
+      if (it == table[static_cast<std::size_t>(cur)].end()) return false;
+      const int next = links[static_cast<std::size_t>(cur)]
+                            [static_cast<std::size_t>(it->second)];
+      if (next < 0 || !visited.insert(next).second) return false;
+      cur = next;
+    }
+    return true;
+  };
+  for (auto a = module_switch.begin(); a != module_switch.end(); ++a) {
+    for (auto b = std::next(a); b != module_switch.end(); ++b) {
+      if (a->second == b->second) continue;
+      if (walk_reaches(a->second, b->second) &&
+          walk_reaches(b->second, a->second))
+        continue;
+      sink.report("CON002", Severity::kError,
+                  {comp, module_str(a->first) + " and " +
+                             module_str(b->first)},
+                  "no routing-table path between the modules' switches",
+                  "wire the switch groups together");
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Floorplan
+
+void Verifier::check_floorplan(const Scenario& s, DiagnosticSink& sink) {
+  const std::string comp = "floorplan";
+  if (s.device_width > 0 && s.device_height > 0) {
+    for (const auto& r : s.regions) {
+      if (r.rect.x >= 0 && r.rect.y >= 0 &&
+          r.rect.right() <= s.device_width &&
+          r.rect.bottom() <= s.device_height && r.rect.w > 0 &&
+          r.rect.h > 0)
+        continue;
+      sink.report("FLP002", Severity::kError,
+                  {comp, module_str(r.module)},
+                  "reconfigurable region leaves the " +
+                      std::to_string(s.device_width) + "x" +
+                      std::to_string(s.device_height) + " device");
+    }
+    const bool full_column = s.setting("full_column", 1) != 0;
+    for (std::size_t i = 0; i < s.regions.size(); ++i) {
+      for (std::size_t j = i + 1; j < s.regions.size(); ++j) {
+        const auto& a = s.regions[i];
+        const auto& b = s.regions[j];
+        if (a.rect.overlaps(b.rect)) {
+          sink.report("FLP001", Severity::kError,
+                      {comp, module_str(a.module) + " and " +
+                                 module_str(b.module)},
+                      "reconfigurable regions overlap");
+          continue;
+        }
+        // Virtex-II reconfigures whole columns: writing one region
+        // disturbs every other region sharing its columns (paper §3).
+        if (full_column && a.rect.x < b.rect.right() &&
+            b.rect.x < a.rect.right()) {
+          sink.report("FLP003", Severity::kWarning,
+                      {comp, module_str(a.module) + " and " +
+                                 module_str(b.module)},
+                      "regions share configuration columns on a "
+                      "full-column device; reconfiguring one disturbs "
+                      "the other",
+                      "stack regions side by side, not above each other");
+        }
+      }
+    }
+  }
+  for (const auto& [mod, bits] : s.port_bits) {
+    if (bits > 0 && bits % 8 == 0) continue;
+    sink.report("FLP004", Severity::kNote, {comp, module_str(mod)},
+                "interface width of " + std::to_string(bits) +
+                    " bits is not a multiple of the 8-bit bus macro; the "
+                    "last macro's slices are wasted",
+                "round the port up to a multiple of 8 bits");
+  }
+}
+
+}  // namespace recosim::verify

@@ -1,0 +1,39 @@
+#pragma once
+
+#include "verify/diagnostic.hpp"
+#include "verify/scenario.hpp"
+
+namespace recosim::core {
+class CommArchitecture;
+}
+
+namespace recosim::verify {
+
+/// Entry points of the static verification layer (rule catalogue:
+/// docs/static-analysis.md). Two kinds of input share the rule ids:
+///
+///  * A declarative Scenario — checked without building any simulator
+///    state; this is what recosim-lint runs and the only way to express
+///    configurations the guarded runtime APIs would refuse outright.
+///  * A live CommArchitecture — forwards to the architecture's own
+///    verify_invariants() override, which can see private runtime state.
+class Verifier {
+ public:
+  /// Run every check that applies to the scenario's architecture, plus
+  /// the cross-cutting floorplan checks.
+  static void check_all(const Scenario& s, DiagnosticSink& sink);
+
+  /// Runtime state check of a live architecture (same rule ids; also run
+  /// automatically after each reconfiguration in checked builds).
+  static void check_all(const core::CommArchitecture& arch,
+                        DiagnosticSink& sink);
+
+  // Individual passes (exposed for targeted tests).
+  static void check_buscom(const Scenario& s, DiagnosticSink& sink);
+  static void check_rmboc(const Scenario& s, DiagnosticSink& sink);
+  static void check_dynoc(const Scenario& s, DiagnosticSink& sink);
+  static void check_conochi(const Scenario& s, DiagnosticSink& sink);
+  static void check_floorplan(const Scenario& s, DiagnosticSink& sink);
+};
+
+}  // namespace recosim::verify

@@ -1,0 +1,309 @@
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+
+#include "buscom/buscom.hpp"
+#include "conochi/conochi.hpp"
+#include "dynoc/dynoc.hpp"
+#include "rmboc/rmboc.hpp"
+#include "sim/check.hpp"
+#include "sim/kernel.hpp"
+#include "verify/rules.hpp"
+#include "verify/scenario.hpp"
+#include "verify/verifier.hpp"
+
+namespace recosim::verify {
+namespace {
+
+// Fixture directories injected by tests/CMakeLists.txt.
+#ifndef RECOSIM_LINT_FIXTURES
+#define RECOSIM_LINT_FIXTURES "tests/fixtures/lint"
+#endif
+#ifndef RECOSIM_SCENARIOS
+#define RECOSIM_SCENARIOS "examples/scenarios"
+#endif
+
+DiagnosticSink lint_file(const std::string& name) {
+  DiagnosticSink sink;
+  auto s = parse_scenario_file(std::string(RECOSIM_LINT_FIXTURES) + "/" +
+                                   name,
+                               sink);
+  EXPECT_TRUE(s.has_value()) << name;
+  if (s) Verifier::check_all(*s, sink);
+  return sink;
+}
+
+DiagnosticSink lint_text(const std::string& text) {
+  DiagnosticSink sink;
+  auto s = parse_scenario(text, "inline.rcs", sink);
+  if (s) Verifier::check_all(*s, sink);
+  return sink;
+}
+
+// ---- Seeded-invalid fixtures must trip exactly the seeded rule. ---------
+
+TEST(LintFixtures, BuscomSlotConflictIsBUS002) {
+  auto sink = lint_file("buscom_slot_conflict.rcs");
+  EXPECT_TRUE(sink.has_rule("BUS002")) << sink.to_text();
+  EXPECT_GT(sink.error_count(), 0u);
+}
+
+TEST(LintFixtures, BuscomOverlongRoundIsBUS003) {
+  auto sink = lint_file("buscom_overslots.rcs");
+  EXPECT_TRUE(sink.has_rule("BUS003")) << sink.to_text();
+}
+
+TEST(LintFixtures, DynocBorderPlacementIsDYN001) {
+  auto sink = lint_file("dynoc_border.rcs");
+  EXPECT_TRUE(sink.has_rule("DYN001")) << sink.to_text();
+  EXPECT_FALSE(sink.has_rule("DYN005"));
+}
+
+TEST(LintFixtures, ConochiRouteLoopIsCON001) {
+  auto sink = lint_file("conochi_table_loop.rcs");
+  EXPECT_TRUE(sink.has_rule("CON001")) << sink.to_text();
+}
+
+TEST(LintFixtures, RmbocOversubscribedSegmentIsRMB003) {
+  auto sink = lint_file("rmboc_oversubscribed.rcs");
+  EXPECT_TRUE(sink.has_rule("RMB003")) << sink.to_text();
+  // Only segment 1 is oversubscribed (6 of 4 lanes).
+  EXPECT_EQ(sink.count_rule("RMB003"), 1u);
+}
+
+TEST(LintFixtures, FloorplanOverlapIsFLP001) {
+  auto sink = lint_file("floorplan_overlap.rcs");
+  EXPECT_TRUE(sink.has_rule("FLP001")) << sink.to_text();
+  EXPECT_TRUE(sink.has_rule("FLP004"));
+}
+
+// ---- The shipped example scenarios must be perfectly clean. -------------
+
+TEST(LintExamples, ShippedScenariosProduceZeroDiagnostics) {
+  for (const char* name :
+       {"buscom_prototype.rcs", "rmboc_prototype.rcs", "dynoc_5x5.rcs",
+        "conochi_mesh.rcs"}) {
+    DiagnosticSink sink;
+    auto s = parse_scenario_file(std::string(RECOSIM_SCENARIOS) + "/" +
+                                     name,
+                                 sink);
+    ASSERT_TRUE(s.has_value()) << name;
+    Verifier::check_all(*s, sink);
+    EXPECT_TRUE(sink.empty()) << name << ":\n" << sink.to_text();
+  }
+}
+
+// ---- Parser diagnostics. ------------------------------------------------
+
+TEST(ScenarioParser, UnknownDirectiveIsLNT001) {
+  auto sink = lint_text("arch buscom\nmodule 1\nfrobnicate 3\n");
+  EXPECT_TRUE(sink.has_rule("LNT001")) << sink.to_text();
+}
+
+TEST(ScenarioParser, MissingArchIsFatal) {
+  DiagnosticSink sink;
+  EXPECT_FALSE(parse_scenario("module 1\n", "x.rcs", sink).has_value());
+  EXPECT_TRUE(sink.has_rule("LNT001"));
+}
+
+TEST(ScenarioParser, UndeclaredModuleIsLNT002) {
+  auto sink = lint_text("arch rmboc\nplace 7 0\n");
+  EXPECT_TRUE(sink.has_rule("LNT002")) << sink.to_text();
+}
+
+TEST(ScenarioParser, DirectiveForWrongArchIsLNT002) {
+  auto sink = lint_text("arch dynoc\nmodule 1\nslot 0 0 1\n");
+  EXPECT_TRUE(sink.has_rule("LNT002")) << sink.to_text();
+}
+
+TEST(ScenarioParser, OneBadLineDoesNotHideTheRest) {
+  auto sink = lint_text(
+      "arch buscom\nset slots_per_round 48\nbogus\nmodule 1\nslot 0 0 1\n");
+  EXPECT_TRUE(sink.has_rule("LNT001"));
+  EXPECT_TRUE(sink.has_rule("BUS003"));  // checks still ran
+}
+
+// ---- Additional static rules exercised in-memory. -----------------------
+
+TEST(StaticChecks, BuscomDemandBeyondStaticSlotsIsBUS005) {
+  auto sink = lint_text(
+      "arch buscom\nmodule 1\nslot 0 0 1\ndemand 1 100000\n");
+  EXPECT_TRUE(sink.has_rule("BUS005")) << sink.to_text();
+}
+
+TEST(StaticChecks, BuscomModuleWithoutStaticSlotWarnsBUS004) {
+  auto sink = lint_text("arch buscom\nmodule 1\nmodule 2\nslot 0 0 1\n");
+  EXPECT_TRUE(sink.has_rule("BUS004"));
+  EXPECT_EQ(sink.error_count(), 0u);  // a warning, not an error
+}
+
+TEST(StaticChecks, RmbocUnplacedEndpointIsRMB002) {
+  auto sink = lint_text(
+      "arch rmboc\nmodule 1\nmodule 2\nplace 1 0\nchannel 1 2\n");
+  EXPECT_TRUE(sink.has_rule("RMB002")) << sink.to_text();
+}
+
+TEST(StaticChecks, RmbocLaneOverrequestWarnsRMB005) {
+  auto sink = lint_text(
+      "arch rmboc\nmodule 1\nmodule 2\nplace 1 0\nplace 2 1\n"
+      "channel 1 2 9\n");
+  EXPECT_TRUE(sink.has_rule("RMB005"));
+  EXPECT_EQ(sink.error_count(), 0u);
+}
+
+TEST(StaticChecks, DynocOversizedModuleIsDYN005) {
+  auto sink = lint_text(
+      "arch dynoc\nset width 5\nset height 5\nmodule 1 4 4\nplace 1 0 0\n");
+  EXPECT_TRUE(sink.has_rule("DYN005")) << sink.to_text();
+}
+
+TEST(StaticChecks, DynocWalledOffPairIsDYN003) {
+  // Modules 2-5 form a closed wall around module 1 (the border corridor
+  // cannot help: the pocket is sealed), so module 6 outside the pocket is
+  // unreachable from module 1.
+  auto sink = lint_text(
+      "arch dynoc\nset width 9\nset height 9\n"
+      "module 1 1 1\nmodule 2 3 1\nmodule 3 3 1\n"
+      "module 4 1 3\nmodule 5 1 3\nmodule 6 1 1\n"
+      "place 1 4 4\nplace 2 3 2\nplace 3 3 6\n"
+      "place 4 2 3\nplace 5 6 3\nplace 6 7 7\n");
+  EXPECT_TRUE(sink.has_rule("DYN003")) << sink.to_text();
+}
+
+TEST(StaticChecks, ConochiRoutePortWithoutLinkIsCON003) {
+  auto sink = lint_text(
+      "arch conochi\nswitch 1 1\nswitch 5 1\nwire 2 1 4 1\n"
+      "route 1 1 1 0\n");  // north port of (1,1) has no link
+  EXPECT_TRUE(sink.has_rule("CON003")) << sink.to_text();
+}
+
+TEST(StaticChecks, ConochiDisconnectedAttachmentsAreCON002) {
+  auto sink = lint_text(
+      "arch conochi\nswitch 1 1\nswitch 5 5\n"  // no wires at all
+      "module 1\nmodule 2\nattach 1 1 1\nattach 2 5 5\n");
+  EXPECT_TRUE(sink.has_rule("CON002")) << sink.to_text();
+}
+
+TEST(StaticChecks, FloorplanRegionOutsideDeviceIsFLP002) {
+  auto sink = lint_text(
+      "arch buscom\nmodule 1\nslot 0 0 1\ndevice 16 16\n"
+      "region 1 8 0 16 8\n");
+  EXPECT_TRUE(sink.has_rule("FLP002")) << sink.to_text();
+}
+
+TEST(StaticChecks, FullColumnSharingWarnsFLP003) {
+  auto sink = lint_text(
+      "arch buscom\nmodule 1\nmodule 2\nslot 0 0 1\nslot 0 1 2\n"
+      "device 48 32\nregion 1 0 0 16 8\nregion 2 0 16 16 8\n");
+  EXPECT_TRUE(sink.has_rule("FLP003"));
+  EXPECT_EQ(sink.error_count(), 0u);
+}
+
+// ---- Runtime invariants of live architectures. --------------------------
+
+fpga::HardwareModule mod() {
+  fpga::HardwareModule m;
+  m.name = "m";
+  return m;
+}
+
+TEST(RuntimeVerify, HealthyBuscomHasNoDiagnostics) {
+  sim::Kernel kernel;
+  buscom::Buscom bus(kernel, buscom::BuscomConfig{});
+  for (fpga::ModuleId id = 1; id <= 4; ++id)
+    ASSERT_TRUE(bus.attach(id, mod()));
+  DiagnosticSink sink;
+  Verifier::check_all(bus, sink);
+  EXPECT_TRUE(sink.empty()) << sink.to_text();
+}
+
+TEST(RuntimeVerify, HealthyRmbocWithChannelHasNoDiagnostics) {
+  sim::Kernel kernel;
+  rmboc::Rmboc rm(kernel, rmboc::RmbocConfig{});
+  ASSERT_TRUE(rm.attach(1, mod()));
+  ASSERT_TRUE(rm.attach(2, mod()));
+  DiagnosticSink sink;
+  Verifier::check_all(rm, sink);
+  EXPECT_EQ(sink.error_count(), 0u) << sink.to_text();
+}
+
+TEST(RuntimeVerify, HealthyDynocHasNoDiagnostics) {
+  sim::Kernel kernel;
+  dynoc::Dynoc dy(kernel, dynoc::DynocConfig{});
+  ASSERT_TRUE(dy.attach(1, mod()));
+  ASSERT_TRUE(dy.attach(2, mod()));
+  DiagnosticSink sink;
+  Verifier::check_all(dy, sink);
+  EXPECT_TRUE(sink.empty()) << sink.to_text();
+}
+
+TEST(RuntimeVerify, HealthyConochiHasNoDiagnostics) {
+  sim::Kernel kernel;
+  conochi::ConochiConfig cfg;
+  cfg.grid_width = 7;
+  cfg.grid_height = 4;
+  conochi::Conochi cn(kernel, cfg);
+  ASSERT_TRUE(cn.add_switch({1, 1}));
+  ASSERT_TRUE(cn.add_switch({4, 1}));
+  ASSERT_TRUE(cn.lay_wire({2, 1}, {3, 1}));
+  ASSERT_TRUE(cn.attach_at(1, mod(), {1, 1}));
+  ASSERT_TRUE(cn.attach_at(2, mod(), {4, 1}));
+  DiagnosticSink sink;
+  Verifier::check_all(cn, sink);
+  EXPECT_EQ(sink.error_count(), 0u) << sink.to_text();
+}
+
+// ---- Kernel runtime checks (RECOSIM_CHECK) are interceptable. -----------
+
+struct CheckFired : std::runtime_error {
+  explicit CheckFired(const char* rule) : std::runtime_error(rule) {}
+};
+
+void throwing_handler(const char* rule, const char*, const char*,
+                      const char*, int) {
+  throw CheckFired(rule);
+}
+
+TEST(KernelChecks, SchedulingInThePastFiresSIM001) {
+  sim::Kernel kernel;
+  kernel.run(5);
+  auto* previous = sim::set_check_handler(&throwing_handler);
+  EXPECT_THROW(
+      {
+        try {
+          kernel.schedule_at(2, [] {});
+        } catch (const CheckFired& e) {
+          EXPECT_STREQ(e.what(), "SIM001");
+          throw;
+        }
+      },
+      CheckFired);
+  sim::set_check_handler(previous);
+}
+
+TEST(KernelChecks, SchedulingAtNowIsAllowed) {
+  sim::Kernel kernel;
+  kernel.run(5);
+  bool ran = false;
+  kernel.schedule_at(5, [&] { ran = true; });
+  kernel.step();
+  EXPECT_TRUE(ran);
+}
+
+// ---- Rule registry sanity. ----------------------------------------------
+
+TEST(RuleRegistry, EveryEmittedRuleIsRegistered) {
+  for (const char* id :
+       {"BUS001", "BUS002", "BUS003", "BUS004", "BUS005", "BUS006",
+        "RMB001", "RMB002", "RMB003", "RMB004", "RMB005", "RMB006",
+        "DYN001", "DYN002", "DYN003", "DYN004", "DYN005", "CON001",
+        "CON002", "CON003", "CON004", "CON005", "CON006", "FLP001",
+        "FLP002", "FLP003", "FLP004", "SIM001", "SIM002", "LNT001",
+        "LNT002"})
+    EXPECT_NE(find_rule(id), nullptr) << id;
+  EXPECT_EQ(find_rule("XXX999"), nullptr);
+}
+
+}  // namespace
+}  // namespace recosim::verify

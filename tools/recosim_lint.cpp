@@ -1,0 +1,79 @@
+// recosim-lint: static checker for ReCoSim scenario files (.rcs).
+//
+// Usage: recosim-lint [--json] [--rules] <scenario.rcs>...
+//
+// Exit codes:
+//   0  every file parsed and no rule produced an error (warnings/notes ok)
+//   1  at least one error-severity diagnostic
+//   2  a file could not be parsed at all (or usage error)
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "verify/rules.hpp"
+#include "verify/scenario.hpp"
+#include "verify/verifier.hpp"
+
+namespace {
+
+void print_rules() {
+  for (const auto& r : recosim::verify::kRules) {
+    std::printf("%-7s %-9s %-34s %s (%s)\n", r.id,
+                recosim::verify::to_string(r.default_severity), r.name,
+                r.summary, r.paper);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace recosim::verify;
+
+  bool json = false;
+  std::vector<std::string> files;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) {
+      json = true;
+    } else if (std::strcmp(argv[i], "--rules") == 0) {
+      print_rules();
+      return 0;
+    } else if (std::strcmp(argv[i], "--help") == 0) {
+      std::printf(
+          "usage: recosim-lint [--json] [--rules] <scenario.rcs>...\n");
+      return 0;
+    } else if (argv[i][0] == '-') {
+      std::fprintf(stderr, "recosim-lint: unknown option '%s'\n", argv[i]);
+      return 2;
+    } else {
+      files.emplace_back(argv[i]);
+    }
+  }
+  if (files.empty()) {
+    std::fprintf(stderr,
+                 "usage: recosim-lint [--json] [--rules] <scenario.rcs>...\n");
+    return 2;
+  }
+
+  DiagnosticSink sink;
+  bool parse_failed = false;
+  for (const auto& file : files) {
+    auto scenario = parse_scenario_file(file, sink);
+    if (!scenario) {
+      parse_failed = true;
+      continue;
+    }
+    Verifier::check_all(*scenario, sink);
+  }
+
+  if (json) {
+    std::printf("%s\n", sink.to_json().c_str());
+  } else {
+    std::printf("%s", sink.to_text().c_str());
+    std::printf("%zu diagnostic(s), %zu error(s)\n", sink.size(),
+                sink.error_count());
+  }
+  if (parse_failed) return 2;
+  return sink.error_count() > 0 ? 1 : 0;
+}
