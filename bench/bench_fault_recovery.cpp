@@ -2,11 +2,14 @@
 // traffic through three equal phases — before a hard fault, during the
 // degraded window, and after the element heals — and report per-phase
 // throughput, fabric latency, and the retransmission cost of recovery.
-// Output is a single JSON document for downstream tooling.
+// Output is a single JSON document, printed to stdout and written to
+// BENCH_fault.json (or argv[1]) so the perf trajectory is tracked in-repo.
 
 #include <cstdint>
+#include <fstream>
 #include <functional>
 #include <iostream>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -122,27 +125,26 @@ ArchResult run_scenario(const std::string& arch_name,
   return result;
 }
 
-void print_json(const std::vector<ArchResult>& results) {
-  std::cout << "{\n  \"bench\": \"fault_recovery\",\n  \"architectures\": [\n";
+void print_json(std::ostream& os, const std::vector<ArchResult>& results) {
+  os << "{\n  \"bench\": \"fault_recovery\",\n  \"architectures\": [\n";
   for (std::size_t i = 0; i < results.size(); ++i) {
     const auto& r = results[i];
-    std::cout << "    {\n      \"arch\": \"" << r.arch << "\",\n"
-              << "      \"fault\": \"" << r.fault << "\",\n"
-              << "      \"phase_cycles\": " << r.phase_cycles << ",\n"
-              << "      \"phases\": [\n";
+    os << "    {\n      \"arch\": \"" << r.arch << "\",\n"
+       << "      \"fault\": \"" << r.fault << "\",\n"
+       << "      \"phase_cycles\": " << r.phase_cycles << ",\n"
+       << "      \"phases\": [\n";
     for (std::size_t j = 0; j < r.phases.size(); ++j) {
       const auto& p = r.phases[j];
-      std::cout << "        {\"phase\": \"" << p.phase
-                << "\", \"delivered\": " << p.delivered
-                << ", \"throughput_per_kcycle\": " << p.throughput_kcycle
-                << ", \"mean_latency_cycles\": " << p.mean_latency_cycles
-                << ", \"retransmissions\": " << p.retransmissions << "}"
-                << (j + 1 < r.phases.size() ? "," : "") << "\n";
+      os << "        {\"phase\": \"" << p.phase
+         << "\", \"delivered\": " << p.delivered
+         << ", \"throughput_per_kcycle\": " << p.throughput_kcycle
+         << ", \"mean_latency_cycles\": " << p.mean_latency_cycles
+         << ", \"retransmissions\": " << p.retransmissions << "}"
+         << (j + 1 < r.phases.size() ? "," : "") << "\n";
     }
-    std::cout << "      ]\n    }" << (i + 1 < results.size() ? "," : "")
-              << "\n";
+    os << "      ]\n    }" << (i + 1 < results.size() ? "," : "") << "\n";
   }
-  std::cout << "  ]\n}\n";
+  os << "  ]\n}\n";
 }
 
 fpga::HardwareModule unit_module() {
@@ -154,7 +156,7 @@ fpga::HardwareModule unit_module() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   std::vector<ArchResult> results;
 
   {  // DyNoC: a router on the streaming path fails and heals.
@@ -221,6 +223,17 @@ int main() {
                                    [&] { arch.heal_node(0); }));
   }
 
-  print_json(results);
+  std::ostringstream json;
+  print_json(json, results);
+  std::cout << json.str();
+
+  const char* out = argc > 1 ? argv[1] : "BENCH_fault.json";
+  std::ofstream f(out);
+  f << json.str();
+  if (!f) {
+    std::cerr << "warning: could not write " << out << "\n";
+    return 0;  // the numbers were still printed
+  }
+  std::cerr << "wrote " << out << "\n";
   return 0;
 }

@@ -256,6 +256,22 @@ bool Buscom::heal_node(int bus, int) {
   return true;
 }
 
+std::size_t Buscom::in_flight_packets(fpga::ModuleId involving) const {
+  // Every undelivered packet sits in its sender's TX queue until the last
+  // fragment leaves (reassembly completes in the same slot the final
+  // fragment lands), so the TX queues are the complete census.
+  std::size_t n = 0;
+  for (const auto& [m, queue] : tx_) {
+    for (const TxPacket& tp : queue) {
+      if (involving != fpga::kInvalidModule && tp.packet.src != involving &&
+          tp.packet.dst != involving)
+        continue;
+      ++n;
+    }
+  }
+  return n;
+}
+
 std::size_t Buscom::tx_backlog(fpga::ModuleId id) const {
   auto it = tx_.find(id);
   return it == tx_.end() ? 0 : it->second.size();
@@ -295,15 +311,21 @@ fpga::ModuleId Buscom::arbitrate(int b, int slot_idx) const {
                                                        : fpga::kInvalidModule;
   }
   // Dynamic slot: highest priority (lowest value) wins; attach order
-  // breaks ties deterministically.
+  // breaks ties deterministically. A quiesced module outranks any
+  // priority — its admission is closed upstream, so every dynamic slot it
+  // wins shortens the drain phase of the reconfiguration transaction.
   fpga::ModuleId best = fpga::kInvalidModule;
   int best_prio = 0;
+  bool best_quiesced = false;
   for (fpga::ModuleId m : attach_order_) {
     if (!eligible(m)) continue;
     const int prio = priority_.at(m);
-    if (best == fpga::kInvalidModule || prio < best_prio) {
+    const bool q = is_quiesced(m);
+    if (best == fpga::kInvalidModule || (q && !best_quiesced) ||
+        (q == best_quiesced && prio < best_prio)) {
       best = m;
       best_prio = prio;
+      best_quiesced = q;
     }
   }
   return best;

@@ -61,6 +61,11 @@ class Buscom final : public core::CommArchitecture, public sim::Component {
   /// without guaranteed bandwidth, BUS006 configuration ranges.
   void verify_invariants(verify::DiagnosticSink& sink) const override;
 
+  /// Undelivered packets in the TX queues (drain census); dynamic-slot
+  /// arbitration prefers quiesced modules so their backlog drains fast.
+  std::size_t in_flight_packets(
+      fpga::ModuleId involving = fpga::kInvalidModule) const override;
+
   /// Hard-fail bus `bus`: its slots are masked from arbitration, the
   /// fragment it carried is rolled back into the sender's TX queue (so no
   /// payload is lost), and its static slots are redistributed onto

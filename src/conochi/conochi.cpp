@@ -327,14 +327,35 @@ bool Conochi::attach(fpga::ModuleId id, const fpga::HardwareModule& m) {
   return false;
 }
 
+bool Conochi::port_has_parked_wire(const Switch& s, int p) const {
+  int dx = 0, dy = 0;
+  TileType wire = TileType::kH;
+  switch (static_cast<Port>(p)) {
+    case Port::kNorth: dy = -1; wire = TileType::kV; break;
+    case Port::kEast: dx = 1; wire = TileType::kH; break;
+    case Port::kSouth: dy = 1; wire = TileType::kV; break;
+    case Port::kWest: dx = -1; wire = TileType::kH; break;
+  }
+  const auto run = grid_.trace_run(s.pos, dx, dy, wire);
+  return run.hit_switch;
+}
+
 bool Conochi::attach_at(fpga::ModuleId id, const fpga::HardwareModule&,
                         fpga::Point pos) {
   if (id == fpga::kInvalidModule || attachments_.count(id)) return false;
   Switch* s = switch_at(pos);
   if (!s) return false;
-  for (int p = 0; p < kSwitchPorts; ++p) {
-    if (s->module[static_cast<std::size_t>(p)] == fpga::kInvalidModule &&
-        !s->links[static_cast<std::size_t>(p)].connected) {
+  // Two passes: a port whose wire run reaches another switch carries (or
+  // will carry again, once a failed neighbour heals) an inter-switch
+  // line. Taking such a port while the line is down would permanently
+  // sever it — rebuild_links() refuses ports held by module interfaces —
+  // so prefer genuinely line-free ports and fall back only if none exist.
+  for (const bool allow_parked : {false, true}) {
+    for (int p = 0; p < kSwitchPorts; ++p) {
+      if (s->module[static_cast<std::size_t>(p)] != fpga::kInvalidModule ||
+          s->links[static_cast<std::size_t>(p)].connected)
+        continue;
+      if (!allow_parked && port_has_parked_wire(*s, p)) continue;
       s->module[static_cast<std::size_t>(p)] = id;
       attachments_[id] = Attachment{s->id, p};
       resolution_[id] = s->id;
@@ -364,18 +385,40 @@ bool Conochi::detach(fpga::ModuleId id) {
   return true;
 }
 
+std::size_t Conochi::in_flight_packets(fpga::ModuleId involving) const {
+  std::size_t n = 0;
+  for (const auto& s : switches_) {
+    if (s.id < 0) continue;  // never-initialized slot
+    for (const auto& q : s.in)
+      for (const auto& qp : q) {
+        if (involving != fpga::kInvalidModule &&
+            qp.packet.src != involving && qp.packet.dst != involving)
+          continue;
+        ++n;
+      }
+  }
+  return n;
+}
+
 bool Conochi::move_module(fpga::ModuleId id, fpga::Point new_switch) {
+  // A quiesced module is pinned: a reconfiguration transaction relies on
+  // its attachment snapshot staying valid through drain and streaming.
+  if (is_quiesced(id)) return false;
   auto it = attachments_.find(id);
   if (it == attachments_.end()) return false;
   Switch* t = switch_at(new_switch);
   if (!t) return false;
   int free_port = -1;
-  for (int p = 0; p < kSwitchPorts; ++p) {
-    if (t->module[static_cast<std::size_t>(p)] == fpga::kInvalidModule &&
-        !t->links[static_cast<std::size_t>(p)].connected) {
-      free_port = p;
-      break;
+  // Same preference as attach_at: keep module interfaces off ports whose
+  // wire run reaches another switch, so downed lines can come back.
+  for (const bool allow_parked : {false, true}) {
+    for (int p = 0; p < kSwitchPorts && free_port < 0; ++p) {
+      if (t->module[static_cast<std::size_t>(p)] == fpga::kInvalidModule &&
+          !t->links[static_cast<std::size_t>(p)].connected &&
+          (allow_parked || !port_has_parked_wire(*t, p)))
+        free_port = p;
     }
+    if (free_port >= 0) break;
   }
   if (free_port < 0) return false;
   Switch& old_sw = sw(it->second.switch_id);

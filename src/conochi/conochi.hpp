@@ -84,6 +84,12 @@ class Conochi final : public core::CommArchitecture, public sim::Component {
   /// control unit is still installing tables (tables_converging()).
   void verify_invariants(verify::DiagnosticSink& sink) const override;
 
+  /// Packets queued inside switches (drain census); `involving` filters
+  /// by packet endpoint. move_module() refuses quiesced modules so a
+  /// transaction's snapshot stays stable while it drains.
+  std::size_t in_flight_packets(
+      fpga::ModuleId involving = fpga::kInvalidModule) const override;
+
   /// Hard-fail the switch at (x, y). Unlike remove_switch() this works
   /// with modules attached (they are isolated until heal_node()), drops
   /// the switch's buffered packets ("packets_dropped_fault") and has the
@@ -197,6 +203,10 @@ class Conochi final : public core::CommArchitecture, public sim::Component {
   }
   void rebuild_links();
   void recompute_tables();
+  /// True when the port's wire run reaches another switch tile — i.e. the
+  /// port carries (or, while the peer is failed, will carry again) an
+  /// inter-switch line that a module interface must not squat on.
+  bool port_has_parked_wire(const Switch& s, int p) const;
   std::uint32_t total_flits(const proto::Packet& p) const;
   void process_switch(Switch& s);
   bool try_forward(Switch& s, int in_port);

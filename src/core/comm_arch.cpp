@@ -27,7 +27,30 @@ void CommArchitecture::debug_check_invariants() const {
 #endif
 }
 
+bool CommArchitecture::quiesce(fpga::ModuleId id) {
+  if (!is_attached(id) || quiesced_.count(id)) return false;
+  quiesced_.insert(id);
+  stats_.counter("quiesces").add();
+  on_quiesce(id);
+  return true;
+}
+
+bool CommArchitecture::resume(fpga::ModuleId id) {
+  if (quiesced_.erase(id) == 0) return false;
+  stats_.counter("resumes").add();
+  on_resume(id);
+  return true;
+}
+
+std::size_t CommArchitecture::in_flight_packets(fpga::ModuleId) const {
+  return 0;
+}
+
 bool CommArchitecture::send(proto::Packet p) {
+  if (quiesced_.count(p.src) || quiesced_.count(p.dst)) {
+    stats_.counter("quiesce_rejected").add();
+    return false;
+  }
   p.id = next_packet_id();
   p.injected_at = kernel_.now();
   proto::seal(p);

@@ -3,6 +3,7 @@
 #include <cstdint>
 #include <functional>
 #include <optional>
+#include <set>
 #include <string>
 
 #include "core/taxonomy.hpp"
@@ -61,6 +62,38 @@ class CommArchitecture {
   /// CRC no longer matches (a fault flipped a bit in flight) are counted
   /// under "crc_dropped" and never handed to the caller.
   std::optional<proto::Packet> receive(fpga::ModuleId at);
+
+  // -- quiesce / drain (transactional reconfiguration) -----------------------
+  //
+  // A reconfiguration transaction (core::ReconfigTxn) quiesces the modules
+  // it is about to detach or relocate: send() stops admitting packets whose
+  // source or destination is quiesced (counted "quiesce_rejected"), while
+  // traffic already inside the network keeps flowing so the drain phase can
+  // wait for it to land. Architectures override on_quiesce()/on_resume()
+  // for backend-specific admission control (RMBoC freezes new channel
+  // setup, BUS-COM boosts the draining module in dynamic arbitration,
+  // CoNoChi refuses module moves) and in_flight_packets() so the drain
+  // condition is exact instead of heuristic.
+
+  /// Stop admitting new traffic from/to `id`. False when `id` is not
+  /// attached or already quiesced.
+  bool quiesce(fpga::ModuleId id);
+
+  /// Re-open admission for `id`. False when `id` was not quiesced.
+  bool resume(fpga::ModuleId id);
+
+  bool is_quiesced(fpga::ModuleId id) const {
+    return quiesced_.count(id) > 0;
+  }
+  std::size_t quiesced_count() const { return quiesced_.size(); }
+
+  /// Packets currently inside the network fabric (buffers, links, partial
+  /// transfers) — *not* those already landed in delivery queues. With
+  /// `involving` set, only packets whose src or dst equals that module are
+  /// counted. The base implementation returns 0; every architecture
+  /// overrides it with an exact census of its internal queues.
+  virtual std::size_t in_flight_packets(
+      fpga::ModuleId involving = fpga::kInvalidModule) const;
 
   // -- fault hooks -----------------------------------------------------------
   //
@@ -141,6 +174,11 @@ class CommArchitecture {
   /// Architecture-specific delivery-queue pop.
   virtual std::optional<proto::Packet> do_receive(fpga::ModuleId at) = 0;
 
+  /// Backend hooks fired by quiesce()/resume() after the base bookkeeping
+  /// updated; is_quiesced(id) already reflects the new state.
+  virtual void on_quiesce(fpga::ModuleId) {}
+  virtual void on_resume(fpga::ModuleId) {}
+
   std::uint64_t next_packet_id() { return ++packet_serial_; }
 
   /// In checked builds (RECOSIM_CHECKS_ENABLED): run verify_invariants()
@@ -156,6 +194,7 @@ class CommArchitecture {
   sim::StatSet stats_;
   std::uint64_t packet_serial_ = 0;
   std::function<bool(proto::Packet&)> delivery_fault_;
+  std::set<fpga::ModuleId> quiesced_;
 };
 
 }  // namespace recosim::core

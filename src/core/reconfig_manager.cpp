@@ -33,6 +33,55 @@ std::optional<fpga::Rect> ReconfigManager::place(
   return rects_->place(id, m);
 }
 
+bool ReconfigManager::can_place(const fpga::HardwareModule& m) const {
+  if (strategy_ == PlacementStrategy::kSlots)
+    return slots_->fits(m) && slots_->free_slots() > 0;
+  return rects_->find(m.width_clbs, m.height_clbs).has_value();
+}
+
+std::optional<fpga::HardwareModule> ReconfigManager::resident_module(
+    fpga::ModuleId id) const {
+  auto it = resident_.find(id);
+  if (it == resident_.end()) return std::nullopt;
+  return it->second;
+}
+
+bool ReconfigManager::cancel_load(fpga::ModuleId id) {
+  auto it = loading_.find(id);
+  if (it == loading_.end()) return false;
+  loading_.erase(it);
+  free_placement(id);
+  stats_.counter("loads_cancelled").add();
+  return true;
+}
+
+bool ReconfigManager::restore_placement(fpga::ModuleId id,
+                                        const fpga::HardwareModule& m,
+                                        const fpga::Rect& region) {
+  if (floorplan_.region_of(id)) return false;
+  if (strategy_ == PlacementStrategy::kSlots) {
+    for (int s = 0; s < slots_->slot_count(); ++s) {
+      const fpga::Rect& r = slots_->slot_region(s);
+      if (r.x != region.x || r.y != region.y || r.w != region.w ||
+          r.h != region.h)
+        continue;
+      if (!slots_->place_in_slot(id, m, s)) return false;
+      resident_[id] = m;
+      return true;
+    }
+    return false;
+  }
+  if (!floorplan_.place(id, region)) return false;
+  resident_[id] = m;
+  return true;
+}
+
+bool ReconfigManager::release_placement(fpga::ModuleId id) {
+  if (!floorplan_.region_of(id)) return false;
+  free_placement(id);
+  return true;
+}
+
 bool ReconfigManager::load(CommArchitecture& arch, fpga::ModuleId id,
                            const fpga::HardwareModule& m,
                            ReadyCallback on_ready) {
@@ -87,27 +136,53 @@ void ReconfigManager::on_icap_done(fpga::ModuleId id, bool ok) {
       }));
       return;
     }
-    // Retry budget exhausted: abandon the load, free the fabric and
-    // surface the permanent failure.
+    // Retry budget exhausted: abandon the load, free the fabric, restore
+    // a swapped-out module and surface the permanent failure.
     const ReadyCallback cb = std::move(job.on_ready);
+    const std::optional<SwapRestore> restore = std::move(job.restore);
+    CommArchitecture* fail_arch = job.arch;
     loading_.erase(it);
     free_placement(id);
     stats_.counter("load_failures").add();
+    if (restore) restore_swapped_out(*restore, *fail_arch);
     if (cb) cb(id, false);
     return;
   }
   const fpga::HardwareModule mod = job.module;
   CommArchitecture* arch = job.arch;
   const ReadyCallback cb = std::move(job.on_ready);
+  const std::optional<SwapRestore> restore = std::move(job.restore);
   loading_.erase(it);
   const bool attached = arch->attach(id, mod);
   if (attached) {
+    resident_[id] = mod;
     stats_.counter("loads_completed").add();
   } else {
     free_placement(id);
     stats_.counter("load_failures").add();
+    if (restore) restore_swapped_out(*restore, *arch);
   }
   if (cb) cb(id, attached);
+}
+
+void ReconfigManager::restore_swapped_out(const SwapRestore& restore,
+                                          CommArchitecture& arch) {
+  // Undo the swap's destructive half: the old module went away before the
+  // replacement was verified, so put it back where it was. The known-good
+  // configuration is modelled as retained (no second ICAP write charged).
+  if (restore_placement(restore.old_id, restore.module, restore.region)) {
+    if (arch.attach(restore.old_id, restore.module)) {
+      stats_.counter("swap_restores").add();
+      return;
+    }
+    // The fabric degraded while the swap streamed (e.g. a router under
+    // the region died): the module cannot come back. Give its region up
+    // too — a placement without an attachment is a half-configured state
+    // nothing would ever clean up.
+    free_placement(restore.old_id);
+    resident_.erase(restore.old_id);
+  }
+  stats_.counter("swap_restore_failures").add();
 }
 
 bool ReconfigManager::load_with_compaction(CommArchitecture& arch,
@@ -140,9 +215,13 @@ bool ReconfigManager::load_with_compaction(CommArchitecture& arch,
                       stats_.counter("relocation_failures").add();
                       return;
                     }
-                    fpga::HardwareModule placeholder;
-                    placeholder.name = "relocated";
-                    arch.attach(moved, placeholder);
+                    fpga::HardwareModule mod;
+                    if (auto resident = resident_module(moved)) {
+                      mod = *resident;  // re-attach the real descriptor
+                    } else {
+                      mod.name = "relocated";
+                    }
+                    arch.attach(moved, mod);
                   });
   }
   return load(arch, id, m, std::move(on_ready));
@@ -157,6 +236,7 @@ bool ReconfigManager::unload(CommArchitecture& arch, fpga::ModuleId id) {
   } else {
     freed = rects_->remove(id);
   }
+  resident_.erase(id);
   return detached || freed;
 }
 
@@ -164,8 +244,22 @@ bool ReconfigManager::swap(CommArchitecture& arch, fpga::ModuleId old_id,
                            fpga::ModuleId new_id,
                            const fpga::HardwareModule& m,
                            ReadyCallback on_ready) {
+  // Capture what the swap is about to destroy *before* unloading, so a
+  // permanently failing load can restore it (the old module used to be
+  // detached fire-and-forget and was simply gone on failure).
+  std::optional<SwapRestore> restore;
+  const auto old_region = floorplan_.region_of(old_id);
+  const auto old_module = resident_module(old_id);
+  if (old_region && old_module && arch.is_attached(old_id))
+    restore = SwapRestore{old_id, *old_module, *old_region};
   if (!unload(arch, old_id)) return false;
-  return load(arch, new_id, m, std::move(on_ready));
+  if (!load(arch, new_id, m, std::move(on_ready))) {
+    // No placement for the replacement: put the old module straight back.
+    if (restore) restore_swapped_out(*restore, arch);
+    return false;
+  }
+  if (restore) loading_.at(new_id).restore = std::move(restore);
+  return true;
 }
 
 }  // namespace recosim::core

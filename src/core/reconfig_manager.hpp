@@ -66,19 +66,50 @@ class ReconfigManager {
   bool unload(CommArchitecture& arch, fpga::ModuleId id);
 
   /// Replace `old_id` by `new_id` in the same fabric region (the classic
-  /// module-swap of slot-based systems).
+  /// module-swap of slot-based systems). The old module is detached while
+  /// the new bitstream streams, but it is *not* abandoned: if the load
+  /// fails permanently (ICAP retry budget exhausted, attach rejected) the
+  /// old module is re-placed in its original region and re-attached, so a
+  /// failed swap degrades to a no-op instead of losing the old module
+  /// (counted under "swap_restores").
   bool swap(CommArchitecture& arch, fpga::ModuleId old_id,
             fpga::ModuleId new_id, const fpga::HardwareModule& m,
             ReadyCallback on_ready = {});
 
   bool is_loading(fpga::ModuleId id) const { return loading_.count(id) > 0; }
 
+  /// Whether a placement for `m` exists right now, without claiming it.
+  bool can_place(const fpga::HardwareModule& m) const;
+
+  /// Descriptor of a module that completed a load (kept until unload), so
+  /// rollback paths can re-attach it without the caller re-supplying it.
+  std::optional<fpga::HardwareModule> resident_module(fpga::ModuleId id) const;
+
+  /// Abandon a pending load: the ICAP transfer is left to finish (the port
+  /// time is already committed) but its completion becomes a no-op, and
+  /// the claimed fabric region is freed. No ready callback fires. Returns
+  /// false when no load of `id` is pending.
+  bool cancel_load(fpga::ModuleId id);
+
+  /// Re-establish a module at an exact region (transaction rollback):
+  /// claims the region in the floorplan/placer and records the descriptor.
+  /// The caller re-attaches through the architecture. Returns false when
+  /// the region is occupied or `id` is already placed.
+  bool restore_placement(fpga::ModuleId id, const fpga::HardwareModule& m,
+                         const fpga::Rect& region);
+
+  /// Free a module's placement without detaching it or forgetting its
+  /// descriptor (transaction rollback: clear deviating regions before
+  /// re-placing at snapshotted coordinates). Returns false if not placed.
+  bool release_placement(fpga::ModuleId id);
+
   /// Retry policy for aborted ICAP transfers: up to `limit` retries, the
   /// n-th after base_backoff * 2^n cycles, capped at 8 * base_backoff.
   void set_icap_retry_policy(unsigned limit, sim::Cycle base_backoff);
 
   /// Counters: "icap_aborts", "icap_retries", "load_failures",
-  /// "loads_completed", "relocation_failures".
+  /// "loads_completed", "relocation_failures", "swap_restores",
+  /// "loads_cancelled".
   const sim::StatSet& stats() const { return stats_; }
 
   const fpga::Floorplan& floorplan() const { return floorplan_; }
@@ -86,18 +117,27 @@ class ReconfigManager {
   const fpga::BitstreamModel& bitstream_model() const { return bits_; }
 
  private:
+  /// What a failed swap must put back: the module the swap detached.
+  struct SwapRestore {
+    fpga::ModuleId old_id = fpga::kInvalidModule;
+    fpga::HardwareModule module;
+    fpga::Rect region;
+  };
+
   struct LoadJob {
     fpga::HardwareModule module;
     fpga::Rect region;
     unsigned attempts = 0;
     ReadyCallback on_ready;
     CommArchitecture* arch = nullptr;
+    std::optional<SwapRestore> restore;
   };
 
   std::optional<fpga::Rect> place(fpga::ModuleId id,
                                   const fpga::HardwareModule& m);
   void free_placement(fpga::ModuleId id);
   void on_icap_done(fpga::ModuleId id, bool ok);
+  void restore_swapped_out(const SwapRestore& restore, CommArchitecture& arch);
 
   sim::Kernel& kernel_;
   fpga::Floorplan floorplan_;
@@ -107,6 +147,8 @@ class ReconfigManager {
   std::unique_ptr<fpga::SlotPlacer> slots_;
   std::unique_ptr<fpga::RectPlacer> rects_;
   std::map<fpga::ModuleId, LoadJob> loading_;
+  /// Descriptors of modules whose load completed, until unloaded.
+  std::map<fpga::ModuleId, fpga::HardwareModule> resident_;
   std::uint64_t compaction_moves_ = 0;
   unsigned icap_retry_limit_ = 3;
   sim::Cycle icap_retry_backoff_ = 128;

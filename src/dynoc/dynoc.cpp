@@ -40,6 +40,23 @@ std::size_t Dynoc::active_router_count() const {
   return n;
 }
 
+std::size_t Dynoc::in_flight_packets(fpga::ModuleId involving) const {
+  auto counts = [involving](const proto::Packet& p) {
+    return involving == fpga::kInvalidModule || p.src == involving ||
+           p.dst == involving;
+  };
+  std::size_t n = 0;
+  for (const auto& r : routers_) {
+    for (const auto& port : r.in)
+      for (const auto& fp : port)
+        if (counts(fp.packet)) ++n;
+    for (const auto& link : r.out)
+      if (link.busy && link.carries_packet && counts(link.packet.packet))
+        ++n;
+  }
+  return n;
+}
+
 std::optional<fpga::Rect> Dynoc::obstacle_at(fpga::Point p) const {
   // A hard-failed router is a 1x1 obstacle: S-XY wraps live traffic
   // around it exactly as it would around a placed module.

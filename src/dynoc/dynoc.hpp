@@ -77,6 +77,11 @@ class Dynoc final : public core::CommArchitecture, public sim::Component {
   /// DYN004 access-router liveness, FLP001 placement overlap.
   void verify_invariants(verify::DiagnosticSink& sink) const override;
 
+  /// Packets buffered in router input ports or occupying links (drain
+  /// census); `involving` filters by packet endpoint.
+  std::size_t in_flight_packets(
+      fpga::ModuleId involving = fpga::kInvalidModule) const override;
+
   /// Hard-fail the router at (x, y): its buffered and in-flight traffic is
   /// lost (counted as "packets_dropped_fault"), it becomes a 1x1 S-XY
   /// obstacle so live traffic routes around it, and modules whose access

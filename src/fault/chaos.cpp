@@ -1,0 +1,614 @@
+#include "fault/chaos.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <iomanip>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <utility>
+
+#include "buscom/buscom.hpp"
+#include "conochi/conochi.hpp"
+#include "core/reconfig_manager.hpp"
+#include "core/reconfig_txn.hpp"
+#include "dynoc/dynoc.hpp"
+#include "fault/injector.hpp"
+#include "fault/reliable_channel.hpp"
+#include "rmboc/rmboc.hpp"
+#include "sim/kernel.hpp"
+#include "sim/rng.hpp"
+#include "verify/diagnostic.hpp"
+
+namespace recosim::fault {
+
+namespace {
+
+// The fixed chaos topology per architecture. Fault coordinates generated
+// by make_schedule stay inside these bounds, which is also what the
+// fault-plan lint checks against.
+constexpr int kRmbocSlots = 4;
+constexpr int kRmbocBuses = 4;
+constexpr int kBuscomBuses = 4;
+constexpr int kDynocSize = 7;
+constexpr fpga::Point kConochiSwitches[] = {{1, 1}, {5, 1}, {1, 5}, {5, 5}};
+
+constexpr fpga::ModuleId kEndpointA = 1;
+constexpr fpga::ModuleId kEndpointB = 2;
+/// Module ids the schedule's ops draw from (never the endpoints).
+constexpr std::uint32_t kOpIds[] = {10, 11, 12, 13};
+
+/// Small tile-reconfigurable device so ICAP transfers take hundreds of
+/// cycles instead of tens of thousands — chaos runs whole fleets of
+/// schedules, wall-time matters.
+fpga::Device chaos_device() {
+  fpga::Device d;
+  d.name = "chaos_small";
+  d.clb_columns = 24;
+  d.clb_rows = 16;
+  d.granularity = fpga::ReconfigGranularity::kTile;
+  d.frames_per_clb_column = 4;
+  d.bits_per_frame = 256;
+  d.icap_width_bits = 32;
+  d.icap_clock_mhz = 100.0;
+  return d;
+}
+
+bool uses_rectangles(ChaosArch a) {
+  return a == ChaosArch::kDynoc || a == ChaosArch::kConochi;
+}
+
+struct Fixture {
+  std::unique_ptr<rmboc::Rmboc> rmboc;
+  std::unique_ptr<buscom::Buscom> buscom;
+  std::unique_ptr<dynoc::Dynoc> dynoc;
+  std::unique_ptr<conochi::Conochi> conochi;
+  core::CommArchitecture* arch = nullptr;
+  sim::Cycle send_gap = 100;
+  ReliableChannelConfig channel;
+};
+
+fpga::HardwareModule unit_module() {
+  fpga::HardwareModule m;
+  m.width_clbs = 1;
+  m.height_clbs = 1;
+  return m;
+}
+
+Fixture make_fixture(sim::Kernel& kernel, ChaosArch a) {
+  Fixture fx;
+  switch (a) {
+    case ChaosArch::kRmboc: {
+      rmboc::RmbocConfig cfg;
+      cfg.slots = kRmbocSlots;
+      cfg.buses = kRmbocBuses;
+      fx.rmboc = std::make_unique<rmboc::Rmboc>(kernel, cfg);
+      fx.arch = fx.rmboc.get();
+      fx.arch->attach(kEndpointA, unit_module());
+      fx.arch->attach(kEndpointB, unit_module());
+      fx.send_gap = 200;
+      fx.channel.base_timeout = 2'048;
+      fx.channel.max_timeout = 16'384;
+      break;
+    }
+    case ChaosArch::kBuscom: {
+      buscom::BuscomConfig cfg;
+      cfg.buses = kBuscomBuses;
+      fx.buscom = std::make_unique<buscom::Buscom>(kernel, cfg);
+      fx.arch = fx.buscom.get();
+      fx.arch->attach(kEndpointA, unit_module());
+      fx.arch->attach(kEndpointB, unit_module());
+      fx.send_gap = 600;
+      fx.channel.base_timeout = 8'192;
+      fx.channel.max_timeout = 65'536;
+      break;
+    }
+    case ChaosArch::kDynoc: {
+      dynoc::DynocConfig cfg;
+      cfg.width = cfg.height = kDynocSize;
+      fx.dynoc = std::make_unique<dynoc::Dynoc>(kernel, cfg);
+      fx.arch = fx.dynoc.get();
+      fx.dynoc->attach_at(kEndpointA, unit_module(), {1, 1});
+      fx.dynoc->attach_at(kEndpointB, unit_module(), {5, 1});
+      fx.send_gap = 100;
+      break;
+    }
+    case ChaosArch::kConochi: {
+      conochi::ConochiConfig cfg;
+      cfg.grid_width = 8;
+      cfg.grid_height = 8;
+      fx.conochi = std::make_unique<conochi::Conochi>(kernel, cfg);
+      for (const auto& p : kConochiSwitches) fx.conochi->add_switch(p);
+      fx.conochi->lay_wire({2, 1}, {4, 1});
+      fx.conochi->lay_wire({2, 5}, {4, 5});
+      fx.conochi->lay_wire({1, 2}, {1, 4});
+      fx.conochi->lay_wire({5, 2}, {5, 4});
+      fx.arch = fx.conochi.get();
+      fx.conochi->attach_at(kEndpointA, unit_module(), {1, 1});
+      fx.conochi->attach_at(kEndpointB, unit_module(), {5, 5});
+      fx.send_gap = 150;
+      break;
+    }
+  }
+  return fx;
+}
+
+}  // namespace
+
+const char* to_string(ChaosArch a) {
+  switch (a) {
+    case ChaosArch::kRmboc: return "rmboc";
+    case ChaosArch::kBuscom: return "buscom";
+    case ChaosArch::kDynoc: return "dynoc";
+    case ChaosArch::kConochi: return "conochi";
+  }
+  return "?";
+}
+
+std::optional<ChaosArch> parse_chaos_arch(const std::string& name) {
+  for (ChaosArch a : kAllChaosArchs)
+    if (name == to_string(a)) return a;
+  return std::nullopt;
+}
+
+const char* to_string(ChaosOp::Kind k) {
+  switch (k) {
+    case ChaosOp::Kind::kLoad: return "load";
+    case ChaosOp::Kind::kSwap: return "swap";
+    case ChaosOp::Kind::kUnload: return "unload";
+    case ChaosOp::Kind::kLoadCompact: return "load_compact";
+  }
+  return "?";
+}
+
+ChaosSchedule make_schedule(ChaosArch arch, std::uint64_t seed, int num_ops,
+                            sim::Cycle horizon) {
+  sim::Rng rng(seed * 0x9e3779b97f4a7c15ULL +
+               static_cast<std::uint64_t>(arch));
+  ChaosSchedule s;
+  s.arch = arch;
+  s.seed = seed;
+  s.horizon = horizon;
+
+  const bool rect = uses_rectangles(arch);
+
+  // Reconfiguration ops. `maybe_loaded` is a plausibility heuristic, not
+  // ground truth — ops that turn out invalid at runtime exercise the
+  // transaction's bad-request rollback, which is the point.
+  std::vector<std::uint32_t> maybe_loaded;
+  auto pick_fresh = [&]() -> std::uint32_t {
+    std::vector<std::uint32_t> unused;
+    for (std::uint32_t id : kOpIds)
+      if (std::find(maybe_loaded.begin(), maybe_loaded.end(), id) ==
+          maybe_loaded.end())
+        unused.push_back(id);
+    if (unused.empty()) return kOpIds[rng.index(std::size(kOpIds))];
+    return unused[rng.index(unused.size())];
+  };
+  for (int i = 0; i < num_ops; ++i) {
+    ChaosOp op;
+    op.at = 100 + rng.uniform(0, horizon * 7 / 10);
+    if (rect) {
+      op.w = 1 + static_cast<int>(rng.index(2));
+      op.h = 1 + static_cast<int>(rng.index(2));
+    } else {
+      op.w = 1 + static_cast<int>(rng.index(4));
+      op.h = 1 + static_cast<int>(rng.index(8));
+    }
+    const double roll = rng.real();
+    if (maybe_loaded.empty() || roll < 0.45) {
+      op.kind = (rect && rng.chance(0.3)) ? ChaosOp::Kind::kLoadCompact
+                                          : ChaosOp::Kind::kLoad;
+      op.id = pick_fresh();
+      maybe_loaded.push_back(op.id);
+    } else if (roll < 0.7) {
+      op.kind = ChaosOp::Kind::kSwap;
+      op.old_id = maybe_loaded[rng.index(maybe_loaded.size())];
+      op.id = pick_fresh();
+      std::replace(maybe_loaded.begin(), maybe_loaded.end(), op.old_id,
+                   op.id);
+    } else {
+      op.kind = ChaosOp::Kind::kUnload;
+      op.id = maybe_loaded[rng.index(maybe_loaded.size())];
+      maybe_loaded.erase(std::remove(maybe_loaded.begin(),
+                                     maybe_loaded.end(), op.id),
+                         maybe_loaded.end());
+    }
+    s.ops.push_back(op);
+  }
+  std::sort(s.ops.begin(), s.ops.end(),
+            [](const ChaosOp& a, const ChaosOp& b) { return a.at < b.at; });
+
+  // Hard faults, each healed before the horizon so the end-state checks
+  // run against a repaired fabric.
+  const int nfaults = 1 + static_cast<int>(rng.index(3));
+  for (int i = 0; i < nfaults; ++i) {
+    const sim::Cycle t = horizon / 10 + rng.uniform(0, horizon / 2);
+    const sim::Cycle h = t + 200 + rng.uniform(0, horizon * 9 / 10 - t);
+    switch (arch) {
+      case ChaosArch::kRmboc: {
+        const int seg = static_cast<int>(rng.index(kRmbocSlots - 1));
+        const int bus = static_cast<int>(rng.index(kRmbocBuses));
+        s.faults.fail_link_at(t, seg, bus).heal_link_at(h, seg, bus);
+        break;
+      }
+      case ChaosArch::kBuscom: {
+        // Never bus k-1: even fully overlapping faults leave one bus up
+        // (a total blackout is a lint error, not a chaos scenario).
+        const int bus = static_cast<int>(rng.index(kBuscomBuses - 1));
+        s.faults.fail_node_at(t, bus).heal_node_at(h, bus);
+        break;
+      }
+      case ChaosArch::kDynoc: {
+        const int x = static_cast<int>(rng.index(kDynocSize));
+        const int y = static_cast<int>(rng.index(kDynocSize));
+        s.faults.fail_node_at(t, x, y).heal_node_at(h, x, y);
+        break;
+      }
+      case ChaosArch::kConochi: {
+        const auto& p = kConochiSwitches[rng.index(std::size(kConochiSwitches))];
+        s.faults.fail_node_at(t, p.x, p.y).heal_node_at(h, p.x, p.y);
+        break;
+      }
+    }
+  }
+  const int naborts = static_cast<int>(rng.index(3));
+  for (int i = 0; i < naborts; ++i)
+    s.faults.abort_icap_at(100 + rng.uniform(0, horizon * 7 / 10));
+  std::sort(s.faults.scheduled.begin(), s.faults.scheduled.end(),
+            [](const FaultEvent& a, const FaultEvent& b) { return a.at < b.at; });
+
+  if (rng.chance(0.5)) s.faults.bit_flip_rate = rng.real() * 0.02;
+  if (rng.chance(0.5)) s.faults.drop_rate = rng.real() * 0.02;
+  // A third of the schedules run with a hot ICAP: abort rates high enough
+  // to exhaust the retry budget, forcing permanent load failures and the
+  // rollback path (the rest keep a mild rate so commits dominate).
+  s.faults.icap_abort_rate =
+      rng.chance(0.33) ? 0.5 + rng.real() * 0.4 : rng.real() * 0.15;
+  return s;
+}
+
+ChaosResult run_schedule(const ChaosSchedule& s) {
+  sim::Kernel kernel;
+  Fixture fx = make_fixture(kernel, s.arch);
+  core::CommArchitecture& arch = *fx.arch;
+
+  core::ReconfigManager mgr(
+      kernel, chaos_device(), /*system_clock_mhz=*/100.0,
+      uses_rectangles(s.arch) ? core::PlacementStrategy::kRectangles
+                              : core::PlacementStrategy::kSlots,
+      /*slot_count=*/4);
+
+  // Tight retry budget: with the schedule's ICAP abort rates, a load
+  // regularly exhausts it, which is how rollback earns its keep.
+  mgr.set_icap_retry_policy(/*limit=*/2, /*base_backoff=*/64);
+
+  FaultInjector injector(kernel, arch, s.faults, sim::Rng(s.seed * 977 + 13));
+  injector.attach_icap(mgr.icap());
+
+  ReliableChannel rc(kernel, arch, fx.channel, sim::Rng(s.seed * 31 + 7));
+  rc.add_endpoint(kEndpointA);
+  rc.add_endpoint(kEndpointB);
+  for (std::uint32_t id : kOpIds) rc.add_endpoint(id);
+
+  // Issue every op as a transaction at its cycle. Transactions stay alive
+  // (and visible) until the run ends.
+  std::vector<std::unique_ptr<core::ReconfigTxn>> txns;
+  for (const ChaosOp& op : s.ops) {
+    kernel.schedule_at(op.at, [&kernel, &mgr, &arch, &rc, &txns, op] {
+      core::TxnRequest req;
+      req.id = op.id;
+      req.old_id = op.old_id;
+      req.module.width_clbs = op.w;
+      req.module.height_clbs = op.h;
+      req.module.name = "chaos";
+      switch (op.kind) {
+        case ChaosOp::Kind::kLoad: req.kind = core::TxnKind::kLoad; break;
+        case ChaosOp::Kind::kSwap: req.kind = core::TxnKind::kSwap; break;
+        case ChaosOp::Kind::kUnload: req.kind = core::TxnKind::kUnload; break;
+        case ChaosOp::Kind::kLoadCompact:
+          req.kind = core::TxnKind::kLoadWithCompaction;
+          break;
+      }
+      core::TxnConfig tc;
+      tc.drain_timeout = 4'000;
+      tc.drain_stall_deadline = 1'000;
+      tc.txn_timeout = 25'000;
+      auto txn = std::make_unique<core::ReconfigTxn>(kernel, mgr, arch,
+                                                     std::move(req), tc);
+      core::ReconfigTxn* t = txn.get();
+      t->add_drain_source([&rc, t] {
+        std::size_t n = 0;
+        for (fpga::ModuleId id : t->quiesced_modules())
+          n += rc.outstanding(id);
+        return n;
+      });
+      txns.push_back(std::move(txn));
+    });
+  }
+
+  // Traffic: a steady A<->B flow plus occasional packets to whichever op
+  // module is attached right now, so transactions have live traffic to
+  // quiesce and drain.
+  sim::Rng traffic(s.seed * 131 + 3);
+  struct Flow {
+    fpga::ModuleId src, dst;
+  };
+  std::map<std::uint64_t, Flow> accepted;
+  std::map<std::uint64_t, int> delivered;
+  std::uint64_t next_tag = 0;
+  const std::vector<fpga::ModuleId> all_endpoints = [] {
+    std::vector<fpga::ModuleId> v{kEndpointA, kEndpointB};
+    for (std::uint32_t id : kOpIds) v.push_back(id);
+    return v;
+  }();
+  auto drain_receives = [&] {
+    for (fpga::ModuleId id : all_endpoints)
+      while (auto p = rc.receive(id)) ++delivered[p->tag];
+  };
+
+  sim::Cycle next_send = 0;
+  while (kernel.now() < s.horizon) {
+    if (kernel.now() >= next_send) {
+      fpga::ModuleId src = kEndpointA;
+      fpga::ModuleId dst = kEndpointB;
+      if (traffic.chance(0.5)) std::swap(src, dst);
+      if (traffic.chance(0.25)) {
+        std::vector<fpga::ModuleId> live;
+        for (std::uint32_t id : kOpIds)
+          if (arch.is_attached(id)) live.push_back(id);
+        if (!live.empty()) {
+          src = kEndpointA;
+          dst = live[traffic.index(live.size())];
+        }
+      }
+      if (!rc.peer_dead(src, dst)) {
+        proto::Packet p;
+        p.src = src;
+        p.dst = dst;
+        p.payload_bytes = 16;
+        p.tag = ++next_tag;
+        if (rc.send(p))
+          accepted.emplace(p.tag, Flow{src, dst});
+        else
+          --next_tag;
+      }
+      next_send = kernel.now() + fx.send_gap;
+    }
+    kernel.run(1);
+    drain_receives();
+  }
+
+  // Settle: traffic stopped (the plan healed every fault before the
+  // horizon); wait for every transaction to reach a terminal state and
+  // the channel to go quiet. The cap covers the slowest legitimate path
+  // (full retry budget at max backoff) so hitting it means a stuck
+  // transaction or a leaked in-flight packet — which the checks report.
+  kernel.run_until(
+      [&] {
+        for (const auto& t : txns)
+          if (!t->done()) return false;
+        return rc.outstanding() == 0;
+      },
+      250'000);
+  drain_receives();
+
+  if (std::getenv("RECOSIM_CHAOS_DEBUG")) {
+    std::fprintf(stderr,
+                 "[chaos-debug] icap requests=%llu completed=%llu aborted=%llu "
+                 "inj_icap_aborts=%llu mgr_load_failures=%llu\n",
+                 (unsigned long long)mgr.icap().stats().counter_value("requests"),
+                 (unsigned long long)mgr.icap().stats().counter_value("completed"),
+                 (unsigned long long)mgr.icap().stats().counter_value("aborted"),
+                 (unsigned long long)injector.stats().counter_value("icap_aborts"),
+                 (unsigned long long)mgr.stats().counter_value("load_failures"));
+  }
+
+  ChaosResult result;
+  result.end_cycle = kernel.now();
+  result.accepted = accepted.size();
+  result.delivered = rc.delivered_total();
+  for (const auto& t : txns) {
+    if (t->committed()) ++result.txns_committed;
+    if (t->state() == core::TxnState::kRolledBack) ++result.txns_rolled_back;
+    if (t->forced_drain()) ++result.forced_drains;
+  }
+
+  auto violation = [&](std::string invariant, std::string detail) {
+    result.ok = false;
+    result.violations.push_back(
+        ChaosViolation{std::move(invariant), std::move(detail)});
+  };
+
+  // Exactly-once: every accepted payload is delivered once, or its flow
+  // was declared dead (an accounted loss, never a silent one).
+  for (const auto& [tag, flow] : accepted) {
+    const auto it = delivered.find(tag);
+    const int n = it == delivered.end() ? 0 : it->second;
+    if (n > 1) {
+      violation("duplicate-delivery",
+                "tag " + std::to_string(tag) + " delivered " +
+                    std::to_string(n) + " times");
+    } else if (n == 0 && !rc.peer_dead(flow.src, flow.dst)) {
+      violation("lost-payload",
+                "tag " + std::to_string(tag) + " (" +
+                    std::to_string(flow.src) + "->" +
+                    std::to_string(flow.dst) +
+                    ") accepted on a live flow but never delivered");
+    }
+  }
+
+  // No half-attached module: attachment and placement agree for every
+  // module the schedule managed.
+  for (std::uint32_t id : kOpIds) {
+    const bool att = arch.is_attached(id);
+    const bool placed = mgr.floorplan().region_of(id).has_value();
+    if (att != placed)
+      violation("half-attached",
+                "module " + std::to_string(id) +
+                    (att ? " attached but not placed" :
+                           " placed but not attached"));
+  }
+
+  for (std::size_t i = 0; i < txns.size(); ++i) {
+    if (!txns[i]->done())
+      violation("txn-stuck",
+                "op " + std::to_string(i) + " (" +
+                    core::to_string(txns[i]->request().kind) + " id " +
+                    std::to_string(txns[i]->request().id) + ") in state " +
+                    core::to_string(txns[i]->state()));
+  }
+
+  verify::DiagnosticSink sink;
+  arch.verify_invariants(sink);
+  for (const auto& d : sink.diagnostics())
+    if (d.severity == verify::Severity::kError)
+      violation("verify-error", "[" + d.rule + "] " + d.message);
+
+  return result;
+}
+
+ChaosSchedule shrink_schedule(const ChaosSchedule& schedule) {
+  auto fails = [](const ChaosSchedule& c) { return !run_schedule(c).ok; };
+  if (!fails(schedule)) return schedule;
+  ChaosSchedule cur = schedule;
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    for (std::size_t i = 0; i < cur.ops.size();) {
+      ChaosSchedule t = cur;
+      t.ops.erase(t.ops.begin() + static_cast<std::ptrdiff_t>(i));
+      if (fails(t)) {
+        cur = std::move(t);
+        progress = true;
+      } else {
+        ++i;
+      }
+    }
+    for (std::size_t i = 0; i < cur.faults.scheduled.size();) {
+      ChaosSchedule t = cur;
+      t.faults.scheduled.erase(t.faults.scheduled.begin() +
+                               static_cast<std::ptrdiff_t>(i));
+      if (fails(t)) {
+        cur = std::move(t);
+        progress = true;
+      } else {
+        ++i;
+      }
+    }
+    for (double FaultPlan::*rate :
+         {&FaultPlan::bit_flip_rate, &FaultPlan::drop_rate,
+          &FaultPlan::icap_abort_rate}) {
+      if (cur.faults.*rate == 0.0) continue;
+      ChaosSchedule t = cur;
+      t.faults.*rate = 0.0;
+      if (fails(t)) {
+        cur = std::move(t);
+        progress = true;
+      }
+    }
+  }
+  return cur;
+}
+
+std::string serialize_schedule(const ChaosSchedule& s) {
+  std::ostringstream out;
+  out << "# recosim chaos schedule\n";
+  out << "arch " << to_string(s.arch) << "\n";
+  out << "seed " << s.seed << "\n";
+  out << "horizon " << s.horizon << "\n";
+  out << std::setprecision(17);
+  if (s.faults.bit_flip_rate != 0.0)
+    out << "rate bit_flip " << s.faults.bit_flip_rate << "\n";
+  if (s.faults.drop_rate != 0.0)
+    out << "rate drop " << s.faults.drop_rate << "\n";
+  if (s.faults.icap_abort_rate != 0.0)
+    out << "rate icap_abort " << s.faults.icap_abort_rate << "\n";
+  for (const auto& e : s.faults.scheduled) {
+    const char* kind = "?";
+    switch (e.kind) {
+      case FaultKind::kNodeFail: kind = "fail_node"; break;
+      case FaultKind::kNodeHeal: kind = "heal_node"; break;
+      case FaultKind::kLinkFail: kind = "fail_link"; break;
+      case FaultKind::kLinkHeal: kind = "heal_link"; break;
+      case FaultKind::kIcapAbort: kind = "abort_icap"; break;
+    }
+    out << "fault " << kind << " " << e.at << " " << e.a << " " << e.b
+        << "\n";
+  }
+  for (const auto& op : s.ops)
+    out << "op " << to_string(op.kind) << " " << op.at << " " << op.id << " "
+        << op.old_id << " " << op.w << " " << op.h << "\n";
+  return out.str();
+}
+
+std::optional<ChaosSchedule> parse_schedule(const std::string& text,
+                                            std::string* error) {
+  auto fail = [&](int line, const std::string& msg) {
+    if (error)
+      *error = "line " + std::to_string(line) + ": " + msg;
+    return std::nullopt;
+  };
+  ChaosSchedule s;
+  std::istringstream in(text);
+  std::string raw;
+  int lineno = 0;
+  while (std::getline(in, raw)) {
+    ++lineno;
+    const auto hash = raw.find('#');
+    if (hash != std::string::npos) raw.resize(hash);
+    std::istringstream line(raw);
+    std::string word;
+    if (!(line >> word)) continue;
+    if (word == "arch") {
+      std::string name;
+      if (!(line >> name)) return fail(lineno, "arch: missing name");
+      auto a = parse_chaos_arch(name);
+      if (!a) return fail(lineno, "arch: unknown architecture '" + name + "'");
+      s.arch = *a;
+    } else if (word == "seed") {
+      if (!(line >> s.seed)) return fail(lineno, "seed: missing value");
+    } else if (word == "horizon") {
+      if (!(line >> s.horizon)) return fail(lineno, "horizon: missing value");
+    } else if (word == "rate") {
+      std::string which;
+      double value = 0.0;
+      if (!(line >> which >> value))
+        return fail(lineno, "rate: expected '<name> <value>'");
+      if (which == "bit_flip") s.faults.bit_flip_rate = value;
+      else if (which == "drop") s.faults.drop_rate = value;
+      else if (which == "icap_abort") s.faults.icap_abort_rate = value;
+      else return fail(lineno, "rate: unknown rate '" + which + "'");
+    } else if (word == "fault") {
+      std::string kind;
+      FaultEvent e;
+      if (!(line >> kind >> e.at >> e.a >> e.b))
+        return fail(lineno, "fault: expected '<kind> <at> <a> <b>'");
+      if (kind == "fail_node") e.kind = FaultKind::kNodeFail;
+      else if (kind == "heal_node") e.kind = FaultKind::kNodeHeal;
+      else if (kind == "fail_link") e.kind = FaultKind::kLinkFail;
+      else if (kind == "heal_link") e.kind = FaultKind::kLinkHeal;
+      else if (kind == "abort_icap") e.kind = FaultKind::kIcapAbort;
+      else return fail(lineno, "fault: unknown kind '" + kind + "'");
+      s.faults.scheduled.push_back(e);
+    } else if (word == "op") {
+      std::string kind;
+      ChaosOp op;
+      if (!(line >> kind >> op.at >> op.id >> op.old_id >> op.w >> op.h))
+        return fail(lineno,
+                    "op: expected '<kind> <at> <id> <old_id> <w> <h>'");
+      if (kind == "load") op.kind = ChaosOp::Kind::kLoad;
+      else if (kind == "swap") op.kind = ChaosOp::Kind::kSwap;
+      else if (kind == "unload") op.kind = ChaosOp::Kind::kUnload;
+      else if (kind == "load_compact") op.kind = ChaosOp::Kind::kLoadCompact;
+      else return fail(lineno, "op: unknown kind '" + kind + "'");
+      s.ops.push_back(op);
+    } else {
+      return fail(lineno, "unknown directive '" + word + "'");
+    }
+  }
+  return s;
+}
+
+}  // namespace recosim::fault

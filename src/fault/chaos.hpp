@@ -1,0 +1,93 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "fault/fault_plan.hpp"
+#include "sim/types.hpp"
+
+namespace recosim::fault {
+
+/// Architectures the chaos harness can target.
+enum class ChaosArch { kRmboc, kBuscom, kDynoc, kConochi };
+const char* to_string(ChaosArch a);
+std::optional<ChaosArch> parse_chaos_arch(const std::string& name);
+inline constexpr ChaosArch kAllChaosArchs[] = {
+    ChaosArch::kRmboc, ChaosArch::kBuscom, ChaosArch::kDynoc,
+    ChaosArch::kConochi};
+
+/// One reconfiguration request the schedule issues (as a ReconfigTxn).
+struct ChaosOp {
+  enum class Kind { kLoad, kSwap, kUnload, kLoadCompact };
+  sim::Cycle at = 0;
+  Kind kind = Kind::kLoad;
+  std::uint32_t id = 0;      ///< module loaded / unloaded / swapped in
+  std::uint32_t old_id = 0;  ///< swap victim (kSwap only)
+  int w = 1;                 ///< module width in CLBs
+  int h = 1;                 ///< module height in CLBs
+};
+const char* to_string(ChaosOp::Kind k);
+
+/// A complete chaos scenario: one architecture, a fault plan and a
+/// reconfiguration schedule, all derived from a single seed. Running the
+/// same schedule twice is bit-for-bit identical, so any failure can be
+/// replayed from its printed form.
+struct ChaosSchedule {
+  ChaosArch arch = ChaosArch::kRmboc;
+  std::uint64_t seed = 0;
+  sim::Cycle horizon = 30'000;  ///< cycle traffic and ops stop
+  FaultPlan faults;
+  std::vector<ChaosOp> ops;
+};
+
+/// Seed-derived random schedule: `num_ops` reconfiguration requests over
+/// [0, 0.7 * horizon], hard faults valid for the architecture's fixed
+/// chaos topology (every fail is healed before the horizon), and mild
+/// stochastic packet/ICAP fault rates.
+ChaosSchedule make_schedule(ChaosArch arch, std::uint64_t seed,
+                            int num_ops = 8, sim::Cycle horizon = 30'000);
+
+/// One end-to-end invariant breach found by run_schedule.
+struct ChaosViolation {
+  /// "duplicate-delivery", "lost-payload", "half-attached", "txn-stuck",
+  /// "verify-error".
+  std::string invariant;
+  std::string detail;
+};
+
+struct ChaosResult {
+  bool ok = true;
+  std::vector<ChaosViolation> violations;
+  std::uint64_t delivered = 0;      ///< unique payloads to the application
+  std::uint64_t accepted = 0;       ///< payloads accepted by the channel
+  std::uint64_t txns_committed = 0;
+  std::uint64_t txns_rolled_back = 0;
+  std::uint64_t forced_drains = 0;
+  sim::Cycle end_cycle = 0;
+};
+
+/// Execute a schedule: build the architecture and its fixed chaos
+/// topology, load two reliable-traffic endpoints, issue every op as a
+/// quiesce/drain/rollback transaction while the fault plan runs, then
+/// stop traffic, let the system settle and check the end-to-end
+/// invariants — every accepted payload delivered exactly once or its flow
+/// declared dead, no module half-attached (attached XOR placed), every
+/// transaction terminal, no error-severity diagnostics from the
+/// architecture's verifier.
+ChaosResult run_schedule(const ChaosSchedule& schedule);
+
+/// Greedy delta-debugging: starting from a failing schedule, repeatedly
+/// drop ops and fault events and zero stochastic rates while the failure
+/// reproduces, until a fixed point. Returns the (still failing) minimal
+/// schedule; returns `schedule` unchanged if it does not fail.
+ChaosSchedule shrink_schedule(const ChaosSchedule& schedule);
+
+/// Line-oriented text form of a schedule (stable across versions the
+/// parser accepts); parse_schedule is its exact inverse.
+std::string serialize_schedule(const ChaosSchedule& schedule);
+std::optional<ChaosSchedule> parse_schedule(const std::string& text,
+                                            std::string* error = nullptr);
+
+}  // namespace recosim::fault

@@ -65,6 +65,14 @@ std::size_t ReliableChannel::outstanding() const {
   return n;
 }
 
+std::size_t ReliableChannel::outstanding(fpga::ModuleId involving) const {
+  std::size_t n = 0;
+  for (const auto& [key, flow] : tx_)
+    if (key.first == involving || key.second == involving)
+      n += flow.pending.size();
+  return n;
+}
+
 void ReliableChannel::handle_ack(fpga::ModuleId at, const proto::Packet& ack) {
   // The ACK's src is the original receiver, so the flow it acknowledges is
   // (at -> ack.src).

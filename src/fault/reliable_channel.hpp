@@ -67,6 +67,10 @@ class ReliableChannel final : public sim::Component {
   std::uint64_t delivered_total() const { return delivered_total_; }
   /// Unacknowledged packets across all live flows (watchdog pending).
   std::size_t outstanding() const;
+  /// Unacknowledged packets on live flows with `involving` as either
+  /// endpoint (transaction drain: only traffic touching the modules being
+  /// reconfigured has to land, the rest of the network keeps running).
+  std::size_t outstanding(fpga::ModuleId involving) const;
 
   /// Counters: "data_sent", "retransmissions", "acks_sent",
   /// "acks_received", "duplicates_dropped", "unrecoverable",

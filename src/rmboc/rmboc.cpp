@@ -431,6 +431,9 @@ Rmboc::Channel& Rmboc::create_channel(int src_slot, int dst_slot,
 
 bool Rmboc::open_channel(fpga::ModuleId src, fpga::ModuleId dst,
                          int lanes) {
+  // Quiesced endpoints accept no new circuits; channels already standing
+  // keep draining (transactional quiesce/drain discipline).
+  if (is_quiesced(src) || is_quiesced(dst)) return false;
   auto s = slot_of(src);
   auto d = slot_of(dst);
   if (!s || !d || *s == *d) return false;
@@ -438,6 +441,18 @@ bool Rmboc::open_channel(fpga::ModuleId src, fpga::ModuleId dst,
   create_channel(*s, *d, src, dst, lanes);
   debug_check_invariants();
   return true;
+}
+
+std::size_t Rmboc::in_flight_packets(fpga::ModuleId involving) const {
+  std::size_t n = 0;
+  for (const auto& [id, c] : channels_) {
+    (void)id;
+    if (involving != fpga::kInvalidModule && c.src_module != involving &&
+        c.dst_module != involving)
+      continue;
+    n += c.queue.size();
+  }
+  return n;
 }
 
 int Rmboc::channel_lanes(fpga::ModuleId src, fpga::ModuleId dst) const {

@@ -69,6 +69,12 @@ class Rmboc final : public core::CommArchitecture, public sim::Component {
   /// table/channel consistency, RMB006 slot ranges.
   void verify_invariants(verify::DiagnosticSink& sink) const override;
 
+  /// Packets queued on channels (established or under construction) that
+  /// have not yet been delivered; the drain census of reconfiguration
+  /// transactions. `involving` filters by endpoint module.
+  std::size_t in_flight_packets(
+      fpga::ModuleId involving = fpga::kInvalidModule) const override;
+
   /// Hard-fail the cross-point of `slot`. On a 1-D segmented bus there is
   /// no way around a dead cross-point, so every circuit touching or
   /// crossing the slot is torn down and its queued traffic is lost

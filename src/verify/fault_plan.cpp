@@ -1,0 +1,279 @@
+#include "verify/fault_plan.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <utility>
+
+namespace recosim::verify {
+
+const char* to_string(FaultPlanDoc::Kind k) {
+  switch (k) {
+    case FaultPlanDoc::Kind::kNodeFail: return "fail_node";
+    case FaultPlanDoc::Kind::kNodeHeal: return "heal_node";
+    case FaultPlanDoc::Kind::kLinkFail: return "fail_link";
+    case FaultPlanDoc::Kind::kLinkHeal: return "heal_link";
+    case FaultPlanDoc::Kind::kIcapAbort: return "abort_icap";
+  }
+  return "?";
+}
+
+namespace {
+
+Location line_loc(const std::string& source, int number) {
+  return {source, "line " + std::to_string(number)};
+}
+
+std::optional<FaultPlanDoc::Kind> parse_kind(const std::string& word) {
+  using Kind = FaultPlanDoc::Kind;
+  if (word == "fail_node") return Kind::kNodeFail;
+  if (word == "heal_node") return Kind::kNodeHeal;
+  if (word == "fail_link") return Kind::kLinkFail;
+  if (word == "heal_link") return Kind::kLinkHeal;
+  if (word == "abort_icap") return Kind::kIcapAbort;
+  return std::nullopt;
+}
+
+bool known_rate(const std::string& name) {
+  return name == "bit_flip" || name == "drop" || name == "icap_abort";
+}
+
+}  // namespace
+
+FaultPlanDoc parse_fault_plan(const std::string& text,
+                              const std::string& source_name,
+                              DiagnosticSink& sink) {
+  FaultPlanDoc plan;
+  plan.source = source_name;
+  std::istringstream lines(text);
+  std::string line;
+  int number = 0;
+  while (std::getline(lines, line)) {
+    ++number;
+    if (auto hash = line.find('#'); hash != std::string::npos)
+      line.erase(hash);
+    std::istringstream in(line);
+    std::string word;
+    if (!(in >> word)) continue;  // blank / comment-only
+
+    if (word == "fault") {
+      std::string kind_word;
+      long long at = 0;
+      if (!(in >> kind_word >> at)) {
+        sink.report("LNT001", Severity::kError, line_loc(source_name, number),
+                    "fault expects: fault <kind> <cycle> [<a> [<b>]]");
+        continue;
+      }
+      auto kind = parse_kind(kind_word);
+      if (!kind) {
+        sink.report("LNT001", Severity::kError, line_loc(source_name, number),
+                    "unknown fault kind '" + kind_word + "'",
+                    "one of: fail_node, heal_node, fail_link, heal_link, "
+                    "abort_icap");
+        continue;
+      }
+      FaultPlanDoc::Event ev;
+      ev.line = number;
+      ev.at = at;
+      ev.kind = *kind;
+      in >> ev.a >> ev.b;  // optional for abort_icap
+      plan.events.push_back(ev);
+    } else if (word == "rate") {
+      std::string name;
+      double value = 0;
+      if (!(in >> name >> value)) {
+        sink.report("LNT001", Severity::kError, line_loc(source_name, number),
+                    "rate expects: rate <name> <value>");
+        continue;
+      }
+      if (!known_rate(name)) {
+        sink.report("LNT001", Severity::kError, line_loc(source_name, number),
+                    "unknown rate '" + name + "'",
+                    "one of: bit_flip, drop, icap_abort");
+        continue;
+      }
+      plan.rates.push_back({number, name, value});
+    } else if (word == "arch" || word == "seed" || word == "horizon" ||
+               word == "op") {
+      // Chaos-schedule lines outside the fault subset; a shrunk schedule
+      // file lints without editing.
+    } else {
+      sink.report("LNT001", Severity::kError, line_loc(source_name, number),
+                  "unknown directive '" + word + "'");
+    }
+  }
+  return plan;
+}
+
+std::optional<FaultPlanDoc> parse_fault_plan_file(const std::string& path,
+                                                  DiagnosticSink& sink) {
+  std::ifstream in(path);
+  if (!in) {
+    sink.report("LNT001", Severity::kError, {path, ""},
+                "cannot open fault plan file");
+    return std::nullopt;
+  }
+  std::ostringstream text;
+  text << in.rdbuf();
+  return parse_fault_plan(text.str(), path, sink);
+}
+
+namespace {
+
+/// FLT002: does the fault's coordinate name a resource the scenario's
+/// topology actually has? Returns an explanation for the diagnostic, or
+/// empty when the reference is fine.
+std::string unknown_resource(const Scenario& topo,
+                             const FaultPlanDoc::Event& ev) {
+  using Kind = FaultPlanDoc::Kind;
+  const bool link = ev.kind == Kind::kLinkFail || ev.kind == Kind::kLinkHeal;
+  switch (topo.arch) {
+    case ArchKind::kBuscom: {
+      if (link) return "BUS-COM has no link faults (buses fail whole)";
+      const int buses = static_cast<int>(topo.setting("buses", 4));
+      if (ev.a < 0 || ev.a >= buses)
+        return "bus " + std::to_string(ev.a) + " does not exist (" +
+               std::to_string(buses) + " buses)";
+      return {};
+    }
+    case ArchKind::kRmboc: {
+      const int slots = static_cast<int>(topo.setting("slots", 4));
+      const int buses = static_cast<int>(topo.setting("buses", 4));
+      if (link) {
+        if (ev.a < 0 || ev.a >= slots - 1)
+          return "segment " + std::to_string(ev.a) +
+                 " does not exist (segments 0.." + std::to_string(slots - 2) +
+                 ")";
+        if (ev.b < 0 || ev.b >= buses)
+          return "bus " + std::to_string(ev.b) + " does not exist (" +
+                 std::to_string(buses) + " buses)";
+        return {};
+      }
+      if (ev.a < 0 || ev.a >= slots)
+        return "cross-point slot " + std::to_string(ev.a) +
+               " does not exist (" + std::to_string(slots) + " slots)";
+      return {};
+    }
+    case ArchKind::kDynoc: {
+      if (link) return "DyNoC has no link faults (routers fail whole)";
+      const int w = static_cast<int>(topo.setting("width", 5));
+      const int h = static_cast<int>(topo.setting("height", 5));
+      if (ev.a < 0 || ev.a >= w || ev.b < 0 || ev.b >= h)
+        return "router (" + std::to_string(ev.a) + ", " +
+               std::to_string(ev.b) + ") lies outside the " +
+               std::to_string(w) + "x" + std::to_string(h) + " array";
+      return {};
+    }
+    case ArchKind::kConochi: {
+      if (link) return "CoNoChi has no link faults (switches fail whole)";
+      for (const auto& s : topo.switches)
+        if (s.x == ev.a && s.y == ev.b) return {};
+      return "no switch declared at (" + std::to_string(ev.a) + ", " +
+             std::to_string(ev.b) + ")";
+    }
+    case ArchKind::kNone: return {};
+  }
+  return {};
+}
+
+/// Total number of "nodes" the architecture has, for the blackout check
+/// (0 = blackout not meaningful for this architecture).
+std::size_t node_universe(const Scenario& topo) {
+  switch (topo.arch) {
+    case ArchKind::kBuscom:
+      return static_cast<std::size_t>(topo.setting("buses", 4));
+    case ArchKind::kConochi: return topo.switches.size();
+    default: return 0;
+  }
+}
+
+const char* node_noun(const Scenario& topo) {
+  return topo.arch == ArchKind::kBuscom ? "bus" : "switch";
+}
+
+}  // namespace
+
+void check_fault_plan(const FaultPlanDoc& plan, const Scenario* topology,
+                      DiagnosticSink& sink) {
+  // FLT004 — injection rates are probabilities.
+  for (const auto& r : plan.rates) {
+    if (r.value < 0.0 || r.value > 1.0) {
+      sink.report("FLT004", Severity::kError, line_loc(plan.source, r.line),
+                  "rate " + r.name + " = " + std::to_string(r.value) +
+                      " lies outside [0, 1]");
+    }
+  }
+
+  // Walk events in injection order (time, then declaration order — the
+  // order FaultInjector dispatches same-cycle events).
+  std::vector<const FaultPlanDoc::Event*> order;
+  order.reserve(plan.events.size());
+  for (const auto& ev : plan.events) order.push_back(&ev);
+  std::stable_sort(order.begin(), order.end(),
+                   [](const auto* x, const auto* y) { return x->at < y->at; });
+
+  using Key = std::pair<int, int>;
+  std::set<Key> failed_nodes;
+  std::set<Key> failed_links;
+  const std::size_t universe = topology ? node_universe(*topology) : 0;
+
+  for (const auto* ev : order) {
+    using Kind = FaultPlanDoc::Kind;
+    const Key key{ev->a, ev->b};
+    const bool is_link =
+        ev->kind == Kind::kLinkFail || ev->kind == Kind::kLinkHeal;
+    auto& failed = is_link ? failed_links : failed_nodes;
+
+    // FLT002 — against the topology, when one was given.
+    if (topology && ev->kind != Kind::kIcapAbort) {
+      if (std::string why = unknown_resource(*topology, *ev); !why.empty()) {
+        sink.report("FLT002", Severity::kError,
+                    line_loc(plan.source, ev->line),
+                    std::string(to_string(ev->kind)) + ": " + why,
+                    "check the plan against the scenario's topology");
+        continue;  // state tracking for a phantom resource is meaningless
+      }
+    }
+
+    switch (ev->kind) {
+      case Kind::kNodeFail:
+      case Kind::kLinkFail:
+        failed.insert(key);
+        // FLT003 — every node down at once: no architecture survives a
+        // total blackout, and the run it describes can only time out.
+        if (!is_link && universe != 0 && failed_nodes.size() >= universe &&
+            topology) {
+          sink.report("FLT003", Severity::kError,
+                      line_loc(plan.source, ev->line),
+                      "this failure takes down the last of " +
+                          std::to_string(universe) + " " +
+                          node_noun(*topology) +
+                          "es — total blackout at cycle " +
+                          std::to_string(ev->at),
+                      "heal another node first or drop this event");
+        }
+        break;
+      case Kind::kNodeHeal:
+      case Kind::kLinkHeal:
+        // FLT001 — healing what never failed is a no-op at runtime
+        // (the hooks refuse it), which almost always means a typo'd
+        // coordinate or a mis-ordered plan.
+        if (failed.erase(key) == 0) {
+          sink.report(
+              "FLT001", Severity::kError, line_loc(plan.source, ev->line),
+              std::string(to_string(ev->kind)) + " (" +
+                  std::to_string(ev->a) + ", " + std::to_string(ev->b) +
+                  ") at cycle " + std::to_string(ev->at) +
+                  " has no matching earlier failure",
+              "the runtime hook would refuse the heal; fix the "
+              "coordinates or reorder the plan");
+        }
+        break;
+      case Kind::kIcapAbort: break;  // armed abort, no fabric state
+    }
+  }
+}
+
+}  // namespace recosim::verify

@@ -1,0 +1,71 @@
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "verify/diagnostic.hpp"
+#include "verify/scenario.hpp"
+
+namespace recosim::verify {
+
+/// Declarative description of a fault-injection plan, checkable before a
+/// run. The format is the `fault` / `rate` subset of the chaos-schedule
+/// format (tools/recosim-chaos emits it when shrinking a failure), so a
+/// shrunk reproducing schedule lints as-is:
+///
+///   # comment
+///   fault fail_node 1000 3 3     # kind, cycle, coordinates a [b]
+///   fault heal_node 2000 3 3
+///   fault fail_link 500 1 2      # RMBoC: segment, bus
+///   fault abort_icap 750         # no coordinates
+///   rate bit_flip 0.01           # bit_flip | drop | icap_abort, in [0,1]
+///
+/// Coordinate meaning per architecture (see CommArchitecture fault hooks):
+/// BUS-COM node = bus index; RMBoC node = cross-point slot, link =
+/// (segment, bus); DyNoC node = router (x, y); CoNoChi node = switch
+/// position (x, y). Only RMBoC has link faults.
+struct FaultPlanDoc {
+  std::string source;  ///< file name (diagnostics location)
+
+  enum class Kind { kNodeFail, kNodeHeal, kLinkFail, kLinkHeal, kIcapAbort };
+
+  struct Event {
+    int line = 0;  ///< source line (diagnostics location)
+    long long at = 0;
+    Kind kind = Kind::kNodeFail;
+    int a = 0;
+    int b = 0;
+  };
+  std::vector<Event> events;
+
+  struct Rate {
+    int line = 0;
+    std::string name;  ///< bit_flip | drop | icap_abort
+    double value = 0;
+  };
+  std::vector<Rate> rates;
+};
+
+const char* to_string(FaultPlanDoc::Kind k);
+
+/// Parse a fault plan from text. Malformed lines are reported as LNT001
+/// with the line number; parsing continues so one bad line does not hide
+/// the rest. Lines recognised by the chaos-schedule format but irrelevant
+/// to fault checking (arch, seed, horizon, op) are skipped silently.
+FaultPlanDoc parse_fault_plan(const std::string& text,
+                              const std::string& source_name,
+                              DiagnosticSink& sink);
+
+/// Parse a fault plan file; reports LNT001 and returns nullopt when the
+/// file cannot be read.
+std::optional<FaultPlanDoc> parse_fault_plan_file(const std::string& path,
+                                                  DiagnosticSink& sink);
+
+/// Run the FLT rules over a plan. `topology` supplies the architecture
+/// and resource bounds; when null, only the topology-independent checks
+/// run (FLT001 heal ordering, FLT004 rate ranges).
+void check_fault_plan(const FaultPlanDoc& plan, const Scenario* topology,
+                      DiagnosticSink& sink);
+
+}  // namespace recosim::verify

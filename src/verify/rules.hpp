@@ -118,6 +118,19 @@ inline constexpr RuleInfo kRules[] = {
     {"LNT002", "invalid-reference", Severity::kError, "-",
      "a scenario directive references an undeclared module/switch or is "
      "not valid for the selected architecture"},
+
+    // Fault plans (.fplan files checked against a scenario's topology)
+    {"FLT001", "heal-without-fail", Severity::kError, "4.2",
+     "a heal event has no matching earlier failure of the same resource; "
+     "the runtime hook would refuse it"},
+    {"FLT002", "unknown-resource", Severity::kError, "4.2",
+     "a fault event names a node or link the scenario's topology does not "
+     "have (or a fault kind the architecture does not support)"},
+    {"FLT003", "total-blackout", Severity::kError, "4.2",
+     "at some instant every bus/switch is failed simultaneously; no "
+     "graceful degradation is possible and the run can only time out"},
+    {"FLT004", "rate-out-of-range", Severity::kError, "-",
+     "a stochastic injection rate lies outside [0, 1]"},
 };
 
 inline const RuleInfo* find_rule(std::string_view id) {

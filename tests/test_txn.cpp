@@ -1,0 +1,363 @@
+// Transactional reconfiguration tests: the quiesce/drain/stream/commit
+// lifecycle, rollback restoring the exact pre-transaction floorplan and
+// attachment state (including the swap path that used to lose the old
+// module), drain forcing, timeouts, and load_with_compaction racing ICAP
+// aborts and node faults.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <optional>
+#include <set>
+
+#include "buscom/buscom.hpp"
+#include "core/reconfig_manager.hpp"
+#include "core/reconfig_txn.hpp"
+#include "dynoc/dynoc.hpp"
+#include "fault/injector.hpp"
+#include "rmboc/rmboc.hpp"
+#include "sim/kernel.hpp"
+
+namespace recosim::core {
+namespace {
+
+// Small tile-reconfigurable device: ICAP transfers take hundreds of
+// cycles, so lifecycle tests stay fast.
+fpga::Device small_device() {
+  fpga::Device d;
+  d.name = "txn_small";
+  d.clb_columns = 24;
+  d.clb_rows = 16;
+  d.granularity = fpga::ReconfigGranularity::kTile;
+  d.frames_per_clb_column = 4;
+  d.bits_per_frame = 256;
+  d.icap_width_bits = 32;
+  d.icap_clock_mhz = 100.0;
+  return d;
+}
+
+fpga::HardwareModule module(int w, int h, const char* name = "m") {
+  fpga::HardwareModule m;
+  m.name = name;
+  m.width_clbs = w;
+  m.height_clbs = h;
+  return m;
+}
+
+/// Everything rollback promises to restore, in one comparable value.
+struct StateSnapshot {
+  std::map<fpga::ModuleId, fpga::Rect> regions;
+  std::set<fpga::ModuleId> attached;
+
+  bool operator==(const StateSnapshot&) const = default;
+};
+
+StateSnapshot capture(const ReconfigManager& mgr,
+                      const CommArchitecture& arch) {
+  StateSnapshot s;
+  for (const auto& [id, rect] : mgr.floorplan().regions()) {
+    s.regions.emplace(id, rect);
+    if (arch.is_attached(id)) s.attached.insert(id);
+  }
+  return s;
+}
+
+struct TxnTest : ::testing::Test {
+  sim::Kernel kernel;
+  dynoc::Dynoc arch{kernel, [] {
+                      dynoc::DynocConfig cfg;
+                      cfg.width = cfg.height = 7;
+                      return cfg;
+                    }()};
+  ReconfigManager mgr{kernel, small_device(), 100.0,
+                      PlacementStrategy::kRectangles};
+
+  bool run_to_done(ReconfigTxn& txn, sim::Cycle budget = 200'000) {
+    return kernel.run_until([&] { return txn.done(); }, budget);
+  }
+
+  /// Load a module through the manager directly and wait for the attach.
+  void preload(fpga::ModuleId id, const fpga::HardwareModule& m) {
+    bool done = false;
+    ASSERT_TRUE(mgr.load(arch, id, m, [&](fpga::ModuleId, bool ok) {
+      ASSERT_TRUE(ok);
+      done = true;
+    }));
+    ASSERT_TRUE(kernel.run_until([&] { return done; }, 200'000));
+  }
+};
+
+TEST_F(TxnTest, LoadCommitsThroughFullLifecycle) {
+  TxnRequest req;
+  req.kind = TxnKind::kLoad;
+  req.id = 7;
+  req.module = module(2, 2);
+  ReconfigTxn txn(kernel, mgr, arch, req);
+  EXPECT_EQ(txn.state(), TxnState::kPlanned);
+  ASSERT_TRUE(run_to_done(txn));
+  EXPECT_TRUE(txn.committed());
+  EXPECT_EQ(txn.failure(), TxnFailure::kNone);
+  EXPECT_TRUE(arch.is_attached(7));
+  EXPECT_TRUE(mgr.floorplan().region_of(7).has_value());
+  EXPECT_FALSE(txn.forced_drain());
+  EXPECT_EQ(txn.completion_diagnostics().error_count(), 0u);
+}
+
+TEST_F(TxnTest, SwapVictimIsQuiescedDuringTxnAndResumedAfter) {
+  preload(7, module(2, 2));
+  TxnRequest req;
+  req.kind = TxnKind::kSwap;
+  req.id = 8;
+  req.old_id = 7;
+  req.module = module(2, 2);
+  ReconfigTxn txn(kernel, mgr, arch, req);
+  kernel.run(2);  // begin() ran, txn is past PLANNED
+  EXPECT_TRUE(arch.is_quiesced(7));
+  ASSERT_TRUE(run_to_done(txn));
+  EXPECT_TRUE(txn.committed());
+  EXPECT_FALSE(arch.is_quiesced(7));
+  EXPECT_FALSE(arch.is_attached(7));
+  EXPECT_TRUE(arch.is_attached(8));
+}
+
+// The regression the transaction layer exists for: swap used to detach
+// the old module before the replacement bitstream was verified, so a
+// permanently failing load lost both modules. With every ICAP transfer
+// aborting, the rollback must restore the exact pre-transaction state.
+TEST_F(TxnTest, SwapRollbackRestoresExactPreTransactionState) {
+  preload(7, module(2, 2, "victim"));
+  preload(9, module(1, 2, "bystander"));
+  const StateSnapshot before = capture(mgr, arch);
+
+  fault::FaultPlan plan;
+  plan.icap_abort_rate = 1.0;
+  fault::FaultInjector injector(kernel, arch, plan, sim::Rng(1));
+  injector.attach_icap(mgr.icap());
+  mgr.set_icap_retry_policy(2, 16);
+
+  TxnRequest req;
+  req.kind = TxnKind::kSwap;
+  req.id = 8;
+  req.old_id = 7;
+  req.module = module(2, 2, "replacement");
+  ReconfigTxn txn(kernel, mgr, arch, req);
+  ASSERT_TRUE(run_to_done(txn));
+  EXPECT_EQ(txn.state(), TxnState::kRolledBack);
+  EXPECT_EQ(txn.failure(), TxnFailure::kLoadFailed);
+
+  EXPECT_EQ(capture(mgr, arch), before);
+  EXPECT_TRUE(arch.is_attached(7));
+  EXPECT_FALSE(arch.is_attached(8));
+  EXPECT_FALSE(mgr.floorplan().region_of(8).has_value());
+  EXPECT_EQ(txn.completion_diagnostics().error_count(), 0u);
+  EXPECT_TRUE(txn.restore_losses().empty());
+}
+
+// Compaction tests run on BUS-COM (its attach has no geometry) over a
+// narrow device fragmented by an unload, so a wide load genuinely needs
+// the defragmenter to relocate a resident first.
+struct CompactionTest : ::testing::Test {
+  sim::Kernel kernel;
+  buscom::Buscom arch{kernel, buscom::BuscomConfig{}};
+  ReconfigManager mgr{kernel,
+                      [] {
+                        fpga::Device d = small_device();
+                        d.clb_columns = 16;
+                        d.clb_rows = 4;
+                        return d;
+                      }(),
+                      100.0, PlacementStrategy::kRectangles};
+
+  void preload(fpga::ModuleId id, const fpga::HardwareModule& m) {
+    bool done = false;
+    ASSERT_TRUE(mgr.load(arch, id, m, [&](fpga::ModuleId, bool ok) {
+      ASSERT_TRUE(ok);
+      done = true;
+    }));
+    ASSERT_TRUE(kernel.run_until([&] { return done; }, 500'000));
+  }
+
+  /// Fragment the plan: three residents, then the middle one removed.
+  void fragment() {
+    preload(7, module(4, 4, "left"));
+    preload(9, module(4, 4, "middle"));
+    preload(11, module(4, 4, "right"));
+    ASSERT_TRUE(mgr.unload(arch, 9));
+    // The widest contiguous hole is smaller than 6 columns, but moving a
+    // resident makes room — exactly what load_with_compaction does.
+    ASSERT_FALSE(mgr.can_place(module(6, 4)));
+  }
+};
+
+TEST_F(CompactionTest, CompactionRollbackUndoesRelocations) {
+  fragment();
+  const StateSnapshot before = capture(mgr, arch);
+
+  // Every ICAP transfer aborts: the relocations already performed (and
+  // the target load) fail permanently, and rollback must put every moved
+  // region back where the snapshot has it.
+  fault::FaultPlan plan;
+  plan.icap_abort_rate = 1.0;
+  fault::FaultInjector injector(kernel, arch, plan, sim::Rng(2));
+  injector.attach_icap(mgr.icap());
+  mgr.set_icap_retry_policy(1, 16);
+
+  TxnRequest req;
+  req.kind = TxnKind::kLoadWithCompaction;
+  req.id = 8;
+  req.module = module(6, 4);
+  ReconfigTxn txn(kernel, mgr, arch, req);
+  ASSERT_TRUE(kernel.run_until([&] { return txn.done(); }, 500'000));
+  EXPECT_EQ(txn.state(), TxnState::kRolledBack);
+  EXPECT_EQ(capture(mgr, arch), before);
+}
+
+TEST_F(CompactionTest, CompactionCommitsWhenIcapBehaves) {
+  fragment();
+  TxnRequest req;
+  req.kind = TxnKind::kLoadWithCompaction;
+  req.id = 8;
+  req.module = module(6, 4);
+  ReconfigTxn txn(kernel, mgr, arch, req);
+  ASSERT_TRUE(kernel.run_until([&] { return txn.done(); }, 500'000));
+  EXPECT_TRUE(txn.committed());
+  EXPECT_TRUE(arch.is_attached(8));
+  EXPECT_TRUE(mgr.floorplan().region_of(8).has_value());
+  // The relocated resident survived the move.
+  EXPECT_TRUE(arch.is_attached(11));
+  EXPECT_TRUE(mgr.floorplan().region_of(11).has_value());
+}
+
+TEST_F(CompactionTest, CompactionRacingNodeFaultStaysConsistent) {
+  fragment();
+
+  // A bus dies mid-transaction and heals later; whatever the outcome, no
+  // module may end half-attached and the verifier must stay clean.
+  fault::FaultPlan plan;
+  plan.fail_node_at(50, 1, 0).heal_node_at(20'000, 1, 0);
+  plan.icap_abort_rate = 0.5;
+  fault::FaultInjector injector(kernel, arch, plan, sim::Rng(3));
+  injector.attach_icap(mgr.icap());
+  mgr.set_icap_retry_policy(2, 16);
+
+  TxnRequest req;
+  req.kind = TxnKind::kLoadWithCompaction;
+  req.id = 8;
+  req.module = module(6, 4);
+  ReconfigTxn txn(kernel, mgr, arch, req);
+  ASSERT_TRUE(kernel.run_until([&] { return txn.done(); }, 500'000));
+  kernel.run(30'000);  // let the heal land
+
+  for (fpga::ModuleId id : {fpga::ModuleId{7}, fpga::ModuleId{8},
+                            fpga::ModuleId{11}}) {
+    const bool attached = arch.is_attached(id);
+    const bool placed = mgr.floorplan().region_of(id).has_value();
+    EXPECT_EQ(attached, placed) << "module " << id << " half-attached";
+  }
+  verify::DiagnosticSink sink;
+  arch.verify_invariants(sink);
+  EXPECT_EQ(sink.error_count(), 0u) << sink.to_text();
+}
+
+TEST_F(TxnTest, StuckDrainSourceForcesDrainAfterTimeout) {
+  preload(7, module(2, 2));
+  TxnRequest req;
+  req.kind = TxnKind::kUnload;
+  req.id = 7;
+  TxnConfig cfg;
+  cfg.drain_timeout = 3'000;
+  cfg.drain_stall_deadline = 1'000;
+  ReconfigTxn txn(kernel, mgr, arch, req, cfg);
+  txn.add_drain_source([] { return std::size_t{1}; });  // never empties
+  ASSERT_TRUE(run_to_done(txn));
+  EXPECT_TRUE(txn.committed());
+  EXPECT_TRUE(txn.forced_drain());
+  EXPECT_GE(txn.watchdog_escalations(), 1u);
+  EXPECT_FALSE(arch.is_attached(7));
+}
+
+TEST_F(TxnTest, TxnTimeoutRollsBackAndNothingLeaks) {
+  // Aborting transfers retry with backoff; a tight transaction timeout
+  // fires first and must cancel the load cleanly.
+  fault::FaultPlan plan;
+  plan.icap_abort_rate = 1.0;
+  fault::FaultInjector injector(kernel, arch, plan, sim::Rng(4));
+  injector.attach_icap(mgr.icap());
+  mgr.set_icap_retry_policy(50, 512);
+
+  TxnRequest req;
+  req.kind = TxnKind::kLoad;
+  req.id = 7;
+  req.module = module(2, 2);
+  TxnConfig cfg;
+  cfg.txn_timeout = 2'000;
+  ReconfigTxn txn(kernel, mgr, arch, req, cfg);
+  ASSERT_TRUE(run_to_done(txn));
+  EXPECT_EQ(txn.state(), TxnState::kRolledBack);
+  EXPECT_EQ(txn.failure(), TxnFailure::kTimeout);
+  EXPECT_FALSE(mgr.is_loading(7));
+  EXPECT_FALSE(arch.is_attached(7));
+  EXPECT_FALSE(mgr.floorplan().region_of(7).has_value());
+}
+
+TEST_F(TxnTest, BadRequestRollsBackImmediately) {
+  preload(7, module(2, 2));
+  TxnRequest req;
+  req.kind = TxnKind::kLoad;
+  req.id = 7;  // already attached
+  req.module = module(2, 2);
+  ReconfigTxn txn(kernel, mgr, arch, req);
+  ASSERT_TRUE(run_to_done(txn, 100));
+  EXPECT_EQ(txn.state(), TxnState::kRolledBack);
+  EXPECT_EQ(txn.failure(), TxnFailure::kBadRequest);
+  EXPECT_TRUE(arch.is_attached(7));  // untouched
+}
+
+TEST_F(TxnTest, UnloadTxnRemovesModuleAndCommits) {
+  preload(7, module(2, 2));
+  TxnRequest req;
+  req.kind = TxnKind::kUnload;
+  req.id = 7;
+  ReconfigTxn txn(kernel, mgr, arch, req);
+  ASSERT_TRUE(run_to_done(txn));
+  EXPECT_TRUE(txn.committed());
+  EXPECT_FALSE(arch.is_attached(7));
+  EXPECT_FALSE(mgr.floorplan().region_of(7).has_value());
+}
+
+// RMBoC slot strategy exercises the slot-exact restore path.
+TEST(TxnSlotTest, SwapRollbackRestoresSlotPlacement) {
+  sim::Kernel kernel;
+  rmboc::RmbocConfig cfg;
+  rmboc::Rmboc arch(kernel, cfg);
+  ReconfigManager mgr(kernel, small_device(), 100.0,
+                      PlacementStrategy::kSlots, 4);
+
+  bool done = false;
+  ASSERT_TRUE(mgr.load(arch, 7, module(4, 8, "victim"),
+                       [&](fpga::ModuleId, bool ok) { done = ok; }));
+  ASSERT_TRUE(kernel.run_until([&] { return done; }, 500'000));
+  const auto before_region = mgr.floorplan().region_of(7);
+  ASSERT_TRUE(before_region.has_value());
+
+  fault::FaultPlan plan;
+  plan.icap_abort_rate = 1.0;
+  fault::FaultInjector injector(kernel, arch, plan, sim::Rng(5));
+  injector.attach_icap(mgr.icap());
+  mgr.set_icap_retry_policy(1, 16);
+
+  TxnRequest req;
+  req.kind = TxnKind::kSwap;
+  req.id = 8;
+  req.old_id = 7;
+  req.module = module(4, 8, "replacement");
+  ReconfigTxn txn(kernel, mgr, arch, req);
+  ASSERT_TRUE(kernel.run_until([&] { return txn.done(); }, 500'000));
+  EXPECT_EQ(txn.state(), TxnState::kRolledBack);
+  EXPECT_TRUE(arch.is_attached(7));
+  ASSERT_TRUE(mgr.floorplan().region_of(7).has_value());
+  EXPECT_EQ(*mgr.floorplan().region_of(7), *before_region);
+}
+
+}  // namespace
+}  // namespace recosim::core

@@ -9,6 +9,7 @@
 #include "rmboc/rmboc.hpp"
 #include "sim/check.hpp"
 #include "sim/kernel.hpp"
+#include "verify/fault_plan.hpp"
 #include "verify/rules.hpp"
 #include "verify/scenario.hpp"
 #include "verify/verifier.hpp"
@@ -291,6 +292,114 @@ TEST(KernelChecks, SchedulingAtNowIsAllowed) {
   EXPECT_TRUE(ran);
 }
 
+// ---- Fault-plan lint (FLT rules). ---------------------------------------
+
+DiagnosticSink lint_plan(const std::string& plan_text,
+                         const std::string& topo_text = {}) {
+  DiagnosticSink sink;
+  std::optional<Scenario> topo;
+  if (!topo_text.empty()) {
+    topo = parse_scenario(topo_text, "topo.rcs", sink);
+    EXPECT_TRUE(topo.has_value());
+  }
+  auto plan = parse_fault_plan(plan_text, "inline.fplan", sink);
+  check_fault_plan(plan, topo ? &*topo : nullptr, sink);
+  return sink;
+}
+
+TEST(FaultPlanLint, HealWithoutPriorFailIsFLT001) {
+  auto sink = lint_plan("fault heal_node 100 3 3\n");
+  EXPECT_TRUE(sink.has_rule("FLT001")) << sink.to_text();
+}
+
+TEST(FaultPlanLint, HealAfterFailIsClean) {
+  auto sink =
+      lint_plan("fault fail_node 100 3 3\nfault heal_node 200 3 3\n");
+  EXPECT_TRUE(sink.empty()) << sink.to_text();
+}
+
+TEST(FaultPlanLint, HealOrderingFollowsTimeNotDeclarationOrder) {
+  // Declared heal-first, but the cycle stamps put the fail first.
+  auto sink =
+      lint_plan("fault heal_node 900 3 3\nfault fail_node 100 3 3\n");
+  EXPECT_TRUE(sink.empty()) << sink.to_text();
+}
+
+TEST(FaultPlanLint, UnknownSwitchIsFLT002) {
+  const std::string topo =
+      "arch conochi\nswitch 1 1\nswitch 5 1\n";
+  auto sink = lint_plan("fault fail_node 100 3 3\n", topo);
+  EXPECT_TRUE(sink.has_rule("FLT002")) << sink.to_text();
+}
+
+TEST(FaultPlanLint, LinkFaultOnLinklessArchIsFLT002) {
+  auto sink = lint_plan("fault fail_link 100 0 0\n", "arch buscom\n");
+  EXPECT_TRUE(sink.has_rule("FLT002")) << sink.to_text();
+}
+
+TEST(FaultPlanLint, RmbocLinkInRangeIsClean) {
+  const std::string topo = "arch rmboc\nset slots 4\nset buses 4\n";
+  auto sink = lint_plan(
+      "fault fail_link 100 2 3\nfault heal_link 200 2 3\n", topo);
+  EXPECT_TRUE(sink.empty()) << sink.to_text();
+  auto bad = lint_plan("fault fail_link 100 3 0\n", topo);  // 3 segments
+  EXPECT_TRUE(bad.has_rule("FLT002")) << bad.to_text();
+}
+
+TEST(FaultPlanLint, AllBusesDownAtOnceIsFLT003) {
+  const std::string topo = "arch buscom\nset buses 2\n";
+  auto sink = lint_plan(
+      "fault fail_node 100 0\nfault fail_node 200 1\n", topo);
+  EXPECT_TRUE(sink.has_rule("FLT003")) << sink.to_text();
+  // A heal in between keeps one bus alive throughout.
+  auto ok = lint_plan(
+      "fault fail_node 100 0\nfault heal_node 150 0\n"
+      "fault fail_node 200 1\n",
+      topo);
+  EXPECT_FALSE(ok.has_rule("FLT003")) << ok.to_text();
+}
+
+TEST(FaultPlanLint, RateOutsideUnitIntervalIsFLT004) {
+  auto sink = lint_plan("rate bit_flip 1.5\n");
+  EXPECT_TRUE(sink.has_rule("FLT004")) << sink.to_text();
+  EXPECT_TRUE(lint_plan("rate drop 0.5\n").empty());
+}
+
+TEST(FaultPlanLint, MalformedLinesAreLNT001) {
+  auto sink = lint_plan("fault explode 100 1 1\nrate nosuch 0.1\nbogus\n");
+  EXPECT_EQ(sink.count_rule("LNT001"), 3u) << sink.to_text();
+}
+
+TEST(FaultPlanLint, ChaosScheduleLinesAreAccepted) {
+  // A shrunk recosim-chaos schedule must lint without editing.
+  auto sink = lint_plan(
+      "# recosim chaos schedule\narch dynoc\nseed 42\nhorizon 30000\n"
+      "rate icap_abort 0.8\nfault fail_node 6622 3 3\n"
+      "fault heal_node 9000 3 3\nop load 2228 11 0 2 2\n");
+  EXPECT_TRUE(sink.empty()) << sink.to_text();
+}
+
+TEST(FaultPlanLint, ShippedFixturesBehave) {
+  DiagnosticSink sink;
+  auto valid = parse_fault_plan_file(
+      std::string(RECOSIM_LINT_FIXTURES) + "/fault_valid.fplan", sink);
+  ASSERT_TRUE(valid.has_value());
+  DiagnosticSink topo_sink;
+  auto topo = parse_scenario_file(
+      std::string(RECOSIM_SCENARIOS) + "/conochi_mesh.rcs", topo_sink);
+  ASSERT_TRUE(topo.has_value());
+  check_fault_plan(*valid, &*topo, sink);
+  EXPECT_TRUE(sink.empty()) << sink.to_text();
+
+  DiagnosticSink heal_sink;
+  auto heal = parse_fault_plan_file(
+      std::string(RECOSIM_LINT_FIXTURES) + "/fault_heal_without_fail.fplan",
+      heal_sink);
+  ASSERT_TRUE(heal.has_value());
+  check_fault_plan(*heal, nullptr, heal_sink);
+  EXPECT_TRUE(heal_sink.has_rule("FLT001")) << heal_sink.to_text();
+}
+
 // ---- Rule registry sanity. ----------------------------------------------
 
 TEST(RuleRegistry, EveryEmittedRuleIsRegistered) {
@@ -300,7 +409,7 @@ TEST(RuleRegistry, EveryEmittedRuleIsRegistered) {
         "DYN001", "DYN002", "DYN003", "DYN004", "DYN005", "CON001",
         "CON002", "CON003", "CON004", "CON005", "CON006", "FLP001",
         "FLP002", "FLP003", "FLP004", "SIM001", "SIM002", "LNT001",
-        "LNT002"})
+        "LNT002", "FLT001", "FLT002", "FLT003", "FLT004"})
     EXPECT_NE(find_rule(id), nullptr) << id;
   EXPECT_EQ(find_rule("XXX999"), nullptr);
 }

@@ -1,0 +1,175 @@
+// recosim-chaos: seed-driven chaos testing of the transactional
+// reconfiguration path.
+//
+// For every (architecture, seed) pair a random fault plan plus a random
+// reconfiguration schedule is generated, run against the architecture
+// with reliable end-to-end traffic, and checked for end-to-end
+// invariants: no accepted payload silently lost, no duplicate delivery,
+// no half-attached module, no transaction stuck past its timeout, no
+// error-severity verifier diagnostics. On failure the schedule is shrunk
+// to a minimal reproducing plan and printed together with the seed, so
+// the exact run can be replayed bit-for-bit with --replay.
+//
+// Usage:
+//   recosim-chaos [--arch NAME] [--seeds N] [--seed-base S] [--ops N]
+//                 [--horizon CYCLES] [--verbose]
+//   recosim-chaos --replay FILE [--no-shrink]
+//
+// Exit code 0 when every schedule holds its invariants, 1 otherwise.
+
+#include <cstdint>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "fault/chaos.hpp"
+
+using namespace recosim;
+
+namespace {
+
+struct Options {
+  std::vector<fault::ChaosArch> archs{std::begin(fault::kAllChaosArchs),
+                                      std::end(fault::kAllChaosArchs)};
+  int seeds = 20;
+  std::uint64_t seed_base = 1;
+  int ops = 8;
+  sim::Cycle horizon = 30'000;
+  std::string replay_file;
+  bool shrink = true;
+  bool verbose = false;
+};
+
+void usage() {
+  std::cerr
+      << "usage: recosim-chaos [--arch rmboc|buscom|dynoc|conochi]\n"
+      << "                     [--seeds N] [--seed-base S] [--ops N]\n"
+      << "                     [--horizon CYCLES] [--verbose]\n"
+      << "       recosim-chaos --replay FILE [--no-shrink]\n";
+}
+
+bool report_failure(const fault::ChaosSchedule& schedule,
+                    const fault::ChaosResult& result, bool shrink) {
+  std::cout << "FAIL arch=" << fault::to_string(schedule.arch)
+            << " seed=" << schedule.seed << "\n";
+  for (const auto& v : result.violations)
+    std::cout << "  violation[" << v.invariant << "]: " << v.detail << "\n";
+  const fault::ChaosSchedule minimal =
+      shrink ? fault::shrink_schedule(schedule) : schedule;
+  std::cout << "--- " << (shrink ? "shrunk " : "")
+            << "reproducing schedule (replay with: recosim-chaos --replay "
+               "<file>) ---\n"
+            << fault::serialize_schedule(minimal)
+            << "--- end schedule ---\n";
+  return false;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::cerr << "recosim-chaos: " << arg << " needs a value\n";
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--arch") {
+      auto a = fault::parse_chaos_arch(value());
+      if (!a) {
+        std::cerr << "recosim-chaos: unknown architecture\n";
+        return 2;
+      }
+      opt.archs = {*a};
+    } else if (arg == "--seeds") {
+      opt.seeds = std::atoi(value());
+    } else if (arg == "--seed-base") {
+      opt.seed_base = std::strtoull(value(), nullptr, 10);
+    } else if (arg == "--ops") {
+      opt.ops = std::atoi(value());
+    } else if (arg == "--horizon") {
+      opt.horizon = std::strtoull(value(), nullptr, 10);
+    } else if (arg == "--replay") {
+      opt.replay_file = value();
+    } else if (arg == "--no-shrink") {
+      opt.shrink = false;
+    } else if (arg == "--verbose") {
+      opt.verbose = true;
+    } else if (arg == "--help" || arg == "-h") {
+      usage();
+      return 0;
+    } else {
+      std::cerr << "recosim-chaos: unknown option " << arg << "\n";
+      usage();
+      return 2;
+    }
+  }
+
+  if (!opt.replay_file.empty()) {
+    std::ifstream in(opt.replay_file);
+    if (!in) {
+      std::cerr << "recosim-chaos: cannot open " << opt.replay_file << "\n";
+      return 2;
+    }
+    std::ostringstream text;
+    text << in.rdbuf();
+    std::string error;
+    auto schedule = fault::parse_schedule(text.str(), &error);
+    if (!schedule) {
+      std::cerr << "recosim-chaos: parse error in " << opt.replay_file
+                << ": " << error << "\n";
+      return 2;
+    }
+    const auto result = fault::run_schedule(*schedule);
+    if (result.ok) {
+      std::cout << "OK replay of " << opt.replay_file << ": "
+                << result.delivered << "/" << result.accepted
+                << " payloads delivered, " << result.txns_committed
+                << " committed / " << result.txns_rolled_back
+                << " rolled back\n";
+      return 0;
+    }
+    report_failure(*schedule, result, opt.shrink);
+    return 1;
+  }
+
+  bool all_ok = true;
+  for (fault::ChaosArch arch : opt.archs) {
+    std::uint64_t committed = 0, rolled_back = 0, forced = 0, delivered = 0;
+    int failures = 0;
+    for (int i = 0; i < opt.seeds; ++i) {
+      const std::uint64_t seed = opt.seed_base + static_cast<std::uint64_t>(i);
+      const auto schedule =
+          fault::make_schedule(arch, seed, opt.ops, opt.horizon);
+      const auto result = fault::run_schedule(schedule);
+      committed += result.txns_committed;
+      rolled_back += result.txns_rolled_back;
+      forced += result.forced_drains;
+      delivered += result.delivered;
+      if (opt.verbose)
+        std::cout << fault::to_string(arch) << " seed=" << seed
+                  << (result.ok ? " ok" : " FAIL") << " delivered="
+                  << result.delivered << "/" << result.accepted
+                  << " committed=" << result.txns_committed
+                  << " rolled_back=" << result.txns_rolled_back
+                  << " end_cycle=" << result.end_cycle << "\n";
+      if (!result.ok) {
+        ++failures;
+        all_ok = report_failure(schedule, result, opt.shrink) && all_ok;
+      }
+    }
+    std::cout << fault::to_string(arch) << ": " << (opt.seeds - failures)
+              << "/" << opt.seeds << " schedules ok, " << committed
+              << " txns committed, " << rolled_back << " rolled back, "
+              << forced << " forced drains, " << delivered
+              << " payloads delivered\n";
+    if (failures) all_ok = false;
+  }
+  return all_ok ? 0 : 1;
+}

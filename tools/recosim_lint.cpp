@@ -1,6 +1,13 @@
-// recosim-lint: static checker for ReCoSim scenario files (.rcs).
+// recosim-lint: static checker for ReCoSim scenario files (.rcs) and
+// fault-injection plans (.fplan).
 //
-// Usage: recosim-lint [--json] [--rules] <scenario.rcs>...
+// Usage: recosim-lint [--json] [--rules] <file.rcs|file.fplan>...
+//
+// A fault plan is checked against the topology of the most recent .rcs
+// file preceding it on the command line; without one, only the
+// topology-independent FLT rules run:
+//
+//   recosim-lint examples/scenarios/conochi_mesh.rcs faults.fplan
 //
 // Exit codes:
 //   0  every file parsed and no rule produced an error (warnings/notes ok)
@@ -9,9 +16,11 @@
 
 #include <cstdio>
 #include <cstring>
+#include <optional>
 #include <string>
 #include <vector>
 
+#include "verify/fault_plan.hpp"
 #include "verify/rules.hpp"
 #include "verify/scenario.hpp"
 #include "verify/verifier.hpp"
@@ -41,7 +50,8 @@ int main(int argc, char** argv) {
       return 0;
     } else if (std::strcmp(argv[i], "--help") == 0) {
       std::printf(
-          "usage: recosim-lint [--json] [--rules] <scenario.rcs>...\n");
+          "usage: recosim-lint [--json] [--rules] "
+          "<file.rcs|file.fplan>...\n");
       return 0;
     } else if (argv[i][0] == '-') {
       std::fprintf(stderr, "recosim-lint: unknown option '%s'\n", argv[i]);
@@ -51,20 +61,37 @@ int main(int argc, char** argv) {
     }
   }
   if (files.empty()) {
-    std::fprintf(stderr,
-                 "usage: recosim-lint [--json] [--rules] <scenario.rcs>...\n");
+    std::fprintf(
+        stderr,
+        "usage: recosim-lint [--json] [--rules] <file.rcs|file.fplan>...\n");
     return 2;
   }
 
   DiagnosticSink sink;
   bool parse_failed = false;
+  // Fault plans are checked against the most recent scenario on the
+  // command line, so `recosim-lint topo.rcs plan.fplan` validates the
+  // plan's coordinates against that topology.
+  std::optional<Scenario> topology;
   for (const auto& file : files) {
+    const bool is_plan = file.size() >= 6 &&
+                         file.compare(file.size() - 6, 6, ".fplan") == 0;
+    if (is_plan) {
+      auto plan = parse_fault_plan_file(file, sink);
+      if (!plan) {
+        parse_failed = true;
+        continue;
+      }
+      check_fault_plan(*plan, topology ? &*topology : nullptr, sink);
+      continue;
+    }
     auto scenario = parse_scenario_file(file, sink);
     if (!scenario) {
       parse_failed = true;
       continue;
     }
     Verifier::check_all(*scenario, sink);
+    topology = std::move(*scenario);
   }
 
   if (json) {
