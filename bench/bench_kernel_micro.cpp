@@ -1,9 +1,25 @@
 // google-benchmark microbenchmarks of the simulation substrate: kernel
-// stepping cost, two-phase FIFO operations, and full-architecture cycle
-// cost under load. These bound how long the table/figure benches take and
-// document the simulator's own performance envelope.
+// stepping cost, two-phase FIFO operations, idle-cycle fast-forward,
+// event-queue throughput, and full-architecture cycle cost under load.
+// These bound how long the table/figure benches take and document the
+// simulator's own performance envelope.
+//
+// Run with no arguments for the google-benchmark CLI. Run with
+//   bench_kernel_micro --json [FILE]
+// for the CI smoke mode: a short self-timed measurement of the three
+// headline rates (stepping, idle fast-forward, event push/fire) printed
+// as one JSON document to stdout and written to BENCH_kernel.json (or
+// FILE) so the perf trajectory is tracked in-repo alongside
+// BENCH_fault.json / BENCH_txn.json.
 
 #include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
 
 #include "core/comparison.hpp"
 #include "core/traffic.hpp"
@@ -18,6 +34,35 @@ class NopComponent final : public sim::Component {
  public:
   using Component::Component;
   void eval() override {}
+};
+
+/// Fast-forward-pollable component with purely time-driven work: it must
+/// execute once every `period` cycles and is quiescent in between. This
+/// is the watchdog/DMA shape that idle fast-forward is built for.
+class Ticker final : public sim::Component {
+ public:
+  Ticker(sim::Kernel& k, sim::Cycle period)
+      : Component(k, "ticker"), period_(period), next_(period) {
+    set_ff_pollable(true);
+  }
+  void eval() override {}
+  void commit() override {
+    if (kernel().now() >= next_) {
+      ++ticks_;
+      next_ += period_;
+    }
+  }
+  bool is_quiescent() const override { return kernel().now() < next_; }
+  sim::Cycle quiescent_deadline() const override { return next_; }
+  void on_fast_forward(sim::Cycle /*from*/, sim::Cycle to) override {
+    while (next_ <= to) next_ += period_;
+  }
+  std::uint64_t ticks() const { return ticks_; }
+
+ private:
+  sim::Cycle period_;
+  sim::Cycle next_;
+  std::uint64_t ticks_ = 0;
 };
 
 void BM_KernelStep(benchmark::State& state) {
@@ -51,6 +96,47 @@ void BM_EventSchedule(benchmark::State& state) {
 }
 BENCHMARK(BM_EventSchedule);
 
+/// Idle-heavy span: one pollable ticker (period 1024) plus a fleet of
+/// sleeping components. With activity-driven scheduling on, the kernel
+/// fast-forwards from deadline to deadline; with it off, this is the
+/// seed kernel's cycle-by-cycle schedule. Items = simulated cycles, so
+/// the two variants' items/s ratio is the fast-forward speedup.
+template <bool ActivityDriven>
+void BM_IdleSpan(benchmark::State& state) {
+  constexpr sim::Cycle kSpan = 1 << 16;
+  sim::Kernel kernel;
+  kernel.set_activity_driven(ActivityDriven);
+  Ticker ticker(kernel, 1024);
+  std::vector<std::unique_ptr<NopComponent>> sleepers;
+  for (int i = 0; i < 256; ++i) {
+    sleepers.push_back(std::make_unique<NopComponent>(kernel, "s"));
+    sleepers.back()->set_active(false);
+  }
+  for (auto _ : state) kernel.run(kSpan);
+  benchmark::DoNotOptimize(ticker.ticks());
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(kSpan));
+}
+BENCHMARK(BM_IdleSpan<true>)->Name("BM_IdleFastForward");
+BENCHMARK(BM_IdleSpan<false>)->Name("BM_IdleCycleByCycle");
+
+/// Event-queue throughput: push a batch spread over the near future,
+/// then fire it. Items = events pushed and fired.
+void BM_EventPushFire(benchmark::State& state) {
+  constexpr int kBatch = 256;
+  sim::Kernel kernel;
+  std::uint64_t fired = 0;
+  for (auto _ : state) {
+    for (int i = 0; i < kBatch; ++i)
+      kernel.schedule_in(static_cast<sim::Cycle>(i % 8),
+                         [&fired] { ++fired; });
+    kernel.run(8);
+    benchmark::DoNotOptimize(fired);
+  }
+  state.SetItemsProcessed(state.iterations() * kBatch);
+}
+BENCHMARK(BM_EventPushFire);
+
 /// Cost of one loaded simulation cycle per architecture.
 template <core::MinimalSystem (*Make)()>
 void BM_ArchitectureCycle(benchmark::State& state) {
@@ -81,4 +167,98 @@ BENCHMARK(BM_ArchitectureCycle<make_buscom4>)->Name("BM_BuscomCycle");
 BENCHMARK(BM_ArchitectureCycle<make_dynoc4>)->Name("BM_DynocCycle");
 BENCHMARK(BM_ArchitectureCycle<make_conochi4>)->Name("BM_ConochiCycle");
 
+// --- CI smoke mode (--json): curated self-timed rates -----------------------
+
+/// Run `rep()` (which simulates `items_per_rep` items) until at least
+/// ~0.2s of wall clock has elapsed; return items per second.
+template <typename Fn>
+double measure_rate(std::uint64_t items_per_rep, Fn&& rep) {
+  using clock = std::chrono::steady_clock;
+  // Warm-up rep so one-time setup (first allocations, cold caches) is
+  // not billed to the measurement.
+  rep();
+  std::uint64_t reps = 0;
+  const auto start = clock::now();
+  double elapsed = 0.0;
+  do {
+    rep();
+    ++reps;
+    elapsed = std::chrono::duration<double>(clock::now() - start).count();
+  } while (elapsed < 0.2);
+  return static_cast<double>(reps * items_per_rep) / elapsed;
+}
+
+double step_cycles_per_sec() {
+  sim::Kernel kernel;
+  std::vector<std::unique_ptr<NopComponent>> comps;
+  for (int i = 0; i < 256; ++i)
+    comps.push_back(std::make_unique<NopComponent>(kernel, "c"));
+  constexpr sim::Cycle kRep = 4096;
+  return measure_rate(kRep, [&] { kernel.run(kRep); });
+}
+
+double idle_cycles_per_sec(bool activity_driven) {
+  sim::Kernel kernel;
+  kernel.set_activity_driven(activity_driven);
+  Ticker ticker(kernel, 1024);
+  std::vector<std::unique_ptr<NopComponent>> sleepers;
+  for (int i = 0; i < 256; ++i) {
+    sleepers.push_back(std::make_unique<NopComponent>(kernel, "s"));
+    sleepers.back()->set_active(false);
+  }
+  constexpr sim::Cycle kRep = 1 << 16;
+  return measure_rate(kRep, [&] { kernel.run(kRep); });
+}
+
+double events_per_sec() {
+  sim::Kernel kernel;
+  constexpr int kBatch = 256;
+  std::uint64_t fired = 0;
+  return measure_rate(kBatch, [&] {
+    for (int i = 0; i < kBatch; ++i)
+      kernel.schedule_in(static_cast<sim::Cycle>(i % 8),
+                         [&fired] { ++fired; });
+    kernel.run(8);
+  });
+}
+
+int run_json_mode(const char* out_path) {
+  const double step = step_cycles_per_sec();
+  const double idle_ff = idle_cycles_per_sec(true);
+  const double idle_cbc = idle_cycles_per_sec(false);
+  const double events = events_per_sec();
+
+  std::ostringstream json;
+  json << "{\n  \"bench\": \"kernel_micro\",\n"
+       << "  \"step_cycles_per_sec\": "
+       << static_cast<std::uint64_t>(step) << ",\n"
+       << "  \"idle_ff_cycles_per_sec\": "
+       << static_cast<std::uint64_t>(idle_ff) << ",\n"
+       << "  \"idle_cycle_by_cycle_per_sec\": "
+       << static_cast<std::uint64_t>(idle_cbc) << ",\n"
+       << "  \"idle_ff_speedup\": "
+       << static_cast<std::uint64_t>(idle_cbc > 0 ? idle_ff / idle_cbc : 0)
+       << ",\n"
+       << "  \"event_push_fire_per_sec\": "
+       << static_cast<std::uint64_t>(events) << "\n}\n";
+  std::cout << json.str();
+
+  std::ofstream f(out_path);
+  f << json.str();
+  if (!f) {
+    std::cerr << "warning: could not write " << out_path << "\n";
+    return 0;  // the numbers were still printed
+  }
+  std::cerr << "wrote " << out_path << "\n";
+  return 0;
+}
+
 }  // namespace
+
+int main(int argc, char** argv) {
+  if (argc > 1 && std::string(argv[1]) == "--json")
+    return run_json_mode(argc > 2 ? argv[2] : "BENCH_kernel.json");
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

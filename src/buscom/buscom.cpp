@@ -21,6 +21,10 @@ Buscom::Buscom(sim::Kernel& kernel, const BuscomConfig& config)
   assert(config.slots_per_round >= 1);
   assert(config.cycles_per_slot >= 1);
   assert(config.in_width_bits >= 8);
+  bind_activity(this);
+  // The TDMA phase is pure bookkeeping while the bus carries nothing;
+  // on_fast_forward() replays it, so an idle Buscom is fast-forwardable.
+  set_ff_pollable(true);
 }
 
 bool Buscom::attach(fpga::ModuleId id, const fpga::HardwareModule&) {
@@ -272,6 +276,12 @@ std::size_t Buscom::in_flight_packets(fpga::ModuleId involving) const {
   return n;
 }
 
+std::size_t Buscom::delivered_backlog() const {
+  std::size_t n = 0;
+  for (const auto& [m, queue] : delivered_) n += queue.size();
+  return n;
+}
+
 std::size_t Buscom::tx_backlog(fpga::ModuleId id) const {
   auto it = tx_.find(id);
   return it == tx_.end() ? 0 : it->second.size();
@@ -398,6 +408,36 @@ void Buscom::finish_slot_transfers() {
                                }),
                 queue.end());
   }
+}
+
+bool Buscom::is_quiescent() const {
+  // Quiescent iff every skipped commit() would only advance the TDMA
+  // phase: nothing queued for transmission, no fragment on a bus, and no
+  // slot-table edit waiting for a round boundary. Partial reassembly
+  // entries are inert without fragments, so they need no check.
+  for (const auto& [m, queue] : tx_)
+    if (!queue.empty()) return false;
+  for (const InFlight& fl : in_flight_)
+    if (fl.valid) return false;
+  return pending_ops_.empty();
+}
+
+void Buscom::on_fast_forward(sim::Cycle from, sim::Cycle to) {
+  const sim::Cycle delta = to - from;
+  const sim::Cycle cps = config_.cycles_per_slot;
+  // A slot start inside the skipped window would have run
+  // begin_slot_transfers(), resetting the per-bus transfer registers
+  // (arbitration itself is a no-op with all TX queues empty).
+  const sim::Cycle to_next_begin = slot_cycle_ == 0 ? 0 : cps - slot_cycle_;
+  if (to_next_begin < delta) {
+    for (auto& b : bus_tx_) b = fpga::kInvalidModule;
+    active_transfers_ = 0;
+  }
+  const sim::Cycle total = slot_cycle_ + delta;
+  slot_cycle_ = total % cps;
+  slot_idx_ = static_cast<int>(
+      (static_cast<sim::Cycle>(slot_idx_) + total / cps) %
+      static_cast<sim::Cycle>(config_.slots_per_round));
 }
 
 void Buscom::commit() {

@@ -65,6 +65,7 @@ class Buscom final : public core::CommArchitecture, public sim::Component {
   /// arbitration prefers quiesced modules so their backlog drains fast.
   std::size_t in_flight_packets(
       fpga::ModuleId involving = fpga::kInvalidModule) const override;
+  std::size_t delivered_backlog() const override;
 
   /// Hard-fail bus `bus`: its slots are masked from arbitration, the
   /// fragment it carried is rolled back into the sender's TX queue (so no
@@ -107,6 +108,13 @@ class Buscom final : public core::CommArchitecture, public sim::Component {
   // Component -----------------------------------------------------------------
   void eval() override {}
   void commit() override;
+  // With no TX backlog, no fragment on a bus and no staged table edit,
+  // the per-cycle commit is pure TDMA phase bookkeeping — reconstructed
+  // exactly in on_fast_forward() (slot counter advance plus the slot-start
+  // reset of the bus-transfer registers), so an idle bus never blocks
+  // idle-cycle fast-forward.
+  bool is_quiescent() const override;
+  void on_fast_forward(sim::Cycle from, sim::Cycle to) override;
 
  protected:
   bool do_send(const proto::Packet& p) override;

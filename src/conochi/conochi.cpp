@@ -23,6 +23,25 @@ Conochi::Conochi(sim::Kernel& kernel, const ConochiConfig& config)
       grid_(config.grid_width, config.grid_height) {
   assert(config.grid_width >= 2 && config.grid_height >= 2);
   assert(config.link_width_bits >= 1);
+  bind_activity(this);
+}
+
+bool Conochi::network_empty() const {
+  for (const auto& s : switches_) {
+    if (!s.active) continue;
+    // A pending table install is time-triggered work: the switch must be
+    // evaluated at table_install_at even with empty queues.
+    if (s.table_pending) return false;
+    for (const auto& q : s.in)
+      if (!q.empty()) return false;
+  }
+  return true;
+}
+
+std::size_t Conochi::delivered_backlog() const {
+  std::size_t n = 0;
+  for (const auto& [m, queue] : delivered_) n += queue.size();
+  return n;
 }
 
 Conochi::Switch* Conochi::switch_at(fpga::Point pos) {
@@ -317,6 +336,9 @@ void Conochi::recompute_tables() {
       src.table_pending = true;
     }
   }
+  // Every structural mutation funnels through here; staged installs are
+  // time-triggered, so the network must run until they land.
+  wake_network();
 }
 
 bool Conochi::attach(fpga::ModuleId id, const fpga::HardwareModule& m) {
@@ -360,6 +382,7 @@ bool Conochi::attach_at(fpga::ModuleId id, const fpga::HardwareModule&,
       attachments_[id] = Attachment{s->id, p};
       resolution_[id] = s->id;
       delivered_[id];
+      wake_network();
       debug_check_invariants();
       return true;
     }
@@ -441,6 +464,7 @@ bool Conochi::move_module(fpga::ModuleId id, fpga::Point new_switch) {
         if (attachments_.count(id)) resolution_[id] = new_id;
       }));
   stats().counter("module_moves").add();
+  wake_network();
   debug_check_invariants();
   return true;
 }
@@ -860,6 +884,9 @@ void Conochi::commit() {
   for (auto& s : switches_) {
     if (s.active) process_switch(s);
   }
+  // Sleep once every queue drains and every staged table is installed;
+  // do_send() (via the base wrapper) and the mutators wake the component.
+  if (network_empty()) set_active(false);
 }
 
 }  // namespace recosim::conochi

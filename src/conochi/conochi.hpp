@@ -89,6 +89,7 @@ class Conochi final : public core::CommArchitecture, public sim::Component {
   /// transaction's snapshot stays stable while it drains.
   std::size_t in_flight_packets(
       fpga::ModuleId involving = fpga::kInvalidModule) const override;
+  std::size_t delivered_backlog() const override;
 
   /// Hard-fail the switch at (x, y). Unlike remove_switch() this works
   /// with modules attached (they are isolated until heal_node()), drops
@@ -155,6 +156,10 @@ class Conochi final : public core::CommArchitecture, public sim::Component {
   // Component -----------------------------------------------------------------
   void eval() override {}
   void commit() override;
+  /// The per-cycle work is per-queued-packet plus time-triggered table
+  /// installs; with empty switch queues and converged tables the network
+  /// sleeps (commit() deactivates, sends and mutators wake it).
+  bool is_quiescent() const override { return network_empty(); }
 
  protected:
   bool do_send(const proto::Packet& p) override;
@@ -195,6 +200,7 @@ class Conochi final : public core::CommArchitecture, public sim::Component {
     std::map<fpga::ModuleId, int> redirect;
   };
 
+  bool network_empty() const;
   Switch* switch_at(fpga::Point pos);
   const Switch* switch_at(fpga::Point pos) const;
   Switch& sw(int id) { return switches_[static_cast<std::size_t>(id)]; }

@@ -29,8 +29,9 @@ void CommArchitecture::debug_check_invariants() const {
 
 bool CommArchitecture::quiesce(fpga::ModuleId id) {
   if (!is_attached(id) || quiesced_.count(id)) return false;
-  quiesced_.insert(id);
+  quiesced_.emplace(id, kernel_.now());
   stats_.counter("quiesces").add();
+  wake_network();
   on_quiesce(id);
   return true;
 }
@@ -38,6 +39,7 @@ bool CommArchitecture::quiesce(fpga::ModuleId id) {
 bool CommArchitecture::resume(fpga::ModuleId id) {
   if (quiesced_.erase(id) == 0) return false;
   stats_.counter("resumes").add();
+  wake_network();
   on_resume(id);
   return true;
 }
@@ -47,9 +49,21 @@ std::size_t CommArchitecture::in_flight_packets(fpga::ModuleId) const {
 }
 
 bool CommArchitecture::send(proto::Packet p) {
-  if (quiesced_.count(p.src) || quiesced_.count(p.dst)) {
-    stats_.counter("quiesce_rejected").add();
-    return false;
+  const auto qs = quiesced_.find(p.src);
+  const auto qd = quiesced_.find(p.dst);
+  if (qs != quiesced_.end() || qd != quiesced_.end()) {
+    // A packet touching quiesced endpoints is only admitted when the
+    // exemption hook vouches for it against each of them (a retransmission
+    // of an exchange the reliable layer sequenced before the quiesce).
+    const bool exempt =
+        quiesce_exemption_ &&
+        (qs == quiesced_.end() || quiesce_exemption_(p, qs->second)) &&
+        (qd == quiesced_.end() || quiesce_exemption_(p, qd->second));
+    if (!exempt) {
+      stats_.counter("quiesce_rejected").add();
+      return false;
+    }
+    stats_.counter("quiesce_exempted").add();
   }
   p.id = next_packet_id();
   p.injected_at = kernel_.now();
@@ -58,6 +72,7 @@ bool CommArchitecture::send(proto::Packet p) {
     stats_.counter("send_rejected").add();
     return false;
   }
+  wake_network();
   stats_.counter("sent").add();
   stats_.counter("sent_bytes").add(p.payload_bytes);
   return true;

@@ -2,14 +2,15 @@
 
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <optional>
-#include <set>
 #include <string>
 
 #include "core/taxonomy.hpp"
 #include "fpga/module.hpp"
 #include "fpga/resource.hpp"
 #include "proto/packet.hpp"
+#include "sim/component.hpp"
 #include "sim/kernel.hpp"
 #include "sim/stats.hpp"
 
@@ -87,6 +88,18 @@ class CommArchitecture {
   }
   std::size_t quiesced_count() const { return quiesced_.size(); }
 
+  /// Installed by the reliable-delivery layer: lets send() admit packets
+  /// that belong to an exchange which started *before* the endpoint was
+  /// quiesced (retransmissions, their acknowledgements). The hook receives
+  /// the packet and the cycle the endpoint quiesced at, and returns true
+  /// to admit. Admissions are counted under "quiesce_exempted"; a packet
+  /// must be exempt with respect to every quiesced endpoint it touches.
+  void set_quiesce_exemption(
+      std::function<bool(const proto::Packet&, sim::Cycle quiesced_since)>
+          hook) {
+    quiesce_exemption_ = std::move(hook);
+  }
+
   /// Packets currently inside the network fabric (buffers, links, partial
   /// transfers) — *not* those already landed in delivery queues. With
   /// `involving` set, only packets whose src or dst equals that module are
@@ -94,6 +107,19 @@ class CommArchitecture {
   /// overrides it with an exact census of its internal queues.
   virtual std::size_t in_flight_packets(
       fpga::ModuleId involving = fpga::kInvalidModule) const;
+
+  /// Packets that landed in a delivery queue but have not been receive()d
+  /// yet. Architectures override with an exact census; together with
+  /// in_flight_packets() it defines network_idle().
+  virtual std::size_t delivered_backlog() const { return 0; }
+
+  /// True when no packet exists anywhere in the architecture — neither in
+  /// the fabric nor waiting in a delivery queue. Consumers (traffic sinks,
+  /// the reliable-delivery layer) use this as their quiescence condition
+  /// for idle-cycle fast-forward.
+  bool network_idle() const {
+    return in_flight_packets() == 0 && delivered_backlog() == 0;
+  }
 
   // -- fault hooks -----------------------------------------------------------
   //
@@ -181,6 +207,18 @@ class CommArchitecture {
 
   std::uint64_t next_packet_id() { return ++packet_serial_; }
 
+  /// Architectures that are themselves sim::Components register here so
+  /// the base class can wake them when new work arrives (a send admitted,
+  /// a quiesce/resume). Architecture-specific mutators (attach/detach,
+  /// fault hooks, topology edits) must call wake_network() themselves.
+  void bind_activity(sim::Component* c) { net_component_ = c; }
+
+  /// Mark the bound network component runnable. Idempotent, no-op when no
+  /// component is bound.
+  void wake_network() {
+    if (net_component_) net_component_->set_active(true);
+  }
+
   /// In checked builds (RECOSIM_CHECKS_ENABLED): run verify_invariants()
   /// and check-fail on the first error-severity diagnostic. The
   /// architectures call this at the end of every reconfiguration mutator
@@ -194,7 +232,9 @@ class CommArchitecture {
   sim::StatSet stats_;
   std::uint64_t packet_serial_ = 0;
   std::function<bool(proto::Packet&)> delivery_fault_;
-  std::set<fpga::ModuleId> quiesced_;
+  std::function<bool(const proto::Packet&, sim::Cycle)> quiesce_exemption_;
+  std::map<fpga::ModuleId, sim::Cycle> quiesced_;  ///< id -> quiesced-at cycle
+  sim::Component* net_component_ = nullptr;
 };
 
 }  // namespace recosim::core

@@ -1,5 +1,6 @@
 #include "core/reconfig_txn.hpp"
 
+#include <algorithm>
 #include <utility>
 
 #include "fpga/defrag.hpp"
@@ -59,6 +60,35 @@ ReconfigTxn::ReconfigTxn(sim::Kernel& kernel, ReconfigManager& mgr,
           [this] { return state_ == TxnState::kQuiescing && !drained(); },
           config.drain_stall_deadline, "txn_drain_watchdog") {
   watchdog_.on_trip([this] { escalate_requested_ = true; });
+  set_ff_pollable(true);
+}
+
+bool ReconfigTxn::is_quiescent() const {
+  switch (state_) {
+    case TxnState::kPlanned:
+    case TxnState::kDrained:
+      return false;  // a state transition runs in the next eval
+    case TxnState::kQuiescing:
+      // Waiting on the drain; an eval acts only once the network emptied
+      // or the watchdog escalated.
+      return !escalate_requested_ && !drained();
+    case TxnState::kStreaming:
+      return true;  // waiting on the ICAP callback
+    case TxnState::kCommitted:
+    case TxnState::kRolledBack:
+      return true;
+  }
+  return false;
+}
+
+sim::Cycle ReconfigTxn::quiescent_deadline() const {
+  if (done()) return sim::kNeverCycle;
+  sim::Cycle deadline = sim::kNeverCycle;
+  if (cfg_.txn_timeout != 0 && state_ != TxnState::kPlanned)
+    deadline = started_at_ + cfg_.txn_timeout;
+  if (state_ == TxnState::kQuiescing)
+    deadline = std::min(deadline, drain_started_ + cfg_.drain_timeout);
+  return deadline;
 }
 
 ReconfigTxn::~ReconfigTxn() {
@@ -355,6 +385,7 @@ void ReconfigTxn::finish(TxnState terminal) {
   }
   state_ = terminal;
   finished_at_ = kernel().now();
+  set_active(false);  // terminal: every future eval would be a no-op
   if (on_done_) on_done_(*this);
 }
 

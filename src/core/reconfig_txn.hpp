@@ -159,6 +159,14 @@ class ReconfigTxn final : public sim::Component {
   // Component ----------------------------------------------------------------
   void eval() override;
 
+  // The transaction's own cycle work is pure waiting: for the drain to
+  // complete (driven by other components' activity), for the ICAP to
+  // resolve the load, or for a timeout. It therefore never blocks
+  // idle-cycle fast-forward; it bounds jumps by its drain/transaction
+  // timeouts, and sleeps for good once terminal.
+  bool is_quiescent() const override;
+  sim::Cycle quiescent_deadline() const override;
+
  private:
   struct Snapshot {
     std::map<fpga::ModuleId, fpga::Rect> regions;

@@ -76,7 +76,22 @@ TrafficSource::TrafficSource(sim::Kernel& kernel, CommArchitecture& arch,
       size_(std::move(size)),
       injection_(injection),
       rng_(rng),
-      next_emit_(injection.is_periodic ? injection.offset : 0) {}
+      next_emit_(injection.is_periodic ? injection.offset : 0) {
+  set_ff_pollable(true);
+}
+
+bool TrafficSource::is_quiescent() const {
+  if (pending_) return false;
+  if (stopped_) return true;
+  if (injection_.is_periodic) return kernel().now() < next_emit_;
+  return false;
+}
+
+sim::Cycle TrafficSource::quiescent_deadline() const {
+  if (pending_ || stopped_ || !injection_.is_periodic)
+    return sim::kNeverCycle;
+  return next_emit_;
+}
 
 void TrafficSource::eval() {
   // Retry a previously rejected packet first: sources are FIFO.
@@ -89,7 +104,12 @@ void TrafficSource::eval() {
       return;
     }
   }
-  if (stopped_) return;
+  if (stopped_) {
+    // Nothing pending and nothing more to produce: sleep for good (safe
+    // to do from eval() — this component has no commit phase).
+    set_active(false);
+    return;
+  }
 
   bool emit = false;
   if (injection_.is_periodic) {
@@ -121,7 +141,9 @@ TrafficSink::TrafficSink(sim::Kernel& kernel, CommArchitecture& arch,
     : sim::Component(kernel, std::move(name)),
       arch_(arch),
       modules_(std::move(modules)),
-      latency_(8, 512) {}
+      latency_(8, 512) {
+  set_ff_pollable(true);
+}
 
 void TrafficSink::watch(fpga::ModuleId id) {
   if (std::find(modules_.begin(), modules_.end(), id) == modules_.end())

@@ -66,11 +66,22 @@ class TrafficSource final : public sim::Component {
 
   void eval() override;
 
+  // Periodic sources are pure timers between emissions, so they bound
+  // idle-cycle fast-forward by their next emission cycle. Bernoulli
+  // sources draw the rng every cycle and therefore never report quiescent
+  // while running (skipping a draw would change the random stream). A
+  // stopped source with nothing pending sleeps for good.
+  bool is_quiescent() const override;
+  sim::Cycle quiescent_deadline() const override;
+
   std::uint64_t generated() const { return generated_; }
   std::uint64_t accepted() const { return accepted_; }
   std::uint64_t stalled_cycles() const { return stalled_cycles_; }
   /// Stop producing new packets (pending one still retries).
-  void stop() { stopped_ = true; }
+  void stop() {
+    stopped_ = true;
+    if (!pending_) set_active(false);
+  }
   void set_rate(double rate) { injection_.rate = rate; }
 
  private:
@@ -98,6 +109,10 @@ class TrafficSink final : public sim::Component {
               std::string name = "sink");
 
   void eval() override;
+
+  // The sink drains whatever the network delivered, so it is idle exactly
+  // when the network holds no packets at all.
+  bool is_quiescent() const override { return arch_.network_idle(); }
 
   /// Add a module to drain (e.g. after runtime attach).
   void watch(fpga::ModuleId id);

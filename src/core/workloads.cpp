@@ -19,7 +19,21 @@ class ForwardStage final : public sim::Component {
         arch_(arch),
         self_(self),
         next_(next),
-        processing_(processing) {}
+        processing_(processing) {
+    // Pure pollable: the stage only has work when a packet is deliverable
+    // somewhere (receive side) or its processing delay elapsed (send
+    // side); the latter bounds fast-forward via quiescent_deadline().
+    set_ff_pollable(true);
+  }
+
+  bool is_quiescent() const override {
+    if (pending_) return kernel().now() < ready_at_;
+    return arch_.network_idle();
+  }
+
+  sim::Cycle quiescent_deadline() const override {
+    return pending_ ? ready_at_ : sim::kNeverCycle;
+  }
 
   void eval() override {
     if (pending_) {

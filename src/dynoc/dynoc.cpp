@@ -27,6 +27,25 @@ Dynoc::Dynoc(sim::Kernel& kernel, const DynocConfig& config)
   assert(config.width >= 3 && config.height >= 3);
   assert(config.link_width_bits >= 1);
   assert(config.input_buffer_packets >= 1);
+  bind_activity(this);
+}
+
+bool Dynoc::network_empty() const {
+  for (const auto& r : routers_) {
+    for (const auto& port : r.in)
+      if (!port.empty()) return false;
+    // Tail-only transfers (carries_packet == false) still occupy the link
+    // and must be advanced, so any busy link keeps the NoC awake.
+    for (const auto& link : r.out)
+      if (link.busy) return false;
+  }
+  return true;
+}
+
+std::size_t Dynoc::delivered_backlog() const {
+  std::size_t n = 0;
+  for (const auto& [m, queue] : delivered_) n += queue.size();
+  return n;
 }
 
 bool Dynoc::router_active(fpga::Point p) const {
@@ -167,6 +186,7 @@ bool Dynoc::attach_at(fpga::ModuleId id, const fpga::HardwareModule& m,
   }
   placements_.emplace(id, Placement{r, choose_access(r)});
   delivered_[id];
+  wake_network();
   debug_check_invariants();
   return true;
 }
@@ -184,6 +204,7 @@ bool Dynoc::detach(fpga::ModuleId id) {
     stats().counter("dropped_detach").add(dit->second.size());
     delivered_.erase(dit);
   }
+  wake_network();
   debug_check_invariants();
   return true;
 }
@@ -268,6 +289,7 @@ bool Dynoc::fail_node(int x, int y) {
     }
   }
   stats().counter("router_failures").add();
+  wake_network();
   debug_check_invariants();
   return true;
 }
@@ -282,6 +304,7 @@ bool Dynoc::heal_node(int x, int y) {
   for (auto& [id, pl] : placements_)
     if (pl.rect.area() > 1) pl.access = choose_access(pl.rect);
   stats().counter("router_heals").add();
+  wake_network();
   debug_check_invariants();
   return true;
 }
@@ -607,6 +630,9 @@ void Dynoc::start_transfers() {
 void Dynoc::commit() {
   advance_links();
   start_transfers();
+  // Sleep once the network drains; do_send() (via the base wrapper) and
+  // the mutators wake the component again.
+  if (network_empty()) set_active(false);
 }
 
 std::vector<std::uint64_t> Dynoc::link_busy_cycles() const {

@@ -81,6 +81,7 @@ class Dynoc final : public core::CommArchitecture, public sim::Component {
   /// census); `involving` filters by packet endpoint.
   std::size_t in_flight_packets(
       fpga::ModuleId involving = fpga::kInvalidModule) const override;
+  std::size_t delivered_backlog() const override;
 
   /// Hard-fail the router at (x, y): its buffered and in-flight traffic is
   /// lost (counted as "packets_dropped_fault"), it becomes a 1x1 S-XY
@@ -130,6 +131,10 @@ class Dynoc final : public core::CommArchitecture, public sim::Component {
   // Component -----------------------------------------------------------------
   void eval() override {}
   void commit() override;
+  /// The per-cycle work is entirely per-packet and per-busy-link; with
+  /// nothing in the network the NoC sleeps (commit() deactivates, sends
+  /// and mutators wake it).
+  bool is_quiescent() const override { return network_empty(); }
 
  protected:
   bool do_send(const proto::Packet& p) override;
@@ -183,6 +188,7 @@ class Dynoc final : public core::CommArchitecture, public sim::Component {
   const Router& at(fpga::Point p) const {
     return routers_[static_cast<std::size_t>(idx(p))];
   }
+  bool network_empty() const;
   std::optional<fpga::Rect> obstacle_at(fpga::Point p) const;
   bool placement_keeps_surround(const fpga::Rect& r) const;
   fpga::Point choose_access(const fpga::Rect& r) const;

@@ -269,8 +269,9 @@ ChaosSchedule make_schedule(ChaosArch arch, std::uint64_t seed, int num_ops,
   return s;
 }
 
-ChaosResult run_schedule(const ChaosSchedule& s) {
+ChaosResult run_schedule(const ChaosSchedule& s, bool activity_driven) {
   sim::Kernel kernel;
+  kernel.set_activity_driven(activity_driven);
   Fixture fx = make_fixture(kernel, s.arch);
   core::CommArchitecture& arch = *fx.arch;
 

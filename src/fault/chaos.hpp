@@ -76,7 +76,13 @@ struct ChaosResult {
 /// declared dead, no module half-attached (attached XOR placed), every
 /// transaction terminal, no error-severity diagnostics from the
 /// architecture's verifier.
-ChaosResult run_schedule(const ChaosSchedule& schedule);
+///
+/// `activity_driven` toggles the kernel's quiescence tracking and
+/// idle-cycle fast-forward; results are bit-for-bit identical either way
+/// (the cross-check the determinism tests and `--no-fast-forward` rely
+/// on), only wall-clock differs.
+ChaosResult run_schedule(const ChaosSchedule& schedule,
+                         bool activity_driven = true);
 
 /// Greedy delta-debugging: starting from a failing schedule, repeatedly
 /// drop ops and fault events and zero stochastic rates while the failure

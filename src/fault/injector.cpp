@@ -17,6 +17,7 @@ FaultInjector::FaultInjector(sim::Kernel& kernel,
   std::stable_sort(
       plan_.scheduled.begin(), plan_.scheduled.end(),
       [](const FaultEvent& x, const FaultEvent& y) { return x.at < y.at; });
+  set_ff_pollable(true);
   if (plan_.drop_rate > 0.0 || plan_.bit_flip_rate > 0.0) {
     hooked_delivery_ = true;
     arch_.set_delivery_fault([this](proto::Packet& p) {
@@ -97,6 +98,16 @@ void FaultInjector::eval() {
     dispatch(plan_.scheduled[next_event_]);
     ++next_event_;
   }
+}
+
+bool FaultInjector::is_quiescent() const {
+  return next_event_ >= plan_.scheduled.size() ||
+         plan_.scheduled[next_event_].at > kernel().now();
+}
+
+sim::Cycle FaultInjector::quiescent_deadline() const {
+  if (next_event_ >= plan_.scheduled.size()) return sim::kNeverCycle;
+  return plan_.scheduled[next_event_].at;
 }
 
 }  // namespace recosim::fault

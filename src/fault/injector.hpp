@@ -37,6 +37,14 @@ class FaultInjector final : public sim::Component {
 
   void eval() override;
 
+  // Scheduled faults are the only time-driven work (the delivery and ICAP
+  // hooks are pulled by their owners), so the injector never blocks
+  // idle-cycle fast-forward: it just bounds jumps by the next scheduled
+  // fault's cycle. eval() catches up on its own (`at <= now`), so no
+  // on_fast_forward() bookkeeping is needed.
+  bool is_quiescent() const override;
+  sim::Cycle quiescent_deadline() const override;
+
   /// Counters: "faults_injected" (total), "node_failures", "node_heals",
   /// "link_failures", "link_heals", "bit_flips", "packet_drops",
   /// "icap_aborts", "hooks_rejected" (fault class unsupported by the

@@ -13,7 +13,66 @@ ReliableChannel::ReliableChannel(sim::Kernel& kernel,
     : sim::Component(kernel, std::move(name)),
       arch_(arch),
       cfg_(cfg),
-      rng_(rng) {}
+      rng_(rng) {
+  set_ff_pollable(true);
+  arch_.set_quiesce_exemption(
+      [this](const proto::Packet& p, sim::Cycle since) {
+        return admit_during_quiesce(p, since);
+      });
+}
+
+ReliableChannel::~ReliableChannel() { arch_.set_quiesce_exemption({}); }
+
+bool ReliableChannel::admit_during_quiesce(const proto::Packet& p,
+                                           sim::Cycle quiesced_since) const {
+  if (p.control == proto::Packet::kData) {
+    // Retransmission of a packet sequenced before the endpoint quiesced:
+    // the exchange predates the quiesce, so it may finish draining.
+    auto it = tx_.find({p.src, p.dst});
+    if (it == tx_.end()) return false;
+    auto pit = it->second.pending.find(p.seq);
+    return pit != it->second.pending.end() &&
+           pit->second.sequenced_at < quiesced_since;
+  }
+  if (p.control == proto::Packet::kAck) {
+    // The data packet was admitted and received (it is in the receiver's
+    // seen-set), so its acknowledgement must be allowed to complete the
+    // exchange — otherwise the sender retries against a closed door until
+    // the drain watchdog escalates.
+    auto it = rx_.find({p.dst, p.src});
+    return it != rx_.end() && it->second.seen.count(p.seq) > 0;
+  }
+  return false;
+}
+
+bool ReliableChannel::is_quiescent() const {
+  if (!arch_.network_idle()) return false;
+  for (const auto& [ep, q] : app_queue_) {
+    (void)ep;
+    if (!q.empty()) return false;
+  }
+  const sim::Cycle now = kernel().now();
+  for (const auto& [key, flow] : tx_) {
+    if (flow.dead) continue;
+    for (const auto& [seq, pd] : flow.pending) {
+      (void)seq;
+      if (pd.next_retry <= now) return false;
+    }
+  }
+  return true;
+}
+
+sim::Cycle ReliableChannel::quiescent_deadline() const {
+  sim::Cycle earliest = sim::kNeverCycle;
+  for (const auto& [key, flow] : tx_) {
+    if (flow.dead) continue;
+    for (const auto& [seq, pd] : flow.pending) {
+      (void)seq;
+      if (pd.next_retry < earliest) earliest = pd.next_retry;
+    }
+  }
+  return earliest;
+}
 
 sim::Cycle ReliableChannel::jittered(sim::Cycle timeout) {
   if (cfg_.jitter == 0) return timeout;
@@ -31,6 +90,7 @@ bool ReliableChannel::send(proto::Packet p) {
   Pending pd;
   pd.packet = p;
   pd.timeout = cfg_.base_timeout;
+  pd.sequenced_at = kernel().now();
   if (arch_.send(p)) {
     pd.attempts = 1;
     pd.next_retry = kernel().now() + jittered(pd.timeout);
@@ -83,6 +143,12 @@ void ReliableChannel::handle_ack(fpga::ModuleId at, const proto::Packet& ack) {
 }
 
 void ReliableChannel::handle_data(fpga::ModuleId at, const proto::Packet& p) {
+  // Record the seq as seen *before* acknowledging: the quiesce exemption
+  // for the ACK consults the seen-set, so a data packet that lands while
+  // its sender is quiescing can still be acknowledged.
+  RxFlow& flow = rx_[{p.src, at}];
+  const bool fresh = flow.seen.insert(p.seq).second;
+
   // Always (re-)acknowledge: the previous ACK for this seq may have been
   // lost, which is exactly why the duplicate arrived.
   proto::Packet ack;
@@ -96,8 +162,7 @@ void ReliableChannel::handle_data(fpga::ModuleId at, const proto::Packet& p) {
   // A rejected ACK (backpressure) is simply lost; the sender retransmits
   // and triggers a fresh one.
 
-  RxFlow& flow = rx_[{p.src, at}];
-  if (!flow.seen.insert(p.seq).second) {
+  if (!fresh) {
     stats_.counter("duplicates_dropped").add();
     return;
   }

@@ -45,9 +45,15 @@ struct ReliableChannelConfig {
 /// queues; do not mix with a TrafficSink on the same modules.
 class ReliableChannel final : public sim::Component {
  public:
+  /// Installs the architecture's quiesce-exemption hook (one channel per
+  /// architecture): while an endpoint is quiescing, retransmissions of
+  /// packets this channel sequenced *before* the quiesce — and the ACKs
+  /// completing them — are still admitted, so the drain phase can finish
+  /// in-flight exchanges instead of timing out against a closed door.
   ReliableChannel(sim::Kernel& kernel, core::CommArchitecture& arch,
                   ReliableChannelConfig cfg, sim::Rng rng,
                   std::string name = "reliable_channel");
+  ~ReliableChannel() override;
 
   void add_endpoint(fpga::ModuleId id) { endpoints_.insert(id); }
   void remove_endpoint(fpga::ModuleId id) { endpoints_.erase(id); }
@@ -79,6 +85,13 @@ class ReliableChannel final : public sim::Component {
 
   void eval() override;
 
+  // Between retransmission deadlines the channel is a pure timer, so it
+  // bounds idle-cycle fast-forward by the earliest pending retry instead
+  // of blocking it. It is only quiescent when the network holds nothing
+  // for its endpoints and no application packet waits undrained.
+  bool is_quiescent() const override;
+  sim::Cycle quiescent_deadline() const override;
+
  private:
   using FlowKey = std::pair<fpga::ModuleId, fpga::ModuleId>;  // (src, dst)
 
@@ -88,6 +101,7 @@ class ReliableChannel final : public sim::Component {
     unsigned rejects = 0;        // consecutive rejected (re)sends
     sim::Cycle timeout = 0;      // current backoff value
     sim::Cycle next_retry = 0;   // cycle of the next (re)transmission
+    sim::Cycle sequenced_at = 0; // cycle send() assigned the sequence
   };
 
   struct TxFlow {
@@ -101,6 +115,9 @@ class ReliableChannel final : public sim::Component {
   };
 
   sim::Cycle jittered(sim::Cycle timeout);
+  /// Quiesce-exemption predicate handed to the architecture.
+  bool admit_during_quiesce(const proto::Packet& p,
+                            sim::Cycle quiesced_since) const;
   void handle_ack(fpga::ModuleId at, const proto::Packet& ack);
   void handle_data(fpga::ModuleId at, const proto::Packet& p);
   void pump_retransmissions();

@@ -14,6 +14,12 @@ Icap::Icap(sim::Kernel& kernel, const Device& device,
       system_clock_mhz_(system_clock_mhz),
       icap_clock_mhz_(device.icap_clock_mhz) {
   assert(system_clock_mhz > 0.0);
+  set_ff_pollable(true);
+}
+
+sim::Cycle Icap::quiescent_deadline() const {
+  if (!current_) return sim::kNeverCycle;
+  return kernel().now() + remaining_;
 }
 
 void Icap::request(ModuleId id, const Rect& region,

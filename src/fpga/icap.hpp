@@ -1,5 +1,6 @@
 #pragma once
 
+#include <algorithm>
 #include <deque>
 #include <functional>
 #include <optional>
@@ -49,6 +50,20 @@ class Icap final : public sim::Component {
 
   void eval() override;
   void commit() override;
+
+  // A transfer in flight is a pure countdown, so the port never blocks
+  // idle-cycle fast-forward: it bounds jumps by the completion cycle and
+  // catches the counter up in on_fast_forward(). A job about to finish or
+  // start (remaining_ == 0, or a queued job with the port free) is real
+  // work and vetoes the jump.
+  bool is_quiescent() const override {
+    if (!current_) return queue_.empty();
+    return remaining_ > 0;
+  }
+  sim::Cycle quiescent_deadline() const override;
+  void on_fast_forward(sim::Cycle from, sim::Cycle to) override {
+    remaining_ -= std::min(remaining_, to - from);
+  }
 
   const sim::StatSet& stats() const { return stats_; }
 

@@ -14,6 +14,38 @@ HierBus::HierBus(sim::Kernel& kernel, const HierBusConfig& config)
   assert(config.peripheral_divider >= 1);
   system_.tier = BusTier::kSystem;
   peripheral_.tier = BusTier::kPeripheral;
+  bind_activity(this);
+}
+
+bool HierBus::network_empty() const {
+  if (system_.active || peripheral_.active) return false;
+  if (!to_system_.empty() || !to_peripheral_.empty()) return false;
+  for (const auto& [m, queue] : tx_)
+    if (!queue.empty()) return false;
+  return true;
+}
+
+std::size_t HierBus::in_flight_packets(fpga::ModuleId involving) const {
+  auto counts = [involving](const proto::Packet& p) {
+    return involving == fpga::kInvalidModule || p.src == involving ||
+           p.dst == involving;
+  };
+  std::size_t n = 0;
+  for (const auto& [m, queue] : tx_)
+    for (const proto::Packet& p : queue)
+      if (counts(p)) ++n;
+  for (const Bus* bus : {&system_, &peripheral_})
+    if (bus->active && counts(bus->active->packet)) ++n;
+  for (const auto* buffer : {&to_system_, &to_peripheral_})
+    for (const proto::Packet& p : *buffer)
+      if (counts(p)) ++n;
+  return n;
+}
+
+std::size_t HierBus::delivered_backlog() const {
+  std::size_t n = 0;
+  for (const auto& [m, queue] : delivered_) n += queue.size();
+  return n;
 }
 
 bool HierBus::attach_to(fpga::ModuleId id, BusTier tier) {
@@ -22,6 +54,7 @@ bool HierBus::attach_to(fpga::ModuleId id, BusTier tier) {
   bus_for(tier).members.push_back(id);
   tx_[id];
   delivered_[id];
+  wake_network();
   return true;
 }
 
@@ -47,6 +80,7 @@ bool HierBus::detach(fpga::ModuleId id) {
     delivered_.erase(dit);
   }
   tier_.erase(it);
+  wake_network();
   return true;
 }
 
@@ -189,6 +223,9 @@ void HierBus::commit() {
   advance(peripheral_);
   arbitrate(system_);
   arbitrate(peripheral_);
+  // Sleep once both buses and the bridge drain; do_send() (via the base
+  // wrapper) and the mutators wake the component again.
+  if (network_empty()) set_active(false);
 }
 
 }  // namespace recosim::hierbus

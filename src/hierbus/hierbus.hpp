@@ -72,9 +72,19 @@ class HierBus final : public core::CommArchitecture, public sim::Component {
     return to_system_.size() + to_peripheral_.size();
   }
 
+  /// Packets in a TX queue, occupying a bus or buffered in the bridge;
+  /// `involving` filters by packet endpoint.
+  std::size_t in_flight_packets(
+      fpga::ModuleId involving = fpga::kInvalidModule) const override;
+  std::size_t delivered_backlog() const override;
+
   // Component -----------------------------------------------------------------
   void eval() override {}
   void commit() override;
+  /// The per-cycle work is per-transfer; with idle buses, empty TX queues
+  /// and an empty bridge the baseline sleeps (commit() deactivates, sends
+  /// and mutators wake it).
+  bool is_quiescent() const override { return network_empty(); }
 
  protected:
   bool do_send(const proto::Packet& p) override;
@@ -94,6 +104,7 @@ class HierBus final : public core::CommArchitecture, public sim::Component {
     std::size_t rr = 0;  // round-robin arbitration pointer
   };
 
+  bool network_empty() const;
   sim::Cycle burst_cycles(const proto::Packet& p, BusTier tier) const;
   Bus& bus_for(BusTier tier) {
     return tier == BusTier::kSystem ? system_ : peripheral_;

@@ -24,6 +24,7 @@ Rmboc::Rmboc(sim::Kernel& kernel, const RmbocConfig& config)
   assert(config.slots >= 2);
   assert(config.buses >= 1);
   assert(config.link_width_bits >= 1);
+  bind_activity(this);
 }
 
 bool Rmboc::attach(fpga::ModuleId id, const fpga::HardwareModule&) {
@@ -33,6 +34,7 @@ bool Rmboc::attach(fpga::ModuleId id, const fpga::HardwareModule&) {
       module_by_slot_[static_cast<std::size_t>(s)] = id;
       slot_by_module_[id] = s;
       delivered_[id];
+      wake_network();
       debug_check_invariants();
       return true;
     }
@@ -62,6 +64,7 @@ bool Rmboc::detach(fpga::ModuleId id) {
     stats().counter("dropped_detach").add(dit->second.size());
     delivered_.erase(dit);
   }
+  wake_network();
   debug_check_invariants();
   return true;
 }
@@ -295,6 +298,7 @@ bool Rmboc::fail_link(int segment, int bus) {
   failed_lanes_[static_cast<std::size_t>(segment)]
                [static_cast<std::size_t>(bus)] = true;
   stats().counter("lane_failures").add();
+  wake_network();
   debug_check_invariants();
   return true;
 }
@@ -309,6 +313,7 @@ bool Rmboc::heal_link(int segment, int bus) {
   failed_lanes_[static_cast<std::size_t>(segment)]
                [static_cast<std::size_t>(bus)] = false;
   stats().counter("lane_heals").add();
+  wake_network();
   debug_check_invariants();
   return true;
 }
@@ -334,6 +339,7 @@ bool Rmboc::fail_node(int slot, int) {
     it = channels_.erase(it);
   }
   stats().counter("xp_failures").add();
+  wake_network();
   debug_check_invariants();
   return true;
 }
@@ -341,6 +347,7 @@ bool Rmboc::fail_node(int slot, int) {
 bool Rmboc::heal_node(int slot, int) {
   if (failed_xp_.erase(slot) == 0) return false;
   stats().counter("xp_heals").add();
+  wake_network();
   debug_check_invariants();
   return true;
 }
@@ -439,6 +446,7 @@ bool Rmboc::open_channel(fpga::ModuleId src, fpga::ModuleId dst,
   if (!s || !d || *s == *d) return false;
   if (find_channel(*s, *d)) return false;
   create_channel(*s, *d, src, dst, lanes);
+  wake_network();
   debug_check_invariants();
   return true;
 }
@@ -451,6 +459,15 @@ std::size_t Rmboc::in_flight_packets(fpga::ModuleId involving) const {
         c.dst_module != involving)
       continue;
     n += c.queue.size();
+  }
+  return n;
+}
+
+std::size_t Rmboc::delivered_backlog() const {
+  std::size_t n = 0;
+  for (const auto& [id, q] : delivered_) {
+    (void)id;
+    n += q.size();
   }
   return n;
 }
@@ -618,6 +635,11 @@ void Rmboc::commit() {
       ++it;
     }
   }
+  // No channels means no per-cycle work at all (delivery queues are
+  // drained pull-style by consumers); sleep until a send, channel open or
+  // topology mutation wakes the bus. Idle-established channels must keep
+  // running for the idle-close countdown, so they hold the bus awake.
+  if (channels_.empty()) set_active(false);
 }
 
 }  // namespace recosim::rmboc

@@ -74,6 +74,7 @@ class Rmboc final : public core::CommArchitecture, public sim::Component {
   /// transactions. `involving` filters by endpoint module.
   std::size_t in_flight_packets(
       fpga::ModuleId involving = fpga::kInvalidModule) const override;
+  std::size_t delivered_backlog() const override;
 
   /// Hard-fail the cross-point of `slot`. On a 1-D segmented bus there is
   /// no way around a dead cross-point, so every circuit touching or
@@ -131,6 +132,9 @@ class Rmboc final : public core::CommArchitecture, public sim::Component {
   // Component -----------------------------------------------------------------
   void eval() override {}
   void commit() override;
+  /// The per-cycle work is entirely per-channel; with no channels the bus
+  /// sleeps (commit() deactivates, sends and mutators wake it).
+  bool is_quiescent() const override { return channels_.empty(); }
 
  protected:
   bool do_send(const proto::Packet& p) override;

@@ -1,23 +1,30 @@
 #pragma once
 
+#include <array>
 #include <cstdint>
-#include <functional>
-#include <queue>
+#include <map>
 #include <vector>
 
+#include "sim/smallfn.hpp"
 #include "sim/types.hpp"
 
 namespace recosim::sim {
 
 /// Time-ordered queue of one-shot callbacks. Events with equal firing time
-/// run in insertion order (a strictly increasing sequence number breaks
-/// ties), keeping the simulation deterministic.
+/// run in insertion order, keeping the simulation deterministic (same
+/// tie-break semantics as a global sequence number).
+///
+/// Implemented as a calendar queue: a power-of-two ring of per-cycle
+/// buckets covers the near future (one bucket per cycle, FIFO vector per
+/// bucket, no per-event allocation thanks to SmallFn), and a sorted
+/// overflow map holds events scheduled beyond the ring window. Bucket
+/// occupancy is tracked in a bitmap so next_cycle() is O(1).
 class EventQueue {
  public:
-  void push(Cycle at, std::function<void()> fn);
+  void push(Cycle at, SmallFn fn);
 
-  bool empty() const { return heap_.empty(); }
-  std::size_t size() const { return heap_.size(); }
+  bool empty() const { return size_ == 0; }
+  std::size_t size() const { return size_; }
 
   /// Earliest scheduled cycle; kNeverCycle when empty.
   Cycle next_cycle() const;
@@ -30,19 +37,25 @@ class EventQueue {
   Cycle fired_through() const { return fired_through_; }
 
  private:
-  struct Event {
-    Cycle at;
-    std::uint64_t seq;
-    std::function<void()> fn;
-  };
-  struct Later {
-    bool operator()(const Event& a, const Event& b) const {
-      if (a.at != b.at) return a.at > b.at;
-      return a.seq > b.seq;
-    }
-  };
-  std::priority_queue<Event, std::vector<Event>, Later> heap_;
-  std::uint64_t next_seq_ = 0;
+  static constexpr std::size_t kBuckets = 256;  // power of two
+  static constexpr std::size_t kMask = kBuckets - 1;
+  static constexpr std::size_t kWords = kBuckets / 64;
+
+  /// Earliest non-empty ring cycle >= base_, or kNeverCycle.
+  Cycle ring_min() const;
+  void fire_ring_cycle(Cycle c);
+  void fire_overflow_cycle(Cycle c);
+  /// Move overflow events that now fall inside the ring window.
+  void migrate_overflow();
+
+  void set_bit(std::size_t idx) { occ_[idx >> 6] |= 1ull << (idx & 63); }
+  void clear_bit(std::size_t idx) { occ_[idx >> 6] &= ~(1ull << (idx & 63)); }
+
+  std::array<std::vector<SmallFn>, kBuckets> ring_;
+  std::array<std::uint64_t, kWords> occ_{};  // bucket-occupancy bitmap
+  std::map<Cycle, std::vector<SmallFn>> overflow_;
+  Cycle base_ = 0;  ///< earliest cycle the ring window can hold
+  std::size_t size_ = 0;
   Cycle fired_through_ = 0;
   bool fired_any_ = false;
 };

@@ -38,6 +38,7 @@ class BoundedFifo final : public Latch {
   void push(const T& v) {
     RECOSIM_CHECK("SIM002", can_push(), "push staged on a full FIFO");
     staged_pushes_.push_back(v);
+    mark_dirty();
   }
 
   /// True if a pop can be staged this cycle (an element is present and not
@@ -55,6 +56,7 @@ class BoundedFifo final : public Latch {
     RECOSIM_CHECK("SIM002", can_pop(), "pop staged past FIFO content");
     T v = items_[staged_pops_];
     ++staged_pops_;
+    mark_dirty();
     return v;
   }
 

@@ -15,10 +15,16 @@ class Signal final : public Latch {
       : Latch(kernel), cur_(initial), next_(initial) {}
 
   const T& read() const { return cur_; }
-  void write(const T& v) { next_ = v; }
+  void write(const T& v) {
+    next_ = v;
+    mark_dirty();
+  }
 
   /// Direct access to the staged value (for read-modify-write in eval()).
-  T& staged() { return next_; }
+  T& staged() {
+    mark_dirty();
+    return next_;
+  }
 
   void latch() override { cur_ = next_; }
 

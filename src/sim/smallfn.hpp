@@ -1,0 +1,125 @@
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace recosim::sim {
+
+/// Move-only `void()` callable with small-buffer optimization, used by the
+/// event queue so that scheduling a lambda does not heap-allocate. Inline
+/// storage covers every callback the simulator schedules today (a couple of
+/// captured pointers/ids); larger callables transparently fall back to the
+/// heap.
+class SmallFn {
+ public:
+  static constexpr std::size_t kInlineBytes = 48;
+
+  SmallFn() noexcept = default;
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, SmallFn> &&
+                std::is_invocable_r_v<void, std::decay_t<F>&>>>
+  SmallFn(F&& f) {  // NOLINT(google-explicit-constructor)
+    construct(std::forward<F>(f));
+  }
+
+  SmallFn(SmallFn&& other) noexcept { move_from(other); }
+
+  SmallFn& operator=(SmallFn&& other) noexcept {
+    if (this != &other) {
+      reset();
+      move_from(other);
+    }
+    return *this;
+  }
+
+  SmallFn(const SmallFn&) = delete;
+  SmallFn& operator=(const SmallFn&) = delete;
+
+  ~SmallFn() { reset(); }
+
+  explicit operator bool() const noexcept { return ops_ != nullptr; }
+
+  void operator()() { ops_->invoke(storage_); }
+
+  void reset() noexcept {
+    if (ops_) {
+      ops_->destroy(storage_);
+      ops_ = nullptr;
+    }
+  }
+
+ private:
+  struct Ops {
+    void (*invoke)(void*);
+    /// Move-construct the callable into `dst` from `src`, destroying `src`.
+    void (*relocate)(void* dst, void* src);
+    void (*destroy)(void*);
+  };
+
+  template <typename F>
+  static constexpr bool fits_inline =
+      sizeof(F) <= kInlineBytes &&
+      alignof(F) <= alignof(std::max_align_t) &&
+      std::is_nothrow_move_constructible_v<F>;
+
+  template <typename F>
+  static F* as(void* storage) {
+    return std::launder(reinterpret_cast<F*>(storage));
+  }
+
+  template <typename F>
+  static const Ops* inline_ops() {
+    static const Ops ops = {
+        [](void* s) { (*as<F>(s))(); },
+        [](void* dst, void* src) {
+          F* from = as<F>(src);
+          ::new (dst) F(std::move(*from));
+          from->~F();
+        },
+        [](void* s) { as<F>(s)->~F(); }};
+    return &ops;
+  }
+
+  template <typename F>
+  static const Ops* heap_ops() {
+    using Ptr = F*;
+    static const Ops ops = {
+        [](void* s) { (**as<Ptr>(s))(); },
+        [](void* dst, void* src) {
+          ::new (dst) Ptr(*as<Ptr>(src));
+          as<Ptr>(src)->~Ptr();
+        },
+        [](void* s) { delete *as<Ptr>(s); }};
+    return &ops;
+  }
+
+  template <typename F>
+  void construct(F&& f) {
+    using Fn = std::decay_t<F>;
+    if constexpr (fits_inline<Fn>) {
+      ::new (static_cast<void*>(storage_)) Fn(std::forward<F>(f));
+      ops_ = inline_ops<Fn>();
+    } else {
+      using Ptr = Fn*;
+      ::new (static_cast<void*>(storage_)) Ptr(new Fn(std::forward<F>(f)));
+      ops_ = heap_ops<Fn>();
+    }
+  }
+
+  void move_from(SmallFn& other) noexcept {
+    if (other.ops_) {
+      ops_ = other.ops_;
+      ops_->relocate(storage_, other.storage_);
+      other.ops_ = nullptr;
+    }
+  }
+
+  alignas(std::max_align_t) unsigned char storage_[kInlineBytes];
+  const Ops* ops_ = nullptr;
+};
+
+}  // namespace recosim::sim

@@ -29,6 +29,11 @@ class VcdWriter final : public Component {
   void eval() override {}
   void commit() override;
 
+  // Probes are opaque lambdas that may read state outside the simulation,
+  // so skipped cycles could silently miss value changes. The writer
+  // therefore stays hard-active: attaching a VcdWriter pins the kernel to
+  // cycle-by-cycle execution (it is a debugging aid; that is the deal).
+
   std::uint64_t samples() const { return samples_; }
 
  private:

@@ -15,6 +15,26 @@ Watchdog::Watchdog(Kernel& kernel, std::function<std::uint64_t()> progress,
       deadline_(deadline) {
   last_value_ = progress_();
   last_progress_cycle_ = kernel.now();
+  set_ff_pollable(true);
+}
+
+Cycle Watchdog::quiescent_deadline() const {
+  if (tripped_ || !pending_()) return kNeverCycle;
+  return last_progress_cycle_ + deadline_;
+}
+
+void Watchdog::on_fast_forward(Cycle from, Cycle to) {
+  // Reconstruct what the skipped per-cycle samples would have left behind.
+  // Progress can only have changed before the jump started (nothing runs
+  // during skipped cycles), so the eval at `from` would have recorded it.
+  const std::uint64_t v = progress_();
+  if (v != last_value_) {
+    last_value_ = v;
+    last_progress_cycle_ = from;
+  }
+  // Idle (nothing pending): every skipped eval would have dragged the
+  // stall clock along with it; the last skipped cycle is to - 1.
+  if (!pending_()) last_progress_cycle_ = to - 1;
 }
 
 void Watchdog::eval() {

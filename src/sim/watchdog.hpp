@@ -25,6 +25,13 @@ class Watchdog final : public Component {
 
   void eval() override;
 
+  // The stall clock is pure bookkeeping, so the watchdog never blocks
+  // idle-cycle fast-forward: it bounds jumps by its trip deadline and
+  // reconstructs the skipped samples in on_fast_forward().
+  bool is_quiescent() const override { return true; }
+  Cycle quiescent_deadline() const override;
+  void on_fast_forward(Cycle from, Cycle to) override;
+
   bool tripped() const { return tripped_; }
   /// Cycle the stall began (valid once tripped).
   Cycle stalled_since() const { return last_progress_cycle_; }

@@ -55,6 +55,27 @@ TEST(ChaosRun, RunIsDeterministic) {
   EXPECT_EQ(a.violations.size(), b.violations.size());
 }
 
+TEST(ChaosRun, FastForwardOnAndOffAgreeExactly) {
+  // The activity-driven kernel must be observationally invisible: the
+  // same schedule with idle-cycle fast-forward disabled is the seed
+  // kernel's cycle-by-cycle run, and every number must match it.
+  for (ChaosArch arch : kAllChaosArchs) {
+    for (std::uint64_t seed = 40; seed < 43; ++seed) {
+      const ChaosSchedule s = make_schedule(arch, seed);
+      const ChaosResult a = run_schedule(s, /*activity_driven=*/true);
+      const ChaosResult b = run_schedule(s, /*activity_driven=*/false);
+      EXPECT_EQ(a.ok, b.ok) << "arch=" << to_string(arch) << " seed=" << seed;
+      EXPECT_EQ(a.delivered, b.delivered);
+      EXPECT_EQ(a.accepted, b.accepted);
+      EXPECT_EQ(a.txns_committed, b.txns_committed);
+      EXPECT_EQ(a.txns_rolled_back, b.txns_rolled_back);
+      EXPECT_EQ(a.forced_drains, b.forced_drains);
+      EXPECT_EQ(a.end_cycle, b.end_cycle);
+      EXPECT_EQ(a.violations.size(), b.violations.size());
+    }
+  }
+}
+
 TEST(ChaosRun, SmallSweepIsGreen) {
   for (ChaosArch arch : kAllChaosArchs) {
     for (std::uint64_t seed = 0; seed < 5; ++seed) {

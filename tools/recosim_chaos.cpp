@@ -12,8 +12,13 @@
 //
 // Usage:
 //   recosim-chaos [--arch NAME] [--seeds N] [--seed-base S] [--ops N]
-//                 [--horizon CYCLES] [--verbose]
-//   recosim-chaos --replay FILE [--no-shrink]
+//                 [--horizon CYCLES] [--no-fast-forward] [--verbose]
+//   recosim-chaos --replay FILE [--no-shrink] [--no-fast-forward]
+//
+// --no-fast-forward disables the kernel's quiescence tracking and
+// idle-cycle fast-forward; the results are bit-for-bit identical either
+// way (use it to cross-check the activity-driven scheduler or to get the
+// cycle-by-cycle baseline wall-clock).
 //
 // Exit code 0 when every schedule holds its invariants, 1 otherwise.
 
@@ -41,14 +46,17 @@ struct Options {
   std::string replay_file;
   bool shrink = true;
   bool verbose = false;
+  bool activity_driven = true;
 };
 
 void usage() {
   std::cerr
       << "usage: recosim-chaos [--arch rmboc|buscom|dynoc|conochi]\n"
       << "                     [--seeds N] [--seed-base S] [--ops N]\n"
-      << "                     [--horizon CYCLES] [--verbose]\n"
-      << "       recosim-chaos --replay FILE [--no-shrink]\n";
+      << "                     [--horizon CYCLES] [--no-fast-forward]\n"
+      << "                     [--verbose]\n"
+      << "       recosim-chaos --replay FILE [--no-shrink]\n"
+      << "                     [--no-fast-forward]\n";
 }
 
 bool report_failure(const fault::ChaosSchedule& schedule,
@@ -99,6 +107,8 @@ int main(int argc, char** argv) {
       opt.replay_file = value();
     } else if (arg == "--no-shrink") {
       opt.shrink = false;
+    } else if (arg == "--no-fast-forward") {
+      opt.activity_driven = false;
     } else if (arg == "--verbose") {
       opt.verbose = true;
     } else if (arg == "--help" || arg == "-h") {
@@ -126,7 +136,7 @@ int main(int argc, char** argv) {
                 << ": " << error << "\n";
       return 2;
     }
-    const auto result = fault::run_schedule(*schedule);
+    const auto result = fault::run_schedule(*schedule, opt.activity_driven);
     if (result.ok) {
       std::cout << "OK replay of " << opt.replay_file << ": "
                 << result.delivered << "/" << result.accepted
@@ -147,7 +157,7 @@ int main(int argc, char** argv) {
       const std::uint64_t seed = opt.seed_base + static_cast<std::uint64_t>(i);
       const auto schedule =
           fault::make_schedule(arch, seed, opt.ops, opt.horizon);
-      const auto result = fault::run_schedule(schedule);
+      const auto result = fault::run_schedule(schedule, opt.activity_driven);
       committed += result.txns_committed;
       rolled_back += result.txns_rolled_back;
       forced += result.forced_drains;
