@@ -83,14 +83,42 @@ TrafficSource::TrafficSource(sim::Kernel& kernel, CommArchitecture& arch,
 bool TrafficSource::is_quiescent() const {
   if (pending_) return false;
   if (stopped_) return true;
-  if (injection_.is_periodic) return kernel().now() < next_emit_;
+  if (injection_.is_periodic || injection_.batch_draws)
+    return kernel().now() < next_emit_;
   return false;
 }
 
 sim::Cycle TrafficSource::quiescent_deadline() const {
-  if (pending_ || stopped_ || !injection_.is_periodic)
-    return sim::kNeverCycle;
-  return next_emit_;
+  if (pending_ || stopped_) return sim::kNeverCycle;
+  if (injection_.is_periodic || injection_.batch_draws) return next_emit_;
+  return sim::kNeverCycle;
+}
+
+void TrafficSource::set_rate(double rate) {
+  injection_.rate = rate;
+  if (!injection_.is_periodic && injection_.batch_draws && !stopped_) {
+    schedule_next_arrival(kernel().now());
+    set_active(true);
+  }
+}
+
+void TrafficSource::schedule_next_arrival(sim::Cycle from) {
+  // chance() consumes no draw for rate <= 0 (or >= 1), exactly like the
+  // per-cycle baseline, so the stream position stays identical.
+  if (injection_.rate <= 0.0) {
+    next_emit_ = from + kBatchWindow;
+    arrival_known_ = false;
+    return;
+  }
+  for (sim::Cycle c = 0; c < kBatchWindow; ++c) {
+    if (rng_.chance(injection_.rate)) {
+      next_emit_ = from + c;
+      arrival_known_ = true;
+      return;
+    }
+  }
+  next_emit_ = from + kBatchWindow;
+  arrival_known_ = false;
 }
 
 void TrafficSource::eval() {
@@ -99,6 +127,10 @@ void TrafficSource::eval() {
     if (arch_.send(*pending_)) {
       ++accepted_;
       pending_.reset();
+      // The baseline draws no coin flips while blocked and resumes on
+      // the cycle the retry succeeds — so the next batch starts here.
+      if (!stopped_ && !injection_.is_periodic && injection_.batch_draws)
+        schedule_next_arrival(kernel().now());
     } else {
       ++stalled_cycles_;
       return;
@@ -112,10 +144,24 @@ void TrafficSource::eval() {
   }
 
   bool emit = false;
+  const sim::Cycle now = kernel().now();
   if (injection_.is_periodic) {
-    if (kernel().now() >= next_emit_) {
+    if (now >= next_emit_) {
       emit = true;
       next_emit_ += injection_.period;
+    }
+  } else if (injection_.batch_draws) {
+    for (;;) {
+      if (now < next_emit_) return;  // idle until the batched arrival
+      if (arrival_known_ && now == next_emit_) {
+        emit = true;
+        break;
+      }
+      // Window exhausted without an arrival (or first eval after
+      // construction / a missed wakeup): draw the next window. It starts
+      // where the last one ended; `now` only wins on that first eval,
+      // when nothing has been drawn yet.
+      schedule_next_arrival(std::max(now, next_emit_));
     }
   } else {
     emit = rng_.chance(injection_.rate);
@@ -130,6 +176,11 @@ void TrafficSource::eval() {
   ++generated_;
   if (arch_.send(p)) {
     ++accepted_;
+    // Next coin flip covers the following cycle. On rejection nothing is
+    // drawn: the baseline stalls its stream while a packet is pending,
+    // and the post-retry reschedule above resumes it.
+    if (!injection_.is_periodic && injection_.batch_draws)
+      schedule_next_arrival(kernel().now() + 1);
   } else {
     pending_ = p;
   }

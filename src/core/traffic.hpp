@@ -51,6 +51,14 @@ struct InjectionPolicy {
   sim::Cycle period = 0;
   sim::Cycle offset = 0;
   bool is_periodic = false;
+  /// Bernoulli only: draw the per-cycle coin flips for a whole window of
+  /// cycles up front instead of one per eval. The draws are the same rng
+  /// stream in the same order, so generated traffic is bit-identical to
+  /// the unbatched source — but between arrivals the source is genuinely
+  /// idle and reports a real quiescent_deadline, which lets the kernel
+  /// fast-forward. Set false to force the draw-per-cycle baseline (the
+  /// A/B the determinism tests compare against).
+  bool batch_draws = true;
 };
 
 /// A traffic source bound to one module of one architecture. Generates
@@ -67,10 +75,13 @@ class TrafficSource final : public sim::Component {
   void eval() override;
 
   // Periodic sources are pure timers between emissions, so they bound
-  // idle-cycle fast-forward by their next emission cycle. Bernoulli
-  // sources draw the rng every cycle and therefore never report quiescent
-  // while running (skipping a draw would change the random stream). A
-  // stopped source with nothing pending sleeps for good.
+  // idle-cycle fast-forward by their next emission cycle. Batched
+  // Bernoulli sources (InjectionPolicy::batch_draws) pre-draw their coin
+  // flips and are likewise timers until the next arrival (or window
+  // boundary); an unbatched Bernoulli source draws the rng every cycle
+  // and therefore never reports quiescent while running (skipping a draw
+  // would change the random stream). A stopped source with nothing
+  // pending sleeps for good.
   bool is_quiescent() const override;
   sim::Cycle quiescent_deadline() const override;
 
@@ -82,9 +93,23 @@ class TrafficSource final : public sim::Component {
     stopped_ = true;
     if (!pending_) set_active(false);
   }
-  void set_rate(double rate) { injection_.rate = rate; }
+  /// Change the Bernoulli rate. With batch_draws the already-drawn window
+  /// is discarded and redrawn at the new rate from the current cycle on,
+  /// so the random stream diverges from an unbatched source at the call
+  /// point (either way the old rate stops applying immediately).
+  void set_rate(double rate);
 
  private:
+  /// Cycles of Bernoulli coin flips drawn per batch. Large enough that a
+  /// low-rate source sleeps long stretches, small enough that an
+  /// exhausted empty window costs one eval.
+  static constexpr sim::Cycle kBatchWindow = 4096;
+
+  /// Draw coin flips for cycles `from`, `from`+1, ... until one hits
+  /// (next_emit_ = that cycle, arrival_known_) or the window is exhausted
+  /// (next_emit_ = `from` + kBatchWindow, !arrival_known_).
+  void schedule_next_arrival(sim::Cycle from);
+
   CommArchitecture& arch_;
   fpga::ModuleId src_;
   DestinationPolicy dst_;
@@ -93,6 +118,7 @@ class TrafficSource final : public sim::Component {
   sim::Rng rng_;
   std::optional<proto::Packet> pending_;
   sim::Cycle next_emit_ = 0;
+  bool arrival_known_ = false;  ///< next_emit_ is an arrival, not a window end
   std::uint64_t generated_ = 0;
   std::uint64_t accepted_ = 0;
   std::uint64_t stalled_cycles_ = 0;

@@ -6,6 +6,7 @@
 #include <iomanip>
 #include <map>
 #include <memory>
+#include <set>
 #include <sstream>
 #include <utility>
 
@@ -20,6 +21,9 @@
 #include "sim/kernel.hpp"
 #include "sim/rng.hpp"
 #include "verify/diagnostic.hpp"
+#include "verify/fault_plan.hpp"
+#include "verify/scenario.hpp"
+#include "verify/timeline.hpp"
 
 namespace recosim::fault {
 
@@ -468,6 +472,137 @@ ChaosResult run_schedule(const ChaosSchedule& s, bool activity_driven) {
       violation("verify-error", "[" + d.rule + "] " + d.message);
 
   return result;
+}
+
+void timeline_lint_schedule(const ChaosSchedule& s,
+                            verify::DiagnosticSink& sink) {
+  using verify::Scenario;
+  namespace v = recosim::verify;
+
+  // Declarative twin of make_fixture's fixed topology.
+  Scenario sc;
+  sc.source = "chaos(" + std::string(to_string(s.arch)) + ", seed " +
+              std::to_string(s.seed) + ")";
+  const auto declare = [&sc](int id) {
+    if (!sc.has_module(id)) sc.modules.push_back({id, 1, 1});
+  };
+  declare(static_cast<int>(kEndpointA));
+  declare(static_cast<int>(kEndpointB));
+  switch (s.arch) {
+    case ChaosArch::kRmboc:
+      sc.arch = v::ArchKind::kRmboc;
+      sc.settings["slots"] = kRmbocSlots;
+      sc.settings["buses"] = kRmbocBuses;
+      // attach() hands out cross-point slots in order: A -> 0, B -> 1.
+      sc.rmboc_slot[static_cast<int>(kEndpointA)] = 0;
+      sc.rmboc_slot[static_cast<int>(kEndpointB)] = 1;
+      break;
+    case ChaosArch::kBuscom:
+      sc.arch = v::ArchKind::kBuscom;
+      sc.settings["buses"] = kBuscomBuses;
+      break;
+    case ChaosArch::kDynoc:
+      sc.arch = v::ArchKind::kDynoc;
+      sc.settings["width"] = kDynocSize;
+      sc.settings["height"] = kDynocSize;
+      sc.dynoc_place[static_cast<int>(kEndpointA)] = {1, 1};
+      sc.dynoc_place[static_cast<int>(kEndpointB)] = {5, 1};
+      break;
+    case ChaosArch::kConochi:
+      sc.arch = v::ArchKind::kConochi;
+      sc.settings["grid_width"] = 8;
+      sc.settings["grid_height"] = 8;
+      for (const auto& p : kConochiSwitches) sc.switches.push_back(p);
+      sc.wires.push_back({{2, 1}, {4, 1}});
+      sc.wires.push_back({{2, 5}, {4, 5}});
+      sc.wires.push_back({{1, 2}, {1, 4}});
+      sc.wires.push_back({{5, 2}, {5, 4}});
+      sc.conochi_attach[static_cast<int>(kEndpointA)] = {1, 1};
+      sc.conochi_attach[static_cast<int>(kEndpointB)] = {5, 5};
+      break;
+  }
+  // The reliable channel runs payloads A -> B and acks B -> A.
+  sc.channels.push_back(
+      {static_cast<int>(kEndpointA), static_cast<int>(kEndpointB), 1});
+  sc.channels.push_back(
+      {static_cast<int>(kEndpointB), static_cast<int>(kEndpointA), 1});
+
+  // Ops become timed lifecycle events. Chaos loads place wherever the
+  // runtime placer finds room, which the static view cannot know — the
+  // events carry no placement, keeping the timeline conservative.
+  for (const auto& op : s.ops) {
+    Scenario::TimedEvent e;
+    e.at = op.at;
+    switch (op.kind) {
+      case ChaosOp::Kind::kLoad:
+      case ChaosOp::Kind::kLoadCompact:
+        e.kind = Scenario::TimedEvent::Kind::kLoad;
+        e.a = static_cast<int>(op.id);
+        break;
+      case ChaosOp::Kind::kSwap:
+        e.kind = Scenario::TimedEvent::Kind::kSwap;
+        e.a = static_cast<int>(op.old_id);
+        e.b = static_cast<int>(op.id);
+        declare(static_cast<int>(op.old_id));
+        break;
+      case ChaosOp::Kind::kUnload:
+        e.kind = Scenario::TimedEvent::Kind::kUnload;
+        e.a = static_cast<int>(op.id);
+        break;
+    }
+    declare(static_cast<int>(op.id));
+    sc.events.push_back(e);
+  }
+
+  // The fault plan, in the document form the FLT rules understand.
+  // Generated schedules may contain overlapping identical fail/heal
+  // pairs; the redundant events are no-ops at runtime (the injector
+  // refuses a double-fail or unmatched heal), so they are dropped here
+  // rather than tripping the plan-hygiene rule FLT001 — the lint's job
+  // on a chaos schedule is to predict the runtime outcome.
+  v::FaultPlanDoc doc;
+  doc.source = sc.source;
+  std::vector<FaultEvent> ordered = s.faults.scheduled;
+  std::stable_sort(ordered.begin(), ordered.end(),
+                   [](const FaultEvent& a, const FaultEvent& b) {
+                     return a.at < b.at;
+                   });
+  std::set<std::pair<int, int>> down_nodes, down_links;
+  for (const auto& f : ordered) {
+    const std::pair<int, int> key{f.a, f.b};
+    v::FaultPlanDoc::Event ev;
+    ev.at = f.at;
+    ev.a = f.a;
+    ev.b = f.b;
+    switch (f.kind) {
+      case FaultKind::kNodeFail:
+        if (!down_nodes.insert(key).second) continue;
+        ev.kind = v::FaultPlanDoc::Kind::kNodeFail;
+        break;
+      case FaultKind::kNodeHeal:
+        if (down_nodes.erase(key) == 0) continue;
+        ev.kind = v::FaultPlanDoc::Kind::kNodeHeal;
+        break;
+      case FaultKind::kLinkFail:
+        if (!down_links.insert(key).second) continue;
+        ev.kind = v::FaultPlanDoc::Kind::kLinkFail;
+        break;
+      case FaultKind::kLinkHeal:
+        if (down_links.erase(key) == 0) continue;
+        ev.kind = v::FaultPlanDoc::Kind::kLinkHeal;
+        break;
+      case FaultKind::kIcapAbort:
+        ev.kind = v::FaultPlanDoc::Kind::kIcapAbort;
+        break;
+    }
+    doc.events.push_back(ev);
+  }
+  doc.rates.push_back({0, 1, "bit_flip", s.faults.bit_flip_rate});
+  doc.rates.push_back({0, 1, "drop", s.faults.drop_rate});
+  doc.rates.push_back({0, 1, "icap_abort", s.faults.icap_abort_rate});
+
+  v::check_fault_plan(doc, &sc, sink);
+  v::Timeline::check(sc, &doc, sink);
 }
 
 ChaosSchedule shrink_schedule(const ChaosSchedule& schedule) {

@@ -7,6 +7,7 @@
 
 #include "fault/fault_plan.hpp"
 #include "sim/types.hpp"
+#include "verify/diagnostic.hpp"
 
 namespace recosim::fault {
 
@@ -83,6 +84,16 @@ struct ChaosResult {
 /// on), only wall-clock differs.
 ChaosResult run_schedule(const ChaosSchedule& schedule,
                          bool activity_driven = true);
+
+/// Statically lint a schedule before running it: build the declarative
+/// scenario of the architecture's fixed chaos topology, translate the ops
+/// into timed events and the fault plan into a fault-plan document, then
+/// run the fault-plan checks and the timeline verifier over the whole
+/// schedule (recosim-chaos --lint-first). Error-severity findings predict
+/// a run that cannot stay clean — the harness skips those and asserts the
+/// lint-clean rest actually pass at runtime.
+void timeline_lint_schedule(const ChaosSchedule& schedule,
+                            verify::DiagnosticSink& sink);
 
 /// Greedy delta-debugging: starting from a failing schedule, repeatedly
 /// drop ops and fault events and zero stochastic rates while the failure

@@ -31,12 +31,22 @@ struct Location {
 };
 
 /// One finding of the static verification layer.
+///
+/// Timeline findings additionally carry the half-open cycle window
+/// [window_begin, window_end) the finding holds in: window_begin < 0
+/// means "no window" (a plain static finding), window_end < 0 means the
+/// window extends to the end of the schedule, and window_begin ==
+/// window_end marks an instantaneous event finding.
 struct Diagnostic {
   std::string rule;  ///< rule id, e.g. "DYN001" (docs/static-analysis.md)
   Severity severity = Severity::kError;
   Location location;
   std::string message;
   std::string fixit;  ///< actionable hint; may be empty
+  long long window_begin = -1;
+  long long window_end = -1;
+
+  bool has_window() const { return window_begin >= 0; }
 };
 
 /// Collector the checkers report into. Owns formatting: one-line-per-
@@ -91,6 +101,17 @@ class DiagnosticSink {
       }
       out += ": ";
       out += d.message;
+      if (d.has_window()) {
+        out += " @[";
+        out += std::to_string(d.window_begin);
+        if (d.window_end == d.window_begin) {
+          out += ']';  // instantaneous (an event, not a window)
+        } else {
+          out += ',';
+          out += d.window_end < 0 ? "end" : std::to_string(d.window_end);
+          out += ')';
+        }
+      }
       if (!d.fixit.empty()) {
         out += " (fix: ";
         out += d.fixit;
@@ -120,7 +141,14 @@ class DiagnosticSink {
       out += escape(d.message);
       out += "\", \"fixit\": \"";
       out += escape(d.fixit);
-      out += "\"}";
+      out += '"';
+      if (d.has_window()) {
+        out += ", \"window_begin\": ";
+        out += std::to_string(d.window_begin);
+        out += ", \"window_end\": ";
+        out += std::to_string(d.window_end);
+      }
+      out += '}';
     }
     out += first ? "]" : "\n]";
     return out;

@@ -22,8 +22,9 @@ const char* to_string(FaultPlanDoc::Kind k) {
 
 namespace {
 
-Location line_loc(const std::string& source, int number) {
-  return {source, "line " + std::to_string(number)};
+Location line_loc(const std::string& source, int number, int column) {
+  return {source, "line " + std::to_string(number) + ":" +
+                      std::to_string(column)};
 }
 
 std::optional<FaultPlanDoc::Kind> parse_kind(const std::string& word) {
@@ -57,18 +58,44 @@ FaultPlanDoc parse_fault_plan(const std::string& text,
     std::istringstream in(line);
     std::string word;
     if (!(in >> word)) continue;  // blank / comment-only
+    const auto first = line.find_first_not_of(" \t");
+    const int col =
+        first == std::string::npos ? 1 : static_cast<int>(first) + 1;
+    // Column of the next token at/after stream position `pos` (failed
+    // extractions leave the stream where the token should have been).
+    const auto col_at = [&line](std::streampos pos) {
+      std::size_t p = pos < 0 ? line.size()
+                              : std::min<std::size_t>(
+                                    static_cast<std::size_t>(pos),
+                                    line.size());
+      while (p < line.size() && (line[p] == ' ' || line[p] == '\t')) ++p;
+      return static_cast<int>(p) + 1;
+    };
 
     if (word == "fault") {
       std::string kind_word;
       long long at = 0;
-      if (!(in >> kind_word >> at)) {
-        sink.report("LNT001", Severity::kError, line_loc(source_name, number),
+      std::streampos pos = in.tellg();
+      if (!(in >> kind_word)) {
+        in.clear();
+        sink.report("LNT001", Severity::kError,
+                    line_loc(source_name, number, col_at(pos)),
+                    "fault expects: fault <kind> <cycle> [<a> [<b>]]");
+        continue;
+      }
+      const int kind_col = col_at(pos);
+      pos = in.tellg();
+      if (!(in >> at)) {
+        in.clear();
+        sink.report("LNT001", Severity::kError,
+                    line_loc(source_name, number, col_at(pos)),
                     "fault expects: fault <kind> <cycle> [<a> [<b>]]");
         continue;
       }
       auto kind = parse_kind(kind_word);
       if (!kind) {
-        sink.report("LNT001", Severity::kError, line_loc(source_name, number),
+        sink.report("LNT001", Severity::kError,
+                    line_loc(source_name, number, kind_col),
                     "unknown fault kind '" + kind_word + "'",
                     "one of: fail_node, heal_node, fail_link, heal_link, "
                     "abort_icap");
@@ -76,6 +103,7 @@ FaultPlanDoc parse_fault_plan(const std::string& text,
       }
       FaultPlanDoc::Event ev;
       ev.line = number;
+      ev.column = col;
       ev.at = at;
       ev.kind = *kind;
       in >> ev.a >> ev.b;  // optional for abort_icap
@@ -83,24 +111,29 @@ FaultPlanDoc parse_fault_plan(const std::string& text,
     } else if (word == "rate") {
       std::string name;
       double value = 0;
+      const std::streampos pos = in.tellg();
       if (!(in >> name >> value)) {
-        sink.report("LNT001", Severity::kError, line_loc(source_name, number),
+        in.clear();
+        sink.report("LNT001", Severity::kError,
+                    line_loc(source_name, number, col_at(pos)),
                     "rate expects: rate <name> <value>");
         continue;
       }
       if (!known_rate(name)) {
-        sink.report("LNT001", Severity::kError, line_loc(source_name, number),
+        sink.report("LNT001", Severity::kError,
+                    line_loc(source_name, number, col_at(pos)),
                     "unknown rate '" + name + "'",
                     "one of: bit_flip, drop, icap_abort");
         continue;
       }
-      plan.rates.push_back({number, name, value});
+      plan.rates.push_back({number, col, name, value});
     } else if (word == "arch" || word == "seed" || word == "horizon" ||
                word == "op") {
       // Chaos-schedule lines outside the fault subset; a shrunk schedule
       // file lints without editing.
     } else {
-      sink.report("LNT001", Severity::kError, line_loc(source_name, number),
+      sink.report("LNT001", Severity::kError,
+                  line_loc(source_name, number, col),
                   "unknown directive '" + word + "'");
     }
   }
@@ -200,7 +233,7 @@ void check_fault_plan(const FaultPlanDoc& plan, const Scenario* topology,
   // FLT004 — injection rates are probabilities.
   for (const auto& r : plan.rates) {
     if (r.value < 0.0 || r.value > 1.0) {
-      sink.report("FLT004", Severity::kError, line_loc(plan.source, r.line),
+      sink.report("FLT004", Severity::kError, line_loc(plan.source, r.line, r.column),
                   "rate " + r.name + " = " + std::to_string(r.value) +
                       " lies outside [0, 1]");
     }
@@ -230,7 +263,7 @@ void check_fault_plan(const FaultPlanDoc& plan, const Scenario* topology,
     if (topology && ev->kind != Kind::kIcapAbort) {
       if (std::string why = unknown_resource(*topology, *ev); !why.empty()) {
         sink.report("FLT002", Severity::kError,
-                    line_loc(plan.source, ev->line),
+                    line_loc(plan.source, ev->line, ev->column),
                     std::string(to_string(ev->kind)) + ": " + why,
                     "check the plan against the scenario's topology");
         continue;  // state tracking for a phantom resource is meaningless
@@ -246,7 +279,7 @@ void check_fault_plan(const FaultPlanDoc& plan, const Scenario* topology,
         if (!is_link && universe != 0 && failed_nodes.size() >= universe &&
             topology) {
           sink.report("FLT003", Severity::kError,
-                      line_loc(plan.source, ev->line),
+                      line_loc(plan.source, ev->line, ev->column),
                       "this failure takes down the last of " +
                           std::to_string(universe) + " " +
                           node_noun(*topology) +
@@ -262,7 +295,8 @@ void check_fault_plan(const FaultPlanDoc& plan, const Scenario* topology,
         // coordinate or a mis-ordered plan.
         if (failed.erase(key) == 0) {
           sink.report(
-              "FLT001", Severity::kError, line_loc(plan.source, ev->line),
+              "FLT001", Severity::kError,
+              line_loc(plan.source, ev->line, ev->column),
               std::string(to_string(ev->kind)) + " (" +
                   std::to_string(ev->a) + ", " + std::to_string(ev->b) +
                   ") at cycle " + std::to_string(ev->at) +

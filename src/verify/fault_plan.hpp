@@ -31,7 +31,8 @@ struct FaultPlanDoc {
   enum class Kind { kNodeFail, kNodeHeal, kLinkFail, kLinkHeal, kIcapAbort };
 
   struct Event {
-    int line = 0;  ///< source line (diagnostics location)
+    int line = 0;    ///< source position (diagnostics location)
+    int column = 1;
     long long at = 0;
     Kind kind = Kind::kNodeFail;
     int a = 0;
@@ -41,6 +42,7 @@ struct FaultPlanDoc {
 
   struct Rate {
     int line = 0;
+    int column = 1;
     std::string name;  ///< bit_flip | drop | icap_abort
     double value = 0;
   };

@@ -119,6 +119,41 @@ inline constexpr RuleInfo kRules[] = {
      "a scenario directive references an undeclared module/switch or is "
      "not valid for the selected architecture"},
 
+    // Timeline verifier — temporal rules over the event schedule of a
+    // scenario (recosim-lint --timeline, src/verify/timeline.cpp).
+    {"TMP001", "channel-endpoint-dead", Severity::kWarning, "4.2",
+     "a channel is open during a window in which a fault has its "
+     "endpoint's access resource (slot, router, switch, all buses) dead; "
+     "traffic can only stall until the heal"},
+    {"TMP002", "lifecycle-violation", Severity::kWarning, "-",
+     "a scheduled event targets a module or channel in the wrong "
+     "lifecycle state (load while loaded, unload/swap of a module that is "
+     "not loaded, close of a channel never opened); the runtime turns it "
+     "into a rolled-back bad request"},
+    {"TMP003", "occupancy-interval-overlap", Severity::kError, "4.1",
+     "two reconfigurable regions overlap and their owners' lifetime "
+     "intervals intersect; time-multiplexing the same fabric area is only "
+     "legal when the lifetimes are disjoint"},
+    {"TMP004", "dmax-window-exceeded", Severity::kError, "4.2",
+     "within some window the live circuits demand more lanes across a bus "
+     "segment than it supplies (d_max = s*k, minus faulted lanes)"},
+    {"TMP005", "channel-outlives-endpoint", Severity::kWarning, "-",
+     "a module is unloaded or swapped away while a channel to it is still "
+     "open; the drain must tear the circuit down"},
+
+    // Schedule feasibility (timeline verifier, cross-event)
+    {"SCH001", "epoch-bandwidth-infeasible", Severity::kError, "3.1",
+     "during some traffic epoch a module's declared bytes-per-round "
+     "demand exceeds what its static TDMA slots carry in that window"},
+    {"SCH002", "transient-invariant-break", Severity::kError, "3.2",
+     "an intermediate placement state breaks a DyNoC invariant (ring, "
+     "border, reachability) even though the schedule's initial and final "
+     "states are clean; the schedule cannot be executed in this order"},
+    {"SCH003", "drain-overrun-predictable", Severity::kWarning, "4.2",
+     "a swap/unload is scheduled while a live channel's drain path is "
+     "failed for the whole drain-timeout budget; the transaction can only "
+     "end in a watchdog-forced drain"},
+
     // Fault plans (.fplan files checked against a scenario's topology)
     {"FLT001", "heal-without-fail", Severity::kError, "4.2",
      "a heal event has no matching earlier failure of the same resource; "

@@ -20,11 +20,24 @@ namespace {
 
 struct LineCtx {
   const std::string& source;
+  const std::string& text;  ///< the line being parsed (columns)
   int number;
+  int column;  ///< 1-based column the next diagnostic points at
   DiagnosticSink& sink;
 
   Location loc() const {
-    return {source, "line " + std::to_string(number)};
+    return {source, "line " + std::to_string(number) + ":" +
+                        std::to_string(column)};
+  }
+  /// Point the next diagnostic at the first token at/after stream
+  /// position `pos` (failed extractions leave the stream at the spot the
+  /// token should have been; -1 / past-the-end means end of line).
+  void at_pos(std::streampos pos) {
+    std::size_t p = pos < 0 ? text.size()
+                            : std::min<std::size_t>(
+                                  static_cast<std::size_t>(pos), text.size());
+    while (p < text.size() && (text[p] == ' ' || text[p] == '\t')) ++p;
+    column = static_cast<int>(p) + 1;
   }
   void parse_error(const std::string& msg, const std::string& fixit = {}) {
     sink.report("LNT001", Severity::kError, loc(), msg, fixit);
@@ -34,19 +47,24 @@ struct LineCtx {
   }
 };
 
-/// Pull exactly `n` integers from the stream; false (+ diagnostic) on
-/// shortage or trailing garbage.
+/// Pull exactly `n` integers from the stream; false (+ diagnostic with
+/// the column of the offending argument) on shortage or trailing garbage.
 bool take_ints(std::istringstream& in, LineCtx& ctx, const char* directive,
                int n, int* out) {
   for (int i = 0; i < n; ++i) {
+    const std::streampos pos = in.tellg();
     if (!(in >> out[i])) {
+      in.clear();
+      ctx.at_pos(pos);
       ctx.parse_error(std::string(directive) + " expects " +
                       std::to_string(n) + " integer argument(s)");
       return false;
     }
   }
+  const std::streampos pos = in.tellg();
   std::string rest;
   if (in >> rest) {
+    ctx.at_pos(pos);
     ctx.parse_error(std::string(directive) + " has trailing input '" +
                     rest + "'");
     return false;
@@ -82,7 +100,10 @@ std::optional<Scenario> parse_scenario(const std::string& text,
     std::istringstream in(line);
     std::string word;
     if (!(in >> word)) continue;  // blank / comment-only
-    LineCtx ctx{source_name, number, sink};
+    const auto first = line.find_first_not_of(" \t");
+    const int directive_col =
+        first == std::string::npos ? 1 : static_cast<int>(first) + 1;
+    LineCtx ctx{source_name, line, number, directive_col, sink};
 
     if (word == "arch") {
       std::string kind;
@@ -212,6 +233,148 @@ std::optional<Scenario> parse_scenario(const std::string& text,
         continue;
       }
       s.regions.push_back({v[0], {v[1], v[2], v[3], v[4]}});
+    } else if (word == "at") {
+      using Kind = Scenario::TimedEvent::Kind;
+      long long t = 0;
+      {
+        const std::streampos pos = in.tellg();
+        if (!(in >> t) || t < 0) {
+          in.clear();
+          ctx.at_pos(pos);
+          ctx.parse_error("at expects: at <cycle> <event> <args>...",
+                          "cycle must be a non-negative integer");
+          continue;
+        }
+      }
+      std::string ev;
+      {
+        const std::streampos pos = in.tellg();
+        if (!(in >> ev)) {
+          ctx.at_pos(pos);
+          ctx.parse_error("at expects an event after the cycle",
+                          "one of: load, unload, swap, open, close, epoch, "
+                          "slot, unslot");
+          continue;
+        }
+        ctx.at_pos(pos);  // point diagnostics at the event word
+      }
+      Scenario::TimedEvent e;
+      e.at = t;
+      e.line = number;
+      e.column = ctx.column;
+      // Variable-arity reader: `need` required integers, then up to
+      // `opt` optional ones, then nothing. Returns the optional count
+      // taken, or -1 after reporting.
+      int v[3] = {0, 0, 0};
+      const auto take_args = [&](const char* what, int need,
+                                 int opt) -> int {
+        for (int i = 0; i < need; ++i) {
+          const std::streampos pos = in.tellg();
+          if (!(in >> v[i])) {
+            in.clear();
+            ctx.at_pos(pos);
+            ctx.parse_error(std::string(what) + " expects at least " +
+                            std::to_string(need) + " integer argument(s)");
+            return -1;
+          }
+        }
+        int taken = 0;
+        while (taken < opt && (in >> v[need + taken])) ++taken;
+        in.clear();
+        const std::streampos pos = in.tellg();
+        std::string rest;
+        if (in >> rest) {
+          ctx.at_pos(pos);
+          ctx.parse_error(std::string(what) + " has trailing input '" +
+                          rest + "'");
+          return -1;
+        }
+        return taken;
+      };
+      const auto module_known = [&](int id) {
+        if (s.has_module(id)) return true;
+        ctx.bad_reference("event references undeclared module " +
+                          std::to_string(id));
+        return false;
+      };
+      if (ev == "load") {
+        const int extra = take_args("load", 1, 2);
+        if (extra < 0 || !module_known(v[0])) continue;
+        e.kind = Kind::kLoad;
+        e.a = v[0];
+        if (extra > 0) {
+          const int want = s.arch == ArchKind::kRmboc ? 1
+                           : (s.arch == ArchKind::kDynoc ||
+                              s.arch == ArchKind::kConochi)
+                               ? 2
+                               : 0;
+          if (extra != want) {
+            ctx.bad_reference(
+                "load placement takes " + std::to_string(want) +
+                    " coordinate(s) for arch " + to_string(s.arch),
+                "rmboc: <slot>; dynoc/conochi: <x> <y>; buscom: none");
+            continue;
+          }
+          e.has_place = true;
+          e.b = v[1];
+          e.c = v[2];
+        }
+      } else if (ev == "unload") {
+        if (take_args("unload", 1, 0) < 0 || !module_known(v[0])) continue;
+        e.kind = Kind::kUnload;
+        e.a = v[0];
+      } else if (ev == "swap") {
+        if (take_args("swap", 2, 0) < 0 || !module_known(v[0]) ||
+            !module_known(v[1]))
+          continue;
+        e.kind = Kind::kSwap;
+        e.a = v[0];
+        e.b = v[1];
+      } else if (ev == "open" || ev == "close") {
+        const int extra = take_args(ev.c_str(), 2, ev == "open" ? 1 : 0);
+        if (extra < 0 || !module_known(v[0]) || !module_known(v[1]))
+          continue;
+        e.kind = ev == "open" ? Kind::kOpen : Kind::kClose;
+        e.a = v[0];
+        e.b = v[1];
+        e.c = extra > 0 ? v[2] : 1;
+      } else if (ev == "epoch") {
+        if (!arch_is(ctx, s, ArchKind::kBuscom, "epoch")) continue;
+        int id = 0;
+        double bytes = 0;
+        const std::streampos pos = in.tellg();
+        if (!(in >> id >> bytes)) {
+          in.clear();
+          ctx.at_pos(pos);
+          ctx.parse_error("epoch expects: at <cycle> epoch <module> <bytes>");
+          continue;
+        }
+        if (!module_known(id)) continue;
+        e.kind = Kind::kEpoch;
+        e.a = id;
+        e.value = bytes;
+      } else if (ev == "slot") {
+        if (!arch_is(ctx, s, ArchKind::kBuscom, "slot") ||
+            take_args("slot", 3, 0) < 0 || !module_known(v[2]))
+          continue;
+        e.kind = Kind::kSlot;
+        e.a = v[0];
+        e.b = v[1];
+        e.c = v[2];
+      } else if (ev == "unslot") {
+        if (!arch_is(ctx, s, ArchKind::kBuscom, "unslot") ||
+            take_args("unslot", 2, 0) < 0)
+          continue;
+        e.kind = Kind::kUnslot;
+        e.a = v[0];
+        e.b = v[1];
+      } else {
+        ctx.parse_error("unknown event '" + ev + "'",
+                        "one of: load, unload, swap, open, close, epoch, "
+                        "slot, unslot");
+        continue;
+      }
+      s.events.push_back(e);
     } else if (word == "port") {
       int v[2];
       if (!take_ints(in, ctx, "port", 2, v)) continue;
@@ -226,7 +389,7 @@ std::optional<Scenario> parse_scenario(const std::string& text,
     }
   }
   if (s.arch == ArchKind::kNone) {
-    sink.report("LNT001", Severity::kError, {source_name, ""},
+    sink.report("LNT001", Severity::kError, {source_name, "line 1:1"},
                 "scenario declares no architecture",
                 "start the file with an 'arch <name>' line");
     return std::nullopt;

@@ -42,6 +42,19 @@ const char* to_string(ArchKind k);
 ///   device 48 32               # floorplan: fabric size in CLBs
 ///   region 1 0 0 12 16         # floorplan: module, x, y, w, h
 ///   port 1 12                  # floorplan: module interface bits
+///
+/// Timed events (the timeline verifier's input; `at <cycle> <event>`):
+///
+///   at 1000 load 3             # load module (static placement, if any)
+///   at 1000 load 3 2           # RMBoC: load into cross-point slot 2
+///   at 1000 load 3 4 1         # DyNoC place / CoNoChi attach at (4, 1)
+///   at 2000 unload 3           # unload module
+///   at 2000 swap 3 4           # swap: 4 replaces 3 (inherits placement)
+///   at 1200 open 1 2 2         # open channel src -> dst [, lanes]
+///   at 1800 close 1 2          # close one matching channel
+///   at 1500 epoch 1 4096       # BUS-COM: demand becomes bytes/round
+///   at 1500 slot 0 3 1         # BUS-COM: reassign (bus, slot) to owner
+///   at 2500 unslot 0 3         # BUS-COM: release (bus, slot)
 struct Scenario {
   ArchKind arch = ArchKind::kNone;
   std::string source;  ///< file name (diagnostics location)
@@ -100,6 +113,28 @@ struct Scenario {
   };
   std::vector<Region> regions;
   std::map<int, int> port_bits;  ///< module -> interface width in bits
+
+  // Timeline (events are kept in file order; the timeline verifier
+  // stable-sorts by cycle so same-cycle events apply in file order).
+  struct TimedEvent {
+    enum class Kind {
+      kLoad, kUnload, kSwap, kOpen, kClose, kEpoch, kSlot, kUnslot
+    };
+    long long at = 0;
+    Kind kind = Kind::kLoad;
+    // Meaning per kind: load (a = module, b[,c] = optional placement),
+    // unload (a), swap (a = old, b = new), open/close (a = src, b = dst,
+    // c = lanes), epoch (a = module, value = bytes), slot (a = bus,
+    // b = slot, c = owner), unslot (a = bus, b = slot).
+    int a = 0;
+    int b = 0;
+    int c = 0;
+    double value = 0;
+    bool has_place = false;
+    int line = 0;    ///< source position (diagnostics)
+    int column = 0;
+  };
+  std::vector<TimedEvent> events;
 
   bool has_module(int id) const {
     for (const auto& m : modules)

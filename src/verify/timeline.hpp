@@ -1,0 +1,32 @@
+#pragma once
+
+#include "verify/diagnostic.hpp"
+#include "verify/fault_plan.hpp"
+#include "verify/scenario.hpp"
+
+namespace recosim::verify {
+
+/// Symbolic whole-schedule interpreter: steps a scenario's timed events
+/// jointly with an optional fault plan, maintaining an abstract fabric
+/// state (live modules, placements, slot table, live-channel multiset,
+/// failed resources) and re-running the per-architecture checkers at
+/// every event boundary plus the cross-event TMP/SCH rules no single
+/// snapshot can see. See docs/static-analysis.md for the state model.
+///
+/// Between any two consecutive event/fault times the abstract state is
+/// constant, so the schedule partitions into half-open windows; each
+/// window is checked once and findings that persist across adjacent
+/// windows are merged into one diagnostic annotated with the full
+/// interval (Diagnostic::window_begin/window_end).
+class Timeline {
+ public:
+  /// Check the scenario's whole schedule. `plan` may be null (no faults);
+  /// when given, same-cycle fault events apply before scenario events.
+  /// Interval-annotated diagnostics land in `sink`. A scenario without
+  /// timed events degenerates to one [0, end) window — the static checks
+  /// plus the epoch/channel feasibility rules.
+  static void check(const Scenario& s, const FaultPlanDoc* plan,
+                    DiagnosticSink& sink);
+};
+
+}  // namespace recosim::verify

@@ -606,4 +606,215 @@ void Verifier::check_floorplan(const Scenario& s, DiagnosticSink& sink) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// Timeline-window hooks
+//
+// The timeline interpreter (src/verify/timeline.cpp) re-runs the static
+// checkers above on a live-only snapshot of every window between events;
+// the hooks below add the rules that depend on what a snapshot cannot
+// carry — the live-channel multiset, the current epoch demand, and the
+// window's failed resources. Messages must not mention the window bounds:
+// the timeline keys on (rule, location, message) to merge findings of
+// adjacent windows into one interval-annotated diagnostic.
+
+namespace {
+
+std::string channel_str(const Scenario::Channel& c) {
+  return "channel " + std::to_string(c.src) + "->" + std::to_string(c.dst);
+}
+
+bool node_failed_1d(const std::set<std::pair<int, int>>& failed, int a) {
+  for (const auto& f : failed)
+    if (f.first == a) return true;
+  return false;
+}
+
+}  // namespace
+
+void Verifier::timeline_step(const TimelineStep& st, DiagnosticSink& sink) {
+  switch (st.snapshot.arch) {
+    case ArchKind::kBuscom: timeline_step_buscom(st, sink); break;
+    case ArchKind::kRmboc: timeline_step_rmboc(st, sink); break;
+    case ArchKind::kDynoc: timeline_step_dynoc(st, sink); break;
+    case ArchKind::kConochi: timeline_step_conochi(st, sink); break;
+    case ArchKind::kNone: break;
+  }
+}
+
+void Verifier::timeline_step_buscom(const TimelineStep& st,
+                                    DiagnosticSink& sink) {
+  const std::string comp = "buscom";
+  const Scenario& s = st.snapshot;
+  const int buses = static_cast<int>(st.full.setting("buses", 4));
+  const int slots_per_round =
+      static_cast<int>(st.full.setting("slots_per_round", 32));
+  const double cycles_per_slot = st.full.setting("cycles_per_slot", 16);
+  const double in_width_bits = st.full.setting("in_width_bits", 32);
+
+  // SCH001 — per-epoch guaranteed-bandwidth feasibility: the demand the
+  // current epoch declares against the slots the module owns *now* (the
+  // static BUS005 only sees the initial table; slot/unslot events and
+  // epochs change both sides over time).
+  std::map<int, int> static_slots;
+  std::set<std::pair<int, int>> seen;
+  for (const auto& a : s.slots) {
+    if (a.bus < 0 || a.bus >= buses || a.slot < 0 ||
+        a.slot >= slots_per_round)
+      continue;  // BUS006, reported by the snapshot checker
+    if (seen.insert({a.bus, a.slot}).second) ++static_slots[a.owner];
+  }
+  const double payload_per_slot =
+      std::clamp((cycles_per_slot * in_width_bits - 20.0) / 8.0, 1.0, 256.0);
+  for (const auto& m : s.modules) {
+    const auto d = st.demand.find(m.id);
+    if (d == st.demand.end()) continue;
+    const int owned = static_slots.count(m.id) ? static_slots[m.id] : 0;
+    const double capacity = owned * payload_per_slot;
+    if (d->second > capacity) {
+      sink.report("SCH001", Severity::kError, {comp, module_str(m.id)},
+                  "epoch demand of " + std::to_string(d->second) +
+                      " bytes/round exceeds the " + std::to_string(capacity) +
+                      " bytes its " + std::to_string(owned) +
+                      " static slot(s) can carry",
+                  "assign more static slots before the epoch or lower it");
+    }
+  }
+
+  // TMP001 — a channel stays open while every bus is failed: nothing can
+  // carry its traffic for the whole window.
+  if (!st.channels.empty() && buses > 0) {
+    int down = 0;
+    for (int b = 0; b < buses; ++b)
+      if (node_failed_1d(st.failed_nodes, b)) ++down;
+    if (down >= buses) {
+      for (const auto& c : st.channels)
+        sink.report("TMP001", Severity::kWarning, {comp, channel_str(c)},
+                    "every bus is failed while the channel is open; its "
+                    "traffic can only stall",
+                    "close the channel or heal a bus first");
+    }
+  }
+}
+
+void Verifier::timeline_step_rmboc(const TimelineStep& st,
+                                   DiagnosticSink& sink) {
+  const std::string comp = "rmboc";
+  const Scenario& s = st.snapshot;
+  const int slots = static_cast<int>(st.full.setting("slots", 4));
+  const int buses = static_cast<int>(st.full.setting("buses", 4));
+
+  // Per-segment lane demand of the channels live in this window (the
+  // static RMB003 sums the declared plan; here only what is actually open
+  // counts — and the supply shrinks by the window's failed links).
+  std::vector<int> demand(static_cast<std::size_t>(std::max(0, slots - 1)),
+                          0);
+  for (const auto& c : st.channels) {
+    const std::string obj = channel_str(c);
+    const auto src = s.rmboc_slot.find(c.src);
+    const auto dst = s.rmboc_slot.find(c.dst);
+    if (src == s.rmboc_slot.end() || dst == s.rmboc_slot.end()) {
+      sink.report("RMB002", Severity::kError, {comp, obj},
+                  "channel endpoint is not placed in any slot",
+                  "place both modules before planning the circuit");
+      continue;
+    }
+    // TMP001 — an endpoint's cross-point is failed while the channel is
+    // open.
+    if (node_failed_1d(st.failed_nodes, src->second)) {
+      sink.report("TMP001", Severity::kWarning, {comp, obj},
+                  "cross-point slot " + std::to_string(src->second) +
+                      " of module " + std::to_string(c.src) +
+                      " is failed while the channel is open",
+                  "close the channel or heal the cross-point first");
+    }
+    if (dst->second != src->second &&
+        node_failed_1d(st.failed_nodes, dst->second)) {
+      sink.report("TMP001", Severity::kWarning, {comp, obj},
+                  "cross-point slot " + std::to_string(dst->second) +
+                      " of module " + std::to_string(c.dst) +
+                      " is failed while the channel is open",
+                  "close the channel or heal the cross-point first");
+    }
+    if (src->second == dst->second) continue;  // loopback, uses no segment
+    if (c.lanes < 1) {
+      sink.report("RMB001", Severity::kError, {comp, obj},
+                  "channel requests " + std::to_string(c.lanes) + " lanes");
+      continue;
+    }
+    int lanes = std::min(c.lanes, buses);  // RMB005 covers the clamp
+    const int lo = std::min(src->second, dst->second);
+    const int hi = std::max(src->second, dst->second);
+    for (int seg = lo; seg < hi; ++seg)
+      if (seg >= 0 && seg < static_cast<int>(demand.size()))
+        demand[static_cast<std::size_t>(seg)] += lanes;
+  }
+  // TMP004 — d_max window check: lanes the live circuits need vs lanes
+  // still up on each segment.
+  for (std::size_t seg = 0; seg < demand.size(); ++seg) {
+    if (demand[seg] == 0) continue;
+    int up = buses;
+    for (const auto& f : st.failed_links)
+      if (f.first == static_cast<int>(seg)) --up;
+    if (up < 0) up = 0;
+    if (demand[seg] <= up) continue;
+    sink.report("TMP004", Severity::kError,
+                {comp, "segment " + std::to_string(seg)},
+                "live circuits need " + std::to_string(demand[seg]) +
+                    " lanes across the segment but only " +
+                    std::to_string(up) + " of its d_max share of " +
+                    std::to_string(buses) + " are up",
+                "stagger the circuits in time or heal the segment first");
+  }
+}
+
+void Verifier::timeline_step_dynoc(const TimelineStep& st,
+                                   DiagnosticSink& sink) {
+  const std::string comp = "dynoc";
+  const Scenario& s = st.snapshot;
+  // TMP001 — a failed router inside an endpoint's footprint takes its
+  // access point down while the channel is open. (Failed ring routers are
+  // survivable: S-XY detours around them.)
+  for (const auto& c : st.channels) {
+    for (const int mod : {c.src, c.dst}) {
+      const auto it = s.dynoc_place.find(mod);
+      if (it == s.dynoc_place.end()) continue;
+      const Scenario::Module* m = find_module(s, mod);
+      const fpga::Rect r{it->second.x, it->second.y, m ? m->width : 1,
+                         m ? m->height : 1};
+      for (const auto& f : st.failed_nodes) {
+        if (!r.contains({f.first, f.second})) continue;
+        sink.report("TMP001", Severity::kWarning, {comp, channel_str(c)},
+                    "access router (" + std::to_string(f.first) + "," +
+                        std::to_string(f.second) + ") of module " +
+                        std::to_string(mod) +
+                        " is failed while the channel is open",
+                    "close the channel or heal the router first");
+        break;  // one diagnostic per endpoint is enough
+      }
+      if (c.src == c.dst) break;
+    }
+  }
+}
+
+void Verifier::timeline_step_conochi(const TimelineStep& st,
+                                     DiagnosticSink& sink) {
+  const std::string comp = "conochi";
+  const Scenario& s = st.snapshot;
+  // TMP001 — an endpoint's attach switch is failed while the channel is
+  // open: the module is cut off no matter what the tables say.
+  for (const auto& c : st.channels) {
+    for (const int mod : {c.src, c.dst}) {
+      const auto it = s.conochi_attach.find(mod);
+      if (it == s.conochi_attach.end()) continue;
+      if (!st.failed_nodes.count({it->second.x, it->second.y})) continue;
+      sink.report("TMP001", Severity::kWarning, {comp, channel_str(c)},
+                  "attach switch " + point_str(it->second) + " of module " +
+                      std::to_string(mod) +
+                      " is failed while the channel is open",
+                  "close the channel or heal the switch first");
+      if (c.src == c.dst) break;
+    }
+  }
+}
+
 }  // namespace recosim::verify

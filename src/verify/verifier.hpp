@@ -1,5 +1,10 @@
 #pragma once
 
+#include <map>
+#include <set>
+#include <utility>
+#include <vector>
+
 #include "verify/diagnostic.hpp"
 #include "verify/scenario.hpp"
 
@@ -8,6 +13,24 @@ class CommArchitecture;
 }
 
 namespace recosim::verify {
+
+/// Context of one timeline window handed to the per-architecture
+/// timeline-step hooks (src/verify/timeline.cpp): the abstract fabric
+/// state projected onto a snapshot Scenario — live modules, their
+/// current placements and the current slot table — plus the temporal
+/// extras a snapshot cannot carry. The hooks report without window
+/// annotations; the timeline merges findings of adjacent windows and
+/// fills the intervals in.
+struct TimelineStep {
+  const Scenario& snapshot;  ///< live modules / placements / slots only
+  const Scenario& full;      ///< the original scenario (settings, source)
+  long long window_begin = 0;
+  long long window_end = -1;  ///< -1: extends to the end of the schedule
+  const std::vector<Scenario::Channel>& channels;  ///< live channels
+  const std::map<int, double>& demand;  ///< current epoch demand
+  const std::set<std::pair<int, int>>& failed_nodes;
+  const std::set<std::pair<int, int>>& failed_links;
+};
 
 /// Entry points of the static verification layer (rule catalogue:
 /// docs/static-analysis.md). Two kinds of input share the rule ids:
@@ -34,6 +57,20 @@ class Verifier {
   static void check_dynoc(const Scenario& s, DiagnosticSink& sink);
   static void check_conochi(const Scenario& s, DiagnosticSink& sink);
   static void check_floorplan(const Scenario& s, DiagnosticSink& sink);
+
+  /// Timeline-window pass: cross-event rules the snapshot checkers above
+  /// cannot see — live-channel supply vs demand under the window's failed
+  /// resources (TMP001/TMP004), per-epoch bandwidth feasibility (SCH001).
+  /// Dispatches on the snapshot's architecture like check_all.
+  static void timeline_step(const TimelineStep& st, DiagnosticSink& sink);
+  static void timeline_step_buscom(const TimelineStep& st,
+                                   DiagnosticSink& sink);
+  static void timeline_step_rmboc(const TimelineStep& st,
+                                  DiagnosticSink& sink);
+  static void timeline_step_dynoc(const TimelineStep& st,
+                                  DiagnosticSink& sink);
+  static void timeline_step_conochi(const TimelineStep& st,
+                                    DiagnosticSink& sink);
 };
 
 }  // namespace recosim::verify

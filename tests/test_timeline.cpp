@@ -1,0 +1,251 @@
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "fault/chaos.hpp"
+#include "verify/diagnostic.hpp"
+#include "verify/fault_plan.hpp"
+#include "verify/scenario.hpp"
+#include "verify/timeline.hpp"
+
+namespace recosim::verify {
+namespace {
+
+// Fixture directories injected by tests/CMakeLists.txt.
+#ifndef RECOSIM_LINT_FIXTURES
+#define RECOSIM_LINT_FIXTURES "tests/fixtures/lint"
+#endif
+#ifndef RECOSIM_SCENARIOS
+#define RECOSIM_SCENARIOS "examples/scenarios"
+#endif
+
+// Timeline-lint a fixture by stem; `with_plan` pairs `<stem>.fplan`
+// exactly like `recosim-lint --timeline` does.
+DiagnosticSink timeline_file(const std::string& stem,
+                             bool with_plan = false) {
+  DiagnosticSink sink;
+  const std::string base = std::string(RECOSIM_LINT_FIXTURES) + "/" + stem;
+  auto s = parse_scenario_file(base + ".rcs", sink);
+  EXPECT_TRUE(s.has_value()) << stem;
+  if (!s) return sink;
+  if (with_plan) {
+    auto plan = parse_fault_plan_file(base + ".fplan", sink);
+    EXPECT_TRUE(plan.has_value()) << stem;
+    if (plan) {
+      check_fault_plan(*plan, &*s, sink);
+      Timeline::check(*s, &*plan, sink);
+      return sink;
+    }
+  }
+  Timeline::check(*s, nullptr, sink);
+  return sink;
+}
+
+DiagnosticSink timeline_text(const std::string& text) {
+  DiagnosticSink sink;
+  auto s = parse_scenario(text, "inline.rcs", sink);
+  EXPECT_TRUE(s.has_value());
+  if (s) Timeline::check(*s, nullptr, sink);
+  return sink;
+}
+
+const Diagnostic* find_rule(const DiagnosticSink& sink,
+                            const std::string& rule) {
+  for (const auto& d : sink.diagnostics())
+    if (d.rule == rule) return &d;
+  return nullptr;
+}
+
+void expect_window(const DiagnosticSink& sink, const std::string& rule,
+                   long long begin, long long end) {
+  const Diagnostic* d = find_rule(sink, rule);
+  ASSERT_NE(d, nullptr) << rule << " missing:\n" << sink.to_text();
+  EXPECT_EQ(d->window_begin, begin) << sink.to_text();
+  EXPECT_EQ(d->window_end, end) << sink.to_text();
+}
+
+// ---- Seeded-invalid fixtures: the seeded rule with the seeded window. --
+
+TEST(TimelineFixtures, RmbocDmaxWindowIsTMP004) {
+  auto sink = timeline_file("timeline_rmboc_dmax_window");
+  expect_window(sink, "TMP004", 300, 400);
+  EXPECT_EQ(sink.count_rule("TMP004"), 1u) << sink.to_text();
+  EXPECT_GT(sink.error_count(), 0u);
+}
+
+TEST(TimelineFixtures, RmbocDeadSwapVictimIsTMP002Instant) {
+  auto sink = timeline_file("timeline_rmboc_lifecycle");
+  expect_window(sink, "TMP002", 1000, 1000);
+}
+
+TEST(TimelineFixtures, ConochiDeadChannelIsTMP001WithFaultWindow) {
+  auto sink = timeline_file("timeline_conochi_dead_channel",
+                            /*with_plan=*/true);
+  expect_window(sink, "TMP001", 1500, 2500);
+}
+
+TEST(TimelineFixtures, FloorplanLifetimeOverlapIsTMP003NotFLP001) {
+  auto sink = timeline_file("timeline_floorplan_multiplex_bad");
+  expect_window(sink, "TMP003", 1000, 2000);
+  // Time-multiplexed regions are only an error while both are live; the
+  // static overlap rule must not also fire.
+  EXPECT_FALSE(sink.has_rule("FLP001")) << sink.to_text();
+}
+
+TEST(TimelineFixtures, BuscomEpochOverCapacityIsSCH001) {
+  auto sink = timeline_file("timeline_buscom_epoch");
+  expect_window(sink, "SCH001", 1000, 2000);
+  EXPECT_EQ(sink.count_rule("SCH001"), 1u) << sink.to_text();
+}
+
+TEST(TimelineFixtures, DynocTransientRingBreakIsSCH002) {
+  auto sink = timeline_file("timeline_dynoc_transient_block");
+  expect_window(sink, "SCH002", 1000, 2000);
+  // The underlying DYN finding carries the same transient window.
+  expect_window(sink, "DYN002", 1000, 2000);
+}
+
+TEST(TimelineFixtures, RmbocDrainOverrunIsSCH003PlusTMP001AndTMP005) {
+  auto sink = timeline_file("timeline_rmboc_drain", /*with_plan=*/true);
+  expect_window(sink, "SCH003", 3000, 5000);  // [unload, +drain_timeout)
+  expect_window(sink, "TMP001", 2800, 3000);  // fail until the unload
+  expect_window(sink, "TMP005", 3000, 3000);  // forced channel teardown
+}
+
+TEST(TimelineFixtures, ConochiUnloadWithOpenChannelIsTMP005Only) {
+  auto sink = timeline_file("timeline_conochi_unload_open_channel");
+  expect_window(sink, "TMP005", 2000, 2000);
+  EXPECT_EQ(sink.size(), 1u) << sink.to_text();
+}
+
+// ---- Valid schedules must stay perfectly clean. ------------------------
+
+TEST(TimelineFixtures, ValidSchedulesProduceZeroDiagnostics) {
+  for (const char* stem :
+       {"valid/timeline_rmboc", "valid/timeline_buscom",
+        "valid/timeline_dynoc", "valid/timeline_conochi"}) {
+    auto sink = timeline_file(stem);
+    EXPECT_TRUE(sink.empty()) << stem << ":\n" << sink.to_text();
+  }
+}
+
+TEST(TimelineExamples, ShippedTimelineExampleWithPlanIsClean) {
+  DiagnosticSink sink;
+  const std::string base =
+      std::string(RECOSIM_SCENARIOS) + "/rmboc_reconfig_timeline";
+  auto s = parse_scenario_file(base + ".rcs", sink);
+  ASSERT_TRUE(s.has_value());
+  auto plan = parse_fault_plan_file(base + ".fplan", sink);
+  ASSERT_TRUE(plan.has_value());
+  check_fault_plan(*plan, &*s, sink);
+  Timeline::check(*s, &*plan, sink);
+  EXPECT_TRUE(sink.empty()) << sink.to_text();
+}
+
+// ---- Interpreter semantics on inline schedules. ------------------------
+
+TEST(TimelineInterpreter, IdenticalFindingMergesAcrossWindowBoundaries) {
+  // The slot event at 1500 starts a new window but does not change
+  // module 1's capacity, so the SCH001 finding must merge into one
+  // diagnostic spanning both windows.
+  auto sink = timeline_text(
+      "arch buscom\n"
+      "set buses 4\n"
+      "module 1\n"
+      "module 2\n"
+      "slot 0 0 1\n"
+      "demand 1 50\n"
+      "at 1000 epoch 1 5000\n"
+      "at 1500 slot 1 0 2\n"
+      "at 2500 epoch 1 50\n");
+  expect_window(sink, "SCH001", 1000, 2500);
+  EXPECT_EQ(sink.count_rule("SCH001"), 1u) << sink.to_text();
+}
+
+TEST(TimelineInterpreter, FindingWithNoClosingEventRunsToScheduleEnd) {
+  auto sink = timeline_text(
+      "arch buscom\n"
+      "set buses 4\n"
+      "module 1\n"
+      "slot 0 0 1\n"
+      "at 1000 epoch 1 5000\n");
+  const Diagnostic* d = find_rule(sink, "SCH001");
+  ASSERT_NE(d, nullptr) << sink.to_text();
+  EXPECT_EQ(d->window_begin, 1000);
+  EXPECT_EQ(d->window_end, -1);  // open interval, rendered "@[1000,end)"
+  EXPECT_NE(sink.to_text().find("@[1000,end)"), std::string::npos)
+      << sink.to_text();
+}
+
+TEST(TimelineInterpreter, FirstLifecycleEventDecidesInitialLiveness) {
+  // Module 2's first lifecycle event is a load, so it starts dead and the
+  // earlier open has a missing endpoint.
+  auto sink = timeline_text(
+      "arch rmboc\n"
+      "set slots 4\n"
+      "set buses 4\n"
+      "module 1\n"
+      "module 2\n"
+      "place 1 0\n"
+      "at 500 open 1 2\n"
+      "at 1000 load 2 1\n");
+  expect_window(sink, "TMP002", 500, 500);
+
+  // Conversely, a module whose first event is an unload starts live.
+  auto sink2 = timeline_text(
+      "arch rmboc\n"
+      "set slots 4\n"
+      "set buses 4\n"
+      "module 1\n"
+      "module 2\n"
+      "place 1 0\n"
+      "place 2 1\n"
+      "at 500 unload 2\n");
+  EXPECT_TRUE(sink2.empty()) << sink2.to_text();
+}
+
+TEST(TimelineInterpreter, UnslotOfUnassignedSlotIsTMP002) {
+  auto sink = timeline_text(
+      "arch buscom\n"
+      "set buses 4\n"
+      "module 1\n"
+      "slot 0 0 1\n"
+      "demand 1 10\n"
+      "at 1000 unslot 1 1\n");
+  expect_window(sink, "TMP002", 1000, 1000);
+}
+
+TEST(TimelineInterpreter, DiagnosticsAreSortedByWindowBegin) {
+  auto sink = timeline_file("timeline_rmboc_drain", /*with_plan=*/true);
+  long long prev = -1;
+  for (const auto& d : sink.diagnostics()) {
+    if (!d.has_window()) continue;
+    EXPECT_GE(d.window_begin, prev) << sink.to_text();
+    prev = d.window_begin;
+  }
+}
+
+// ---- Chaos schedules lint through the same interpreter. ----------------
+
+TEST(TimelineChaos, GeneratedSchedulesLintCleanAndWindowsAreWellFormed) {
+  for (fault::ChaosArch arch : fault::kAllChaosArchs) {
+    for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+      const auto schedule = fault::make_schedule(arch, seed);
+      DiagnosticSink sink;
+      fault::timeline_lint_schedule(schedule, sink);
+      // make_schedule only emits runtime-legal schedules, so the lint
+      // must predict a clean run (recosim-chaos --lint-first relies on
+      // this agreement).
+      EXPECT_EQ(sink.error_count(), 0u)
+          << fault::to_string(arch) << " seed " << seed << ":\n"
+          << sink.to_text();
+      for (const auto& d : sink.diagnostics()) {
+        if (!d.has_window() || d.window_end < 0) continue;
+        EXPECT_GE(d.window_end, d.window_begin) << sink.to_text();
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace recosim::verify

@@ -85,6 +85,59 @@ TEST(TrafficSource, RetriesRejectedPacketsInOrder) {
   EXPECT_EQ(sink.tag_mismatches(), 0u);
 }
 
+TEST(TrafficSource, BatchedBernoulliMatchesUnbatchedExactly) {
+  // Batching pre-draws the Bernoulli coin flips so the kernel can sleep
+  // between arrivals, but it must consume the rng stream in exactly the
+  // same order as the cycle-by-cycle loop: every counter has to agree
+  // bit-for-bit. The 256-byte payloads force rejections, so the pending
+  // retry path is covered too.
+  for (double rate : {0.05, 0.5}) {
+    std::uint64_t generated[2], accepted[2], received[2];
+    for (int batched = 0; batched < 2; ++batched) {
+      auto sys = make_minimal_rmboc();
+      auto policy = InjectionPolicy::bernoulli(rate);
+      policy.batch_draws = (batched == 1);
+      TrafficSource src(*sys.kernel, *sys.arch, 1,
+                        DestinationPolicy::fixed(2), SizePolicy::fixed(256),
+                        policy, sim::Rng(42));
+      TrafficSink sink(*sys.kernel, *sys.arch, {2});
+      sys.kernel->run(20'000);
+      generated[batched] = src.generated();
+      accepted[batched] = src.accepted();
+      received[batched] = sink.received_total();
+    }
+    EXPECT_EQ(generated[0], generated[1]) << "rate " << rate;
+    EXPECT_EQ(accepted[0], accepted[1]) << "rate " << rate;
+    EXPECT_EQ(received[0], received[1]) << "rate " << rate;
+    EXPECT_GT(generated[0], 0u);
+  }
+}
+
+TEST(TrafficSource, BatchedBernoulliReportsRealQuiescentDeadline) {
+  auto sys = make_minimal_rmboc();
+  // At rate 1e-4 arrivals are thousands of cycles apart; a batched source
+  // must report itself quiescent in between with a real deadline, so the
+  // kernel can fast-forward instead of polling every cycle.
+  TrafficSource src(*sys.kernel, *sys.arch, 1, DestinationPolicy::fixed(2),
+                    SizePolicy::fixed(4),
+                    InjectionPolicy::bernoulli(1e-4), sim::Rng(7));
+  sys.kernel->run(1);
+  EXPECT_TRUE(src.is_quiescent());
+  const auto deadline = src.quiescent_deadline();
+  EXPECT_GT(deadline, sys.kernel->now());
+  // The deadline is the next arrival or the end of the draw window —
+  // never unbounded while the source is running.
+  EXPECT_LE(deadline, sys.kernel->now() + 4096);
+
+  // The cycle-by-cycle variant cannot promise idleness: it has to draw
+  // every cycle.
+  auto policy = InjectionPolicy::bernoulli(1e-4);
+  policy.batch_draws = false;
+  TrafficSource eager(*sys.kernel, *sys.arch, 1, DestinationPolicy::fixed(2),
+                      SizePolicy::fixed(4), policy, sim::Rng(7));
+  EXPECT_FALSE(eager.is_quiescent());
+}
+
 TEST(TrafficSource, StopHaltsGeneration) {
   auto sys = make_minimal_rmboc();
   TrafficSource src(*sys.kernel, *sys.arch, 1, DestinationPolicy::fixed(2),

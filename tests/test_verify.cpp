@@ -125,6 +125,41 @@ TEST(ScenarioParser, OneBadLineDoesNotHideTheRest) {
   EXPECT_TRUE(sink.has_rule("BUS003"));  // checks still ran
 }
 
+// Every parser diagnostic pinpoints line AND column so an editor can jump
+// straight to the offending token, not just the offending line.
+TEST(ScenarioParser, DiagnosticsCarryLineAndColumn) {
+  auto sink = lint_text("arch buscom\nfrobnicate 3\nslot 0 0 1\nslot x 0 1\n");
+  ASSERT_TRUE(sink.has_rule("LNT001")) << sink.to_text();
+  bool saw_token_column = false;
+  for (const auto& d : sink.diagnostics()) {
+    if (d.rule != "LNT001" && d.rule != "LNT002") continue;
+    EXPECT_EQ(d.location.object.rfind("line ", 0), 0u) << sink.to_text();
+    EXPECT_NE(d.location.object.find(':'), std::string::npos)
+        << d.location.object;
+    // The bad token 'x' sits at column 6 of line 4 — the column must
+    // point at it, not at the directive.
+    if (d.location.object == "line 4:6") saw_token_column = true;
+  }
+  EXPECT_TRUE(saw_token_column) << sink.to_text();
+}
+
+TEST(FaultPlanLint, DiagnosticsCarryLineAndColumn) {
+  DiagnosticSink sink;
+  auto plan = parse_fault_plan(
+      "fault fail_node 100 1\nfault heal_node 50 1\nrate bit_flip 2.0\n"
+      "bogus line\n",
+      "inline.fplan", sink);
+  check_fault_plan(plan, nullptr, sink);
+  EXPECT_TRUE(sink.has_rule("LNT001")) << sink.to_text();
+  EXPECT_TRUE(sink.has_rule("FLT001")) << sink.to_text();
+  EXPECT_TRUE(sink.has_rule("FLT004")) << sink.to_text();
+  for (const auto& d : sink.diagnostics()) {
+    EXPECT_EQ(d.location.object.rfind("line ", 0), 0u) << sink.to_text();
+    EXPECT_NE(d.location.object.find(':'), std::string::npos)
+        << d.location.object;
+  }
+}
+
 // ---- Additional static rules exercised in-memory. -----------------------
 
 TEST(StaticChecks, BuscomDemandBeyondStaticSlotsIsBUS005) {

@@ -12,8 +12,16 @@
 //
 // Usage:
 //   recosim-chaos [--arch NAME] [--seeds N] [--seed-base S] [--ops N]
-//                 [--horizon CYCLES] [--no-fast-forward] [--verbose]
+//                 [--horizon CYCLES] [--lint-first] [--no-fast-forward]
+//                 [--verbose]
 //   recosim-chaos --replay FILE [--no-shrink] [--no-fast-forward]
+//
+// --lint-first runs the timeline verifier over every generated schedule
+// before executing it. Schedules the linter flags with an error are
+// skipped (statically predicted to go bad); for the rest the lint must
+// agree with the runtime — a lint-clean schedule that then violates a
+// runtime invariant is a failure of the verifier itself and fails the
+// sweep.
 //
 // --no-fast-forward disables the kernel's quiescence tracking and
 // idle-cycle fast-forward; the results are bit-for-bit identical either
@@ -47,14 +55,15 @@ struct Options {
   bool shrink = true;
   bool verbose = false;
   bool activity_driven = true;
+  bool lint_first = false;
 };
 
 void usage() {
   std::cerr
       << "usage: recosim-chaos [--arch rmboc|buscom|dynoc|conochi]\n"
       << "                     [--seeds N] [--seed-base S] [--ops N]\n"
-      << "                     [--horizon CYCLES] [--no-fast-forward]\n"
-      << "                     [--verbose]\n"
+      << "                     [--horizon CYCLES] [--lint-first]\n"
+      << "                     [--no-fast-forward] [--verbose]\n"
       << "       recosim-chaos --replay FILE [--no-shrink]\n"
       << "                     [--no-fast-forward]\n";
 }
@@ -107,6 +116,8 @@ int main(int argc, char** argv) {
       opt.replay_file = value();
     } else if (arg == "--no-shrink") {
       opt.shrink = false;
+    } else if (arg == "--lint-first") {
+      opt.lint_first = true;
     } else if (arg == "--no-fast-forward") {
       opt.activity_driven = false;
     } else if (arg == "--verbose") {
@@ -153,10 +164,25 @@ int main(int argc, char** argv) {
   for (fault::ChaosArch arch : opt.archs) {
     std::uint64_t committed = 0, rolled_back = 0, forced = 0, delivered = 0;
     int failures = 0;
+    int lint_skipped = 0;
     for (int i = 0; i < opt.seeds; ++i) {
       const std::uint64_t seed = opt.seed_base + static_cast<std::uint64_t>(i);
       const auto schedule =
           fault::make_schedule(arch, seed, opt.ops, opt.horizon);
+      if (opt.lint_first) {
+        verify::DiagnosticSink lint;
+        fault::timeline_lint_schedule(schedule, lint);
+        if (lint.error_count() > 0) {
+          ++lint_skipped;
+          if (opt.verbose) {
+            std::cout << fault::to_string(arch) << " seed=" << seed
+                      << " lint-skipped (" << lint.error_count()
+                      << " error(s))\n"
+                      << lint.to_text();
+          }
+          continue;
+        }
+      }
       const auto result = fault::run_schedule(schedule, opt.activity_driven);
       committed += result.txns_committed;
       rolled_back += result.txns_rolled_back;
@@ -171,11 +197,20 @@ int main(int argc, char** argv) {
                   << " end_cycle=" << result.end_cycle << "\n";
       if (!result.ok) {
         ++failures;
+        if (opt.lint_first)
+          std::cout << "LINT-MISS arch=" << fault::to_string(arch)
+                    << " seed=" << seed
+                    << ": lint-clean schedule violated a runtime "
+                       "invariant\n";
         all_ok = report_failure(schedule, result, opt.shrink) && all_ok;
       }
     }
-    std::cout << fault::to_string(arch) << ": " << (opt.seeds - failures)
-              << "/" << opt.seeds << " schedules ok, " << committed
+    std::cout << fault::to_string(arch) << ": "
+              << (opt.seeds - failures - lint_skipped) << "/" << opt.seeds
+              << " schedules ok";
+    if (opt.lint_first)
+      std::cout << ", " << lint_skipped << " lint-skipped";
+    std::cout << ", " << committed
               << " txns committed, " << rolled_back << " rolled back, "
               << forced << " forced drains, " << delivered
               << " payloads delivered\n";

@@ -1,31 +1,46 @@
 // recosim-lint: static checker for ReCoSim scenario files (.rcs) and
 // fault-injection plans (.fplan).
 //
-// Usage: recosim-lint [--json] [--rules] <file.rcs|file.fplan>...
+// Usage: recosim-lint [--json] [--rules] [--timeline] [--werror]
+//                     <file.rcs|file.fplan|directory>...
 //
-// A fault plan is checked against the topology of the most recent .rcs
-// file preceding it on the command line; without one, only the
-// topology-independent FLT rules run:
+// A directory argument expands (non-recursively) to the .rcs and .fplan
+// files inside it. A fault plan is checked against the topology of the
+// most recent .rcs file preceding it on the command line; without one,
+// only the topology-independent FLT rules run:
 //
 //   recosim-lint examples/scenarios/conochi_mesh.rcs faults.fplan
 //
+// With --timeline each scenario's event schedule is symbolically stepped
+// (the TMP/SCH rule families); a plan named like the scenario
+// (foo.rcs + foo.fplan) pairs with it automatically and its faults feed
+// the timeline. Paired plans are not checked a second time standalone.
+//
 // Exit codes:
-//   0  every file parsed and no rule produced an error (warnings/notes ok)
-//   1  at least one error-severity diagnostic
+//   0  every file parsed and no error (nor, under --werror, warning)
+//   1  at least one error-severity diagnostic (--werror: or warning)
 //   2  a file could not be parsed at all (or usage error)
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <optional>
+#include <set>
 #include <string>
 #include <vector>
 
 #include "verify/fault_plan.hpp"
 #include "verify/rules.hpp"
 #include "verify/scenario.hpp"
+#include "verify/timeline.hpp"
 #include "verify/verifier.hpp"
 
 namespace {
+
+constexpr char kUsage[] =
+    "usage: recosim-lint [--json] [--rules] [--timeline] [--werror] "
+    "<file.rcs|file.fplan|directory>...\n";
 
 void print_rules() {
   for (const auto& r : recosim::verify::kRules) {
@@ -35,37 +50,86 @@ void print_rules() {
   }
 }
 
+bool has_suffix(const std::string& s, const char* suffix) {
+  const std::size_t n = std::strlen(suffix);
+  return s.size() >= n && s.compare(s.size() - n, n, suffix) == 0;
+}
+
+/// Expand a directory argument to the .rcs then .fplan files inside it
+/// (each group sorted, non-recursive); other arguments pass through.
+std::vector<std::string> expand_args(const std::vector<std::string>& args,
+                                     bool& usage_error) {
+  namespace fs = std::filesystem;
+  std::vector<std::string> out;
+  for (const auto& a : args) {
+    std::error_code ec;
+    if (!fs::is_directory(a, ec)) {
+      out.push_back(a);
+      continue;
+    }
+    std::vector<std::string> rcs, fplan;
+    for (const auto& entry : fs::directory_iterator(a, ec)) {
+      if (!entry.is_regular_file()) continue;
+      std::string p = entry.path().string();
+      if (has_suffix(p, ".rcs"))
+        rcs.push_back(std::move(p));
+      else if (has_suffix(p, ".fplan"))
+        fplan.push_back(std::move(p));
+    }
+    if (ec) {
+      std::fprintf(stderr, "recosim-lint: cannot read directory '%s'\n",
+                    a.c_str());
+      usage_error = true;
+      continue;
+    }
+    std::sort(rcs.begin(), rcs.end());
+    std::sort(fplan.begin(), fplan.end());
+    out.insert(out.end(), rcs.begin(), rcs.end());
+    out.insert(out.end(), fplan.begin(), fplan.end());
+  }
+  return out;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   using namespace recosim::verify;
+  namespace fs = std::filesystem;
 
   bool json = false;
-  std::vector<std::string> files;
+  bool timeline = false;
+  bool werror = false;
+  std::vector<std::string> args;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--json") == 0) {
       json = true;
+    } else if (std::strcmp(argv[i], "--timeline") == 0) {
+      timeline = true;
+    } else if (std::strcmp(argv[i], "--werror") == 0) {
+      werror = true;
     } else if (std::strcmp(argv[i], "--rules") == 0) {
       print_rules();
       return 0;
     } else if (std::strcmp(argv[i], "--help") == 0) {
-      std::printf(
-          "usage: recosim-lint [--json] [--rules] "
-          "<file.rcs|file.fplan>...\n");
+      std::printf("%s", kUsage);
       return 0;
     } else if (argv[i][0] == '-') {
       std::fprintf(stderr, "recosim-lint: unknown option '%s'\n", argv[i]);
       return 2;
     } else {
-      files.emplace_back(argv[i]);
+      args.emplace_back(argv[i]);
     }
   }
-  if (files.empty()) {
-    std::fprintf(
-        stderr,
-        "usage: recosim-lint [--json] [--rules] <file.rcs|file.fplan>...\n");
+  bool usage_error = false;
+  const std::vector<std::string> files = expand_args(args, usage_error);
+  if (files.empty() || usage_error) {
+    std::fprintf(stderr, "%s", kUsage);
     return 2;
   }
+
+  // Under --timeline, a plan named like a scenario on the command line
+  // pairs with it and must not be checked a second time standalone.
+  std::set<std::string> paired_plans;
 
   DiagnosticSink sink;
   bool parse_failed = false;
@@ -74,9 +138,8 @@ int main(int argc, char** argv) {
   // plan's coordinates against that topology.
   std::optional<Scenario> topology;
   for (const auto& file : files) {
-    const bool is_plan = file.size() >= 6 &&
-                         file.compare(file.size() - 6, 6, ".fplan") == 0;
-    if (is_plan) {
+    if (has_suffix(file, ".fplan")) {
+      if (paired_plans.count(file)) continue;  // already ran with its .rcs
       auto plan = parse_fault_plan_file(file, sink);
       if (!plan) {
         parse_failed = true;
@@ -90,7 +153,23 @@ int main(int argc, char** argv) {
       parse_failed = true;
       continue;
     }
-    Verifier::check_all(*scenario, sink);
+    if (timeline) {
+      std::optional<FaultPlanDoc> plan;
+      const fs::path plan_path = fs::path(file).replace_extension(".fplan");
+      std::error_code ec;
+      if (fs::is_regular_file(plan_path, ec)) {
+        plan = parse_fault_plan_file(plan_path.string(), sink);
+        if (plan) {
+          paired_plans.insert(plan_path.string());
+          check_fault_plan(*plan, &*scenario, sink);
+        } else {
+          parse_failed = true;
+        }
+      }
+      Timeline::check(*scenario, plan ? &*plan : nullptr, sink);
+    } else {
+      Verifier::check_all(*scenario, sink);
+    }
     topology = std::move(*scenario);
   }
 
@@ -98,9 +177,12 @@ int main(int argc, char** argv) {
     std::printf("%s\n", sink.to_json().c_str());
   } else {
     std::printf("%s", sink.to_text().c_str());
-    std::printf("%zu diagnostic(s), %zu error(s)\n", sink.size(),
-                sink.error_count());
+    std::printf("%zu diagnostic(s), %zu error(s), %zu warning(s)\n",
+                sink.size(), sink.error_count(),
+                sink.count(Severity::kWarning));
   }
   if (parse_failed) return 2;
-  return sink.error_count() > 0 ? 1 : 0;
+  if (sink.error_count() > 0) return 1;
+  if (werror && sink.count(Severity::kWarning) > 0) return 1;
+  return 0;
 }
