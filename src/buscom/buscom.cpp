@@ -260,6 +260,39 @@ bool Buscom::heal_node(int bus, int) {
   return true;
 }
 
+std::size_t Buscom::replan_paths() {
+  // Re-run the static-slot redistribution for every failed bus: a slot of
+  // a dead bus whose owner still has no static slot at that index on any
+  // surviving bus gets one. Redistribution already staged by fail_node()
+  // is not repeated.
+  std::size_t moved = 0;
+  for (int bus : failed_buses_) {
+    for (int s = 0; s < config_.slots_per_round; ++s) {
+      const SlotAssignment a = schedule_.bus(bus).slot(s);
+      if (a.kind != SlotKind::kStatic || !is_attached(a.owner)) continue;
+      bool covered = false;
+      for (int b = 0; b < config_.buses && !covered; ++b) {
+        if (b == bus || failed_buses_.count(b)) continue;
+        const SlotAssignment live = schedule_.bus(b).slot(s);
+        covered = live.kind == SlotKind::kStatic && live.owner == a.owner;
+      }
+      if (covered) continue;
+      for (int b = 0; b < config_.buses; ++b) {
+        if (b == bus || failed_buses_.count(b)) continue;
+        if (schedule_.bus(b).slot(s).kind != SlotKind::kDynamic) continue;
+        const fpga::ModuleId owner = a.owner;
+        pending_ops_.push_back(
+            [this, b, s, owner] { schedule_.bus(b).assign_static(s, owner); });
+        stats().counter("recovered_paths").add();
+        ++moved;
+        break;
+      }
+    }
+  }
+  if (moved) wake_network();
+  return moved;
+}
+
 std::size_t Buscom::in_flight_packets(fpga::ModuleId involving) const {
   // Every undelivered packet sits in its sender's TX queue until the last
   // fragment leaves (reassembly completes in the same slot the final

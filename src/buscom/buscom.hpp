@@ -76,6 +76,10 @@ class Buscom final : public core::CommArchitecture, public sim::Component {
   bool fail_node(int bus, int unused = 0) override;
   bool heal_node(int bus, int unused = 0) override;
 
+  /// Re-run the dead-bus slot redistribution for owners still without a
+  /// static slot on a surviving bus (e.g. attached after the failure).
+  std::size_t replan_paths() override;
+
   // BUS-COM specific ----------------------------------------------------------
 
   SystemSchedule& schedule() { return schedule_; }

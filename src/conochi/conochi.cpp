@@ -202,6 +202,31 @@ bool Conochi::fail_node(int x, int y) {
   return true;
 }
 
+std::size_t Conochi::replan_paths() {
+  // Global re-plan: the control unit rebuilds the link graph and routing
+  // tables from the current failure set. Switches whose effective table
+  // changes have had routes moved off a dead resource.
+  std::map<int, std::map<int, int>> before;
+  for (const auto& s : switches_) {
+    if (!s.active) continue;
+    before[s.id] = s.table_pending ? s.pending_table : s.table;
+  }
+  rebuild_links();
+  recompute_tables();
+  std::size_t changed = 0;
+  for (const auto& s : switches_) {
+    if (!s.active) continue;
+    const auto& now = s.table_pending ? s.pending_table : s.table;
+    auto it = before.find(s.id);
+    if (it == before.end() || it->second != now) {
+      stats().counter("recovered_paths").add();
+      ++changed;
+    }
+  }
+  if (changed) wake_network();
+  return changed;
+}
+
 bool Conochi::heal_node(int x, int y) {
   for (auto& s : switches_) {
     if (s.active || !(s.pos == fpga::Point{x, y})) continue;

@@ -100,6 +100,11 @@ class Conochi final : public core::CommArchitecture, public sim::Component {
   bool fail_node(int x, int y) override;
   bool heal_node(int x, int y) override;
 
+  /// Have the control unit rebuild links and routing tables from the
+  /// current failure set; returns the number of switches whose effective
+  /// table changed.
+  std::size_t replan_paths() override;
+
   // Topology management (the global control unit's interface) ---------------
 
   /// Place a switch on an O tile. Links to neighbouring switches form

@@ -140,6 +140,15 @@ class CommArchitecture {
   virtual bool heal_node(int a, int b = 0);
   virtual bool heal_link(int a, int b = 0);
 
+  /// Re-plan communication paths around the currently-failed resources:
+  /// re-route circuits, re-choose access routers, redistribute slots —
+  /// whatever the backend's degradation machinery can do *now*, without
+  /// waiting for traffic to stumble onto the fault. Returns the number of
+  /// paths changed (also counted under "recovered_paths"). The recovery
+  /// orchestrator calls this as its re-route rung; the default does
+  /// nothing.
+  virtual std::size_t replan_paths() { return 0; }
+
   /// Installed by fault::FaultInjector: invoked for every packet as it
   /// leaves the network towards the receiving module. The hook may mutate
   /// the packet (transient bit flip) or return false to drop it (transient

@@ -124,6 +124,8 @@ void ReconfigTxn::eval() {
       // retransmits forever). Quiesce already blocks new admissions, so
       // forcing ahead can only affect traffic that would never land.
       forced_drain_ = true;
+      if (cfg_.on_drain_escalation)
+        cfg_.on_drain_escalation(quiesced_modules());
       enter_drained();
     }
     return;

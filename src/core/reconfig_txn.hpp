@@ -62,6 +62,13 @@ struct TxnConfig {
   /// Roll back when the post-commit check reports more error-severity
   /// diagnostics than the pre-transaction baseline.
   bool rollback_on_verify_regression = true;
+  /// Observable-symptom hook for the health layer: invoked once when the
+  /// drain phase escalates (watchdog stall trip or drain_timeout overrun)
+  /// with the modules that were quiescing at the time. A stuck drain is a
+  /// strong symptom that one of those modules — or the fabric under them
+  /// — is unhealthy.
+  std::function<void(const std::vector<fpga::ModuleId>&)>
+      on_drain_escalation;
 };
 
 struct TxnRequest {

@@ -294,6 +294,23 @@ bool Dynoc::fail_node(int x, int y) {
   return true;
 }
 
+std::size_t Dynoc::replan_paths() {
+  // Move every module whose access router is dead (or was never
+  // re-selected after a failure) onto a surviving ring router.
+  std::size_t moved = 0;
+  for (auto& [id, pl] : placements_) {
+    if (pl.rect.area() <= 1 || router_active(pl.access)) continue;
+    const fpga::Point next = choose_access(pl.rect);
+    if (router_active(next)) {
+      pl.access = next;
+      stats().counter("recovered_paths").add();
+      ++moved;
+    }
+  }
+  if (moved) wake_network();
+  return moved;
+}
+
 bool Dynoc::heal_node(int x, int y) {
   const fpga::Point p{x, y};
   if (!in_array(p) || !failed_.count(idx(p))) return false;

@@ -91,6 +91,10 @@ class Dynoc final : public core::CommArchitecture, public sim::Component {
   bool fail_node(int x, int y) override;
   bool heal_node(int x, int y) override;
 
+  /// Re-select the access router of every module whose access point is
+  /// currently dead; traffic then routes around the obstacle.
+  std::size_t replan_paths() override;
+
   // DyNoC-specific ------------------------------------------------------------
 
   /// Place at an explicit position (top-left of the PE rectangle); the

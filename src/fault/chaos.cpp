@@ -17,6 +17,7 @@
 #include "dynoc/dynoc.hpp"
 #include "fault/injector.hpp"
 #include "fault/reliable_channel.hpp"
+#include "health/health.hpp"
 #include "rmboc/rmboc.hpp"
 #include "sim/kernel.hpp"
 #include "sim/rng.hpp"
@@ -274,8 +275,14 @@ ChaosSchedule make_schedule(ChaosArch arch, std::uint64_t seed, int num_ops,
 }
 
 ChaosResult run_schedule(const ChaosSchedule& s, bool activity_driven) {
+  ChaosRunOptions opt;
+  opt.activity_driven = activity_driven;
+  return run_schedule(s, opt);
+}
+
+ChaosResult run_schedule(const ChaosSchedule& s, const ChaosRunOptions& opt) {
   sim::Kernel kernel;
-  kernel.set_activity_driven(activity_driven);
+  kernel.set_activity_driven(opt.activity_driven);
   Fixture fx = make_fixture(kernel, s.arch);
   core::CommArchitecture& arch = *fx.arch;
 
@@ -297,11 +304,34 @@ ChaosResult run_schedule(const ChaosSchedule& s, bool activity_driven) {
   rc.add_endpoint(kEndpointB);
   for (std::uint32_t id : kOpIds) rc.add_endpoint(id);
 
+  // The self-healing layer, fed exclusively from observable symptoms —
+  // the fault plan and injector stay invisible to it (plan-blindness is
+  // the point; a test asserts it).
+  std::unique_ptr<health::FailureDetector> detector;
+  std::unique_ptr<health::RecoveryOrchestrator> orch;
+  health::FailureDetector* det = nullptr;
+  if (opt.recovery) {
+    detector = std::make_unique<health::FailureDetector>(kernel, arch);
+    det = detector.get();
+    rc.set_event_hook(
+        [det](const ChannelEvent& ev) { det->observe_channel_event(ev); });
+    health::OrchestratorConfig oc;
+    oc.evac_txn.drain_timeout = 4'000;
+    oc.evac_txn.drain_stall_deadline = 1'000;
+    oc.evac_txn.txn_timeout = 25'000;
+    oc.evac_txn.on_drain_escalation =
+        [det](const std::vector<fpga::ModuleId>& m) {
+          det->observe_drain_escalation(m);
+        };
+    orch = std::make_unique<health::RecoveryOrchestrator>(
+        kernel, arch, *detector, &rc, &mgr, oc);
+  }
+
   // Issue every op as a transaction at its cycle. Transactions stay alive
   // (and visible) until the run ends.
   std::vector<std::unique_ptr<core::ReconfigTxn>> txns;
   for (const ChaosOp& op : s.ops) {
-    kernel.schedule_at(op.at, [&kernel, &mgr, &arch, &rc, &txns, op] {
+    kernel.schedule_at(op.at, [&kernel, &mgr, &arch, &rc, &txns, det, op] {
       core::TxnRequest req;
       req.id = op.id;
       req.old_id = op.old_id;
@@ -320,6 +350,10 @@ ChaosResult run_schedule(const ChaosSchedule& s, bool activity_driven) {
       tc.drain_timeout = 4'000;
       tc.drain_stall_deadline = 1'000;
       tc.txn_timeout = 25'000;
+      if (det)
+        tc.on_drain_escalation = [det](const std::vector<fpga::ModuleId>& m) {
+          det->observe_drain_escalation(m);
+        };
       auto txn = std::make_unique<core::ReconfigTxn>(kernel, mgr, arch,
                                                      std::move(req), tc);
       core::ReconfigTxn* t = txn.get();
@@ -394,7 +428,8 @@ ChaosResult run_schedule(const ChaosSchedule& s, bool activity_driven) {
       [&] {
         for (const auto& t : txns)
           if (!t->done()) return false;
-        return rc.outstanding() == 0;
+        if (rc.outstanding() != 0) return false;
+        return !orch || orch->idle();
       },
       250'000);
   drain_receives();
@@ -470,6 +505,84 @@ ChaosResult run_schedule(const ChaosSchedule& s, bool activity_driven) {
   for (const auto& d : sink.diagnostics())
     if (d.severity == verify::Severity::kError)
       violation("verify-error", "[" + d.rule + "] " + d.message);
+
+  if (orch) {
+    result.incidents = orch->incidents().size();
+    result.evacuations = orch->stats().counter_value("evacuations");
+    result.slo_json = orch->slo_json();
+
+    // Recovery invariant: every confirmed failure reaches RECOVERED or
+    // DEGRADED-STABLE, and does so within the recovery bound.
+    for (const auto& inc : orch->incidents()) {
+      switch (inc.outcome) {
+        case health::IncidentOutcome::kRecovered:
+          ++result.incidents_recovered;
+          break;
+        case health::IncidentOutcome::kDegradedStable:
+          ++result.incidents_degraded_stable;
+          break;
+        case health::IncidentOutcome::kOpen:
+          violation("unrecovered-incident",
+                    "incident " + std::to_string(inc.id) + " (" +
+                        inc.subject.to_string() + ", confirmed at cycle " +
+                        std::to_string(inc.confirmed_at) +
+                        ") still open at end of run");
+          continue;
+      }
+      const sim::Cycle ttr = inc.resolved_at - inc.confirmed_at;
+      if (ttr > opt.recovery_bound)
+        violation("unrecovered-incident",
+                  "incident " + std::to_string(inc.id) + " (" +
+                      inc.subject.to_string() + ") took " +
+                      std::to_string(ttr) + " cycles to resolve (bound " +
+                      std::to_string(opt.recovery_bound) + ")");
+    }
+
+    // Recovery invariant: the plan healed every fault before the horizon,
+    // so a healed region must be usable again. For DyNoC that is checked
+    // directly — every router not covered by a live placement must be
+    // active; for the others a probe module must attach unless the fabric
+    // is legitimately full (RMBoC: 4 slots, BUS-COM: 4 interface slots,
+    // CoNoChi: 8 switch ports free of wires in the fixed ring).
+    if (fx.dynoc) {
+      const std::vector<fpga::ModuleId> known = [] {
+        std::vector<fpga::ModuleId> v{kEndpointA, kEndpointB};
+        for (std::uint32_t id : kOpIds) v.push_back(id);
+        return v;
+      }();
+      for (int y = 0; y < kDynocSize; ++y) {
+        for (int x = 0; x < kDynocSize; ++x) {
+          const fpga::Point p{x, y};
+          bool covered = false;
+          for (fpga::ModuleId id : known) {
+            const auto r = fx.dynoc->region_of(id);
+            if (r && r->area() > 1 && x >= r->x && x < r->right() &&
+                y >= r->y && y < r->bottom()) {
+              covered = true;
+              break;
+            }
+          }
+          if (!covered && !fx.dynoc->router_active(p))
+            violation("healed-region-unusable",
+                      "router (" + std::to_string(x) + "," +
+                          std::to_string(y) +
+                          ") still inactive after every fault healed");
+        }
+      }
+    } else {
+      const std::size_t capacity = s.arch == ChaosArch::kConochi ? 8 : 4;
+      constexpr fpga::ModuleId kProbeId = 999;
+      if (arch.attach(kProbeId, unit_module())) {
+        arch.detach(kProbeId);
+      } else if (arch.attached_count() < capacity) {
+        violation("healed-region-unusable",
+                  "probe module " + std::to_string(kProbeId) +
+                      " cannot attach after every fault healed (" +
+                      std::to_string(arch.attached_count()) +
+                      " modules attached)");
+      }
+    }
+  }
 
   return result;
 }
@@ -606,7 +719,14 @@ void timeline_lint_schedule(const ChaosSchedule& s,
 }
 
 ChaosSchedule shrink_schedule(const ChaosSchedule& schedule) {
-  auto fails = [](const ChaosSchedule& c) { return !run_schedule(c).ok; };
+  return shrink_schedule(schedule, ChaosRunOptions{});
+}
+
+ChaosSchedule shrink_schedule(const ChaosSchedule& schedule,
+                              const ChaosRunOptions& opt) {
+  auto fails = [&opt](const ChaosSchedule& c) {
+    return !run_schedule(c, opt).ok;
+  };
   if (!fails(schedule)) return schedule;
   ChaosSchedule cur = schedule;
   bool progress = true;

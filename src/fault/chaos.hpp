@@ -53,9 +53,25 @@ ChaosSchedule make_schedule(ChaosArch arch, std::uint64_t seed,
 /// One end-to-end invariant breach found by run_schedule.
 struct ChaosViolation {
   /// "duplicate-delivery", "lost-payload", "half-attached", "txn-stuck",
-  /// "verify-error".
+  /// "verify-error"; with recovery enabled also "unrecovered-incident"
+  /// and "healed-region-unusable".
   std::string invariant;
   std::string detail;
+};
+
+struct ChaosRunOptions {
+  /// Kernel quiescence tracking + idle-cycle fast-forward (bit-identical
+  /// either way).
+  bool activity_driven = true;
+  /// Run the self-healing layer (health::FailureDetector +
+  /// health::RecoveryOrchestrator) alongside the schedule and enforce the
+  /// recovery invariants: every confirmed failure reaches RECOVERED or
+  /// DEGRADED-STABLE within recovery_bound cycles of confirmation,
+  /// exactly-once delivery holds across evacuations, and a healed region
+  /// is attachable again at the end of the run.
+  bool recovery = false;
+  /// Cycle budget from confirmation to resolution per incident.
+  sim::Cycle recovery_bound = 50'000;
 };
 
 struct ChaosResult {
@@ -67,6 +83,13 @@ struct ChaosResult {
   std::uint64_t txns_rolled_back = 0;
   std::uint64_t forced_drains = 0;
   sim::Cycle end_cycle = 0;
+  // Recovery-mode accounting (all zero when recovery is off).
+  std::uint64_t incidents = 0;
+  std::uint64_t incidents_recovered = 0;
+  std::uint64_t incidents_degraded_stable = 0;
+  std::uint64_t evacuations = 0;
+  /// Per-incident SLO export (health::RecoveryOrchestrator::slo_json).
+  std::string slo_json;
 };
 
 /// Execute a schedule: build the architecture and its fixed chaos
@@ -82,6 +105,14 @@ struct ChaosResult {
 /// idle-cycle fast-forward; results are bit-for-bit identical either way
 /// (the cross-check the determinism tests and `--no-fast-forward` rely
 /// on), only wall-clock differs.
+///
+/// With `options.recovery` the self-healing layer runs alongside: a
+/// FailureDetector fed only from observable symptoms, and a
+/// RecoveryOrchestrator escalating each confirmed failure through
+/// retry -> re-route -> evacuate -> degrade. The recovery invariants are
+/// then checked on top of the base ones.
+ChaosResult run_schedule(const ChaosSchedule& schedule,
+                         const ChaosRunOptions& options);
 ChaosResult run_schedule(const ChaosSchedule& schedule,
                          bool activity_driven = true);
 
@@ -98,7 +129,11 @@ void timeline_lint_schedule(const ChaosSchedule& schedule,
 /// Greedy delta-debugging: starting from a failing schedule, repeatedly
 /// drop ops and fault events and zero stochastic rates while the failure
 /// reproduces, until a fixed point. Returns the (still failing) minimal
-/// schedule; returns `schedule` unchanged if it does not fail.
+/// schedule; returns `schedule` unchanged if it does not fail. The
+/// options-taking overload shrinks against the same run mode the failure
+/// was found under (e.g. recovery invariants).
+ChaosSchedule shrink_schedule(const ChaosSchedule& schedule,
+                              const ChaosRunOptions& options);
 ChaosSchedule shrink_schedule(const ChaosSchedule& schedule);
 
 /// Line-oriented text form of a schedule (stable across versions the

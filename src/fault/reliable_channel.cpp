@@ -81,6 +81,10 @@ sim::Cycle ReliableChannel::jittered(sim::Cycle timeout) {
 
 bool ReliableChannel::send(proto::Packet p) {
   if (!endpoints_.count(p.src)) return false;
+  if (admission_ && !admission_(p)) {
+    stats_.counter("admission_shed").add();
+    return false;
+  }
   TxFlow& flow = tx_[{p.src, p.dst}];
   if (flow.dead) return false;
   if (flow.pending.size() >= cfg_.window) return false;
@@ -101,6 +105,7 @@ bool ReliableChannel::send(proto::Packet p) {
     pd.rejects = 1;
     pd.next_retry = kernel().now() + 1;
     stats_.counter("send_rejects").add();
+    emit(ChannelEvent::Kind::kSendReject, {p.src, p.dst});
   }
   flow.pending.emplace(p.seq, pd);
   return true;
@@ -170,11 +175,81 @@ void ReliableChannel::handle_data(fpga::ModuleId at, const proto::Packet& p) {
   ++delivered_total_;
 }
 
-void ReliableChannel::kill_flow(TxFlow& flow) {
+void ReliableChannel::emit(ChannelEvent::Kind kind, const FlowKey& key,
+                           unsigned attempts) {
+  if (!event_hook_) return;
+  ChannelEvent ev;
+  ev.kind = kind;
+  ev.src = key.first;
+  ev.dst = key.second;
+  ev.attempts = attempts;
+  event_hook_(ev);
+}
+
+void ReliableChannel::kill_flow(const FlowKey& key, TxFlow& flow) {
   stats_.counter("unrecoverable").add(
       static_cast<std::uint64_t>(flow.pending.size()));
+  // Park rather than discard: a later resurrect() re-pends these with
+  // their original sequence numbers so exactly-once still holds.
+  flow.parked.merge(flow.pending);
   flow.pending.clear();
   flow.dead = true;
+  emit(ChannelEvent::Kind::kFlowDead, key);
+}
+
+bool ReliableChannel::resurrect_flow(const FlowKey& key, TxFlow& flow) {
+  if (!flow.dead) return false;
+  flow.dead = false;
+  const sim::Cycle now = kernel().now();
+  stats_.counter("flows_resurrected").add();
+  stats_.counter("resurrected_packets")
+      .add(static_cast<std::uint64_t>(flow.parked.size()));
+  for (auto& [seq, pd] : flow.parked) {
+    pd.attempts = 0;
+    pd.rejects = 0;
+    pd.timeout = cfg_.base_timeout;
+    pd.next_retry = now + 1;
+    flow.pending.emplace(seq, std::move(pd));
+  }
+  flow.parked.clear();
+  emit(ChannelEvent::Kind::kFlowResurrected, key);
+  set_active(true);  // pending retries need the eval loop again
+  return true;
+}
+
+bool ReliableChannel::resurrect(fpga::ModuleId src, fpga::ModuleId dst) {
+  auto it = tx_.find({src, dst});
+  if (it == tx_.end()) return false;
+  return resurrect_flow(it->first, it->second);
+}
+
+std::size_t ReliableChannel::resurrect_involving(fpga::ModuleId involving) {
+  std::size_t n = 0;
+  for (auto& [key, flow] : tx_)
+    if (key.first == involving || key.second == involving)
+      if (resurrect_flow(key, flow)) ++n;
+  return n;
+}
+
+std::size_t ReliableChannel::resurrect_all() {
+  std::size_t n = 0;
+  for (auto& [key, flow] : tx_)
+    if (resurrect_flow(key, flow)) ++n;
+  return n;
+}
+
+std::size_t ReliableChannel::parked() const {
+  std::size_t n = 0;
+  for (const auto& [key, flow] : tx_) n += flow.parked.size();
+  return n;
+}
+
+std::size_t ReliableChannel::parked(fpga::ModuleId involving) const {
+  std::size_t n = 0;
+  for (const auto& [key, flow] : tx_)
+    if (key.first == involving || key.second == involving)
+      n += flow.parked.size();
+  return n;
 }
 
 void ReliableChannel::pump_retransmissions() {
@@ -189,19 +264,24 @@ void ReliableChannel::pump_retransmissions() {
       }
       if (pd.attempts >= cfg_.max_retries ||
           pd.rejects >= cfg_.max_send_rejects) {
-        kill_flow(flow);
+        kill_flow(key, flow);
         break;  // pending is gone; iterator invalid
       }
       if (arch_.send(pd.packet)) {
         ++pd.attempts;
         pd.rejects = 0;
-        if (pd.attempts > 1) stats_.counter("retransmissions").add();
-        else stats_.counter("data_sent").add();  // first accepted try
+        if (pd.attempts > 1) {
+          stats_.counter("retransmissions").add();
+          emit(ChannelEvent::Kind::kRetransmission, key, pd.attempts);
+        } else {
+          stats_.counter("data_sent").add();  // first accepted try
+        }
         pd.timeout = std::min(pd.timeout * 2, cfg_.max_timeout);
         pd.next_retry = now + jittered(pd.timeout);
       } else {
         ++pd.rejects;
         stats_.counter("send_rejects").add();
+        emit(ChannelEvent::Kind::kSendReject, key, pd.attempts);
         pd.next_retry = now + 1 + rng_.index(4);
       }
       ++it;

@@ -2,6 +2,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <map>
 #include <optional>
 #include <set>
@@ -14,6 +15,24 @@
 #include "sim/stats.hpp"
 
 namespace recosim::fault {
+
+/// Observable event on a reliable flow, published through the channel's
+/// event hook. This is the symptom stream the health layer's failure
+/// detector feeds on: it carries only what a real endpoint could observe
+/// about its own traffic (timeouts, rejected injections, a retry budget
+/// running out) — never anything about injected fault plans.
+struct ChannelEvent {
+  enum class Kind {
+    kRetransmission,   ///< an ACK timed out; the packet was re-sent
+    kSendReject,       ///< the network refused a (re)transmission
+    kFlowDead,         ///< retry budget exhausted; flow declared dead
+    kFlowResurrected,  ///< a dead flow was brought back by resurrect()
+  };
+  Kind kind = Kind::kRetransmission;
+  fpga::ModuleId src = fpga::kInvalidModule;
+  fpga::ModuleId dst = fpga::kInvalidModule;
+  unsigned attempts = 0;  ///< transmissions so far (kRetransmission)
+};
 
 struct ReliableChannelConfig {
   /// Cycles to wait for an ACK before the first retransmission.
@@ -69,6 +88,44 @@ class ReliableChannel final : public sim::Component {
 
   bool peer_dead(fpga::ModuleId src, fpga::ModuleId dst) const;
 
+  /// Bring a dead flow back (the fabric healed, the peer was evacuated to
+  /// a reachable region, ...): packets parked when the flow was declared
+  /// dead re-enter the retransmission schedule with their *original*
+  /// sequence numbers and a fresh retry budget. The receiver's dedup
+  /// state is never discarded, so a parked packet whose earlier delivery
+  /// merely lost its ACK is suppressed on arrival — exactly-once survives
+  /// a fail -> heal -> resend cycle. Returns true when (src, dst) was
+  /// dead and is now live again.
+  bool resurrect(fpga::ModuleId src, fpga::ModuleId dst);
+
+  /// resurrect() every dead flow with `involving` as either endpoint.
+  /// Returns the number of flows brought back.
+  std::size_t resurrect_involving(fpga::ModuleId involving);
+
+  /// resurrect() every dead flow (a fabric-wide resource healed).
+  std::size_t resurrect_all();
+
+  /// Packets parked on dead flows, waiting for a resurrect().
+  std::size_t parked() const;
+
+  /// Parked packets on dead flows with `involving` as either endpoint.
+  std::size_t parked(fpga::ModuleId involving) const;
+
+  /// Observable-symptom feed (see ChannelEvent). One hook per channel;
+  /// install an empty function to remove it.
+  void set_event_hook(std::function<void(const ChannelEvent&)> hook) {
+    event_hook_ = std::move(hook);
+  }
+
+  /// Degraded-mode admission control: when installed, send() consults the
+  /// hook before sequencing a *new* packet and rejects (returns false,
+  /// counted "admission_shed") those it declines. Retransmissions and
+  /// ACKs of already-sequenced packets are never shed — shedding load
+  /// must not break in-flight exactly-once exchanges.
+  void set_admission_control(std::function<bool(const proto::Packet&)> admit) {
+    admission_ = std::move(admit);
+  }
+
   /// Unique data packets handed to the application (watchdog progress).
   std::uint64_t delivered_total() const { return delivered_total_; }
   /// Unacknowledged packets across all live flows (watchdog pending).
@@ -80,7 +137,8 @@ class ReliableChannel final : public sim::Component {
 
   /// Counters: "data_sent", "retransmissions", "acks_sent",
   /// "acks_received", "duplicates_dropped", "unrecoverable",
-  /// "send_rejects".
+  /// "send_rejects", "flows_resurrected", "resurrected_packets",
+  /// "admission_shed".
   const sim::StatSet& stats() const { return stats_; }
 
   void eval() override;
@@ -107,6 +165,9 @@ class ReliableChannel final : public sim::Component {
   struct TxFlow {
     std::uint64_t next_seq = 1;
     std::map<std::uint64_t, Pending> pending;
+    /// Packets in flight when the flow was declared dead, kept (with
+    /// their sequence numbers) for a later resurrect().
+    std::map<std::uint64_t, Pending> parked;
     bool dead = false;
   };
 
@@ -121,7 +182,10 @@ class ReliableChannel final : public sim::Component {
   void handle_ack(fpga::ModuleId at, const proto::Packet& ack);
   void handle_data(fpga::ModuleId at, const proto::Packet& p);
   void pump_retransmissions();
-  void kill_flow(TxFlow& flow);
+  void kill_flow(const FlowKey& key, TxFlow& flow);
+  bool resurrect_flow(const FlowKey& key, TxFlow& flow);
+  void emit(ChannelEvent::Kind kind, const FlowKey& key,
+            unsigned attempts = 0);
 
   core::CommArchitecture& arch_;
   ReliableChannelConfig cfg_;
@@ -131,6 +195,8 @@ class ReliableChannel final : public sim::Component {
   std::map<FlowKey, RxFlow> rx_;
   std::map<fpga::ModuleId, std::deque<proto::Packet>> app_queue_;
   std::uint64_t delivered_total_ = 0;
+  std::function<void(const ChannelEvent&)> event_hook_;
+  std::function<bool(const proto::Packet&)> admission_;
   sim::StatSet stats_;
 };
 

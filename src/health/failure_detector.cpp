@@ -1,0 +1,228 @@
+#include "health/health.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "sim/kernel.hpp"
+#include "verify/diagnostic.hpp"
+
+namespace recosim::health {
+
+std::string Subject::to_string() const {
+  if (kind == Kind::kModule) return "module " + std::to_string(module);
+  return resource;
+}
+
+const char* to_string(HealthState s) {
+  switch (s) {
+    case HealthState::kHealthy: return "healthy";
+    case HealthState::kSuspect: return "suspect";
+    case HealthState::kConfirmed: return "confirmed";
+  }
+  return "?";
+}
+
+FailureDetector::FailureDetector(sim::Kernel& kernel,
+                                 core::CommArchitecture& arch,
+                                 DetectorConfig cfg, std::string name)
+    : sim::Component(kernel, std::move(name)), arch_(arch), cfg_(cfg) {
+  set_ff_pollable(true);
+  next_poll_ = kernel.now() + cfg_.poll_interval;
+}
+
+void FailureDetector::note(const Subject& subject, double weight) {
+  if (weight <= 0.0) return;
+  Entry& e = entries_[subject];
+  if (e.pending == 0.0 && e.score == 0.0 &&
+      e.state == HealthState::kHealthy)
+    e.first_symptom = kernel().now();
+  e.pending += weight;
+  stats_.counter("symptoms").add();
+}
+
+void FailureDetector::observe_symptom(const Subject& subject,
+                                      double weight) {
+  note(subject, weight);
+}
+
+void FailureDetector::observe_channel_event(const fault::ChannelEvent& ev) {
+  using Kind = fault::ChannelEvent::Kind;
+  switch (ev.kind) {
+    case Kind::kRetransmission: {
+      // attempts == 2 is one lost packet — barely evidence. Consecutive
+      // timeouts of the same packet (attempts >= 3) scale up: something
+      // is persistently eating this flow's traffic.
+      const double w =
+          ev.attempts >= 3
+              ? std::min(cfg_.w_retransmission *
+                             static_cast<double>(ev.attempts - 2),
+                         cfg_.w_retransmission_cap)
+              : cfg_.w_retransmission_mild;
+      note(Subject::of_module(ev.dst), w);
+      note(Subject::of_module(ev.src), w * 0.5);
+      break;
+    }
+    case Kind::kSendReject:
+      // Rejects arrive in storms (a retry every few cycles against a
+      // closed door), and routine quiesces cause them too — weigh each
+      // one lightly and let the storm itself carry the signal.
+      note(Subject::of_module(ev.dst), cfg_.w_send_reject);
+      note(Subject::of_module(ev.src), cfg_.w_send_reject * 0.5);
+      break;
+    case Kind::kFlowDead:
+      note(Subject::of_module(ev.dst), cfg_.w_flow_death);
+      note(Subject::of_module(ev.src), cfg_.w_flow_death * 0.5);
+      standing_dead_.insert({ev.src, ev.dst});
+      break;
+    case Kind::kFlowResurrected:
+      standing_dead_.erase({ev.src, ev.dst});
+      break;
+  }
+}
+
+void FailureDetector::observe_drain_escalation(
+    const std::vector<fpga::ModuleId>& modules) {
+  for (fpga::ModuleId m : modules)
+    note(Subject::of_module(m), cfg_.w_drain_escalation);
+}
+
+HealthState FailureDetector::state(const Subject& subject) const {
+  auto it = entries_.find(subject);
+  return it == entries_.end() ? HealthState::kHealthy : it->second.state;
+}
+
+double FailureDetector::score(const Subject& subject) const {
+  auto it = entries_.find(subject);
+  return it == entries_.end() ? 0.0 : it->second.score;
+}
+
+std::vector<Subject> FailureDetector::confirmed() const {
+  std::vector<Subject> out;
+  for (const auto& [s, e] : entries_)
+    if (e.state == HealthState::kConfirmed) out.push_back(s);
+  return out;
+}
+
+std::optional<sim::Cycle> FailureDetector::first_symptom_at(
+    const Subject& subject) const {
+  auto it = entries_.find(subject);
+  if (it == entries_.end() || it->second.state == HealthState::kHealthy)
+    return std::nullopt;
+  return it->second.first_symptom;
+}
+
+std::optional<sim::Cycle> FailureDetector::suspect_at(
+    const Subject& subject) const {
+  auto it = entries_.find(subject);
+  if (it == entries_.end() || it->second.state == HealthState::kHealthy)
+    return std::nullopt;
+  return it->second.became_suspect;
+}
+
+std::optional<sim::Cycle> FailureDetector::confirmed_at(
+    const Subject& subject) const {
+  auto it = entries_.find(subject);
+  if (it == entries_.end() || it->second.state != HealthState::kConfirmed)
+    return std::nullopt;
+  return it->second.became_confirmed;
+}
+
+void FailureDetector::eval() {
+  if (kernel().now() < next_poll_) return;
+  poll();
+  next_poll_ = kernel().now() + cfg_.poll_interval;
+}
+
+void FailureDetector::poll() {
+  const sim::Cycle now = kernel().now();
+  stats_.counter("polls").add();
+
+  // Standing conditions: a flow that stays dead keeps scoring against its
+  // endpoints until someone resurrects it (or it really was transient and
+  // the resurrection probe brings it back, clearing the condition).
+  for (const auto& [src, dst] : standing_dead_) {
+    note(Subject::of_module(dst), cfg_.w_standing_dead);
+    note(Subject::of_module(src), cfg_.w_standing_dead * 0.5);
+  }
+
+  // CRC seal failures (comm_arch counts every dropped corrupt packet).
+  const std::uint64_t crc = arch_.stats().counter_value("crc_dropped");
+  if (crc > last_crc_dropped_) {
+    note(Subject::of_resource("crc-seal"),
+         cfg_.w_crc * static_cast<double>(crc - last_crc_dropped_));
+    last_crc_dropped_ = crc;
+  }
+
+  // The architecture's own structural invariant checker: warnings name
+  // either a module ("module N") or a fabric resource.
+  verify::DiagnosticSink sink;
+  arch_.verify_invariants(sink);
+  for (const auto& d : sink.diagnostics()) {
+    if (d.severity != verify::Severity::kWarning &&
+        d.severity != verify::Severity::kError)
+      continue;
+    const std::string& obj = d.location.object;
+    Subject subject;
+    int id = 0;
+    if (std::sscanf(obj.c_str(), "module %d", &id) == 1)
+      subject = Subject::of_module(static_cast<fpga::ModuleId>(id));
+    else
+      subject = Subject::of_resource(d.rule + ":" + obj);
+    note(subject, cfg_.w_verifier_warning);
+  }
+
+  // Decay, transitions, hooks.
+  for (auto& [subject, e] : entries_) {
+    const bool symptomatic = e.pending > 0.0;
+    e.score = e.score * cfg_.decay + e.pending;
+    e.pending = 0.0;
+    switch (e.state) {
+      case HealthState::kHealthy:
+        if (e.score >= cfg_.suspect_threshold) {
+          e.state = HealthState::kSuspect;
+          e.became_suspect = now;
+          e.polls_above_confirm = 0;
+          stats_.counter("suspects").add();
+        } else if (!symptomatic && e.score < 0.01) {
+          e.score = 0.0;  // forgotten; next symptom starts a new episode
+        }
+        break;
+      case HealthState::kSuspect:
+        if (e.score >= cfg_.confirm_threshold) {
+          if (++e.polls_above_confirm >= cfg_.confirm_debounce_polls) {
+            e.state = HealthState::kConfirmed;
+            e.became_confirmed = now;
+            e.symptom_free_polls = 0;
+            stats_.counter("confirms").add();
+            for (const auto& hook : confirmed_hooks_) hook(subject, now);
+          }
+        } else {
+          e.polls_above_confirm = 0;
+          // Hysteresis: fall back only once the score decays well below
+          // the suspect threshold, so a subject does not flap at the
+          // boundary.
+          if (e.score < cfg_.suspect_threshold * 0.5)
+            e.state = HealthState::kHealthy;
+        }
+        break;
+      case HealthState::kConfirmed:
+        if (symptomatic)
+          e.symptom_free_polls = 0;
+        else
+          ++e.symptom_free_polls;
+        if (e.symptom_free_polls >= cfg_.clear_after_polls &&
+            e.score < cfg_.suspect_threshold) {
+          e.state = HealthState::kHealthy;
+          e.score = 0.0;
+          e.polls_above_confirm = 0;
+          e.symptom_free_polls = 0;
+          stats_.counter("clears").add();
+          for (const auto& hook : cleared_hooks_) hook(subject, now);
+        }
+        break;
+    }
+  }
+}
+
+}  // namespace recosim::health

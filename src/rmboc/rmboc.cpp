@@ -30,6 +30,9 @@ Rmboc::Rmboc(sim::Kernel& kernel, const RmbocConfig& config)
 bool Rmboc::attach(fpga::ModuleId id, const fpga::HardwareModule&) {
   if (id == fpga::kInvalidModule || slot_by_module_.count(id)) return false;
   for (int s = 0; s < config_.slots; ++s) {
+    // A slot behind a failed cross-point is isolated; placing a module
+    // there (e.g. an evacuation) would strand it, so skip it.
+    if (failed_xp_.count(s)) continue;
     if (module_by_slot_[static_cast<std::size_t>(s)] == fpga::kInvalidModule) {
       module_by_slot_[static_cast<std::size_t>(s)] = id;
       slot_by_module_[id] = s;
@@ -342,6 +345,38 @@ bool Rmboc::fail_node(int slot, int) {
   wake_network();
   debug_check_invariants();
   return true;
+}
+
+std::size_t Rmboc::replan_paths() {
+  std::size_t replanned = 0;
+  for (auto& [id, c] : channels_) {
+    if (c.bus_per_segment.empty()) continue;
+    // A channel whose endpoints sit on or behind a failed cross-point
+    // has no alternative on the 1-D bus; leave it for heal/evacuation.
+    const int lo = std::min(c.src_slot, c.dst_slot);
+    const int hi = std::max(c.src_slot, c.dst_slot);
+    bool crosses_dead_xp = false;
+    for (int s = lo; s <= hi && !crosses_dead_xp; ++s)
+      crosses_dead_xp = failed_xp_.count(s) > 0;
+    if (crosses_dead_xp) continue;
+    const int dir = direction(c);
+    bool broken = false;
+    for (std::size_t i = 0; i < c.bus_per_segment.size() && !broken; ++i) {
+      const int from = c.src_slot + dir * static_cast<int>(i);
+      const int seg = segment_between(from, from + dir);
+      for (int bus : c.bus_per_segment[i])
+        if (!lane_usable(seg, bus)) {
+          broken = true;
+          break;
+        }
+    }
+    if (!broken) continue;
+    replan_channel(c);
+    stats().counter("recovered_paths").add();
+    ++replanned;
+  }
+  if (replanned) wake_network();
+  return replanned;
 }
 
 bool Rmboc::heal_node(int slot, int) {

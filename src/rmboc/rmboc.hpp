@@ -92,6 +92,11 @@ class Rmboc final : public core::CommArchitecture, public sim::Component {
   bool fail_link(int segment, int bus) override;
   bool heal_link(int segment, int bus) override;
 
+  /// Re-establish every channel holding a reservation on a lane that has
+  /// since become unusable (failed lane or bounding cross-point); the new
+  /// REQUEST picks healthy buses segment by segment.
+  std::size_t replan_paths() override;
+
   // RMBoC-specific ------------------------------------------------------------
 
   /// Slot a module is attached to.

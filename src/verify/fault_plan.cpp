@@ -226,7 +226,142 @@ const char* node_noun(const Scenario& topo) {
   return topo.arch == ArchKind::kBuscom ? "bus" : "switch";
 }
 
+/// Modules with a placement in the topology — the ones FLT005 can strand.
+std::vector<int> placed_modules(const Scenario& topo) {
+  std::vector<int> out;
+  for (const auto& [id, s] : topo.rmboc_slot) out.push_back(id);
+  for (const auto& [id, p] : topo.dynoc_place) out.push_back(id);
+  for (const auto& [id, p] : topo.conochi_attach) out.push_back(id);
+  return out;
+}
+
 }  // namespace
+
+std::string no_evacuation_target(
+    const Scenario& topo, int module_id,
+    const std::set<std::pair<int, int>>& failed_nodes) {
+  // 1-D architectures key node faults on the first coordinate only.
+  const auto failed_1d = [&failed_nodes](int a) {
+    for (const auto& f : failed_nodes)
+      if (f.first == a) return true;
+    return false;
+  };
+  const auto size_of = [&topo](int id, int& w, int& h) {
+    w = h = 1;
+    for (const auto& m : topo.modules)
+      if (m.id == id) {
+        w = m.width;
+        h = m.height;
+        return;
+      }
+  };
+  switch (topo.arch) {
+    case ArchKind::kRmboc: {
+      const auto it = topo.rmboc_slot.find(module_id);
+      if (it == topo.rmboc_slot.end()) return {};
+      const int own = it->second;
+      if (!failed_1d(own)) return {};
+      const int slots = static_cast<int>(topo.setting("slots", 4));
+      std::set<int> occupied;
+      for (const auto& [id, s] : topo.rmboc_slot)
+        if (id != module_id) occupied.insert(s);
+      for (int s = 0; s < slots; ++s)
+        if (s != own && !failed_1d(s) && !occupied.count(s)) return {};
+      return "module " + std::to_string(module_id) + " at cross-point slot " +
+             std::to_string(own) +
+             ": the slot is failed and every other slot is failed or "
+             "occupied";
+    }
+    case ArchKind::kDynoc: {
+      const auto it = topo.dynoc_place.find(module_id);
+      if (it == topo.dynoc_place.end()) return {};
+      int w = 1, h = 1;
+      size_of(module_id, w, h);
+      const fpga::Rect own{it->second.x, it->second.y, w, h};
+      bool hit = false;
+      for (const auto& f : failed_nodes)
+        if (own.contains({f.first, f.second})) {
+          hit = true;
+          break;
+        }
+      if (!hit) return {};
+      const int gw = static_cast<int>(topo.setting("width", 5));
+      const int gh = static_cast<int>(topo.setting("height", 5));
+      // The evacuee's own region frees up; everything else stays put.
+      std::vector<fpga::Rect> others;
+      for (const auto& [id, p] : topo.dynoc_place) {
+        if (id == module_id) continue;
+        int ow = 1, oh = 1;
+        size_of(id, ow, oh);
+        others.push_back({p.x, p.y, ow, oh});
+      }
+      for (int y = 1; y + h < gh; ++y) {
+        for (int x = 1; x + w < gw; ++x) {
+          const fpga::Rect cand{x, y, w, h};
+          bool ok = true;
+          for (const auto& f : failed_nodes)
+            if (cand.contains({f.first, f.second})) {
+              ok = false;
+              break;
+            }
+          // S-XY needs the router ring: keep a one-tile gap to the others.
+          if (ok)
+            for (const auto& o : others)
+              if (cand.inflated().overlaps(o)) {
+                ok = false;
+                break;
+              }
+          if (ok) return {};
+        }
+      }
+      return "module " + std::to_string(module_id) + " placed at (" +
+             std::to_string(own.x) + "," + std::to_string(own.y) + ") " +
+             std::to_string(w) + "x" + std::to_string(h) +
+             ": a router inside its region is failed and no alternative "
+             "placement avoids the failed routers and the other modules";
+    }
+    case ArchKind::kConochi: {
+      const auto it = topo.conochi_attach.find(module_id);
+      if (it == topo.conochi_attach.end()) return {};
+      const fpga::Point own = it->second;
+      if (!failed_nodes.count({own.x, own.y})) return {};
+      // Ports a switch loses to wire runs: a straight run connects to the
+      // switches one tile beyond each of its ends, in line.
+      const auto wire_ports = [&topo](const fpga::Point& s) {
+        int used = 0;
+        for (const auto& wire : topo.wires) {
+          if (wire.a.x == wire.b.x) {
+            const int lo = std::min(wire.a.y, wire.b.y);
+            const int hi = std::max(wire.a.y, wire.b.y);
+            if (s.x == wire.a.x && (s.y == lo - 1 || s.y == hi + 1)) ++used;
+          } else if (wire.a.y == wire.b.y) {
+            const int lo = std::min(wire.a.x, wire.b.x);
+            const int hi = std::max(wire.a.x, wire.b.x);
+            if (s.y == wire.a.y && (s.x == lo - 1 || s.x == hi + 1)) ++used;
+          }
+        }
+        return used;
+      };
+      constexpr int kSwitchPorts = 4;
+      for (const auto& s : topo.switches) {
+        if (s.x == own.x && s.y == own.y) continue;
+        if (failed_nodes.count({s.x, s.y})) continue;
+        int attached = 0;
+        for (const auto& [id, p] : topo.conochi_attach)
+          if (id != module_id && p.x == s.x && p.y == s.y) ++attached;
+        if (attached < kSwitchPorts - wire_ports(s)) return {};
+      }
+      return "module " + std::to_string(module_id) + " attached at (" +
+             std::to_string(own.x) + "," + std::to_string(own.y) +
+             "): the switch is failed and no healthy switch has a free "
+             "port";
+    }
+    case ArchKind::kBuscom:
+    case ArchKind::kNone:
+      return {};
+  }
+  return {};
+}
 
 void check_fault_plan(const FaultPlanDoc& plan, const Scenario* topology,
                       DiagnosticSink& sink) {
@@ -251,6 +386,7 @@ void check_fault_plan(const FaultPlanDoc& plan, const Scenario* topology,
   std::set<Key> failed_nodes;
   std::set<Key> failed_links;
   const std::size_t universe = topology ? node_universe(*topology) : 0;
+  std::set<int> evac_warned;  ///< FLT005 fires once per module per plan
 
   for (const auto* ev : order) {
     using Kind = FaultPlanDoc::Kind;
@@ -286,6 +422,25 @@ void check_fault_plan(const FaultPlanDoc& plan, const Scenario* topology,
                           "es — total blackout at cycle " +
                           std::to_string(ev->at),
                       "heal another node first or drop this event");
+        }
+        // FLT005 — this failure leaves a placed module with nowhere to be
+        // evacuated to; the recovery orchestrator's evacuation rung can
+        // only fail and the incident degrades. (The static pass treats
+        // every placement in the scenario as live; the timeline pass
+        // refines this with the actual lifecycle.)
+        if (!is_link && topology) {
+          for (int id : placed_modules(*topology)) {
+            if (evac_warned.count(id)) continue;
+            if (std::string why =
+                    no_evacuation_target(*topology, id, failed_nodes);
+                !why.empty()) {
+              evac_warned.insert(id);
+              sink.report("FLT005", Severity::kWarning,
+                          line_loc(plan.source, ev->line, ev->column), why,
+                          "stagger the failures or heal a resource first "
+                          "so an evacuation target survives");
+            }
+          }
         }
         break;
       case Kind::kNodeHeal:

@@ -1,7 +1,9 @@
 #pragma once
 
 #include <optional>
+#include <set>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "verify/diagnostic.hpp"
@@ -69,5 +71,16 @@ std::optional<FaultPlanDoc> parse_fault_plan_file(const std::string& path,
 /// run (FLT001 heal ordering, FLT004 rate ranges).
 void check_fault_plan(const FaultPlanDoc& plan, const Scenario* topology,
                       DiagnosticSink& sink);
+
+/// FLT005 core, shared between the static plan walk and the timeline
+/// verifier: with `failed_nodes` down, does the module placed in `topo`
+/// still have somewhere it could be evacuated to? Returns the explanation
+/// when its own region is failed and every alternative (slot, placement
+/// position, switch port) is failed or occupied; empty when the module is
+/// unplaced, unaffected, or a target exists. BUS-COM has no placement
+/// regions, so it never fires there.
+std::string no_evacuation_target(
+    const Scenario& topo, int module_id,
+    const std::set<std::pair<int, int>>& failed_nodes);
 
 }  // namespace recosim::verify

@@ -166,6 +166,10 @@ inline constexpr RuleInfo kRules[] = {
      "graceful degradation is possible and the run can only time out"},
     {"FLT004", "rate-out-of-range", Severity::kError, "-",
      "a stochastic injection rate lies outside [0, 1]"},
+    {"FLT005", "no-evacuation-target", Severity::kWarning, "4.2",
+     "a failure strands a live module with no region it could be "
+     "evacuated to (every alternative slot/placement/switch is failed or "
+     "occupied); recovery can only degrade, never relocate"},
 };
 
 inline const RuleInfo* find_rule(std::string_view id) {

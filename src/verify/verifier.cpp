@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "core/comm_arch.hpp"
+#include "verify/fault_plan.hpp"
 
 namespace recosim::verify {
 
@@ -638,6 +639,22 @@ void Verifier::timeline_step(const TimelineStep& st, DiagnosticSink& sink) {
     case ArchKind::kDynoc: timeline_step_dynoc(st, sink); break;
     case ArchKind::kConochi: timeline_step_conochi(st, sink); break;
     case ArchKind::kNone: break;
+  }
+
+  // FLT005 — cross-architecture: during this window a module that is
+  // actually live has its region failed and no surviving evacuation
+  // target. Sharper than the static plan walk, which must assume every
+  // declared placement is live at once.
+  const std::string comp = to_string(st.snapshot.arch);
+  for (const auto& m : st.snapshot.modules) {
+    if (std::string why =
+            no_evacuation_target(st.snapshot, m.id, st.failed_nodes);
+        !why.empty()) {
+      sink.report("FLT005", Severity::kWarning,
+                  {comp, "module " + std::to_string(m.id)}, why,
+                  "stagger the failures or heal a resource first so an "
+                  "evacuation target survives");
+    }
   }
 }
 

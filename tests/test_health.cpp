@@ -1,0 +1,562 @@
+// The self-healing layer, end to end: ReliableChannel resurrection with
+// sequence-state reconciliation, the symptom-only FailureDetector, and the
+// RecoveryOrchestrator's ladder across all four architectures.
+//
+// Plan-blindness is asserted structurally: this file never constructs a
+// fault::FaultInjector or a fault plan. Every failure is a direct
+// architecture mutation (fail_node / fail_link), so the only way the
+// detector can confirm anything is through observable symptoms — channel
+// events, standing dead flows, and the architecture's invariant checker.
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <limits>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "buscom/buscom.hpp"
+#include "conochi/conochi.hpp"
+#include "core/reconfig_manager.hpp"
+#include "dynoc/dynoc.hpp"
+#include "fault/reliable_channel.hpp"
+#include "health/health.hpp"
+#include "rmboc/rmboc.hpp"
+
+namespace recosim {
+namespace {
+
+fpga::HardwareModule unit_module() {
+  fpga::HardwareModule m;
+  m.width_clbs = 1;
+  m.height_clbs = 1;
+  return m;
+}
+
+// Small tile-reconfigurable device so evacuation ICAP transfers take
+// hundreds of cycles, not tens of thousands.
+fpga::Device test_device() {
+  fpga::Device d;
+  d.name = "health_small";
+  d.clb_columns = 24;
+  d.clb_rows = 16;
+  d.granularity = fpga::ReconfigGranularity::kTile;
+  d.frames_per_clb_column = 4;
+  d.bits_per_frame = 256;
+  d.icap_width_bits = 32;
+  d.icap_clock_mhz = 100.0;
+  return d;
+}
+
+/// One continuous reliable stream src -> dst. pump() retries the same tag
+/// until send() accepts it, so admission shedding and dead-flow rejections
+/// stall the stream instead of losing tags — every accepted tag must
+/// eventually be delivered exactly once.
+struct Stream {
+  Stream(fault::ReliableChannel& channel, fpga::ModuleId from,
+         fpga::ModuleId to, sim::Cycle send_gap)
+      : rc(channel), src(from), dst(to), gap(send_gap) {}
+
+  fault::ReliableChannel& rc;
+  fpga::ModuleId src;
+  fpga::ModuleId dst;
+  sim::Cycle gap;
+  std::uint64_t limit = std::numeric_limits<std::uint64_t>::max();
+  std::uint64_t accepted = 0;
+  std::uint64_t next_tag = 1;
+  sim::Cycle next_send = 0;
+  std::map<std::uint64_t, int> got;
+
+  void pump(sim::Kernel& kernel) {
+    if (accepted < limit && kernel.now() >= next_send) {
+      proto::Packet p;
+      p.src = src;
+      p.dst = dst;
+      p.payload_bytes = 16;
+      p.tag = next_tag;
+      if (rc.send(p)) {
+        ++accepted;
+        ++next_tag;
+      }
+      next_send = kernel.now() + gap;
+    }
+    while (auto p = rc.receive(dst)) ++got[p->tag];
+  }
+
+  bool all_delivered() const {
+    return got.size() == static_cast<std::size_t>(accepted);
+  }
+
+  void expect_exactly_once() const {
+    EXPECT_EQ(got.size(), static_cast<std::size_t>(accepted));
+    for (const auto& [tag, count] : got) EXPECT_EQ(count, 1) << "tag " << tag;
+  }
+};
+
+/// Step the kernel cycle by cycle until `done()` holds or `budget` cycles
+/// pass. Returns whether `done()` held.
+bool run_until(sim::Kernel& kernel, sim::Cycle budget,
+               const std::function<bool()>& done) {
+  const sim::Cycle end = kernel.now() + budget;
+  while (kernel.now() < end) {
+    if (done()) return true;
+    kernel.run(1);
+  }
+  return done();
+}
+
+/// Same, pumping every stream each cycle.
+bool advance(sim::Kernel& kernel, const std::vector<Stream*>& streams,
+             sim::Cycle budget, const std::function<bool()>& done) {
+  const sim::Cycle end = kernel.now() + budget;
+  while (kernel.now() < end) {
+    if (done()) return true;
+    for (Stream* s : streams) s->pump(kernel);
+    kernel.run(1);
+    for (Stream* s : streams) s->pump(kernel);
+  }
+  return done();
+}
+
+bool advance(sim::Kernel& kernel, Stream& s, sim::Cycle budget,
+             const std::function<bool()>& done) {
+  return advance(kernel, std::vector<Stream*>{&s}, budget, done);
+}
+
+// --- ReliableChannel: resurrection reconciles sequence state ---------------
+
+// Kill every lane the flow could use, let the retry budget exhaust, heal,
+// resurrect: the parked packets must re-enter the schedule with their
+// original sequence numbers, the receiver's dedup state must survive, and
+// new sends must continue the same sequence space — exactly-once across
+// the whole fail -> heal -> resend cycle.
+TEST(HealthResurrection, ReconcilesSequenceStateAcrossFailHealResend) {
+  sim::Kernel kernel;
+  rmboc::Rmboc arch(kernel, rmboc::RmbocConfig{});  // 4 slots, 4 buses
+  ASSERT_TRUE(arch.attach(1, unit_module()));       // slot 0
+  ASSERT_TRUE(arch.attach(2, unit_module()));       // slot 1
+
+  fault::ReliableChannelConfig ccfg;
+  ccfg.base_timeout = 512;
+  ccfg.max_timeout = 4'096;
+  ccfg.max_retries = 6;
+  ccfg.max_send_rejects = 8;
+  fault::ReliableChannel rc(kernel, arch, ccfg, sim::Rng(7));
+  rc.add_endpoint(1);
+  rc.add_endpoint(2);
+
+  int flow_deaths = 0;
+  int flow_resurrections = 0;
+  rc.set_event_hook([&](const fault::ChannelEvent& ev) {
+    if (ev.kind == fault::ChannelEvent::Kind::kFlowDead) ++flow_deaths;
+    if (ev.kind == fault::ChannelEvent::Kind::kFlowResurrected)
+      ++flow_resurrections;
+  });
+
+  Stream s{rc, 1, 2, /*gap=*/200};
+  ASSERT_TRUE(advance(kernel, s, 50'000, [&] { return s.got.size() >= 5; }));
+
+  // Take down every lane of the only segment between the endpoints.
+  for (int bus = 0; bus < 4; ++bus) ASSERT_TRUE(arch.fail_link(0, bus));
+  ASSERT_TRUE(
+      advance(kernel, s, 200'000, [&] { return rc.peer_dead(1, 2); }));
+  EXPECT_EQ(flow_deaths, 1);
+  EXPECT_GT(rc.parked(), 0u);
+  EXPECT_GT(rc.stats().counter_value("unrecoverable"), 0u);
+  const std::size_t parked_before = rc.parked();
+
+  for (int bus = 0; bus < 4; ++bus) ASSERT_TRUE(arch.heal_link(0, bus));
+  // Give the healed fabric a beat to re-establish the circuit and drain
+  // the stale queue (the orchestrator's probe cadence does the same);
+  // resurrecting into a still-cancelled channel would just re-kill the
+  // flow.
+  advance(kernel, s, 10'000, [] { return false; });
+  ASSERT_TRUE(rc.resurrect(1, 2));
+  EXPECT_FALSE(rc.peer_dead(1, 2));
+  EXPECT_EQ(flow_resurrections, 1);
+  EXPECT_EQ(rc.stats().counter_value("flows_resurrected"), 1u);
+  EXPECT_EQ(rc.stats().counter_value("resurrected_packets"), parked_before);
+  EXPECT_EQ(rc.parked(), 0u);
+
+  // The parked backlog plus ten fresh packets on the same flow must all
+  // land exactly once.
+  s.limit = s.accepted + 10;
+  ASSERT_TRUE(advance(kernel, s, 300'000, [&] {
+    return s.accepted >= s.limit && s.all_delivered() &&
+           rc.outstanding() == 0;
+  })) << "deaths=" << flow_deaths << " res=" << flow_resurrections
+      << " peer_dead=" << rc.peer_dead(1, 2) << " parked=" << rc.parked()
+      << " outstanding=" << rc.outstanding() << " accepted=" << s.accepted
+      << " limit=" << s.limit << " got=" << s.got.size()
+      << " rejects=" << rc.stats().counter_value("send_rejects")
+      << " retrans=" << rc.stats().counter_value("retransmissions");
+  s.expect_exactly_once();
+}
+
+// --- FailureDetector: plan-blind operation ---------------------------------
+
+// Positive: a direct fail_node (no injector, no plan anywhere in sight)
+// must be confirmed purely from the symptoms it causes, strictly after the
+// failure happened.
+TEST(HealthDetector, ConfirmsFromSymptomsAlone) {
+  sim::Kernel kernel;
+  dynoc::DynocConfig cfg;
+  cfg.width = cfg.height = 7;
+  dynoc::Dynoc arch(kernel, cfg);
+  ASSERT_TRUE(arch.attach_at(1, unit_module(), {1, 1}));
+  ASSERT_TRUE(arch.attach_at(2, unit_module(), {5, 1}));
+
+  fault::ReliableChannelConfig ccfg;
+  ccfg.base_timeout = 512;
+  ccfg.max_timeout = 4'096;
+  ccfg.max_retries = 3;
+  fault::ReliableChannel rc(kernel, arch, ccfg, sim::Rng(11));
+  rc.add_endpoint(1);
+  rc.add_endpoint(2);
+
+  health::FailureDetector det(kernel, arch);
+  rc.set_event_hook([&](const fault::ChannelEvent& ev) {
+    det.observe_channel_event(ev);
+  });
+
+  Stream s{rc, 1, 2, /*gap=*/100};
+  ASSERT_TRUE(advance(kernel, s, 20'000, [&] { return s.got.size() >= 5; }));
+  EXPECT_TRUE(det.confirmed().empty());
+
+  const sim::Cycle fail_at = kernel.now();
+  ASSERT_TRUE(arch.fail_node(5, 1));  // the destination's own router
+
+  ASSERT_TRUE(advance(kernel, s, 100'000, [&] {
+    return det.module_state(2) == health::HealthState::kConfirmed;
+  }));
+  const auto confirmed_at = det.confirmed_at(health::Subject::of_module(2));
+  ASSERT_TRUE(confirmed_at.has_value());
+  EXPECT_GT(*confirmed_at, fail_at);
+  EXPECT_GE(det.stats().counter_value("confirms"), 1u);
+}
+
+// Negative: with no failure there must be no confirmation — the detector
+// cannot be reading anything but symptoms, and a healthy run has none
+// worth confirming.
+TEST(HealthDetector, StaysQuietWithoutFailures) {
+  sim::Kernel kernel;
+  dynoc::DynocConfig cfg;
+  cfg.width = cfg.height = 7;
+  dynoc::Dynoc arch(kernel, cfg);
+  ASSERT_TRUE(arch.attach_at(1, unit_module(), {1, 1}));
+  ASSERT_TRUE(arch.attach_at(2, unit_module(), {5, 1}));
+
+  fault::ReliableChannel rc(kernel, arch, fault::ReliableChannelConfig{},
+                            sim::Rng(13));
+  rc.add_endpoint(1);
+  rc.add_endpoint(2);
+
+  health::FailureDetector det(kernel, arch);
+  rc.set_event_hook([&](const fault::ChannelEvent& ev) {
+    det.observe_channel_event(ev);
+  });
+
+  Stream s{rc, 1, 2, /*gap=*/100};
+  s.limit = 30;
+  ASSERT_TRUE(advance(kernel, s, 200'000, [&] {
+    return s.accepted == 30 && s.all_delivered() && rc.outstanding() == 0;
+  }));
+  // A few extra polls so any latent score would have had time to climb.
+  ASSERT_TRUE(advance(kernel, s, 5'000, [&] { return false; }) == false);
+
+  s.expect_exactly_once();
+  EXPECT_TRUE(det.confirmed().empty());
+  EXPECT_EQ(det.module_state(1), health::HealthState::kHealthy);
+  EXPECT_EQ(det.module_state(2), health::HealthState::kHealthy);
+  EXPECT_EQ(det.stats().counter_value("confirms"), 0u);
+}
+
+// --- RecoveryOrchestrator: fail -> recover -> heal, per architecture -------
+
+health::OrchestratorConfig orchestrator_config(health::FailureDetector& det) {
+  health::OrchestratorConfig oc;
+  oc.evac_txn.drain_timeout = 4'000;
+  oc.evac_txn.drain_stall_deadline = 1'000;
+  oc.evac_txn.txn_timeout = 25'000;
+  oc.evac_txn.on_drain_escalation =
+      [&det](const std::vector<fpga::ModuleId>& m) {
+        det.observe_drain_escalation(m);
+      };
+  return oc;
+}
+
+/// Shared scenario: warm the stream up, fail a resource, require the
+/// detector to confirm the victim and the orchestrator to resolve every
+/// incident, heal, require full convalescence (detector clear, shedding
+/// lifted, orchestrator idle), then require fresh traffic plus the whole
+/// parked backlog to land exactly once.
+void run_fail_recover_heal(sim::Kernel& kernel,
+                           const std::vector<Stream*>& streams,
+                           health::FailureDetector& det,
+                           health::RecoveryOrchestrator& orch,
+                           fpga::ModuleId victim,
+                           const std::function<void()>& fail,
+                           const std::function<void()>& heal,
+                           sim::Cycle phase_budget) {
+  ASSERT_TRUE(advance(kernel, streams, phase_budget, [&] {
+    for (const Stream* s : streams)
+      if (s->got.size() < 3) return false;
+    return true;
+  }));
+  fail();
+  ASSERT_TRUE(advance(kernel, streams, phase_budget, [&] {
+    return det.module_state(victim) == health::HealthState::kConfirmed;
+  }));
+  ASSERT_TRUE(advance(kernel, streams, phase_budget, [&] {
+    return !orch.incidents().empty() && orch.idle();
+  }));
+  heal();
+  ASSERT_TRUE(advance(kernel, streams, phase_budget, [&] {
+    return det.confirmed().empty() && orch.shed_modules().empty() &&
+           orch.idle();
+  }));
+  for (Stream* s : streams) s->limit = s->accepted + 5;
+  ASSERT_TRUE(advance(kernel, streams, phase_budget, [&] {
+    for (const Stream* s : streams)
+      if (s->accepted < s->limit || !s->all_delivered()) return false;
+    return streams.front()->rc.outstanding() == 0;
+  }));
+  for (const Stream* s : streams) s->expect_exactly_once();
+  for (const auto& inc : orch.incidents()) {
+    EXPECT_NE(inc.outcome, health::IncidentOutcome::kOpen);
+    EXPECT_TRUE(inc.healed) << "incident " << inc.id << " ("
+                            << inc.subject.to_string() << ") never healed";
+  }
+}
+
+bool any_evacuated(const health::RecoveryOrchestrator& orch) {
+  for (const auto& inc : orch.incidents())
+    if (inc.evacuated) return true;
+  return false;
+}
+
+// DyNoC: the managed module's own router dies, so rerouting cannot help —
+// the ladder must evacuate it to healthy fabric, after which the incident
+// recovers; healing the router later must leave the system quiet.
+TEST(HealthRecovery, DynocEvacuatesModuleOffFailedRouter) {
+  sim::Kernel kernel;
+  dynoc::DynocConfig cfg;
+  cfg.width = cfg.height = 7;
+  dynoc::Dynoc arch(kernel, cfg);
+  ASSERT_TRUE(arch.attach_at(1, unit_module(), {1, 1}));
+  ASSERT_TRUE(arch.attach_at(2, unit_module(), {5, 1}));
+
+  core::ReconfigManager mgr(kernel, test_device(), 100.0,
+                            core::PlacementStrategy::kRectangles);
+
+  fault::ReliableChannelConfig ccfg;
+  ccfg.base_timeout = 512;
+  ccfg.max_timeout = 4'096;
+  ccfg.max_retries = 3;
+  ccfg.max_send_rejects = 16;
+  fault::ReliableChannel rc(kernel, arch, ccfg, sim::Rng(17));
+  rc.add_endpoint(1);
+  rc.add_endpoint(2);
+  rc.add_endpoint(3);
+
+  health::FailureDetector det(kernel, arch);
+  rc.set_event_hook([&](const fault::ChannelEvent& ev) {
+    det.observe_channel_event(ev);
+  });
+  health::RecoveryOrchestrator orch(kernel, arch, det, &rc, &mgr,
+                                    orchestrator_config(det));
+
+  bool loaded = false;
+  ASSERT_TRUE(mgr.load(arch, 3, unit_module(),
+                       [&](fpga::ModuleId, bool ok) { loaded = ok; }));
+  ASSERT_TRUE(run_until(kernel, 100'000, [&] { return loaded; }));
+  const auto home = arch.region_of(3);
+  ASSERT_TRUE(home.has_value());
+
+  Stream s{rc, 1, 3, /*gap=*/100};
+  run_fail_recover_heal(
+      kernel, {&s}, det, orch, /*victim=*/3,
+      [&] { ASSERT_TRUE(arch.fail_node(home->x, home->y)); },
+      [&] { ASSERT_TRUE(arch.heal_node(home->x, home->y)); },
+      /*phase_budget=*/400'000);
+
+  EXPECT_TRUE(any_evacuated(orch));
+  EXPECT_GE(orch.stats().counter_value("evacuations"), 1u);
+  const auto moved = arch.region_of(3);
+  ASSERT_TRUE(moved.has_value());
+  EXPECT_TRUE(moved->x != home->x || moved->y != home->y);
+  EXPECT_TRUE(arch.router_active({home->x, home->y}));  // healed, reusable
+}
+
+// RMBoC: the cross-point under the managed module fails; evacuation must
+// re-seat it in a surviving slot (attach skips failed cross-points).
+TEST(HealthRecovery, RmbocEvacuatesModuleOffFailedCrossPoint) {
+  sim::Kernel kernel;
+  rmboc::Rmboc arch(kernel, rmboc::RmbocConfig{});  // 4 slots, 4 buses
+  ASSERT_TRUE(arch.attach(1, unit_module()));       // slot 0
+  ASSERT_TRUE(arch.attach(2, unit_module()));       // slot 1
+
+  core::ReconfigManager mgr(kernel, test_device(), 100.0,
+                            core::PlacementStrategy::kSlots, /*slot_count=*/4);
+
+  fault::ReliableChannelConfig ccfg;
+  ccfg.base_timeout = 1'024;
+  ccfg.max_timeout = 8'192;
+  ccfg.max_retries = 3;
+  ccfg.max_send_rejects = 12;
+  fault::ReliableChannel rc(kernel, arch, ccfg, sim::Rng(19));
+  rc.add_endpoint(1);
+  rc.add_endpoint(2);
+  rc.add_endpoint(3);
+
+  health::FailureDetector det(kernel, arch);
+  rc.set_event_hook([&](const fault::ChannelEvent& ev) {
+    det.observe_channel_event(ev);
+  });
+  health::RecoveryOrchestrator orch(kernel, arch, det, &rc, &mgr,
+                                    orchestrator_config(det));
+
+  bool loaded = false;
+  ASSERT_TRUE(mgr.load(arch, 3, unit_module(),
+                       [&](fpga::ModuleId, bool ok) { loaded = ok; }));
+  ASSERT_TRUE(run_until(kernel, 100'000, [&] { return loaded; }));
+  const auto home_slot = arch.slot_of(3);
+  ASSERT_TRUE(home_slot.has_value());
+
+  // Two flows touching the victim (one in, one out): when its cross-point
+  // dies both go dead, and the standing evidence at module 3 is what
+  // carries it over the confirmation threshold — RMBoC has no invariant
+  // warning for an isolated slot, so the transport symptoms must suffice.
+  Stream in{rc, 1, 3, /*gap=*/200};
+  Stream out{rc, 3, 2, /*gap=*/200};
+  run_fail_recover_heal(
+      kernel, {&in, &out}, det, orch, /*victim=*/3,
+      [&] { ASSERT_TRUE(arch.fail_node(*home_slot)); },
+      [&] { ASSERT_TRUE(arch.heal_node(*home_slot)); },
+      /*phase_budget=*/400'000);
+
+  EXPECT_TRUE(any_evacuated(orch));
+  const auto moved_slot = arch.slot_of(3);
+  ASSERT_TRUE(moved_slot.has_value());
+  EXPECT_NE(*moved_slot, *home_slot);
+}
+
+// CoNoChi: the switch hosting the managed module fails; evacuation must
+// re-attach it at a surviving switch of the ring. The endpoint switches'
+// spare ports are plugged so the module starts on a switch of its own.
+TEST(HealthRecovery, ConochiEvacuatesModuleOffFailedSwitch) {
+  sim::Kernel kernel;
+  conochi::ConochiConfig cfg;
+  cfg.grid_width = 8;
+  cfg.grid_height = 8;
+  conochi::Conochi arch(kernel, cfg);
+  ASSERT_TRUE(arch.add_switch({1, 1}));
+  ASSERT_TRUE(arch.add_switch({5, 1}));
+  ASSERT_TRUE(arch.add_switch({1, 5}));
+  ASSERT_TRUE(arch.add_switch({5, 5}));
+  ASSERT_TRUE(arch.lay_wire({2, 1}, {4, 1}));
+  ASSERT_TRUE(arch.lay_wire({2, 5}, {4, 5}));
+  ASSERT_TRUE(arch.lay_wire({1, 2}, {1, 4}));
+  ASSERT_TRUE(arch.lay_wire({5, 2}, {5, 4}));
+  ASSERT_TRUE(arch.attach_at(1, unit_module(), {1, 1}));
+  ASSERT_TRUE(arch.attach_at(2, unit_module(), {5, 5}));
+  // Fill the endpoints' remaining ports so the managed module lands on one
+  // of the two free switches.
+  ASSERT_TRUE(arch.attach_at(8, unit_module(), {1, 1}));
+  ASSERT_TRUE(arch.attach_at(9, unit_module(), {5, 5}));
+
+  core::ReconfigManager mgr(kernel, test_device(), 100.0,
+                            core::PlacementStrategy::kRectangles);
+
+  fault::ReliableChannelConfig ccfg;
+  ccfg.base_timeout = 512;
+  ccfg.max_timeout = 4'096;
+  ccfg.max_retries = 3;
+  ccfg.max_send_rejects = 16;
+  fault::ReliableChannel rc(kernel, arch, ccfg, sim::Rng(23));
+  rc.add_endpoint(1);
+  rc.add_endpoint(2);
+  rc.add_endpoint(3);
+
+  health::FailureDetector det(kernel, arch);
+  rc.set_event_hook([&](const fault::ChannelEvent& ev) {
+    det.observe_channel_event(ev);
+  });
+  health::RecoveryOrchestrator orch(kernel, arch, det, &rc, &mgr,
+                                    orchestrator_config(det));
+
+  bool loaded = false;
+  ASSERT_TRUE(mgr.load(arch, 3, unit_module(),
+                       [&](fpga::ModuleId, bool ok) { loaded = ok; }));
+  ASSERT_TRUE(run_until(kernel, 100'000, [&] { return loaded; }));
+  const auto home = arch.switch_of(3);
+  ASSERT_TRUE(home.has_value());
+  ASSERT_TRUE(*home != (fpga::Point{1, 1}) && *home != (fpga::Point{5, 5}));
+
+  // As in the RMBoC test: flows in both directions, because an isolated
+  // switch produces no invariant warning and the standing dead-flow
+  // evidence has to clear the confirmation threshold on its own.
+  Stream in{rc, 1, 3, /*gap=*/150};
+  Stream out{rc, 3, 2, /*gap=*/150};
+  run_fail_recover_heal(
+      kernel, {&in, &out}, det, orch, /*victim=*/3,
+      [&] { ASSERT_TRUE(arch.fail_node(home->x, home->y)); },
+      [&] { ASSERT_TRUE(arch.heal_node(home->x, home->y)); },
+      /*phase_budget=*/400'000);
+
+  EXPECT_TRUE(any_evacuated(orch));
+  const auto moved = arch.switch_of(3);
+  ASSERT_TRUE(moved.has_value());
+  EXPECT_TRUE(!(*moved == *home));
+}
+
+// BUS-COM: a total bus blackout has no relocation answer — the ladder must
+// bottom out in degraded-stable with the victims shed, and healing the
+// buses must lift the shedding, resurrect the flows, and deliver the
+// entire backlog exactly once.
+TEST(HealthRecovery, BuscomDegradesStableThenHealLiftsShedding) {
+  sim::Kernel kernel;
+  buscom::Buscom arch(kernel, buscom::BuscomConfig{});  // 4 buses
+  ASSERT_TRUE(arch.attach(1, unit_module()));
+  ASSERT_TRUE(arch.attach(2, unit_module()));
+
+  fault::ReliableChannelConfig ccfg;
+  ccfg.base_timeout = 8'192;
+  ccfg.max_timeout = 16'384;
+  ccfg.max_retries = 2;
+  fault::ReliableChannel rc(kernel, arch, ccfg, sim::Rng(29));
+  rc.add_endpoint(1);
+  rc.add_endpoint(2);
+
+  health::FailureDetector det(kernel, arch);
+  rc.set_event_hook([&](const fault::ChannelEvent& ev) {
+    det.observe_channel_event(ev);
+  });
+  // No manager: nothing is evacuable, the ladder skips straight from
+  // rerouting to degraded mode.
+  health::RecoveryOrchestrator orch(kernel, arch, det, &rc, nullptr,
+                                    orchestrator_config(det));
+
+  Stream s{rc, 1, 2, /*gap=*/600};
+  run_fail_recover_heal(
+      kernel, {&s}, det, orch, /*victim=*/2,
+      [&] {
+        for (int bus = 0; bus < 4; ++bus) ASSERT_TRUE(arch.fail_node(bus));
+      },
+      [&] {
+        for (int bus = 0; bus < 4; ++bus) ASSERT_TRUE(arch.heal_node(bus));
+      },
+      /*phase_budget=*/1'500'000);
+
+  bool degraded_stable = false;
+  for (const auto& inc : orch.incidents())
+    if (inc.outcome == health::IncidentOutcome::kDegradedStable)
+      degraded_stable = true;
+  EXPECT_TRUE(degraded_stable);
+  EXPECT_FALSE(any_evacuated(orch));
+  EXPECT_GE(orch.stats().counter_value("degraded"), 1u);
+}
+
+}  // namespace
+}  // namespace recosim

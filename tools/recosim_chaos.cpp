@@ -12,9 +12,11 @@
 //
 // Usage:
 //   recosim-chaos [--arch NAME] [--seeds N] [--seed-base S] [--ops N]
-//                 [--horizon CYCLES] [--lint-first] [--no-fast-forward]
-//                 [--verbose]
-//   recosim-chaos --replay FILE [--no-shrink] [--no-fast-forward]
+//                 [--horizon CYCLES] [--lint-first] [--recovery]
+//                 [--recovery-bound CYCLES] [--jobs N]
+//                 [--no-fast-forward] [--verbose]
+//   recosim-chaos --replay FILE [--no-shrink] [--recovery]
+//                 [--no-fast-forward]
 //
 // --lint-first runs the timeline verifier over every generated schedule
 // before executing it. Schedules the linter flags with an error are
@@ -23,6 +25,17 @@
 // runtime invariant is a failure of the verifier itself and fails the
 // sweep.
 //
+// --recovery runs the self-healing layer (health::FailureDetector +
+// health::RecoveryOrchestrator) alongside every schedule and checks the
+// recovery invariants on top: every confirmed failure resolves to
+// RECOVERED or DEGRADED-STABLE within --recovery-bound cycles, delivery
+// stays exactly-once across evacuations, and healed regions are
+// attachable again at the end of the run.
+//
+// --jobs N evaluates seeds on N worker threads. Each seed's simulation is
+// self-contained and its output is buffered and printed in seed order, so
+// the output is byte-identical to --jobs 1.
+//
 // --no-fast-forward disables the kernel's quiescence tracking and
 // idle-cycle fast-forward; the results are bit-for-bit identical either
 // way (use it to cross-check the activity-driven scheduler or to get the
@@ -30,12 +43,14 @@
 //
 // Exit code 0 when every schedule holds its invariants, 1 otherwise.
 
+#include <atomic>
 #include <cstdint>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "fault/chaos.hpp"
@@ -56,32 +71,97 @@ struct Options {
   bool verbose = false;
   bool activity_driven = true;
   bool lint_first = false;
+  bool recovery = false;
+  sim::Cycle recovery_bound = 50'000;
+  int jobs = 1;
 };
+
+fault::ChaosRunOptions run_options(const Options& opt) {
+  fault::ChaosRunOptions ro;
+  ro.activity_driven = opt.activity_driven;
+  ro.recovery = opt.recovery;
+  ro.recovery_bound = opt.recovery_bound;
+  return ro;
+}
 
 void usage() {
   std::cerr
       << "usage: recosim-chaos [--arch rmboc|buscom|dynoc|conochi]\n"
       << "                     [--seeds N] [--seed-base S] [--ops N]\n"
       << "                     [--horizon CYCLES] [--lint-first]\n"
-      << "                     [--no-fast-forward] [--verbose]\n"
-      << "       recosim-chaos --replay FILE [--no-shrink]\n"
+      << "                     [--recovery] [--recovery-bound CYCLES]\n"
+      << "                     [--jobs N] [--no-fast-forward] [--verbose]\n"
+      << "       recosim-chaos --replay FILE [--no-shrink] [--recovery]\n"
       << "                     [--no-fast-forward]\n";
 }
 
-bool report_failure(const fault::ChaosSchedule& schedule,
-                    const fault::ChaosResult& result, bool shrink) {
-  std::cout << "FAIL arch=" << fault::to_string(schedule.arch)
-            << " seed=" << schedule.seed << "\n";
+void report_failure(std::ostream& out, const fault::ChaosSchedule& schedule,
+                    const fault::ChaosResult& result,
+                    const Options& opt) {
+  out << "FAIL arch=" << fault::to_string(schedule.arch)
+      << " seed=" << schedule.seed << "\n";
   for (const auto& v : result.violations)
-    std::cout << "  violation[" << v.invariant << "]: " << v.detail << "\n";
+    out << "  violation[" << v.invariant << "]: " << v.detail << "\n";
   const fault::ChaosSchedule minimal =
-      shrink ? fault::shrink_schedule(schedule) : schedule;
-  std::cout << "--- " << (shrink ? "shrunk " : "")
-            << "reproducing schedule (replay with: recosim-chaos --replay "
-               "<file>) ---\n"
-            << fault::serialize_schedule(minimal)
-            << "--- end schedule ---\n";
-  return false;
+      opt.shrink ? fault::shrink_schedule(schedule, run_options(opt))
+                 : schedule;
+  out << "--- " << (opt.shrink ? "shrunk " : "")
+      << "reproducing schedule (replay with: recosim-chaos --replay "
+         "<file>) ---\n"
+      << fault::serialize_schedule(minimal) << "--- end schedule ---\n";
+}
+
+/// One (arch, seed) evaluation, self-contained so seeds can run on worker
+/// threads; `output` carries everything the seed would have printed, in
+/// order, so a parallel sweep is byte-identical to a serial one.
+struct SeedOutcome {
+  bool ok = true;
+  bool lint_skipped = false;
+  std::string output;
+  fault::ChaosResult result;
+};
+
+SeedOutcome run_one(fault::ChaosArch arch, std::uint64_t seed,
+                    const Options& opt) {
+  SeedOutcome out;
+  std::ostringstream os;
+  const auto schedule = fault::make_schedule(arch, seed, opt.ops, opt.horizon);
+  if (opt.lint_first) {
+    verify::DiagnosticSink lint;
+    fault::timeline_lint_schedule(schedule, lint);
+    if (lint.error_count() > 0) {
+      out.lint_skipped = true;
+      if (opt.verbose) {
+        os << fault::to_string(arch) << " seed=" << seed << " lint-skipped ("
+           << lint.error_count() << " error(s))\n"
+           << lint.to_text();
+      }
+      out.output = os.str();
+      return out;
+    }
+  }
+  out.result = fault::run_schedule(schedule, run_options(opt));
+  out.ok = out.result.ok;
+  if (opt.verbose) {
+    os << fault::to_string(arch) << " seed=" << seed
+       << (out.result.ok ? " ok" : " FAIL") << " delivered="
+       << out.result.delivered << "/" << out.result.accepted
+       << " committed=" << out.result.txns_committed
+       << " rolled_back=" << out.result.txns_rolled_back;
+    if (opt.recovery)
+      os << " incidents=" << out.result.incidents << " recovered="
+         << out.result.incidents_recovered << " degraded="
+         << out.result.incidents_degraded_stable;
+    os << " end_cycle=" << out.result.end_cycle << "\n";
+  }
+  if (!out.result.ok) {
+    if (opt.lint_first)
+      os << "LINT-MISS arch=" << fault::to_string(arch) << " seed=" << seed
+         << ": lint-clean schedule violated a runtime invariant\n";
+    report_failure(os, schedule, out.result, opt);
+  }
+  out.output = os.str();
+  return out;
 }
 
 }  // namespace
@@ -118,6 +198,16 @@ int main(int argc, char** argv) {
       opt.shrink = false;
     } else if (arg == "--lint-first") {
       opt.lint_first = true;
+    } else if (arg == "--recovery") {
+      opt.recovery = true;
+    } else if (arg == "--recovery-bound") {
+      opt.recovery_bound = std::strtoull(value(), nullptr, 10);
+    } else if (arg == "--jobs") {
+      opt.jobs = std::atoi(value());
+      if (opt.jobs < 1) {
+        std::cerr << "recosim-chaos: --jobs needs a positive value\n";
+        return 2;
+      }
     } else if (arg == "--no-fast-forward") {
       opt.activity_driven = false;
     } else if (arg == "--verbose") {
@@ -147,7 +237,7 @@ int main(int argc, char** argv) {
                 << ": " << error << "\n";
       return 2;
     }
-    const auto result = fault::run_schedule(*schedule, opt.activity_driven);
+    const auto result = fault::run_schedule(*schedule, run_options(opt));
     if (result.ok) {
       std::cout << "OK replay of " << opt.replay_file << ": "
                 << result.delivered << "/" << result.accepted
@@ -156,54 +246,60 @@ int main(int argc, char** argv) {
                 << " rolled back\n";
       return 0;
     }
-    report_failure(*schedule, result, opt.shrink);
+    report_failure(std::cout, *schedule, result, opt);
     return 1;
   }
 
   bool all_ok = true;
   for (fault::ChaosArch arch : opt.archs) {
+    std::vector<SeedOutcome> outcomes(
+        static_cast<std::size_t>(opt.seeds));
+    if (opt.jobs <= 1 || opt.seeds <= 1) {
+      for (int i = 0; i < opt.seeds; ++i) {
+        outcomes[static_cast<std::size_t>(i)] = run_one(
+            arch, opt.seed_base + static_cast<std::uint64_t>(i), opt);
+        std::cout << outcomes[static_cast<std::size_t>(i)].output;
+      }
+    } else {
+      // Each worker claims the next unevaluated seed; every seed's
+      // simulation is self-contained (its own kernel and RNG streams), so
+      // claim order does not affect results. Output is buffered per seed
+      // and printed in seed order afterwards — byte-identical to serial.
+      std::atomic<int> next{0};
+      const int workers = std::min(opt.jobs, opt.seeds);
+      std::vector<std::thread> pool;
+      pool.reserve(static_cast<std::size_t>(workers));
+      for (int w = 0; w < workers; ++w) {
+        pool.emplace_back([&] {
+          for (int i = next.fetch_add(1); i < opt.seeds;
+               i = next.fetch_add(1)) {
+            outcomes[static_cast<std::size_t>(i)] = run_one(
+                arch, opt.seed_base + static_cast<std::uint64_t>(i), opt);
+          }
+        });
+      }
+      for (auto& t : pool) t.join();
+      for (const auto& o : outcomes) std::cout << o.output;
+    }
+
     std::uint64_t committed = 0, rolled_back = 0, forced = 0, delivered = 0;
+    std::uint64_t incidents = 0, recovered = 0, degraded = 0, evacuations = 0;
     int failures = 0;
     int lint_skipped = 0;
-    for (int i = 0; i < opt.seeds; ++i) {
-      const std::uint64_t seed = opt.seed_base + static_cast<std::uint64_t>(i);
-      const auto schedule =
-          fault::make_schedule(arch, seed, opt.ops, opt.horizon);
-      if (opt.lint_first) {
-        verify::DiagnosticSink lint;
-        fault::timeline_lint_schedule(schedule, lint);
-        if (lint.error_count() > 0) {
-          ++lint_skipped;
-          if (opt.verbose) {
-            std::cout << fault::to_string(arch) << " seed=" << seed
-                      << " lint-skipped (" << lint.error_count()
-                      << " error(s))\n"
-                      << lint.to_text();
-          }
-          continue;
-        }
+    for (const auto& o : outcomes) {
+      if (o.lint_skipped) {
+        ++lint_skipped;
+        continue;
       }
-      const auto result = fault::run_schedule(schedule, opt.activity_driven);
-      committed += result.txns_committed;
-      rolled_back += result.txns_rolled_back;
-      forced += result.forced_drains;
-      delivered += result.delivered;
-      if (opt.verbose)
-        std::cout << fault::to_string(arch) << " seed=" << seed
-                  << (result.ok ? " ok" : " FAIL") << " delivered="
-                  << result.delivered << "/" << result.accepted
-                  << " committed=" << result.txns_committed
-                  << " rolled_back=" << result.txns_rolled_back
-                  << " end_cycle=" << result.end_cycle << "\n";
-      if (!result.ok) {
-        ++failures;
-        if (opt.lint_first)
-          std::cout << "LINT-MISS arch=" << fault::to_string(arch)
-                    << " seed=" << seed
-                    << ": lint-clean schedule violated a runtime "
-                       "invariant\n";
-        all_ok = report_failure(schedule, result, opt.shrink) && all_ok;
-      }
+      committed += o.result.txns_committed;
+      rolled_back += o.result.txns_rolled_back;
+      forced += o.result.forced_drains;
+      delivered += o.result.delivered;
+      incidents += o.result.incidents;
+      recovered += o.result.incidents_recovered;
+      degraded += o.result.incidents_degraded_stable;
+      evacuations += o.result.evacuations;
+      if (!o.ok) ++failures;
     }
     std::cout << fault::to_string(arch) << ": "
               << (opt.seeds - failures - lint_skipped) << "/" << opt.seeds
@@ -213,7 +309,12 @@ int main(int argc, char** argv) {
     std::cout << ", " << committed
               << " txns committed, " << rolled_back << " rolled back, "
               << forced << " forced drains, " << delivered
-              << " payloads delivered\n";
+              << " payloads delivered";
+    if (opt.recovery)
+      std::cout << "; recovery: " << incidents << " incidents, " << recovered
+                << " recovered, " << degraded << " degraded-stable, "
+                << evacuations << " evacuations";
+    std::cout << "\n";
     if (failures) all_ok = false;
   }
   return all_ok ? 0 : 1;
