@@ -22,6 +22,7 @@
 #include "sim/kernel.hpp"
 #include "sim/rng.hpp"
 #include "verify/diagnostic.hpp"
+#include "verify/envelope.hpp"
 #include "verify/fault_plan.hpp"
 #include "verify/scenario.hpp"
 #include "verify/timeline.hpp"
@@ -373,9 +374,11 @@ ChaosResult run_schedule(const ChaosSchedule& s, const ChaosRunOptions& opt) {
   sim::Rng traffic(s.seed * 131 + 3);
   struct Flow {
     fpga::ModuleId src, dst;
+    sim::Cycle accepted_at = 0;
   };
   std::map<std::uint64_t, Flow> accepted;
   std::map<std::uint64_t, int> delivered;
+  sim::Cycle max_latency = 0;
   std::uint64_t next_tag = 0;
   const std::vector<fpga::ModuleId> all_endpoints = [] {
     std::vector<fpga::ModuleId> v{kEndpointA, kEndpointB};
@@ -383,8 +386,15 @@ ChaosResult run_schedule(const ChaosSchedule& s, const ChaosRunOptions& opt) {
     return v;
   }();
   auto drain_receives = [&] {
-    for (fpga::ModuleId id : all_endpoints)
-      while (auto p = rc.receive(id)) ++delivered[p->tag];
+    for (fpga::ModuleId id : all_endpoints) {
+      while (auto p = rc.receive(id)) {
+        if (++delivered[p->tag] == 1) {
+          if (const auto it = accepted.find(p->tag); it != accepted.end())
+            max_latency =
+                std::max(max_latency, kernel.now() - it->second.accepted_at);
+        }
+      }
+    }
   };
 
   sim::Cycle next_send = 0;
@@ -409,7 +419,7 @@ ChaosResult run_schedule(const ChaosSchedule& s, const ChaosRunOptions& opt) {
         p.payload_bytes = 16;
         p.tag = ++next_tag;
         if (rc.send(p))
-          accepted.emplace(p.tag, Flow{src, dst});
+          accepted.emplace(p.tag, Flow{src, dst, kernel.now()});
         else
           --next_tag;
       }
@@ -449,6 +459,7 @@ ChaosResult run_schedule(const ChaosSchedule& s, const ChaosRunOptions& opt) {
   result.end_cycle = kernel.now();
   result.accepted = accepted.size();
   result.delivered = rc.delivered_total();
+  result.max_delivery_latency = max_latency;
   for (const auto& t : txns) {
     if (t->committed()) ++result.txns_committed;
     if (t->state() == core::TxnState::kRolledBack) ++result.txns_rolled_back;
@@ -589,6 +600,12 @@ ChaosResult run_schedule(const ChaosSchedule& s, const ChaosRunOptions& opt) {
 
 void timeline_lint_schedule(const ChaosSchedule& s,
                             verify::DiagnosticSink& sink) {
+  timeline_lint_schedule(s, sink, nullptr);
+}
+
+void timeline_lint_schedule(const ChaosSchedule& s,
+                            verify::DiagnosticSink& sink,
+                            const verify::EnvelopeParams* envelope) {
   using verify::Scenario;
   namespace v = recosim::verify;
 
@@ -715,7 +732,7 @@ void timeline_lint_schedule(const ChaosSchedule& s,
   doc.rates.push_back({0, 1, "icap_abort", s.faults.icap_abort_rate});
 
   v::check_fault_plan(doc, &sc, sink);
-  v::Timeline::check(sc, &doc, sink);
+  v::Timeline::check(sc, &doc, sink, envelope);
 }
 
 ChaosSchedule shrink_schedule(const ChaosSchedule& schedule) {
@@ -724,11 +741,81 @@ ChaosSchedule shrink_schedule(const ChaosSchedule& schedule) {
 
 ChaosSchedule shrink_schedule(const ChaosSchedule& schedule,
                               const ChaosRunOptions& opt) {
-  auto fails = [&opt](const ChaosSchedule& c) {
-    return !run_schedule(c, opt).ok;
-  };
+  return shrink_schedule(
+      schedule,
+      [&opt](const ChaosSchedule& c) { return !run_schedule(c, opt).ok; },
+      {});
+}
+
+ChaosSchedule shrink_schedule(
+    const ChaosSchedule& schedule,
+    const std::function<bool(const ChaosSchedule&)>& fails,
+    const std::vector<std::pair<long long, long long>>& hint_windows) {
   if (!fails(schedule)) return schedule;
   ChaosSchedule cur = schedule;
+
+  // Hint pass: one probe that keeps only what is relevant to the flagged
+  // windows — ops scheduled inside one, fault events whose fail..heal
+  // span intersects one (a heal survives with its fail, never alone; a
+  // kept fail keeps its heal so the plan stays well-formed). When the
+  // probe still fails, the greedy loop below starts from the much
+  // smaller schedule.
+  if (!hint_windows.empty()) {
+    const auto in_window = [&](long long t) {
+      for (const auto& [b, e] : hint_windows)
+        if (t >= b && (e < 0 || t < e)) return true;
+      return false;
+    };
+    const auto spans_window = [&](long long lo, long long hi) {
+      for (const auto& [b, e] : hint_windows)
+        if ((e < 0 || lo < e) && b < hi) return true;
+      return false;
+    };
+    ChaosSchedule probe = cur;
+    probe.ops.erase(
+        std::remove_if(probe.ops.begin(), probe.ops.end(),
+                       [&](const ChaosOp& op) {
+                         return !in_window(static_cast<long long>(op.at));
+                       }),
+        probe.ops.end());
+    const auto& ev = cur.faults.scheduled;
+    std::vector<char> keep(ev.size(), 0);
+    const auto is_fail = [](FaultKind k) {
+      return k == FaultKind::kNodeFail || k == FaultKind::kLinkFail;
+    };
+    const auto heal_of = [](FaultKind k) {
+      return k == FaultKind::kNodeFail ? FaultKind::kNodeHeal
+                                       : FaultKind::kLinkHeal;
+    };
+    for (std::size_t i = 0; i < ev.size(); ++i) {
+      if (ev[i].kind == FaultKind::kIcapAbort) {
+        keep[i] = in_window(static_cast<long long>(ev[i].at));
+        continue;
+      }
+      if (!is_fail(ev[i].kind)) continue;
+      std::size_t heal = ev.size();
+      for (std::size_t j = i + 1; j < ev.size(); ++j) {
+        if (ev[j].kind == heal_of(ev[i].kind) && ev[j].a == ev[i].a &&
+            ev[j].b == ev[i].b && ev[j].at >= ev[i].at) {
+          heal = j;
+          break;
+        }
+      }
+      const long long lo = static_cast<long long>(ev[i].at);
+      const long long hi = heal < ev.size()
+                               ? static_cast<long long>(ev[heal].at)
+                               : static_cast<long long>(cur.horizon);
+      if (!spans_window(lo, hi == lo ? lo + 1 : hi)) continue;
+      keep[i] = 1;
+      if (heal < ev.size()) keep[heal] = 1;
+    }
+    probe.faults.scheduled.clear();
+    for (std::size_t i = 0; i < ev.size(); ++i)
+      if (keep[i]) probe.faults.scheduled.push_back(ev[i]);
+    const bool smaller = probe.ops.size() < cur.ops.size() ||
+                         probe.faults.scheduled.size() < ev.size();
+    if (smaller && fails(probe)) cur = std::move(probe);
+  }
   bool progress = true;
   while (progress) {
     progress = false;

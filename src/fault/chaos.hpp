@@ -1,13 +1,19 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "fault/fault_plan.hpp"
 #include "sim/types.hpp"
 #include "verify/diagnostic.hpp"
+
+namespace recosim::verify {
+struct EnvelopeParams;
+}
 
 namespace recosim::fault {
 
@@ -82,6 +88,10 @@ struct ChaosResult {
   std::uint64_t txns_committed = 0;
   std::uint64_t txns_rolled_back = 0;
   std::uint64_t forced_drains = 0;
+  /// Worst accept-to-first-delivery latency over all delivered payloads,
+  /// in cycles — what the envelope analyzer's worst-case latency bound is
+  /// checked against under --lint-first.
+  sim::Cycle max_delivery_latency = 0;
   sim::Cycle end_cycle = 0;
   // Recovery-mode accounting (all zero when recovery is off).
   std::uint64_t incidents = 0;
@@ -125,6 +135,13 @@ ChaosResult run_schedule(const ChaosSchedule& schedule,
 /// lint-clean rest actually pass at runtime.
 void timeline_lint_schedule(const ChaosSchedule& schedule,
                             verify::DiagnosticSink& sink);
+/// Same, with envelope parameters threaded into the timeline run —
+/// `envelope->collect` then holds the per-window demand/capacity
+/// envelopes of the schedule, which --lint-first checks the measured
+/// runtime throughput and latency against.
+void timeline_lint_schedule(const ChaosSchedule& schedule,
+                            verify::DiagnosticSink& sink,
+                            const verify::EnvelopeParams* envelope);
 
 /// Greedy delta-debugging: starting from a failing schedule, repeatedly
 /// drop ops and fault events and zero stochastic rates while the failure
@@ -135,6 +152,19 @@ void timeline_lint_schedule(const ChaosSchedule& schedule,
 ChaosSchedule shrink_schedule(const ChaosSchedule& schedule,
                               const ChaosRunOptions& options);
 ChaosSchedule shrink_schedule(const ChaosSchedule& schedule);
+
+/// Generic shrink against an arbitrary failure predicate, optionally
+/// seeded with hint windows (half-open cycle intervals, end < 0 meaning
+/// "to the end") — typically the windows the timeline/envelope lint
+/// flagged on the failing schedule. Before the greedy loop, one probe
+/// drops every op and fault event irrelevant to the hinted windows (a
+/// fault stays when its fail..heal span intersects a window); when that
+/// candidate still fails, the greedy loop starts from the much smaller
+/// schedule, saving most of its probes.
+ChaosSchedule shrink_schedule(
+    const ChaosSchedule& schedule,
+    const std::function<bool(const ChaosSchedule&)>& fails,
+    const std::vector<std::pair<long long, long long>>& hint_windows);
 
 /// Line-oriented text form of a schedule (stable across versions the
 /// parser accepts); parse_schedule is its exact inverse.

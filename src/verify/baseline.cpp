@@ -1,0 +1,162 @@
+// Lint baseline: a flat JSON list of suppression keys. The parser is a
+// tolerant hand-rolled scanner that reads exactly the shape write() emits
+// (and survives reordered or extra fields) — no dependency, same policy
+// as the rest of the JSON in this layer.
+
+#include "verify/baseline.hpp"
+
+#include <cctype>
+
+namespace recosim::verify {
+
+namespace {
+
+std::string esc(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+/// Suppression key. The message is deliberately not part of it — message
+/// wording may be tuned across versions without invalidating baselines —
+/// but the window is: a finding that grew or moved is a new finding.
+std::string key(const std::string& rule, const std::string& path,
+                const std::string& object, long long wb, long long we) {
+  return rule + '\x1f' + path + '\x1f' + object + '\x1f' +
+         std::to_string(wb) + '\x1f' + std::to_string(we);
+}
+
+/// Read a JSON string starting at the opening quote; advances pos past
+/// the closing quote. Returns false on malformed input.
+bool read_string(const std::string& t, std::size_t& pos, std::string& out) {
+  if (pos >= t.size() || t[pos] != '"') return false;
+  out.clear();
+  for (++pos; pos < t.size(); ++pos) {
+    const char c = t[pos];
+    if (c == '"') {
+      ++pos;
+      return true;
+    }
+    if (c == '\\' && pos + 1 < t.size()) {
+      const char n = t[++pos];
+      switch (n) {
+        case 'n': out += '\n'; break;
+        case 't': out += '\t'; break;
+        default: out += n;
+      }
+    } else {
+      out += c;
+    }
+  }
+  return false;
+}
+
+void skip_ws(const std::string& t, std::size_t& pos) {
+  while (pos < t.size() &&
+         std::isspace(static_cast<unsigned char>(t[pos])))
+    ++pos;
+}
+
+}  // namespace
+
+bool Baseline::parse(const std::string& text) {
+  // A baseline document at least declares itself.
+  if (text.find("\"findings\"") == std::string::npos) return false;
+
+  std::size_t pos = text.find("\"findings\"");
+  pos = text.find('[', pos);
+  if (pos == std::string::npos) return false;
+
+  while (pos < text.size()) {
+    pos = text.find('{', pos);
+    if (pos == std::string::npos) break;
+    ++pos;
+    std::string rule, path, object;
+    long long wb = -1, we = -1;
+    while (pos < text.size()) {
+      skip_ws(text, pos);
+      if (pos < text.size() && (text[pos] == ',')) {
+        ++pos;
+        continue;
+      }
+      if (pos >= text.size() || text[pos] == '}') {
+        ++pos;
+        break;
+      }
+      std::string k;
+      if (!read_string(text, pos, k)) return false;
+      skip_ws(text, pos);
+      if (pos >= text.size() || text[pos] != ':') return false;
+      ++pos;
+      skip_ws(text, pos);
+      if (pos < text.size() && text[pos] == '"') {
+        std::string v;
+        if (!read_string(text, pos, v)) return false;
+        if (k == "rule") rule = v;
+        else if (k == "path") path = v;
+        else if (k == "object") object = v;
+      } else {
+        std::size_t start = pos;
+        while (pos < text.size() &&
+               (text[pos] == '-' ||
+                std::isdigit(static_cast<unsigned char>(text[pos]))))
+          ++pos;
+        if (pos == start) return false;
+        const long long v = std::stoll(text.substr(start, pos - start));
+        if (k == "window_begin") wb = v;
+        else if (k == "window_end") we = v;
+      }
+    }
+    if (!rule.empty()) keys_.insert(key(rule, path, object, wb, we));
+    skip_ws(text, pos);
+    if (pos < text.size() && text[pos] == ']') break;
+  }
+  return true;
+}
+
+void Baseline::insert(const std::string& path, const Diagnostic& d) {
+  keys_.insert(
+      key(d.rule, path, d.location.object, d.window_begin, d.window_end));
+}
+
+bool Baseline::suppressed(const std::string& path,
+                          const Diagnostic& d) const {
+  return keys_.count(
+             key(d.rule, path, d.location.object, d.window_begin,
+                 d.window_end)) > 0;
+}
+
+std::string Baseline::write(const std::vector<FileFindings>& files) {
+  std::string out = "{\n  \"version\": 1,\n  \"findings\": [";
+  bool first = true;
+  for (const auto& f : files) {
+    for (const auto& d : f.diags) {
+      if (!first) out += ',';
+      first = false;
+      out += "\n    {\"rule\": \"";
+      out += esc(d.rule);
+      out += "\", \"path\": \"";
+      out += esc(f.path);
+      out += "\", \"object\": \"";
+      out += esc(d.location.object);
+      out += "\", \"window_begin\": ";
+      out += std::to_string(d.window_begin);
+      out += ", \"window_end\": ";
+      out += std::to_string(d.window_end);
+      out += '}';
+    }
+  }
+  out += first ? "]\n}\n" : "\n  ]\n}\n";
+  return out;
+}
+
+}  // namespace recosim::verify

@@ -154,6 +154,26 @@ inline constexpr RuleInfo kRules[] = {
      "failed for the whole drain-timeout budget; the transaction can only "
      "end in a watchdog-forced drain"},
 
+    // Envelope analysis (timeline verifier, src/verify/envelope.cpp):
+    // per-window [min,max] demand vs capacity envelopes per shared
+    // resource, capacity shrinking under the active fault plan. The
+    // error/warning split follows the severity discipline: guaranteed
+    // (min) demand that cannot be carried is an error, worst-case (max)
+    // demand that merely might not be is a warning.
+    {"ENV001", "bandwidth-envelope-violation", Severity::kError, "4.2",
+     "within some window the worst-case demand on a shared resource "
+     "exceeds its fault-free capacity; no fault is needed to starve it"},
+    {"ENV002", "latency-bound-exceeded", Severity::kError, "4.3",
+     "the worst-case hop/slot-wait latency of a flow exceeds its "
+     "scenario-declared deadline in some window (or is unbounded because "
+     "no live path or slot exists)"},
+    {"ENV003", "degraded-capacity-infeasible", Severity::kError, "4.2",
+     "the schedule is feasible fault-free but the fault plan's worst "
+     "window shrinks a resource's capacity below the demand"},
+    {"ENV004", "headroom-below-threshold", Severity::kWarning, "4.2",
+     "the capacity headroom left on a shared resource under the window's "
+     "faults is below the --headroom threshold"},
+
     // Fault plans (.fplan files checked against a scenario's topology)
     {"FLT001", "heal-without-fail", Severity::kError, "4.2",
      "a heal event has no matching earlier failure of the same resource; "

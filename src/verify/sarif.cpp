@@ -1,0 +1,147 @@
+// SARIF 2.1.0 export of recosim-lint findings: one run, the full rule
+// registry in the driver metadata, one result per diagnostic. Hand-rolled
+// JSON (like DiagnosticSink::to_json) — the format is small and the repo
+// takes no dependencies.
+
+#include "verify/sarif.hpp"
+
+#include <cstdio>
+
+#include "verify/rules.hpp"
+
+namespace recosim::verify {
+
+namespace {
+
+std::string esc(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+const char* level_of(Severity s) {
+  switch (s) {
+    case Severity::kNote: return "note";
+    case Severity::kWarning: return "warning";
+    case Severity::kError: return "error";
+  }
+  return "none";
+}
+
+int rule_index(const std::string& id) {
+  int i = 0;
+  for (const auto& r : kRules) {
+    if (id == r.id) return i;
+    ++i;
+  }
+  return -1;
+}
+
+/// Instantaneous event findings locate as "line L:C" objects; recover the
+/// source region from them so SARIF viewers can jump to the line.
+bool parse_line_object(const std::string& object, int& line, int& column) {
+  return std::sscanf(object.c_str(), "line %d:%d", &line, &column) == 2;
+}
+
+}  // namespace
+
+std::string to_sarif(const std::vector<FileFindings>& files) {
+  std::string out;
+  out +=
+      "{\n"
+      "  \"$schema\": "
+      "\"https://json.schemastore.org/sarif-2.1.0.json\",\n"
+      "  \"version\": \"2.1.0\",\n"
+      "  \"runs\": [\n"
+      "    {\n"
+      "      \"tool\": {\n"
+      "        \"driver\": {\n"
+      "          \"name\": \"recosim-lint\",\n"
+      "          \"informationUri\": "
+      "\"docs/static-analysis.md\",\n"
+      "          \"rules\": [\n";
+  bool first = true;
+  for (const auto& r : kRules) {
+    if (!first) out += ",\n";
+    first = false;
+    out += "            {\"id\": \"";
+    out += r.id;
+    out += "\", \"name\": \"";
+    out += esc(r.name);
+    out += "\", \"shortDescription\": {\"text\": \"";
+    out += esc(r.summary);
+    out += "\"}, \"defaultConfiguration\": {\"level\": \"";
+    out += level_of(r.default_severity);
+    out += "\"}}";
+  }
+  out +=
+      "\n          ]\n"
+      "        }\n"
+      "      },\n"
+      "      \"results\": [\n";
+
+  first = true;
+  for (const auto& f : files) {
+    for (const auto& d : f.diags) {
+      if (!first) out += ",\n";
+      first = false;
+      out += "        {\"ruleId\": \"";
+      out += esc(d.rule);
+      out += '"';
+      if (const int idx = rule_index(d.rule); idx >= 0) {
+        out += ", \"ruleIndex\": ";
+        out += std::to_string(idx);
+      }
+      out += ", \"level\": \"";
+      out += level_of(d.severity);
+      out += "\", \"message\": {\"text\": \"";
+      out += esc(d.message);
+      out += "\"}, \"locations\": [{\"physicalLocation\": "
+             "{\"artifactLocation\": {\"uri\": \"";
+      out += esc(f.path);
+      out += "\"}";
+      if (int line = 0, column = 0;
+          parse_line_object(d.location.object, line, column)) {
+        out += ", \"region\": {\"startLine\": ";
+        out += std::to_string(line);
+        out += ", \"startColumn\": ";
+        out += std::to_string(column);
+        out += '}';
+      }
+      out += "}, \"logicalLocations\": [{\"fullyQualifiedName\": \"";
+      out += esc(d.location.component);
+      if (!d.location.object.empty()) {
+        out += '/';
+        out += esc(d.location.object);
+      }
+      out += "\"}]}]";
+      out += ", \"properties\": {\"fixit\": \"";
+      out += esc(d.fixit);
+      out += '"';
+      if (d.has_window()) {
+        out += ", \"window_begin\": ";
+        out += std::to_string(d.window_begin);
+        out += ", \"window_end\": ";
+        out += std::to_string(d.window_end);
+      }
+      out += "}}";
+    }
+  }
+  out +=
+      "\n      ]\n"
+      "    }\n"
+      "  ]\n"
+      "}\n";
+  return out;
+}
+
+}  // namespace recosim::verify

@@ -1,0 +1,24 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "verify/diagnostic.hpp"
+
+namespace recosim::verify {
+
+/// Findings of one linted file, for SARIF export (one SARIF result per
+/// diagnostic, artifact location = the file the finding came from).
+struct FileFindings {
+  std::string path;
+  std::vector<Diagnostic> diags;
+};
+
+/// Render the findings of a lint run as a SARIF 2.1.0 log (one run, tool
+/// "recosim-lint", every rule of kRules in the driver's rule metadata).
+/// Severity maps note->"note", warning->"warning", error->"error"; the
+/// timeline window lands in the result's properties bag
+/// (window_begin/window_end) and "line L:C" objects become a region.
+std::string to_sarif(const std::vector<FileFindings>& files);
+
+}  // namespace recosim::verify

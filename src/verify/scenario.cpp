@@ -219,6 +219,23 @@ std::optional<Scenario> parse_scenario(const std::string& text,
         continue;
       }
       s.routes.push_back({{v[0], v[1]}, v[2], v[3]});
+    } else if (word == "deadline") {
+      int v[2];
+      long long cycles = 0;
+      if (!(in >> v[0] >> v[1] >> cycles)) {
+        ctx.parse_error("deadline expects: deadline <src> <dst> <cycles>");
+        continue;
+      }
+      if (cycles <= 0) {
+        ctx.parse_error("deadline must be a positive cycle count");
+        continue;
+      }
+      if (!s.has_module(v[0]) || !s.has_module(v[1])) {
+        ctx.bad_reference("deadline references undeclared module " +
+                          std::to_string(s.has_module(v[0]) ? v[1] : v[0]));
+        continue;
+      }
+      s.deadlines[{v[0], v[1]}] = cycles;
     } else if (word == "device") {
       int v[2];
       if (!take_ints(in, ctx, "device", 2, v)) continue;

@@ -3,6 +3,7 @@
 #include <map>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "fpga/geometry.hpp"
@@ -39,6 +40,8 @@ const char* to_string(ArchKind k);
 ///   attach 1 2 2               # CoNoChi: module at switch (x, y)
 ///   route 2 2 3 1              # CoNoChi: at (x,y) towards switch
 ///                              #   index 3, leave on port 1 (N,E,S,W)
+///   deadline 1 2 400           # envelope: worst-case latency bound in
+///                              #   cycles for traffic src 1 -> dst 2
 ///   device 48 32               # floorplan: fabric size in CLBs
 ///   region 1 0 0 12 16         # floorplan: module, x, y, w, h
 ///   port 1 12                  # floorplan: module interface bits
@@ -103,6 +106,11 @@ struct Scenario {
     int port = 0;         ///< 0 N, 1 E, 2 S, 3 W
   };
   std::vector<Route> routes;  ///< explicit overrides of the computed tables
+
+  // Envelope analysis (any architecture): declared worst-case latency
+  // bounds per flow, checked by ENV002 in every window where both
+  // endpoints are live.
+  std::map<std::pair<int, int>, long long> deadlines;
 
   // Floorplan
   int device_width = 0;  ///< 0 = no floorplan checks

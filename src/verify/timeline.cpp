@@ -7,6 +7,7 @@
 #include <utility>
 #include <vector>
 
+#include "verify/envelope.hpp"
 #include "verify/verifier.hpp"
 
 namespace recosim::verify {
@@ -91,7 +92,11 @@ Scenario make_snapshot(const Scenario& s, const State& st) {
 }  // namespace
 
 void Timeline::check(const Scenario& s, const FaultPlanDoc* plan,
-                     DiagnosticSink& sink) {
+                     DiagnosticSink& sink, const EnvelopeParams* envelope) {
+  // The envelope pass is part of the timeline; null means defaults
+  // (headroom rule off, no envelope collection).
+  static const EnvelopeParams kDefaultEnvelope;
+  if (!envelope) envelope = &kDefaultEnvelope;
   // --- Order the schedule (same-cycle ties keep file order; faults at a
   // cycle apply before that cycle's scenario events). ---
   std::vector<Scenario::TimedEvent> events = s.events;
@@ -469,7 +474,8 @@ void Timeline::check(const Scenario& s, const FaultPlanDoc* plan,
     const TimelineStep step{snap,       s,
                             wb,         we,
                             st.channels, st.demand,
-                            st.failed_nodes, st.failed_links};
+                            st.failed_nodes, st.failed_links,
+                            envelope};
     Verifier::timeline_step(step, tmp);
     std::map<std::string, Diagnostic> next;
     for (const auto& d : tmp.diagnostics()) {

@@ -6,6 +6,8 @@
 
 namespace recosim::verify {
 
+struct EnvelopeParams;
+
 /// Symbolic whole-schedule interpreter: steps a scenario's timed events
 /// jointly with an optional fault plan, maintaining an abstract fabric
 /// state (live modules, placements, slot table, live-channel multiset,
@@ -25,8 +27,13 @@ class Timeline {
   /// Interval-annotated diagnostics land in `sink`. A scenario without
   /// timed events degenerates to one [0, end) window — the static checks
   /// plus the epoch/channel feasibility rules.
+  ///
+  /// The envelope pass (ENV001..ENV004, src/verify/envelope.hpp) always
+  /// runs as part of the timeline; `envelope` customises it (headroom
+  /// threshold, envelope collection) and null means default parameters.
   static void check(const Scenario& s, const FaultPlanDoc* plan,
-                    DiagnosticSink& sink);
+                    DiagnosticSink& sink,
+                    const EnvelopeParams* envelope = nullptr);
 };
 
 }  // namespace recosim::verify

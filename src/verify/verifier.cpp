@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "core/comm_arch.hpp"
+#include "verify/envelope.hpp"
 #include "verify/fault_plan.hpp"
 
 namespace recosim::verify {
@@ -711,6 +712,8 @@ void Verifier::timeline_step_buscom(const TimelineStep& st,
                     "close the channel or heal a bus first");
     }
   }
+
+  if (st.envelope) envelope_step_buscom(st, sink);
 }
 
 void Verifier::timeline_step_rmboc(const TimelineStep& st,
@@ -782,6 +785,8 @@ void Verifier::timeline_step_rmboc(const TimelineStep& st,
                     std::to_string(buses) + " are up",
                 "stagger the circuits in time or heal the segment first");
   }
+
+  if (st.envelope) envelope_step_rmboc(st, sink);
 }
 
 void Verifier::timeline_step_dynoc(const TimelineStep& st,
@@ -811,6 +816,8 @@ void Verifier::timeline_step_dynoc(const TimelineStep& st,
       if (c.src == c.dst) break;
     }
   }
+
+  if (st.envelope) envelope_step_dynoc(st, sink);
 }
 
 void Verifier::timeline_step_conochi(const TimelineStep& st,
@@ -832,6 +839,8 @@ void Verifier::timeline_step_conochi(const TimelineStep& st,
       if (c.src == c.dst) break;
     }
   }
+
+  if (st.envelope) envelope_step_conochi(st, sink);
 }
 
 }  // namespace recosim::verify

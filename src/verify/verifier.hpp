@@ -14,6 +14,8 @@ class CommArchitecture;
 
 namespace recosim::verify {
 
+struct EnvelopeParams;
+
 /// Context of one timeline window handed to the per-architecture
 /// timeline-step hooks (src/verify/timeline.cpp): the abstract fabric
 /// state projected onto a snapshot Scenario — live modules, their
@@ -30,6 +32,9 @@ struct TimelineStep {
   const std::map<int, double>& demand;  ///< current epoch demand
   const std::set<std::pair<int, int>>& failed_nodes;
   const std::set<std::pair<int, int>>& failed_links;
+  /// When set, the matching envelope_step_* pass (src/verify/envelope.hpp)
+  /// runs after the architecture's temporal rules.
+  const EnvelopeParams* envelope = nullptr;
 };
 
 /// Entry points of the static verification layer (rule catalogue:

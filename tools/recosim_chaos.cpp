@@ -54,6 +54,7 @@
 #include <vector>
 
 #include "fault/chaos.hpp"
+#include "verify/envelope.hpp"
 
 using namespace recosim;
 
@@ -102,9 +103,25 @@ void report_failure(std::ostream& out, const fault::ChaosSchedule& schedule,
       << " seed=" << schedule.seed << "\n";
   for (const auto& v : result.violations)
     out << "  violation[" << v.invariant << "]: " << v.detail << "\n";
-  const fault::ChaosSchedule minimal =
-      opt.shrink ? fault::shrink_schedule(schedule, run_options(opt))
-                 : schedule;
+  fault::ChaosSchedule minimal = schedule;
+  if (opt.shrink) {
+    // Seed the shrink with the windows the timeline/envelope lint flags
+    // on the failing schedule: one probe drops everything outside them
+    // before the greedy loop runs.
+    std::vector<std::pair<long long, long long>> hints;
+    verify::DiagnosticSink lint;
+    fault::timeline_lint_schedule(schedule, lint);
+    for (const auto& d : lint.diagnostics())
+      if (d.has_window() && d.window_end != d.window_begin)
+        hints.push_back({d.window_begin, d.window_end});
+    const fault::ChaosRunOptions ro = run_options(opt);
+    minimal = fault::shrink_schedule(
+        schedule,
+        [&ro](const fault::ChaosSchedule& c) {
+          return !fault::run_schedule(c, ro).ok;
+        },
+        hints);
+  }
   out << "--- " << (opt.shrink ? "shrunk " : "")
       << "reproducing schedule (replay with: recosim-chaos --replay "
          "<file>) ---\n"
@@ -121,14 +138,44 @@ struct SeedOutcome {
   fault::ChaosResult result;
 };
 
+/// Worst legitimate delivery latency the envelope analysis predicts: the
+/// cycles the A<->B flow spends with zero capacity under the fault plan
+/// (the sender just waits those out — send rejects do not consume the
+/// retry budget), plus every retransmission backing off to the cap, plus
+/// slack for transaction quiesce/drain stalls on the op-module flows.
+sim::Cycle envelope_latency_bound(
+    const std::vector<verify::ResourceEnvelope>& envelopes,
+    fault::ChaosArch arch, sim::Cycle horizon) {
+  sim::Cycle outage = 0;
+  long long last_begin = -1;
+  for (const auto& e : envelopes) {
+    if (e.resource.rfind("flow ", 0) != 0 || e.capacity_min > 0) continue;
+    if (e.window_begin == last_begin) continue;  // both directions, once
+    last_begin = e.window_begin;
+    const long long end =
+        e.window_end < 0 ? static_cast<long long>(horizon) : e.window_end;
+    if (end > e.window_begin)
+      outage += static_cast<sim::Cycle>(end - e.window_begin);
+  }
+  const sim::Cycle max_timeout =
+      arch == fault::ChaosArch::kBuscom ? 65'536
+      : arch == fault::ChaosArch::kRmboc ? 16'384
+                                         : 8'192;
+  const sim::Cycle jitter = 16;
+  return outage + 8 * (max_timeout + jitter) + 50'000;
+}
+
 SeedOutcome run_one(fault::ChaosArch arch, std::uint64_t seed,
                     const Options& opt) {
   SeedOutcome out;
   std::ostringstream os;
   const auto schedule = fault::make_schedule(arch, seed, opt.ops, opt.horizon);
+  std::vector<verify::ResourceEnvelope> envelopes;
   if (opt.lint_first) {
     verify::DiagnosticSink lint;
-    fault::timeline_lint_schedule(schedule, lint);
+    verify::EnvelopeParams ep;
+    ep.collect = &envelopes;
+    fault::timeline_lint_schedule(schedule, lint, &ep);
     if (lint.error_count() > 0) {
       out.lint_skipped = true;
       if (opt.verbose) {
@@ -159,6 +206,31 @@ SeedOutcome run_one(fault::ChaosArch arch, std::uint64_t seed,
       os << "LINT-MISS arch=" << fault::to_string(arch) << " seed=" << seed
          << ": lint-clean schedule violated a runtime invariant\n";
     report_failure(os, schedule, out.result, opt);
+  } else if (opt.lint_first) {
+    // The run held its invariants; check the measured throughput and
+    // latency against the envelope predictions. A lint-clean schedule
+    // whose runtime disagrees with its envelopes is a failure of the
+    // analyzer, not of the architecture.
+    const sim::Cycle bound =
+        envelope_latency_bound(envelopes, arch, schedule.horizon);
+    std::size_t zero_capacity_windows = 0;
+    for (const auto& e : envelopes)
+      if (e.resource.rfind("flow ", 0) == 0 && e.capacity_min <= 0)
+        ++zero_capacity_windows;
+    if (out.result.max_delivery_latency > bound) {
+      out.ok = false;
+      os << "LINT-MISS arch=" << fault::to_string(arch) << " seed=" << seed
+         << ": measured max delivery latency "
+         << out.result.max_delivery_latency
+         << " exceeds the envelope bound " << bound << "\n";
+    } else if (out.result.accepted > 0 && out.result.delivered == 0 &&
+               zero_capacity_windows == 0) {
+      out.ok = false;
+      os << "LINT-MISS arch=" << fault::to_string(arch) << " seed=" << seed
+         << ": envelopes predict a live path in every window but nothing "
+            "was delivered ("
+         << out.result.accepted << " accepted)\n";
+    }
   }
   out.output = os.str();
   return out;

@@ -1,7 +1,9 @@
 // recosim-lint: static checker for ReCoSim scenario files (.rcs) and
 // fault-injection plans (.fplan).
 //
-// Usage: recosim-lint [--json] [--rules] [--timeline] [--werror]
+// Usage: recosim-lint [--json] [--rules] [--timeline] [--envelope]
+//                     [--headroom <pct>] [--werror] [--sarif <file>]
+//                     [--baseline <file>] [--baseline-write <file>]
 //                     <file.rcs|file.fplan|directory>...
 //
 // A directory argument expands (non-recursively) to the .rcs and .fplan
@@ -12,9 +14,16 @@
 //   recosim-lint examples/scenarios/conochi_mesh.rcs faults.fplan
 //
 // With --timeline each scenario's event schedule is symbolically stepped
-// (the TMP/SCH rule families); a plan named like the scenario
-// (foo.rcs + foo.fplan) pairs with it automatically and its faults feed
-// the timeline. Paired plans are not checked a second time standalone.
+// (the TMP/SCH rule families plus the ENV envelope analysis); a plan
+// named like the scenario (foo.rcs + foo.fplan) pairs with it
+// automatically and its faults feed the timeline. Paired plans are not
+// checked a second time standalone. --envelope is a synonym that also
+// turns the timeline on; --headroom <pct> arms the ENV004 headroom rule.
+//
+// --sarif <file> additionally writes the findings as a SARIF 2.1.0 log.
+// --baseline <file> suppresses findings recorded in a baseline written
+// earlier by --baseline-write <file> (keyed rule + path + location +
+// window, so new findings and moved windows still report).
 //
 // Exit codes:
 //   0  every file parsed and no error (nor, under --werror, warning)
@@ -23,15 +32,21 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <filesystem>
+#include <fstream>
 #include <optional>
 #include <set>
+#include <sstream>
 #include <string>
 #include <vector>
 
+#include "verify/baseline.hpp"
+#include "verify/envelope.hpp"
 #include "verify/fault_plan.hpp"
 #include "verify/rules.hpp"
+#include "verify/sarif.hpp"
 #include "verify/scenario.hpp"
 #include "verify/timeline.hpp"
 #include "verify/verifier.hpp"
@@ -39,8 +54,9 @@
 namespace {
 
 constexpr char kUsage[] =
-    "usage: recosim-lint [--json] [--rules] [--timeline] [--werror] "
-    "<file.rcs|file.fplan|directory>...\n";
+    "usage: recosim-lint [--json] [--rules] [--timeline] [--envelope] "
+    "[--headroom <pct>] [--werror] [--sarif <file>] [--baseline <file>] "
+    "[--baseline-write <file>] <file.rcs|file.fplan|directory>...\n";
 
 void print_rules() {
   for (const auto& r : recosim::verify::kRules) {
@@ -90,6 +106,22 @@ std::vector<std::string> expand_args(const std::vector<std::string>& args,
   return out;
 }
 
+bool read_file(const std::string& path, std::string& out) {
+  std::ifstream in(path);
+  if (!in) return false;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  out = ss.str();
+  return true;
+}
+
+bool write_file(const std::string& path, const std::string& content) {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << content;
+  return static_cast<bool>(out);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -99,12 +131,39 @@ int main(int argc, char** argv) {
   bool json = false;
   bool timeline = false;
   bool werror = false;
+  double headroom_pct = -1.0;
+  std::string sarif_path, baseline_path, baseline_write_path;
   std::vector<std::string> args;
+  const auto value_of = [&](int& i) -> const char* {
+    if (i + 1 >= argc) {
+      std::fprintf(stderr, "recosim-lint: '%s' needs a value\n", argv[i]);
+      return nullptr;
+    }
+    return argv[++i];
+  };
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--json") == 0) {
       json = true;
-    } else if (std::strcmp(argv[i], "--timeline") == 0) {
+    } else if (std::strcmp(argv[i], "--timeline") == 0 ||
+               std::strcmp(argv[i], "--envelope") == 0) {
+      timeline = true;  // the envelope pass is part of the timeline
+    } else if (std::strcmp(argv[i], "--headroom") == 0) {
+      const char* v = value_of(i);
+      if (!v) return 2;
+      headroom_pct = std::atof(v);
       timeline = true;
+    } else if (std::strcmp(argv[i], "--sarif") == 0) {
+      const char* v = value_of(i);
+      if (!v) return 2;
+      sarif_path = v;
+    } else if (std::strcmp(argv[i], "--baseline") == 0) {
+      const char* v = value_of(i);
+      if (!v) return 2;
+      baseline_path = v;
+    } else if (std::strcmp(argv[i], "--baseline-write") == 0) {
+      const char* v = value_of(i);
+      if (!v) return 2;
+      baseline_write_path = v;
     } else if (std::strcmp(argv[i], "--werror") == 0) {
       werror = true;
     } else if (std::strcmp(argv[i], "--rules") == 0) {
@@ -127,30 +186,66 @@ int main(int argc, char** argv) {
     return 2;
   }
 
+  Baseline baseline;
+  if (!baseline_path.empty()) {
+    std::string text;
+    if (!read_file(baseline_path, text) || !baseline.parse(text)) {
+      std::fprintf(stderr, "recosim-lint: cannot read baseline '%s'\n",
+                   baseline_path.c_str());
+      return 2;
+    }
+  }
+
+  EnvelopeParams envelope;
+  envelope.headroom_pct = headroom_pct;
+
   // Under --timeline, a plan named like a scenario on the command line
   // pairs with it and must not be checked a second time standalone.
   std::set<std::string> paired_plans;
 
-  DiagnosticSink sink;
+  DiagnosticSink sink;               // every reported finding, all files
+  std::vector<FileFindings> per_file;  // the same, grouped (SARIF/baseline)
+  std::size_t suppressed = 0;
   bool parse_failed = false;
+  // Findings of one file land in a local sink first so they can be keyed
+  // to their path (SARIF artifacts, baseline suppression).
+  const auto finish_file = [&](const std::string& path,
+                               DiagnosticSink& local) {
+    FileFindings ff;
+    ff.path = path;
+    for (const auto& d : local.diagnostics()) {
+      if (baseline.suppressed(path, d)) {
+        ++suppressed;
+        continue;
+      }
+      ff.diags.push_back(d);
+      sink.add(d);
+    }
+    per_file.push_back(std::move(ff));
+  };
+
   // Fault plans are checked against the most recent scenario on the
   // command line, so `recosim-lint topo.rcs plan.fplan` validates the
   // plan's coordinates against that topology.
   std::optional<Scenario> topology;
   for (const auto& file : files) {
+    DiagnosticSink local;
     if (has_suffix(file, ".fplan")) {
       if (paired_plans.count(file)) continue;  // already ran with its .rcs
-      auto plan = parse_fault_plan_file(file, sink);
+      auto plan = parse_fault_plan_file(file, local);
       if (!plan) {
         parse_failed = true;
+        finish_file(file, local);
         continue;
       }
-      check_fault_plan(*plan, topology ? &*topology : nullptr, sink);
+      check_fault_plan(*plan, topology ? &*topology : nullptr, local);
+      finish_file(file, local);
       continue;
     }
-    auto scenario = parse_scenario_file(file, sink);
+    auto scenario = parse_scenario_file(file, local);
     if (!scenario) {
       parse_failed = true;
+      finish_file(file, local);
       continue;
     }
     if (timeline) {
@@ -158,30 +253,49 @@ int main(int argc, char** argv) {
       const fs::path plan_path = fs::path(file).replace_extension(".fplan");
       std::error_code ec;
       if (fs::is_regular_file(plan_path, ec)) {
-        plan = parse_fault_plan_file(plan_path.string(), sink);
+        plan = parse_fault_plan_file(plan_path.string(), local);
         if (plan) {
           paired_plans.insert(plan_path.string());
-          check_fault_plan(*plan, &*scenario, sink);
+          check_fault_plan(*plan, &*scenario, local);
         } else {
           parse_failed = true;
         }
       }
-      Timeline::check(*scenario, plan ? &*plan : nullptr, sink);
+      Timeline::check(*scenario, plan ? &*plan : nullptr, local, &envelope);
     } else {
-      Verifier::check_all(*scenario, sink);
+      Verifier::check_all(*scenario, local);
     }
+    finish_file(file, local);
     topology = std::move(*scenario);
+  }
+
+  if (!sarif_path.empty() && !write_file(sarif_path, to_sarif(per_file))) {
+    std::fprintf(stderr, "recosim-lint: cannot write SARIF '%s'\n",
+                 sarif_path.c_str());
+    return 2;
+  }
+  if (!baseline_write_path.empty()) {
+    if (!write_file(baseline_write_path, Baseline::write(per_file))) {
+      std::fprintf(stderr, "recosim-lint: cannot write baseline '%s'\n",
+                   baseline_write_path.c_str());
+      return 2;
+    }
   }
 
   if (json) {
     std::printf("%s\n", sink.to_json().c_str());
   } else {
     std::printf("%s", sink.to_text().c_str());
-    std::printf("%zu diagnostic(s), %zu error(s), %zu warning(s)\n",
+    std::printf("%zu diagnostic(s), %zu error(s), %zu warning(s)",
                 sink.size(), sink.error_count(),
                 sink.count(Severity::kWarning));
+    if (suppressed > 0)
+      std::printf(", %zu baseline-suppressed", suppressed);
+    std::printf("\n");
   }
   if (parse_failed) return 2;
+  // A freshly written baseline acknowledges the findings it records.
+  if (!baseline_write_path.empty()) return 0;
   if (sink.error_count() > 0) return 1;
   if (werror && sink.count(Severity::kWarning) > 0) return 1;
   return 0;
