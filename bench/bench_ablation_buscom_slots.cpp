@@ -2,6 +2,10 @@
 // slots guarantee worst-case access time (the real-time argument of the
 // automotive use case); dynamic slots adapt to skewed load. The sweep
 // shows the trade under symmetric and hotspot traffic.
+//
+// The eight (fraction, traffic-shape) points are independent, so they run
+// on the simulation farm (src/farm/) into per-index slots; the table is
+// assembled in sweep order afterwards, identical to the old serial loop.
 
 #include <iostream>
 #include <memory>
@@ -10,6 +14,7 @@
 #include "buscom/buscom.hpp"
 #include "core/report.hpp"
 #include "core/traffic.hpp"
+#include "farm/farm.hpp"
 #include "sim/kernel.hpp"
 
 using namespace recosim;
@@ -55,14 +60,34 @@ Result run(double dynamic_fraction, bool skewed) {
 }  // namespace
 
 int main() {
+  const std::vector<double> fracs{0.0, 0.25, 0.5, 0.75};
+  std::vector<Result> uniform(fracs.size()), skewed(fracs.size());
+  std::vector<farm::Job> jobs;
+  for (std::size_t i = 0; i < fracs.size(); ++i) {
+    for (bool skew : {false, true}) {
+      farm::Job j;
+      j.key = {"buscom", static_cast<std::uint64_t>(100.0 * fracs[i]),
+               skew ? "ablation-slots-skewed" : "ablation-slots-uniform"};
+      auto* slot = skew ? &skewed[i] : &uniform[i];
+      j.fn = [slot, &fracs, i, skew](const farm::RunContext&) {
+        *slot = run(fracs[i], skew);
+        return farm::RunResult{};
+      };
+      jobs.push_back(std::move(j));
+    }
+  }
+  farm::FarmConfig fc;
+  fc.jobs = farm::default_jobs(jobs.size());
+  farm::SimFarm(fc).run(jobs);
+
   Table t("BUS-COM ablation: dynamic-slot fraction");
   t.set_headers({"dynamic", "worst-case wait (cyc)",
                  "mean lat. uniform", "mean lat. skewed",
                  "delivered uniform", "delivered skewed"});
-  for (double frac : {0.0, 0.25, 0.5, 0.75}) {
-    auto u = run(frac, false);
-    auto s = run(frac, true);
-    t.add_row({Table::num(100.0 * frac, 0) + "%",
+  for (std::size_t i = 0; i < fracs.size(); ++i) {
+    const auto& u = uniform[i];
+    const auto& s = skewed[i];
+    t.add_row({Table::num(100.0 * fracs[i], 0) + "%",
                Table::num(u.worst_wait), Table::num(u.mean_latency),
                Table::num(s.mean_latency), Table::num(u.delivered),
                Table::num(s.delivered)});

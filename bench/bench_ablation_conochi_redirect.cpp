@@ -4,11 +4,18 @@
 // with redirection on/off and sweeps the address-update delay of the
 // interface modules.
 
+// The six (redirection, delay) points are independent simulations, so
+// they run on the simulation farm (src/farm/) into per-index slots; the
+// table is assembled in sweep order afterwards, identical to the old
+// serial loop.
+
 #include <iostream>
+#include <vector>
 
 #include "conochi/conochi.hpp"
 #include "core/report.hpp"
 #include "core/traffic.hpp"
+#include "farm/farm.hpp"
 #include "sim/kernel.hpp"
 
 using namespace recosim;
@@ -55,17 +62,39 @@ Result run(bool redirection, sim::Cycle addr_delay) {
 }  // namespace
 
 int main() {
+  struct Point {
+    bool redir;
+    sim::Cycle delay;
+  };
+  std::vector<Point> points;
+  for (bool redir : {true, false})
+    for (sim::Cycle delay : {64u, 256u, 1024u}) points.push_back({redir, delay});
+
+  std::vector<Result> results(points.size());
+  std::vector<farm::Job> jobs;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    farm::Job j;
+    j.key = {"conochi", static_cast<std::uint64_t>(points[i].delay),
+             points[i].redir ? "ablation-redirect-on" : "ablation-redirect-off"};
+    j.fn = [&results, &points, i](const farm::RunContext&) {
+      results[i] = run(points[i].redir, points[i].delay);
+      return farm::RunResult{};
+    };
+    jobs.push_back(std::move(j));
+  }
+  farm::FarmConfig fc;
+  fc.jobs = farm::default_jobs(jobs.size());
+  farm::SimFarm(fc).run(jobs);
+
   Table t("CoNoChi ablation: packet redirection during a module move");
   t.set_headers({"redirection", "addr-update delay", "sent", "delivered",
                  "redirected", "lost"});
-  for (bool redir : {true, false}) {
-    for (sim::Cycle delay : {64u, 256u, 1024u}) {
-      auto r = run(redir, delay);
-      t.add_row({redir ? "on" : "off",
-                 Table::num(static_cast<std::uint64_t>(delay)),
-                 Table::num(r.sent), Table::num(r.delivered),
-                 Table::num(r.redirected), Table::num(r.lost)});
-    }
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const auto& r = results[i];
+    t.add_row({points[i].redir ? "on" : "off",
+               Table::num(static_cast<std::uint64_t>(points[i].delay)),
+               Table::num(r.sent), Table::num(r.delivered),
+               Table::num(r.redirected), Table::num(r.lost)});
   }
   t.print(std::cout);
   std::cout

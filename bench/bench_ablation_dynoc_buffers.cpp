@@ -4,6 +4,10 @@
 // buffers are the NoC area cost the paper laments) and routing-pipeline
 // depth (per-hop latency). Also quantifies the S-XY detour tax.
 
+// The buffer-depth and pipeline-depth sweeps are independent heavy
+// simulations, so they run on the simulation farm (src/farm/) into
+// per-index slots; the cheap detour/switching tables stay serial.
+
 #include <iostream>
 #include <memory>
 #include <vector>
@@ -11,6 +15,7 @@
 #include "core/report.hpp"
 #include "core/traffic.hpp"
 #include "dynoc/dynoc.hpp"
+#include "farm/farm.hpp"
 #include "sim/kernel.hpp"
 
 using namespace recosim;
@@ -61,12 +66,41 @@ Result run(std::size_t buffers, sim::Cycle routing_delay) {
 }  // namespace
 
 int main() {
+  const std::vector<std::size_t> buffer_depths{1, 2, 4, 8};
+  const std::vector<sim::Cycle> pipeline_depths{1, 2, 4};
+  std::vector<Result> buffer_points(buffer_depths.size());
+  std::vector<Result> pipeline_points(pipeline_depths.size());
+  std::vector<farm::Job> jobs;
+  for (std::size_t i = 0; i < buffer_depths.size(); ++i) {
+    farm::Job j;
+    j.key = {"dynoc", static_cast<std::uint64_t>(buffer_depths[i]),
+             "ablation-buffers"};
+    j.fn = [&buffer_points, &buffer_depths, i](const farm::RunContext&) {
+      buffer_points[i] = run(buffer_depths[i], 2);
+      return farm::RunResult{};
+    };
+    jobs.push_back(std::move(j));
+  }
+  for (std::size_t i = 0; i < pipeline_depths.size(); ++i) {
+    farm::Job j;
+    j.key = {"dynoc", static_cast<std::uint64_t>(pipeline_depths[i]),
+             "ablation-pipeline"};
+    j.fn = [&pipeline_points, &pipeline_depths, i](const farm::RunContext&) {
+      pipeline_points[i] = run(2, pipeline_depths[i]);
+      return farm::RunResult{};
+    };
+    jobs.push_back(std::move(j));
+  }
+  farm::FarmConfig fc;
+  fc.jobs = farm::default_jobs(jobs.size());
+  farm::SimFarm(fc).run(jobs);
+
   Table b("DyNoC ablation: input buffer depth (load 0.05, 64 B)");
   b.set_headers({"buffers/port", "mean latency", "delivered",
                  "source stall cycles"});
-  for (std::size_t buf : {1u, 2u, 4u, 8u}) {
-    auto r = run(buf, 2);
-    b.add_row({Table::num(static_cast<std::uint64_t>(buf)),
+  for (std::size_t i = 0; i < buffer_depths.size(); ++i) {
+    const auto& r = buffer_points[i];
+    b.add_row({Table::num(static_cast<std::uint64_t>(buffer_depths[i])),
                Table::num(r.mean_latency), Table::num(r.delivered),
                Table::num(r.stalled)});
   }
@@ -74,9 +108,9 @@ int main() {
 
   Table p("DyNoC ablation: routing pipeline depth");
   p.set_headers({"routing cycles", "mean latency", "delivered"});
-  for (sim::Cycle d : {1u, 2u, 4u}) {
-    auto r = run(2, d);
-    p.add_row({Table::num(static_cast<std::uint64_t>(d)),
+  for (std::size_t i = 0; i < pipeline_depths.size(); ++i) {
+    const auto& r = pipeline_points[i];
+    p.add_row({Table::num(static_cast<std::uint64_t>(pipeline_depths[i])),
                Table::num(r.mean_latency), Table::num(r.delivered)});
   }
   p.print(std::cout);
@@ -104,10 +138,11 @@ int main() {
       if (!arch.attach_at(3, big, at)) continue;
     }
     const int hops = arch.route_hops(1, 2).value();
+    std::string overhead = "+";
+    overhead += Table::num(static_cast<std::uint64_t>(hops - 4));
     s.add_row({size == 0 ? "none"
                          : std::to_string(size) + "x" + std::to_string(size),
-               Table::num(static_cast<std::uint64_t>(hops)),
-               "+" + Table::num(static_cast<std::uint64_t>(hops - 4))});
+               Table::num(static_cast<std::uint64_t>(hops)), overhead});
   }
   s.print(std::cout);
 

@@ -2,6 +2,11 @@
 // the comparison; this sweep shows what k buys - fewer blocked channel
 // requests and lower latency - and what it costs in slices (area grows
 // linearly in k, the reason RMBoC tops Table 3).
+//
+// The sweep points are independent simulations, so they run on the
+// simulation farm (src/farm/): one job per point, results collected into
+// per-index slots and the tables assembled in sweep order afterwards, so
+// the output is identical to the old serial loops.
 
 #include <iostream>
 #include <memory>
@@ -10,77 +15,125 @@
 #include "core/area_model.hpp"
 #include "core/report.hpp"
 #include "core/traffic.hpp"
+#include "farm/farm.hpp"
 #include "rmboc/rmboc.hpp"
 #include "sim/kernel.hpp"
 
 using namespace recosim;
 using namespace recosim::core;
 
+namespace {
+
+struct BusPoint {
+  std::uint64_t blocked = 0;
+  std::uint64_t retries = 0;
+  double mean_latency = 0;
+  std::uint64_t delivered = 0;
+};
+
+BusPoint run_buses(int k) {
+  sim::Kernel kernel;
+  rmboc::RmbocConfig cfg;
+  cfg.buses = k;
+  rmboc::Rmboc arch(kernel, cfg);
+  fpga::HardwareModule hm;
+  std::vector<fpga::ModuleId> mods;
+  for (int i = 1; i <= 4; ++i) {
+    arch.attach(static_cast<fpga::ModuleId>(i), hm);
+    mods.push_back(static_cast<fpga::ModuleId>(i));
+  }
+  sim::Rng root(11);
+  std::vector<std::unique_ptr<TrafficSource>> sources;
+  for (auto src : mods) {
+    std::vector<fpga::ModuleId> others;
+    for (auto m : mods)
+      if (m != src) others.push_back(m);
+    sources.push_back(std::make_unique<TrafficSource>(
+        kernel, arch, src, DestinationPolicy::uniform(others),
+        SizePolicy::fixed(64), InjectionPolicy::bernoulli(0.02),
+        root.fork()));
+  }
+  TrafficSink sink(kernel, arch, mods);
+  kernel.run(30'000);
+  for (auto& s : sources) s->stop();
+  kernel.run(10'000);
+  return BusPoint{arch.stats().counter_value("requests_blocked"),
+                  arch.stats().counter_value("channel_retries"),
+                  arch.mean_latency_cycles(), sink.received_total()};
+}
+
+// Bandwidth adaptation (§4.3): the same 4 KiB transfer over channels of
+// 1..4 reserved lanes.
+double run_lanes(int lanes) {
+  sim::Kernel kernel;
+  rmboc::RmbocConfig cfg;
+  rmboc::Rmboc arch(kernel, cfg);
+  fpga::HardwareModule hm;
+  for (int i = 1; i <= 4; ++i)
+    arch.attach(static_cast<fpga::ModuleId>(i), hm);
+  arch.open_channel(1, 2, lanes);
+  kernel.run_until([&] { return arch.has_channel(1, 2); }, 100);
+  proto::Packet p;
+  p.src = 1;
+  p.dst = 2;
+  p.payload_bytes = 4'096;
+  arch.send(p);
+  const sim::Cycle start = kernel.now();
+  kernel.run_until([&] { return arch.receive(2).has_value(); }, 10'000);
+  return static_cast<double>(kernel.now() - start);
+}
+
+}  // namespace
+
 int main() {
+  const std::vector<int> ks{1, 2, 4, 8};
+  const std::vector<int> lane_counts{1, 2, 4};
+  std::vector<BusPoint> bus_points(ks.size());
+  std::vector<double> lane_cycles(lane_counts.size());
+
+  std::vector<farm::Job> jobs;
+  for (std::size_t i = 0; i < ks.size(); ++i) {
+    farm::Job j;
+    j.key = {"rmboc", static_cast<std::uint64_t>(ks[i]), "ablation-buses"};
+    j.fn = [&bus_points, &ks, i](const farm::RunContext&) {
+      bus_points[i] = run_buses(ks[i]);
+      return farm::RunResult{};
+    };
+    jobs.push_back(std::move(j));
+  }
+  for (std::size_t i = 0; i < lane_counts.size(); ++i) {
+    farm::Job j;
+    j.key = {"rmboc", static_cast<std::uint64_t>(lane_counts[i]),
+             "ablation-lanes"};
+    j.fn = [&lane_cycles, &lane_counts, i](const farm::RunContext&) {
+      lane_cycles[i] = run_lanes(lane_counts[i]);
+      return farm::RunResult{};
+    };
+    jobs.push_back(std::move(j));
+  }
+  farm::FarmConfig fc;
+  fc.jobs = farm::default_jobs(jobs.size());
+  farm::SimFarm(fc).run(jobs);
+
   Table t("RMBoC ablation: number of buses k (4 modules, uniform traffic)");
   t.set_headers({"k", "slices", "blocked requests", "retries",
                  "mean latency (cyc)", "delivered"});
-  for (int k : {1, 2, 4, 8}) {
-    sim::Kernel kernel;
-    rmboc::RmbocConfig cfg;
-    cfg.buses = k;
-    rmboc::Rmboc arch(kernel, cfg);
-    fpga::HardwareModule hm;
-    std::vector<fpga::ModuleId> mods;
-    for (int i = 1; i <= 4; ++i) {
-      arch.attach(static_cast<fpga::ModuleId>(i), hm);
-      mods.push_back(static_cast<fpga::ModuleId>(i));
-    }
-    sim::Rng root(11);
-    std::vector<std::unique_ptr<TrafficSource>> sources;
-    for (auto src : mods) {
-      std::vector<fpga::ModuleId> others;
-      for (auto m : mods)
-        if (m != src) others.push_back(m);
-      sources.push_back(std::make_unique<TrafficSource>(
-          kernel, arch, src, DestinationPolicy::uniform(others),
-          SizePolicy::fixed(64), InjectionPolicy::bernoulli(0.02),
-          root.fork()));
-    }
-    TrafficSink sink(kernel, arch, mods);
-    kernel.run(30'000);
-    for (auto& s : sources) s->stop();
-    kernel.run(10'000);
-    t.add_row({Table::num(static_cast<std::uint64_t>(k)),
-               Table::num(area::rmboc_slices(4, k, 32), 0),
-               Table::num(arch.stats().counter_value("requests_blocked")),
-               Table::num(arch.stats().counter_value("channel_retries")),
-               Table::num(arch.mean_latency_cycles()),
-               Table::num(sink.received_total())});
+  for (std::size_t i = 0; i < ks.size(); ++i) {
+    const auto& r = bus_points[i];
+    t.add_row({Table::num(static_cast<std::uint64_t>(ks[i])),
+               Table::num(area::rmboc_slices(4, ks[i], 32), 0),
+               Table::num(r.blocked), Table::num(r.retries),
+               Table::num(r.mean_latency), Table::num(r.delivered)});
   }
   t.print(std::cout);
 
-  // Bandwidth adaptation (§4.3): the same 4 KiB transfer over channels of
-  // 1..4 reserved lanes.
   Table l("RMBoC lane striping: 4 KiB transfer, adjacent modules");
   l.set_headers({"lanes", "transfer cycles", "speedup"});
-  double base = 0.0;
-  for (int lanes : {1, 2, 4}) {
-    sim::Kernel kernel;
-    rmboc::RmbocConfig cfg;
-    rmboc::Rmboc arch(kernel, cfg);
-    fpga::HardwareModule hm;
-    for (int i = 1; i <= 4; ++i)
-      arch.attach(static_cast<fpga::ModuleId>(i), hm);
-    arch.open_channel(1, 2, lanes);
-    kernel.run_until([&] { return arch.has_channel(1, 2); }, 100);
-    proto::Packet p;
-    p.src = 1;
-    p.dst = 2;
-    p.payload_bytes = 4'096;
-    arch.send(p);
-    const sim::Cycle start = kernel.now();
-    kernel.run_until([&] { return arch.receive(2).has_value(); }, 10'000);
-    const double cycles = static_cast<double>(kernel.now() - start);
-    if (lanes == 1) base = cycles;
-    l.add_row({Table::num(static_cast<std::uint64_t>(lanes)),
-               Table::num(cycles, 0), Table::num(base / cycles, 2) + "x"});
-  }
+  const double base = lane_cycles[0];
+  for (std::size_t i = 0; i < lane_counts.size(); ++i)
+    l.add_row({Table::num(static_cast<std::uint64_t>(lane_counts[i])),
+               Table::num(lane_cycles[i], 0),
+               Table::num(base / lane_cycles[i], 2) + "x"});
   l.print(std::cout);
 
   std::cout << "Shape check: blocking collapses as k grows while area rises\n"

@@ -397,8 +397,12 @@ ChaosResult run_schedule(const ChaosSchedule& s, const ChaosRunOptions& opt) {
     }
   };
 
+  const auto cancelled = [&opt] {
+    return opt.cancel && opt.cancel->load(std::memory_order_relaxed);
+  };
+
   sim::Cycle next_send = 0;
-  while (kernel.now() < s.horizon) {
+  while (kernel.now() < s.horizon && !cancelled()) {
     if (kernel.now() >= next_send) {
       fpga::ModuleId src = kEndpointA;
       fpga::ModuleId dst = kEndpointB;
@@ -436,6 +440,7 @@ ChaosResult run_schedule(const ChaosSchedule& s, const ChaosRunOptions& opt) {
   // transaction or a leaked in-flight packet — which the checks report.
   kernel.run_until(
       [&] {
+        if (cancelled()) return true;
         for (const auto& t : txns)
           if (!t->done()) return false;
         if (rc.outstanding() != 0) return false;
@@ -443,6 +448,18 @@ ChaosResult run_schedule(const ChaosSchedule& s, const ChaosRunOptions& opt) {
       },
       250'000);
   drain_receives();
+
+  if (cancelled()) {
+    // Deadline-killed by the farm watchdog: the run is abandoned
+    // mid-flight, so no invariant below would be meaningful. Hand back a
+    // minimal result that can never be mistaken for a clean run.
+    ChaosResult result;
+    result.ok = false;
+    result.end_cycle = kernel.now();
+    result.violations.push_back(
+        {"cancelled", "run cancelled mid-flight by the farm watchdog"});
+    return result;
+  }
 
   if (std::getenv("RECOSIM_CHAOS_DEBUG")) {
     std::fprintf(stderr,

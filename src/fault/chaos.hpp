@@ -1,5 +1,6 @@
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <optional>
@@ -78,6 +79,11 @@ struct ChaosRunOptions {
   bool recovery = false;
   /// Cycle budget from confirmation to resolution per incident.
   sim::Cycle recovery_bound = 50'000;
+  /// Cooperative cancellation: when non-null and set (the simulation
+  /// farm's wall-clock watchdog), run_schedule stops at the next cycle
+  /// boundary and returns a result flagged with a "cancelled" violation.
+  /// Results of cancelled runs are partial and never trustworthy.
+  const std::atomic<bool>* cancel = nullptr;
 };
 
 struct ChaosResult {

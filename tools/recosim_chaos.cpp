@@ -1,5 +1,6 @@
 // recosim-chaos: seed-driven chaos testing of the transactional
-// reconfiguration path.
+// reconfiguration path, executed on the fault-tolerant simulation farm
+// (src/farm/).
 //
 // For every (architecture, seed) pair a random fault plan plus a random
 // reconfiguration schedule is generated, run against the architecture
@@ -11,235 +12,78 @@
 // the exact run can be replayed bit-for-bit with --replay.
 //
 // Usage:
-//   recosim-chaos [--arch NAME] [--seeds N] [--seed-base S] [--ops N]
+//   recosim-chaos [--arch NAME] [--seeds N] [--seed-base S]
+//                 [--seed-range A:B] [--seed-file PATH] [--ops N]
 //                 [--horizon CYCLES] [--lint-first] [--recovery]
-//                 [--recovery-bound CYCLES] [--jobs N]
-//                 [--no-fast-forward] [--verbose]
+//                 [--recovery-bound CYCLES] [--jobs N] [--retries N]
+//                 [--run-deadline-ms MS] [--campaign JOURNAL] [--resume]
+//                 [--quarantine-out PATH] [--no-fast-forward] [--verbose]
 //   recosim-chaos --replay FILE [--no-shrink] [--recovery]
 //                 [--no-fast-forward]
 //
-// --lint-first runs the timeline verifier over every generated schedule
-// before executing it. Schedules the linter flags with an error are
-// skipped (statically predicted to go bad); for the rest the lint must
-// agree with the runtime — a lint-clean schedule that then violates a
-// runtime invariant is a failure of the verifier itself and fails the
-// sweep.
+// Farm semantics (see docs/farm.md):
+//  * --jobs N evaluates seeds on N workers; output is collected in job
+//    order, byte-identical to --jobs 1.
+//  * A failing run is retried (--retries, default 2 total attempts) with
+//    backoff; the retry must reproduce the failure bit-identically or the
+//    seed is quarantined as nondeterministic. Hung runs past
+//    --run-deadline-ms are cancelled and quarantined with a replayable
+//    incident record. The campaign always completes.
+//  * --campaign J appends an append-only JSONL journal to J; --resume
+//    skips every run that already has a terminal record in J. SIGINT and
+//    SIGTERM drain in-flight runs, checkpoint them to the journal, and
+//    exit with status 4.
+//  * --seed-range A:B (half-open) and --seed-file let campaigns be
+//    sharded across machines and quarantine lists be replayed.
 //
-// --recovery runs the self-healing layer (health::FailureDetector +
-// health::RecoveryOrchestrator) alongside every schedule and checks the
-// recovery invariants on top: every confirmed failure resolves to
-// RECOVERED or DEGRADED-STABLE within --recovery-bound cycles, delivery
-// stays exactly-once across evacuations, and healed regions are
-// attachable again at the end of the run.
-//
-// --jobs N evaluates seeds on N worker threads. Each seed's simulation is
-// self-contained and its output is buffered and printed in seed order, so
-// the output is byte-identical to --jobs 1.
-//
-// --no-fast-forward disables the kernel's quiescence tracking and
-// idle-cycle fast-forward; the results are bit-for-bit identical either
-// way (use it to cross-check the activity-driven scheduler or to get the
-// cycle-by-cycle baseline wall-clock).
-//
-// Exit code 0 when every schedule holds its invariants, 1 otherwise.
+// Exit status: 0 all clean; 1 deterministic invariant failures;
+// 2 usage/config error; 3 quarantined runs only; 4 interrupted.
 
-#include <atomic>
+#include <csignal>
 #include <cstdint>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <sstream>
 #include <string>
-#include <thread>
 #include <vector>
 
-#include "fault/chaos.hpp"
-#include "verify/envelope.hpp"
+#include "farm/chaos_campaign.hpp"
+#include "farm/farm.hpp"
 
 using namespace recosim;
 
 namespace {
 
-struct Options {
-  std::vector<fault::ChaosArch> archs{std::begin(fault::kAllChaosArchs),
-                                      std::end(fault::kAllChaosArchs)};
-  int seeds = 20;
-  std::uint64_t seed_base = 1;
-  int ops = 8;
-  sim::Cycle horizon = 30'000;
-  std::string replay_file;
-  bool shrink = true;
-  bool verbose = false;
-  bool activity_driven = true;
-  bool lint_first = false;
-  bool recovery = false;
-  sim::Cycle recovery_bound = 50'000;
-  int jobs = 1;
-};
-
-fault::ChaosRunOptions run_options(const Options& opt) {
-  fault::ChaosRunOptions ro;
-  ro.activity_driven = opt.activity_driven;
-  ro.recovery = opt.recovery;
-  ro.recovery_bound = opt.recovery_bound;
-  return ro;
-}
+volatile std::sig_atomic_t g_stop = 0;
+void handle_signal(int) { g_stop = 1; }
 
 void usage() {
   std::cerr
       << "usage: recosim-chaos [--arch rmboc|buscom|dynoc|conochi]\n"
-      << "                     [--seeds N] [--seed-base S] [--ops N]\n"
+      << "                     [--seeds N] [--seed-base S] [--seed-range A:B]\n"
+      << "                     [--seed-file PATH] [--ops N]\n"
       << "                     [--horizon CYCLES] [--lint-first]\n"
       << "                     [--recovery] [--recovery-bound CYCLES]\n"
-      << "                     [--jobs N] [--no-fast-forward] [--verbose]\n"
+      << "                     [--jobs N] [--retries N] [--run-deadline-ms MS]\n"
+      << "                     [--campaign JOURNAL] [--resume]\n"
+      << "                     [--quarantine-out PATH]\n"
+      << "                     [--no-fast-forward] [--verbose]\n"
       << "       recosim-chaos --replay FILE [--no-shrink] [--recovery]\n"
       << "                     [--no-fast-forward]\n";
-}
-
-void report_failure(std::ostream& out, const fault::ChaosSchedule& schedule,
-                    const fault::ChaosResult& result,
-                    const Options& opt) {
-  out << "FAIL arch=" << fault::to_string(schedule.arch)
-      << " seed=" << schedule.seed << "\n";
-  for (const auto& v : result.violations)
-    out << "  violation[" << v.invariant << "]: " << v.detail << "\n";
-  fault::ChaosSchedule minimal = schedule;
-  if (opt.shrink) {
-    // Seed the shrink with the windows the timeline/envelope lint flags
-    // on the failing schedule: one probe drops everything outside them
-    // before the greedy loop runs.
-    std::vector<std::pair<long long, long long>> hints;
-    verify::DiagnosticSink lint;
-    fault::timeline_lint_schedule(schedule, lint);
-    for (const auto& d : lint.diagnostics())
-      if (d.has_window() && d.window_end != d.window_begin)
-        hints.push_back({d.window_begin, d.window_end});
-    const fault::ChaosRunOptions ro = run_options(opt);
-    minimal = fault::shrink_schedule(
-        schedule,
-        [&ro](const fault::ChaosSchedule& c) {
-          return !fault::run_schedule(c, ro).ok;
-        },
-        hints);
-  }
-  out << "--- " << (opt.shrink ? "shrunk " : "")
-      << "reproducing schedule (replay with: recosim-chaos --replay "
-         "<file>) ---\n"
-      << fault::serialize_schedule(minimal) << "--- end schedule ---\n";
-}
-
-/// One (arch, seed) evaluation, self-contained so seeds can run on worker
-/// threads; `output` carries everything the seed would have printed, in
-/// order, so a parallel sweep is byte-identical to a serial one.
-struct SeedOutcome {
-  bool ok = true;
-  bool lint_skipped = false;
-  std::string output;
-  fault::ChaosResult result;
-};
-
-/// Worst legitimate delivery latency the envelope analysis predicts: the
-/// cycles the A<->B flow spends with zero capacity under the fault plan
-/// (the sender just waits those out — send rejects do not consume the
-/// retry budget), plus every retransmission backing off to the cap, plus
-/// slack for transaction quiesce/drain stalls on the op-module flows.
-sim::Cycle envelope_latency_bound(
-    const std::vector<verify::ResourceEnvelope>& envelopes,
-    fault::ChaosArch arch, sim::Cycle horizon) {
-  sim::Cycle outage = 0;
-  long long last_begin = -1;
-  for (const auto& e : envelopes) {
-    if (e.resource.rfind("flow ", 0) != 0 || e.capacity_min > 0) continue;
-    if (e.window_begin == last_begin) continue;  // both directions, once
-    last_begin = e.window_begin;
-    const long long end =
-        e.window_end < 0 ? static_cast<long long>(horizon) : e.window_end;
-    if (end > e.window_begin)
-      outage += static_cast<sim::Cycle>(end - e.window_begin);
-  }
-  const sim::Cycle max_timeout =
-      arch == fault::ChaosArch::kBuscom ? 65'536
-      : arch == fault::ChaosArch::kRmboc ? 16'384
-                                         : 8'192;
-  const sim::Cycle jitter = 16;
-  return outage + 8 * (max_timeout + jitter) + 50'000;
-}
-
-SeedOutcome run_one(fault::ChaosArch arch, std::uint64_t seed,
-                    const Options& opt) {
-  SeedOutcome out;
-  std::ostringstream os;
-  const auto schedule = fault::make_schedule(arch, seed, opt.ops, opt.horizon);
-  std::vector<verify::ResourceEnvelope> envelopes;
-  if (opt.lint_first) {
-    verify::DiagnosticSink lint;
-    verify::EnvelopeParams ep;
-    ep.collect = &envelopes;
-    fault::timeline_lint_schedule(schedule, lint, &ep);
-    if (lint.error_count() > 0) {
-      out.lint_skipped = true;
-      if (opt.verbose) {
-        os << fault::to_string(arch) << " seed=" << seed << " lint-skipped ("
-           << lint.error_count() << " error(s))\n"
-           << lint.to_text();
-      }
-      out.output = os.str();
-      return out;
-    }
-  }
-  out.result = fault::run_schedule(schedule, run_options(opt));
-  out.ok = out.result.ok;
-  if (opt.verbose) {
-    os << fault::to_string(arch) << " seed=" << seed
-       << (out.result.ok ? " ok" : " FAIL") << " delivered="
-       << out.result.delivered << "/" << out.result.accepted
-       << " committed=" << out.result.txns_committed
-       << " rolled_back=" << out.result.txns_rolled_back;
-    if (opt.recovery)
-      os << " incidents=" << out.result.incidents << " recovered="
-         << out.result.incidents_recovered << " degraded="
-         << out.result.incidents_degraded_stable;
-    os << " end_cycle=" << out.result.end_cycle << "\n";
-  }
-  if (!out.result.ok) {
-    if (opt.lint_first)
-      os << "LINT-MISS arch=" << fault::to_string(arch) << " seed=" << seed
-         << ": lint-clean schedule violated a runtime invariant\n";
-    report_failure(os, schedule, out.result, opt);
-  } else if (opt.lint_first) {
-    // The run held its invariants; check the measured throughput and
-    // latency against the envelope predictions. A lint-clean schedule
-    // whose runtime disagrees with its envelopes is a failure of the
-    // analyzer, not of the architecture.
-    const sim::Cycle bound =
-        envelope_latency_bound(envelopes, arch, schedule.horizon);
-    std::size_t zero_capacity_windows = 0;
-    for (const auto& e : envelopes)
-      if (e.resource.rfind("flow ", 0) == 0 && e.capacity_min <= 0)
-        ++zero_capacity_windows;
-    if (out.result.max_delivery_latency > bound) {
-      out.ok = false;
-      os << "LINT-MISS arch=" << fault::to_string(arch) << " seed=" << seed
-         << ": measured max delivery latency "
-         << out.result.max_delivery_latency
-         << " exceeds the envelope bound " << bound << "\n";
-    } else if (out.result.accepted > 0 && out.result.delivered == 0 &&
-               zero_capacity_windows == 0) {
-      out.ok = false;
-      os << "LINT-MISS arch=" << fault::to_string(arch) << " seed=" << seed
-         << ": envelopes predict a live path in every window but nothing "
-            "was delivered ("
-         << out.result.accepted << " accepted)\n";
-    }
-  }
-  out.output = os.str();
-  return out;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  Options opt;
+  farm::ChaosCampaignOptions opt;
+  int seeds = 20;
+  std::uint64_t seed_base = 1;
+  std::string seed_range, seed_file, replay_file;
+  farm::FarmConfig fc;
+  fc.max_attempts = 2;
+  std::string quarantine_out;
+
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     auto value = [&]() -> const char* {
@@ -257,15 +101,19 @@ int main(int argc, char** argv) {
       }
       opt.archs = {*a};
     } else if (arg == "--seeds") {
-      opt.seeds = std::atoi(value());
+      seeds = std::atoi(value());
     } else if (arg == "--seed-base") {
-      opt.seed_base = std::strtoull(value(), nullptr, 10);
+      seed_base = std::strtoull(value(), nullptr, 10);
+    } else if (arg == "--seed-range") {
+      seed_range = value();
+    } else if (arg == "--seed-file") {
+      seed_file = value();
     } else if (arg == "--ops") {
       opt.ops = std::atoi(value());
     } else if (arg == "--horizon") {
       opt.horizon = std::strtoull(value(), nullptr, 10);
     } else if (arg == "--replay") {
-      opt.replay_file = value();
+      replay_file = value();
     } else if (arg == "--no-shrink") {
       opt.shrink = false;
     } else if (arg == "--lint-first") {
@@ -275,11 +123,28 @@ int main(int argc, char** argv) {
     } else if (arg == "--recovery-bound") {
       opt.recovery_bound = std::strtoull(value(), nullptr, 10);
     } else if (arg == "--jobs") {
-      opt.jobs = std::atoi(value());
-      if (opt.jobs < 1) {
+      fc.jobs = std::atoi(value());
+      if (fc.jobs < 1) {
         std::cerr << "recosim-chaos: --jobs needs a positive value\n";
         return 2;
       }
+    } else if (arg == "--retries") {
+      fc.max_attempts = std::atoi(value());
+      if (fc.max_attempts < 1) {
+        std::cerr << "recosim-chaos: --retries needs a positive value\n";
+        return 2;
+      }
+    } else if (arg == "--run-deadline-ms") {
+      fc.run_deadline = std::chrono::milliseconds(std::atoll(value()));
+    } else if (arg == "--campaign") {
+      fc.journal_path = value();
+    } else if (arg == "--resume") {
+      fc.resume = true;
+    } else if (arg == "--quarantine-out") {
+      quarantine_out = value();
+    } else if (arg == "--stall-seed") {
+      // Undocumented test hook: inject a hung run the watchdog must kill.
+      opt.stall_seed = std::strtoull(value(), nullptr, 10);
     } else if (arg == "--no-fast-forward") {
       opt.activity_driven = false;
     } else if (arg == "--verbose") {
@@ -294,10 +159,10 @@ int main(int argc, char** argv) {
     }
   }
 
-  if (!opt.replay_file.empty()) {
-    std::ifstream in(opt.replay_file);
+  if (!replay_file.empty()) {
+    std::ifstream in(replay_file);
     if (!in) {
-      std::cerr << "recosim-chaos: cannot open " << opt.replay_file << "\n";
+      std::cerr << "recosim-chaos: cannot open " << replay_file << "\n";
       return 2;
     }
     std::ostringstream text;
@@ -305,89 +170,100 @@ int main(int argc, char** argv) {
     std::string error;
     auto schedule = fault::parse_schedule(text.str(), &error);
     if (!schedule) {
-      std::cerr << "recosim-chaos: parse error in " << opt.replay_file
-                << ": " << error << "\n";
+      std::cerr << "recosim-chaos: parse error in " << replay_file << ": "
+                << error << "\n";
       return 2;
     }
-    const auto result = fault::run_schedule(*schedule, run_options(opt));
+    fault::ChaosRunOptions ro;
+    ro.activity_driven = opt.activity_driven;
+    ro.recovery = opt.recovery;
+    ro.recovery_bound = opt.recovery_bound;
+    const auto result = fault::run_schedule(*schedule, ro);
     if (result.ok) {
-      std::cout << "OK replay of " << opt.replay_file << ": "
-                << result.delivered << "/" << result.accepted
-                << " payloads delivered, " << result.txns_committed
-                << " committed / " << result.txns_rolled_back
-                << " rolled back\n";
+      std::cout << "OK replay of " << replay_file << ": " << result.delivered
+                << "/" << result.accepted << " payloads delivered, "
+                << result.txns_committed << " committed / "
+                << result.txns_rolled_back << " rolled back\n";
       return 0;
     }
-    report_failure(std::cout, *schedule, result, opt);
+    std::cout << "FAIL arch=" << fault::to_string(schedule->arch)
+              << " seed=" << schedule->seed << "\n";
+    for (const auto& v : result.violations)
+      std::cout << "  violation[" << v.invariant << "]: " << v.detail << "\n";
+    if (opt.shrink) {
+      const auto minimal = fault::shrink_schedule(*schedule, ro);
+      std::cout << "--- shrunk reproducing schedule ---\n"
+                << fault::serialize_schedule(minimal)
+                << "--- end schedule ---\n";
+    }
     return 1;
   }
 
-  bool all_ok = true;
-  for (fault::ChaosArch arch : opt.archs) {
-    std::vector<SeedOutcome> outcomes(
-        static_cast<std::size_t>(opt.seeds));
-    if (opt.jobs <= 1 || opt.seeds <= 1) {
-      for (int i = 0; i < opt.seeds; ++i) {
-        outcomes[static_cast<std::size_t>(i)] = run_one(
-            arch, opt.seed_base + static_cast<std::uint64_t>(i), opt);
-        std::cout << outcomes[static_cast<std::size_t>(i)].output;
-      }
-    } else {
-      // Each worker claims the next unevaluated seed; every seed's
-      // simulation is self-contained (its own kernel and RNG streams), so
-      // claim order does not affect results. Output is buffered per seed
-      // and printed in seed order afterwards — byte-identical to serial.
-      std::atomic<int> next{0};
-      const int workers = std::min(opt.jobs, opt.seeds);
-      std::vector<std::thread> pool;
-      pool.reserve(static_cast<std::size_t>(workers));
-      for (int w = 0; w < workers; ++w) {
-        pool.emplace_back([&] {
-          for (int i = next.fetch_add(1); i < opt.seeds;
-               i = next.fetch_add(1)) {
-            outcomes[static_cast<std::size_t>(i)] = run_one(
-                arch, opt.seed_base + static_cast<std::uint64_t>(i), opt);
-          }
-        });
-      }
-      for (auto& t : pool) t.join();
-      for (const auto& o : outcomes) std::cout << o.output;
+  // Seed list: explicit file beats range beats base+count.
+  std::string error;
+  if (!seed_file.empty()) {
+    if (!farm::load_seed_file(seed_file, &opt.seeds, &error)) {
+      std::cerr << "recosim-chaos: --seed-file: " << error << "\n";
+      return 2;
     }
-
-    std::uint64_t committed = 0, rolled_back = 0, forced = 0, delivered = 0;
-    std::uint64_t incidents = 0, recovered = 0, degraded = 0, evacuations = 0;
-    int failures = 0;
-    int lint_skipped = 0;
-    for (const auto& o : outcomes) {
-      if (o.lint_skipped) {
-        ++lint_skipped;
-        continue;
-      }
-      committed += o.result.txns_committed;
-      rolled_back += o.result.txns_rolled_back;
-      forced += o.result.forced_drains;
-      delivered += o.result.delivered;
-      incidents += o.result.incidents;
-      recovered += o.result.incidents_recovered;
-      degraded += o.result.incidents_degraded_stable;
-      evacuations += o.result.evacuations;
-      if (!o.ok) ++failures;
+  } else if (!seed_range.empty()) {
+    if (!farm::parse_seed_range(seed_range, &opt.seeds, &error)) {
+      std::cerr << "recosim-chaos: --seed-range: " << error << "\n";
+      return 2;
     }
-    std::cout << fault::to_string(arch) << ": "
-              << (opt.seeds - failures - lint_skipped) << "/" << opt.seeds
-              << " schedules ok";
-    if (opt.lint_first)
-      std::cout << ", " << lint_skipped << " lint-skipped";
-    std::cout << ", " << committed
-              << " txns committed, " << rolled_back << " rolled back, "
-              << forced << " forced drains, " << delivered
-              << " payloads delivered";
-    if (opt.recovery)
-      std::cout << "; recovery: " << incidents << " incidents, " << recovered
-                << " recovered, " << degraded << " degraded-stable, "
-                << evacuations << " evacuations";
-    std::cout << "\n";
-    if (failures) all_ok = false;
+  } else {
+    for (int i = 0; i < seeds; ++i)
+      opt.seeds.push_back(seed_base + static_cast<std::uint64_t>(i));
   }
-  return all_ok ? 0 : 1;
+  if (opt.seeds.empty()) {
+    std::cerr << "recosim-chaos: empty seed set\n";
+    return 2;
+  }
+  if (fc.resume && fc.journal_path.empty()) {
+    std::cerr << "recosim-chaos: --resume needs --campaign <journal>\n";
+    return 2;
+  }
+  if (opt.stall_seed && fc.run_deadline.count() == 0) {
+    std::cerr << "recosim-chaos: --stall-seed needs --run-deadline-ms\n";
+    return 2;
+  }
+
+  std::signal(SIGINT, handle_signal);
+  std::signal(SIGTERM, handle_signal);
+
+  std::vector<farm::ChaosJobOutcome> outcomes;
+  const auto jobs = farm::make_chaos_jobs(opt, &outcomes);
+  fc.campaign_config = farm::chaos_campaign_config(opt);
+  fc.out = &std::cout;
+  fc.stop_requested = [] { return g_stop != 0; };
+
+  farm::CampaignReport report;
+  try {
+    farm::SimFarm f(fc);
+    report = f.run(jobs);
+  } catch (const std::exception& e) {
+    std::cerr << "recosim-chaos: " << e.what() << "\n";
+    return 2;
+  }
+
+  print_chaos_summary(std::cout, opt, report, outcomes);
+  if (!fc.journal_path.empty())
+    std::cout << "campaign: " << report.ok << " ok, " << report.failed
+              << " failed, " << report.quarantined << " quarantined, "
+              << report.resumed << " resumed (journal " << fc.journal_path
+              << ")\n";
+  if (report.abandoned_workers > 0)
+    std::cerr << "recosim-chaos: " << report.abandoned_workers
+              << " worker(s) abandoned on hung runs\n";
+  if (!quarantine_out.empty() &&
+      !farm::write_quarantine_file(quarantine_out, report, &error)) {
+    std::cerr << "recosim-chaos: --quarantine-out: " << error << "\n";
+    return 2;
+  }
+  if (report.interrupted)
+    std::cerr << "recosim-chaos: campaign interrupted after "
+              << (report.ok + report.failed + report.quarantined)
+              << " runs; resume with --campaign " << fc.journal_path
+              << " --resume\n";
+  return report.exit_status();
 }
