@@ -443,9 +443,8 @@ void Buscom::finish_slot_transfers() {
   }
 }
 
-bool Buscom::is_quiescent() const {
-  // Quiescent iff every skipped commit() would only advance the TDMA
-  // phase: nothing queued for transmission, no fragment on a bus, and no
+bool Buscom::idle_quiescent() const {
+  // Nothing queued for transmission, no fragment on a bus, and no
   // slot-table edit waiting for a round boundary. Partial reassembly
   // entries are inert without fragments, so they need no check.
   for (const auto& [m, queue] : tx_)
@@ -453,6 +452,29 @@ bool Buscom::is_quiescent() const {
   for (const InFlight& fl : in_flight_)
     if (fl.valid) return false;
   return pending_ops_.empty();
+}
+
+bool Buscom::is_quiescent() const {
+  // Quiescent iff every skipped commit() would only advance the TDMA
+  // phase. That holds for the whole idle case above and — with burst
+  // transfers enabled — also mid-slot under load: commits strictly inside
+  // a slot (neither the begin at slot_cycle_ == 0 nor the ++ that reaches
+  // cycles_per_slot) are pure phase increments regardless of traffic, so
+  // the kernel may jump to the cycle before the slot boundary.
+  if (idle_quiescent()) return true;
+  return sim::Component::kernel().busy_path_tuning().burst_transfers &&
+         slot_cycle_ != 0 && slot_cycle_ + 1 < config_.cycles_per_slot;
+}
+
+sim::Cycle Buscom::quiescent_deadline() const {
+  // The idle case replays any window in on_fast_forward(); a loaded bus
+  // mid-slot must execute again when the slot boundary work comes due.
+  // The jump never crosses a slot begin, so the per-bus transfer
+  // registers survive untouched — exactly what the skipped increments
+  // would have left.
+  if (idle_quiescent()) return sim::kNeverCycle;
+  return sim::Component::kernel().now() +
+         (config_.cycles_per_slot - 1 - slot_cycle_);
 }
 
 void Buscom::on_fast_forward(sim::Cycle from, sim::Cycle to) {

@@ -116,8 +116,12 @@ class Buscom final : public core::CommArchitecture, public sim::Component {
   // the per-cycle commit is pure TDMA phase bookkeeping — reconstructed
   // exactly in on_fast_forward() (slot counter advance plus the slot-start
   // reset of the bus-transfer registers), so an idle bus never blocks
-  // idle-cycle fast-forward.
+  // idle-cycle fast-forward. With burst transfers enabled, commits
+  // strictly inside a slot are the same pure bookkeeping even under load,
+  // so a busy bus is quiescent up to the next slot boundary
+  // (quiescent_deadline(); docs/perf.md).
   bool is_quiescent() const override;
+  sim::Cycle quiescent_deadline() const override;
   void on_fast_forward(sim::Cycle from, sim::Cycle to) override;
 
  protected:
@@ -149,6 +153,8 @@ class Buscom final : public core::CommArchitecture, public sim::Component {
 
   /// Pick the module transmitting on bus `b` in round slot `slot_idx`.
   fpga::ModuleId arbitrate(int b, int slot_idx) const;
+  /// The fully idle quiescence condition (no traffic, no staged edits).
+  bool idle_quiescent() const;
   void finish_slot_transfers();
   void begin_slot_transfers(int slot_idx);
 

@@ -1,6 +1,7 @@
 #include "conochi/conochi.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cassert>
 #include <limits>
 #include <string>
@@ -12,6 +13,23 @@ namespace recosim::conochi {
 namespace {
 std::string point_str(fpga::Point p) {
   return "(" + std::to_string(p.x) + "," + std::to_string(p.y) + ")";
+}
+
+/// Ascending scan over set bits, re-reading each word live so bits set at
+/// *higher* indices during the scan are visited this same pass (matching
+/// the full walk, where a forward push is seen by the later iteration) and
+/// bits set at indices already passed wait until the next cycle (the full
+/// walk had already moved past them).
+template <typename Fn>
+void scan_work_bits(const std::vector<std::uint64_t>& bits, Fn&& fn) {
+  for (std::size_t w = 0; w < bits.size(); ++w) {
+    std::uint64_t mask = ~std::uint64_t{0};
+    while (const std::uint64_t pending = bits[w] & mask) {
+      const int b = std::countr_zero(pending);
+      mask = b == 63 ? 0 : ~std::uint64_t{0} << (b + 1);
+      fn(static_cast<int>(w * 64) + b);
+    }
+  }
 }
 }  // namespace
 
@@ -26,16 +44,49 @@ Conochi::Conochi(sim::Kernel& kernel, const ConochiConfig& config)
   bind_activity(this);
 }
 
-bool Conochi::network_empty() const {
-  for (const auto& s : switches_) {
-    if (!s.active) continue;
-    // A pending table install is time-triggered work: the switch must be
-    // evaluated at table_install_at even with empty queues.
-    if (s.table_pending) return false;
-    for (const auto& q : s.in)
-      if (!q.empty()) return false;
+bool Conochi::network_empty() const { return work_count_ == 0; }
+
+bool Conochi::switch_has_work(const Switch& s) const {
+  if (!s.active) return false;
+  // A pending table install is time-triggered work: the switch must be
+  // evaluated at table_install_at even with empty queues.
+  if (s.table_pending) return true;
+  for (const auto& q : s.in)
+    if (!q.empty()) return true;
+  return false;
+}
+
+void Conochi::mark_work(int i) {
+  const std::size_t w = static_cast<std::size_t>(i) / 64;
+  const std::uint64_t bit = std::uint64_t{1} << (static_cast<unsigned>(i) % 64);
+  if (!(work_bits_[w] & bit)) {
+    work_bits_[w] |= bit;
+    ++work_count_;
   }
-  return true;
+}
+
+void Conochi::update_work_bit(int i) {
+  const std::size_t w = static_cast<std::size_t>(i) / 64;
+  const std::uint64_t bit = std::uint64_t{1} << (static_cast<unsigned>(i) % 64);
+  const bool want = switch_has_work(switches_[static_cast<std::size_t>(i)]);
+  const bool have = (work_bits_[w] & bit) != 0;
+  if (want && !have) {
+    work_bits_[w] |= bit;
+    ++work_count_;
+  } else if (!want && have) {
+    work_bits_[w] &= ~bit;
+    --work_count_;
+  }
+}
+
+void Conochi::rebuild_work_set() {
+  // switches_ only grows (inactive slots are kept for id stability), so
+  // resizing here — every structural mutation funnels through
+  // recompute_tables() — keeps the bitmap in step with add_switch().
+  work_bits_.assign((switches_.size() + 63) / 64, 0);
+  work_count_ = 0;
+  for (const auto& s : switches_)
+    if (switch_has_work(s)) mark_work(s.id);
 }
 
 std::size_t Conochi::delivered_backlog() const {
@@ -235,11 +286,80 @@ bool Conochi::heal_node(int x, int y) {
     failed_switches_.erase(s.id);
     rebuild_links();
     recompute_tables();
+    repark_blocked_interfaces();
     stats().counter("switch_heals").add();
     debug_check_invariants();
     return true;
   }
   return false;
+}
+
+std::size_t Conochi::repark_blocked_interfaces() {
+  // A blackout can force attach() onto a parked-line port (no line-free
+  // port anywhere); once the line's far switch is active again the
+  // interface blocks rebuild_links() from reconnecting it. Move such
+  // interfaces to harmless ports until none can be moved. Every move
+  // lands on a port with no wire run at all, so a moved interface can
+  // never become blocked again and the loop terminates.
+  std::size_t moved = 0;
+  for (bool again = true; again;) {
+    again = false;
+    for (auto& s : switches_) {
+      if (again) break;  // link state changed: rebuild before rescanning
+      if (!s.active) continue;
+      for (int p = 0; p < kSwitchPorts && !again; ++p) {
+        const fpga::ModuleId id = s.module[static_cast<std::size_t>(p)];
+        if (id == fpga::kInvalidModule) continue;
+        const Switch* peer = wire_peer(s, p);
+        if (peer == nullptr || !peer->active) continue;
+        if (is_quiesced(id)) continue;  // pinned by a reconfig snapshot
+        // Local first: another port of the same switch keeps the
+        // module's address and needs no redirect.
+        for (int q = 0; q < kSwitchPorts; ++q) {
+          if (q == p ||
+              s.module[static_cast<std::size_t>(q)] !=
+                  fpga::kInvalidModule ||
+              s.links[static_cast<std::size_t>(q)].connected ||
+              port_has_parked_wire(s, q))
+            continue;
+          s.module[static_cast<std::size_t>(p)] = fpga::kInvalidModule;
+          s.module[static_cast<std::size_t>(q)] = id;
+          attachments_[id] = Attachment{s.id, q};
+          ++moved;
+          again = true;
+          break;
+        }
+        if (again) break;
+        // Else any active switch with a line-free free port, through the
+        // regular redirect machinery.
+        for (const auto& t : switches_) {
+          if (!t.active || t.id == s.id) continue;
+          bool line_free = false;
+          for (int q = 0; q < kSwitchPorts && !line_free; ++q)
+            line_free =
+                t.module[static_cast<std::size_t>(q)] ==
+                    fpga::kInvalidModule &&
+                !t.links[static_cast<std::size_t>(q)].connected &&
+                !port_has_parked_wire(t, q);
+          if (line_free && move_module(id, t.pos)) {
+            ++moved;
+            again = true;
+            break;
+          }
+        }
+      }
+    }
+    if (again) {
+      // The freed port's line can reconnect now.
+      rebuild_links();
+      recompute_tables();
+    }
+  }
+  if (moved > 0) {
+    stats().counter("interfaces_reparked").add(moved);
+    wake_network();
+  }
+  return moved;
 }
 
 int Conochi::modules_at(fpga::Point pos) const {
@@ -363,18 +483,26 @@ void Conochi::recompute_tables() {
   }
   // Every structural mutation funnels through here; staged installs are
   // time-triggered, so the network must run until they land.
+  rebuild_work_set();
   wake_network();
 }
 
 bool Conochi::attach(fpga::ModuleId id, const fpga::HardwareModule& m) {
-  for (const auto& s : switches_) {
-    if (!s.active) continue;
-    if (attach_at(id, m, s.pos)) return true;
-  }
+  // Fleet-wide parked-wire preference: exhaust genuinely line-free ports
+  // on *every* switch before occupying any port whose wire run reaches
+  // another switch. Doing the fallback per switch instead (as attach_at()
+  // must, given a fixed position) would park a module on the first
+  // switch's downed line while a later switch still had a free port —
+  // permanently severing the line if the module is never unloaded.
+  for (const bool allow_parked : {false, true})
+    for (auto& s : switches_) {
+      if (!s.active) continue;
+      if (attach_on(s, id, allow_parked)) return true;
+    }
   return false;
 }
 
-bool Conochi::port_has_parked_wire(const Switch& s, int p) const {
+const Conochi::Switch* Conochi::wire_peer(const Switch& s, int p) const {
   int dx = 0, dy = 0;
   TileType wire = TileType::kH;
   switch (static_cast<Port>(p)) {
@@ -384,12 +512,34 @@ bool Conochi::port_has_parked_wire(const Switch& s, int p) const {
     case Port::kWest: dx = -1; wire = TileType::kH; break;
   }
   const auto run = grid_.trace_run(s.pos, dx, dy, wire);
-  return run.hit_switch;
+  if (!run.hit_switch) return nullptr;
+  return switch_at(run.end);
+}
+
+bool Conochi::port_has_parked_wire(const Switch& s, int p) const {
+  return wire_peer(s, p) != nullptr;
+}
+
+bool Conochi::attach_on(Switch& s, fpga::ModuleId id, bool allow_parked) {
+  if (id == fpga::kInvalidModule || attachments_.count(id)) return false;
+  for (int p = 0; p < kSwitchPorts; ++p) {
+    if (s.module[static_cast<std::size_t>(p)] != fpga::kInvalidModule ||
+        s.links[static_cast<std::size_t>(p)].connected)
+      continue;
+    if (!allow_parked && port_has_parked_wire(s, p)) continue;
+    s.module[static_cast<std::size_t>(p)] = id;
+    attachments_[id] = Attachment{s.id, p};
+    resolution_[id] = s.id;
+    delivered_[id];
+    wake_network();
+    debug_check_invariants();
+    return true;
+  }
+  return false;
 }
 
 bool Conochi::attach_at(fpga::ModuleId id, const fpga::HardwareModule&,
                         fpga::Point pos) {
-  if (id == fpga::kInvalidModule || attachments_.count(id)) return false;
   Switch* s = switch_at(pos);
   if (!s) return false;
   // Two passes: a port whose wire run reaches another switch carries (or
@@ -397,21 +547,8 @@ bool Conochi::attach_at(fpga::ModuleId id, const fpga::HardwareModule&,
   // line. Taking such a port while the line is down would permanently
   // sever it — rebuild_links() refuses ports held by module interfaces —
   // so prefer genuinely line-free ports and fall back only if none exist.
-  for (const bool allow_parked : {false, true}) {
-    for (int p = 0; p < kSwitchPorts; ++p) {
-      if (s->module[static_cast<std::size_t>(p)] != fpga::kInvalidModule ||
-          s->links[static_cast<std::size_t>(p)].connected)
-        continue;
-      if (!allow_parked && port_has_parked_wire(*s, p)) continue;
-      s->module[static_cast<std::size_t>(p)] = id;
-      attachments_[id] = Attachment{s->id, p};
-      resolution_[id] = s->id;
-      delivered_[id];
-      wake_network();
-      debug_check_invariants();
-      return true;
-    }
-  }
+  for (const bool allow_parked : {false, true})
+    if (attach_on(*s, id, allow_parked)) return true;
   return false;
 }
 
@@ -804,6 +941,7 @@ bool Conochi::do_send(const proto::Packet& p) {
         std::min(cap, p.payload_bytes - f * cap);
     inj.push_back(QueuedPacket{frag, rit->second, now + 1});
   }
+  mark_work(s.id);
   return true;
 }
 
@@ -882,6 +1020,7 @@ bool Conochi::try_forward(Switch& s, int in_port) {
   l.busy_until = now + config_.switch_delay +
                  total_flits(moved.packet);
   tq.push_back(std::move(moved));
+  mark_work(t.id);
   stats().counter("hops").add();
   return true;
 }
@@ -906,8 +1045,22 @@ void Conochi::process_switch(Switch& s) {
 }
 
 void Conochi::commit() {
-  for (auto& s : switches_) {
-    if (s.active) process_switch(s);
+  if (sim::Component::kernel().busy_path_tuning().router_gating) {
+    // Visit only switches with queued packets or a staged table install;
+    // the live ascending scan matches the full walk bit-identically (a
+    // forward within one pass is seen by the target's later visit, a push
+    // behind the cursor waits for the next cycle — exactly as the full
+    // walk would have it).
+    scan_work_bits(work_bits_, [&](int i) {
+      Switch& s = sw(i);
+      if (s.active) process_switch(s);
+      update_work_bit(i);
+    });
+  } else {
+    for (auto& s : switches_) {
+      if (s.active) process_switch(s);
+      if (s.id >= 0) update_work_bit(s.id);
+    }
   }
   // Sleep once every queue drains and every staged table is installed;
   // do_send() (via the base wrapper) and the mutators wake the component.

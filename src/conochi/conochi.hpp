@@ -14,6 +14,7 @@
 #include "core/comm_arch.hpp"
 #include "proto/address.hpp"
 #include "sim/anchor.hpp"
+#include "sim/arena.hpp"
 #include "sim/component.hpp"
 #include "sim/trace.hpp"
 
@@ -98,6 +99,13 @@ class Conochi final : public core::CommArchitecture, public sim::Component {
   /// switch; first-hop routes that found another way are counted as
   /// "recovered_paths".
   bool fail_node(int x, int y) override;
+  /// Reactivate a failed switch, rebuild links/tables, and re-park any
+  /// module interface sitting on a port whose wire run now reaches an
+  /// active switch (interfaces fall back onto such "parked line" ports
+  /// only when a blackout leaves no line-free port — see attach()).
+  /// Locally if the switch has a line-free port, else to another switch
+  /// through the move_module() redirect machinery; quiesced modules are
+  /// pinned and stay put.
   bool heal_node(int x, int y) override;
 
   /// Have the control unit rebuild links and routing tables from the
@@ -192,7 +200,8 @@ class Conochi final : public core::CommArchitecture, public sim::Component {
     std::array<Link, kSwitchPorts> links{};
     /// Module attached per port (kInvalidModule = none / link use).
     std::array<fpga::ModuleId, kSwitchPorts> module{};
-    std::array<std::deque<QueuedPacket>, kSwitchPorts + 1> in;  // +injection
+    std::array<sim::PoolDeque<QueuedPacket>, kSwitchPorts + 1>
+        in;  // +injection
     std::array<std::uint32_t, kSwitchPorts + 1> reserved{};
     std::array<int, kSwitchPorts + 1> rr{};
     /// dst switch id -> output port.
@@ -223,10 +232,37 @@ class Conochi final : public core::CommArchitecture, public sim::Component {
   bool try_forward(Switch& s, int in_port);
   void deliver_or_redirect(Switch& s, int in_port);
 
+  // -- per-switch work set (busy-path gating, docs/perf.md) ------------------
+  // Bit i set iff switch i has cycle work: a non-empty input queue or a
+  // staged table install (time-triggered work). Mirrors network_empty(),
+  // so work_count_ == 0 <=> the network may sleep. Sends and forwards mark
+  // bits, the commit walk clears drained switches, topology mutators and
+  // recompute_tables() rebuild the set.
+  bool switch_has_work(const Switch& s) const;
+  void mark_work(int i);
+  void update_work_bit(int i);
+  void rebuild_work_set();
+
+  /// Take the first acceptable free port of `s` for `id`; with
+  /// allow_parked false, ports whose wire run reaches another switch are
+  /// refused (see attach()/attach_at() for the two-pass protocol).
+  bool attach_on(Switch& s, fpga::ModuleId id, bool allow_parked);
+
+  /// The switch a wire run leaving `s` through port `p` reaches, or
+  /// nullptr when the run peters out before hitting an S tile.
+  const Switch* wire_peer(const Switch& s, int p) const;
+
+  /// Move interfaces off ports whose wire run reaches an active switch,
+  /// as long as an alternative port exists; returns the number moved.
+  /// Called after a heal reconnects lines (see heal_node()).
+  std::size_t repark_blocked_interfaces();
+
   ConochiConfig config_;
   sim::Trace trace_;
   TileGrid grid_;
   std::vector<Switch> switches_;  // slot reuse: inactive entries stay
+  std::vector<std::uint64_t> work_bits_;
+  std::size_t work_count_ = 0;
   /// Switches taken down by fail_node() (distinguishes a faulted switch,
   /// whose S tile and attachments persist, from a removed one).
   std::set<int> failed_switches_;
@@ -238,7 +274,7 @@ class Conochi final : public core::CommArchitecture, public sim::Component {
   std::map<fpga::ModuleId, Attachment> attachments_;
   /// The interface modules' logical->physical view used at injection.
   std::map<fpga::ModuleId, int> resolution_;
-  std::map<fpga::ModuleId, std::deque<proto::Packet>> delivered_;
+  std::map<fpga::ModuleId, sim::PoolDeque<proto::Packet>> delivered_;
   /// Fragment counting for transfers above the 1024-byte payload cap,
   /// keyed by (source module, packet id).
   struct FragmentReassembly {

@@ -1,6 +1,7 @@
 #include "dynoc/dynoc.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cassert>
 #include <string>
 
@@ -22,6 +23,7 @@ Dynoc::Dynoc(sim::Kernel& kernel, const DynocConfig& config)
       trace_(kernel),
       routers_(static_cast<std::size_t>(config.width) *
                static_cast<std::size_t>(config.height)),
+      work_bits_((routers_.size() + 63) / 64, 0),
       sxy_([this](fpga::Point p) { return router_active(p); },
            [this](fpga::Point p) { return obstacle_at(p); }) {
   assert(config.width >= 3 && config.height >= 3);
@@ -31,15 +33,48 @@ Dynoc::Dynoc(sim::Kernel& kernel, const DynocConfig& config)
 }
 
 bool Dynoc::network_empty() const {
-  for (const auto& r : routers_) {
-    for (const auto& port : r.in)
-      if (!port.empty()) return false;
-    // Tail-only transfers (carries_packet == false) still occupy the link
-    // and must be advanced, so any busy link keeps the NoC awake.
-    for (const auto& link : r.out)
-      if (link.busy) return false;
+  // The work set mirrors exactly the old full-mesh scan: a bit is set iff
+  // a router has a non-empty input queue or a busy out-link (tail-only
+  // transfers included — they must still be advanced).
+  return work_count_ == 0;
+}
+
+bool Dynoc::router_has_work(const Router& r) const {
+  for (const auto& port : r.in)
+    if (!port.empty()) return true;
+  for (const auto& link : r.out)
+    if (link.busy) return true;
+  return false;
+}
+
+void Dynoc::mark_work(int i) {
+  std::uint64_t& w = work_bits_[static_cast<std::size_t>(i) >> 6];
+  const std::uint64_t bit = std::uint64_t{1} << (i & 63);
+  if (!(w & bit)) {
+    w |= bit;
+    ++work_count_;
   }
-  return true;
+}
+
+void Dynoc::update_work_bit(int i) {
+  std::uint64_t& w = work_bits_[static_cast<std::size_t>(i) >> 6];
+  const std::uint64_t bit = std::uint64_t{1} << (i & 63);
+  const bool want = router_has_work(routers_[static_cast<std::size_t>(i)]);
+  if (want && !(w & bit)) {
+    w |= bit;
+    ++work_count_;
+  } else if (!want && (w & bit)) {
+    w &= ~bit;
+    --work_count_;
+  }
+}
+
+void Dynoc::rebuild_work_set() {
+  std::fill(work_bits_.begin(), work_bits_.end(), 0);
+  work_count_ = 0;
+  for (std::size_t i = 0; i < routers_.size(); ++i)
+    if (routers_[i].active && router_has_work(routers_[i]))
+      mark_work(static_cast<int>(i));
 }
 
 std::size_t Dynoc::delivered_backlog() const {
@@ -186,6 +221,7 @@ bool Dynoc::attach_at(fpga::ModuleId id, const fpga::HardwareModule& m,
   }
   placements_.emplace(id, Placement{r, choose_access(r)});
   delivered_[id];
+  rebuild_work_set();
   wake_network();
   debug_check_invariants();
   return true;
@@ -204,6 +240,7 @@ bool Dynoc::detach(fpga::ModuleId id) {
     stats().counter("dropped_detach").add(dit->second.size());
     delivered_.erase(dit);
   }
+  rebuild_work_set();
   wake_network();
   debug_check_invariants();
   return true;
@@ -289,6 +326,7 @@ bool Dynoc::fail_node(int x, int y) {
     }
   }
   stats().counter("router_failures").add();
+  rebuild_work_set();
   wake_network();
   debug_check_invariants();
   return true;
@@ -321,6 +359,7 @@ bool Dynoc::heal_node(int x, int y) {
   for (auto& [id, pl] : placements_)
     if (pl.rect.area() > 1) pl.access = choose_access(pl.rect);
   stats().counter("router_heals").add();
+  rebuild_work_set();
   wake_network();
   debug_check_invariants();
   return true;
@@ -512,6 +551,7 @@ bool Dynoc::do_send(const proto::Packet& p) {
   fp.dest = dit->second.access;
   fp.route_timer = config_.routing_delay;
   inj.push_back(std::move(fp));
+  mark_work(idx(sit->second.access));
   return true;
 }
 
@@ -523,130 +563,171 @@ std::optional<proto::Packet> Dynoc::do_receive(fpga::ModuleId at_module) {
   return p;
 }
 
-void Dynoc::advance_links() {
-  for (int y = 0; y < config_.height; ++y) {
-    for (int x = 0; x < config_.width; ++x) {
-      Router& router = at({x, y});
-      if (!router.active) continue;
-      for (int d = 0; d < kDirCount; ++d) {
-        OutLink& o = router.out[static_cast<std::size_t>(d)];
-        if (!o.busy) continue;
-        ++o.busy_cycles;
-        if (o.flits_remaining > 0) --o.flits_remaining;
-        if (o.flits_remaining == 0) {
-          if (o.carries_packet) {
-            const fpga::Point t = step({x, y}, static_cast<Dir>(d));
-            if (router_active(t)) {
-              Router& target = at(t);
-              const auto inport = static_cast<std::size_t>(
-                  static_cast<int>(opposite(static_cast<Dir>(d))));
-              if (target.reserved[inport] > 0) --target.reserved[inport];
-              o.packet.route_timer = config_.routing_delay;
-              o.packet.tail_arrival = sim::Component::kernel().now();
-              target.in[inport].push_back(std::move(o.packet));
-            } else {
-              stats().counter("packets_dropped_reconfig").add();
-            }
-          }
-          o.busy = false;
+void Dynoc::advance_router_links(fpga::Point here, Router& router) {
+  if (!router.active) return;
+  for (int d = 0; d < kDirCount; ++d) {
+    OutLink& o = router.out[static_cast<std::size_t>(d)];
+    if (!o.busy) continue;
+    ++o.busy_cycles;
+    if (o.flits_remaining > 0) --o.flits_remaining;
+    if (o.flits_remaining == 0) {
+      if (o.carries_packet) {
+        const fpga::Point t = step(here, static_cast<Dir>(d));
+        if (router_active(t)) {
+          Router& target = at(t);
+          const auto inport = static_cast<std::size_t>(
+              static_cast<int>(opposite(static_cast<Dir>(d))));
+          if (target.reserved[inport] > 0) --target.reserved[inport];
+          o.packet.route_timer = config_.routing_delay;
+          o.packet.tail_arrival = sim::Component::kernel().now();
+          target.in[inport].push_back(std::move(o.packet));
+          mark_work(idx(t));
+        } else {
+          stats().counter("packets_dropped_reconfig").add();
         }
       }
+      o.busy = false;
     }
   }
+}
+
+void Dynoc::start_router_transfers(fpga::Point here, Router& router) {
+  if (!router.active) return;
+
+  // Count down routing pipelines at the buffer heads.
+  for (auto& q : router.in)
+    if (!q.empty() && q.front().route_timer > 0) --q.front().route_timer;
+
+  // Local ejection: one packet per cycle.
+  {
+    int& rr = router.rr[static_cast<std::size_t>(Dir::kLocal)];
+    for (int k = 0; k < kPorts; ++k) {
+      const int port = (rr + k) % kPorts;
+      auto& q = router.in[static_cast<std::size_t>(port)];
+      if (q.empty() || q.front().route_timer > 0) continue;
+      if (!(q.front().dest == here)) continue;
+      // A cut-through head must wait for its tail before ejecting.
+      if (q.front().tail_arrival > sim::Component::kernel().now())
+        continue;
+      const proto::Packet pkt = q.front().packet;
+      q.pop_front();
+      rr = (port + 1) % kPorts;
+      auto dit = delivered_.find(pkt.dst);
+      if (dit != delivered_.end()) {
+        dit->second.push_back(pkt);
+      } else {
+        stats().counter("dropped_no_module").add();
+      }
+      break;
+    }
+  }
+
+  // Link outputs.
+  for (int d = 0; d < kDirCount; ++d) {
+    OutLink& o = router.out[static_cast<std::size_t>(d)];
+    if (o.busy) continue;
+    int& rr = router.rr[static_cast<std::size_t>(d)];
+    for (int k = 0; k < kPorts; ++k) {
+      const int port = (rr + k) % kPorts;
+      auto& q = router.in[static_cast<std::size_t>(port)];
+      if (q.empty() || q.front().route_timer > 0) continue;
+      if (q.front().dest == here) continue;  // handled by ejection
+      auto dir = sxy_.route(here, q.front().dest, q.front().sxy);
+      if (!dir) {
+        stats().counter("routing_failures").add();
+        q.pop_front();
+        continue;
+      }
+      if (static_cast<int>(*dir) != d) continue;
+      const fpga::Point t = step(here, *dir);
+      Router& target = at(t);
+      const auto inport = static_cast<std::size_t>(
+          static_cast<int>(opposite(*dir)));
+      if (target.in[inport].size() + target.reserved[inport] >=
+          config_.input_buffer_packets)
+        continue;  // no credit downstream: stall
+      const std::uint32_t flits = total_flits(q.front().packet);
+      if (config_.switching == RouterSwitching::kVirtualCutThrough) {
+        // Head cuts through after the routing decision; the tail
+        // occupies the link for the serialization time while the
+        // packet already queues (and may route on) downstream.
+        FlyingPacket moved = std::move(q.front());
+        q.pop_front();
+        moved.route_timer = config_.routing_delay;
+        moved.tail_arrival = sim::Component::kernel().now() + flits;
+        target.in[inport].push_back(std::move(moved));
+        mark_work(idx(t));
+        o.busy = true;
+        o.carries_packet = false;
+        o.flits_remaining = flits;
+      } else {
+        ++target.reserved[inport];
+        o.busy = true;
+        o.carries_packet = true;
+        o.packet = std::move(q.front());
+        o.flits_remaining = flits;
+        q.pop_front();
+      }
+      rr = (port + 1) % kPorts;
+      stats().counter("hops").add();
+      break;
+    }
+  }
+}
+
+void Dynoc::advance_links() {
+  for (int y = 0; y < config_.height; ++y)
+    for (int x = 0; x < config_.width; ++x)
+      advance_router_links({x, y}, at({x, y}));
 }
 
 void Dynoc::start_transfers() {
   for (int y = 0; y < config_.height; ++y) {
     for (int x = 0; x < config_.width; ++x) {
       const fpga::Point here{x, y};
-      Router& router = at(here);
-      if (!router.active) continue;
-
-      // Count down routing pipelines at the buffer heads.
-      for (auto& q : router.in)
-        if (!q.empty() && q.front().route_timer > 0) --q.front().route_timer;
-
-      // Local ejection: one packet per cycle.
-      {
-        int& rr = router.rr[static_cast<std::size_t>(Dir::kLocal)];
-        for (int k = 0; k < kPorts; ++k) {
-          const int port = (rr + k) % kPorts;
-          auto& q = router.in[static_cast<std::size_t>(port)];
-          if (q.empty() || q.front().route_timer > 0) continue;
-          if (!(q.front().dest == here)) continue;
-          // A cut-through head must wait for its tail before ejecting.
-          if (q.front().tail_arrival > sim::Component::kernel().now())
-            continue;
-          const proto::Packet pkt = q.front().packet;
-          q.pop_front();
-          rr = (port + 1) % kPorts;
-          auto dit = delivered_.find(pkt.dst);
-          if (dit != delivered_.end()) {
-            dit->second.push_back(pkt);
-          } else {
-            stats().counter("dropped_no_module").add();
-          }
-          break;
-        }
-      }
-
-      // Link outputs.
-      for (int d = 0; d < kDirCount; ++d) {
-        OutLink& o = router.out[static_cast<std::size_t>(d)];
-        if (o.busy) continue;
-        int& rr = router.rr[static_cast<std::size_t>(d)];
-        for (int k = 0; k < kPorts; ++k) {
-          const int port = (rr + k) % kPorts;
-          auto& q = router.in[static_cast<std::size_t>(port)];
-          if (q.empty() || q.front().route_timer > 0) continue;
-          if (q.front().dest == here) continue;  // handled by ejection
-          auto dir = sxy_.route(here, q.front().dest, q.front().sxy);
-          if (!dir) {
-            stats().counter("routing_failures").add();
-            q.pop_front();
-            continue;
-          }
-          if (static_cast<int>(*dir) != d) continue;
-          const fpga::Point t = step(here, *dir);
-          Router& target = at(t);
-          const auto inport = static_cast<std::size_t>(
-              static_cast<int>(opposite(*dir)));
-          if (target.in[inport].size() + target.reserved[inport] >=
-              config_.input_buffer_packets)
-            continue;  // no credit downstream: stall
-          const std::uint32_t flits = total_flits(q.front().packet);
-          if (config_.switching == RouterSwitching::kVirtualCutThrough) {
-            // Head cuts through after the routing decision; the tail
-            // occupies the link for the serialization time while the
-            // packet already queues (and may route on) downstream.
-            FlyingPacket moved = std::move(q.front());
-            q.pop_front();
-            moved.route_timer = config_.routing_delay;
-            moved.tail_arrival = sim::Component::kernel().now() + flits;
-            target.in[inport].push_back(std::move(moved));
-            o.busy = true;
-            o.carries_packet = false;
-            o.flits_remaining = flits;
-          } else {
-            ++target.reserved[inport];
-            o.busy = true;
-            o.carries_packet = true;
-            o.packet = std::move(q.front());
-            o.flits_remaining = flits;
-            q.pop_front();
-          }
-          rr = (port + 1) % kPorts;
-          stats().counter("hops").add();
-          break;
-        }
-      }
+      start_router_transfers(here, at(here));
+      update_work_bit(idx(here));
     }
   }
 }
 
+namespace {
+/// Visit the set bits of a live bitmap in strictly ascending index order.
+/// Bits set *behind* the cursor during the walk are not revisited and bits
+/// set ahead of it are picked up — exactly the visibility a row-major walk
+/// of all routers gives mid-cycle wakes, which is what keeps the gated
+/// iteration bit-identical to the ungated one.
+template <typename Fn>
+void scan_work_bits(const std::vector<std::uint64_t>& bits, Fn&& fn) {
+  for (std::size_t w = 0; w < bits.size(); ++w) {
+    std::uint64_t mask = ~std::uint64_t{0};
+    while (const std::uint64_t pending = bits[w] & mask) {
+      const int b = std::countr_zero(pending);
+      mask = b == 63 ? 0 : ~std::uint64_t{0} << (b + 1);
+      fn(static_cast<int>(w * 64) + b);
+    }
+  }
+}
+}  // namespace
+
 void Dynoc::commit() {
-  advance_links();
-  start_transfers();
+  if (sim::Component::kernel().busy_path_tuning().router_gating) {
+    // Only routers with queued packets or busy links pay; everything else
+    // stays out of the cycle walk entirely.
+    const int w = config_.width;
+    scan_work_bits(work_bits_, [this, w](int i) {
+      const fpga::Point p{i % w, i / w};
+      advance_router_links(p, routers_[static_cast<std::size_t>(i)]);
+    });
+    scan_work_bits(work_bits_, [this, w](int i) {
+      const fpga::Point p{i % w, i / w};
+      start_router_transfers(p, routers_[static_cast<std::size_t>(i)]);
+      update_work_bit(i);
+    });
+  } else {
+    advance_links();
+    start_transfers();
+  }
   // Sleep once the network drains; do_send() (via the base wrapper) and
   // the mutators wake the component again.
   if (network_empty()) set_active(false);

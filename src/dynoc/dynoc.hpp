@@ -12,6 +12,7 @@
 #include "core/comm_arch.hpp"
 #include "dynoc/sxy_routing.hpp"
 #include "fpga/geometry.hpp"
+#include "sim/arena.hpp"
 #include "sim/component.hpp"
 #include "sim/trace.hpp"
 
@@ -169,7 +170,7 @@ class Dynoc final : public core::CommArchitecture, public sim::Component {
 
   struct Router {
     bool active = true;
-    std::array<std::deque<FlyingPacket>, kPorts> in;
+    std::array<sim::PoolDeque<FlyingPacket>, kPorts> in;
     /// Slots in each input buffer promised to in-flight upstream
     /// transfers (credit reservation).
     std::array<std::uint32_t, kPorts> reserved{};
@@ -199,15 +200,31 @@ class Dynoc final : public core::CommArchitecture, public sim::Component {
   std::uint32_t total_flits(const proto::Packet& p) const;
   void advance_links();
   void start_transfers();
+  void advance_router_links(fpga::Point here, Router& router);
+  void start_router_transfers(fpga::Point here, Router& router);
   void purge_router_traffic(fpga::Point p, const char* counter);
   void drop_traffic_towards(fpga::Point p, const char* counter);
+
+  // -- per-router work set (busy-path gating, docs/perf.md) ------------------
+  // Invariant: bit i is set iff router i has cycle work — a non-empty input
+  // queue or a busy outgoing link (exactly the old network_empty()
+  // criteria, so work_count_ == 0 <=> the network is empty). Sends and
+  // link arrivals mark bits; the commit walk clears a router's bit once it
+  // drains; topology mutators rebuild the set wholesale. Maintained in
+  // both gated and ungated modes — only the iteration strategy differs.
+  bool router_has_work(const Router& r) const;
+  void mark_work(int i);
+  void update_work_bit(int i);
+  void rebuild_work_set();
 
   DynocConfig config_;
   sim::Trace trace_;
   std::vector<Router> routers_;
+  std::vector<std::uint64_t> work_bits_;
+  std::size_t work_count_ = 0;
   std::set<int> failed_;  // router indices taken down by fail_node()
   std::map<fpga::ModuleId, Placement> placements_;
-  std::map<fpga::ModuleId, std::deque<proto::Packet>> delivered_;
+  std::map<fpga::ModuleId, sim::PoolDeque<proto::Packet>> delivered_;
   SxyRouter sxy_;
 };
 

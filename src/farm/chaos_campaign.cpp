@@ -76,6 +76,7 @@ fault::ChaosRunOptions run_options(const ChaosCampaignOptions& opt,
                                    const RunContext* ctx) {
   fault::ChaosRunOptions ro;
   ro.activity_driven = opt.activity_driven;
+  ro.busy_path = opt.busy_path;
   ro.recovery = opt.recovery;
   ro.recovery_bound = opt.recovery_bound;
   if (ctx) ro.cancel = ctx->cancel;

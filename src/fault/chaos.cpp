@@ -284,6 +284,7 @@ ChaosResult run_schedule(const ChaosSchedule& s, bool activity_driven) {
 ChaosResult run_schedule(const ChaosSchedule& s, const ChaosRunOptions& opt) {
   sim::Kernel kernel;
   kernel.set_activity_driven(opt.activity_driven);
+  kernel.set_busy_path_enabled(opt.busy_path);
   Fixture fx = make_fixture(kernel, s.arch);
   core::CommArchitecture& arch = *fx.arch;
 

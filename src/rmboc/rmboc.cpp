@@ -25,6 +25,47 @@ Rmboc::Rmboc(sim::Kernel& kernel, const RmbocConfig& config)
   assert(config.buses >= 1);
   assert(config.link_width_bits >= 1);
   bind_activity(this);
+  // Stays active while channels exist, but mid-burst and idle-close waits
+  // are time-triggered no-ops the kernel may fast-forward across.
+  set_ff_pollable(true);
+}
+
+bool Rmboc::is_quiescent() const {
+  // With burst transfers off this reduces to the legacy condition: any
+  // channel at all keeps the bus stepping cycle by cycle.
+  if (!sim::Component::kernel().busy_path_tuning().burst_transfers)
+    return channels_.empty();
+  const sim::Cycle now = sim::Component::kernel().now();
+  for (const auto& [id, c] : channels_) {
+    (void)id;
+    if (c.state != ChannelState::kEstablished) return false;
+    if (c.burst_until != sim::kNeverCycle) {
+      // Mid-burst: commit() is a no-op strictly before the landing cycle.
+      if (now >= c.burst_until) return false;
+      continue;
+    }
+    if (!c.queue.empty()) return false;  // a word moves this cycle
+    // Idle established channel: nothing happens until the idle-close
+    // countdown trips (or ever, when the idle close is disabled).
+    if (config_.idle_close_cycles > 0 &&
+        now - c.last_activity > config_.idle_close_cycles)
+      return false;
+  }
+  return true;
+}
+
+sim::Cycle Rmboc::quiescent_deadline() const {
+  sim::Cycle deadline = sim::kNeverCycle;
+  for (const auto& [id, c] : channels_) {
+    (void)id;
+    if (c.burst_until != sim::kNeverCycle) {
+      deadline = std::min(deadline, c.burst_until);
+    } else if (config_.idle_close_cycles > 0) {
+      deadline =
+          std::min(deadline, c.last_activity + config_.idle_close_cycles + 1);
+    }
+  }
+  return deadline;
 }
 
 bool Rmboc::attach(fpga::ModuleId id, const fpga::HardwareModule&) {
@@ -210,6 +251,7 @@ bool Rmboc::close_channel(fpga::ModuleId src, fpga::ModuleId dst) {
   c->state = ChannelState::kDestroying;
   c->msg_at_slot = c->src_slot;
   c->msg_timer = 1;
+  c->burst_until = sim::kNeverCycle;  // an interrupted burst is abandoned
   trace_.log(core::CommArchitecture::name(), "DESTROY " + std::to_string(src) + "->" +
                          std::to_string(dst));
   return true;
@@ -273,6 +315,7 @@ void Rmboc::replan_channel(Channel& c) {
   c.msg_at_slot = c.src_slot;
   c.msg_timer = 1;
   c.words_remaining = 0;  // the interrupted packet restarts from word 0
+  c.burst_until = sim::kNeverCycle;  // an interrupted burst restarts too
   c.last_activity = sim::Component::kernel().now();
   stats().counter("channels_replanned").add();
 }
@@ -589,11 +632,22 @@ void Rmboc::advance_destroy(Channel& c) {
 }
 
 void Rmboc::pump_data(Channel& c) {
+  const sim::Cycle now = sim::Component::kernel().now();
+  if (c.burst_until != sim::kNeverCycle) {
+    // Bulk transfer in flight: the delivery cycle was computed when the
+    // burst started; nothing happens until it lands.
+    if (now < c.burst_until) return;
+    c.burst_until = sim::kNeverCycle;
+    c.words_remaining = 0;
+    c.last_activity = now;
+    delivered_[c.dst_module].push_back(c.queue.front());
+    c.queue.pop_front();
+    return;
+  }
   if (c.queue.empty()) {
     // Optional idle teardown.
     if (config_.idle_close_cycles > 0 &&
-        sim::Component::kernel().now() - c.last_activity >
-            config_.idle_close_cycles) {
+        now - c.last_activity > config_.idle_close_cycles) {
       c.state = ChannelState::kDestroying;
       c.msg_at_slot = c.src_slot;
       c.msg_timer = 1;
@@ -608,8 +662,18 @@ void Rmboc::pump_data(Channel& c) {
   // One word per lane per cycle over the reserved wires.
   const std::uint32_t lanes =
       static_cast<std::uint32_t>(std::max(1, effective_lanes(c)));
+  if (sim::Component::kernel().busy_path_tuning().burst_transfers &&
+      c.words_remaining > lanes) {
+    // The reserved lanes cannot change under an intact circuit (lane and
+    // cross-point faults replan, which restarts the packet), so the
+    // per-cycle loop is fully determined: it would deliver at
+    // now + ceil(words/lanes) - 1. Jump straight there.
+    c.burst_until = now + (c.words_remaining - 1) / lanes;
+    c.last_activity = now;
+    return;
+  }
   c.words_remaining -= std::min(c.words_remaining, lanes);
-  c.last_activity = sim::Component::kernel().now();
+  c.last_activity = now;
   if (c.words_remaining == 0) {
     delivered_[c.dst_module].push_back(c.queue.front());
     c.queue.pop_front();
@@ -665,6 +729,7 @@ void Rmboc::commit() {
       c.msg_at_slot = c.src_slot;
       c.msg_timer = 1;
       c.words_remaining = 0;
+      c.burst_until = sim::kNeverCycle;
       ++it;
     } else {
       ++it;

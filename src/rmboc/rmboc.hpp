@@ -138,8 +138,13 @@ class Rmboc final : public core::CommArchitecture, public sim::Component {
   void eval() override {}
   void commit() override;
   /// The per-cycle work is entirely per-channel; with no channels the bus
-  /// sleeps (commit() deactivates, sends and mutators wake it).
-  bool is_quiescent() const override { return channels_.empty(); }
+  /// sleeps (commit() deactivates, sends and mutators wake it). With burst
+  /// transfers enabled the bus is additionally fast-forward pollable:
+  /// established channels that are mid-burst or waiting out the idle-close
+  /// window make commit() a no-op until a known future cycle, so the
+  /// kernel may jump straight to it (docs/perf.md).
+  bool is_quiescent() const override;
+  sim::Cycle quiescent_deadline() const override;
 
  protected:
   bool do_send(const proto::Packet& p) override;
@@ -174,6 +179,13 @@ class Rmboc final : public core::CommArchitecture, public sim::Component {
     sim::Cycle msg_timer;
     /// Data in flight: words remaining of the packet at queue front.
     std::uint32_t words_remaining = 0;
+    /// Bulk transfer: cycle the scheduled burst delivers the front packet
+    /// (kNeverCycle = moving word-by-word). An uncontended established
+    /// circuit computes its delivery cycle up front and skips the
+    /// per-cycle decrements; faults and teardown drop back to word mode
+    /// via replan_channel()/reopen, which restart the packet from word 0
+    /// exactly as the per-cycle path would.
+    sim::Cycle burst_until = sim::kNeverCycle;
     std::deque<proto::Packet> queue;
     sim::Cycle last_activity = 0;
   };

@@ -1,0 +1,10 @@
+#include "sim/arena.hpp"
+
+namespace recosim::sim {
+
+Arena& Arena::thread_arena() {
+  static thread_local Arena arena;
+  return arena;
+}
+
+}  // namespace recosim::sim

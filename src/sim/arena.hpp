@@ -1,0 +1,167 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <new>
+
+namespace recosim::sim {
+
+/// Freelist-backed pool for the simulator's hot small allocations: packet
+/// queue chunks and SmallFn heap spill. Blocks are individually
+/// operator-new'd and, once freed, cached on a size-class freelist instead
+/// of going back to the general heap, so the steady-state send/schedule
+/// paths allocate without touching malloc/free at all.
+///
+/// The pool is per-thread (Arena::thread_arena()); the simulator runs one
+/// kernel per thread (farm workers included), so "per-kernel arena" and
+/// per-thread arena coincide and no locking is needed. Lifetime rule:
+/// anything that deallocates through the arena must die before its thread
+/// does — true for every kernel-scoped object in this codebase.
+///
+/// The pool can be disabled at runtime (the `arena_pooling` busy-path A/B
+/// switch, Kernel::set_busy_path_tuning()). Correctness is independent of
+/// when the switch flips: every block is an individually operator-new'd
+/// allocation of its rounded size-class size, so a block allocated while
+/// pooling was on can be plain-deleted after it is turned off and vice
+/// versa. Allocation addresses never feed back into simulation results, so
+/// results are bit-identical with the pool on or off.
+class Arena {
+ public:
+  struct Stats {
+    std::uint64_t pool_hits = 0;     ///< allocations served from a freelist
+    std::uint64_t pool_misses = 0;   ///< pooled allocations that hit the heap
+    std::uint64_t pool_returns = 0;  ///< frees cached on a freelist
+    std::uint64_t passthrough = 0;   ///< requests outside pooling (disabled
+                                     ///< or above the size-class ceiling)
+  };
+
+  Arena() = default;
+  ~Arena() { release(); }
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// The calling thread's pool.
+  static Arena& thread_arena();
+
+  void set_enabled(bool on) { enabled_ = on; }
+  bool enabled() const { return enabled_; }
+
+  void* allocate(std::size_t bytes) {
+    const int cls = size_class(bytes);
+    if (cls < 0 || !enabled_) {
+      ++stats_.passthrough;
+      return ::operator new(padded_size(bytes, cls));
+    }
+    if (FreeNode* n = free_[static_cast<std::size_t>(cls)]) {
+      free_[static_cast<std::size_t>(cls)] = n->next;
+      --cached_[static_cast<std::size_t>(cls)];
+      ++stats_.pool_hits;
+      return n;
+    }
+    ++stats_.pool_misses;
+    return ::operator new(std::size_t{1} << (kMinShift + cls));
+  }
+
+  void deallocate(void* p, std::size_t bytes) noexcept {
+    if (p == nullptr) return;
+    const int cls = size_class(bytes);
+    if (cls < 0 || !enabled_) {
+      ::operator delete(p);
+      return;
+    }
+    auto* n = static_cast<FreeNode*>(p);
+    n->next = free_[static_cast<std::size_t>(cls)];
+    free_[static_cast<std::size_t>(cls)] = n;
+    ++cached_[static_cast<std::size_t>(cls)];
+    ++stats_.pool_returns;
+  }
+
+  const Stats& stats() const { return stats_; }
+
+  std::size_t cached_blocks() const {
+    std::size_t n = 0;
+    for (std::size_t c : cached_) n += c;
+    return n;
+  }
+
+  /// Return every cached block to the heap (freelists stay usable).
+  void release() noexcept {
+    for (std::size_t c = 0; c < kClasses; ++c) {
+      FreeNode* n = free_[c];
+      while (n != nullptr) {
+        FreeNode* next = n->next;
+        ::operator delete(n);
+        n = next;
+      }
+      free_[c] = nullptr;
+      cached_[c] = 0;
+    }
+  }
+
+ private:
+  // Size classes: powers of two from 16 B to 4 KiB; larger requests (none
+  // on the hot paths today) pass through to the heap.
+  static constexpr std::size_t kMinShift = 4;
+  static constexpr std::size_t kMaxShift = 12;
+  static constexpr std::size_t kClasses = kMaxShift - kMinShift + 1;
+
+  struct FreeNode {
+    FreeNode* next;
+  };
+
+  static int size_class(std::size_t bytes) {
+    if (bytes > (std::size_t{1} << kMaxShift)) return -1;
+    int cls = 0;
+    while ((std::size_t{1} << (kMinShift + cls)) < bytes) ++cls;
+    return cls;
+  }
+
+  /// Pooled requests are rounded up to their class size even when the pool
+  /// is disabled, so a block's size never depends on the switch position.
+  static std::size_t padded_size(std::size_t bytes, int cls) {
+    return cls < 0 ? bytes : std::size_t{1} << (kMinShift + cls);
+  }
+
+  FreeNode* free_[kClasses] = {};
+  std::size_t cached_[kClasses] = {};
+  bool enabled_ = true;
+  Stats stats_{};
+};
+
+/// Stateless std allocator routing through the thread's Arena; drop-in for
+/// the packet deques on the architectures' hot paths.
+template <typename T>
+class ArenaAlloc {
+ public:
+  using value_type = T;
+
+  static_assert(alignof(T) <= alignof(std::max_align_t),
+                "ArenaAlloc does not support over-aligned types");
+
+  ArenaAlloc() noexcept = default;
+  template <typename U>
+  ArenaAlloc(const ArenaAlloc<U>&) noexcept {}  // NOLINT
+
+  T* allocate(std::size_t n) {
+    return static_cast<T*>(Arena::thread_arena().allocate(n * sizeof(T)));
+  }
+  void deallocate(T* p, std::size_t n) noexcept {
+    Arena::thread_arena().deallocate(p, n * sizeof(T));
+  }
+
+  friend bool operator==(const ArenaAlloc&, const ArenaAlloc&) {
+    return true;
+  }
+  friend bool operator!=(const ArenaAlloc&, const ArenaAlloc&) {
+    return false;
+  }
+};
+
+/// Packet-queue type used on the architectures' send/forward paths: a
+/// deque whose chunk allocations come from the arena freelists.
+template <typename T>
+using PoolDeque = std::deque<T, ArenaAlloc<T>>;
+
+}  // namespace recosim::sim

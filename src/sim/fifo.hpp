@@ -2,8 +2,8 @@
 
 #include <cassert>
 #include <cstddef>
-#include <deque>
 
+#include "sim/arena.hpp"
 #include "sim/check.hpp"
 #include "sim/component.hpp"
 #include "sim/kernel.hpp"
@@ -79,8 +79,10 @@ class BoundedFifo final : public Latch {
 
  private:
   std::size_t capacity_;
-  std::deque<T> items_;
-  std::deque<T> staged_pushes_;
+  // Arena-pooled: push/pop churn walks the deque chunk ring, and without
+  // the pool every wrap costs a malloc/free on the transfer path.
+  PoolDeque<T> items_;
+  PoolDeque<T> staged_pushes_;
   std::size_t staged_pops_ = 0;
 };
 

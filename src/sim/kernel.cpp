@@ -2,9 +2,22 @@
 
 #include <algorithm>
 
+#include "sim/arena.hpp"
 #include "sim/component.hpp"
 
 namespace recosim::sim {
+
+Kernel::Kernel() {
+  // Arena pooling is a thread-wide switch; align it with this kernel's
+  // (default-on) tuning so components constructed before any explicit
+  // set_busy_path_tuning() call already pool their allocations.
+  Arena::thread_arena().set_enabled(busy_path_.arena_pooling);
+}
+
+void Kernel::set_busy_path_tuning(const BusyPathTuning& t) {
+  busy_path_ = t;
+  Arena::thread_arena().set_enabled(t.arena_pooling);
+}
 
 void Kernel::run(Cycle n) {
   const Cycle end = now_ + n;

@@ -14,6 +14,25 @@ namespace recosim::sim {
 class Component;
 class Latch;
 
+/// A/B switches for the busy-path machinery (see docs/perf.md). All three
+/// default to on; each can be disabled independently to restore the
+/// corresponding slow path, and results are bit-identical either way (the
+/// same discipline as set_activity_driven()):
+///  * router_gating   — DyNoC/CoNoChi iterate only routers/switches with
+///                      queued or in-flight work instead of the whole mesh.
+///  * burst_transfers — established RMBoC channels complete a packet as one
+///                      deadline instead of one word per cycle, and BUS-COM
+///                      treats mid-slot cycles as pure phase ticks; both
+///                      fall back to per-cycle mode the moment a fault,
+///                      replan or teardown interrupts the burst.
+///  * arena_pooling   — packet queues and SmallFn heap spill allocate from
+///                      the per-thread Arena freelists.
+struct BusyPathTuning {
+  bool router_gating = true;
+  bool burst_transfers = true;
+  bool arena_pooling = true;
+};
+
 /// Cycle-driven simulation kernel with activity-driven scheduling.
 ///
 /// One executed cycle performs, in order:
@@ -38,7 +57,7 @@ class Latch;
 /// fabrics with thousands of components is linear, not quadratic.
 class Kernel {
  public:
-  Kernel() = default;
+  Kernel();
 
   Kernel(const Kernel&) = delete;
   Kernel& operator=(const Kernel&) = delete;
@@ -88,6 +107,15 @@ class Kernel {
   void set_paranoid_idle_checks(bool on) { paranoid_idle_checks_ = on; }
   bool paranoid_idle_checks() const { return paranoid_idle_checks_; }
 
+  /// Busy-path machinery switches (router gating, burst transfers, arena
+  /// pooling). Setting them also flips the thread arena's pooling switch.
+  void set_busy_path_tuning(const BusyPathTuning& t);
+  const BusyPathTuning& busy_path_tuning() const { return busy_path_; }
+  /// Convenience: all three busy-path switches together (the chaos A/B).
+  void set_busy_path_enabled(bool on) {
+    set_busy_path_tuning(BusyPathTuning{on, on, on});
+  }
+
   std::size_t active_components() const { return active_count_; }
   /// Cycles skipped by idle fast-forward since construction.
   Cycle fast_forwarded_cycles() const { return ff_cycles_; }
@@ -127,6 +155,7 @@ class Kernel {
   std::size_t active_count_ = 0;       ///< components with active() true
   std::size_t hard_active_count_ = 0;  ///< active and not ff-pollable
   bool activity_driven_ = true;
+  BusyPathTuning busy_path_{};
   bool paranoid_idle_checks_ = RECOSIM_CHECKS_ENABLED != 0;
   Cycle ff_cycles_ = 0;
   std::uint64_t ff_jumps_ = 0;

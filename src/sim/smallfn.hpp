@@ -5,13 +5,16 @@
 #include <type_traits>
 #include <utility>
 
+#include "sim/arena.hpp"
+
 namespace recosim::sim {
 
 /// Move-only `void()` callable with small-buffer optimization, used by the
 /// event queue so that scheduling a lambda does not heap-allocate. Inline
 /// storage covers every callback the simulator schedules today (a couple of
-/// captured pointers/ids); larger callables transparently fall back to the
-/// heap.
+/// captured pointers/ids); larger callables transparently spill — through
+/// the thread Arena's freelists, so even the spill path stays off
+/// malloc/free on the schedule_* hot paths.
 class SmallFn {
  public:
   static constexpr std::size_t kInlineBytes = 48;
@@ -84,6 +87,12 @@ class SmallFn {
     return &ops;
   }
 
+  /// Over-aligned callables cannot use the arena (which hands out
+  /// max_align_t-aligned blocks); they keep plain new/delete.
+  template <typename F>
+  static constexpr bool pools_spill =
+      alignof(F) <= alignof(std::max_align_t);
+
   template <typename F>
   static const Ops* heap_ops() {
     using Ptr = F*;
@@ -93,7 +102,15 @@ class SmallFn {
           ::new (dst) Ptr(*as<Ptr>(src));
           as<Ptr>(src)->~Ptr();
         },
-        [](void* s) { delete *as<Ptr>(s); }};
+        [](void* s) {
+          F* p = *as<Ptr>(s);
+          if constexpr (pools_spill<F>) {
+            p->~F();
+            Arena::thread_arena().deallocate(p, sizeof(F));
+          } else {
+            delete p;
+          }
+        }};
     return &ops;
   }
 
@@ -105,7 +122,14 @@ class SmallFn {
       ops_ = inline_ops<Fn>();
     } else {
       using Ptr = Fn*;
-      ::new (static_cast<void*>(storage_)) Ptr(new Fn(std::forward<F>(f)));
+      Fn* p;
+      if constexpr (pools_spill<Fn>) {
+        void* mem = Arena::thread_arena().allocate(sizeof(Fn));
+        p = ::new (mem) Fn(std::forward<F>(f));
+      } else {
+        p = new Fn(std::forward<F>(f));
+      }
+      ::new (static_cast<void*>(storage_)) Ptr(p);
       ops_ = heap_ops<Fn>();
     }
   }

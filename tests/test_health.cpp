@@ -499,16 +499,30 @@ TEST(HealthRecovery, ConochiEvacuatesModuleOffFailedSwitch) {
   // evidence has to clear the confirmation threshold on its own.
   Stream in{rc, 1, 3, /*gap=*/150};
   Stream out{rc, 3, 2, /*gap=*/150};
+  std::optional<fpga::Point> evacuated_to;
   run_fail_recover_heal(
       kernel, {&in, &out}, det, orch, /*victim=*/3,
       [&] { ASSERT_TRUE(arch.fail_node(home->x, home->y)); },
-      [&] { ASSERT_TRUE(arch.heal_node(home->x, home->y)); },
+      [&] {
+        // Sample before healing: the evacuation itself must have moved
+        // the module off the failed switch. (After the heal the module
+        // may legally end up back home — with every line-free port of
+        // the survivors plugged, the evacuation parks the interface on
+        // an inter-switch line, and heal_node()'s re-parking pass then
+        // moves it to the first line-free port of the restored ring.)
+        evacuated_to = arch.switch_of(3);
+        ASSERT_TRUE(arch.heal_node(home->x, home->y));
+      },
       /*phase_budget=*/400'000);
 
   EXPECT_TRUE(any_evacuated(orch));
-  const auto moved = arch.switch_of(3);
-  ASSERT_TRUE(moved.has_value());
-  EXPECT_TRUE(!(*moved == *home));
+  ASSERT_TRUE(evacuated_to.has_value());
+  EXPECT_TRUE(!(*evacuated_to == *home));
+  // The healed ring must get all four lines back — the evacuated
+  // interface cannot keep squatting on one (CON002 root cause; the
+  // re-parking pass frees it).
+  EXPECT_EQ(arch.link_count(), 8u);
+  EXPECT_TRUE(arch.is_attached(3));
 }
 
 // BUS-COM: a total bus blackout has no relocation answer — the ladder must

@@ -17,9 +17,10 @@
 //                 [--horizon CYCLES] [--lint-first] [--recovery]
 //                 [--recovery-bound CYCLES] [--jobs N] [--retries N]
 //                 [--run-deadline-ms MS] [--campaign JOURNAL] [--resume]
-//                 [--quarantine-out PATH] [--no-fast-forward] [--verbose]
+//                 [--quarantine-out PATH] [--no-fast-forward]
+//                 [--no-busy-path] [--verbose]
 //   recosim-chaos --replay FILE [--no-shrink] [--recovery]
-//                 [--no-fast-forward]
+//                 [--no-fast-forward] [--no-busy-path]
 //
 // Farm semantics (see docs/farm.md):
 //  * --jobs N evaluates seeds on N workers; output is collected in job
@@ -68,9 +69,10 @@ void usage() {
       << "                     [--jobs N] [--retries N] [--run-deadline-ms MS]\n"
       << "                     [--campaign JOURNAL] [--resume]\n"
       << "                     [--quarantine-out PATH]\n"
-      << "                     [--no-fast-forward] [--verbose]\n"
+      << "                     [--no-fast-forward] [--no-busy-path]\n"
+      << "                     [--verbose]\n"
       << "       recosim-chaos --replay FILE [--no-shrink] [--recovery]\n"
-      << "                     [--no-fast-forward]\n";
+      << "                     [--no-fast-forward] [--no-busy-path]\n";
 }
 
 }  // namespace
@@ -147,6 +149,8 @@ int main(int argc, char** argv) {
       opt.stall_seed = std::strtoull(value(), nullptr, 10);
     } else if (arg == "--no-fast-forward") {
       opt.activity_driven = false;
+    } else if (arg == "--no-busy-path") {
+      opt.busy_path = false;
     } else if (arg == "--verbose") {
       opt.verbose = true;
     } else if (arg == "--help" || arg == "-h") {
@@ -176,6 +180,7 @@ int main(int argc, char** argv) {
     }
     fault::ChaosRunOptions ro;
     ro.activity_driven = opt.activity_driven;
+    ro.busy_path = opt.busy_path;
     ro.recovery = opt.recovery;
     ro.recovery_bound = opt.recovery_bound;
     const auto result = fault::run_schedule(*schedule, ro);
