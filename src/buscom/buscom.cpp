@@ -40,6 +40,8 @@ bool Buscom::attach(fpga::ModuleId id, const fpga::HardwareModule&) {
   // the currently attached modules; custom reassignments come afterwards
   // through reassign_*().
   schedule_.deal_round_robin(attach_order_, config_.dynamic_fraction);
+  // A sleeping bus must notice the new member's first TDMA slot.
+  wake_network();
   debug_check_invariants();
   return true;
 }
@@ -78,6 +80,9 @@ bool Buscom::detach(fpga::ModuleId id) {
       ++rit;
     }
   }
+  // The slots the departed module held are dynamic again; contenders
+  // parked behind it must get a chance to claim them.
+  wake_network();
   debug_check_invariants();
   return true;
 }
@@ -249,6 +254,9 @@ bool Buscom::fail_node(int bus, int) {
     }
   }
   stats().counter("bus_failures").add();
+  // The rolled-back fragment re-enters a TX queue and the staged slot
+  // moves must apply at the next round boundary.
+  wake_network();
   debug_check_invariants();
   return true;
 }
@@ -256,6 +264,8 @@ bool Buscom::fail_node(int bus, int) {
 bool Buscom::heal_node(int bus, int) {
   if (failed_buses_.erase(bus) == 0) return false;
   stats().counter("bus_heals").add();
+  // Queued traffic can use the revived bus's slots immediately.
+  wake_network();
   debug_check_invariants();
   return true;
 }

@@ -2,6 +2,7 @@
 
 #include <chrono>
 #include <fstream>
+#include <map>
 #include <memory>
 #include <ostream>
 #include <sstream>
@@ -277,6 +278,36 @@ void print_chaos_summary(std::ostream& out, const ChaosCampaignOptions& opt,
           << " evacuations";
     if (resumed > 0) out << " (" << resumed << " resumed)";
     out << "\n";
+  }
+}
+
+std::vector<ArchJournalSummary> journal_arch_summary(
+    const JournalContents& journal) {
+  std::map<std::string, ArchJournalSummary> by_arch;
+  // recosim-tidy: allow(RCD001): counting into a sorted map; per-arch
+  // totals are independent of the traversal order
+  for (const auto& [key, run] : journal.runs) {
+    ArchJournalSummary& row = by_arch[run.arch];
+    row.arch = run.arch;
+    if (run.status == "ok")
+      ++row.ok;
+    else if (run.status == "failed")
+      ++row.deterministic_failures;
+    else if (run.status == "quarantined")
+      ++row.quarantined;
+  }
+  std::vector<ArchJournalSummary> rows;
+  rows.reserve(by_arch.size());
+  for (auto& [arch, row] : by_arch) rows.push_back(std::move(row));
+  return rows;
+}
+
+void print_journal_arch_summary(std::ostream& out,
+                                const std::vector<ArchJournalSummary>& rows) {
+  for (const ArchJournalSummary& row : rows) {
+    out << "journal " << row.arch << ": " << row.ok << " ok, "
+        << row.deterministic_failures << " deterministic failure(s), "
+        << row.quarantined << " quarantined\n";
   }
 }
 

@@ -80,4 +80,27 @@ void print_chaos_summary(std::ostream& out, const ChaosCampaignOptions& opt,
 bool write_quarantine_file(const std::string& path,
                            const CampaignReport& report, std::string* error);
 
+/// Per-architecture rollup of a campaign journal. Unlike the in-memory
+/// CampaignReport this covers *every* terminal record in the journal —
+/// including runs completed by earlier interrupted invocations — so a
+/// resumed campaign reports the whole history, not just its own slice.
+struct ArchJournalSummary {
+  std::string arch;
+  std::size_t ok = 0;
+  /// status "failed": a failure confirmed bit-identical on retry.
+  std::size_t deterministic_failures = 0;
+  /// status "quarantined": hung, threw, or nondeterministic — no
+  /// trustworthy result.
+  std::size_t quarantined = 0;
+};
+
+/// Aggregate the journal's run records by architecture, rows sorted by
+/// architecture name.
+std::vector<ArchJournalSummary> journal_arch_summary(
+    const JournalContents& journal);
+
+/// One "arch: N ok, N deterministic failures, N quarantined" line per row.
+void print_journal_arch_summary(std::ostream& out,
+                                const std::vector<ArchJournalSummary>& rows);
+
 }  // namespace recosim::farm

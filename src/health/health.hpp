@@ -14,6 +14,7 @@
 #include "core/reconfig_manager.hpp"
 #include "core/reconfig_txn.hpp"
 #include "fault/reliable_channel.hpp"
+#include "sim/anchor.hpp"
 #include "sim/component.hpp"
 #include "sim/stats.hpp"
 
@@ -324,6 +325,9 @@ class RecoveryOrchestrator final : public sim::Component {
   std::set<fpga::ModuleId> shed_;
   std::uint64_t next_incident_id_ = 1;
   sim::StatSet stats_;
+  /// Last member so it dies first: kernel events scheduled by request_txn
+  /// must degrade to no-ops once the orchestrator is gone.
+  sim::CallbackAnchor anchor_;
 };
 
 /// p in [0, 1] percentile of `values` (nearest-rank); 0 when empty.

@@ -136,7 +136,8 @@ void RecoveryOrchestrator::request_txn(
   // Transactions register as components and must not be constructed
   // mid-evaluation; hand construction to a kernel event.
   kernel().schedule_at(
-      kernel().now() + 1, [this, &slot, req = std::move(req)]() mutable {
+      kernel().now() + 1,
+      anchor_.wrap([this, &slot, req = std::move(req)]() mutable {
         slot = std::make_unique<core::ReconfigTxn>(
             kernel(), *mgr_, arch_, std::move(req), cfg_.evac_txn);
         if (rc_) {
@@ -149,7 +150,7 @@ void RecoveryOrchestrator::request_txn(
             return n;
           });
         }
-      });
+      }));
 }
 
 void RecoveryOrchestrator::enter_reroute(Incident& inc) {

@@ -1,0 +1,32 @@
+#pragma once
+
+// The RCD rule family: project-specific invariants of the simulator's own
+// C++ source (docs/static-analysis.md, "Layer 3"). Each rule encodes a
+// convention the earlier layers rely on — determinism of the farm's
+// digests, kernel-callback lifetime, the activity protocol — and fires
+// where the type system cannot see the violation.
+
+#include <string>
+#include <vector>
+
+#include "tidy/model.hpp"
+
+namespace recosim::tidy {
+
+/// One raw finding, before suppression. `symbol` is the enclosing
+/// function or class ("Conochi::attach"), may be empty.
+struct Finding {
+  std::string rule;
+  std::string symbol;
+  int line = 0;
+  int col = 0;
+  std::string message;
+  std::string fixit;
+};
+
+/// Run every RCD rule over the model. Returns one finding list per file,
+/// aligned with model.files, unsuppressed (the driver applies allow
+/// annotations and emits RCD007 for unjustified ones).
+std::vector<std::vector<Finding>> run_checks(const CodeModel& model);
+
+}  // namespace recosim::tidy

@@ -1,0 +1,252 @@
+#include "tidy/lexer.hpp"
+
+#include <cctype>
+
+namespace recosim::tidy {
+
+namespace {
+
+bool ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+class Scanner {
+ public:
+  explicit Scanner(const std::string& s) : s_(s) {}
+
+  LexedFile run() {
+    while (pos_ < s_.size()) step();
+    return std::move(out_);
+  }
+
+ private:
+  char cur() const { return s_[pos_]; }
+  char peek(std::size_t n = 1) const {
+    return pos_ + n < s_.size() ? s_[pos_ + n] : '\0';
+  }
+
+  void advance() {
+    if (s_[pos_] == '\n') {
+      ++line_;
+      col_ = 1;
+    } else {
+      ++col_;
+    }
+    ++pos_;
+  }
+
+  void step() {
+    const char c = cur();
+    if (c == '\\' && peek() == '\n') {  // line continuation
+      advance();
+      advance();
+      return;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      if (c == '\n') at_line_start_ = true;
+      advance();
+      return;
+    }
+    if (c == '/' && peek() == '/') {
+      line_comment();
+      return;
+    }
+    if (c == '/' && peek() == '*') {
+      block_comment();
+      return;
+    }
+    if (c == '#' && at_line_start_) {
+      preprocessor_line();
+      return;
+    }
+    at_line_start_ = false;
+    if (ident_start(c)) {
+      identifier();
+      return;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && std::isdigit(static_cast<unsigned char>(peek())))) {
+      number();
+      return;
+    }
+    if (c == '"') {
+      string_literal();
+      return;
+    }
+    if (c == '\'') {
+      char_literal();
+      return;
+    }
+    punct();
+  }
+
+  void line_comment() {
+    const int start_line = line_;
+    advance();  // '/'
+    advance();  // '/'
+    std::string text;
+    while (pos_ < s_.size() && cur() != '\n') {
+      text += cur();
+      advance();
+    }
+    out_.comments.push_back(Comment{std::move(text), start_line});
+  }
+
+  void block_comment() {
+    const int start_line = line_;
+    advance();  // '/'
+    advance();  // '*'
+    std::string text;
+    while (pos_ < s_.size()) {
+      if (cur() == '*' && peek() == '/') {
+        advance();
+        advance();
+        break;
+      }
+      text += cur();
+      advance();
+    }
+    out_.comments.push_back(Comment{std::move(text), start_line});
+  }
+
+  void preprocessor_line() {
+    // Consume through end of line, honouring \-continuations; comments
+    // inside the directive still get collected (NOLINT-style annotations
+    // may sit after an #include).
+    while (pos_ < s_.size() && cur() != '\n') {
+      if (cur() == '\\' && peek() == '\n') {
+        advance();
+        advance();
+        continue;
+      }
+      if (cur() == '/' && peek() == '/') {
+        line_comment();
+        return;
+      }
+      if (cur() == '/' && peek() == '*') {
+        block_comment();
+        continue;
+      }
+      advance();
+    }
+  }
+
+  void identifier() {
+    Token t{TokKind::kIdent, {}, line_, col_};
+    while (pos_ < s_.size() && ident_char(cur())) {
+      t.text += cur();
+      advance();
+    }
+    // Raw string literal: R"delim(...)delim"
+    if (pos_ < s_.size() && cur() == '"' &&
+        (t.text == "R" || t.text == "LR" || t.text == "u8R" ||
+         t.text == "uR" || t.text == "UR")) {
+      raw_string(t.line, t.col);
+      return;
+    }
+    out_.tokens.push_back(std::move(t));
+  }
+
+  void raw_string(int line, int col) {
+    advance();  // '"'
+    std::string delim;
+    while (pos_ < s_.size() && cur() != '(') {
+      delim += cur();
+      advance();
+    }
+    if (pos_ < s_.size()) advance();  // '('
+    const std::string close = ")" + delim + "\"";
+    std::string text;
+    while (pos_ < s_.size()) {
+      if (s_.compare(pos_, close.size(), close) == 0) {
+        for (std::size_t i = 0; i < close.size(); ++i) advance();
+        break;
+      }
+      text += cur();
+      advance();
+    }
+    out_.tokens.push_back(Token{TokKind::kString, std::move(text), line, col});
+  }
+
+  void number() {
+    Token t{TokKind::kNumber, {}, line_, col_};
+    // pp-number: digits, idents, dots, exponent signs, digit separators.
+    while (pos_ < s_.size()) {
+      const char c = cur();
+      if (ident_char(c) || c == '.' || c == '\'') {
+        t.text += c;
+        advance();
+        if ((c == 'e' || c == 'E' || c == 'p' || c == 'P') &&
+            pos_ < s_.size() && (cur() == '+' || cur() == '-')) {
+          t.text += cur();
+          advance();
+        }
+        continue;
+      }
+      break;
+    }
+    out_.tokens.push_back(std::move(t));
+  }
+
+  void string_literal() {
+    Token t{TokKind::kString, {}, line_, col_};
+    advance();  // opening quote
+    while (pos_ < s_.size() && cur() != '"') {
+      if (cur() == '\\' && pos_ + 1 < s_.size()) {
+        t.text += cur();
+        advance();
+      }
+      t.text += cur();
+      advance();
+    }
+    if (pos_ < s_.size()) advance();  // closing quote
+    out_.tokens.push_back(std::move(t));
+  }
+
+  void char_literal() {
+    Token t{TokKind::kChar, {}, line_, col_};
+    advance();  // opening quote
+    while (pos_ < s_.size() && cur() != '\'') {
+      if (cur() == '\\' && pos_ + 1 < s_.size()) {
+        t.text += cur();
+        advance();
+      }
+      t.text += cur();
+      advance();
+    }
+    if (pos_ < s_.size()) advance();  // closing quote
+    out_.tokens.push_back(std::move(t));
+  }
+
+  void punct() {
+    Token t{TokKind::kPunct, {}, line_, col_};
+    if (cur() == ':' && peek() == ':') {
+      t.text = "::";
+      advance();
+      advance();
+    } else {
+      t.text = std::string(1, cur());
+      advance();
+    }
+    out_.tokens.push_back(std::move(t));
+  }
+
+  const std::string& s_;
+  std::size_t pos_ = 0;
+  int line_ = 1;
+  int col_ = 1;
+  bool at_line_start_ = true;
+  LexedFile out_;
+};
+
+}  // namespace
+
+LexedFile lex(const std::string& source) {
+  Scanner scanner(source);
+  return scanner.run();
+}
+
+}  // namespace recosim::tidy

@@ -1,0 +1,48 @@
+#pragma once
+
+// Token-level C++ front-end for recosim-tidy (docs/static-analysis.md,
+// "Layer 3"). The checker needs to see identifiers, punctuation and
+// comments with exact line:column positions — not a full AST — so the
+// lexer is a small hand-rolled scanner with no toolchain dependency:
+// it runs in every build the simulator itself builds in, which is what
+// lets the seeded-violation fixtures execute as ordinary unit tests.
+
+#include <string>
+#include <vector>
+
+namespace recosim::tidy {
+
+enum class TokKind {
+  kIdent,    ///< identifier or keyword
+  kNumber,   ///< numeric literal (pp-number)
+  kString,   ///< string literal, including raw strings; text excludes quotes
+  kChar,     ///< character literal
+  kPunct,    ///< punctuation; multi-char only for "::"
+};
+
+struct Token {
+  TokKind kind;
+  std::string text;
+  int line = 0;  ///< 1-based
+  int col = 0;   ///< 1-based
+};
+
+/// A comment, kept out of the token stream (checkers that honour
+/// suppression annotations scan these separately).
+struct Comment {
+  std::string text;  ///< without the // or /* */ markers
+  int line = 0;      ///< line the comment starts on
+};
+
+struct LexedFile {
+  std::vector<Token> tokens;
+  std::vector<Comment> comments;
+};
+
+/// Tokenize C++ source. Preprocessor directives are skipped (the line is
+/// consumed, honouring backslash continuations) — the checks operate on
+/// the code as written, not as preprocessed. Never fails: unexpected
+/// bytes become single-character punctuation tokens.
+LexedFile lex(const std::string& source);
+
+}  // namespace recosim::tidy

@@ -1,0 +1,416 @@
+#include "tidy/model.hpp"
+
+#include <cctype>
+
+namespace recosim::tidy {
+
+namespace {
+
+bool is_keyword(const std::string& s) {
+  static const char* const kw[] = {
+      "if",     "for",      "while",    "switch",   "return", "sizeof",
+      "catch",  "new",      "delete",   "decltype", "alignof", "alignas",
+      "static_assert", "noexcept", "throw", "co_await", "co_return",
+      "co_yield", "requires", "operator", "else", "do", "case", "default",
+  };
+  for (const char* k : kw)
+    if (s == k) return true;
+  return false;
+}
+
+bool tok_is(const Token& t, const char* text) {
+  return t.text == text;
+}
+
+class Builder {
+ public:
+  Builder(std::string path, LexedFile lx) {
+    out_.path = std::move(path);
+    out_.lx = std::move(lx);
+  }
+
+  FileModel run() {
+    match_delims();
+    collect_allows();
+    parse_scope(0, out_.lx.tokens.size(), /*cls=*/nullptr);
+    out_.match = std::move(match_);
+    return std::move(out_);
+  }
+
+ private:
+  const std::vector<Token>& t() const { return out_.lx.tokens; }
+
+  /// Forward matches for (), {} and []: match_[i] = index one past the
+  /// matching closer, or i+1 when unmatched (so skipping always advances).
+  void match_delims() {
+    const auto& toks = t();
+    match_.assign(toks.size(), 0);
+    std::vector<std::size_t> stack;
+    for (std::size_t i = 0; i < toks.size(); ++i) {
+      match_[i] = i + 1;
+      if (toks[i].kind != TokKind::kPunct) continue;
+      const char c = toks[i].text.size() == 1 ? toks[i].text[0] : '\0';
+      if (c == '(' || c == '{' || c == '[') {
+        stack.push_back(i);
+      } else if (c == ')' || c == '}' || c == ']') {
+        const char open = c == ')' ? '(' : (c == '}' ? '{' : '[');
+        // Pop to the nearest matching opener; tolerates imbalance.
+        while (!stack.empty()) {
+          const std::size_t o = stack.back();
+          stack.pop_back();
+          if (toks[o].text[0] == open) {
+            match_[o] = i + 1;
+            break;
+          }
+        }
+      }
+    }
+  }
+
+  void collect_allows() {
+    for (const Comment& c : out_.lx.comments) {
+      const std::size_t tag = c.text.find("recosim-tidy:");
+      if (tag == std::string::npos) continue;
+      std::size_t pos = c.text.find("allow(", tag);
+      if (pos == std::string::npos) continue;
+      pos += 6;
+      const std::size_t close = c.text.find(')', pos);
+      if (close == std::string::npos) continue;
+      std::string reason;
+      std::size_t after = close + 1;
+      while (after < c.text.size() &&
+             (c.text[after] == ':' || c.text[after] == ' '))
+        ++after;
+      reason = c.text.substr(after);
+      while (!reason.empty() && std::isspace(static_cast<unsigned char>(
+                                    reason.back())))
+        reason.pop_back();
+      // One annotation per rule in the comma list, all sharing the reason.
+      std::string rules = c.text.substr(pos, close - pos);
+      std::size_t start = 0;
+      while (start <= rules.size()) {
+        std::size_t comma = rules.find(',', start);
+        if (comma == std::string::npos) comma = rules.size();
+        std::string rule = rules.substr(start, comma - start);
+        while (!rule.empty() && rule.front() == ' ') rule.erase(0, 1);
+        while (!rule.empty() && rule.back() == ' ') rule.pop_back();
+        if (!rule.empty())
+          out_.allows.push_back(AllowAnnotation{rule, reason, c.line});
+        start = comma + 1;
+      }
+    }
+  }
+
+  /// Skip a template parameter/argument list starting at '<'. Returns the
+  /// index one past the matching '>'. Tracks () nesting; gives up (and
+  /// returns begin+1) if no balanced '>' is found before a ';' or '{'.
+  std::size_t skip_angles(std::size_t i) {
+    const auto& toks = t();
+    int depth = 0;
+    for (std::size_t j = i; j < toks.size(); ++j) {
+      const std::string& s = toks[j].text;
+      if (s == "(") {
+        j = match_[j] - 1;
+        continue;
+      }
+      if (s == "<") ++depth;
+      else if (s == ">") {
+        if (--depth == 0) return j + 1;
+      } else if (s == ";" || s == "{") {
+        break;
+      }
+    }
+    return i + 1;
+  }
+
+  /// Parse the tokens of one brace scope (namespace/class body or the
+  /// whole file). `cls` is the ClassDef under construction when this is a
+  /// class body.
+  void parse_scope(std::size_t begin, std::size_t end, ClassDef* cls) {
+    const auto& toks = t();
+    std::size_t i = begin;
+    while (i < end) {
+      const Token& tok = toks[i];
+      if (tok.kind == TokKind::kIdent) {
+        if (tok.text == "template" && i + 1 < end &&
+            tok_is(toks[i + 1], "<")) {
+          i = skip_angles(i + 1);
+          continue;
+        }
+        if (tok.text == "namespace") {
+          // namespace a::b { ... } or namespace x = y;
+          std::size_t j = i + 1;
+          while (j < end && !tok_is(toks[j], "{") && !tok_is(toks[j], ";") &&
+                 !tok_is(toks[j], "="))
+            ++j;
+          if (j < end && tok_is(toks[j], "{")) {
+            parse_scope(j + 1, match_[j] - 1, nullptr);
+            i = match_[j];
+          } else {
+            i = j + 1;
+          }
+          continue;
+        }
+        if (tok.text == "class" || tok.text == "struct") {
+          i = parse_class(i, end);
+          continue;
+        }
+        if (tok.text == "enum") {
+          std::size_t j = i + 1;
+          while (j < end && !tok_is(toks[j], "{") && !tok_is(toks[j], ";"))
+            ++j;
+          i = (j < end && tok_is(toks[j], "{")) ? match_[j] : j + 1;
+          continue;
+        }
+        if (tok.text == "using" || tok.text == "typedef" ||
+            tok.text == "friend") {
+          while (i < end && !tok_is(toks[i], ";")) {
+            if (tok_is(toks[i], "{")) {
+              i = match_[i];
+              continue;
+            }
+            ++i;
+          }
+          ++i;
+          continue;
+        }
+        ++i;
+        continue;
+      }
+      if (tok.kind == TokKind::kPunct) {
+        if (tok.text == "(") {
+          i = try_function(i, end, cls);
+          continue;
+        }
+        if (tok.text == "{" || tok.text == "[") {
+          i = match_[i];  // unclaimed compound / attribute / lambda
+          continue;
+        }
+      }
+      ++i;
+    }
+  }
+
+  /// Handle `class`/`struct` at toks[i]; returns resume index.
+  std::size_t parse_class(std::size_t i, std::size_t end) {
+    const auto& toks = t();
+    std::size_t j = i + 1;
+    // [[attributes]]
+    while (j < end && tok_is(toks[j], "[")) j = match_[j];
+    if (j >= end || toks[j].kind != TokKind::kIdent) return i + 1;
+    ClassDef cd;
+    cd.name = toks[j].text;
+    cd.line = toks[j].line;
+    cd.col = toks[j].col;
+    ++j;
+    if (j < end && tok_is(toks[j], "<")) j = skip_angles(j);  // specialization
+    if (j < end && toks[j].kind == TokKind::kIdent &&
+        toks[j].text == "final")
+      ++j;
+    if (j < end && tok_is(toks[j], ":")) {
+      ++j;
+      while (j < end && !tok_is(toks[j], "{") && !tok_is(toks[j], ";")) {
+        if (!cd.bases.empty()) cd.bases += ' ';
+        cd.bases += toks[j].text;
+        if (tok_is(toks[j], "<")) {
+          // keep template args out of the base text's way
+          const std::size_t after = skip_angles(j);
+          for (std::size_t k = j + 1; k < after; ++k) {
+            cd.bases += ' ';
+            cd.bases += toks[k].text;
+          }
+          j = after;
+          continue;
+        }
+        ++j;
+      }
+    }
+    if (j >= end || !tok_is(toks[j], "{")) return j + 1;  // fwd decl etc.
+    cd.body_begin = j;
+    cd.body_end = match_[j];
+    const std::size_t resume = match_[j];
+    // Parse the body into the local ClassDef and push afterwards: nested
+    // classes push into out_.classes during the recursion, so a reference
+    // held across it would dangle on reallocation.
+    parse_scope(j + 1, cd.body_end - 1, &cd);
+    out_.classes.push_back(std::move(cd));
+    return resume;
+  }
+
+  /// Scan back from the '(' at toks[i] for the `A::B::name` chain.
+  /// Returns false when the paren cannot start a function declarator.
+  bool name_chain(std::size_t i, std::string& cls, std::string& name,
+                  std::size_t& name_tok) const {
+    const auto& toks = t();
+    if (i == 0 || toks[i - 1].kind != TokKind::kIdent) return false;
+    if (is_keyword(toks[i - 1].text)) return false;
+    std::size_t k = i - 1;
+    name = toks[k].text;
+    name_tok = k;
+    std::vector<std::string> quals;
+    while (k >= 2 && tok_is(toks[k - 1], "::") &&
+           toks[k - 2].kind == TokKind::kIdent) {
+      quals.push_back(toks[k - 2].text);
+      k -= 2;
+    }
+    cls = quals.empty() ? std::string() : quals.front();
+    // Reject member accesses and :: without a preceding ident (global
+    // qualification) — neither can be a definition header.
+    if (k >= 1 && (tok_is(toks[k - 1], ".") || tok_is(toks[k - 1], "::")))
+      return false;
+    return true;
+  }
+
+  /// toks[i] is '(' inside a namespace or class scope. Decide whether it
+  /// heads a function definition; record it (and member declarations when
+  /// in a class). Returns resume index.
+  std::size_t try_function(std::size_t i, std::size_t end, ClassDef* cls) {
+    const auto& toks = t();
+    std::string class_name, name;
+    std::size_t name_tok = 0;
+    if (!name_chain(i, class_name, name, name_tok)) return match_[i];
+    const std::size_t close = match_[i];  // one past ')'
+    std::size_t j = close;
+    // Trailing qualifiers.
+    while (j < end) {
+      const Token& q = toks[j];
+      if (q.kind == TokKind::kIdent &&
+          (q.text == "const" || q.text == "override" || q.text == "final" ||
+           q.text == "mutable" || q.text == "volatile")) {
+        ++j;
+        continue;
+      }
+      if (q.kind == TokKind::kIdent && q.text == "noexcept") {
+        ++j;
+        if (j < end && tok_is(toks[j], "(")) j = match_[j];
+        continue;
+      }
+      if (tok_is(q, "&")) {
+        ++j;
+        continue;
+      }
+      break;
+    }
+    // Trailing return type: -> Type...
+    if (j + 1 < end && tok_is(toks[j], "-") && tok_is(toks[j + 1], ">")) {
+      j += 2;
+      while (j < end && !tok_is(toks[j], "{") && !tok_is(toks[j], ";") &&
+             !tok_is(toks[j], "=")) {
+        if (tok_is(toks[j], "<")) {
+          j = skip_angles(j);
+          continue;
+        }
+        ++j;
+      }
+    }
+    // Constructor member-initializer list.
+    if (j < end && tok_is(toks[j], ":")) {
+      ++j;
+      bool expecting_init = true;
+      while (j < end) {
+        if (tok_is(toks[j], ",")) {
+          ++j;
+          expecting_init = true;
+          continue;
+        }
+        if (tok_is(toks[j], "{")) {
+          if (expecting_init) break;  // malformed; bail to generic handling
+          break;                      // function body
+        }
+        if (tok_is(toks[j], "(")) {
+          j = match_[j];
+          expecting_init = false;
+          continue;
+        }
+        if (tok_is(toks[j], "<")) {
+          j = skip_angles(j);
+          continue;
+        }
+        if (tok_is(toks[j], ";")) break;
+        if (toks[j].kind == TokKind::kIdent && expecting_init &&
+            j + 1 < end && tok_is(toks[j + 1], "{")) {
+          // brace-initialized member: a_{...}
+          j = match_[j + 1];
+          expecting_init = false;
+          continue;
+        }
+        ++j;
+      }
+    }
+    if (j < end && tok_is(toks[j], "{")) {
+      FunctionDef fd;
+      fd.class_name = !class_name.empty()
+                          ? class_name
+                          : (cls ? cls->name : std::string());
+      fd.name = name;
+      fd.body_begin = j;
+      fd.body_end = match_[j];
+      fd.line = toks[name_tok].line;
+      fd.col = toks[name_tok].col;
+      out_.functions.push_back(std::move(fd));
+      if (cls && class_name.empty()) cls->declared_methods.push_back(name);
+      return match_[j];
+    }
+    // Declaration (possibly `= 0;` / `= default;` / `= delete;`).
+    if (cls && class_name.empty() && j < end &&
+        (tok_is(toks[j], ";") || tok_is(toks[j], "="))) {
+      cls->declared_methods.push_back(name);
+    }
+    return close;
+  }
+
+  FileModel out_;
+  std::vector<std::size_t> match_;
+};
+
+}  // namespace
+
+FileModel build_file_model(std::string path, LexedFile lx) {
+  Builder b(std::move(path), std::move(lx));
+  return b.run();
+}
+
+std::size_t skip_template_args(const FileModel& f, std::size_t i) {
+  const auto& toks = f.lx.tokens;
+  int depth = 0;
+  for (std::size_t j = i; j < toks.size(); ++j) {
+    const std::string& s = toks[j].text;
+    if (s == "(") {
+      j = f.match[j] - 1;
+      continue;
+    }
+    if (s == "<") ++depth;
+    else if (s == ">") {
+      if (--depth == 0) return j + 1;
+    } else if (s == ";" || s == "{") {
+      break;
+    }
+  }
+  return i + 1;
+}
+
+bool allows_rule(const FileModel& f, const std::string& rule, int line) {
+  for (const AllowAnnotation& a : f.allows) {
+    if (a.rule != rule) continue;
+    if (a.reason.empty()) continue;  // unjustified: RCD007, no suppression
+    if (a.line == line || a.line == line - 1) return true;
+  }
+  return false;
+}
+
+std::string symbol_at(const FileModel& f, std::size_t i) {
+  // Innermost wins: later-recorded functions with tighter ranges (in-class
+  // definitions are recorded while walking the class body) shadow wider
+  // ones; pick the smallest enclosing body.
+  const FunctionDef* best = nullptr;
+  for (const FunctionDef& fd : f.functions) {
+    if (i < fd.body_begin || i >= fd.body_end) continue;
+    if (!best || fd.body_end - fd.body_begin < best->body_end - best->body_begin)
+      best = &fd;
+  }
+  if (!best) return {};
+  return best->class_name.empty() ? best->name
+                                  : best->class_name + "::" + best->name;
+}
+
+}  // namespace recosim::tidy

@@ -1,0 +1,85 @@
+#pragma once
+
+// Lightweight source model for recosim-tidy: classes (with base clauses
+// and body extents), function definitions (with qualified names and body
+// extents) and in-source suppression annotations, extracted from the
+// token stream by a scope-aware scan. This is deliberately not a C++
+// parser — it recovers exactly the shape the RCD rules need (who derives
+// from what, which member functions call which) and stays robust on code
+// it does not understand.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "tidy/lexer.hpp"
+
+namespace recosim::tidy {
+
+/// One `class`/`struct` definition (not a forward declaration).
+struct ClassDef {
+  std::string name;
+  std::string bases;  ///< base clause text, tokens space-joined; "" if none
+  std::size_t body_begin = 0;  ///< token index of '{'
+  std::size_t body_end = 0;    ///< token index one past matching '}'
+  int line = 0;
+  int col = 0;
+  /// Member function names declared or defined in the class body.
+  std::vector<std::string> declared_methods;
+};
+
+/// One function definition with a body.
+struct FunctionDef {
+  std::string class_name;  ///< qualifier (Conochi::attach -> "Conochi");
+                           ///< enclosing class for in-class definitions
+  std::string name;        ///< unqualified name
+  std::size_t body_begin = 0;  ///< token index of '{'
+  std::size_t body_end = 0;    ///< token index one past matching '}'
+  int line = 0;                ///< line of the name token
+  int col = 0;
+};
+
+/// recosim-tidy: allow(RCD00N[,RCD00M...]): <justification>
+/// An annotation suppresses matching findings on its own line and the
+/// line below, so it can trail the offending statement or sit above it.
+struct AllowAnnotation {
+  std::string rule;
+  std::string reason;  ///< empty = unjustified (RCD007)
+  int line = 0;
+};
+
+struct FileModel {
+  std::string path;
+  LexedFile lx;
+  /// Forward delimiter matches for (), {} and []: match[i] = index one
+  /// past the matching closer of the opener at i, or i+1 when unmatched
+  /// (so `i = match[i]` always advances).
+  std::vector<std::size_t> match;
+  std::vector<ClassDef> classes;
+  std::vector<FunctionDef> functions;
+  std::vector<AllowAnnotation> allows;
+};
+
+/// The scanned project: every file's model, in command-line/walk order
+/// (the driver sorts paths first, so diagnostics are deterministic).
+struct CodeModel {
+  std::vector<FileModel> files;
+};
+
+/// Build the model of one file from its lexed form.
+FileModel build_file_model(std::string path, LexedFile lx);
+
+/// Skip a template argument list starting at the '<' at token index `i`;
+/// returns the index one past the balanced '>' (tracking nested parens),
+/// or i+1 when none is found before a ';' or '{'.
+std::size_t skip_template_args(const FileModel& f, std::size_t i);
+
+/// True when `d.line <= line` holds for the annotation covering `line`
+/// with rule `rule` (same line or the line directly above).
+bool allows_rule(const FileModel& f, const std::string& rule, int line);
+
+/// Qualified name of the function whose body contains token index `i`
+/// ("Conochi::attach"), or "" when none does.
+std::string symbol_at(const FileModel& f, std::size_t i);
+
+}  // namespace recosim::tidy

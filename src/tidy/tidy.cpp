@@ -1,0 +1,194 @@
+#include "tidy/tidy.hpp"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
+
+#include "tidy/checks.hpp"
+#include "tidy/lexer.hpp"
+#include "tidy/model.hpp"
+#include "verify/rules.hpp"
+
+namespace recosim::tidy {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+bool has_suffix(const std::string& s, const char* suffix) {
+  const std::size_t n = std::char_traits<char>::length(suffix);
+  return s.size() >= n && s.compare(s.size() - n, n, suffix) == 0;
+}
+
+bool is_cpp_source(const std::string& p) {
+  return has_suffix(p, ".cpp") || has_suffix(p, ".hpp") ||
+         has_suffix(p, ".cc") || has_suffix(p, ".h");
+}
+
+bool read_file(const std::string& path, std::string& out) {
+  std::ifstream in(path);
+  if (!in) return false;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  out = ss.str();
+  return true;
+}
+
+/// Keep compile_commands entries inside the project's own src/ and
+/// tools/ trees (the compdb also lists tests, benches and examples).
+bool in_scanned_tree(const std::string& path) {
+  return path.find("/src/") != std::string::npos ||
+         path.find("/tools/") != std::string::npos ||
+         path.rfind("src/", 0) == 0 || path.rfind("tools/", 0) == 0;
+}
+
+/// Pull every "file" value out of a compile_commands.json. The format is
+/// fixed (CMake emits it), so a targeted scan beats a JSON dependency.
+std::vector<std::string> compdb_files(const std::string& text) {
+  std::vector<std::string> out;
+  std::size_t pos = 0;
+  while ((pos = text.find("\"file\"", pos)) != std::string::npos) {
+    pos = text.find(':', pos);
+    if (pos == std::string::npos) break;
+    pos = text.find('"', pos);
+    if (pos == std::string::npos) break;
+    std::size_t end = pos + 1;
+    std::string value;
+    while (end < text.size() && text[end] != '"') {
+      if (text[end] == '\\' && end + 1 < text.size()) ++end;
+      value += text[end];
+      ++end;
+    }
+    out.push_back(std::move(value));
+    pos = end;
+  }
+  return out;
+}
+
+/// Absolute-normalized path, so the same file named relatively on the
+/// command line and absolutely in compile_commands.json dedupes.
+std::string normalize(const std::string& p) {
+  std::error_code ec;
+  fs::path abs = fs::weakly_canonical(p, ec);
+  if (ec) return p;
+  return abs.generic_string();
+}
+
+}  // namespace
+
+std::vector<std::string> collect_files(const TidyOptions& opt,
+                                       std::vector<std::string>* errors) {
+  std::set<std::string> files;
+  for (const std::string& p : opt.paths) {
+    std::error_code ec;
+    if (fs::is_directory(p, ec)) {
+      for (fs::recursive_directory_iterator it(p, ec), end;
+           !ec && it != end; it.increment(ec)) {
+        if (!it->is_regular_file()) continue;
+        std::string path = it->path().generic_string();
+        if (is_cpp_source(path)) files.insert(normalize(path));
+      }
+      if (ec && errors)
+        errors->push_back("cannot read directory '" + p + "'");
+      continue;
+    }
+    files.insert(normalize(p));
+  }
+  if (!opt.compile_commands.empty()) {
+    std::string text;
+    if (!read_file(opt.compile_commands, text)) {
+      if (errors)
+        errors->push_back("cannot read compile_commands '" +
+                          opt.compile_commands + "'");
+    } else {
+      std::set<std::string> dirs;
+      for (std::string& f : compdb_files(text)) {
+        if (!in_scanned_tree(f) || !is_cpp_source(f)) continue;
+        dirs.insert(fs::path(f).parent_path().generic_string());
+        files.insert(normalize(f));
+      }
+      // compile_commands lists only translation units; the invariants
+      // live in headers too, so pull in the siblings.
+      for (const std::string& d : dirs) {
+        std::error_code ec;
+        for (fs::directory_iterator it(d, ec), end; !ec && it != end;
+             it.increment(ec)) {
+          if (!it->is_regular_file()) continue;
+          std::string path = it->path().generic_string();
+          if (has_suffix(path, ".hpp") || has_suffix(path, ".h"))
+            files.insert(normalize(path));
+        }
+      }
+    }
+  }
+  return std::vector<std::string>(files.begin(), files.end());
+}
+
+std::size_t TidyResult::error_count() const {
+  std::size_t n = 0;
+  for (const auto& f : files)
+    for (const auto& d : f.diags)
+      if (d.severity == verify::Severity::kError) ++n;
+  return n;
+}
+
+std::size_t TidyResult::warning_count() const {
+  std::size_t n = 0;
+  for (const auto& f : files)
+    for (const auto& d : f.diags)
+      if (d.severity == verify::Severity::kWarning) ++n;
+  return n;
+}
+
+int TidyResult::exit_code(bool werror) const {
+  if (!unreadable.empty()) return 2;
+  if (error_count() > 0) return 1;
+  if (werror && warning_count() > 0) return 1;
+  return 0;
+}
+
+TidyResult run_tidy(const TidyOptions& opt) {
+  TidyResult result;
+  std::vector<std::string> errors;
+  const std::vector<std::string> paths = collect_files(opt, &errors);
+  result.unreadable = std::move(errors);
+
+  CodeModel model;
+  for (const std::string& path : paths) {
+    std::string text;
+    if (!read_file(path, text)) {
+      result.unreadable.push_back(path);
+      continue;
+    }
+    model.files.push_back(build_file_model(path, lex(text)));
+  }
+
+  const std::vector<std::vector<Finding>> raw = run_checks(model);
+  for (std::size_t i = 0; i < model.files.size(); ++i) {
+    const FileModel& fm = model.files[i];
+    verify::FileFindings ff;
+    ff.path = fm.path;
+    for (const Finding& finding : raw[i]) {
+      if (allows_rule(fm, finding.rule, finding.line)) continue;
+      verify::Diagnostic d;
+      d.rule = finding.rule;
+      const verify::RuleInfo* info = verify::find_rule(finding.rule);
+      d.severity =
+          info ? info->default_severity : verify::Severity::kError;
+      d.location.component = finding.symbol.empty()
+                                 ? fs::path(fm.path).filename().string()
+                                 : finding.symbol;
+      d.location.object = "line " + std::to_string(finding.line) + ":" +
+                          std::to_string(finding.col);
+      d.message = finding.message;
+      d.fixit = finding.fixit;
+      ff.diags.push_back(std::move(d));
+    }
+    result.files.push_back(std::move(ff));
+  }
+  return result;
+}
+
+}  // namespace recosim::tidy

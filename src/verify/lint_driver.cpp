@@ -1,0 +1,98 @@
+#include "verify/lint_driver.hpp"
+
+#include <cstring>
+#include <filesystem>
+#include <optional>
+#include <set>
+
+#include "verify/fault_plan.hpp"
+#include "verify/scenario.hpp"
+#include "verify/timeline.hpp"
+#include "verify/verifier.hpp"
+
+namespace recosim::verify {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+bool has_suffix(const std::string& s, const char* suffix) {
+  const std::size_t n = std::strlen(suffix);
+  return s.size() >= n && s.compare(s.size() - n, n, suffix) == 0;
+}
+
+}  // namespace
+
+LintOutcome run_lint(const LintOptions& opt) {
+  LintOutcome out;
+
+  // Under --timeline, a plan named like a scenario on the command line
+  // pairs with it and must not be checked a second time standalone.
+  std::set<std::string> paired_plans;
+
+  // Findings of one file land in a local sink first so they can be keyed
+  // to their path (SARIF artifacts, baseline suppression).
+  const auto finish_file = [&](const std::string& path,
+                               DiagnosticSink& local) {
+    FileFindings ff;
+    ff.path = path;
+    for (const auto& d : local.diagnostics()) {
+      if (opt.baseline && opt.baseline->suppressed(path, d)) {
+        ++out.suppressed;
+        continue;
+      }
+      ff.diags.push_back(d);
+      out.sink.add(d);
+    }
+    out.per_file.push_back(std::move(ff));
+  };
+
+  // Fault plans are checked against the most recent scenario in the file
+  // list, so `topo.rcs plan.fplan` validates the plan's coordinates
+  // against that topology.
+  std::optional<Scenario> topology;
+  for (const auto& file : opt.files) {
+    DiagnosticSink local;
+    if (has_suffix(file, ".fplan")) {
+      if (paired_plans.count(file)) continue;  // already ran with its .rcs
+      auto plan = parse_fault_plan_file(file, local);
+      if (!plan) {
+        out.parse_failed = true;
+        finish_file(file, local);
+        continue;
+      }
+      check_fault_plan(*plan, topology ? &*topology : nullptr, local);
+      finish_file(file, local);
+      continue;
+    }
+    auto scenario = parse_scenario_file(file, local);
+    if (!scenario) {
+      out.parse_failed = true;
+      finish_file(file, local);
+      continue;
+    }
+    if (opt.timeline) {
+      std::optional<FaultPlanDoc> plan;
+      const fs::path plan_path = fs::path(file).replace_extension(".fplan");
+      std::error_code ec;
+      if (fs::is_regular_file(plan_path, ec)) {
+        plan = parse_fault_plan_file(plan_path.string(), local);
+        if (plan) {
+          paired_plans.insert(plan_path.string());
+          check_fault_plan(*plan, &*scenario, local);
+        } else {
+          out.parse_failed = true;
+        }
+      }
+      Timeline::check(*scenario, plan ? &*plan : nullptr, local,
+                      &opt.envelope);
+    } else {
+      Verifier::check_all(*scenario, local);
+    }
+    finish_file(file, local);
+    topology = std::move(*scenario);
+  }
+  return out;
+}
+
+}  // namespace recosim::verify

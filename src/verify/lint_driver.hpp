@@ -1,0 +1,59 @@
+#pragma once
+
+// The recosim-lint core as a library: parse and check a list of scenario
+// and fault-plan files, apply baseline suppression, and compute the exit
+// code — everything the CLI does apart from argv handling and file IO.
+// Extracted so the exit-code contract (notably baseline × --werror: a
+// suppressed finding can never fail the run) is testable directly.
+
+#include <string>
+#include <vector>
+
+#include "verify/baseline.hpp"
+#include "verify/diagnostic.hpp"
+#include "verify/envelope.hpp"
+#include "verify/sarif.hpp"
+
+namespace recosim::verify {
+
+struct LintOptions {
+  /// Files to check, in command-line order (.rcs / .fplan; directories
+  /// must already be expanded). A fault plan is checked against the most
+  /// recent scenario preceding it in this list.
+  std::vector<std::string> files;
+  /// Run the symbolic timeline (TMP/SCH/ENV families) per scenario; a
+  /// plan named like its scenario pairs with it automatically.
+  bool timeline = false;
+  EnvelopeParams envelope;
+  /// Findings recorded here are suppressed before they reach the
+  /// outcome — they influence neither the report nor the exit code.
+  const Baseline* baseline = nullptr;
+};
+
+struct LintOutcome {
+  /// Every reported (post-suppression) finding, all files.
+  DiagnosticSink sink;
+  /// The same findings grouped per file (SARIF export, baseline-write).
+  std::vector<FileFindings> per_file;
+  /// Findings dropped by the baseline.
+  std::size_t suppressed = 0;
+  /// At least one input failed to parse (exit 2).
+  bool parse_failed = false;
+
+  /// The CLI exit-code contract: 2 on parse failure; otherwise 0 when
+  /// `baseline_written` (a fresh baseline acknowledges what it records);
+  /// otherwise 1 when errors remain (under `werror`: or warnings).
+  /// Baseline-suppressed findings are absent from the sink by
+  /// construction, so they can never flip the code.
+  int exit_code(bool werror, bool baseline_written = false) const {
+    if (parse_failed) return 2;
+    if (baseline_written) return 0;
+    if (sink.error_count() > 0) return 1;
+    if (werror && sink.count(Severity::kWarning) > 0) return 1;
+    return 0;
+  }
+};
+
+LintOutcome run_lint(const LintOptions& opt);
+
+}  // namespace recosim::verify

@@ -190,6 +190,39 @@ inline constexpr RuleInfo kRules[] = {
      "a failure strands a live module with no region it could be "
      "evacuated to (every alternative slot/placement/switch is failed or "
      "occupied); recovery can only degrade, never relocate"},
+
+    // Source-level invariants of the simulator's own C++ code
+    // (recosim-tidy, src/tidy/ — docs/static-analysis.md "Layer 3").
+    // These encode conventions the runtime layers rely on but the type
+    // system cannot see: bit-identical digests, kernel-callback lifetime,
+    // the activity protocol.
+    {"RCD001", "unordered-iteration", Severity::kError, "-",
+     "iteration over a std::unordered_ container on a deterministic path; "
+     "traversal order varies across runs and breaks byte-identical "
+     "results"},
+    {"RCD002", "ambient-entropy", Severity::kError, "-",
+     "wall-clock time or unseeded randomness (rand, random_device, "
+     "steady_clock, ...) outside bench/ and the farm's watchdog; runs "
+     "stop being reproducible"},
+    {"RCD003", "unanchored-kernel-callback", Severity::kError, "-",
+     "a lambda capturing `this` is scheduled on the kernel event queue "
+     "without a CallbackAnchor wrap; it dangles if its owner dies before "
+     "the event fires"},
+    {"RCD004", "activity-protocol-missing", Severity::kWarning, "-",
+     "a sim::Component subclass overrides eval() but never engages the "
+     "activity protocol (set_active / is_quiescent / set_ff_pollable), "
+     "blocking idle fast-forward"},
+    {"RCD005", "pointer-keyed-ordering", Severity::kError, "-",
+     "an ordered container or comparator keyed on raw pointer values; "
+     "address order changes with the allocation layout, so derived "
+     "behaviour is nondeterministic"},
+    {"RCD006", "mutator-without-wake", Severity::kWarning, "-",
+     "an architecture mutator (runs debug_check_invariants()) never calls "
+     "wake_network(), so work it enables can strand in a sleeping network "
+     "component"},
+    {"RCD007", "unjustified-suppression", Severity::kWarning, "-",
+     "a recosim-tidy allow() annotation carries no justification; it "
+     "suppresses nothing until it says why the invariant does not apply"},
 };
 
 inline const RuleInfo* find_rule(std::string_view id) {

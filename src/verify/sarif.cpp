@@ -54,7 +54,8 @@ bool parse_line_object(const std::string& object, int& line, int& column) {
 
 }  // namespace
 
-std::string to_sarif(const std::vector<FileFindings>& files) {
+std::string to_sarif(const std::vector<FileFindings>& files,
+                     const char* tool_name) {
   std::string out;
   out +=
       "{\n"
@@ -65,7 +66,10 @@ std::string to_sarif(const std::vector<FileFindings>& files) {
       "    {\n"
       "      \"tool\": {\n"
       "        \"driver\": {\n"
-      "          \"name\": \"recosim-lint\",\n"
+      "          \"name\": \"";
+  out += esc(tool_name);
+  out +=
+      "\",\n"
       "          \"informationUri\": "
       "\"docs/static-analysis.md\",\n"
       "          \"rules\": [\n";

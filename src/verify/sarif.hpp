@@ -15,10 +15,12 @@ struct FileFindings {
 };
 
 /// Render the findings of a lint run as a SARIF 2.1.0 log (one run, tool
-/// "recosim-lint", every rule of kRules in the driver's rule metadata).
+/// `tool_name` — recosim-lint by default, recosim-tidy for the source
+/// checker — every rule of kRules in the driver's rule metadata).
 /// Severity maps note->"note", warning->"warning", error->"error"; the
 /// timeline window lands in the result's properties bag
 /// (window_begin/window_end) and "line L:C" objects become a region.
-std::string to_sarif(const std::vector<FileFindings>& files);
+std::string to_sarif(const std::vector<FileFindings>& files,
+                     const char* tool_name = "recosim-lint");
 
 }  // namespace recosim::verify

@@ -1,0 +1,36 @@
+// Control fixture: engages every checked convention correctly, including
+// a *justified* allow() over an order-insensitive aggregation. Must
+// produce zero findings.
+
+#include <map>
+#include <unordered_map>
+
+#include "support.hpp"
+
+namespace tidy_fixture {
+
+class QuietCounter final : public Component {
+ public:
+  void eval() override {
+    ++ticks_;
+    set_active(false);
+  }
+  int ticks() const { return ticks_; }
+
+ private:
+  int ticks_ = 0;
+};
+
+int checksum(const std::unordered_map<int, int>& cells) {
+  int sum = 0;
+  // recosim-tidy: allow(RCD001): sum is commutative, order cannot matter
+  for (const auto& [key, value] : cells) sum += key + value;
+  return sum;
+}
+
+std::map<int, int> sorted_copy(const std::unordered_map<int, int>& cells) {
+  // recosim-tidy: allow(RCD001): aggregation into an ordered map
+  return std::map<int, int>(cells.begin(), cells.end());
+}
+
+}  // namespace tidy_fixture

@@ -1,0 +1,23 @@
+// Seeded RCD001 violations: traversal of an unordered container on what
+// would be a deterministic path — once as a range-for, once as a manual
+// iterator walk.
+
+#include <cstddef>
+#include <unordered_map>
+
+namespace tidy_fixture {
+
+std::size_t total_load(const std::unordered_map<int, int>& load_by_port) {
+  std::size_t sum = 0;
+  for (const auto& [port, load] : load_by_port) {  // seeded RCD001
+    sum += static_cast<std::size_t>(port) + static_cast<std::size_t>(load);
+  }
+  return sum;
+}
+
+int first_port(const std::unordered_map<int, int>& load_by_port) {
+  auto it = load_by_port.begin();  // seeded RCD001
+  return it == load_by_port.end() ? -1 : it->first;
+}
+
+}  // namespace tidy_fixture

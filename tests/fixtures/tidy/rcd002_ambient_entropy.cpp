@@ -1,0 +1,19 @@
+// Seeded RCD002 violations: unseeded randomness and wall-clock time in
+// (what would be) deterministic simulation code.
+
+#include <chrono>
+#include <cstdlib>
+
+namespace tidy_fixture {
+
+int backoff_jitter() {
+  return std::rand() % 8;  // seeded RCD002
+}
+
+long long run_stamp() {
+  return std::chrono::steady_clock::now()  // seeded RCD002
+      .time_since_epoch()
+      .count();
+}
+
+}  // namespace tidy_fixture

@@ -1,0 +1,29 @@
+// Seeded RCD003 violation: a lambda capturing `this` scheduled on the
+// kernel event queue without a CallbackAnchor. The anchored twin below it
+// must NOT be flagged.
+
+#include "support.hpp"
+
+namespace tidy_fixture {
+
+class RetryTimer {
+ public:
+  explicit RetryTimer(Kernel& kernel) : kernel_(kernel) {}
+
+  void arm_unanchored() {
+    kernel_.schedule_at(10, [this] { fired_ = true; });  // seeded RCD003
+  }
+
+  void arm_anchored() {
+    kernel_.schedule_at(10, anchor_.wrap([this] { fired_ = true; }));
+  }
+
+  bool fired() const { return fired_; }
+
+ private:
+  Kernel& kernel_;
+  bool fired_ = false;
+  CallbackAnchor anchor_;
+};
+
+}  // namespace tidy_fixture

@@ -1,0 +1,29 @@
+// Seeded RCD004 violation: a Component subclass that overrides eval()
+// without ever engaging the activity protocol. The engaged twin must NOT
+// be flagged.
+
+#include "support.hpp"
+
+namespace tidy_fixture {
+
+class BusyPoller final : public Component {  // seeded RCD004
+ public:
+  void eval() override { ++polls_; }
+  int polls() const { return polls_; }
+
+ private:
+  int polls_ = 0;
+};
+
+class IdleAware final : public Component {
+ public:
+  void eval() override {
+    ++polls_;
+    set_active(false);  // engages the activity protocol: no finding
+  }
+
+ private:
+  int polls_ = 0;
+};
+
+}  // namespace tidy_fixture

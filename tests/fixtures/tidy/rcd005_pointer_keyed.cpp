@@ -1,0 +1,24 @@
+// Seeded RCD005 violations: ordered containers keyed on raw pointer
+// values. The id-keyed twin must NOT be flagged.
+
+#include <map>
+#include <set>
+
+namespace tidy_fixture {
+
+struct Module {
+  int id = 0;
+};
+
+std::map<Module*, int> arrival_order;               // seeded RCD005
+std::set<const Module*> visited;                    // seeded RCD005
+std::map<int, Module*> by_id;                       // value, not key: fine
+
+bool mark_visited(const Module* m) { return visited.insert(m).second; }
+
+int order_of(Module* m) {
+  auto it = arrival_order.find(m);
+  return it == arrival_order.end() ? -1 : it->second;
+}
+
+}  // namespace tidy_fixture

@@ -1,0 +1,35 @@
+// Seeded RCD006 violation: an architecture mutator (marked by the repo
+// convention of ending in debug_check_invariants()) that never calls
+// wake_network(). The transitively-waking twin must NOT be flagged.
+
+#include <algorithm>
+#include <vector>
+
+#include "support.hpp"
+
+namespace tidy_fixture {
+
+class StarHub final : public CommArchitecture {
+ public:
+  bool attach(int id) {  // seeded RCD006: mutates, never wakes
+    members_.push_back(id);
+    debug_check_invariants();
+    return true;
+  }
+
+  bool detach(int id) {  // wakes transitively through rebalance(): fine
+    const auto it = std::find(members_.begin(), members_.end(), id);
+    if (it == members_.end()) return false;
+    members_.erase(it);
+    rebalance();
+    debug_check_invariants();
+    return true;
+  }
+
+ private:
+  void rebalance() { wake_network(); }
+
+  std::vector<int> members_;
+};
+
+}  // namespace tidy_fixture

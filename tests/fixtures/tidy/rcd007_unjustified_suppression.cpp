@@ -1,0 +1,14 @@
+// Seeded RCD007 violation: an allow() annotation without a justification.
+// It must fire RCD007 AND suppress nothing — the RCD002 underneath still
+// reports.
+
+#include <cstdlib>
+
+namespace tidy_fixture {
+
+int scramble() {
+  // recosim-tidy: allow(RCD002):
+  return std::rand();  // seeded RCD002 (the empty allow must not hide it)
+}
+
+}  // namespace tidy_fixture

@@ -449,5 +449,85 @@ TEST(ChaosFarm, CampaignJournalRoundTripsChaosDigests) {
   std::remove(path.c_str());
 }
 
+// ---------------------------------------------------------------------
+// Journal per-arch rollup (satellite): ok / deterministic-failure /
+// quarantine counts aggregated from the journal's run records.
+
+TEST(Journal, ArchSummaryAggregatesRunRecordsSortedByArch) {
+  JournalContents journal;
+  journal.valid = true;
+  const auto put = [&](const std::string& key, const std::string& arch,
+                       const std::string& status) {
+    JournalRun run;
+    run.key = key;
+    run.arch = arch;
+    run.status = status;
+    journal.runs.emplace(key, std::move(run));
+  };
+  put("k1", "rmboc", "ok");
+  put("k2", "rmboc", "ok");
+  put("k3", "rmboc", "failed");
+  put("k4", "conochi", "quarantined");
+  put("k5", "conochi", "ok");
+  put("k6", "buscom", "quarantined");
+
+  const std::vector<ArchJournalSummary> rows = journal_arch_summary(journal);
+  ASSERT_EQ(rows.size(), 3u);
+  EXPECT_EQ(rows[0].arch, "buscom");
+  EXPECT_EQ(rows[0].quarantined, 1u);
+  EXPECT_EQ(rows[0].ok + rows[0].deterministic_failures, 0u);
+  EXPECT_EQ(rows[1].arch, "conochi");
+  EXPECT_EQ(rows[1].ok, 1u);
+  EXPECT_EQ(rows[1].quarantined, 1u);
+  EXPECT_EQ(rows[2].arch, "rmboc");
+  EXPECT_EQ(rows[2].ok, 2u);
+  EXPECT_EQ(rows[2].deterministic_failures, 1u);
+  EXPECT_EQ(rows[2].quarantined, 0u);
+
+  std::ostringstream out;
+  print_journal_arch_summary(out, rows);
+  EXPECT_EQ(out.str(),
+            "journal buscom: 0 ok, 0 deterministic failure(s), "
+            "1 quarantined\n"
+            "journal conochi: 1 ok, 0 deterministic failure(s), "
+            "1 quarantined\n"
+            "journal rmboc: 2 ok, 1 deterministic failure(s), "
+            "0 quarantined\n");
+}
+
+TEST(Journal, ArchSummaryOfARealCampaignJournalCoversEveryRun) {
+  ChaosCampaignOptions opt = small_campaign();
+  const std::string path = "/tmp/recosim_arch_summary_journal.jsonl";
+  std::remove(path.c_str());
+
+  std::vector<ChaosJobOutcome> outcomes;
+  const auto jobs = make_chaos_jobs(opt, &outcomes);
+  FarmConfig fc;
+  fc.jobs = 2;
+  fc.journal_path = path;
+  fc.campaign_config = chaos_campaign_config(opt);
+  SimFarm farm(fc);
+  const CampaignReport report = farm.run(jobs);
+
+  const JournalContents journal = read_journal(path);
+  ASSERT_TRUE(journal.valid) << journal.error;
+  const std::vector<ArchJournalSummary> rows = journal_arch_summary(journal);
+  EXPECT_EQ(rows.size(), opt.archs.size());
+  std::size_t total_ok = 0, total_failed = 0, total_quarantined = 0;
+  for (const ArchJournalSummary& row : rows) {
+    // Two seeds per architecture in small_campaign().
+    EXPECT_EQ(row.ok + row.deterministic_failures + row.quarantined,
+              opt.seeds.size())
+        << row.arch;
+    total_ok += row.ok;
+    total_failed += row.deterministic_failures;
+    total_quarantined += row.quarantined;
+  }
+  EXPECT_EQ(total_ok, report.ok);
+  EXPECT_EQ(total_failed, report.failed);
+  EXPECT_EQ(total_quarantined, report.quarantined);
+  std::remove(path.c_str());
+}
+
 }  // namespace
 }  // namespace recosim::farm

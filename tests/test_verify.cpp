@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <fstream>
 #include <stdexcept>
 #include <string>
 
@@ -9,7 +10,9 @@
 #include "rmboc/rmboc.hpp"
 #include "sim/check.hpp"
 #include "sim/kernel.hpp"
+#include "verify/baseline.hpp"
 #include "verify/fault_plan.hpp"
+#include "verify/lint_driver.hpp"
 #include "verify/rules.hpp"
 #include "verify/scenario.hpp"
 #include "verify/verifier.hpp"
@@ -447,6 +450,90 @@ TEST(RuleRegistry, EveryEmittedRuleIsRegistered) {
         "LNT002", "FLT001", "FLT002", "FLT003", "FLT004"})
     EXPECT_NE(find_rule(id), nullptr) << id;
   EXPECT_EQ(find_rule("XXX999"), nullptr);
+}
+
+// ---- Lint driver: exit-code contract, baseline × --werror. --------------
+
+/// Write `text` to a temp file and return its path.
+std::string temp_scenario(const std::string& name,
+                          const std::string& text) {
+  const std::string path =
+      testing::TempDir() + "lint_driver_" + name + ".rcs";
+  std::ofstream out(path);
+  out << text;
+  EXPECT_TRUE(out.good());
+  return path;
+}
+
+TEST(LintDriver, ErrorFindingsFailTheRunUntilBaselined) {
+  LintOptions opt;
+  opt.files = {std::string(RECOSIM_LINT_FIXTURES) +
+               "/buscom_slot_conflict.rcs"};
+  const LintOutcome direct = run_lint(opt);
+  ASSERT_FALSE(direct.parse_failed);
+  ASSERT_GT(direct.sink.error_count(), 0u);
+  EXPECT_EQ(direct.exit_code(/*werror=*/false), 1);
+
+  // Baseline everything the run found; the rerun reports nothing and
+  // exits clean.
+  Baseline baseline;
+  ASSERT_TRUE(baseline.parse(Baseline::write(direct.per_file)));
+  opt.baseline = &baseline;
+  const LintOutcome rerun = run_lint(opt);
+  EXPECT_EQ(rerun.sink.size(), 0u);
+  EXPECT_EQ(rerun.suppressed, direct.sink.size());
+  EXPECT_EQ(rerun.exit_code(/*werror=*/false), 0);
+}
+
+TEST(LintDriver, BaselineSuppressedWarningsDoNotTripWerror) {
+  // BUS004 (module without a static slot) is warning severity: clean
+  // without --werror, exit 1 with it — unless the baseline covers it.
+  const std::string path = temp_scenario(
+      "warn_only", "arch buscom\nmodule 1\nmodule 2\nslot 0 0 1\n");
+  LintOptions opt;
+  opt.files = {path};
+  const LintOutcome direct = run_lint(opt);
+  ASSERT_FALSE(direct.parse_failed);
+  ASSERT_EQ(direct.sink.error_count(), 0u);
+  ASSERT_GT(direct.sink.count(Severity::kWarning), 0u);
+  EXPECT_EQ(direct.exit_code(/*werror=*/false), 0);
+  EXPECT_EQ(direct.exit_code(/*werror=*/true), 1);
+
+  Baseline baseline;
+  ASSERT_TRUE(baseline.parse(Baseline::write(direct.per_file)));
+  opt.baseline = &baseline;
+  const LintOutcome rerun = run_lint(opt);
+  EXPECT_GT(rerun.suppressed, 0u);
+  // The regression this guards: a suppressed warning must influence
+  // neither the werror path nor any other exit-code branch.
+  EXPECT_EQ(rerun.exit_code(/*werror=*/true), 0);
+}
+
+TEST(LintDriver, ParseFailureStaysExitTwoDespiteBaseline) {
+  const std::string path =
+      temp_scenario("garbage", "arch nonsense_arch\n%%%\n");
+  LintOptions opt;
+  opt.files = {path};
+  const LintOutcome direct = run_lint(opt);
+  ASSERT_TRUE(direct.parse_failed);
+  EXPECT_EQ(direct.exit_code(/*werror=*/false), 2);
+
+  // Even a baseline recording every finding cannot mask a file that did
+  // not parse.
+  Baseline baseline;
+  ASSERT_TRUE(baseline.parse(Baseline::write(direct.per_file)));
+  opt.baseline = &baseline;
+  EXPECT_EQ(run_lint(opt).exit_code(/*werror=*/true), 2);
+}
+
+TEST(LintDriver, FreshBaselineWriteAcknowledgesItsFindings) {
+  LintOptions opt;
+  opt.files = {std::string(RECOSIM_LINT_FIXTURES) +
+               "/buscom_slot_conflict.rcs"};
+  const LintOutcome outcome = run_lint(opt);
+  ASSERT_GT(outcome.sink.error_count(), 0u);
+  EXPECT_EQ(outcome.exit_code(/*werror=*/true, /*baseline_written=*/true),
+            0);
 }
 
 }  // namespace

@@ -252,11 +252,18 @@ int main(int argc, char** argv) {
   }
 
   print_chaos_summary(std::cout, opt, report, outcomes);
-  if (!fc.journal_path.empty())
+  if (!fc.journal_path.empty()) {
     std::cout << "campaign: " << report.ok << " ok, " << report.failed
               << " failed, " << report.quarantined << " quarantined, "
               << report.resumed << " resumed (journal " << fc.journal_path
               << ")\n";
+    // Per-arch rollup over the whole journal, so a resumed campaign
+    // reports history from earlier interrupted invocations too.
+    const farm::JournalContents journal = farm::read_journal(fc.journal_path);
+    if (journal.valid)
+      farm::print_journal_arch_summary(std::cout,
+                                       farm::journal_arch_summary(journal));
+  }
   if (report.abandoned_workers > 0)
     std::cerr << "recosim-chaos: " << report.abandoned_workers
               << " worker(s) abandoned on hung runs\n";

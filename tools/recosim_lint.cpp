@@ -36,20 +36,14 @@
 #include <cstring>
 #include <filesystem>
 #include <fstream>
-#include <optional>
-#include <set>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include "verify/baseline.hpp"
-#include "verify/envelope.hpp"
-#include "verify/fault_plan.hpp"
+#include "verify/lint_driver.hpp"
 #include "verify/rules.hpp"
 #include "verify/sarif.hpp"
-#include "verify/scenario.hpp"
-#include "verify/timeline.hpp"
-#include "verify/verifier.hpp"
 
 namespace {
 
@@ -196,78 +190,14 @@ int main(int argc, char** argv) {
     }
   }
 
-  EnvelopeParams envelope;
-  envelope.headroom_pct = headroom_pct;
-
-  // Under --timeline, a plan named like a scenario on the command line
-  // pairs with it and must not be checked a second time standalone.
-  std::set<std::string> paired_plans;
-
-  DiagnosticSink sink;               // every reported finding, all files
-  std::vector<FileFindings> per_file;  // the same, grouped (SARIF/baseline)
-  std::size_t suppressed = 0;
-  bool parse_failed = false;
-  // Findings of one file land in a local sink first so they can be keyed
-  // to their path (SARIF artifacts, baseline suppression).
-  const auto finish_file = [&](const std::string& path,
-                               DiagnosticSink& local) {
-    FileFindings ff;
-    ff.path = path;
-    for (const auto& d : local.diagnostics()) {
-      if (baseline.suppressed(path, d)) {
-        ++suppressed;
-        continue;
-      }
-      ff.diags.push_back(d);
-      sink.add(d);
-    }
-    per_file.push_back(std::move(ff));
-  };
-
-  // Fault plans are checked against the most recent scenario on the
-  // command line, so `recosim-lint topo.rcs plan.fplan` validates the
-  // plan's coordinates against that topology.
-  std::optional<Scenario> topology;
-  for (const auto& file : files) {
-    DiagnosticSink local;
-    if (has_suffix(file, ".fplan")) {
-      if (paired_plans.count(file)) continue;  // already ran with its .rcs
-      auto plan = parse_fault_plan_file(file, local);
-      if (!plan) {
-        parse_failed = true;
-        finish_file(file, local);
-        continue;
-      }
-      check_fault_plan(*plan, topology ? &*topology : nullptr, local);
-      finish_file(file, local);
-      continue;
-    }
-    auto scenario = parse_scenario_file(file, local);
-    if (!scenario) {
-      parse_failed = true;
-      finish_file(file, local);
-      continue;
-    }
-    if (timeline) {
-      std::optional<FaultPlanDoc> plan;
-      const fs::path plan_path = fs::path(file).replace_extension(".fplan");
-      std::error_code ec;
-      if (fs::is_regular_file(plan_path, ec)) {
-        plan = parse_fault_plan_file(plan_path.string(), local);
-        if (plan) {
-          paired_plans.insert(plan_path.string());
-          check_fault_plan(*plan, &*scenario, local);
-        } else {
-          parse_failed = true;
-        }
-      }
-      Timeline::check(*scenario, plan ? &*plan : nullptr, local, &envelope);
-    } else {
-      Verifier::check_all(*scenario, local);
-    }
-    finish_file(file, local);
-    topology = std::move(*scenario);
-  }
+  LintOptions lopt;
+  lopt.files = files;
+  lopt.timeline = timeline;
+  lopt.envelope.headroom_pct = headroom_pct;
+  if (!baseline_path.empty()) lopt.baseline = &baseline;
+  LintOutcome outcome = run_lint(lopt);
+  DiagnosticSink& sink = outcome.sink;
+  std::vector<FileFindings>& per_file = outcome.per_file;
 
   if (!sarif_path.empty() && !write_file(sarif_path, to_sarif(per_file))) {
     std::fprintf(stderr, "recosim-lint: cannot write SARIF '%s'\n",
@@ -289,14 +219,9 @@ int main(int argc, char** argv) {
     std::printf("%zu diagnostic(s), %zu error(s), %zu warning(s)",
                 sink.size(), sink.error_count(),
                 sink.count(Severity::kWarning));
-    if (suppressed > 0)
-      std::printf(", %zu baseline-suppressed", suppressed);
+    if (outcome.suppressed > 0)
+      std::printf(", %zu baseline-suppressed", outcome.suppressed);
     std::printf("\n");
   }
-  if (parse_failed) return 2;
-  // A freshly written baseline acknowledges the findings it records.
-  if (!baseline_write_path.empty()) return 0;
-  if (sink.error_count() > 0) return 1;
-  if (werror && sink.count(Severity::kWarning) > 0) return 1;
-  return 0;
+  return outcome.exit_code(werror, !baseline_write_path.empty());
 }

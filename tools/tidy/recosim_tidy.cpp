@@ -1,0 +1,196 @@
+// recosim-tidy: static checker for the simulator's own C++ sources —
+// the RCD rule family (determinism, callback lifetime, activity
+// protocol; see docs/static-analysis.md "Layer 3").
+//
+// Usage: recosim-tidy [--json] [--rules] [--werror] [--sarif <file>]
+//                     [--baseline <file>] [--baseline-write <file>]
+//                     [--compdb <compile_commands.json>]
+//                     <file.cpp|file.hpp|directory>...
+//
+// Directory arguments are walked recursively for *.cpp/*.hpp. With
+// --compdb, the translation units listed in a CMake
+// compile_commands.json (restricted to src/ and tools/, plus the
+// headers sitting next to them) join the scan set:
+//
+//   recosim-tidy --compdb build/compile_commands.json --werror src tools
+//
+// Findings can be suppressed in-source with a justified annotation
+//
+//   // recosim-tidy: allow(RCD001): aggregated into a sorted map below
+//
+// (an empty justification suppresses nothing and fires RCD007), or via
+// --baseline / --baseline-write, which share recosim-lint's format.
+//
+// Exit codes:
+//   0  every file read and no error (nor, under --werror, warning)
+//   1  at least one error-severity finding (--werror: or warning)
+//   2  a file could not be read (or usage error)
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "tidy/tidy.hpp"
+#include "verify/baseline.hpp"
+#include "verify/rules.hpp"
+#include "verify/sarif.hpp"
+
+namespace {
+
+constexpr char kUsage[] =
+    "usage: recosim-tidy [--json] [--rules] [--werror] [--sarif <file>] "
+    "[--baseline <file>] [--baseline-write <file>] "
+    "[--compdb <compile_commands.json>] <file|directory>...\n";
+
+void print_rules() {
+  for (const auto& r : recosim::verify::kRules) {
+    if (std::strncmp(r.id, "RCD", 3) != 0) continue;
+    std::printf("%-7s %-9s %-30s %s\n", r.id,
+                recosim::verify::to_string(r.default_severity), r.name,
+                r.summary);
+  }
+}
+
+bool read_file(const std::string& path, std::string& out) {
+  std::ifstream in(path);
+  if (!in) return false;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  out = ss.str();
+  return true;
+}
+
+bool write_file(const std::string& path, const std::string& content) {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << content;
+  return static_cast<bool>(out);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace recosim;
+
+  bool json = false;
+  bool werror = false;
+  std::string sarif_path, baseline_path, baseline_write_path;
+  tidy::TidyOptions opt;
+  const auto value_of = [&](int& i) -> const char* {
+    if (i + 1 >= argc) {
+      std::fprintf(stderr, "recosim-tidy: '%s' needs a value\n", argv[i]);
+      return nullptr;
+    }
+    return argv[++i];
+  };
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) {
+      json = true;
+    } else if (std::strcmp(argv[i], "--werror") == 0) {
+      werror = true;
+    } else if (std::strcmp(argv[i], "--sarif") == 0) {
+      const char* v = value_of(i);
+      if (!v) return 2;
+      sarif_path = v;
+    } else if (std::strcmp(argv[i], "--baseline") == 0) {
+      const char* v = value_of(i);
+      if (!v) return 2;
+      baseline_path = v;
+    } else if (std::strcmp(argv[i], "--baseline-write") == 0) {
+      const char* v = value_of(i);
+      if (!v) return 2;
+      baseline_write_path = v;
+    } else if (std::strcmp(argv[i], "--compdb") == 0) {
+      const char* v = value_of(i);
+      if (!v) return 2;
+      opt.compile_commands = v;
+    } else if (std::strcmp(argv[i], "--rules") == 0) {
+      print_rules();
+      return 0;
+    } else if (std::strcmp(argv[i], "--help") == 0) {
+      std::printf("%s", kUsage);
+      return 0;
+    } else if (argv[i][0] == '-') {
+      std::fprintf(stderr, "recosim-tidy: unknown option '%s'\n", argv[i]);
+      return 2;
+    } else {
+      opt.paths.emplace_back(argv[i]);
+    }
+  }
+  if (opt.paths.empty() && opt.compile_commands.empty()) {
+    std::fprintf(stderr, "%s", kUsage);
+    return 2;
+  }
+
+  verify::Baseline baseline;
+  if (!baseline_path.empty()) {
+    std::string text;
+    if (!read_file(baseline_path, text) || !baseline.parse(text)) {
+      std::fprintf(stderr, "recosim-tidy: cannot read baseline '%s'\n",
+                   baseline_path.c_str());
+      return 2;
+    }
+  }
+
+  tidy::TidyResult result = tidy::run_tidy(opt);
+  for (const std::string& err : result.unreadable)
+    std::fprintf(stderr, "recosim-tidy: %s\n", err.c_str());
+
+  // Baseline suppression happens before exit-code accounting, so a
+  // baselined error cannot fail the run (same contract as recosim-lint).
+  std::size_t suppressed = 0;
+  for (auto& ff : result.files) {
+    std::vector<verify::Diagnostic> kept;
+    for (auto& d : ff.diags) {
+      if (baseline.suppressed(ff.path, d)) {
+        ++suppressed;
+        continue;
+      }
+      kept.push_back(std::move(d));
+    }
+    ff.diags = std::move(kept);
+  }
+
+  if (!sarif_path.empty() &&
+      !write_file(sarif_path, to_sarif(result.files, "recosim-tidy"))) {
+    std::fprintf(stderr, "recosim-tidy: cannot write SARIF '%s'\n",
+                 sarif_path.c_str());
+    return 2;
+  }
+  if (!baseline_write_path.empty()) {
+    if (!write_file(baseline_write_path,
+                    verify::Baseline::write(result.files))) {
+      std::fprintf(stderr, "recosim-tidy: cannot write baseline '%s'\n",
+                   baseline_write_path.c_str());
+      return 2;
+    }
+  }
+
+  verify::DiagnosticSink sink;
+  for (const auto& ff : result.files) {
+    for (const auto& d : ff.diags) {
+      verify::Diagnostic tagged = d;
+      // Prefix the symbol with its file so the flat text/JSON report
+      // stays unambiguous across translation units.
+      tagged.location.component = ff.path + ": " + d.location.component;
+      sink.add(tagged);
+    }
+  }
+  if (json) {
+    std::printf("%s\n", sink.to_json().c_str());
+  } else {
+    std::printf("%s", sink.to_text().c_str());
+    std::printf("%zu diagnostic(s), %zu error(s), %zu warning(s)",
+                sink.size(), sink.error_count(),
+                sink.count(verify::Severity::kWarning));
+    if (suppressed > 0)
+      std::printf(", %zu baseline-suppressed", suppressed);
+    std::printf("\n");
+  }
+  // A freshly written baseline acknowledges the findings it records.
+  if (!baseline_write_path.empty() && result.unreadable.empty()) return 0;
+  return result.exit_code(werror);
+}
